@@ -1,0 +1,427 @@
+//! Client-facing engines: a FISSIONE network plus order-preserving naming
+//! plus a record table, with ground-truth checkers.
+
+use crate::{ArmadaError, QueryOutcome};
+use fissione::{FissioneConfig, FissioneNet};
+use kautz::naming::{MultiHash, SingleHash};
+use kautz::KautzStr;
+use rand::rngs::SmallRng;
+use simnet::{FaultPlan, NodeId};
+use std::collections::BTreeSet;
+
+/// Handle of a published record (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u64);
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "record#{}", self.0)
+    }
+}
+
+/// Single-attribute Armada: FISSIONE + `Single_hash` naming + records.
+///
+/// See the [crate docs](crate) for a quickstart.
+#[derive(Debug, Clone)]
+pub struct SingleArmada {
+    net: FissioneNet,
+    naming: SingleHash,
+    values: Vec<f64>,
+}
+
+impl SingleArmada {
+    /// Builds a network of `n` peers over the attribute domain `[lo, hi]`
+    /// with the paper's defaults (base 2, ObjectIDs of length 100).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid domains or `n` below the root count.
+    pub fn build(n: usize, lo: f64, hi: f64, rng: &mut SmallRng) -> Result<Self, ArmadaError> {
+        Self::build_with(FissioneConfig::default(), n, lo, hi, rng)
+    }
+
+    /// Builds with an explicit FISSIONE configuration (tests use shorter
+    /// ObjectIDs for exhaustive checking).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid domains or `n` below the root count.
+    pub fn build_with(
+        cfg: FissioneConfig,
+        n: usize,
+        lo: f64,
+        hi: f64,
+        rng: &mut SmallRng,
+    ) -> Result<Self, ArmadaError> {
+        let naming = SingleHash::new(lo, hi, cfg.object_id_len)?;
+        let net = FissioneNet::build(cfg, n, rng)?;
+        Ok(SingleArmada { net, naming, values: Vec::new() })
+    }
+
+    /// The underlying DHT (read-only).
+    pub fn net(&self) -> &FissioneNet {
+        &self.net
+    }
+
+    /// The underlying DHT (mutable, e.g. for churn experiments).
+    pub fn net_mut(&mut self) -> &mut FissioneNet {
+        &mut self.net
+    }
+
+    /// The naming scheme.
+    pub fn naming(&self) -> &SingleHash {
+        &self.naming
+    }
+
+    /// Number of published records.
+    pub fn record_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The attribute value of a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown record ids.
+    pub fn value(&self, record: RecordId) -> f64 {
+        self.values[record.0 as usize]
+    }
+
+    /// Publishes a record with the given attribute value; its ObjectID is
+    /// `Single_hash(value)` and it is stored at the owning peer.
+    pub fn publish(&mut self, value: f64) -> RecordId {
+        let id = RecordId(self.values.len() as u64);
+        let object = self.naming.object_id(value);
+        self.values.push(value);
+        self.net
+            .publish(object, id.0)
+            .expect("ObjectIDs always have an owner");
+        id
+    }
+
+    /// Publishes many records.
+    pub fn publish_all<I: IntoIterator<Item = f64>>(&mut self, values: I) -> Vec<RecordId> {
+        values.into_iter().map(|v| self.publish(v)).collect()
+    }
+
+    /// Ground truth: the set of peers whose region intersects the query's
+    /// Kautz region (the paper's "Destpeers"). `O(log N + answer)` via the
+    /// contiguity of zones in leaf order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty range.
+    pub fn ground_truth_peers(&self, lo: f64, hi: f64) -> Result<BTreeSet<NodeId>, ArmadaError> {
+        let region = self.naming.region(lo, hi)?;
+        Ok(self
+            .net
+            .peers_intersecting_range(region.low(), region.high())?
+            .into_iter()
+            .collect())
+    }
+
+    /// Ground truth by exhaustive scan (`O(N·k)`), kept as the reference the
+    /// fast path is tested against.
+    pub fn ground_truth_peers_scan(&self, lo: f64, hi: f64) -> Result<BTreeSet<NodeId>, ArmadaError> {
+        let region = self.naming.region(lo, hi)?;
+        Ok(self
+            .net
+            .live_peers()
+            .filter(|&n| region.intersects_prefix(self.net.peer_id(n).expect("live")))
+            .collect())
+    }
+
+    /// Ground truth: the records a correct query must return.
+    pub fn expected_results(&self, lo: f64, hi: f64) -> Vec<RecordId> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v >= lo && v <= hi)
+            .map(|(i, _)| RecordId(i as u64))
+            .collect()
+    }
+
+    /// Runs a PIRA range query from `origin` (fault-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dead origins or empty ranges.
+    pub fn pira_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<QueryOutcome, ArmadaError> {
+        crate::pira::query(self, origin, lo, hi, seed, &FaultPlan::new())
+    }
+
+    /// Runs a PIRA range query under a fault plan (drops/crashes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dead origins or empty ranges.
+    pub fn pira_query_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<QueryOutcome, ArmadaError> {
+        crate::pira::query(self, origin, lo, hi, seed, faults)
+    }
+}
+
+/// Multi-attribute Armada: FISSIONE + `Multiple_hash` naming + records.
+///
+/// # Example
+///
+/// ```
+/// use armada::MultiArmada;
+///
+/// let mut rng = simnet::rng_from_seed(2);
+/// // Grid information service: (memory MB, disk GB).
+/// let mut grid =
+///     MultiArmada::build(80, &[(0.0, 4096.0), (0.0, 500.0)], &mut rng)?;
+/// grid.publish(&[2048.0, 120.0])?;
+/// grid.publish(&[512.0, 400.0])?;
+/// let origin = grid.net().random_peer(&mut rng);
+/// // 1GB ≤ memory ≤ 4GB and 50GB ≤ disk ≤ 200GB (the paper's example).
+/// let out = grid.mira_query(origin, &[(1024.0, 4096.0), (50.0, 200.0)], 3)?;
+/// assert_eq!(out.results.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiArmada {
+    net: FissioneNet,
+    naming: MultiHash,
+    points: Vec<Vec<f64>>,
+}
+
+impl MultiArmada {
+    /// Builds a network of `n` peers over the given per-attribute domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid domains or `n` below the root count.
+    pub fn build(
+        n: usize,
+        domains: &[(f64, f64)],
+        rng: &mut SmallRng,
+    ) -> Result<Self, ArmadaError> {
+        Self::build_with(FissioneConfig::default(), n, domains, rng)
+    }
+
+    /// Builds with an explicit FISSIONE configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid domains or `n` below the root count.
+    pub fn build_with(
+        cfg: FissioneConfig,
+        n: usize,
+        domains: &[(f64, f64)],
+        rng: &mut SmallRng,
+    ) -> Result<Self, ArmadaError> {
+        let naming = MultiHash::new(domains, cfg.object_id_len)?;
+        let net = FissioneNet::build(cfg, n, rng)?;
+        Ok(MultiArmada { net, naming, points: Vec::new() })
+    }
+
+    /// The underlying DHT (read-only).
+    pub fn net(&self) -> &FissioneNet {
+        &self.net
+    }
+
+    /// The underlying DHT (mutable).
+    pub fn net_mut(&mut self) -> &mut FissioneNet {
+        &mut self.net
+    }
+
+    /// The naming scheme.
+    pub fn naming(&self) -> &MultiHash {
+        &self.naming
+    }
+
+    /// Number of published records.
+    pub fn record_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The attribute vector of a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown record ids.
+    pub fn point(&self, record: RecordId) -> &[f64] {
+        &self.points[record.0 as usize]
+    }
+
+    /// Publishes a record with the given attribute vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arity mismatch.
+    pub fn publish(&mut self, values: &[f64]) -> Result<RecordId, ArmadaError> {
+        let object = self.naming.object_id(values)?;
+        let id = RecordId(self.points.len() as u64);
+        self.points.push(values.to_vec());
+        self.net
+            .publish(object, id.0)
+            .expect("ObjectIDs always have an owner");
+        Ok(id)
+    }
+
+    /// Ground truth: peers whose hyper-rectangle intersects the query.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arity mismatch or empty ranges.
+    pub fn ground_truth_peers(
+        &self,
+        query: &[(f64, f64)],
+    ) -> Result<BTreeSet<NodeId>, ArmadaError> {
+        let rect = self.naming.query_rect(query)?;
+        Ok(self
+            .net
+            .live_peers()
+            .filter(|&n| {
+                let zone = self
+                    .naming
+                    .prefix_rect(self.net.peer_id(n).expect("live"))
+                    .expect("peer depths are within naming depth");
+                rect.intersects(&zone)
+            })
+            .collect())
+    }
+
+    /// Ground truth: records a correct query must return.
+    pub fn expected_results(&self, query: &[(f64, f64)]) -> Vec<RecordId> {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.iter()
+                    .zip(query.iter())
+                    .all(|(&v, &(lo, hi))| v >= lo && v <= hi)
+            })
+            .map(|(i, _)| RecordId(i as u64))
+            .collect()
+    }
+
+    /// Runs a MIRA multi-attribute range query from `origin` (fault-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dead origins, arity mismatches or empty ranges.
+    pub fn mira_query(
+        &self,
+        origin: NodeId,
+        query: &[(f64, f64)],
+        seed: u64,
+    ) -> Result<QueryOutcome, ArmadaError> {
+        crate::mira::query(self, origin, query, seed, &FaultPlan::new())
+    }
+
+    /// Runs a MIRA query under a fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dead origins, arity mismatches or empty ranges.
+    pub fn mira_query_with_faults(
+        &self,
+        origin: NodeId,
+        query: &[(f64, f64)],
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<QueryOutcome, ArmadaError> {
+        crate::mira::query(self, origin, query, seed, faults)
+    }
+}
+
+/// Computes `ComS` and the descent budget for a query sub-region whose
+/// endpoints share the common prefix `com_t`, from the origin's PeerID:
+/// `f = |ComS|`, `hops_left = b − f` (§4.2).
+pub(crate) fn descent_budget(origin_id: &KautzStr, com_t: &KautzStr) -> (usize, usize) {
+    let f = origin_id.longest_suffix_prefix(com_t);
+    (f, origin_id.len() - f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FissioneConfig {
+        FissioneConfig { object_id_len: 24, ..FissioneConfig::default() }
+    }
+
+    #[test]
+    fn publish_and_value_roundtrip() {
+        let mut rng = simnet::rng_from_seed(51);
+        let mut a = SingleArmada::build_with(small_cfg(), 30, 0.0, 1000.0, &mut rng).unwrap();
+        let r = a.publish(123.5);
+        assert_eq!(a.value(r), 123.5);
+        assert_eq!(a.record_count(), 1);
+        a.net().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn expected_results_filters_by_value() {
+        let mut rng = simnet::rng_from_seed(52);
+        let mut a = SingleArmada::build_with(small_cfg(), 20, 0.0, 100.0, &mut rng).unwrap();
+        let ids = a.publish_all([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(a.expected_results(15.0, 35.0), vec![ids[1], ids[2]]);
+        assert_eq!(a.expected_results(90.0, 95.0), vec![]);
+    }
+
+    #[test]
+    fn ground_truth_peers_nonempty_and_prefix_checked() {
+        let mut rng = simnet::rng_from_seed(53);
+        let a = SingleArmada::build_with(small_cfg(), 200, 0.0, 1000.0, &mut rng).unwrap();
+        let truth = a.ground_truth_peers(100.0, 150.0).unwrap();
+        assert!(!truth.is_empty());
+        let region = a.naming().region(100.0, 150.0).unwrap();
+        for n in a.net().live_peers() {
+            let hit = region.intersects_prefix(a.net().peer_id(n).unwrap());
+            assert_eq!(hit, truth.contains(&n));
+        }
+    }
+
+    #[test]
+    fn fast_ground_truth_matches_exhaustive_scan() {
+        let mut rng = simnet::rng_from_seed(55);
+        let a = SingleArmada::build_with(small_cfg(), 300, 0.0, 1000.0, &mut rng).unwrap();
+        use rand::Rng;
+        for _ in 0..100 {
+            let lo: f64 = rng.gen_range(0.0..995.0);
+            let hi = lo + rng.gen_range(0.0..(1000.0 - lo));
+            assert_eq!(
+                a.ground_truth_peers(lo, hi).unwrap(),
+                a.ground_truth_peers_scan(lo, hi).unwrap(),
+                "query [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_publish_rejects_bad_arity() {
+        let mut rng = simnet::rng_from_seed(54);
+        let mut m =
+            MultiArmada::build_with(small_cfg(), 20, &[(0.0, 1.0), (0.0, 1.0)], &mut rng)
+                .unwrap();
+        assert!(m.publish(&[0.5]).is_err());
+        assert!(m.publish(&[0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn descent_budget_matches_paper_example() {
+        let p: KautzStr = "212".parse().unwrap();
+        let com_t: KautzStr = "0".parse().unwrap();
+        assert_eq!(descent_budget(&p, &com_t), (0, 3));
+        let com_t: KautzStr = "120".parse().unwrap();
+        assert_eq!(descent_budget(&p, &com_t), (2, 1));
+        let com_t: KautzStr = "212".parse().unwrap();
+        assert_eq!(descent_budget(&p, &com_t), (3, 0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Query metrics matching the paper's evaluation (§4.3.3).
+
+use crate::RecordId;
+
+/// Per-query measurements.
+///
+/// * `delay` — maximum hop depth among destination deliveries (the paper's
+///   query delay under unit per-hop latency).
+/// * `messages` — total protocol messages sent.
+/// * `dest_peers` — ground-truth number of peers whose region intersects the
+///   query ("Destpeers").
+/// * `reached_peers` — destination peers that actually answered (equals
+///   `dest_peers` in fault-free runs).
+/// * `exact` — whether the answered set equals the ground truth exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryMetrics {
+    /// Max hop depth among destination deliveries.
+    pub delay: u32,
+    /// Total protocol messages sent.
+    pub messages: u64,
+    /// Ground-truth destination peer count.
+    pub dest_peers: usize,
+    /// Destination peers that answered.
+    pub reached_peers: usize,
+    /// `reached == truth` as sets.
+    pub exact: bool,
+}
+
+impl QueryMetrics {
+    /// `MesgRatio = Messages / Destpeers` (§4.3.3 metric (b)).
+    pub fn mesg_ratio(&self) -> f64 {
+        if self.dest_peers == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.dest_peers as f64
+        }
+    }
+
+    /// `IncreRatio = (Messages − log₂N) / (Destpeers − 1)` (§4.3.3 metric
+    /// (c)); `NaN`-free: returns 0 when `Destpeers ≤ 1`.
+    pub fn incre_ratio(&self, n_peers: usize) -> f64 {
+        if self.dest_peers <= 1 {
+            return 0.0;
+        }
+        (self.messages as f64 - (n_peers as f64).log2()) / (self.dest_peers as f64 - 1.0)
+    }
+
+    /// Recall against the ground truth peer set.
+    pub fn peer_recall(&self) -> f64 {
+        if self.dest_peers == 0 {
+            1.0
+        } else {
+            self.reached_peers as f64 / self.dest_peers as f64
+        }
+    }
+}
+
+/// The result of one range query: matching records plus measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Records whose attribute value(s) satisfy the query, in ascending
+    /// record order.
+    pub results: Vec<RecordId>,
+    /// Protocol measurements.
+    pub metrics: QueryMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(messages: u64, dest: usize) -> QueryMetrics {
+        QueryMetrics {
+            delay: 5,
+            messages,
+            dest_peers: dest,
+            reached_peers: dest,
+            exact: true,
+        }
+    }
+
+    #[test]
+    fn mesg_ratio_divides() {
+        assert_eq!(metrics(20, 10).mesg_ratio(), 2.0);
+        assert_eq!(metrics(20, 0).mesg_ratio(), 0.0);
+    }
+
+    #[test]
+    fn incre_ratio_matches_definition() {
+        // (20 - log2(1024)) / (6 - 1) = (20 - 10) / 5 = 2.
+        assert_eq!(metrics(20, 6).incre_ratio(1024), 2.0);
+        assert_eq!(metrics(20, 1).incre_ratio(1024), 0.0);
+    }
+
+    #[test]
+    fn recall_is_fraction_reached() {
+        let m = QueryMetrics {
+            delay: 1,
+            messages: 3,
+            dest_peers: 4,
+            reached_peers: 3,
+            exact: false,
+        };
+        assert_eq!(m.peer_recall(), 0.75);
+    }
+}

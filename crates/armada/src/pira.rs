@@ -1,0 +1,303 @@
+//! PIRA — the PrunIng Routing Algorithm for single-attribute range queries
+//! (§4.2).
+//!
+//! A query `[lo, hi]` maps to the Kautz region `⟨LowT, HighT⟩` via
+//! `Single_hash`; if its endpoints share no prefix it splits into at most
+//! three sub-regions that do (the paper's rule). Each sub-query descends the
+//! origin's forward routing tree as a message
+//! `(low, high, f, hops_left)`:
+//!
+//! * `f = |ComS|` where `ComS` is the longest string that is both a prefix
+//!   of the sub-region's common prefix and a suffix of the origin's PeerID;
+//! * a peer holding the message with `d = hops_left` covers — at the
+//!   destination level — exactly the strings prefixed by
+//!   `ComS ++ id[(f+d)..]`, so it forwards to an out-neighbor `C` iff the
+//!   sub-region contains a string prefixed by `ComS ++ C.id[(f+d−1)..]`;
+//! * any visited peer whose own region intersects the sub-region answers
+//!   from local storage (at the destination level `d = 0` that is every
+//!   reached peer; answering along the way additionally keeps the algorithm
+//!   exact on covers that violate the neighborhood invariant).
+//!
+//! Delay is bounded by `hops_left ≤ len(origin.id)` regardless of the range
+//! size: `< 2·log₂N` worst case, `< log₂N` on average — the paper's
+//! headline result.
+
+use crate::engine::descent_budget;
+use crate::{ArmadaError, QueryMetrics, QueryOutcome, RecordId, SingleArmada};
+use kautz::{KautzRegion, KautzStr};
+use simnet::{Envelope, FaultPlan, NodeId, Sim};
+use std::collections::BTreeSet;
+
+/// One in-flight PIRA sub-query message.
+#[derive(Debug, Clone)]
+struct PiraMsg {
+    /// Sub-region lower endpoint (full ObjectID length).
+    low: KautzStr,
+    /// Sub-region upper endpoint.
+    high: KautzStr,
+    /// `|ComS|` for this sub-query.
+    f: usize,
+    /// Remaining descent levels.
+    hops_left: usize,
+}
+
+/// Executes a PIRA range query; see the module docs.
+///
+/// # Errors
+///
+/// Returns [`ArmadaError::BadOrigin`] for dead origins and naming errors for
+/// empty ranges.
+pub(crate) fn query(
+    armada: &SingleArmada,
+    origin: NodeId,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+    faults: &FaultPlan,
+) -> Result<QueryOutcome, ArmadaError> {
+    let net = armada.net();
+    if !net.is_live(origin) {
+        return Err(ArmadaError::BadOrigin { origin });
+    }
+    let region = armada.naming().region(lo, hi)?;
+    let truth = armada.ground_truth_peers(lo, hi)?;
+    let origin_id = net.peer_id(origin)?.clone();
+
+    let mut sim: Sim<PiraMsg> = Sim::new(seed).with_faults(faults.clone());
+    for sub in region.split_by_common_prefix() {
+        let com_t = sub.common_prefix();
+        let (f, hops_left) = descent_budget(&origin_id, &com_t);
+        sim.send(
+            origin,
+            origin,
+            0,
+            PiraMsg { low: sub.low().clone(), high: sub.high().clone(), f, hops_left },
+        );
+    }
+
+    let mut answered: BTreeSet<NodeId> = BTreeSet::new();
+    let mut results: BTreeSet<RecordId> = BTreeSet::new();
+    let mut delay: u32 = 0;
+    sim.run(|sim, env: Envelope<PiraMsg>| {
+        let node = env.to;
+        let id = net.peer_id(node).expect("messages are delivered to live peers");
+        let sub = KautzRegion::new(env.payload.low.clone(), env.payload.high.clone())
+            .expect("in-flight sub-regions stay ordered");
+
+        // Local answer: this peer's region intersects the sub-region.
+        // Records are collected against the *full* query so one visit per
+        // peer suffices even when it straddles several sub-regions.
+        if sub.intersects_prefix(id) && answered.insert(node) {
+            delay = delay.max(env.hop);
+            let peer = net.peer(node).expect("live");
+            for (_oid, handles) in peer.objects_in_range(region.low(), region.high()) {
+                for &h in handles {
+                    let record = RecordId(h);
+                    let v = armada.value(record);
+                    if v >= lo && v <= hi {
+                        results.insert(record);
+                    }
+                }
+            }
+        }
+
+        // Pruned descent.
+        let d = env.payload.hops_left;
+        if d > 0 {
+            let f = env.payload.f;
+            let com_s = env.payload.low.take_front(f);
+            let strip = f + d - 1; // transit-prefix length at the children
+            for c in net.out_neighbors(node) {
+                let cid = net.peer_id(c).expect("live");
+                // Subtree prefix of C at the destination level. Children
+                // shorter than the transit prefix (possible only when the
+                // neighborhood invariant is violated) degrade to the
+                // never-prune test `ComS`.
+                let w = com_s
+                    .concat(&cid.drop_front(strip))
+                    .unwrap_or_else(|_| com_s.clone());
+                if sub.intersects_prefix(&w) {
+                    sim.forward(
+                        &env,
+                        c,
+                        PiraMsg {
+                            low: env.payload.low.clone(),
+                            high: env.payload.high.clone(),
+                            f,
+                            hops_left: d - 1,
+                        },
+                    );
+                }
+            }
+        }
+    });
+
+    let reached = answered.len();
+    let exact = answered == truth;
+    Ok(QueryOutcome {
+        results: results.into_iter().collect(),
+        metrics: QueryMetrics {
+            delay,
+            messages: sim.stats().messages_sent,
+            dest_peers: truth.len(),
+            reached_peers: reached,
+            exact,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SingleArmada;
+    use fissione::FissioneConfig;
+    use rand::Rng;
+
+    fn small_cfg() -> FissioneConfig {
+        FissioneConfig { object_id_len: 24, ..FissioneConfig::default() }
+    }
+
+    fn build(n: usize, seed: u64) -> SingleArmada {
+        let mut rng = simnet::rng_from_seed(seed);
+        let mut a = SingleArmada::build_with(small_cfg(), n, 0.0, 1000.0, &mut rng).unwrap();
+        for _ in 0..n {
+            let v = rng.gen_range(0.0..=1000.0);
+            a.publish(v);
+        }
+        a
+    }
+
+    #[test]
+    fn pira_is_exact_on_random_queries() {
+        let a = build(300, 61);
+        let mut rng = simnet::rng_from_seed(610);
+        for q in 0..100 {
+            let lo: f64 = rng.gen_range(0.0..990.0);
+            let size: f64 = rng.gen_range(0.5..200.0);
+            let hi = (lo + size).min(1000.0);
+            let origin = a.net().random_peer(&mut rng);
+            let out = a.pira_query(origin, lo, hi, q).unwrap();
+            assert!(out.metrics.exact, "query [{lo},{hi}] missed peers");
+            assert_eq!(
+                out.results,
+                a.expected_results(lo, hi),
+                "query [{lo},{hi}] returned wrong records"
+            );
+        }
+    }
+
+    #[test]
+    fn pira_delay_is_bounded_by_origin_depth() {
+        let a = build(500, 62);
+        let mut rng = simnet::rng_from_seed(620);
+        for q in 0..100 {
+            let lo = rng.gen_range(0.0..700.0);
+            let origin = a.net().random_peer(&mut rng);
+            let out = a.pira_query(origin, lo, lo + 300.0, q).unwrap();
+            let b = a.net().peer(origin).unwrap().depth() as u32;
+            assert!(out.metrics.delay <= b, "delay {} > b {}", out.metrics.delay, b);
+        }
+    }
+
+    #[test]
+    fn pira_delay_independent_of_range_size() {
+        // The paper's headline: delay stays < logN whether the range covers
+        // 0.2% or 30% of the attribute space.
+        let a = build(1000, 63);
+        let mut rng = simnet::rng_from_seed(630);
+        let log_n = (1000f64).log2();
+        for &size in &[2.0, 50.0, 300.0] {
+            let mut total = 0u64;
+            let queries = 200;
+            for q in 0..queries {
+                let lo = rng.gen_range(0.0..(1000.0 - size));
+                let origin = a.net().random_peer(&mut rng);
+                let out = a.pira_query(origin, lo, lo + size, q).unwrap();
+                total += u64::from(out.metrics.delay);
+            }
+            let avg = total as f64 / queries as f64;
+            assert!(avg < log_n, "size {size}: avg delay {avg} ≥ logN {log_n}");
+        }
+    }
+
+    #[test]
+    fn pira_point_query_reaches_single_owner() {
+        let a = build(200, 64);
+        let mut rng = simnet::rng_from_seed(640);
+        let origin = a.net().random_peer(&mut rng);
+        let out = a.pira_query(origin, 421.7, 421.7, 1).unwrap();
+        assert_eq!(out.metrics.dest_peers, 1);
+        assert!(out.metrics.exact);
+    }
+
+    #[test]
+    fn pira_whole_space_query_reaches_everyone() {
+        let a = build(120, 65);
+        let mut rng = simnet::rng_from_seed(650);
+        let origin = a.net().random_peer(&mut rng);
+        let out = a.pira_query(origin, 0.0, 1000.0, 1).unwrap();
+        assert_eq!(out.metrics.dest_peers, a.net().len());
+        assert!(out.metrics.exact);
+        assert_eq!(out.results.len(), a.record_count());
+    }
+
+    #[test]
+    fn pira_message_cost_tracks_paper_formula() {
+        // Average messages ≈ logN + 2n − 2 (§4.3.2); assert the looser
+        // MesgRatio/IncreRatio ≈ 2 shape the paper validates in Figure 6(b).
+        let a = build(1000, 66);
+        let mut rng = simnet::rng_from_seed(660);
+        let mut mesg_ratios = Vec::new();
+        let mut incre_ratios = Vec::new();
+        for q in 0..300 {
+            let lo = rng.gen_range(0.0..900.0);
+            let origin = a.net().random_peer(&mut rng);
+            let out = a.pira_query(origin, lo, lo + 100.0, q).unwrap();
+            mesg_ratios.push(out.metrics.mesg_ratio());
+            incre_ratios.push(out.metrics.incre_ratio(a.net().len()));
+        }
+        let avg_mesg = mesg_ratios.iter().sum::<f64>() / mesg_ratios.len() as f64;
+        let avg_incre = incre_ratios.iter().sum::<f64>() / incre_ratios.len() as f64;
+        assert!((1.0..3.0).contains(&avg_mesg), "MesgRatio {avg_mesg}");
+        assert!((1.0..2.5).contains(&avg_incre), "IncreRatio {avg_incre}");
+    }
+
+    #[test]
+    fn pira_from_every_origin_small_net() {
+        let a = build(40, 67);
+        for origin in a.net().live_peers() {
+            let out = a.pira_query(origin, 250.0, 350.0, origin as u64).unwrap();
+            assert!(out.metrics.exact, "origin {origin}");
+            assert_eq!(out.results, a.expected_results(250.0, 350.0));
+        }
+    }
+
+    #[test]
+    fn pira_rejects_dead_origin_and_empty_range() {
+        let a = build(30, 68);
+        let err = a.pira_query(usize::MAX, 0.0, 1.0, 1).unwrap_err();
+        assert!(matches!(err, crate::ArmadaError::BadOrigin { .. }));
+        let origin = a.net().live_peers().next().unwrap();
+        assert!(a.pira_query(origin, 5.0, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn pira_under_message_loss_degrades_gracefully() {
+        let a = build(300, 69);
+        let mut rng = simnet::rng_from_seed(690);
+        let faults = simnet::FaultPlan::with_drop_prob(0.10);
+        let mut recalls = Vec::new();
+        for q in 0..100 {
+            let lo = rng.gen_range(0.0..800.0);
+            let origin = a.net().random_peer(&mut rng);
+            let out = a
+                .pira_query_with_faults(origin, lo, lo + 150.0, q, &faults)
+                .unwrap();
+            recalls.push(out.metrics.peer_recall());
+            assert!(out.metrics.reached_peers <= out.metrics.dest_peers);
+        }
+        let avg = recalls.iter().sum::<f64>() / recalls.len() as f64;
+        // 10% loss on a tree: some subtrees vanish, but most peers answer.
+        assert!(avg > 0.5, "recall collapsed to {avg}");
+        assert!(avg < 1.0, "drops must actually hurt somewhere");
+    }
+}

@@ -1,0 +1,135 @@
+//! Sequential-walk reference baseline: the `O(logN + n)` delay class of
+//! Skip Graph / SkipNet / SCRAP (Table 1), modelled over the same data
+//! placement as Armada.
+//!
+//! Those systems keep a sorted level-0 linked list of peers, route to the
+//! range's first peer in `O(logN)` hops, then hand the query peer-to-peer
+//! down the list — so delay grows linearly with the number of destination
+//! peers `n`. FISSIONE itself maintains no successor pointers; this module
+//! *simulates* such a scheme by exploiting the fact that region-intersecting
+//! peers are contiguous in PeerID order, charging one hop per successor
+//! step exactly as the linked-list scheme would pay. It exists to give
+//! Table 1's `O(logN + n)` row a measured counterpart — it is **not** part
+//! of Armada.
+
+use crate::{ArmadaError, QueryMetrics, QueryOutcome, RecordId, SingleArmada};
+use std::collections::BTreeSet;
+
+/// Executes a sequential range walk: route to the first destination, then
+/// traverse the destination run peer by peer.
+///
+/// # Errors
+///
+/// Returns [`ArmadaError::BadOrigin`] for dead origins and naming errors
+/// for empty ranges.
+pub fn query(
+    armada: &SingleArmada,
+    origin: simnet::NodeId,
+    lo: f64,
+    hi: f64,
+) -> Result<QueryOutcome, ArmadaError> {
+    let net = armada.net();
+    if !net.is_live(origin) {
+        return Err(ArmadaError::BadOrigin { origin });
+    }
+    let region = armada.naming().region(lo, hi)?;
+    let destinations = net.peers_intersecting_range(region.low(), region.high())?;
+    let truth: BTreeSet<simnet::NodeId> = destinations.iter().copied().collect();
+
+    // Phase 1: DHT-route to the first destination (the owner of LowT).
+    let route = net.route(origin, region.low())?;
+    debug_assert_eq!(Some(&route.dest()), destinations.first());
+    let mut messages = route.hops() as u64;
+    let mut delay = route.hops() as u32;
+
+    // Phase 2: walk the contiguous destination run, one hop per successor.
+    let mut results: BTreeSet<RecordId> = BTreeSet::new();
+    for (i, &peer) in destinations.iter().enumerate() {
+        if i > 0 {
+            messages += 1;
+            delay += 1;
+        }
+        let p = net.peer(peer).expect("live");
+        for (_oid, handles) in p.objects_in_range(region.low(), region.high()) {
+            for &h in handles {
+                let record = RecordId(h);
+                let v = armada.value(record);
+                if v >= lo && v <= hi {
+                    results.insert(record);
+                }
+            }
+        }
+    }
+
+    Ok(QueryOutcome {
+        results: results.into_iter().collect(),
+        metrics: QueryMetrics {
+            delay,
+            messages,
+            dest_peers: truth.len(),
+            reached_peers: truth.len(),
+            exact: true,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SingleArmada;
+    use fissione::FissioneConfig;
+    use rand::Rng;
+
+    fn build(n: usize, records: usize, seed: u64) -> SingleArmada {
+        let cfg = FissioneConfig { object_id_len: 24, ..FissioneConfig::default() };
+        let mut rng = simnet::rng_from_seed(seed);
+        let mut a = SingleArmada::build_with(cfg, n, 0.0, 1000.0, &mut rng).unwrap();
+        for _ in 0..records {
+            let v: f64 = rng.gen_range(0.0..=1000.0);
+            a.publish(v);
+        }
+        a
+    }
+
+    #[test]
+    fn seqwalk_returns_the_same_results_as_pira() {
+        let a = build(200, 500, 121);
+        let mut rng = simnet::rng_from_seed(1210);
+        for q in 0..30 {
+            let lo: f64 = rng.gen_range(0.0..900.0);
+            let hi = lo + rng.gen_range(0.5..100.0);
+            let origin = a.net().random_peer(&mut rng);
+            let walk = super::query(&a, origin, lo, hi).unwrap();
+            let pira = a.pira_query(origin, lo, hi, q).unwrap();
+            assert_eq!(walk.results, pira.results, "query [{lo}, {hi}]");
+            assert_eq!(walk.metrics.dest_peers, pira.metrics.dest_peers);
+        }
+    }
+
+    #[test]
+    fn seqwalk_delay_grows_linearly_with_destinations() {
+        let a = build(500, 0, 122);
+        let mut rng = simnet::rng_from_seed(1220);
+        let origin = a.net().random_peer(&mut rng);
+        let small = super::query(&a, origin, 500.0, 510.0).unwrap();
+        let large = super::query(&a, origin, 100.0, 900.0).unwrap();
+        // delay ≈ route + (n − 1): the large query pays for every peer.
+        assert!(large.metrics.delay as usize >= large.metrics.dest_peers - 1);
+        assert!(large.metrics.delay > 4 * small.metrics.delay);
+    }
+
+    #[test]
+    fn seqwalk_delay_is_about_log_n_plus_destinations() {
+        let a = build(400, 0, 123);
+        let mut rng = simnet::rng_from_seed(1230);
+        let log_n = (400f64).log2();
+        for _ in 0..20 {
+            let lo: f64 = rng.gen_range(0.0..800.0);
+            let origin = a.net().random_peer(&mut rng);
+            let out = super::query(&a, origin, lo, lo + 100.0).unwrap();
+            let n = out.metrics.dest_peers as f64;
+            let d = f64::from(out.metrics.delay);
+            assert!(d >= n - 1.0);
+            assert!(d <= 2.0 * log_n + n, "delay {d} for n {n}");
+        }
+    }
+}

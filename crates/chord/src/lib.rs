@@ -1,0 +1,239 @@
+//! Chord (Stoica et al., ToN 2003), simulated: a 2⁶⁴ identifier ring with
+//! successor lists and finger tables.
+//!
+//! In this workspace Chord serves as the *O(log N)-degree* contrast
+//! substrate: PHT runs over both Chord and FISSIONE to show the layered
+//! scheme's costs on either side of Table 1's degree divide.
+//!
+//! # Example
+//!
+//! ```
+//! use chord::ChordNet;
+//! use dht_api::Dht;
+//!
+//! let mut rng = simnet::rng_from_seed(3);
+//! let net = ChordNet::build(128, &mut rng);
+//! let lookup = net.route_key(net.any_node(), 0xdead_beef);
+//! assert!(lookup.hops as f64 <= 2.0 * 128f64.log2());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dht_api::{Dht, Lookup};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simnet::NodeId;
+
+const RING_BITS: u32 = 64;
+
+/// A simulated Chord ring.
+///
+/// Node ids are uniform random 64-bit identifiers; key `k` is owned by its
+/// **successor** (the first node clockwise at or after `k`). Fingers are
+/// exact (the network is built in a converged state, as the paper's
+/// steady-state analysis assumes).
+#[derive(Debug, Clone)]
+pub struct ChordNet {
+    /// Sorted ring identifiers; index in this vector = `NodeId`.
+    ids: Vec<u64>,
+    /// `fingers[n][i]` = node owning `ids[n] + 2^i`.
+    fingers: Vec<Vec<NodeId>>,
+}
+
+impl ChordNet {
+    /// Builds a converged `n`-node ring with random identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn build(n: usize, rng: &mut SmallRng) -> Self {
+        assert!(n > 0, "a Chord ring needs at least one node");
+        let mut ids: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        while ids.len() < n {
+            let extra: u64 = rng.gen();
+            if let Err(pos) = ids.binary_search(&extra) {
+                ids.insert(pos, extra);
+            }
+        }
+        let mut net = ChordNet { ids, fingers: Vec::new() };
+        net.rebuild_fingers();
+        net
+    }
+
+    fn rebuild_fingers(&mut self) {
+        let n = self.ids.len();
+        self.fingers = (0..n)
+            .map(|i| {
+                (0..RING_BITS)
+                    .map(|b| self.successor_of(self.ids[i].wrapping_add(1u64 << b)))
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// The node owning `point` (its successor on the ring).
+    pub fn successor_of(&self, point: u64) -> NodeId {
+        match self.ids.binary_search(&point) {
+            Ok(i) => i,
+            Err(i) if i == self.ids.len() => 0, // wrap
+            Err(i) => i,
+        }
+    }
+
+    /// The ring identifier of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown node ids.
+    pub fn id_of(&self, node: NodeId) -> u64 {
+        self.ids[node]
+    }
+
+    /// Whether `x` lies in the half-open clockwise interval `(a, b]`.
+    fn in_interval(a: u64, b: u64, x: u64) -> bool {
+        if a < b {
+            x > a && x <= b
+        } else {
+            x > a || x <= b // wrapped
+        }
+    }
+
+    /// Greedy finger routing from `from` to the owner of ring point `key`.
+    pub fn route_point(&self, from: NodeId, key: u64) -> Lookup {
+        let owner = self.successor_of(key);
+        let mut cur = from;
+        let mut hops = 0usize;
+        while cur != owner {
+            // If the owner is our direct successor, one hop finishes.
+            let succ = self.fingers[cur][0];
+            if Self::in_interval(self.ids[cur], self.ids[succ], key) {
+                debug_assert_eq!(succ, owner);
+                hops += 1;
+                break;
+            }
+            // Otherwise jump through the farthest finger preceding the key.
+            let mut next = succ;
+            for b in (0..RING_BITS as usize).rev() {
+                let f = self.fingers[cur][b];
+                if f != cur && Self::in_interval(self.ids[cur], key, self.ids[f]) {
+                    next = f;
+                    break;
+                }
+            }
+            if next == cur {
+                next = succ;
+            }
+            cur = next;
+            hops += 1;
+            debug_assert!(hops <= self.ids.len(), "routing must terminate");
+        }
+        Lookup { owner, hops }
+    }
+}
+
+impl Dht for ChordNet {
+    fn route_key(&self, from: NodeId, key: u64) -> Lookup {
+        self.route_point(from, key)
+    }
+
+    fn owner_of_key(&self, key: u64) -> NodeId {
+        self.successor_of(key)
+    }
+
+    fn any_node(&self) -> NodeId {
+        0
+    }
+
+    fn random_node(&self, rng: &mut SmallRng) -> NodeId {
+        rng.gen_range(0..self.ids.len())
+    }
+
+    fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "chord"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize, seed: u64) -> ChordNet {
+        let mut rng = simnet::rng_from_seed(seed);
+        ChordNet::build(n, &mut rng)
+    }
+
+    #[test]
+    fn ownership_is_clockwise_successor() {
+        let net = build(50, 1);
+        let mut rng = simnet::rng_from_seed(10);
+        for _ in 0..200 {
+            let key: u64 = rng.gen();
+            let owner = net.successor_of(key);
+            // No node lies strictly between key and its owner clockwise.
+            for n in 0..net.node_count() {
+                if n != owner {
+                    assert!(
+                        !ChordNet::in_interval(key.wrapping_sub(1), net.id_of(owner), net.id_of(n))
+                            || net.id_of(n) == key,
+                        "node {n} preempts owner"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner_from_everywhere() {
+        let net = build(200, 2);
+        let mut rng = simnet::rng_from_seed(20);
+        for _ in 0..300 {
+            let key: u64 = rng.gen();
+            let from = net.random_node(&mut rng);
+            let lookup = net.route_point(from, key);
+            assert_eq!(lookup.owner, net.successor_of(key));
+        }
+    }
+
+    #[test]
+    fn hops_scale_logarithmically() {
+        let mut rng = simnet::rng_from_seed(30);
+        for &n in &[64usize, 256, 1024] {
+            let net = build(n, 3 + n as u64);
+            let mut total = 0usize;
+            let queries = 300;
+            for _ in 0..queries {
+                let key: u64 = rng.gen();
+                let from = net.random_node(&mut rng);
+                total += net.route_point(from, key).hops;
+            }
+            let avg = total as f64 / queries as f64;
+            let log_n = (n as f64).log2();
+            // Chord's average is ~½·log₂N; allow generous slack.
+            assert!(avg < log_n, "N={n}: avg {avg} ≥ log2N {log_n}");
+            assert!(avg > 0.25 * log_n, "N={n}: avg {avg} suspiciously low");
+        }
+    }
+
+    #[test]
+    fn self_route_costs_zero() {
+        let net = build(20, 4);
+        let key = 42u64;
+        let owner = net.successor_of(key);
+        assert_eq!(net.route_point(owner, key).hops, 0);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let net = build(1, 5);
+        assert_eq!(net.successor_of(0), 0);
+        assert_eq!(net.successor_of(u64::MAX), 0);
+        assert_eq!(net.route_point(0, 12345).hops, 0);
+    }
+}

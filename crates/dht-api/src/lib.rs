@@ -1,0 +1,77 @@
+//! Common abstractions for *general* (layered) range-query schemes.
+//!
+//! The Armada paper's taxonomy (§2) distinguishes schemes that modify the
+//! DHT from **general** schemes built entirely on the standard exact-match
+//! interface. PHT is the canonical general scheme that runs on *any* DHT;
+//! this crate defines the minimal interface it needs — keyed routing with
+//! hop accounting — implemented by both [`fissione`](https://crates.io)
+//! (constant degree) and `chord` (logarithmic degree) in this workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use simnet::NodeId;
+
+/// A routed exact-match lookup: the owner found and the overlay hops paid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Peer responsible for the key.
+    pub owner: NodeId,
+    /// Overlay hops from the source to the owner.
+    pub hops: usize,
+}
+
+/// The exact-match interface a layered scheme consumes.
+///
+/// Keys are opaque `u64`s (layered schemes hash their labels into this
+/// space); the DHT maps each key deterministically onto one live peer.
+pub trait Dht {
+    /// Routes from `from` to the peer owning `key`.
+    fn route_key(&self, from: NodeId, key: u64) -> Lookup;
+
+    /// The peer owning `key` (no routing cost).
+    fn owner_of_key(&self, key: u64) -> NodeId {
+        // Routing from the owner itself costs zero hops; implementations
+        // may override with a direct lookup.
+        let probe = self.route_key(self.any_node(), key);
+        probe.owner
+    }
+
+    /// Some live peer (used as a default probe source).
+    fn any_node(&self) -> NodeId;
+
+    /// A uniformly random live peer.
+    fn random_node(&self, rng: &mut SmallRng) -> NodeId;
+
+    /// Number of live peers.
+    fn node_count(&self) -> usize;
+
+    /// Human-readable substrate name (for experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+/// FNV-1a hash used by layered schemes to map labels into the key space —
+/// deterministic across runs, unlike `std`'s `DefaultHasher` seeds.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_deterministic_and_spreads() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_ne!(fnv1a(b"0"), fnv1a(b"00"));
+        // Known FNV-1a vector.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

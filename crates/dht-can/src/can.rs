@@ -1,0 +1,483 @@
+//! The CAN torus: zones, joins, adjacency, greedy routing, storage.
+
+use crate::CanError;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simnet::NodeId;
+
+/// An axis-aligned half-open rectangle `[x0,x1) × [y0,y1)` in the unit
+/// square. All coordinates are dyadic (produced by midpoint splits), so
+/// `f64` arithmetic on them is exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x0: f64,
+    /// Right edge (exclusive).
+    pub x1: f64,
+    /// Bottom edge (inclusive).
+    pub y0: f64,
+    /// Top edge (exclusive).
+    pub y1: f64,
+}
+
+impl Rect {
+    /// The unit square.
+    pub const UNIT: Rect = Rect { x0: 0.0, x1: 1.0, y0: 0.0, y1: 1.0 };
+
+    /// Whether a point lies inside (half-open edges).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Whether two rectangles overlap with positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Squared torus distance from a point to this rectangle.
+    pub fn torus_dist2(&self, x: f64, y: f64) -> f64 {
+        let dx = axis_dist(x, self.x0, self.x1);
+        let dy = axis_dist(y, self.y0, self.y1);
+        dx * dx + dy * dy
+    }
+
+    /// Width × height.
+    pub fn area(&self) -> f64 {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+}
+
+/// Circular distance from coordinate `p` to the interval `[lo, hi)` on the
+/// unit torus.
+fn axis_dist(p: f64, lo: f64, hi: f64) -> f64 {
+    if p >= lo && p < hi {
+        return 0.0;
+    }
+    let to_lo = circ_dist(p, lo);
+    let to_hi = circ_dist(p, hi);
+    to_lo.min(to_hi)
+}
+
+/// Circular distance between two coordinates on the unit torus.
+fn circ_dist(a: f64, b: f64) -> f64 {
+    let d = (a - b).abs();
+    d.min(1.0 - d)
+}
+
+/// Whether intervals `[a0,a1)` and `[b0,b1)` abut on the unit circle
+/// (share an endpoint, including the 1.0 ≡ 0.0 wrap).
+fn abuts(a0: f64, a1: f64, b0: f64, b1: f64) -> bool {
+    let eq = |u: f64, v: f64| u == v || (u == 1.0 && v == 0.0) || (u == 0.0 && v == 1.0);
+    eq(a1, b0) || eq(b1, a0)
+}
+
+/// Whether intervals overlap with positive length (no wrap: zone edges
+/// never wrap because zones subdivide the unit square).
+fn overlaps(a0: f64, a1: f64, b0: f64, b1: f64) -> bool {
+    a0 < b1 && b0 < a1
+}
+
+/// One CAN zone: its rectangle and locally stored records.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    rect: Rect,
+    /// `(value, handle)` records whose curve point falls in this zone.
+    records: Vec<(f64, u64)>,
+}
+
+impl Zone {
+    /// The zone's rectangle.
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+
+    /// Records stored at this zone.
+    pub fn records(&self) -> &[(f64, u64)] {
+        &self.records
+    }
+}
+
+/// Configuration of a CAN network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanConfig {
+    /// Hilbert curve order: the attribute interval is mapped onto a
+    /// `2^order × 2^order` cell grid. 20 gives ~10⁻¹² value resolution.
+    pub hilbert_order: u32,
+    /// Attribute domain lower bound.
+    pub domain_lo: f64,
+    /// Attribute domain upper bound.
+    pub domain_hi: f64,
+}
+
+impl Default for CanConfig {
+    fn default() -> Self {
+        CanConfig { hilbert_order: 20, domain_lo: 0.0, domain_hi: 1000.0 }
+    }
+}
+
+/// A 2-d CAN whose zones tile the unit torus, with the attribute interval
+/// mapped in by a Hilbert curve (the Andrzejak–Xu substrate).
+#[derive(Debug, Clone)]
+pub struct CanNet {
+    cfg: CanConfig,
+    zones: Vec<Zone>,
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl CanNet {
+    /// Creates a single-zone network owning the whole square.
+    pub fn new(cfg: CanConfig) -> Self {
+        CanNet {
+            cfg,
+            zones: vec![Zone { rect: Rect::UNIT, records: Vec::new() }],
+            neighbors: vec![Vec::new()],
+        }
+    }
+
+    /// Builds an `n`-zone network by `n − 1` random joins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::EmptyRange`] if the configured domain is empty.
+    pub fn build(cfg: CanConfig, n: usize, rng: &mut SmallRng) -> Result<Self, CanError> {
+        if !(cfg.domain_lo < cfg.domain_hi) {
+            return Err(CanError::EmptyRange { lo: cfg.domain_lo, hi: cfg.domain_hi });
+        }
+        let mut net = CanNet::new(cfg);
+        while net.len() < n {
+            net.join(rng);
+        }
+        Ok(net)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CanConfig {
+        &self.cfg
+    }
+
+    /// Number of zones (= peers).
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Always false (a CAN has at least one zone).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The zone behind an id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::NoSuchZone`] for unknown ids.
+    pub fn zone(&self, id: NodeId) -> Result<&Zone, CanError> {
+        self.zones.get(id).ok_or(CanError::NoSuchZone { zone: id })
+    }
+
+    /// Neighbor zones (abutting on the torus).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown ids.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[id]
+    }
+
+    /// A uniformly random zone id.
+    pub fn random_zone(&self, rng: &mut SmallRng) -> NodeId {
+        rng.gen_range(0..self.zones.len())
+    }
+
+    /// The zone owning a point.
+    pub fn owner_of_point(&self, x: f64, y: f64) -> NodeId {
+        // Zones tile the square; linear scan is fine for the simulator's
+        // bootstrap (routing, not scanning, is the measured path).
+        self.zones
+            .iter()
+            .position(|z| z.rect.contains(x, y))
+            .expect("zones tile the unit square")
+    }
+
+    /// Normalises an attribute value to curve parameter `t ∈ [0, 1]`.
+    pub fn normalize(&self, value: f64) -> f64 {
+        ((value - self.cfg.domain_lo) / (self.cfg.domain_hi - self.cfg.domain_lo)).clamp(0.0, 1.0)
+    }
+
+    /// The unit-square point assigned to an attribute value.
+    pub fn point_of_value(&self, value: f64) -> (f64, f64) {
+        let cell = crate::hilbert::cell_of(self.cfg.hilbert_order, self.normalize(value));
+        crate::hilbert::point_of_cell(self.cfg.hilbert_order, cell)
+    }
+
+    /// A new peer joins: picks a random point, splits its owner's zone along
+    /// the longer side; the newcomer takes the half containing the point.
+    /// Returns the newcomer's id.
+    pub fn join(&mut self, rng: &mut SmallRng) -> NodeId {
+        let (px, py) = (rng.gen::<f64>(), rng.gen::<f64>());
+        let owner = self.owner_of_point(px, py);
+        self.split_zone(owner, px, py)
+    }
+
+    /// Splits `owner` at the midpoint of its longer side; the new zone is
+    /// the half containing `(px, py)` and takes the records falling in it.
+    pub fn split_zone(&mut self, owner: NodeId, px: f64, py: f64) -> NodeId {
+        let rect = self.zones[owner].rect;
+        let vertical = (rect.x1 - rect.x0) >= (rect.y1 - rect.y0);
+        let (keep, give) = if vertical {
+            let mid = (rect.x0 + rect.x1) / 2.0;
+            let left = Rect { x1: mid, ..rect };
+            let right = Rect { x0: mid, ..rect };
+            if right.contains(px, py) { (left, right) } else { (right, left) }
+        } else {
+            let mid = (rect.y0 + rect.y1) / 2.0;
+            let bottom = Rect { y1: mid, ..rect };
+            let top = Rect { y0: mid, ..rect };
+            if top.contains(px, py) { (bottom, top) } else { (top, bottom) }
+        };
+
+        // Repartition records.
+        let order = self.cfg.hilbert_order;
+        let (lo, hi) = (self.cfg.domain_lo, self.cfg.domain_hi);
+        let point = |value: f64| {
+            let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+            crate::hilbert::point_of_cell(order, crate::hilbert::cell_of(order, t))
+        };
+        let old_records = std::mem::take(&mut self.zones[owner].records);
+        let (kept, given): (Vec<_>, Vec<_>) = old_records
+            .into_iter()
+            .partition(|&(v, _)| {
+                let (x, y) = point(v);
+                keep.contains(x, y)
+            });
+        self.zones[owner].rect = keep;
+        self.zones[owner].records = kept;
+        let newcomer = self.zones.len();
+        self.zones.push(Zone { rect: give, records: given });
+        self.neighbors.push(Vec::new());
+
+        // Recompute adjacency: candidates are the old neighbor set plus the
+        // sibling pair itself.
+        let mut candidates = std::mem::take(&mut self.neighbors[owner]);
+        candidates.push(newcomer);
+        // Drop stale back-references; they are rebuilt below.
+        for &c in &candidates {
+            self.neighbors[c].retain(|&n| n != owner);
+        }
+        for &c in &candidates {
+            if c != owner && self.adjacent(owner, c) {
+                self.neighbors[owner].push(c);
+                self.neighbors[c].push(owner);
+            }
+            if c != newcomer && c != owner && self.adjacent(newcomer, c) {
+                self.neighbors[newcomer].push(c);
+                self.neighbors[c].push(newcomer);
+            }
+        }
+        newcomer
+    }
+
+    /// Whether two zones abut on the torus (share an edge of positive
+    /// length).
+    pub fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        let ra = self.zones[a].rect;
+        let rb = self.zones[b].rect;
+        let x_abut = abuts(ra.x0, ra.x1, rb.x0, rb.x1) && overlaps(ra.y0, ra.y1, rb.y0, rb.y1);
+        let y_abut = abuts(ra.y0, ra.y1, rb.y0, rb.y1) && overlaps(ra.x0, ra.x1, rb.x0, rb.x1);
+        x_abut || y_abut
+    }
+
+    /// Publishes a record: the value's curve point decides the owning zone.
+    /// Returns the zone id.
+    pub fn publish(&mut self, value: f64, handle: u64) -> NodeId {
+        let (x, y) = self.point_of_value(value);
+        let owner = self.owner_of_point(x, y);
+        self.zones[owner].records.push((value, handle));
+        owner
+    }
+
+    /// Greedy routing from `from` to the owner of point `(x, y)`: each hop
+    /// moves to the neighbor strictly closer (torus rect distance) to the
+    /// target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::RoutingStuck`] if no neighbor improves (cannot
+    /// happen on a well-formed tiling).
+    pub fn route_to_point(&self, from: NodeId, x: f64, y: f64) -> Result<Vec<NodeId>, CanError> {
+        let mut path = vec![from];
+        let mut cur = from;
+        let mut cur_d = self.zones[cur].rect.torus_dist2(x, y);
+        while cur_d > 0.0 {
+            let next = self.neighbors[cur]
+                .iter()
+                .copied()
+                .map(|n| (self.zones[n].rect.torus_dist2(x, y), n))
+                .min_by(|a, b| a.partial_cmp(b).expect("distances are finite"))
+                .filter(|&(d, _)| d < cur_d);
+            match next {
+                Some((d, n)) => {
+                    cur = n;
+                    cur_d = d;
+                    path.push(n);
+                }
+                None => return Err(CanError::RoutingStuck),
+            }
+        }
+        Ok(path)
+    }
+
+    /// Verifies the tiling invariants: zones cover the unit square exactly
+    /// (areas sum to 1 and are pairwise disjoint) and the adjacency lists
+    /// are symmetric and correct.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on violation (test helper).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let total: f64 = self.zones.iter().map(|z| z.rect.area()).sum();
+        if (total - 1.0).abs() > 1e-12 {
+            return Err(format!("zone areas sum to {total}"));
+        }
+        for i in 0..self.zones.len() {
+            for j in (i + 1)..self.zones.len() {
+                if self.zones[i].rect.intersects(&self.zones[j].rect) {
+                    return Err(format!("zones {i} and {j} overlap"));
+                }
+            }
+        }
+        for a in 0..self.zones.len() {
+            for &b in &self.neighbors[a] {
+                if !self.adjacent(a, b) {
+                    return Err(format!("{a} lists non-adjacent {b}"));
+                }
+                if !self.neighbors[b].contains(&a) {
+                    return Err(format!("asymmetric adjacency {a} / {b}"));
+                }
+            }
+            // Completeness: every adjacent zone is listed.
+            for b in 0..self.zones.len() {
+                if b != a && self.adjacent(a, b) && !self.neighbors[a].contains(&b) {
+                    return Err(format!("{a} misses adjacent {b}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize, seed: u64) -> CanNet {
+        let mut rng = simnet::rng_from_seed(seed);
+        CanNet::build(CanConfig::default(), n, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn build_satisfies_tiling_invariants() {
+        for n in [1usize, 2, 3, 10, 64, 100] {
+            let net = build(n, n as u64);
+            assert_eq!(net.len(), n);
+            net.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn average_degree_about_four() {
+        let net = build(500, 81);
+        let total: usize = (0..net.len()).map(|z| net.neighbors(z).len()).sum();
+        let avg = total as f64 / net.len() as f64;
+        assert!((3.0..6.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn owner_of_point_is_unique() {
+        let net = build(60, 82);
+        let mut rng = simnet::rng_from_seed(820);
+        for _ in 0..200 {
+            let (x, y) = (rng.gen::<f64>(), rng.gen::<f64>());
+            let owner = net.owner_of_point(x, y);
+            let holders = (0..net.len())
+                .filter(|&z| net.zone(z).unwrap().rect().contains(x, y))
+                .count();
+            assert_eq!(holders, 1);
+            assert!(net.zone(owner).unwrap().rect().contains(x, y));
+        }
+    }
+
+    #[test]
+    fn routing_reaches_any_point() {
+        let net = build(300, 83);
+        let mut rng = simnet::rng_from_seed(830);
+        for _ in 0..100 {
+            let (x, y) = (rng.gen::<f64>(), rng.gen::<f64>());
+            let from = net.random_zone(&mut rng);
+            let path = net.route_to_point(from, x, y).unwrap();
+            let dest = *path.last().unwrap();
+            assert!(net.zone(dest).unwrap().rect().contains(x, y));
+        }
+    }
+
+    #[test]
+    fn routing_hops_scale_as_sqrt_n() {
+        // CAN delay is Θ(√N) for d = 2; check the trend loosely.
+        let mut rng = simnet::rng_from_seed(840);
+        let mut avgs = Vec::new();
+        for &n in &[100usize, 400, 1600] {
+            let net = build(n, 84 + n as u64);
+            let mut total = 0usize;
+            for _ in 0..200 {
+                let (x, y) = (rng.gen::<f64>(), rng.gen::<f64>());
+                let from = net.random_zone(&mut rng);
+                total += net.route_to_point(from, x, y).unwrap().len() - 1;
+            }
+            avgs.push(total as f64 / 200.0);
+        }
+        assert!(avgs[1] > avgs[0] * 1.4, "no √N growth: {avgs:?}");
+        assert!(avgs[2] > avgs[1] * 1.4, "no √N growth: {avgs:?}");
+    }
+
+    #[test]
+    fn publish_stores_at_curve_owner() {
+        let mut net = build(50, 85);
+        let z = net.publish(123.0, 7);
+        let (x, y) = net.point_of_value(123.0);
+        assert_eq!(net.owner_of_point(x, y), z);
+        assert!(net.zone(z).unwrap().records().contains(&(123.0, 7)));
+    }
+
+    #[test]
+    fn close_values_map_to_close_points() {
+        // Hilbert locality: nearby values land in nearby cells.
+        let net = build(10, 86);
+        let (x1, y1) = net.point_of_value(500.0);
+        let (x2, y2) = net.point_of_value(500.001);
+        let dist = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt();
+        assert!(dist < 0.01, "distance {dist}");
+    }
+
+    #[test]
+    fn split_repartitions_records() {
+        let mut net = CanNet::new(CanConfig::default());
+        let mut rng = simnet::rng_from_seed(87);
+        for h in 0..100u64 {
+            net.publish(rng.gen_range(0.0..1000.0), h);
+        }
+        for _ in 0..20 {
+            net.join(&mut rng);
+        }
+        net.check_invariants().unwrap();
+        let total: usize = (0..net.len())
+            .map(|z| net.zone(z).unwrap().records().len())
+            .sum();
+        assert_eq!(total, 100);
+        // Every record sits in the zone containing its curve point.
+        for z in 0..net.len() {
+            for &(v, _) in net.zone(z).unwrap().records() {
+                let (x, y) = net.point_of_value(v);
+                assert!(net.zone(z).unwrap().rect().contains(x, y));
+            }
+        }
+    }
+}

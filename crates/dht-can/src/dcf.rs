@@ -1,0 +1,327 @@
+//! DCF range queries: route to the median, then flood the range's image
+//! (Andrzejak & Xu's directed controlled flooding).
+//!
+//! A query `[lo, hi]` maps to the Hilbert-curve segment of its normalised
+//! endpoints; the segment's aligned-block decomposition gives the square
+//! footprint the flood must cover. The query first routes greedily to the
+//! zone owning the **median** value, then spreads over every zone whose
+//! rectangle intersects the footprint:
+//!
+//! * [`FloodMode::Directed`] — each message piggybacks the set of zones
+//!   already informed along its branch, so a zone never forwards to a zone
+//!   its branch has seen (the "controlled" part; residual duplicates across
+//!   independent branches remain, as in the original).
+//! * [`FloodMode::Naive`] — forward to every intersecting neighbor
+//!   unconditionally; receivers dedup. The `ablation_flood` experiment
+//!   quantifies the difference.
+//!
+//! Delay = median-routing hops + flood eccentricity. Both grow with `√N`,
+//! and the second also grows with the queried range — the behaviour the
+//! Armada paper's Figures 5 and 7 contrast with PIRA.
+
+use crate::{CanError, CanNet, Rect};
+use simnet::{Envelope, FaultPlan, NodeId, Sim};
+use std::collections::BTreeSet;
+
+/// Duplicate-suppression strategy for the flooding phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodMode {
+    /// Directed controlled flooding: piggyback informed sets.
+    Directed,
+    /// Plain flooding with receiver-side dedup only.
+    Naive,
+}
+
+/// Result of a DCF range query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcfOutcome {
+    /// Handles of records whose value lies in the queried range, ascending.
+    pub results: Vec<u64>,
+    /// Max hop depth among destination-zone deliveries (routing + flood).
+    pub delay: u32,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Ground-truth destination zone count.
+    pub dest_zones: usize,
+    /// Destination zones that answered.
+    pub reached_zones: usize,
+    /// Whether every ground-truth zone answered.
+    pub exact: bool,
+}
+
+#[derive(Debug, Clone)]
+enum DcfMsg {
+    /// Greedy routing toward the median point.
+    Route,
+    /// Flooding phase; `informed` = zones this branch already covered.
+    Flood { informed: Vec<NodeId> },
+}
+
+/// Executes a DCF range query from `origin` over `[lo, hi]`.
+///
+/// # Errors
+///
+/// Returns [`CanError::EmptyRange`] if `lo > hi` and
+/// [`CanError::NoSuchZone`] for dead origins.
+pub fn range_query(
+    net: &CanNet,
+    origin: NodeId,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+    mode: FloodMode,
+) -> Result<DcfOutcome, CanError> {
+    range_query_with_faults(net, origin, lo, hi, seed, mode, &FaultPlan::new())
+}
+
+/// [`range_query`] under a fault plan (message drops / crashed zones).
+///
+/// # Errors
+///
+/// Same conditions as [`range_query`].
+pub fn range_query_with_faults(
+    net: &CanNet,
+    origin: NodeId,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+    mode: FloodMode,
+    faults: &FaultPlan,
+) -> Result<DcfOutcome, CanError> {
+    if lo > hi {
+        return Err(CanError::EmptyRange { lo, hi });
+    }
+    net.zone(origin)?;
+    let order = net.config().hilbert_order;
+
+    // The query's image: curve cells of the normalised range, decomposed
+    // into aligned squares.
+    let ta = crate::hilbert::cell_of(order, net.normalize(lo));
+    let tb = crate::hilbert::cell_of(order, net.normalize(hi));
+    let boxes: Vec<Rect> = crate::hilbert::interval_blocks(order, ta, tb)
+        .into_iter()
+        .map(|b| b.to_unit_rect(order))
+        .collect();
+    let hits = |zone: NodeId| -> bool {
+        let r = net.zone(zone).expect("live zone").rect();
+        boxes.iter().any(|b| r.intersects(b))
+    };
+
+    // Ground truth.
+    let truth: BTreeSet<NodeId> = (0..net.len()).filter(|&z| hits(z)).collect();
+
+    // Median target point.
+    let (mx, my) = net.point_of_value((lo + hi) / 2.0);
+
+    let mut sim: Sim<DcfMsg> = Sim::new(seed).with_faults(faults.clone());
+    sim.send(origin, origin, 0, DcfMsg::Route);
+
+    let mut answered: BTreeSet<NodeId> = BTreeSet::new();
+    let mut results: BTreeSet<u64> = BTreeSet::new();
+    let mut delay: u32 = 0;
+    sim.run(|sim, env: Envelope<DcfMsg>| {
+        let node = env.to;
+        match &env.payload {
+            DcfMsg::Route => {
+                let rect = net.zone(node).expect("live").rect();
+                if rect.torus_dist2(mx, my) > 0.0 {
+                    // Continue greedy routing.
+                    let next = net
+                        .neighbors(node)
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let da = net.zone(a).expect("live").rect().torus_dist2(mx, my);
+                            let db = net.zone(b).expect("live").rect().torus_dist2(mx, my);
+                            da.partial_cmp(&db).expect("finite")
+                        })
+                        .expect("zones have neighbors");
+                    sim.forward(&env, next, DcfMsg::Route);
+                } else {
+                    // Arrived at the median zone: switch to flooding by
+                    // re-delivering locally as a flood message.
+                    let informed = vec![node];
+                    sim.send(node, node, env.hop, DcfMsg::Flood { informed });
+                }
+            }
+            DcfMsg::Flood { informed } => {
+                if !hits(node) {
+                    return;
+                }
+                let first_visit = answered.insert(node);
+                if first_visit {
+                    delay = delay.max(env.hop);
+                    for &(v, h) in net.zone(node).expect("live").records() {
+                        if v >= lo && v <= hi {
+                            results.insert(h);
+                        }
+                    }
+                } else if mode == FloodMode::Naive {
+                    // Receiver-side dedup: do not re-forward.
+                    return;
+                } else if mode == FloodMode::Directed && !first_visit {
+                    return;
+                }
+                let targets: Vec<NodeId> = net
+                    .neighbors(node)
+                    .iter()
+                    .copied()
+                    .filter(|&n| hits(n))
+                    .filter(|n| match mode {
+                        FloodMode::Directed => !informed.contains(n),
+                        FloodMode::Naive => true,
+                    })
+                    .collect();
+                let new_informed: Vec<NodeId> = match mode {
+                    FloodMode::Directed => {
+                        let mut v = informed.clone();
+                        v.extend(&targets);
+                        v.sort_unstable();
+                        v.dedup();
+                        v
+                    }
+                    FloodMode::Naive => Vec::new(),
+                };
+                for t in targets {
+                    sim.forward(&env, t, DcfMsg::Flood { informed: new_informed.clone() });
+                }
+            }
+        }
+    });
+
+    let reached = answered.len();
+    let exact = answered == truth;
+    Ok(DcfOutcome {
+        results: results.into_iter().collect(),
+        delay,
+        messages: sim.stats().messages_sent,
+        dest_zones: truth.len(),
+        reached_zones: reached,
+        exact,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CanConfig;
+    use rand::Rng;
+
+    fn build(n: usize, records: usize, seed: u64) -> CanNet {
+        let mut rng = simnet::rng_from_seed(seed);
+        let mut net = CanNet::build(CanConfig::default(), n, &mut rng).unwrap();
+        for h in 0..records as u64 {
+            let v: f64 = rng.gen_range(0.0..=1000.0);
+            net.publish(v, h);
+        }
+        net
+    }
+
+    #[test]
+    fn dcf_is_exact_on_random_queries() {
+        let net = build(200, 300, 91);
+        let mut rng = simnet::rng_from_seed(910);
+        for q in 0..50 {
+            let lo: f64 = rng.gen_range(0.0..900.0);
+            let hi = lo + rng.gen_range(0.1..100.0);
+            let origin = net.random_zone(&mut rng);
+            let out = range_query(&net, origin, lo, hi, q, FloodMode::Directed).unwrap();
+            assert!(out.exact, "query [{lo}, {hi}] missed zones");
+            // Result set matches a direct scan.
+            let mut expect: Vec<u64> = (0..net.len())
+                .flat_map(|z| net.zone(z).unwrap().records().to_vec())
+                .filter(|&(v, _)| v >= lo && v <= hi)
+                .map(|(_, h)| h)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(out.results, expect, "query [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn naive_flood_is_also_exact_but_costlier() {
+        let net = build(300, 100, 92);
+        let mut rng = simnet::rng_from_seed(920);
+        let mut directed_total = 0u64;
+        let mut naive_total = 0u64;
+        for q in 0..30 {
+            let lo: f64 = rng.gen_range(0.0..800.0);
+            let hi = lo + 150.0;
+            let origin = net.random_zone(&mut rng);
+            let d = range_query(&net, origin, lo, hi, q, FloodMode::Directed).unwrap();
+            let n = range_query(&net, origin, lo, hi, q, FloodMode::Naive).unwrap();
+            assert!(d.exact && n.exact);
+            assert_eq!(d.results, n.results);
+            directed_total += d.messages;
+            naive_total += n.messages;
+        }
+        assert!(
+            naive_total > directed_total,
+            "naive {naive_total} should exceed directed {directed_total}"
+        );
+    }
+
+    #[test]
+    fn dcf_delay_grows_with_range_size() {
+        // The contrast with PIRA: bigger ranges flood farther.
+        let net = build(2000, 0, 93);
+        let mut rng = simnet::rng_from_seed(930);
+        let avg_delay = |size: f64, rng: &mut rand::rngs::SmallRng| {
+            let mut total = 0u64;
+            let queries = 40;
+            for q in 0..queries {
+                let lo = rng.gen_range(0.0..(1000.0 - size));
+                let origin = net.random_zone(rng);
+                let out =
+                    range_query(&net, origin, lo, lo + size, q, FloodMode::Directed).unwrap();
+                total += u64::from(out.delay);
+            }
+            total as f64 / queries as f64
+        };
+        let small = avg_delay(2.0, &mut rng);
+        let large = avg_delay(300.0, &mut rng);
+        assert!(
+            large > small + 5.0,
+            "delay must grow with range: small {small}, large {large}"
+        );
+    }
+
+    #[test]
+    fn dcf_point_query_is_a_pure_routing() {
+        let net = build(150, 50, 94);
+        let mut rng = simnet::rng_from_seed(940);
+        let origin = net.random_zone(&mut rng);
+        let out = range_query(&net, origin, 500.0, 500.0, 1, FloodMode::Directed).unwrap();
+        assert_eq!(out.dest_zones, 1);
+        assert!(out.exact);
+    }
+
+    #[test]
+    fn dcf_rejects_empty_range() {
+        let net = build(10, 0, 95);
+        assert!(matches!(
+            range_query(&net, 0, 5.0, 1.0, 1, FloodMode::Directed),
+            Err(CanError::EmptyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dcf_message_cost_comparable_to_destinations() {
+        let net = build(500, 0, 96);
+        let mut rng = simnet::rng_from_seed(960);
+        for q in 0..30 {
+            let lo: f64 = rng.gen_range(0.0..700.0);
+            let origin = net.random_zone(&mut rng);
+            let out = range_query(&net, origin, lo, lo + 200.0, q, FloodMode::Directed).unwrap();
+            // Messages ≥ routing + (reached − 1); bounded by a small factor
+            // of the destination count plus the routing path.
+            assert!(out.messages as usize >= out.dest_zones.saturating_sub(1));
+            assert!(
+                (out.messages as f64) < 6.0 * out.dest_zones as f64 + 120.0,
+                "messages {} for {} zones",
+                out.messages,
+                out.dest_zones
+            );
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion benches for the substrate building blocks: naming, routing and
+//! network construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fissione::{FissioneConfig, FissioneNet};
+use kautz::naming::{MultiHash, SingleHash};
+use kautz::KautzStr;
+use rand::Rng;
+
+fn bench_naming(c: &mut Criterion) {
+    let single = SingleHash::new(0.0, 1000.0, 100).unwrap();
+    let multi = MultiHash::new(&[(0.0, 100.0), (0.0, 100.0), (0.0, 100.0)], 100).unwrap();
+    let mut rng = simnet::rng_from_seed(5);
+    c.bench_function("single_hash_k100", |b| {
+        b.iter(|| single.object_id(rng.gen_range(0.0..=1000.0)))
+    });
+    c.bench_function("multiple_hash_m3_k100", |b| {
+        b.iter(|| {
+            multi
+                .object_id(&[
+                    rng.gen_range(0.0..=100.0),
+                    rng.gen_range(0.0..=100.0),
+                    rng.gen_range(0.0..=100.0),
+                ])
+                .unwrap()
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fissione_route");
+    group.sample_size(30);
+    for n in [1000usize, 4000] {
+        let cfg = FissioneConfig { object_id_len: 100, ..FissioneConfig::default() };
+        let mut rng = simnet::rng_from_seed(6 + n as u64);
+        let net = FissioneNet::build(cfg, n, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let target = KautzStr::random(2, 100, &mut rng);
+                let from = net.random_peer(&mut rng);
+                net.route(from, &target).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_build");
+    group.sample_size(10);
+    group.bench_function("fissione_1000", |b| {
+        let cfg = FissioneConfig { object_id_len: 100, ..FissioneConfig::default() };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = simnet::rng_from_seed(seed);
+            FissioneNet::build(cfg, 1000, &mut rng).unwrap()
+        });
+    });
+    group.bench_function("chord_1000", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = simnet::rng_from_seed(seed);
+            chord::ChordNet::build(1000, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_naming, bench_routing, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! A2 ablation: FISSIONE split balancing rules.
+//! Usage: `cargo run --release -p armada-experiments --bin ablation_balance [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::ablations::balance::run(scale).emit("ablation_balance");
+}

@@ -1,0 +1,7 @@
+//! A1 ablation: DCF duplicate suppression vs naive flooding.
+//! Usage: `cargo run --release -p armada-experiments --bin ablation_flood [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::ablations::flood::run(scale).emit("ablation_flood");
+}

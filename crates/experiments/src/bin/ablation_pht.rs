@@ -1,0 +1,7 @@
+//! A3 ablation: PHT over constant- vs logarithmic-degree substrates.
+//! Usage: `cargo run --release -p armada-experiments --bin ablation_pht [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::ablations::pht_substrate::run(scale).emit("ablation_pht");
+}

@@ -1,0 +1,20 @@
+//! Runs every experiment in sequence (the full paper reproduction).
+//! Usage: `cargo run --release -p armada-experiments --bin all_experiments [--quick]`
+
+use armada_experiments as exp;
+
+fn main() {
+    let scale = exp::Scale::from_args();
+    exp::substrate::run(scale).emit("fissione_props");
+    exp::table1::run(scale).emit("table1");
+    exp::figures::fig5::run(scale).emit("fig5");
+    exp::figures::fig6::run(scale).emit("fig6");
+    exp::figures::fig7::run(scale).emit("fig7");
+    exp::figures::fig8::run(scale).emit("fig8");
+    exp::mira_eval::run(scale).emit("mira_bounds");
+    exp::topk_eval::run(scale).emit("topk_eval");
+    exp::ablations::flood::run(scale).emit("ablation_flood");
+    exp::ablations::balance::run(scale).emit("ablation_balance");
+    exp::ablations::pht_substrate::run(scale).emit("ablation_pht");
+    exp::faults::run(scale).emit("fault_tolerance");
+}

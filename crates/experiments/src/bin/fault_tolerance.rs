@@ -1,0 +1,7 @@
+//! R1: PIRA recall under message loss and crashed peers.
+//! Usage: `cargo run --release -p armada-experiments --bin fault_tolerance [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::faults::run(scale).emit("fault_tolerance");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5 (query delay at different range sizes).
+//! Usage: `cargo run --release -p armada-experiments --bin fig5 [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::figures::fig5::run(scale).emit("fig5");
+}

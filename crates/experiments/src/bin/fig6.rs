@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 (messages and ratios at different range sizes).
+//! Usage: `cargo run --release -p armada-experiments --bin fig6 [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::figures::fig6::run(scale).emit("fig6");
+}

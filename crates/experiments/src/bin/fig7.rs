@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 (query delay at different network sizes).
+//! Usage: `cargo run --release -p armada-experiments --bin fig7 [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::figures::fig7::run(scale).emit("fig7");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 8 (messages and ratios at different network sizes).
+//! Usage: `cargo run --release -p armada-experiments --bin fig8 [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::figures::fig8::run(scale).emit("fig8");
+}

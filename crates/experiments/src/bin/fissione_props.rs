@@ -1,0 +1,7 @@
+//! Validates the §3 substrate claims (degree, diameter, routing delay).
+//! Usage: `cargo run --release -p armada-experiments --bin fissione_props [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::substrate::run(scale).emit("fissione_props");
+}

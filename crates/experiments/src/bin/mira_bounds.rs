@@ -1,0 +1,7 @@
+//! Measures the §5 MIRA delay bounds.
+//! Usage: `cargo run --release -p armada-experiments --bin mira_bounds [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::mira_eval::run(scale).emit("mira_bounds");
+}

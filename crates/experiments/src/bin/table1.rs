@@ -1,0 +1,7 @@
+//! Regenerates Table 1 (comparison of general range-query schemes).
+//! Usage: `cargo run --release -p armada-experiments --bin table1 [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::table1::run(scale).emit("table1");
+}

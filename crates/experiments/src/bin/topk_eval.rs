@@ -1,0 +1,7 @@
+//! E1: top-k query evaluation (the paper's §6 future work, measured).
+//! Usage: `cargo run --release -p armada-experiments --bin topk_eval [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::topk_eval::run(scale).emit("topk_eval");
+}

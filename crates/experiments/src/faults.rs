@@ -1,0 +1,121 @@
+//! R1 — robustness: PIRA recall under message loss and crashed peers.
+//!
+//! The paper evaluates fault-free networks; this extension quantifies how
+//! the FRT descent degrades when the overlay misbehaves (a dropped message
+//! prunes a whole subtree), and how FISSIONE's detour routing restores
+//! exact-match lookups around crashes.
+
+use crate::output::Table;
+use crate::{paper, Scale};
+use armada::SingleArmada;
+use fissione::FissioneConfig;
+use rand::Rng;
+use simnet::FaultPlan;
+
+/// Runs the fault-tolerance study.
+pub fn run(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Full => paper::FIG56_N,
+        Scale::Quick => 400,
+    };
+    let queries = scale.queries() / 2;
+    let range = 50.0;
+    let cfg = FissioneConfig {
+        object_id_len: paper::OBJECT_ID_LEN,
+        ..FissioneConfig::default()
+    };
+    let mut rng = simnet::rng_from_seed(0xfa17);
+    let armada = SingleArmada::build_with(cfg, n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng)
+        .expect("build");
+
+    let mut t = Table::new(
+        format!("R1 — PIRA recall under faults (N = {n}, range = {range})"),
+        &["fault", "level", "avg peer recall", "min recall", "avg delay", "exact rate"],
+    );
+
+    // Message loss.
+    for &p in &[0.0f64, 0.02, 0.05, 0.10, 0.20] {
+        let faults = FaultPlan::with_drop_prob(p);
+        let (recall, min_recall, delay, exact) =
+            measure(&armada, &faults, queries, range, &mut rng);
+        t.push_row(vec![
+            "message loss".into(),
+            format!("{:.0}%", p * 100.0),
+            format!("{recall:.3}"),
+            format!("{min_recall:.3}"),
+            format!("{delay:.2}"),
+            format!("{exact:.3}"),
+        ]);
+    }
+
+    // Crashed peers (never the query origin).
+    for &frac in &[0.01f64, 0.05, 0.10] {
+        let mut faults = FaultPlan::new();
+        let crash_count = ((n as f64) * frac) as usize;
+        while faults.crashed_count() < crash_count {
+            faults.crash(armada.net().random_peer(&mut rng));
+        }
+        let (recall, min_recall, delay, exact) =
+            measure(&armada, &faults, queries, range, &mut rng);
+        t.push_row(vec![
+            "crashed peers".into(),
+            format!("{:.0}%", frac * 100.0),
+            format!("{recall:.3}"),
+            format!("{min_recall:.3}"),
+            format!("{delay:.2}"),
+            format!("{exact:.3}"),
+        ]);
+    }
+    t
+}
+
+fn measure(
+    armada: &SingleArmada,
+    faults: &FaultPlan,
+    queries: usize,
+    range: f64,
+    rng: &mut rand::rngs::SmallRng,
+) -> (f64, f64, f64, f64) {
+    let mut recalls = Vec::with_capacity(queries);
+    let mut delay = 0f64;
+    let mut exact = 0usize;
+    let mut ran = 0usize;
+    for q in 0..queries {
+        let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
+        let origin = armada.net().random_peer(rng);
+        if faults.is_crashed(origin) {
+            continue; // a crashed client issues nothing
+        }
+        ran += 1;
+        let out = armada
+            .pira_query_with_faults(origin, lo, lo + range, q as u64, faults)
+            .expect("query runs");
+        recalls.push(out.metrics.peer_recall());
+        delay += f64::from(out.metrics.delay);
+        if out.metrics.exact {
+            exact += 1;
+        }
+    }
+    let avg = recalls.iter().sum::<f64>() / recalls.len().max(1) as f64;
+    let min = recalls.iter().copied().fold(f64::INFINITY, f64::min);
+    (avg, min, delay / ran.max(1) as f64, exact as f64 / ran.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_row_is_perfect_and_loss_degrades() {
+        let t = run(Scale::Quick);
+        // Row 0 is 0% loss: recall 1, exact 1.
+        assert_eq!(t.rows[0][2], "1.000");
+        assert_eq!(t.rows[0][5], "1.000");
+        // 20% loss (row 4) must hurt recall.
+        let heavy: f64 = t.rows[4][2].parse().unwrap();
+        assert!(heavy < 1.0);
+        // More loss ⇒ (weakly) worse recall.
+        let light: f64 = t.rows[1][2].parse().unwrap();
+        assert!(heavy <= light);
+    }
+}

@@ -1,0 +1,87 @@
+//! Experiment harness regenerating every table and figure of the ICDCS'06
+//! Armada paper, plus ablations and robustness studies.
+//!
+//! Every experiment is a library function returning a [`Table`]; the
+//! `src/bin/*` wrappers print the paper-style series and write CSVs to
+//! `target/experiments/`. The mapping from paper artifact to module:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table 1 (scheme comparison) | [`table1`] | `table1` |
+//! | Figure 5 (delay vs range size) | [`figures::fig5`] | `fig5` |
+//! | Figure 6 (messages vs range size) | [`figures::fig6`] | `fig6` |
+//! | Figure 7 (delay vs network size) | [`figures::fig7`] | `fig7` |
+//! | Figure 8 (messages vs network size) | [`figures::fig8`] | `fig8` |
+//! | §3 substrate claims | [`substrate`] | `fissione_props` |
+//! | §5 MIRA analysis | [`mira_eval`] | `mira_bounds` |
+//! | §6 future work (top-k) | [`topk_eval`] | `topk_eval` |
+//! | ablations (ours) | [`ablations`] | `ablation_*` |
+//! | robustness (ours) | [`faults`] | `fault_tolerance` |
+//!
+//! All runs are deterministic given a seed. The paper's setup (§4.3.3) is
+//! the default: attribute interval `[0, 1000]`, 1000 random queries per
+//! measurement, random origins; Figures 5/6 fix `N = 2000` and sweep the
+//! range size over `{2, 10, 50, 100, 150, 200, 250, 300}`; Figures 7/8 fix
+//! the range size at 20 and sweep `N` over `1000..=8000`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod faults;
+pub mod figures;
+pub mod mira_eval;
+pub mod output;
+pub mod substrate;
+pub mod sweeps;
+pub mod table1;
+pub mod topk_eval;
+
+pub use output::Table;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-faithful: 1000 queries per point, full network sizes.
+    Full,
+    /// Reduced: 100 queries per point, smaller sweeps — used by integration
+    /// tests and quick local runs.
+    Quick,
+}
+
+impl Scale {
+    /// Queries per measurement point.
+    pub fn queries(self) -> usize {
+        match self {
+            Scale::Full => 1000,
+            Scale::Quick => 100,
+        }
+    }
+
+    /// Parses `--quick` from CLI arguments (binaries' shared convention).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+}
+
+/// The paper's simulation constants (§4.3.3).
+pub mod paper {
+    /// Attribute interval lower bound.
+    pub const DOMAIN_LO: f64 = 0.0;
+    /// Attribute interval upper bound.
+    pub const DOMAIN_HI: f64 = 1000.0;
+    /// Network size for the range-size sweeps (Figures 5 and 6).
+    pub const FIG56_N: usize = 2000;
+    /// Range sizes swept in Figures 5 and 6.
+    pub const RANGE_SIZES: [f64; 8] = [2.0, 10.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0];
+    /// Range size for the network-size sweeps (Figures 7 and 8).
+    pub const FIG78_RANGE: f64 = 20.0;
+    /// Network sizes swept in Figures 7 and 8.
+    pub const NETWORK_SIZES: [usize; 8] = [1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000];
+    /// ObjectID length (§3: "generally k = 100").
+    pub const OBJECT_ID_LEN: usize = 100;
+}

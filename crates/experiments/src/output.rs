@@ -1,0 +1,148 @@
+//! Table rendering (markdown to stdout, CSV to `target/experiments/`).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A rectangular result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Human-readable experiment title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Formats a float with sensible precision for display.
+    pub fn fmt_f64(x: f64) -> String {
+        if x == x.trunc() && x.abs() < 1e9 {
+            format!("{x:.0}")
+        } else {
+            format!("{x:.2}")
+        }
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV under [`output_dir`] as `<name>.csv` and returns the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = output_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// Prints markdown to stdout and writes the CSV; the binaries' shared
+    /// epilogue.
+    pub fn emit(&self, name: &str) {
+        print!("{}", self.to_markdown());
+        match self.write_csv(name) {
+            Ok(path) => println!("\n[csv] {}\n", path.display()),
+            Err(e) => eprintln!("warning: could not write csv: {e}"),
+        }
+    }
+}
+
+/// Where experiment CSVs land: `target/experiments/` relative to the
+/// workspace (or the current directory when run elsewhere).
+pub fn output_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/experiments; hop to the workspace root.
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("target/experiments")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2.50".into()]);
+        t.push_row(vec!["2".into(), "3.00".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("| 1 | 2.50 |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("T", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_f64_trims_integers() {
+        assert_eq!(Table::fmt_f64(3.0), "3");
+        assert_eq!(Table::fmt_f64(3.14159), "3.14");
+    }
+}

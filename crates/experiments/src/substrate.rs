@@ -1,0 +1,79 @@
+//! §3 substrate validation: FISSIONE's claimed properties — average degree
+//! 4, diameter `< 2·log₂N`, average routing delay `< log₂N`.
+
+use crate::output::Table;
+use crate::{paper, Scale};
+use fissione::{FissioneConfig, FissioneNet};
+
+/// Runs the substrate-property sweep.
+pub fn run(scale: Scale) -> Table {
+    let ns: Vec<usize> = match scale {
+        Scale::Full => paper::NETWORK_SIZES.to_vec(),
+        Scale::Quick => vec![250, 1000],
+    };
+    let route_samples = scale.queries();
+    let mut t = Table::new(
+        "§3 — FISSIONE substrate properties",
+        &[
+            "N",
+            "avg degree",
+            "avg depth",
+            "max depth",
+            "diameter",
+            "avg route hops",
+            "logN",
+            "2logN",
+            "nbhd violations",
+        ],
+    );
+    for n in ns {
+        let cfg = FissioneConfig {
+            object_id_len: paper::OBJECT_ID_LEN,
+            ..FissioneConfig::default()
+        };
+        let mut rng = simnet::rng_from_seed(0x5b57 ^ n as u64);
+        let net = FissioneNet::build(cfg, n, &mut rng).expect("build");
+        let report = net.check_invariants().expect("invariants hold");
+        let depth = net.depth_stats();
+        let degree = net.degree_stats();
+        let routing = net.routing_sample(route_samples, &mut rng);
+        // Exact diameter is O(N·E); sample eccentricities beyond 2000 peers.
+        let diameter = if n <= 2000 {
+            net.diameter()
+        } else {
+            net.diameter_sampled(64, &mut rng)
+        };
+        let log_n = (n as f64).log2();
+        t.push_row(vec![
+            n.to_string(),
+            format!("{:.2}", degree.total.mean),
+            format!("{:.2}", depth.summary.mean),
+            format!("{}", report.max_depth),
+            format!("{diameter}{}", if n <= 2000 { "" } else { " (sampled)" }),
+            format!("{:.2}", routing.hops.mean),
+            format!("{log_n:.2}"),
+            format!("{:.2}", 2.0 * log_n),
+            report.neighborhood_violations.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substrate_claims_hold_quick() {
+        let t = run(Scale::Quick);
+        for row in &t.rows {
+            let max_depth: f64 = row[3].parse().unwrap();
+            let avg_route: f64 = row[5].parse().unwrap();
+            let log_n: f64 = row[6].parse().unwrap();
+            let violations: usize = row[8].parse().unwrap();
+            assert!(max_depth < 2.0 * log_n, "max depth bound, row {row:?}");
+            assert!(avg_route < log_n, "avg routing bound, row {row:?}");
+            assert_eq!(violations, 0, "balanced growth keeps the invariant");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Shared workload runners: the paper's range-size and network-size sweeps
+//! executed against both PIRA (Armada over FISSIONE) and DCF-CAN.
+
+use crate::paper;
+use armada::SingleArmada;
+use dht_can::dcf::{self, FloodMode};
+use dht_can::{CanConfig, CanNet};
+use fissione::FissioneConfig;
+use rand::Rng;
+use simnet::Summary;
+
+/// Aggregated measurements for one sweep point.
+#[derive(Debug, Clone)]
+pub struct PointMetrics {
+    /// Network size `N`.
+    pub n_peers: usize,
+    /// Queried range size (attribute units).
+    pub range_size: f64,
+    /// PIRA delay (hops).
+    pub pira_delay: Summary,
+    /// PIRA message cost.
+    pub pira_messages: Summary,
+    /// Ground-truth destination peers (PIRA side).
+    pub destpeers: Summary,
+    /// `Messages / Destpeers` per query.
+    pub mesg_ratio: Summary,
+    /// `(Messages − log₂N) / (Destpeers − 1)` per query.
+    pub incre_ratio: Summary,
+    /// DCF-CAN delay (hops).
+    pub dcf_delay: Summary,
+    /// DCF-CAN message cost.
+    pub dcf_messages: Summary,
+    /// DCF-CAN destination zones.
+    pub dcf_destzones: Summary,
+    /// Fraction of queries answered exactly (must be 1.0 fault-free).
+    pub exact_rate: f64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Queries per point (the paper averages over 1000).
+    pub queries: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// ObjectID length for FISSIONE.
+    pub object_id_len: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { queries: 1000, seed: 20060704, object_id_len: paper::OBJECT_ID_LEN }
+    }
+}
+
+/// Builds the two substrates at size `n` with a shared seed.
+pub fn build_pair(cfg: &SweepConfig, n: usize) -> (SingleArmada, CanNet) {
+    let fission_cfg = FissioneConfig {
+        object_id_len: cfg.object_id_len,
+        ..FissioneConfig::default()
+    };
+    let mut rng = simnet::rng_from_seed(cfg.seed ^ n as u64);
+    let armada =
+        SingleArmada::build_with(fission_cfg, n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng)
+            .expect("paper-scale networks build");
+    let can_cfg = CanConfig {
+        domain_lo: paper::DOMAIN_LO,
+        domain_hi: paper::DOMAIN_HI,
+        ..CanConfig::default()
+    };
+    let can = CanNet::build(can_cfg, n, &mut rng).expect("paper-scale CAN builds");
+    (armada, can)
+}
+
+/// Runs `cfg.queries` random queries of the given size against both schemes
+/// on pre-built substrates.
+pub fn measure_point(
+    cfg: &SweepConfig,
+    armada: &SingleArmada,
+    can: &CanNet,
+    range_size: f64,
+) -> PointMetrics {
+    let n = armada.net().len();
+    let mut rng = simnet::rng_from_seed(cfg.seed ^ 0x5eed ^ (range_size.to_bits() ^ n as u64));
+    let mut pira_delay = Vec::with_capacity(cfg.queries);
+    let mut pira_messages = Vec::with_capacity(cfg.queries);
+    let mut destpeers = Vec::with_capacity(cfg.queries);
+    let mut mesg_ratio = Vec::with_capacity(cfg.queries);
+    let mut incre_ratio = Vec::with_capacity(cfg.queries);
+    let mut dcf_delay = Vec::with_capacity(cfg.queries);
+    let mut dcf_messages = Vec::with_capacity(cfg.queries);
+    let mut dcf_destzones = Vec::with_capacity(cfg.queries);
+    let mut exact = 0usize;
+
+    for q in 0..cfg.queries {
+        let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range_size));
+        let hi = lo + range_size;
+        let seed = cfg.seed.wrapping_add(q as u64);
+
+        let origin = armada.net().random_peer(&mut rng);
+        let out = armada
+            .pira_query(origin, lo, hi, seed)
+            .expect("fault-free queries succeed");
+        pira_delay.push(f64::from(out.metrics.delay));
+        pira_messages.push(out.metrics.messages as f64);
+        destpeers.push(out.metrics.dest_peers as f64);
+        mesg_ratio.push(out.metrics.mesg_ratio());
+        incre_ratio.push(out.metrics.incre_ratio(n));
+        if out.metrics.exact {
+            exact += 1;
+        }
+
+        let can_origin = can.random_zone(&mut rng);
+        let dcf = dcf::range_query(can, can_origin, lo, hi, seed, FloodMode::Directed)
+            .expect("fault-free queries succeed");
+        dcf_delay.push(f64::from(dcf.delay));
+        dcf_messages.push(dcf.messages as f64);
+        dcf_destzones.push(dcf.dest_zones as f64);
+        if !dcf.exact {
+            // DCF exactness is guaranteed by flood connectivity; surface
+            // violations loudly in experiments.
+            panic!("DCF missed zones on [{lo}, {hi}]");
+        }
+    }
+
+    PointMetrics {
+        n_peers: n,
+        range_size,
+        pira_delay: Summary::from_samples(pira_delay),
+        pira_messages: Summary::from_samples(pira_messages),
+        destpeers: Summary::from_samples(destpeers),
+        mesg_ratio: Summary::from_samples(mesg_ratio),
+        incre_ratio: Summary::from_samples(incre_ratio),
+        dcf_delay: Summary::from_samples(dcf_delay),
+        dcf_messages: Summary::from_samples(dcf_messages),
+        dcf_destzones: Summary::from_samples(dcf_destzones),
+        exact_rate: exact as f64 / cfg.queries.max(1) as f64,
+    }
+}
+
+/// Figure 5/6 workload: fixed `N`, swept range size.
+pub fn range_sweep(cfg: &SweepConfig, n: usize, sizes: &[f64]) -> Vec<PointMetrics> {
+    let (armada, can) = build_pair(cfg, n);
+    sizes
+        .iter()
+        .map(|&s| measure_point(cfg, &armada, &can, s))
+        .collect()
+}
+
+/// Figure 7/8 workload: fixed range size, swept `N`.
+pub fn network_sweep(cfg: &SweepConfig, ns: &[usize], range_size: f64) -> Vec<PointMetrics> {
+    ns.iter()
+        .map(|&n| {
+            let (armada, can) = build_pair(cfg, n);
+            measure_point(cfg, &armada, &can, range_size)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> SweepConfig {
+        SweepConfig { queries: 40, seed: 7, object_id_len: 32 }
+    }
+
+    #[test]
+    fn range_sweep_produces_expected_shape() {
+        let cfg = quick_cfg();
+        let points = range_sweep(&cfg, 400, &[2.0, 100.0]);
+        assert_eq!(points.len(), 2);
+        let log_n = (400f64).log2();
+        for p in &points {
+            assert_eq!(p.exact_rate, 1.0);
+            assert!(p.pira_delay.mean < log_n, "PIRA not delay-bounded");
+        }
+        // DCF delay grows with range size while PIRA stays flat.
+        assert!(points[1].dcf_delay.mean > points[0].dcf_delay.mean);
+        assert!((points[1].pira_delay.mean - points[0].pira_delay.mean).abs() < 3.0);
+        // Destination peers grow with the range.
+        assert!(points[1].destpeers.mean > points[0].destpeers.mean);
+    }
+
+    #[test]
+    fn network_sweep_keeps_pira_logarithmic() {
+        let cfg = quick_cfg();
+        let points = network_sweep(&cfg, &[200, 800], 20.0);
+        for p in &points {
+            let log_n = (p.n_peers as f64).log2();
+            assert!(p.pira_delay.mean < log_n);
+            assert_eq!(p.exact_rate, 1.0);
+        }
+        // DCF delay grows ~√N.
+        assert!(points[1].dcf_delay.mean > points[0].dcf_delay.mean);
+    }
+}

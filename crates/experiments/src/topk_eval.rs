@@ -1,0 +1,81 @@
+//! E1 — top-k query evaluation (the §6 future work, measured): cost of the
+//! expanding-probe algorithm as `k` and the data skew vary.
+
+use crate::output::Table;
+use crate::{paper, Scale};
+use armada::SingleArmada;
+use fissione::FissioneConfig;
+use rand::Rng;
+
+/// Runs the top-k evaluation.
+pub fn run(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Full => paper::FIG56_N,
+        Scale::Quick => 300,
+    };
+    let queries = scale.queries() / 5;
+    let records = 5 * n;
+    let log_n = (n as f64).log2();
+    let mut t = Table::new(
+        format!("E1 — top-k queries (N = {n}, {records} records)"),
+        &["distribution", "k", "avg probes", "avg delay", "per-probe bound 2logN", "avg messages", "exact rate"],
+    );
+    for (dist, skew) in [("uniform", 1), ("skewed (x²)", 2)] {
+        let cfg = FissioneConfig {
+            object_id_len: paper::OBJECT_ID_LEN,
+            ..FissioneConfig::default()
+        };
+        let mut rng = simnet::rng_from_seed(0x70c0 ^ skew as u64);
+        let mut armada =
+            SingleArmada::build_with(cfg, n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng)
+                .expect("build");
+        for _ in 0..records {
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            armada.publish(u.powi(skew) * paper::DOMAIN_HI);
+        }
+        for &k in &[1usize, 10, 100] {
+            let mut probes = 0f64;
+            let mut delay = 0f64;
+            let mut messages = 0f64;
+            let mut exact = 0usize;
+            for q in 0..queries {
+                let origin = armada.net().random_peer(&mut rng);
+                let out = armada.top_k(origin, k, q as u64).expect("query");
+                probes += out.probes as f64;
+                delay += f64::from(out.delay);
+                messages += out.messages as f64;
+                if out.results == armada.expected_top_k(paper::DOMAIN_HI, k) {
+                    exact += 1;
+                }
+            }
+            let qf = queries as f64;
+            t.push_row(vec![
+                dist.into(),
+                k.to_string(),
+                format!("{:.2}", probes / qf),
+                format!("{:.2}", delay / qf),
+                format!("{:.2}", 2.0 * log_n),
+                format!("{:.1}", messages / qf),
+                format!("{:.3}", exact as f64 / qf),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_eval_is_exact_and_cheap() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            let exact: f64 = row[6].parse().unwrap();
+            assert_eq!(exact, 1.0, "row {row:?}");
+            let probes: f64 = row[2].parse().unwrap();
+            assert!(probes <= 11.0, "probe count bounded by the doubling depth");
+        }
+    }
+}

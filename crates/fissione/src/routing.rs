@@ -1,0 +1,274 @@
+//! Long-path Kautz routing on variable-length PeerIDs (§3).
+//!
+//! Toward a target string `T`, a peer `C` finds the longest suffix `j` of its
+//! ID that prefixes `T`, forms the ideal continuation
+//! `I = C.id[1..] ++ T[j..]`, and forwards to the out-neighbor owning `I`.
+//! Every hop strictly decreases `len(id) − j`, so delivery needs at most
+//! `len(source.id)` hops: `< 2·log₂N` worst case, `< log₂N` on average under
+//! the neighborhood invariant.
+
+use crate::{FissioneError, FissioneNet};
+use kautz::KautzStr;
+use simnet::{FaultPlan, NodeId};
+
+/// A completed route through the overlay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    path: Vec<NodeId>,
+}
+
+impl Route {
+    /// The traversed peers, source first, owner last.
+    pub fn path(&self) -> &[NodeId] {
+        &self.path
+    }
+
+    /// The source peer.
+    pub fn source(&self) -> NodeId {
+        self.path[0]
+    }
+
+    /// The destination (owning) peer.
+    pub fn dest(&self) -> NodeId {
+        *self.path.last().expect("route paths are non-empty")
+    }
+
+    /// Number of overlay hops (edges traversed).
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+}
+
+impl FissioneNet {
+    /// The next hop from `node` toward `target`, or `None` if `node` already
+    /// owns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FissioneError::NoSuchPeer`] for dead nodes and
+    /// [`FissioneError::TargetTooShort`] when ownership of the ideal
+    /// continuation is unresolvable.
+    pub fn next_hop(&self, node: NodeId, target: &KautzStr) -> Result<Option<NodeId>, FissioneError> {
+        let id = self.peer_id(node)?;
+        if id.is_prefix_of(target) {
+            return Ok(None);
+        }
+        let j = id.longest_suffix_prefix(target);
+        let ideal = id
+            .drop_front(1)
+            .concat(&target.drop_front(j))
+            .expect("suffix match makes the junction legal");
+        let next = self.owner_of(&ideal)?;
+        debug_assert_ne!(next, node, "Kautz shift cannot map a peer to itself");
+        Ok(Some(next))
+    }
+
+    /// Routes from `from` to the owner of `target` (an ObjectID-length Kautz
+    /// string), returning the full path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FissioneNet::next_hop`] errors.
+    pub fn route(&self, from: NodeId, target: &KautzStr) -> Result<Route, FissioneError> {
+        let mut path = vec![from];
+        let mut cur = from;
+        // `len(id) − j` strictly decreases each hop; the initial ID length
+        // bounds the loop. Guard with a generous cap for defence in depth.
+        let cap = self.max_depth() + 2;
+        for _ in 0..=cap {
+            match self.next_hop(cur, target)? {
+                None => return Ok(Route { path }),
+                Some(next) => {
+                    path.push(next);
+                    cur = next;
+                }
+            }
+        }
+        unreachable!("routing exceeded its progress bound");
+    }
+
+    /// Fault-tolerant routing: greedy Kautz routing with depth-first
+    /// backtracking around crashed peers. The message is modelled as
+    /// carrying its walk and visited set, which a real implementation can do
+    /// (the walk is `O(log N)` in the common case); Kautz graphs are
+    /// `d`-connected (§3), so any crash set smaller than `d` leaves the
+    /// owner reachable and this search finds it.
+    ///
+    /// The returned [`Route`] is the full walk *including backtrack steps*,
+    /// so `hops()` honestly counts every traversed edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FissioneError::Unroutable`] when the source is crashed or
+    /// the owner is unreachable in the residual overlay.
+    pub fn route_avoiding(
+        &self,
+        from: NodeId,
+        target: &KautzStr,
+        faults: &FaultPlan,
+    ) -> Result<Route, FissioneError> {
+        if faults.is_crashed(from) {
+            return Err(FissioneError::Unroutable);
+        }
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(from);
+        let mut stack = vec![from];
+        let mut walk = vec![from];
+        while let Some(&cur) = stack.last() {
+            if self.peer_id(cur)?.is_prefix_of(target) {
+                return Ok(Route { path: walk });
+            }
+            // Candidate order: the ideal greedy hop first, then the other
+            // out-neighbors, then in-neighbors (overlay links are
+            // bidirectional connections, so a detour may traverse one
+            // backwards — the approximate topology has out-degree-1 peers
+            // that would otherwise be stranded by a single crash).
+            let ideal = self.next_hop(cur, target)?;
+            let mut cands = self.out_neighbors(cur);
+            cands.extend(self.in_neighbors(cur));
+            cands.dedup();
+            if let Some(i) = ideal {
+                cands.sort_by_key(|&n| n != i);
+            }
+            let next = cands
+                .into_iter()
+                .find(|&n| !faults.is_crashed(n) && !visited.contains(&n));
+            match next {
+                Some(n) => {
+                    visited.insert(n);
+                    stack.push(n);
+                    walk.push(n);
+                }
+                None => {
+                    stack.pop();
+                    if let Some(&back) = stack.last() {
+                        walk.push(back);
+                    }
+                }
+            }
+        }
+        Err(FissioneError::Unroutable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FissioneConfig;
+    use kautz::KautzStr;
+
+    fn build(n: usize, seed: u64) -> FissioneNet {
+        let cfg = FissioneConfig { object_id_len: 24, ..FissioneConfig::default() };
+        let mut rng = simnet::rng_from_seed(seed);
+        FissioneNet::build(cfg, n, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn route_reaches_owner_from_everywhere() {
+        let net = build(200, 21);
+        let mut rng = simnet::rng_from_seed(210);
+        for _ in 0..100 {
+            let target = KautzStr::random(2, 24, &mut rng);
+            let owner = net.owner_of(&target).unwrap();
+            let from = net.random_peer(&mut rng);
+            let route = net.route(from, &target).unwrap();
+            assert_eq!(route.dest(), owner);
+            assert_eq!(route.source(), from);
+        }
+    }
+
+    #[test]
+    fn hops_are_bounded_by_source_depth() {
+        let net = build(500, 22);
+        let mut rng = simnet::rng_from_seed(220);
+        for _ in 0..200 {
+            let target = KautzStr::random(2, 24, &mut rng);
+            let from = net.random_peer(&mut rng);
+            let route = net.route(from, &target).unwrap();
+            let depth = net.peer(from).unwrap().depth();
+            assert!(
+                route.hops() <= depth,
+                "{} hops from depth-{} peer",
+                route.hops(),
+                depth
+            );
+        }
+    }
+
+    #[test]
+    fn average_hops_below_log_n() {
+        let net = build(1000, 23);
+        let mut rng = simnet::rng_from_seed(230);
+        let mut total = 0usize;
+        let queries = 500;
+        for _ in 0..queries {
+            let target = KautzStr::random(2, 24, &mut rng);
+            let from = net.random_peer(&mut rng);
+            total += net.route(from, &target).unwrap().hops();
+        }
+        let avg = total as f64 / queries as f64;
+        assert!(avg < (1000f64).log2(), "avg hops {avg}");
+    }
+
+    #[test]
+    fn each_hop_is_an_out_neighbor_edge() {
+        let net = build(150, 24);
+        let mut rng = simnet::rng_from_seed(240);
+        for _ in 0..50 {
+            let target = KautzStr::random(2, 24, &mut rng);
+            let from = net.random_peer(&mut rng);
+            let route = net.route(from, &target).unwrap();
+            for w in route.path().windows(2) {
+                assert!(
+                    net.out_neighbors(w[0]).contains(&w[1]),
+                    "hop {} -> {} is not an edge",
+                    net.peer_id(w[0]).unwrap(),
+                    net.peer_id(w[1]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_when_source_owns_target() {
+        let net = build(100, 25);
+        let mut rng = simnet::rng_from_seed(250);
+        let target = KautzStr::random(2, 24, &mut rng);
+        let owner = net.owner_of(&target).unwrap();
+        let route = net.route(owner, &target).unwrap();
+        assert_eq!(route.hops(), 0);
+        assert_eq!(route.path(), &[owner]);
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_crashes() {
+        let net = build(300, 26);
+        let mut rng = simnet::rng_from_seed(260);
+        let mut successes = 0;
+        let mut attempts = 0;
+        for _ in 0..100 {
+            let target = KautzStr::random(2, 24, &mut rng);
+            let owner = net.owner_of(&target).unwrap();
+            let from = net.random_peer(&mut rng);
+            if from == owner {
+                continue;
+            }
+            // Crash the ideal first hop.
+            let Ok(Some(first)) = net.next_hop(from, &target) else { continue };
+            if first == owner {
+                continue; // crashing the owner makes the target unreachable
+            }
+            let mut faults = FaultPlan::new();
+            faults.crash(first);
+            attempts += 1;
+            if let Ok(route) = net.route_avoiding(from, &target, &faults) {
+                assert_eq!(route.dest(), owner);
+                assert!(route.path().iter().all(|&n| n != first));
+                successes += 1;
+            }
+        }
+        assert!(attempts > 20, "test must exercise detours");
+        let rate = successes as f64 / attempts as f64;
+        assert!(rate > 0.9, "detour success rate {rate}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: the FISSIONE cover, storage and routing survive arbitrary
+//! churn schedules.
+
+use fissione::{BalanceRule, FissioneConfig, FissioneNet};
+use kautz::KautzStr;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Join,
+    Leave(usize),
+    Crash(usize),
+    Publish(u64),
+    Stabilize,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Join),
+        2 => any::<usize>().prop_map(Op::Leave),
+        1 => any::<usize>().prop_map(Op::Crash),
+        3 => any::<u64>().prop_map(Op::Publish),
+        1 => Just(Op::Stabilize),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_churn(
+        seed in 0u64..1000,
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let cfg = FissioneConfig { object_id_len: 24, ..FissioneConfig::default() };
+        let mut rng = simnet::rng_from_seed(seed);
+        let mut net = FissioneNet::build(cfg, 12, &mut rng).unwrap();
+        let mut published: u64 = 0;
+        let mut lost: u64 = 0;
+        for op in ops {
+            match op {
+                Op::Join => {
+                    net.join(&mut rng);
+                }
+                Op::Leave(raw) => {
+                    let peers: Vec<_> = net.live_peers().collect();
+                    let victim = peers[raw % peers.len()];
+                    match net.leave(victim) {
+                        Ok(()) => {}
+                        Err(fissione::FissioneError::TooSmall) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("leave: {e}"))),
+                    }
+                }
+                Op::Crash(raw) => {
+                    let peers: Vec<_> = net.live_peers().collect();
+                    let victim = peers[raw % peers.len()];
+                    match net.crash(victim) {
+                        Ok(n) => lost += n as u64,
+                        Err(fissione::FissioneError::TooSmall) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("crash: {e}"))),
+                    }
+                }
+                Op::Publish(h) => {
+                    let obj = KautzStr::random(2, 24, &mut rng);
+                    net.publish(obj, h).unwrap();
+                    published += 1;
+                }
+                Op::Stabilize => {
+                    net.stabilize();
+                }
+            }
+            let report = net.check_invariants()
+                .map_err(|e| TestCaseError::fail(format!("invariants: {e}")))?;
+            prop_assert_eq!(report.total_objects as u64 + lost, published);
+        }
+        // Routing still works after the churn storm.
+        for _ in 0..20 {
+            let target = KautzStr::random(2, 24, &mut rng);
+            let from = net.random_peer(&mut rng);
+            let route = net.route(from, &target).unwrap();
+            prop_assert_eq!(route.dest(), net.owner_of(&target).unwrap());
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_published_object(
+        seed in 0u64..1000,
+        n in 10usize..80,
+        objects in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let cfg = FissioneConfig { object_id_len: 24, ..FissioneConfig::default() };
+        let mut rng = simnet::rng_from_seed(seed);
+        let mut net = FissioneNet::build(cfg, n, &mut rng).unwrap();
+        let mut placed = Vec::new();
+        for &h in &objects {
+            let obj = KautzStr::random(2, 24, &mut rng);
+            net.publish(obj.clone(), h).unwrap();
+            placed.push((obj, h));
+        }
+        // Grow some more, then every object must still be resolvable.
+        for _ in 0..10 {
+            net.join(&mut rng);
+        }
+        for (obj, h) in placed {
+            let (_owner, handles) = net.lookup(&obj).unwrap();
+            prop_assert!(handles.contains(&h));
+        }
+    }
+
+    #[test]
+    fn random_owner_rule_still_satisfies_hard_invariants(
+        seed in 0u64..500,
+        n in 10usize..150,
+    ) {
+        let cfg = FissioneConfig {
+            object_id_len: 24,
+            balance: BalanceRule::RandomOwner,
+            ..FissioneConfig::default()
+        };
+        let mut rng = simnet::rng_from_seed(seed);
+        let net = FissioneNet::build(cfg, n, &mut rng).unwrap();
+        net.check_invariants()
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+}

@@ -1,0 +1,235 @@
+//! The static Kautz graph `K(d,k)` (paper §3, Figure 1).
+//!
+//! FISSIONE organises peers into an *approximation* of this graph; the exact
+//! graph is used here as ground truth for topology properties (degree,
+//! diameter, shortest paths) in tests and substrate-validation experiments.
+
+use crate::{KautzError, KautzStr};
+use std::collections::VecDeque;
+
+/// The Kautz graph `K(d,k)`: nodes are the Kautz strings of base `d` and
+/// length `k`; node `U = u1…uk` has an out-edge to every `V = u2…uk·α` with
+/// `α ≠ uk`.
+///
+/// `K(d,k)` has `(d+1)·d^(k-1)` nodes, uniform in/out degree `d`, and optimal
+/// diameter `k` among degree-`d` digraphs of its size.
+///
+/// # Example
+///
+/// ```
+/// use kautz::KautzGraph;
+///
+/// let g = KautzGraph::new(2, 3)?;   // the 12-node graph of Figure 1
+/// assert_eq!(g.node_count(), 12);
+/// assert_eq!(g.diameter(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KautzGraph {
+    base: u8,
+    len: usize,
+}
+
+impl KautzGraph {
+    /// Creates `K(d,k)` for `base = d ≥ 1` and `len = k ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KautzError::UnsupportedLength`] for `k = 0` or sizes whose
+    /// rank arithmetic would overflow `u128`.
+    pub fn new(base: u8, len: usize) -> Result<Self, KautzError> {
+        if len == 0 || len > 120 {
+            return Err(KautzError::UnsupportedLength { len });
+        }
+        Ok(KautzGraph { base, len })
+    }
+
+    /// The base `d`.
+    pub fn base(&self) -> u8 {
+        self.base
+    }
+
+    /// The string length `k`.
+    pub fn string_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of nodes: `(d+1)·d^(k-1)`.
+    pub fn node_count(&self) -> u128 {
+        KautzStr::count(self.base, self.len)
+    }
+
+    /// Iterates over all nodes in lexicographic order.
+    ///
+    /// Intended for small instances (tests / validation); cost is
+    /// `O(node_count · k)`.
+    pub fn nodes(&self) -> impl Iterator<Item = KautzStr> + '_ {
+        (0..self.node_count())
+            .map(move |r| KautzStr::unrank(self.base, self.len, r).expect("rank in range"))
+    }
+
+    /// The `d` out-neighbors of `node`: `u2…uk·α` for each `α ≠ uk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this graph (wrong base or length).
+    pub fn out_neighbors(&self, node: &KautzStr) -> Vec<KautzStr> {
+        assert_eq!(node.base(), self.base, "node base mismatch");
+        assert_eq!(node.len(), self.len, "node length mismatch");
+        let shifted = node.drop_front(1);
+        shifted
+            .child_symbols()
+            .map(|s| shifted.child(s).expect("child symbol is legal"))
+            .collect()
+    }
+
+    /// The `d` in-neighbors of `node`: `α·u1…u(k-1)` for each `α ≠ u1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this graph.
+    pub fn in_neighbors(&self, node: &KautzStr) -> Vec<KautzStr> {
+        assert_eq!(node.base(), self.base, "node base mismatch");
+        assert_eq!(node.len(), self.len, "node length mismatch");
+        let head = node.take_front(self.len - 1);
+        let first = node.first().expect("k ≥ 1");
+        (0..=self.base)
+            .filter(|&a| a != first)
+            .map(|a| {
+                let mut syms = vec![a];
+                syms.extend_from_slice(head.symbols());
+                KautzStr::new(self.base, syms).expect("in-neighbor is a Kautz string")
+            })
+            .collect()
+    }
+
+    /// BFS hop distances from `from` to every node, indexed by rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` does not belong to the graph, or if the graph is too
+    /// large to enumerate (`> 2^22` nodes).
+    pub fn bfs_distances(&self, from: &KautzStr) -> Vec<u32> {
+        let n = self.node_count();
+        assert!(n <= 1 << 22, "graph too large for exhaustive BFS");
+        let n = n as usize;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[from.rank() as usize] = 0;
+        queue.push_back(from.clone());
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.rank() as usize];
+            for v in self.out_neighbors(&u) {
+                let rv = v.rank() as usize;
+                if dist[rv] == u32::MAX {
+                    dist[rv] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The diameter (max over all ordered pairs of BFS distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is too large to enumerate.
+    pub fn diameter(&self) -> u32 {
+        self.nodes()
+            .map(|u| {
+                self.bfs_distances(&u)
+                    .into_iter()
+                    .max()
+                    .expect("graph is non-empty")
+            })
+            .max()
+            .expect("graph is non-empty")
+    }
+
+    /// Average shortest-path length over all ordered pairs of distinct nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is too large to enumerate.
+    pub fn average_path_length(&self) -> f64 {
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for u in self.nodes() {
+            for d in self.bfs_distances(&u) {
+                if d > 0 {
+                    total += u64::from(d);
+                    pairs += 1;
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ks(s: &str) -> KautzStr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn k23_matches_figure_1() {
+        let g = KautzGraph::new(2, 3).unwrap();
+        assert_eq!(g.node_count(), 12);
+        // Figure 1 edges out of 012: to 120 and 121.
+        let mut out = g.out_neighbors(&ks("012"));
+        out.sort();
+        assert_eq!(out, vec![ks("120"), ks("121")]);
+    }
+
+    #[test]
+    fn in_and_out_neighbors_are_inverse_relations() {
+        let g = KautzGraph::new(2, 3).unwrap();
+        for u in g.nodes() {
+            for v in g.out_neighbors(&u) {
+                assert!(g.in_neighbors(&v).contains(&u), "{u} -> {v}");
+            }
+            for w in g.in_neighbors(&u) {
+                assert!(g.out_neighbors(&w).contains(&u), "{w} -> {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_are_uniform_d() {
+        for (d, k) in [(2u8, 3usize), (2, 4), (3, 3)] {
+            let g = KautzGraph::new(d, k).unwrap();
+            for u in g.nodes() {
+                assert_eq!(g.out_neighbors(&u).len(), d as usize);
+                assert_eq!(g.in_neighbors(&u).len(), d as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_k() {
+        // Kautz graphs have optimal diameter exactly k.
+        for (d, k) in [(2u8, 2usize), (2, 3), (2, 4), (3, 2)] {
+            let g = KautzGraph::new(d, k).unwrap();
+            assert_eq!(g.diameter(), k as u32, "K({d},{k})");
+        }
+    }
+
+    #[test]
+    fn average_path_is_below_diameter() {
+        let g = KautzGraph::new(2, 4).unwrap();
+        let avg = g.average_path_length();
+        assert!(avg > 1.0 && avg < 4.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn strongly_connected() {
+        let g = KautzGraph::new(2, 4).unwrap();
+        for u in g.nodes() {
+            assert!(g.bfs_distances(&u).iter().all(|&d| d != u32::MAX));
+        }
+    }
+}

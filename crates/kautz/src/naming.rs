@@ -1,0 +1,470 @@
+//! Order-preserving object naming (paper §4.1 and §5).
+//!
+//! [`SingleHash`] implements `Single_hash`: an **interval-preserving**
+//! surjection (Definition 2) from an attribute interval `[L, H]` onto
+//! `KautzSpace(2,k)` — objects with close attribute values receive adjoining
+//! ObjectIDs, so a value range maps to exactly one [`KautzRegion`].
+//!
+//! [`MultiHash`] implements `Multiple_hash`: a **partial-order-preserving**
+//! surjection (Definitions 3–4) from an `m`-attribute space onto
+//! `KautzSpace(2,k)` via round-robin splits. The image of a rectangle query
+//! is a *subset* of the corner region `⟨F(mins), F(maxs)⟩`, so queries carry
+//! the exact rectangle and prune with [`MultiHash::prefix_rect`].
+
+use crate::fixed::{BoundaryInterval, ScaledValue};
+use crate::partition::{multiple_hash_scaled, rect_of_prefix, single_hash_scaled, MAX_DEPTH};
+use crate::{KautzError, KautzRegion, KautzStr};
+
+/// Errors from constructing or using a naming scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamingError {
+    /// The attribute interval is empty or not finite.
+    BadInterval {
+        /// Lower endpoint supplied.
+        lo: f64,
+        /// Upper endpoint supplied.
+        hi: f64,
+    },
+    /// The ObjectID length is zero or above [`MAX_DEPTH`].
+    BadDepth {
+        /// The offending depth.
+        k: usize,
+    },
+    /// A query or point had the wrong number of attributes.
+    WrongArity {
+        /// Attributes expected by the scheme.
+        expected: usize,
+        /// Attributes supplied.
+        got: usize,
+    },
+    /// A query range was empty (`lo > hi`).
+    EmptyRange {
+        /// Index of the offending attribute.
+        attribute: usize,
+    },
+}
+
+impl std::fmt::Display for NamingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NamingError::BadInterval { lo, hi } => {
+                write!(f, "attribute interval [{lo}, {hi}] is empty or not finite")
+            }
+            NamingError::BadDepth { k } => {
+                write!(f, "ObjectID length {k} outside 1..={MAX_DEPTH}")
+            }
+            NamingError::WrongArity { expected, got } => {
+                write!(f, "expected {expected} attribute(s), got {got}")
+            }
+            NamingError::EmptyRange { attribute } => {
+                write!(f, "empty range for attribute {attribute}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NamingError {}
+
+/// A closed attribute domain `[L, H]` with finite endpoints, `L < H`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueSpace {
+    lo: f64,
+    hi: f64,
+}
+
+impl ValueSpace {
+    /// Creates the domain `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NamingError::BadInterval`] unless `lo < hi` and both are
+    /// finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, NamingError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(NamingError::BadInterval { lo, hi });
+        }
+        Ok(ValueSpace { lo, hi })
+    }
+
+    /// Lower endpoint `L`.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint `H`.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Normalises a value into exact scaled units, clamping to the domain.
+    pub fn normalize(&self, v: f64) -> ScaledValue {
+        ScaledValue::normalize(v, self.lo, self.hi)
+    }
+
+    /// Maps a boundary interval back to approximate raw endpoints.
+    pub fn denormalize(&self, iv: &BoundaryInterval) -> (f64, f64) {
+        iv.denormalize(self.lo, self.hi)
+    }
+}
+
+/// `Single_hash`: interval-preserving naming for one numeric attribute.
+///
+/// # Example
+///
+/// ```
+/// use kautz::naming::SingleHash;
+///
+/// let naming = SingleHash::new(0.0, 1000.0, 100)?; // paper's defaults
+/// let id = naming.object_id(355.0);
+/// assert_eq!(id.len(), 100);
+/// let region = naming.region(350.0, 360.0)?;
+/// assert!(region.contains(&id));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SingleHash {
+    space: ValueSpace,
+    k: usize,
+}
+
+impl SingleHash {
+    /// Creates a naming scheme over `[lo, hi]` producing length-`k`
+    /// ObjectIDs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid interval or unsupported depth.
+    pub fn new(lo: f64, hi: f64, k: usize) -> Result<Self, NamingError> {
+        if k == 0 || k > MAX_DEPTH {
+            return Err(NamingError::BadDepth { k });
+        }
+        Ok(SingleHash { space: ValueSpace::new(lo, hi)?, k })
+    }
+
+    /// The ObjectID length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The attribute domain.
+    pub fn space(&self) -> &ValueSpace {
+        &self.space
+    }
+
+    /// `Single_hash(c, L, H, k)`: the ObjectID of attribute value `c`
+    /// (clamped into the domain).
+    pub fn object_id(&self, c: f64) -> KautzStr {
+        single_hash_scaled(self.space.normalize(c), self.k)
+    }
+
+    /// The Kautz region `⟨Single_hash(lo), Single_hash(hi)⟩` holding every
+    /// object with attribute value in `[lo, hi]` (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NamingError::EmptyRange`] if `lo > hi`.
+    pub fn region(&self, lo: f64, hi: f64) -> Result<KautzRegion, NamingError> {
+        if lo > hi {
+            return Err(NamingError::EmptyRange { attribute: 0 });
+        }
+        let low_t = self.object_id(lo);
+        let high_t = self.object_id(hi);
+        Ok(KautzRegion::new(low_t, high_t).expect("naming is monotone"))
+    }
+
+    /// The exact attribute subinterval owned by a prefix (a peer whose ID is
+    /// `prefix` stores exactly the objects whose value falls here).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the prefix is deeper than [`MAX_DEPTH`].
+    pub fn prefix_interval(&self, prefix: &KautzStr) -> Result<BoundaryInterval, KautzError> {
+        crate::partition::interval_of_prefix(prefix)
+    }
+}
+
+/// A rectangle query in scaled units: per-attribute closed ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaledRect {
+    lo: Vec<ScaledValue>,
+    hi: Vec<ScaledValue>,
+}
+
+impl ScaledRect {
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Scaled lower corner.
+    pub fn lo(&self) -> &[ScaledValue] {
+        &self.lo
+    }
+
+    /// Scaled upper corner.
+    pub fn hi(&self) -> &[ScaledValue] {
+        &self.hi
+    }
+
+    /// Whether a partition-tree node rectangle intersects this query.
+    pub fn intersects(&self, node: &[BoundaryInterval]) -> bool {
+        debug_assert_eq!(node.len(), self.lo.len());
+        node.iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .all(|(iv, (&lo, &hi))| iv.intersects_query(lo, hi))
+    }
+
+    /// Whether a scaled point lies inside the closed rectangle.
+    pub fn contains_point(&self, point: &[ScaledValue]) -> bool {
+        debug_assert_eq!(point.len(), self.lo.len());
+        point
+            .iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .all(|(&p, (&lo, &hi))| p >= lo && p <= hi)
+    }
+}
+
+/// `Multiple_hash`: partial-order-preserving naming for `m` numeric
+/// attributes (§5).
+///
+/// # Example
+///
+/// ```
+/// use kautz::naming::MultiHash;
+///
+/// // Grid information service: memory [0,4096] MB, disk [0,500] GB.
+/// let naming = MultiHash::new(&[(0.0, 4096.0), (0.0, 500.0)], 100)?;
+/// let id = naming.object_id(&[2048.0, 120.0])?;
+/// assert_eq!(id.len(), 100);
+/// // "1GB ≤ memory ≤ 4GB and 50GB ≤ disk ≤ 200GB"
+/// let rect = naming.query_rect(&[(1024.0, 4096.0), (50.0, 200.0)])?;
+/// assert!(rect.contains_point(&naming.normalize_point(&[2048.0, 120.0])?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiHash {
+    spaces: Vec<ValueSpace>,
+    k: usize,
+}
+
+impl MultiHash {
+    /// Creates a naming scheme over the given per-attribute domains,
+    /// producing length-`k` ObjectIDs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no attributes are given, any interval is invalid,
+    /// or the depth is unsupported.
+    pub fn new(domains: &[(f64, f64)], k: usize) -> Result<Self, NamingError> {
+        if domains.is_empty() {
+            return Err(NamingError::WrongArity { expected: 1, got: 0 });
+        }
+        if k == 0 || k > MAX_DEPTH {
+            return Err(NamingError::BadDepth { k });
+        }
+        let spaces = domains
+            .iter()
+            .map(|&(lo, hi)| ValueSpace::new(lo, hi))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiHash { spaces, k })
+    }
+
+    /// The ObjectID length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of attributes `m`.
+    pub fn arity(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// The per-attribute domains.
+    pub fn spaces(&self) -> &[ValueSpace] {
+        &self.spaces
+    }
+
+    /// Normalises a raw point into scaled units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NamingError::WrongArity`] on arity mismatch.
+    pub fn normalize_point(&self, values: &[f64]) -> Result<Vec<ScaledValue>, NamingError> {
+        if values.len() != self.spaces.len() {
+            return Err(NamingError::WrongArity { expected: self.spaces.len(), got: values.len() });
+        }
+        Ok(values
+            .iter()
+            .zip(self.spaces.iter())
+            .map(|(&v, s)| s.normalize(v))
+            .collect())
+    }
+
+    /// `Multiple_hash(v0, …, v(m-1))`: the ObjectID of a multi-attribute
+    /// value (each coordinate clamped into its domain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NamingError::WrongArity`] on arity mismatch.
+    pub fn object_id(&self, values: &[f64]) -> Result<KautzStr, NamingError> {
+        let scaled = self.normalize_point(values)?;
+        Ok(multiple_hash_scaled(&scaled, self.k))
+    }
+
+    /// The corner region `⟨Multiple_hash(mins), Multiple_hash(maxs)⟩` of a
+    /// rectangle query. The query image is a subset of this region (partial-
+    /// order preservation), which bounds MIRA's destination level.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arity mismatch or an empty per-attribute range.
+    pub fn corner_region(&self, query: &[(f64, f64)]) -> Result<KautzRegion, NamingError> {
+        let rect = self.query_rect(query)?;
+        let low_t = multiple_hash_scaled(rect.lo(), self.k);
+        let high_t = multiple_hash_scaled(rect.hi(), self.k);
+        Ok(KautzRegion::new(low_t, high_t).expect("naming preserves the partial order"))
+    }
+
+    /// Converts a raw rectangle query into exact scaled units.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arity mismatch or an empty per-attribute range.
+    pub fn query_rect(&self, query: &[(f64, f64)]) -> Result<ScaledRect, NamingError> {
+        if query.len() != self.spaces.len() {
+            return Err(NamingError::WrongArity { expected: self.spaces.len(), got: query.len() });
+        }
+        let mut lo = Vec::with_capacity(query.len());
+        let mut hi = Vec::with_capacity(query.len());
+        for (i, (&(a, b), space)) in query.iter().zip(self.spaces.iter()).enumerate() {
+            if a > b {
+                return Err(NamingError::EmptyRange { attribute: i });
+            }
+            lo.push(space.normalize(a));
+            hi.push(space.normalize(b));
+        }
+        Ok(ScaledRect { lo, hi })
+    }
+
+    /// The exact hyper-rectangle owned by a prefix — MIRA's pruning
+    /// predicate is `query_rect.intersects(&prefix_rect(prefix))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the prefix is deeper than [`MAX_DEPTH`].
+    pub fn prefix_rect(&self, prefix: &KautzStr) -> Result<Vec<BoundaryInterval>, KautzError> {
+        rect_of_prefix(prefix, self.spaces.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_running_example() {
+        let naming = SingleHash::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(naming.object_id(0.1).to_string(), "0120");
+        let region = naming.region(0.1, 0.24).unwrap();
+        assert_eq!(region.low().to_string(), "0120");
+        assert_eq!(region.high().to_string(), "0202");
+        assert_eq!(region.size(), 4);
+    }
+
+    #[test]
+    fn interval_preservation_exhaustive_small_k() {
+        // Definition 2: the image of [a,b] is exactly ⟨F(a), F(b)⟩ — check
+        // by enumerating all leaves of a k = 4 tree.
+        let naming = SingleHash::new(0.0, 1000.0, 4).unwrap();
+        let queries = [(0.0, 1000.0), (0.0, 10.0), (990.0, 1000.0), (400.0, 600.0), (250.0, 250.0)];
+        for (a, b) in queries {
+            let region = naming.region(a, b).unwrap();
+            let whole = KautzRegion::new(
+                KautzStr::empty(2).min_extension(4),
+                KautzStr::empty(2).max_extension(4),
+            )
+            .unwrap();
+            for leaf in whole.iter() {
+                let iv = naming.prefix_interval(&leaf).unwrap();
+                let (lo, hi) = naming.space().denormalize(&iv);
+                // Leaf intersects [a,b] (with closed/half-open edges)?
+                let qa = naming.space().normalize(a);
+                let qb = naming.space().normalize(b);
+                let intersects = iv.intersects_query(qa, qb);
+                assert_eq!(
+                    region.contains(&leaf),
+                    intersects,
+                    "query [{a},{b}] leaf {leaf} interval [{lo},{hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_rejects_reversed_query() {
+        let naming = SingleHash::new(0.0, 1.0, 4).unwrap();
+        assert!(matches!(
+            naming.region(0.9, 0.1),
+            Err(NamingError::EmptyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn single_hash_k100_region_sizes_scale_with_range() {
+        let naming = SingleHash::new(0.0, 1000.0, 100).unwrap();
+        let small = naming.region(500.0, 501.0).unwrap();
+        let large = naming.region(100.0, 900.0).unwrap();
+        assert!(large.size() > small.size());
+    }
+
+    #[test]
+    fn multi_hash_rejects_bad_arity() {
+        let naming = MultiHash::new(&[(0.0, 1.0), (0.0, 1.0)], 8).unwrap();
+        assert!(matches!(
+            naming.object_id(&[0.5]),
+            Err(NamingError::WrongArity { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn corner_region_contains_query_image() {
+        // The image of any in-rectangle point must fall inside the corner
+        // region (the partial-order preservation property MIRA relies on).
+        let naming = MultiHash::new(&[(0.0, 100.0), (0.0, 100.0)], 10).unwrap();
+        let query = [(20.0, 60.0), (30.0, 80.0)];
+        let region = naming.corner_region(&query).unwrap();
+        for i in 0..=20 {
+            for j in 0..=20 {
+                let p = [20.0 + 2.0 * i as f64, 30.0 + 2.5 * j as f64];
+                let id = naming.object_id(&p).unwrap();
+                assert!(region.contains(&id), "point {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_rect_prunes_consistently_with_membership() {
+        let naming = MultiHash::new(&[(0.0, 10.0), (0.0, 10.0)], 6).unwrap();
+        let rect = naming.query_rect(&[(2.0, 4.0), (6.0, 9.0)]).unwrap();
+        // If a leaf's object is inside the query, every ancestor must pass
+        // the pruning test.
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let p = [2.0 + 0.2 * i as f64, 6.0 + 0.3 * j as f64];
+                let id = naming.object_id(&p).unwrap();
+                for depth in 1..=6 {
+                    let node = naming.prefix_rect(&id.take_front(depth)).unwrap();
+                    assert!(rect.intersects(&node), "point {p:?} depth {depth}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_space_validation() {
+        assert!(ValueSpace::new(1.0, 1.0).is_err());
+        assert!(ValueSpace::new(f64::NAN, 1.0).is_err());
+        assert!(ValueSpace::new(0.0, f64::INFINITY).is_err());
+        assert!(ValueSpace::new(-5.0, 5.0).is_ok());
+    }
+}

@@ -1,0 +1,282 @@
+//! Kautz regions: contiguous lexicographic ranges of fixed-length Kautz
+//! strings (Definition 1 of the paper).
+
+use crate::{KautzError, KautzStr};
+
+/// The Kautz region `⟨low, high⟩`: all Kautz strings `s` of the same base and
+/// length as the endpoints with `low ⪯ s ⪯ high`.
+///
+/// Regions are the image of value ranges under the order-preserving
+/// [`SingleHash`](crate::naming::SingleHash) naming (Definition 2), and the
+/// routing target of the PIRA algorithm.
+///
+/// # Example
+///
+/// ```
+/// use kautz::{KautzRegion, KautzStr};
+///
+/// // Paper example: ⟨010, 021⟩ = {010, 012, 020, 021}.
+/// let region = KautzRegion::new("010".parse()?, "021".parse()?)?;
+/// assert_eq!(region.size(), 4);
+/// assert!(region.contains(&"012".parse()?));
+/// assert!(!region.contains(&"101".parse()?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KautzRegion {
+    low: KautzStr,
+    high: KautzStr,
+}
+
+impl KautzRegion {
+    /// Creates the region `⟨low, high⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the endpoints differ in base or length, or if
+    /// `low > high` (empty regions are not representable, mirroring the
+    /// paper's definition).
+    pub fn new(low: KautzStr, high: KautzStr) -> Result<Self, KautzError> {
+        if low.base() != high.base() {
+            return Err(KautzError::BaseMismatch { left: low.base(), right: high.base() });
+        }
+        if low.len() != high.len() {
+            return Err(KautzError::LengthMismatch { left: low.len(), right: high.len() });
+        }
+        if low > high {
+            return Err(KautzError::EmptyRegion);
+        }
+        Ok(KautzRegion { low, high })
+    }
+
+    /// The smallest string in the region.
+    pub fn low(&self) -> &KautzStr {
+        &self.low
+    }
+
+    /// The largest string in the region.
+    pub fn high(&self) -> &KautzStr {
+        &self.high
+    }
+
+    /// The common string length `k` of the region's members.
+    pub fn string_len(&self) -> usize {
+        self.low.len()
+    }
+
+    /// The base of the region's members.
+    pub fn base(&self) -> u8 {
+        self.low.base()
+    }
+
+    /// Whether `s` belongs to the region. Strings of a different length or
+    /// base never belong.
+    pub fn contains(&self, s: &KautzStr) -> bool {
+        s.len() == self.low.len()
+            && s.base() == self.low.base()
+            && *s >= self.low
+            && *s <= self.high
+    }
+
+    /// Whether some member of the region has `prefix` as a prefix.
+    ///
+    /// This is PIRA's pruning predicate: a subtree whose members all share
+    /// `prefix` can be pruned iff this returns `false`. Computed without
+    /// enumeration via the min/max extensions of the prefix:
+    /// `min_ext(prefix) ≤ high ∧ max_ext(prefix) ≥ low`.
+    pub fn intersects_prefix(&self, prefix: &KautzStr) -> bool {
+        if prefix.base() != self.base() || prefix.len() > self.string_len() {
+            return false;
+        }
+        let k = self.string_len();
+        prefix.min_extension(k) <= self.high && prefix.max_extension(k) >= self.low
+    }
+
+    /// The longest common prefix of the two endpoints (`ComT` in §4.2).
+    ///
+    /// Every member of the region starts with this prefix.
+    pub fn common_prefix(&self) -> KautzStr {
+        self.low.common_prefix(&self.high)
+    }
+
+    /// Number of strings in the region.
+    pub fn size(&self) -> u128 {
+        self.high.rank() - self.low.rank() + 1
+    }
+
+    /// Splits the region into at most `base + 1` sub-regions whose endpoints
+    /// share a non-empty common prefix (§4.2: "at most three" for base 2).
+    ///
+    /// If the endpoints already share a prefix the result is `[self]`.
+    /// Otherwise the members are grouped by first symbol: the group of
+    /// `low`'s first symbol, full first-symbol groups in between, and the
+    /// group of `high`'s first symbol.
+    pub fn split_by_common_prefix(&self) -> Vec<KautzRegion> {
+        let k = self.string_len();
+        if k == 0 {
+            return vec![self.clone()];
+        }
+        let (a, b) = (self.low.first().expect("k > 0"), self.high.first().expect("k > 0"));
+        if a == b {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::with_capacity((b - a + 1) as usize);
+        for sym in a..=b {
+            let head = KautzStr::new(self.base(), vec![sym]).expect("single symbol");
+            let lo = if sym == a { self.low.clone() } else { head.min_extension(k) };
+            let hi = if sym == b { self.high.clone() } else { head.max_extension(k) };
+            out.push(KautzRegion::new(lo, hi).expect("group endpoints ordered"));
+        }
+        out
+    }
+
+    /// Iterates over every string in the region in increasing order.
+    ///
+    /// Intended for tests and ground-truth computation on small spaces; the
+    /// cost is `O(size · k)`.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { next_rank: self.low.rank(), last_rank: self.high.rank(), region: self }
+    }
+}
+
+impl std::fmt::Display for KautzRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.low, self.high)
+    }
+}
+
+/// Iterator over the members of a [`KautzRegion`] in increasing order.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    next_rank: u128,
+    last_rank: u128,
+    region: &'a KautzRegion,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = KautzStr;
+
+    fn next(&mut self) -> Option<KautzStr> {
+        if self.next_rank > self.last_rank {
+            return None;
+        }
+        let s = KautzStr::unrank(self.region.base(), self.region.string_len(), self.next_rank)
+            .expect("rank within region");
+        self.next_rank += 1;
+        Some(s)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.last_rank + 1 - self.next_rank) as usize;
+        (n, Some(n))
+    }
+}
+
+impl<'a> IntoIterator for &'a KautzRegion {
+    type Item = KautzStr;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ks(s: &str) -> KautzStr {
+        s.parse().unwrap()
+    }
+
+    fn region(lo: &str, hi: &str) -> KautzRegion {
+        KautzRegion::new(ks(lo), ks(hi)).unwrap()
+    }
+
+    #[test]
+    fn paper_example_members() {
+        let r = region("010", "021");
+        let members: Vec<String> = r.iter().map(|s| s.to_string()).collect();
+        assert_eq!(members, vec!["010", "012", "020", "021"]);
+    }
+
+    #[test]
+    fn rejects_reversed_endpoints() {
+        assert_eq!(
+            KautzRegion::new(ks("021"), ks("010")),
+            Err(KautzError::EmptyRegion)
+        );
+    }
+
+    #[test]
+    fn rejects_mixed_lengths() {
+        assert!(matches!(
+            KautzRegion::new(ks("01"), ks("010")),
+            Err(KautzError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn contains_matches_iteration() {
+        let r = region("0120", "0202");
+        let members: Vec<KautzStr> = r.iter().collect();
+        // Paper §4.1: [0.1, 0.24] → ⟨0120, 0202⟩ = {0120, 0121, 0201, 0202}
+        // (the four adjoining leaves P, R, W, S of Figure 3).
+        assert_eq!(members.len(), 4);
+        for m in &members {
+            assert!(r.contains(m));
+        }
+        assert!(!r.contains(&ks("0102")));
+        assert!(!r.contains(&ks("0210")));
+    }
+
+    #[test]
+    fn intersects_prefix_agrees_with_enumeration() {
+        let r = region("0120", "0202");
+        let prefixes = ["0", "01", "02", "012", "020", "1", "2", "021", "0210"];
+        for p in prefixes {
+            let prefix = ks(p);
+            let truth = r.iter().any(|s| prefix.is_prefix_of(&s));
+            assert_eq!(r.intersects_prefix(&prefix), truth, "prefix {p}");
+        }
+        // The empty prefix intersects every non-empty region.
+        assert!(r.intersects_prefix(&KautzStr::empty(2)));
+    }
+
+    #[test]
+    fn prefix_longer_than_k_never_intersects() {
+        let r = region("010", "021");
+        assert!(!r.intersects_prefix(&ks("0102")));
+    }
+
+    #[test]
+    fn split_by_common_prefix_noop_when_shared() {
+        let r = region("0120", "0202");
+        assert_eq!(r.split_by_common_prefix(), vec![r.clone()]);
+        assert_eq!(r.common_prefix(), ks("0"));
+    }
+
+    #[test]
+    fn split_by_common_prefix_covers_exactly() {
+        // Endpoints starting with 0 and 2: three groups.
+        let r = region("0121", "2021");
+        let parts = r.split_by_common_prefix();
+        assert_eq!(parts.len(), 3);
+        // Each part has a non-empty common prefix.
+        for p in &parts {
+            assert!(!p.common_prefix().is_empty());
+        }
+        // The parts partition the region exactly.
+        let whole: Vec<KautzStr> = r.iter().collect();
+        let mut union: Vec<KautzStr> = parts.iter().flat_map(|p| p.iter()).collect();
+        union.sort();
+        assert_eq!(union, whole);
+    }
+
+    #[test]
+    fn size_matches_rank_arithmetic() {
+        let r = region("0101", "2121");
+        assert_eq!(r.size(), 24); // whole space of k = 4
+        assert_eq!(region("0120", "0120").size(), 1);
+    }
+}

@@ -1,0 +1,489 @@
+//! PHT — the Prefix Hash Tree (Chawathe, Ramabhadran et al., SIGCOMM 2005):
+//! range queries layered over *any* DHT, reproduced as the second baseline
+//! of the Armada paper (Table 1).
+//!
+//! A PHT stores keys (here: `width`-bit quantised attribute values) in the
+//! leaves of a binary trie whose node labels are hashed onto DHT peers, so
+//! every trie-node access costs one full DHT routing. A range query
+//!
+//! 1. binary-searches prefix lengths to find the deepest existing trie node
+//!    on the query's common prefix (`O(log width)` sequential DHT gets), and
+//! 2. descends in parallel into every child overlapping the range, one DHT
+//!    get per visited node, collecting overlapping leaves.
+//!
+//! Delay is therefore `Θ(depth · routing)` — `O(b·log N)` in the paper's
+//! notation — growing with both the trie depth (data/range dependent) and
+//! the substrate's routing cost. This is the behaviour Table 1 contrasts
+//! with Armada's `< log N` bound; the `ablation_pht` experiment additionally
+//! compares the constant-degree (FISSIONE) and `O(log N)`-degree (Chord)
+//! substrates under the same PHT.
+//!
+//! # Example
+//!
+//! ```
+//! use pht::Pht;
+//!
+//! let mut rng = simnet::rng_from_seed(11);
+//! let dht = chord::ChordNet::build(64, &mut rng);
+//! let mut pht = Pht::new(dht, 0.0, 1000.0);
+//! pht.insert(120.5, 1);
+//! pht.insert(130.0, 2);
+//! pht.insert(800.0, 3);
+//! let out = pht.range_query(0, 100.0, 200.0);
+//! assert_eq!(out.results, vec![1, 2]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dht_api::Dht;
+use simnet::NodeId;
+use std::collections::HashMap;
+
+/// Default key width in bits (quantisation of the attribute domain).
+pub const DEFAULT_WIDTH: u32 = 16;
+
+/// Default leaf capacity `B` before a split.
+pub const DEFAULT_LEAF_CAPACITY: usize = 4;
+
+/// A binary trie label: the first `len` bits of `bits` (MSB-first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label {
+    bits: u32,
+    len: u32,
+}
+
+impl Label {
+    /// The root label (empty).
+    pub const ROOT: Label = Label { bits: 0, len: 0 };
+
+    /// Extends the label with one bit.
+    pub fn child(self, bit: u32) -> Label {
+        debug_assert!(bit <= 1);
+        Label { bits: (self.bits << 1) | bit, len: self.len + 1 }
+    }
+
+    /// The label's depth.
+    pub fn len(self) -> u32 {
+        self.len
+    }
+
+    /// Whether the label is the root.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The first `n ≤ len` bits as a new label.
+    pub fn prefix(self, n: u32) -> Label {
+        debug_assert!(n <= self.len);
+        Label { bits: self.bits >> (self.len - n), len: n }
+    }
+
+    /// Smallest `width`-bit key under this label.
+    pub fn key_lo(self, width: u32) -> u32 {
+        self.bits << (width - self.len)
+    }
+
+    /// Largest `width`-bit key under this label.
+    pub fn key_hi(self, width: u32) -> u32 {
+        (self.bits << (width - self.len)) | ((1u32 << (width - self.len)) - 1)
+    }
+
+    /// Whether the label's key interval overlaps `[a, b]`.
+    pub fn overlaps(self, width: u32, a: u32, b: u32) -> bool {
+        self.key_lo(width) <= b && self.key_hi(width) >= a
+    }
+
+    /// Stable bytes for hashing onto the DHT.
+    fn hash_key(self) -> u64 {
+        let mut buf = [0u8; 8];
+        buf[..4].copy_from_slice(&self.bits.to_be_bytes());
+        buf[4..].copy_from_slice(&self.len.to_be_bytes());
+        dht_api::fnv1a(&buf)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal node: both children exist (PHT tries are complete).
+    Internal,
+    /// Leaf bucket: `(key, value, handle)` entries.
+    Leaf(Vec<(u32, f64, u64)>),
+}
+
+/// Result of a PHT range query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhtOutcome {
+    /// Handles of matching records, ascending.
+    pub results: Vec<u64>,
+    /// Critical-path delay in overlay hops: sequential binary-search probes
+    /// plus, per descent level, the slowest parallel get.
+    pub delay: u64,
+    /// Total overlay messages (each trie-node get = routing hops + 1 direct
+    /// response).
+    pub messages: u64,
+    /// Trie nodes visited (each one costs a DHT get).
+    pub nodes_visited: usize,
+    /// Leaves whose bucket overlapped the range.
+    pub dest_leaves: usize,
+}
+
+/// A Prefix Hash Tree over a generic DHT substrate.
+///
+/// The trie's node table is held here for simulation (its *placement* is
+/// what the DHT determines; every access is charged the full routing cost
+/// from the querying client, exactly as the layered scheme would pay).
+#[derive(Debug, Clone)]
+pub struct Pht<D: Dht> {
+    dht: D,
+    width: u32,
+    leaf_capacity: usize,
+    domain_lo: f64,
+    domain_hi: f64,
+    nodes: HashMap<Label, Node>,
+}
+
+impl<D: Dht> Pht<D> {
+    /// Creates an empty PHT with default width/capacity over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`.
+    pub fn new(dht: D, lo: f64, hi: f64) -> Self {
+        Self::with_params(dht, lo, hi, DEFAULT_WIDTH, DEFAULT_LEAF_CAPACITY)
+    }
+
+    /// Creates an empty PHT with explicit key width and leaf capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`, `1 ≤ width ≤ 30` and `capacity ≥ 1`.
+    pub fn with_params(dht: D, lo: f64, hi: f64, width: u32, capacity: usize) -> Self {
+        assert!(lo < hi, "empty attribute domain");
+        assert!((1..=30).contains(&width), "width out of range");
+        assert!(capacity >= 1, "leaf capacity must be positive");
+        let mut nodes = HashMap::new();
+        nodes.insert(Label::ROOT, Node::Leaf(Vec::new()));
+        Pht { dht, width, leaf_capacity: capacity, domain_lo: lo, domain_hi: hi, nodes }
+    }
+
+    /// The substrate.
+    pub fn dht(&self) -> &D {
+        &self.dht
+    }
+
+    /// Quantises an attribute value to a `width`-bit key.
+    pub fn quantize(&self, value: f64) -> u32 {
+        let t = ((value - self.domain_lo) / (self.domain_hi - self.domain_lo)).clamp(0.0, 1.0);
+        let max = (1u64 << self.width) - 1;
+        ((t * max as f64) as u64).min(max) as u32
+    }
+
+    /// Inserts a record; splits overflowing leaves (cascading if needed).
+    pub fn insert(&mut self, value: f64, handle: u64) {
+        let key = self.quantize(value);
+        let leaf = self.find_leaf(key);
+        match self.nodes.get_mut(&leaf).expect("trie is complete") {
+            Node::Leaf(entries) => entries.push((key, value, handle)),
+            Node::Internal => unreachable!("find_leaf returns leaves"),
+        }
+        self.split_while_overflowing(leaf);
+    }
+
+    /// Number of stored records.
+    pub fn record_count(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|n| match n {
+                Node::Leaf(e) => e.len(),
+                Node::Internal => 0,
+            })
+            .sum()
+    }
+
+    /// Depth of the deepest leaf (the paper's `b`).
+    pub fn depth(&self) -> u32 {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| matches!(n, Node::Leaf(_)))
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn find_leaf(&self, key: u32) -> Label {
+        let mut label = Label::ROOT;
+        loop {
+            match self.nodes.get(&label).expect("trie is complete") {
+                Node::Leaf(_) => return label,
+                Node::Internal => {
+                    let bit = (key >> (self.width - label.len() - 1)) & 1;
+                    label = label.child(bit);
+                }
+            }
+        }
+    }
+
+    fn split_while_overflowing(&mut self, mut label: Label) {
+        loop {
+            let needs_split = match self.nodes.get(&label) {
+                Some(Node::Leaf(e)) => e.len() > self.leaf_capacity && label.len() < self.width,
+                _ => false,
+            };
+            if !needs_split {
+                return;
+            }
+            let entries = match self.nodes.insert(label, Node::Internal) {
+                Some(Node::Leaf(e)) => e,
+                _ => unreachable!("checked leaf above"),
+            };
+            let bit_pos = self.width - label.len() - 1;
+            let (ones, zeros): (Vec<_>, Vec<_>) =
+                entries.into_iter().partition(|&(k, _, _)| (k >> bit_pos) & 1 == 1);
+            let left = label.child(0);
+            let right = label.child(1);
+            self.nodes.insert(left, Node::Leaf(zeros));
+            self.nodes.insert(right, Node::Leaf(ones));
+            // At most one child can still overflow; recurse into it.
+            for child in [left, right] {
+                if let Some(Node::Leaf(e)) = self.nodes.get(&child) {
+                    if e.len() > self.leaf_capacity {
+                        label = child;
+                    }
+                }
+            }
+            if matches!(self.nodes.get(&label), Some(Node::Internal)) {
+                return;
+            }
+        }
+    }
+
+    /// One DHT get of a trie node from the client: returns `(hops_rtt,
+    /// messages)` — request routing plus a one-hop direct response.
+    fn get_cost(&self, from: NodeId, label: Label) -> (u64, u64) {
+        let lookup = self.dht.route_key(from, label.hash_key());
+        let rtt = lookup.hops as u64 + 1;
+        (rtt, rtt)
+    }
+
+    /// Executes a range query from the client peer `from`.
+    ///
+    /// Follows the PHT paper's parallel algorithm: binary search for the
+    /// deepest existing node on `lcp(lo_key, hi_key)`, then parallel descent
+    /// over range-overlapping children.
+    pub fn range_query(&self, from: NodeId, lo: f64, hi: f64) -> PhtOutcome {
+        let (a, b) = (self.quantize(lo.min(hi)), self.quantize(hi.max(lo)));
+        let mut delay = 0u64;
+        let mut messages = 0u64;
+        let mut visited = 0usize;
+
+        // Longest common prefix of the range endpoints.
+        let lcp_len = (a ^ b).leading_zeros().saturating_sub(32 - self.width);
+        let lcp = Label { bits: a >> (self.width - lcp_len), len: lcp_len };
+
+        // Binary search over prefix lengths for the deepest existing node on
+        // the lcp path (sequential DHT gets).
+        let (mut lo_len, mut hi_len) = (0u32, lcp.len());
+        let mut start = Label::ROOT;
+        while lo_len <= hi_len {
+            let mid = (lo_len + hi_len).div_ceil(2);
+            let probe = lcp.prefix(mid);
+            let (rtt, msg) = self.get_cost(from, probe);
+            delay += rtt;
+            messages += msg;
+            visited += 1;
+            if self.nodes.contains_key(&probe) {
+                start = probe;
+                if mid == hi_len {
+                    break;
+                }
+                lo_len = mid;
+            } else {
+                if mid == 0 {
+                    break;
+                }
+                hi_len = mid - 1;
+            }
+        }
+
+        // Parallel descent from `start`.
+        let mut results = Vec::new();
+        let mut dest_leaves = 0usize;
+        let mut frontier = vec![start];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            let mut level_delay = 0u64;
+            for label in frontier {
+                let (rtt, msg) = self.get_cost(from, label);
+                level_delay = level_delay.max(rtt);
+                messages += msg;
+                visited += 1;
+                match self.nodes.get(&label).expect("descent stays inside the trie") {
+                    Node::Leaf(entries) => {
+                        let mut hit = false;
+                        for &(k, v, h) in entries {
+                            if k >= a && k <= b && v >= lo && v <= hi {
+                                results.push(h);
+                                hit = true;
+                            }
+                        }
+                        if hit || label.overlaps(self.width, a, b) {
+                            dest_leaves += 1;
+                        }
+                    }
+                    Node::Internal => {
+                        for bit in 0..2 {
+                            let c = label.child(bit);
+                            if c.overlaps(self.width, a, b) {
+                                next.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            delay += level_delay;
+            frontier = next;
+        }
+
+        results.sort_unstable();
+        PhtOutcome { results, delay, messages, nodes_visited: visited, dest_leaves }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn chord_pht(n: usize, seed: u64) -> Pht<chord::ChordNet> {
+        let mut rng = simnet::rng_from_seed(seed);
+        let dht = chord::ChordNet::build(n, &mut rng);
+        Pht::new(dht, 0.0, 1000.0)
+    }
+
+    #[test]
+    fn label_arithmetic() {
+        let l = Label::ROOT.child(1).child(0).child(1); // 101
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.key_lo(8), 0b1010_0000);
+        assert_eq!(l.key_hi(8), 0b1011_1111);
+        assert!(l.overlaps(8, 0b1010_0000, 0b1010_0001));
+        assert!(!l.overlaps(8, 0, 0b1001_1111));
+        assert_eq!(l.prefix(2), Label::ROOT.child(1).child(0));
+    }
+
+    #[test]
+    fn inserts_split_leaves() {
+        let mut pht = chord_pht(32, 1);
+        for i in 0..50 {
+            pht.insert(i as f64 * 20.0, i);
+        }
+        assert_eq!(pht.record_count(), 50);
+        assert!(pht.depth() > 1, "leaves must have split");
+    }
+
+    #[test]
+    fn range_query_returns_exactly_matching_records() {
+        let mut pht = chord_pht(64, 2);
+        let mut rng = simnet::rng_from_seed(20);
+        let mut data = Vec::new();
+        for h in 0..300u64 {
+            let v: f64 = rng.gen_range(0.0..=1000.0);
+            pht.insert(v, h);
+            data.push((v, h));
+        }
+        for _ in 0..50 {
+            let lo: f64 = rng.gen_range(0.0..900.0);
+            let hi = lo + rng.gen_range(0.1..150.0);
+            let from = 0;
+            let out = pht.range_query(from, lo, hi);
+            let mut expect: Vec<u64> = data
+                .iter()
+                .filter(|&&(v, _)| v >= lo && v <= hi)
+                .map(|&(_, h)| h)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(out.results, expect, "query [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_beyond_capacity_stay_at_max_depth() {
+        let mut rng = simnet::rng_from_seed(3);
+        let dht = chord::ChordNet::build(16, &mut rng);
+        let mut pht = Pht::with_params(dht, 0.0, 1.0, 4, 2);
+        for h in 0..20 {
+            pht.insert(0.5, h); // identical key every time
+        }
+        assert_eq!(pht.record_count(), 20);
+        let out = pht.range_query(0, 0.4, 0.6);
+        assert_eq!(out.results.len(), 20);
+    }
+
+    #[test]
+    fn delay_is_multiple_of_substrate_routing() {
+        // PHT pays Θ(depth · logN): substantially more than one routing.
+        let mut pht = chord_pht(256, 4);
+        let mut rng = simnet::rng_from_seed(40);
+        for h in 0..500u64 {
+            pht.insert(rng.gen_range(0.0..=1000.0), h);
+        }
+        let out = pht.range_query(0, 200.0, 400.0);
+        let log_n = (256f64).log2();
+        assert!(
+            out.delay as f64 > 2.0 * log_n,
+            "PHT delay {} should exceed 2·logN {}",
+            out.delay,
+            2.0 * log_n
+        );
+        assert!(out.nodes_visited >= 3);
+    }
+
+    #[test]
+    fn works_over_fissione_too() {
+        let cfg = fissione::FissioneConfig {
+            object_id_len: 24,
+            ..fissione::FissioneConfig::default()
+        };
+        let mut rng = simnet::rng_from_seed(5);
+        let dht = fissione::FissioneNet::build(cfg, 100, &mut rng).unwrap();
+        let mut pht = Pht::new(dht, 0.0, 1000.0);
+        let mut rng2 = simnet::rng_from_seed(50);
+        let mut data = Vec::new();
+        for h in 0..200u64 {
+            let v: f64 = rng2.gen_range(0.0..=1000.0);
+            pht.insert(v, h);
+            data.push((v, h));
+        }
+        let from = pht.dht().any_node();
+        let out = pht.range_query(from, 300.0, 500.0);
+        let mut expect: Vec<u64> = data
+            .iter()
+            .filter(|&&(v, _)| (300.0..=500.0).contains(&v))
+            .map(|&(_, h)| h)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(out.results, expect);
+    }
+
+    #[test]
+    fn empty_tree_query_is_cheap_and_empty() {
+        let pht = chord_pht(32, 6);
+        let out = pht.range_query(0, 10.0, 20.0);
+        assert!(out.results.is_empty());
+        assert_eq!(out.dest_leaves, 1); // the root leaf overlaps everything
+    }
+
+    #[test]
+    fn point_query_visits_one_path() {
+        let mut pht = chord_pht(64, 7);
+        let mut rng = simnet::rng_from_seed(70);
+        for h in 0..200u64 {
+            pht.insert(rng.gen_range(0.0..=1000.0), h);
+        }
+        let out = pht.range_query(0, 500.0, 500.0);
+        // A point query's descent touches exactly one path below the lcp.
+        assert!(out.nodes_visited <= 2 * pht.depth() as usize + 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: the PHT trie against a flat-model oracle under arbitrary
+//! insert/query schedules, over both substrates.
+
+use dht_api::Dht;
+use pht::Pht;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pht_agrees_with_flat_model(
+        seed in 0u64..10_000,
+        values in prop::collection::vec(0f64..=1000.0, 0..150),
+        queries in prop::collection::vec((0f64..=1000.0, 0f64..=1000.0), 1..12),
+    ) {
+        let mut rng = simnet::rng_from_seed(seed);
+        let dht = chord::ChordNet::build(48, &mut rng);
+        let mut pht = Pht::new(dht, 0.0, 1000.0);
+        for (h, &v) in values.iter().enumerate() {
+            pht.insert(v, h as u64);
+        }
+        prop_assert_eq!(pht.record_count(), values.len());
+        for &(a, b) in &queries {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let out = pht.range_query(0, lo, hi);
+            let mut expect: Vec<u64> = values
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v >= lo && v <= hi)
+                .map(|(h, _)| h as u64)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(out.results, expect, "query [{}, {}]", lo, hi);
+        }
+    }
+
+    #[test]
+    fn pht_depth_respects_capacity(
+        seed in 0u64..1000,
+        values in prop::collection::vec(0f64..=1.0, 1..120),
+        capacity in 1usize..8,
+    ) {
+        let mut rng = simnet::rng_from_seed(seed);
+        let dht = chord::ChordNet::build(16, &mut rng);
+        let width = 12;
+        let mut pht = Pht::with_params(dht, 0.0, 1.0, width, capacity);
+        for (h, &v) in values.iter().enumerate() {
+            pht.insert(v, h as u64);
+        }
+        prop_assert!(pht.depth() <= width);
+        // Everything is still retrievable.
+        let out = pht.range_query(0, 0.0, 1.0);
+        prop_assert_eq!(out.results.len(), values.len());
+    }
+
+    #[test]
+    fn pht_over_fissione_substrate(
+        seed in 0u64..1000,
+        values in prop::collection::vec(0f64..=100.0, 1..60),
+    ) {
+        let cfg = fissione::FissioneConfig {
+            object_id_len: 24,
+            ..fissione::FissioneConfig::default()
+        };
+        let mut rng = simnet::rng_from_seed(seed);
+        let dht = fissione::FissioneNet::build(cfg, 40, &mut rng).unwrap();
+        let mut pht = Pht::new(dht, 0.0, 100.0);
+        for (h, &v) in values.iter().enumerate() {
+            pht.insert(v, h as u64);
+        }
+        let from = pht.dht().any_node();
+        let out = pht.range_query(from, 25.0, 75.0);
+        let mut expect: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| (25.0..=75.0).contains(&v))
+            .map(|(h, _)| h as u64)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(out.results, expect);
+    }
+}

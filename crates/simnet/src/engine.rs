@@ -1,0 +1,345 @@
+//! The event-queue kernel: virtual clock, message scheduling, delivery.
+
+use crate::faults::FaultPlan;
+use crate::stats::SimStats;
+use crate::{NodeId, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BinaryHeap;
+
+/// Per-hop virtual latency model.
+///
+/// The paper measures delay in hops, which corresponds to [`Unit`]. The other
+/// models exist for jitter/sensitivity studies; hop-depth accounting (the
+/// reported metric) is independent of the latency model.
+///
+/// [`Unit`]: LatencyModel::Unit
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every hop takes exactly one tick (virtual time = hop count).
+    Unit,
+    /// Every hop takes a fixed number of ticks.
+    Fixed(u64),
+    /// Hop latency drawn uniformly from `lo..=hi` ticks.
+    Uniform {
+        /// Minimum per-hop latency.
+        lo: u64,
+        /// Maximum per-hop latency.
+        hi: u64,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Unit
+    }
+}
+
+impl LatencyModel {
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match *self {
+            LatencyModel::Unit => 1,
+            LatencyModel::Fixed(t) => t,
+            LatencyModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+        }
+    }
+}
+
+/// A message delivered to a node.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sender node.
+    pub from: NodeId,
+    /// Receiver node.
+    pub to: NodeId,
+    /// Overlay hop depth: number of hops from the protocol's origin. The
+    /// initial self-delivery that starts a protocol has depth 0.
+    pub hop: u32,
+    /// Virtual time of delivery.
+    pub at: SimTime,
+    /// Protocol payload.
+    pub payload: M,
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+// Manual ordering: BinaryHeap is a max-heap, so invert to pop earliest
+// (time, seq) first. Only `at` and `seq` participate — seq is unique, which
+// both breaks ties FIFO and spares `M: Eq` bounds.
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// Generic over the protocol message type `M`. Create one `Sim` per
+/// query/protocol run (cheap), or call [`Sim::reset_stats`] between runs.
+pub struct Sim<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    rng: SmallRng,
+    latency: LatencyModel,
+    faults: FaultPlan,
+    stats: SimStats,
+}
+
+impl<M> std::fmt::Debug for Sim<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> Sim<M> {
+    /// Creates a simulator with the default unit-latency model and no
+    /// faults, seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: crate::rng_from_seed(seed),
+            latency: LatencyModel::Unit,
+            faults: FaultPlan::default(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Replaces the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Clears statistics (keeps clock, faults and RNG state).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+    }
+
+    /// Mutable access to the fault plan (e.g. to crash nodes mid-run).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// The fault plan in force.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Deterministic RNG for protocol-level decisions.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Sends a protocol message from `from` to `to` with explicit hop depth.
+    ///
+    /// Counts one message (unless `from == to`, which models local
+    /// self-delivery used to start protocols and is free, like the paper's
+    /// convention that the origin peer's local processing costs no hops).
+    /// The message may be dropped or ignored according to the [`FaultPlan`].
+    pub fn send(&mut self, from: NodeId, to: NodeId, hop: u32, payload: M) {
+        let is_network = from != to;
+        if is_network {
+            self.stats.messages_sent += 1;
+        }
+        if is_network && self.faults.should_drop(&mut self.rng) {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        if self.faults.is_crashed(to) {
+            self.stats.messages_to_crashed += 1;
+            return;
+        }
+        let latency = if is_network { self.latency.sample(&mut self.rng) } else { 0 };
+        let env = Envelope { from, to, hop, at: self.now + latency, payload };
+        self.seq += 1;
+        self.queue.push(Scheduled { at: env.at, seq: self.seq, env });
+    }
+
+    /// Forwards in response to a received envelope: hop depth increments
+    /// automatically.
+    pub fn forward(&mut self, received: &Envelope<M>, to: NodeId, payload: M) {
+        self.send(received.to, to, received.hop + 1, payload);
+    }
+
+    /// Schedules a local (non-network) event at `delay` ticks in the future;
+    /// hop depth is preserved. Used for timers/retries. Not counted as a
+    /// message.
+    pub fn schedule_local(&mut self, node: NodeId, delay: u64, hop: u32, payload: M) {
+        if self.faults.is_crashed(node) {
+            return;
+        }
+        let env = Envelope { from: node, to: node, hop, at: self.now + delay, payload };
+        self.seq += 1;
+        self.queue.push(Scheduled { at: env.at, seq: self.seq, env });
+    }
+
+    /// Runs until the queue drains, calling `handler` for each delivery.
+    ///
+    /// A node crashed *after* a message to it was scheduled still does not
+    /// receive it (the crash check is repeated at delivery time).
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Sim<M>, Envelope<M>),
+    {
+        while let Some(Scheduled { at, env, .. }) = self.queue.pop() {
+            debug_assert!(at >= self.now, "time must not run backwards");
+            self.now = at;
+            if self.faults.is_crashed(env.to) {
+                self.stats.messages_to_crashed += 1;
+                continue;
+            }
+            self.stats.deliveries += 1;
+            if env.from != env.to {
+                self.stats.max_hop_delivered = self.stats.max_hop_delivered.max(env.hop);
+            }
+            handler(self, env);
+        }
+    }
+
+    /// Number of undelivered events still queued (non-zero only if `run`
+    /// has not been called or a handler re-enqueued work).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_then_fifo_order() {
+        let mut sim: Sim<&str> = Sim::new(1);
+        sim.send(0, 1, 0, "a"); // t=1
+        sim.send(0, 2, 0, "b"); // t=1, after "a"
+        sim.schedule_local(0, 0, 0, "now"); // t=0
+        let mut order = Vec::new();
+        sim.run(|_, env| order.push(env.payload));
+        assert_eq!(order, vec!["now", "a", "b"]);
+    }
+
+    #[test]
+    fn hop_depth_increments_on_forward() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.send(0, 0, 0, 3); // start at node 0 with 3 forwards to do
+        sim.run(|sim, env| {
+            if env.payload > 0 {
+                sim.forward(&env, env.to + 1, env.payload - 1);
+            }
+        });
+        assert_eq!(sim.stats().max_hop_delivered, 3);
+        assert_eq!(sim.stats().messages_sent, 3);
+    }
+
+    #[test]
+    fn self_delivery_is_free() {
+        let mut sim: Sim<()> = Sim::new(1);
+        sim.send(5, 5, 0, ());
+        sim.run(|_, _| {});
+        assert_eq!(sim.stats().messages_sent, 0);
+        assert_eq!(sim.stats().deliveries, 1);
+    }
+
+    #[test]
+    fn crashed_nodes_never_receive() {
+        let mut sim: Sim<()> = Sim::new(1);
+        sim.faults_mut().crash(1);
+        sim.send(0, 1, 0, ());
+        let mut delivered = 0;
+        sim.run(|_, _| delivered += 1);
+        assert_eq!(delivered, 0);
+        assert_eq!(sim.stats().messages_to_crashed, 1);
+        assert_eq!(sim.stats().messages_sent, 1); // send still cost a message
+    }
+
+    #[test]
+    fn crash_after_scheduling_still_blocks_delivery() {
+        let mut sim: Sim<u8> = Sim::new(1);
+        sim.send(0, 0, 0, 0);
+        let mut got_second = false;
+        sim.run(|sim, env| {
+            if env.payload == 0 {
+                sim.forward(&env, 1, 1);
+                sim.faults_mut().crash(1); // crash after the send
+            } else {
+                got_second = true;
+            }
+        });
+        assert!(!got_second);
+    }
+
+    #[test]
+    fn drop_probability_one_drops_everything() {
+        let mut sim: Sim<()> = Sim::new(1).with_faults(FaultPlan::with_drop_prob(1.0));
+        sim.send(0, 1, 0, ());
+        let mut delivered = 0;
+        sim.run(|_, _| delivered += 1);
+        assert_eq!(delivered, 0);
+        assert_eq!(sim.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut sim: Sim<u64> =
+                Sim::new(seed).with_latency(LatencyModel::Uniform { lo: 1, hi: 9 });
+            sim.send(0, 0, 0, 10);
+            let mut times = Vec::new();
+            sim.run(|sim, env| {
+                times.push(env.at);
+                if env.payload > 0 {
+                    sim.forward(&env, (env.to + 1) % 4, env.payload - 1);
+                }
+            });
+            times
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn uniform_latency_accumulates_time() {
+        let mut sim: Sim<u8> = Sim::new(3).with_latency(LatencyModel::Fixed(5));
+        sim.send(0, 1, 0, 0);
+        sim.run(|_, _| {});
+        assert_eq!(sim.now(), 5);
+    }
+}

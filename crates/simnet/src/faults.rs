@@ -1,0 +1,133 @@
+//! Fault injection: message loss and crashed nodes.
+
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Faults applied to a simulation run.
+///
+/// * Every network message is dropped independently with probability
+///   `drop_prob`.
+/// * Crashed nodes silently discard anything addressed to them (checked both
+///   at send and at delivery time, so crashing mid-run works).
+///
+/// # Example
+///
+/// ```
+/// use simnet::FaultPlan;
+///
+/// let mut plan = FaultPlan::with_drop_prob(0.05);
+/// plan.crash(3);
+/// assert!(plan.is_crashed(3));
+/// plan.recover(3);
+/// assert!(!plan.is_crashed(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    drop_prob: f64,
+    crashed: HashSet<NodeId>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan dropping each message independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ p ≤ 1.0`.
+    pub fn with_drop_prob(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        FaultPlan { drop_prob: p, crashed: HashSet::new() }
+    }
+
+    /// The message-drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// Sets the message-drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ p ≤ 1.0`.
+    pub fn set_drop_prob(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        self.drop_prob = p;
+    }
+
+    /// Marks a node as crashed.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Clears a node's crashed status.
+    pub fn recover(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Whether a node is crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Number of crashed nodes.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// Iterates over crashed nodes (arbitrary order).
+    pub fn crashed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.crashed.iter().copied()
+    }
+
+    pub(crate) fn should_drop(&self, rng: &mut SmallRng) -> bool {
+        self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_fault_free() {
+        let plan = FaultPlan::new();
+        assert_eq!(plan.drop_prob(), 0.0);
+        assert_eq!(plan.crashed_count(), 0);
+        let mut rng = crate::rng_from_seed(1);
+        for _ in 0..100 {
+            assert!(!plan.should_drop(&mut rng));
+        }
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_respected() {
+        let plan = FaultPlan::with_drop_prob(0.3);
+        let mut rng = crate::rng_from_seed(2);
+        let drops = (0..10_000).filter(|_| plan.should_drop(&mut rng)).count();
+        assert!((2_500..3_500).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_invalid_probability() {
+        FaultPlan::with_drop_prob(1.5);
+    }
+
+    #[test]
+    fn crash_and_recover() {
+        let mut plan = FaultPlan::new();
+        plan.crash(7);
+        plan.crash(9);
+        assert_eq!(plan.crashed_count(), 2);
+        assert!(plan.is_crashed(7));
+        plan.recover(7);
+        assert!(!plan.is_crashed(7));
+        assert_eq!(plan.crashed_nodes().collect::<Vec<_>>(), vec![9]);
+    }
+}

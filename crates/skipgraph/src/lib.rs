@@ -1,0 +1,337 @@
+//! Skip Graph (Aspnes & Shah, SODA 2003), simulated — the `O(logN + n)`
+//! range-query row of the Armada paper's Table 1.
+//!
+//! A Skip Graph arranges peers in a sorted doubly-linked list (level 0) and
+//! recursively splits each list by random *membership vector* bits, so every
+//! peer belongs to one list per level. Search walks right/left at the
+//! highest usable level and descends, taking `O(log N)` hops w.h.p.; a range
+//! query then hands the query down the level-0 list — `O(n)` further hops,
+//! which is exactly why its delay is *not* bounded in the range size.
+//!
+//! # Example
+//!
+//! ```
+//! use skipgraph::SkipGraphNet;
+//!
+//! let mut rng = simnet::rng_from_seed(8);
+//! let mut net = SkipGraphNet::build(100, 0.0, 1000.0, &mut rng);
+//! net.publish(42.0, 1);
+//! net.publish(43.5, 2);
+//! net.publish(99.0, 3);
+//! let origin = net.random_node(&mut rng);
+//! let out = net.range_query(origin, 40.0, 50.0);
+//! assert_eq!(out.results, vec![1, 2]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simnet::NodeId;
+
+/// Result of a Skip Graph range query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkipOutcome {
+    /// Matching record handles, ascending.
+    pub results: Vec<u64>,
+    /// Search hops + level-0 walk hops.
+    pub delay: u32,
+    /// Total messages (equals delay: one message per hop).
+    pub messages: u64,
+    /// Peers whose key range intersected the query.
+    pub dest_peers: usize,
+}
+
+/// A converged Skip Graph over peers keyed by positions in an attribute
+/// domain.
+///
+/// `NodeId`s index peers in **key order** (the level-0 list order). Records
+/// are stored at the peer with the greatest key `≤ value` (successor-style
+/// buckets), so peers partition the attribute domain.
+#[derive(Debug, Clone)]
+pub struct SkipGraphNet {
+    /// Sorted peer keys (bucket lower bounds).
+    keys: Vec<f64>,
+    /// `neighbors[level][node] = (left, right)` in that level's list.
+    neighbors: Vec<Vec<(Option<NodeId>, Option<NodeId>)>>,
+    /// Per-peer stored records `(value, handle)`.
+    records: Vec<Vec<(f64, u64)>>,
+    domain_lo: f64,
+    domain_hi: f64,
+}
+
+impl SkipGraphNet {
+    /// Builds a converged `n`-peer Skip Graph whose keys are uniform random
+    /// positions in `[lo, hi]` (the first peer is pinned to `lo` so every
+    /// value has an owner).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ 1` and `lo < hi`.
+    pub fn build(n: usize, lo: f64, hi: f64, rng: &mut SmallRng) -> Self {
+        assert!(n >= 1, "need at least one peer");
+        assert!(lo < hi, "empty domain");
+        let mut keys: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(lo..hi)).collect();
+        keys.push(lo);
+        keys.sort_by(f64::total_cmp);
+        keys.dedup();
+        while keys.len() < n {
+            let extra = rng.gen_range(lo..hi);
+            if let Err(pos) = keys.binary_search_by(|k| k.total_cmp(&extra)) {
+                keys.insert(pos, extra);
+            }
+        }
+
+        // Membership vectors: enough levels that top lists are singletons.
+        let levels = ((n as f64).log2().ceil() as usize) + 2;
+        let membership: Vec<Vec<bool>> =
+            (0..n).map(|_| (0..levels).map(|_| rng.gen()).collect()).collect();
+
+        // Level ℓ lists: peers sharing their first ℓ membership bits, in key
+        // order. Level 0 is the whole sorted list.
+        let mut neighbors = Vec::with_capacity(levels + 1);
+        for level in 0..=levels {
+            let mut nbr = vec![(None, None); n];
+            // Group by membership prefix.
+            let mut groups: std::collections::HashMap<Vec<bool>, Vec<NodeId>> =
+                std::collections::HashMap::new();
+            for node in 0..n {
+                groups
+                    .entry(membership[node][..level].to_vec())
+                    .or_default()
+                    .push(node); // nodes iterated in key order ⇒ lists sorted
+            }
+            for list in groups.values() {
+                for w in list.windows(2) {
+                    nbr[w[0]].1 = Some(w[1]);
+                    nbr[w[1]].0 = Some(w[0]);
+                }
+            }
+            neighbors.push(nbr);
+        }
+
+        SkipGraphNet {
+            keys,
+            neighbors,
+            records: vec![Vec::new(); n],
+            domain_lo: lo,
+            domain_hi: hi,
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The peer's bucket lower bound.
+    pub fn key_of(&self, node: NodeId) -> f64 {
+        self.keys[node]
+    }
+
+    /// A uniformly random peer.
+    pub fn random_node(&self, rng: &mut SmallRng) -> NodeId {
+        rng.gen_range(0..self.keys.len())
+    }
+
+    /// The peer owning `value`: greatest key `≤ value` (clamped into the
+    /// domain).
+    pub fn owner_of(&self, value: f64) -> NodeId {
+        let v = value.clamp(self.domain_lo, self.domain_hi);
+        match self.keys.binary_search_by(|k| k.total_cmp(&v)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Stores a record at the owner of its value.
+    pub fn publish(&mut self, value: f64, handle: u64) -> NodeId {
+        let owner = self.owner_of(value);
+        self.records[owner].push((value, handle));
+        owner
+    }
+
+    /// Records stored at a peer.
+    pub fn records_at(&self, node: NodeId) -> &[(f64, u64)] {
+        &self.records[node]
+    }
+
+    /// Skip Graph search from `from` to the owner of `value`; returns
+    /// `(owner, hops)`. Standard algorithm: at each level move toward the
+    /// target as far as possible without overshooting, then descend.
+    pub fn search(&self, from: NodeId, value: f64) -> (NodeId, u32) {
+        let target = self.owner_of(value);
+        let mut cur = from;
+        let mut hops = 0u32;
+        let mut level = self.neighbors.len() - 1;
+        loop {
+            if cur == target {
+                return (target, hops);
+            }
+            let rightward = target > cur; // NodeIds are in key order
+            let step = if rightward {
+                self.neighbors[level][cur].1.filter(|&r| r <= target)
+            } else {
+                self.neighbors[level][cur].0.filter(|&l| l >= target)
+            };
+            match step {
+                Some(next) => {
+                    cur = next;
+                    hops += 1;
+                }
+                None if level > 0 => level -= 1,
+                None => unreachable!("level-0 list reaches every peer"),
+            }
+        }
+    }
+
+    /// Range query: search the owner of `lo`, then walk the level-0 list
+    /// right through every bucket intersecting `[lo, hi]`.
+    pub fn range_query(&self, from: NodeId, lo: f64, hi: f64) -> SkipOutcome {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let (first, search_hops) = self.search(from, lo);
+        let mut results = Vec::new();
+        let mut walk = 0u32;
+        let mut dest = 0usize;
+        let mut cur = Some(first);
+        while let Some(node) = cur {
+            if self.keys[node] > hi {
+                break;
+            }
+            dest += 1;
+            for &(v, h) in &self.records[node] {
+                if v >= lo && v <= hi {
+                    results.push(h);
+                }
+            }
+            cur = self.neighbors[0][node].1;
+            if cur.is_some() && cur.map(|n| self.keys[n] <= hi) == Some(true) {
+                walk += 1;
+            } else {
+                break;
+            }
+        }
+        results.sort_unstable();
+        let delay = search_hops + walk;
+        SkipOutcome { results, delay, messages: u64::from(delay), dest_peers: dest }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize, seed: u64) -> SkipGraphNet {
+        let mut rng = simnet::rng_from_seed(seed);
+        SkipGraphNet::build(n, 0.0, 1000.0, &mut rng)
+    }
+
+    #[test]
+    fn keys_are_sorted_and_first_is_domain_lo() {
+        let net = build(100, 1);
+        assert_eq!(net.key_of(0), 0.0);
+        for i in 1..net.len() {
+            assert!(net.key_of(i) > net.key_of(i - 1));
+        }
+    }
+
+    #[test]
+    fn owner_is_greatest_key_below() {
+        let net = build(50, 2);
+        let mut rng = simnet::rng_from_seed(20);
+        for _ in 0..200 {
+            let v: f64 = rng.gen_range(0.0..=1000.0);
+            let owner = net.owner_of(v);
+            assert!(net.key_of(owner) <= v);
+            if owner + 1 < net.len() {
+                assert!(net.key_of(owner + 1) > v);
+            }
+        }
+    }
+
+    #[test]
+    fn search_reaches_owner_from_everywhere() {
+        let net = build(150, 3);
+        let mut rng = simnet::rng_from_seed(30);
+        for _ in 0..200 {
+            let v: f64 = rng.gen_range(0.0..=1000.0);
+            let from = net.random_node(&mut rng);
+            let (found, _) = net.search(from, v);
+            assert_eq!(found, net.owner_of(v));
+        }
+    }
+
+    #[test]
+    fn search_hops_are_logarithmic() {
+        let mut rng = simnet::rng_from_seed(40);
+        for &n in &[128usize, 512, 2048] {
+            let net = build(n, 4 + n as u64);
+            let mut total = 0u64;
+            let queries = 300;
+            for _ in 0..queries {
+                let v: f64 = rng.gen_range(0.0..=1000.0);
+                let from = net.random_node(&mut rng);
+                total += u64::from(net.search(from, v).1);
+            }
+            let avg = total as f64 / queries as f64;
+            let log_n = (n as f64).log2();
+            assert!(avg < 2.5 * log_n, "N = {n}: avg {avg} vs logN {log_n}");
+        }
+    }
+
+    #[test]
+    fn range_query_is_exact() {
+        let mut rng = simnet::rng_from_seed(50);
+        let mut net = build(120, 5);
+        let mut data = Vec::new();
+        for h in 0..400u64 {
+            let v: f64 = rng.gen_range(0.0..=1000.0);
+            net.publish(v, h);
+            data.push((v, h));
+        }
+        for _ in 0..50 {
+            let lo: f64 = rng.gen_range(0.0..900.0);
+            let hi = lo + rng.gen_range(0.1..150.0);
+            let from = net.random_node(&mut rng);
+            let out = net.range_query(from, lo, hi);
+            let mut expect: Vec<u64> = data
+                .iter()
+                .filter(|&&(v, _)| v >= lo && v <= hi)
+                .map(|&(_, h)| h)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(out.results, expect, "query [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn range_delay_grows_with_destinations() {
+        let mut rng = simnet::rng_from_seed(60);
+        let net = build(1000, 6);
+        let from = net.random_node(&mut rng);
+        let small = net.range_query(from, 500.0, 505.0);
+        let large = net.range_query(from, 100.0, 900.0);
+        assert!(large.dest_peers > 50 * small.dest_peers.max(1) / 10);
+        assert!(large.delay > small.delay + 100);
+        // delay ≥ walk length = dest − 1.
+        assert!(large.delay as usize >= large.dest_peers - 1);
+    }
+
+    #[test]
+    fn single_peer_graph_works() {
+        let mut rng = simnet::rng_from_seed(70);
+        let mut net = SkipGraphNet::build(1, 0.0, 10.0, &mut rng);
+        net.publish(5.0, 9);
+        let out = net.range_query(0, 0.0, 10.0);
+        assert_eq!(out.results, vec![9]);
+        assert_eq!(out.delay, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Churn and fault tolerance: peers join, leave and crash while the system
+//! keeps answering range queries; lossy links degrade recall gracefully.
+//!
+//! Run with: `cargo run --release --example churn_and_faults`
+
+use armada::SingleArmada;
+use rand::Rng;
+use simnet::FaultPlan;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = simnet::rng_from_seed(13);
+
+    println!("building a 300-peer network…");
+    let mut armada = SingleArmada::build(300, 0.0, 1000.0, &mut rng)?;
+    for _ in 0..1000 {
+        let v: f64 = rng.gen_range(0.0..=1000.0);
+        armada.publish(v);
+    }
+
+    // Churn storm: 150 joins, 100 graceful leaves, 20 crashes.
+    println!("churning: +150 joins, −100 leaves, −20 crashes…");
+    for _ in 0..150 {
+        armada.net_mut().join(&mut rng);
+    }
+    for _ in 0..100 {
+        let victim = armada.net().random_peer(&mut rng);
+        let _ = armada.net_mut().leave(victim);
+    }
+    let mut lost = 0;
+    for _ in 0..20 {
+        let victim = armada.net().random_peer(&mut rng);
+        if let Ok(n) = armada.net_mut().crash(victim) {
+            lost += n;
+        }
+    }
+    let moved = armada.net_mut().stabilize();
+    let report = armada.net().check_invariants()?;
+    println!(
+        "  now {} peers, {} records lost to crashes, {} balancing migrations, \
+         {} neighborhood violations",
+        report.peers, lost, moved, report.neighborhood_violations
+    );
+
+    // Queries remain exact after churn (the cover invariant guarantees it).
+    let origin = armada.net().random_peer(&mut rng);
+    let out = armada.pira_query(origin, 250.0, 400.0, 1)?;
+    println!(
+        "\npost-churn query [250, 400]: {} results, exact = {}, delay = {} hops",
+        out.results.len(),
+        out.metrics.exact,
+        out.metrics.delay
+    );
+    assert!(out.metrics.exact);
+    assert_eq!(out.results, armada.expected_results(250.0, 400.0));
+
+    // Lossy network: recall degrades smoothly, never catastrophically.
+    println!("\nrecall under message loss (100 queries each):");
+    for p in [0.0, 0.05, 0.10, 0.20] {
+        let faults = FaultPlan::with_drop_prob(p);
+        let mut recall_sum = 0.0;
+        for q in 0..100 {
+            let lo: f64 = rng.gen_range(0.0..900.0);
+            let origin = armada.net().random_peer(&mut rng);
+            let out = armada.pira_query_with_faults(origin, lo, lo + 100.0, q, &faults)?;
+            recall_sum += out.metrics.peer_recall();
+        }
+        println!("  drop {:>3.0}% → avg peer recall {:.3}", p * 100.0, recall_sum / 100.0);
+    }
+
+    // Exact-match lookups detour around crashed peers.
+    println!("\nfault-tolerant lookup (DFS detours around a crashed next hop):");
+    let target = kautz::KautzStr::random(2, armada.net().config().object_id_len, &mut rng);
+    let from = armada.net().random_peer(&mut rng);
+    let clean = armada.net().route(from, &target)?;
+    if clean.hops() > 1 {
+        let mut faults = FaultPlan::new();
+        faults.crash(clean.path()[1]);
+        match armada.net().route_avoiding(from, &target, &faults) {
+            Ok(detour) => println!(
+                "  clean route: {} hops; with first hop crashed: {} hops, same owner = {}",
+                clean.hops(),
+                detour.hops(),
+                detour.dest() == clean.dest()
+            ),
+            Err(e) => println!("  detour failed: {e}"),
+        }
+    }
+    Ok(())
+}

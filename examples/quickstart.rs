@@ -1,0 +1,54 @@
+//! Quickstart: build a FISSIONE network, publish scored documents, and run
+//! a delay-bounded PIRA range query.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use armada::SingleArmada;
+use rand::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = simnet::rng_from_seed(2006);
+
+    // A 500-peer P2P network over the attribute space [0, 1000] — the
+    // paper's simulation setup (§4.3.3).
+    println!("building a 500-peer FISSIONE network…");
+    let mut armada = SingleArmada::build(500, 0.0, 1000.0, &mut rng)?;
+    let report = armada.net().check_invariants()?;
+    println!(
+        "  peers: {}, peer-id depth: {}..{}, neighborhood violations: {}",
+        report.peers, report.min_depth, report.max_depth, report.neighborhood_violations
+    );
+
+    // Publish 2000 documents with random scores.
+    for _ in 0..2000 {
+        let score: f64 = rng.gen_range(0.0..=1000.0);
+        armada.publish(score);
+    }
+    println!("  published {} records", armada.record_count());
+
+    // The paper's motivating query: "70 ≤ score ≤ 80".
+    let origin = armada.net().random_peer(&mut rng);
+    let outcome = armada.pira_query(origin, 70.0, 80.0, 1)?;
+
+    let log_n = (armada.net().len() as f64).log2();
+    println!("\nPIRA range query [70, 80] from peer {origin}:");
+    println!("  matching records : {}", outcome.results.len());
+    println!("  destination peers: {}", outcome.metrics.dest_peers);
+    println!("  exact            : {}", outcome.metrics.exact);
+    println!(
+        "  delay            : {} hops (logN = {log_n:.1}, bound 2·logN = {:.1})",
+        outcome.metrics.delay,
+        2.0 * log_n
+    );
+    println!(
+        "  messages         : {} (≈ logN + 2n − 2 = {:.0})",
+        outcome.metrics.messages,
+        log_n + 2.0 * outcome.metrics.dest_peers as f64 - 2.0
+    );
+
+    // Verify against the ground truth.
+    assert_eq!(outcome.results, armada.expected_results(70.0, 80.0));
+    assert!(f64::from(outcome.metrics.delay) < 2.0 * log_n);
+    println!("\nresult set verified against a direct scan ✓");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Umbrella crate for the Armada reproduction suite.
+//!
+//! Re-exports every crate in the workspace so examples and downstream users
+//! can depend on a single package:
+//!
+//! * [`kautz`] — Kautz strings, regions, graphs, partition trees, naming.
+//! * [`simnet`] — deterministic discrete-event overlay simulator.
+//! * [`fissione`] — the FISSIONE constant-degree DHT substrate.
+//! * [`armada`] — the paper's contribution: FRT, PIRA, MIRA range queries.
+//! * [`dht_api`] — common DHT abstractions for layered schemes.
+//! * [`dht_can`] — CAN + Hilbert mapping + DCF range queries (baseline).
+//! * [`pht`] — Prefix Hash Tree range queries over any DHT (baseline).
+//! * [`chord`] — Chord DHT (O(log N) degree substrate).
+//! * [`skipgraph`] — Skip Graph: the O(logN + n) range-query class.
+//! * [`sfc`] — z-order curve utilities shared by Squid and SCRAP.
+//! * [`squid`] — Squid: SFC cluster refinement over Chord (Table 1 row).
+//! * [`scrap`] — SCRAP: z-order over Skip Graph (Table 1 row).
+//! * [`experiments`] — runners regenerating every figure/table of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use armada;
+pub use armada_experiments as experiments;
+pub use chord;
+pub use dht_api;
+pub use dht_can;
+pub use fissione;
+pub use kautz;
+pub use pht;
+pub use scrap;
+pub use sfc;
+pub use simnet;
+pub use skipgraph;
+pub use squid;

@@ -1,0 +1,142 @@
+//! Cross-crate integration: the full stack (kautz → fissione → armada) and
+//! all three schemes answering the same workload identically.
+
+use armada::SingleArmada;
+use dht_can::dcf::{self, FloodMode};
+use dht_can::{CanConfig, CanNet};
+use fissione::FissioneConfig;
+use pht::Pht;
+use rand::Rng;
+
+fn scores(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = simnet::rng_from_seed(seed);
+    (0..n).map(|_| rng.gen_range(0.0..=1000.0)).collect()
+}
+
+#[test]
+fn all_three_schemes_agree_on_every_query() {
+    let mut rng = simnet::rng_from_seed(100);
+    let data = scores(800, 101);
+
+    let cfg = FissioneConfig { object_id_len: 32, ..FissioneConfig::default() };
+    let mut armada = SingleArmada::build_with(cfg, 250, 0.0, 1000.0, &mut rng).unwrap();
+    for &s in &data {
+        armada.publish(s);
+    }
+
+    let can_cfg = CanConfig { domain_lo: 0.0, domain_hi: 1000.0, ..CanConfig::default() };
+    let mut can = CanNet::build(can_cfg, 250, &mut rng).unwrap();
+    for (h, &s) in data.iter().enumerate() {
+        can.publish(s, h as u64);
+    }
+
+    let pht_dht = fissione::FissioneNet::build(cfg, 250, &mut rng).unwrap();
+    let mut pht = Pht::new(pht_dht, 0.0, 1000.0);
+    for (h, &s) in data.iter().enumerate() {
+        pht.insert(s, h as u64);
+    }
+
+    for q in 0..25u64 {
+        let lo: f64 = rng.gen_range(0.0..900.0);
+        let hi = lo + rng.gen_range(0.1..100.0);
+        let mut expected: Vec<u64> = data
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s >= lo && s <= hi)
+            .map(|(h, _)| h as u64)
+            .collect();
+        expected.sort_unstable();
+
+        let origin = armada.net().random_peer(&mut rng);
+        let pira = armada.pira_query(origin, lo, hi, q).unwrap();
+        let pira_ids: Vec<u64> = pira.results.iter().map(|r| r.0).collect();
+        assert_eq!(pira_ids, expected, "PIRA on [{lo}, {hi}]");
+        assert!(pira.metrics.exact);
+
+        let zo = can.random_zone(&mut rng);
+        let dcf = dcf::range_query(&can, zo, lo, hi, q, FloodMode::Directed).unwrap();
+        assert_eq!(dcf.results, expected, "DCF on [{lo}, {hi}]");
+
+        let po = {
+            use dht_api::Dht;
+            pht.dht().random_node(&mut rng)
+        };
+        let p = pht.range_query(po, lo, hi);
+        assert_eq!(p.results, expected, "PHT on [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn headline_claim_delay_bounded_vs_baselines() {
+    // The paper's central comparison, asserted quantitatively: PIRA's delay
+    // is flat in range size and under logN; DCF's grows; PHT's is a
+    // multiple of logN.
+    let mut rng = simnet::rng_from_seed(200);
+    let n = 600;
+    let cfg = FissioneConfig { object_id_len: 32, ..FissioneConfig::default() };
+    let armada = SingleArmada::build_with(cfg, n, 0.0, 1000.0, &mut rng).unwrap();
+    let can_cfg = CanConfig { domain_lo: 0.0, domain_hi: 1000.0, ..CanConfig::default() };
+    let can = CanNet::build(can_cfg, n, &mut rng).unwrap();
+    let log_n = (n as f64).log2();
+
+    let avg = |size: f64, rng: &mut rand::rngs::SmallRng| -> (f64, f64) {
+        let queries = 60;
+        let (mut p, mut d) = (0f64, 0f64);
+        for q in 0..queries {
+            let lo = rng.gen_range(0.0..(1000.0 - size));
+            let origin = armada.net().random_peer(rng);
+            p += f64::from(
+                armada.pira_query(origin, lo, lo + size, q).unwrap().metrics.delay,
+            );
+            let zo = can.random_zone(rng);
+            d += f64::from(
+                dcf::range_query(&can, zo, lo, lo + size, q, FloodMode::Directed)
+                    .unwrap()
+                    .delay,
+            );
+        }
+        (p / queries as f64, d / queries as f64)
+    };
+    let (pira_small, dcf_small) = avg(5.0, &mut rng);
+    let (pira_large, dcf_large) = avg(300.0, &mut rng);
+
+    assert!(pira_small < log_n && pira_large < log_n, "PIRA below logN");
+    assert!(
+        (pira_large - pira_small).abs() < 2.0,
+        "PIRA flat in range size: {pira_small} vs {pira_large}"
+    );
+    assert!(
+        dcf_large > dcf_small * 1.5,
+        "DCF grows with range size: {dcf_small} vs {dcf_large}"
+    );
+    assert!(dcf_small > pira_small, "DCF above PIRA even for small ranges");
+}
+
+#[test]
+fn umbrella_crate_reexports_everything() {
+    // The armada-suite facade exposes each subsystem.
+    use armada_suite::{armada as _, chord as _, dht_api as _, dht_can as _};
+    use armada_suite::{experiments as _, fissione as _, kautz as _, pht as _, simnet as _};
+    let naming = armada_suite::kautz::naming::SingleHash::new(0.0, 1.0, 8).unwrap();
+    assert_eq!(naming.k(), 8);
+}
+
+#[test]
+fn pira_handles_clustered_data_and_point_heavy_workloads() {
+    let mut rng = simnet::rng_from_seed(300);
+    let cfg = FissioneConfig { object_id_len: 32, ..FissioneConfig::default() };
+    let mut armada = SingleArmada::build_with(cfg, 150, 0.0, 1000.0, &mut rng).unwrap();
+    // Heavily clustered data: everything between 499 and 501.
+    for i in 0..500 {
+        armada.publish(499.0 + (i as f64) * 0.004);
+    }
+    let origin = armada.net().random_peer(&mut rng);
+    let out = armada.pira_query(origin, 499.0, 501.0, 1).unwrap();
+    assert_eq!(out.results.len(), 500);
+    assert!(out.metrics.exact);
+    // A disjoint query returns nothing but still terminates bounded.
+    let out = armada.pira_query(origin, 0.0, 100.0, 2).unwrap();
+    assert!(out.results.is_empty());
+    let b = armada.net().peer(origin).unwrap().depth() as u32;
+    assert!(out.metrics.delay <= b);
+}
