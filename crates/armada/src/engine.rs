@@ -93,9 +93,7 @@ impl SingleArmada {
         let id = RecordId(self.values.len() as u64);
         let object = self.naming.object_id(value);
         self.values.push(value);
-        self.net
-            .publish(object, id.0)
-            .expect("ObjectIDs always have an owner");
+        self.net.publish(object, id.0).expect("ObjectIDs always have an owner");
         id
     }
 
@@ -113,16 +111,16 @@ impl SingleArmada {
     /// Returns an error for an empty range.
     pub fn ground_truth_peers(&self, lo: f64, hi: f64) -> Result<BTreeSet<NodeId>, ArmadaError> {
         let region = self.naming.region(lo, hi)?;
-        Ok(self
-            .net
-            .peers_intersecting_range(region.low(), region.high())?
-            .into_iter()
-            .collect())
+        Ok(self.net.peers_intersecting_range(region.low(), region.high())?.into_iter().collect())
     }
 
     /// Ground truth by exhaustive scan (`O(N·k)`), kept as the reference the
     /// fast path is tested against.
-    pub fn ground_truth_peers_scan(&self, lo: f64, hi: f64) -> Result<BTreeSet<NodeId>, ArmadaError> {
+    pub fn ground_truth_peers_scan(
+        &self,
+        lo: f64,
+        hi: f64,
+    ) -> Result<BTreeSet<NodeId>, ArmadaError> {
         let region = self.naming.region(lo, hi)?;
         Ok(self
             .net
@@ -267,9 +265,7 @@ impl MultiArmada {
         let object = self.naming.object_id(values)?;
         let id = RecordId(self.points.len() as u64);
         self.points.push(values.to_vec());
-        self.net
-            .publish(object, id.0)
-            .expect("ObjectIDs always have an owner");
+        self.net.publish(object, id.0).expect("ObjectIDs always have an owner");
         Ok(id)
     }
 
@@ -301,11 +297,7 @@ impl MultiArmada {
         self.points
             .iter()
             .enumerate()
-            .filter(|(_, p)| {
-                p.iter()
-                    .zip(query.iter())
-                    .all(|(&v, &(lo, hi))| v >= lo && v <= hi)
-            })
+            .filter(|(_, p)| p.iter().zip(query.iter()).all(|(&v, &(lo, hi))| v >= lo && v <= hi))
             .map(|(i, _)| RecordId(i as u64))
             .collect()
     }
@@ -408,8 +400,7 @@ mod tests {
     fn multi_publish_rejects_bad_arity() {
         let mut rng = simnet::rng_from_seed(54);
         let mut m =
-            MultiArmada::build_with(small_cfg(), 20, &[(0.0, 1.0), (0.0, 1.0)], &mut rng)
-                .unwrap();
+            MultiArmada::build_with(small_cfg(), 20, &[(0.0, 1.0), (0.0, 1.0)], &mut rng).unwrap();
         assert!(m.publish(&[0.5]).is_err());
         assert!(m.publish(&[0.5, 0.5]).is_ok());
     }

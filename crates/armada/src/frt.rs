@@ -120,9 +120,7 @@ mod tests {
 
     fn find(net: &FissioneNet, id: &str) -> NodeId {
         let key: KautzStr = id.parse().unwrap();
-        net.live_peers()
-            .find(|&n| net.peer_id(n).unwrap() == &key)
-            .expect("peer exists")
+        net.live_peers().find(|&n| net.peer_id(n).unwrap() == &key).expect("peer exists")
     }
 
     #[test]
@@ -132,10 +130,7 @@ mod tests {
         let frt = ForwardRoutingTree::build(&net, root);
         assert_eq!(frt.level_count(), 4);
         let ids = |lvl: usize| -> Vec<String> {
-            frt.level(lvl)
-                .iter()
-                .map(|&n| net.peer_id(n).unwrap().to_string())
-                .collect()
+            frt.level(lvl).iter().map(|&n| net.peer_id(n).unwrap().to_string()).collect()
         };
         assert_eq!(ids(0), vec!["212"]);
         // Level 1: common prefix 12 (suffix of 212).
@@ -143,10 +138,7 @@ mod tests {
         // Level 2: common prefix 2.
         assert_eq!(ids(2), vec!["201", "202", "210", "212"]);
         // Level 3: all peers not starting with u_b = 2.
-        assert_eq!(
-            ids(3),
-            vec!["010", "012", "020", "021", "101", "102", "120", "121"]
-        );
+        assert_eq!(ids(3), vec!["010", "012", "020", "021", "101", "102", "120", "121"]);
     }
 
     #[test]
@@ -155,10 +147,8 @@ mod tests {
         let root = find(&net, "212");
         let frt = ForwardRoutingTree::build(&net, root);
         let kids = frt.children(&net, 0, root);
-        let kid_ids: Vec<String> = kids
-            .iter()
-            .map(|&n| net.peer_id(n).unwrap().to_string())
-            .collect();
+        let kid_ids: Vec<String> =
+            kids.iter().map(|&n| net.peer_id(n).unwrap().to_string()).collect();
         assert_eq!(kid_ids, vec!["120", "121"]);
         // Every level-1 node's children live in level 2.
         for &n in frt.level(1) {
@@ -175,11 +165,8 @@ mod tests {
         let root = find(&net, "212");
         let frt = ForwardRoutingTree::build(&net, root);
         for lvl in 0..frt.level_count() - 1 {
-            let mut reached: Vec<NodeId> = frt
-                .level(lvl)
-                .iter()
-                .flat_map(|&n| frt.children(&net, lvl, n))
-                .collect();
+            let mut reached: Vec<NodeId> =
+                frt.level(lvl).iter().flat_map(|&n| frt.children(&net, lvl, n)).collect();
             reached.sort_unstable();
             reached.dedup();
             let mut expect: Vec<NodeId> = frt.level(lvl + 1).to_vec();

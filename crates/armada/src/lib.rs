@@ -52,12 +52,14 @@ mod frt;
 mod metrics;
 pub mod mira;
 pub mod pira;
+pub mod scheme;
 pub mod seqwalk;
 pub mod topk;
 
 pub use engine::{MultiArmada, RecordId, SingleArmada};
 pub use frt::ForwardRoutingTree;
 pub use metrics::{QueryMetrics, QueryOutcome};
+pub use scheme::{register, MiraScheme, PiraScheme, SeqWalkScheme};
 pub use topk::TopKOutcome;
 
 /// Errors returned by Armada query operations.

@@ -70,13 +70,7 @@ mod tests {
     use super::*;
 
     fn metrics(messages: u64, dest: usize) -> QueryMetrics {
-        QueryMetrics {
-            delay: 5,
-            messages,
-            dest_peers: dest,
-            reached_peers: dest,
-            exact: true,
-        }
+        QueryMetrics { delay: 5, messages, dest_peers: dest, reached_peers: dest, exact: true }
     }
 
     #[test]
@@ -94,13 +88,8 @@ mod tests {
 
     #[test]
     fn recall_is_fraction_reached() {
-        let m = QueryMetrics {
-            delay: 1,
-            messages: 3,
-            dest_peers: 4,
-            reached_peers: 3,
-            exact: false,
-        };
+        let m =
+            QueryMetrics { delay: 1, messages: 3, dest_peers: 4, reached_peers: 3, exact: false };
         assert_eq!(m.peer_recall(), 0.75);
     }
 }

@@ -75,10 +75,8 @@ pub(crate) fn query(
                 for &h in handles {
                     let record = RecordId(h);
                     let point = armada.point(record);
-                    let inside = point
-                        .iter()
-                        .zip(ranges.iter())
-                        .all(|(&v, &(lo, hi))| v >= lo && v <= hi);
+                    let inside =
+                        point.iter().zip(ranges.iter()).all(|(&v, &(lo, hi))| v >= lo && v <= hi);
                     if inside {
                         results.insert(record);
                     }
@@ -136,13 +134,9 @@ mod tests {
 
     fn build2(n: usize, records: usize, seed: u64) -> MultiArmada {
         let mut rng = simnet::rng_from_seed(seed);
-        let mut m = MultiArmada::build_with(
-            small_cfg(),
-            n,
-            &[(0.0, 100.0), (0.0, 100.0)],
-            &mut rng,
-        )
-        .unwrap();
+        let mut m =
+            MultiArmada::build_with(small_cfg(), n, &[(0.0, 100.0), (0.0, 100.0)], &mut rng)
+                .unwrap();
         for _ in 0..records {
             let p = [rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)];
             m.publish(&p).unwrap();

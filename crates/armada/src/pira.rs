@@ -113,9 +113,7 @@ pub(crate) fn query(
                 // shorter than the transit prefix (possible only when the
                 // neighborhood invariant is violated) degrade to the
                 // never-prune test `ComS`.
-                let w = com_s
-                    .concat(&cid.drop_front(strip))
-                    .unwrap_or_else(|_| com_s.clone());
+                let w = com_s.concat(&cid.drop_front(strip)).unwrap_or_else(|_| com_s.clone());
                 if sub.intersects_prefix(&w) {
                     sim.forward(
                         &env,
@@ -289,9 +287,7 @@ mod tests {
         for q in 0..100 {
             let lo = rng.gen_range(0.0..800.0);
             let origin = a.net().random_peer(&mut rng);
-            let out = a
-                .pira_query_with_faults(origin, lo, lo + 150.0, q, &faults)
-                .unwrap();
+            let out = a.pira_query_with_faults(origin, lo, lo + 150.0, q, &faults).unwrap();
             recalls.push(out.metrics.peer_recall());
             assert!(out.metrics.reached_peers <= out.metrics.dest_peers);
         }

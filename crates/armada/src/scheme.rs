@@ -1,0 +1,387 @@
+//! Armada behind the unified [`dht_api`] query interface.
+//!
+//! Three adapters: [`PiraScheme`] (single-attribute PIRA), [`SeqWalkScheme`]
+//! (the sequential-walk reference baseline), and [`MiraScheme`]
+//! (multi-attribute MIRA). Each wraps the native engine plus a
+//! `RecordId → caller handle` table, so [`RangeOutcome::results`] carries
+//! the handles the caller published — the contract every scheme shares.
+//!
+//! [`RangeOutcome::results`]: dht_api::RangeOutcome
+
+use crate::{ArmadaError, MultiArmada, QueryOutcome, SingleArmada};
+use dht_api::{
+    BuildParams, MultiBuildParams, MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError,
+    SchemeRegistry,
+};
+use fissione::FissioneConfig;
+use rand::rngs::SmallRng;
+use simnet::NodeId;
+
+impl From<ArmadaError> for SchemeError {
+    fn from(e: ArmadaError) -> Self {
+        match e {
+            ArmadaError::BadOrigin { origin } => SchemeError::BadOrigin { origin },
+            other => SchemeError::Query(other.to_string()),
+        }
+    }
+}
+
+impl QueryOutcome {
+    /// Converts into the scheme-generic outcome. `results` carries raw
+    /// [`RecordId`](crate::RecordId) values; adapters that track caller
+    /// handles remap before converting.
+    pub fn into_outcome(self) -> RangeOutcome {
+        RangeOutcome {
+            results: self.results.iter().map(|r| r.0).collect(),
+            delay: u64::from(self.metrics.delay),
+            messages: self.metrics.messages,
+            dest_peers: self.metrics.dest_peers,
+            reached_peers: self.metrics.reached_peers,
+            exact: self.metrics.exact,
+        }
+    }
+}
+
+impl From<QueryOutcome> for RangeOutcome {
+    fn from(out: QueryOutcome) -> Self {
+        out.into_outcome()
+    }
+}
+
+/// Remaps a native outcome's `RecordId` results through a handle table.
+fn remap(out: QueryOutcome, handles: &[u64]) -> RangeOutcome {
+    let mut converted = out.into_outcome();
+    for r in &mut converted.results {
+        *r = handles[*r as usize];
+    }
+    converted.results.sort_unstable();
+    converted
+}
+
+fn build_single(params: &BuildParams, rng: &mut SmallRng) -> Result<SingleArmada, SchemeError> {
+    let cfg = FissioneConfig { object_id_len: params.object_id_len, ..FissioneConfig::default() };
+    SingleArmada::build_with(cfg, params.n, params.domain.0, params.domain.1, rng)
+        .map_err(|e| SchemeError::Build(e.to_string()))
+}
+
+/// Armada's PIRA algorithm as a [`RangeScheme`].
+#[derive(Debug, Clone)]
+pub struct PiraScheme {
+    inner: SingleArmada,
+    handles: Vec<u64>,
+}
+
+impl PiraScheme {
+    /// Builds an `n`-peer Armada system per the registry parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Build`] for invalid domains or undersized networks.
+    pub fn build(params: &BuildParams, rng: &mut SmallRng) -> Result<Self, SchemeError> {
+        Ok(PiraScheme { inner: build_single(params, rng)?, handles: Vec::new() })
+    }
+
+    /// The wrapped native engine.
+    pub fn inner(&self) -> &SingleArmada {
+        &self.inner
+    }
+}
+
+impl RangeScheme for PiraScheme {
+    fn scheme_name(&self) -> &'static str {
+        "pira"
+    }
+
+    fn substrate(&self) -> String {
+        "FissionE".into()
+    }
+
+    fn degree(&self) -> String {
+        format!("{:.1}", self.inner.net().degree_stats().total.mean)
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.net().len()
+    }
+
+    fn supports_rect(&self) -> bool {
+        true // the Armada family: MIRA answers rectangles
+    }
+
+    fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
+        self.inner.publish(value);
+        self.handles.push(handle);
+        Ok(())
+    }
+
+    fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+        self.inner.net().random_peer(rng)
+    }
+
+    fn range_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if lo > hi {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        let out = self.inner.pira_query(origin, lo, hi, seed)?;
+        Ok(remap(out, &self.handles))
+    }
+}
+
+/// The sequential-walk reference baseline as a [`RangeScheme`].
+///
+/// Models the `O(logN + n)` linked-list class (Skip Graph / SkipNet) over
+/// Armada's data placement; see [`crate::seqwalk`].
+#[derive(Debug, Clone)]
+pub struct SeqWalkScheme {
+    inner: SingleArmada,
+    handles: Vec<u64>,
+}
+
+impl SeqWalkScheme {
+    /// Builds an `n`-peer network per the registry parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Build`] for invalid domains or undersized networks.
+    pub fn build(params: &BuildParams, rng: &mut SmallRng) -> Result<Self, SchemeError> {
+        Ok(SeqWalkScheme { inner: build_single(params, rng)?, handles: Vec::new() })
+    }
+}
+
+impl RangeScheme for SeqWalkScheme {
+    fn scheme_name(&self) -> &'static str {
+        "seqwalk"
+    }
+
+    fn substrate(&self) -> String {
+        "FissionE placement".into()
+    }
+
+    fn degree(&self) -> String {
+        "2 (successor list)".into()
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.net().len()
+    }
+
+    fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
+        self.inner.publish(value);
+        self.handles.push(handle);
+        Ok(())
+    }
+
+    fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+        self.inner.net().random_peer(rng)
+    }
+
+    fn range_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        _seed: u64,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if lo > hi {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        let out = crate::seqwalk::query(&self.inner, origin, lo, hi)?;
+        Ok(remap(out, &self.handles))
+    }
+}
+
+/// Armada's MIRA algorithm as a [`MultiRangeScheme`].
+#[derive(Debug, Clone)]
+pub struct MiraScheme {
+    inner: MultiArmada,
+    dims: usize,
+    handles: Vec<u64>,
+}
+
+impl MiraScheme {
+    /// Builds an `n`-peer multi-attribute Armada system.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Build`] for invalid domains or undersized networks.
+    pub fn build(params: &MultiBuildParams, rng: &mut SmallRng) -> Result<Self, SchemeError> {
+        let cfg =
+            FissioneConfig { object_id_len: params.object_id_len, ..FissioneConfig::default() };
+        let inner = MultiArmada::build_with(cfg, params.n, &params.domains, rng)
+            .map_err(|e| SchemeError::Build(e.to_string()))?;
+        Ok(MiraScheme { inner, dims: params.domains.len(), handles: Vec::new() })
+    }
+
+    /// The wrapped native engine.
+    pub fn inner(&self) -> &MultiArmada {
+        &self.inner
+    }
+}
+
+impl MultiRangeScheme for MiraScheme {
+    fn scheme_name(&self) -> &'static str {
+        "mira"
+    }
+
+    fn substrate(&self) -> String {
+        "FissionE".into()
+    }
+
+    fn degree(&self) -> String {
+        format!("{:.1}", self.inner.net().degree_stats().total.mean)
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.net().len()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn publish_point(&mut self, point: &[f64], handle: u64) -> Result<(), SchemeError> {
+        if point.len() != self.dims {
+            return Err(SchemeError::WrongArity { expected: self.dims, got: point.len() });
+        }
+        self.inner.publish(point)?;
+        self.handles.push(handle);
+        Ok(())
+    }
+
+    fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+        self.inner.net().random_peer(rng)
+    }
+
+    fn rect_query(
+        &self,
+        origin: NodeId,
+        rect: &[(f64, f64)],
+        seed: u64,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if rect.len() != self.dims {
+            return Err(SchemeError::WrongArity { expected: self.dims, got: rect.len() });
+        }
+        if let Some(&(lo, hi)) = rect.iter().find(|&&(lo, hi)| lo > hi) {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        let out = self.inner.mira_query(origin, rect, seed)?;
+        Ok(remap(out, &self.handles))
+    }
+}
+
+/// Registers `"pira"`, `"seqwalk"` (single) and `"mira"` (multi).
+pub fn register(reg: &mut SchemeRegistry) {
+    reg.register_single("pira", Box::new(|p, rng| Ok(Box::new(PiraScheme::build(p, rng)?))));
+    reg.register_single("seqwalk", Box::new(|p, rng| Ok(Box::new(SeqWalkScheme::build(p, rng)?))));
+    reg.register_multi("mira", Box::new(|p, rng| Ok(Box::new(MiraScheme::build(p, rng)?))));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn params(n: usize) -> BuildParams {
+        BuildParams::new(n, 0.0, 1000.0).with_object_id_len(24)
+    }
+
+    #[test]
+    fn pira_scheme_matches_native_engine() {
+        let mut rng = simnet::rng_from_seed(800);
+        let mut scheme = PiraScheme::build(&params(120), &mut rng).unwrap();
+        // Publish with shuffled handles so remapping is actually exercised.
+        let mut values = Vec::new();
+        for i in 0..300u64 {
+            let v = rng.gen_range(0.0..=1000.0);
+            let handle = 10_000 - i; // descending handles
+            scheme.publish(v, handle).unwrap();
+            values.push((v, handle));
+        }
+        for q in 0..20 {
+            let lo = rng.gen_range(0.0..900.0);
+            let hi = lo + rng.gen_range(0.5..100.0);
+            let origin = scheme.random_origin(&mut rng);
+            let out = scheme.range_query(origin, lo, hi, q).unwrap();
+            let mut expect: Vec<u64> =
+                values.iter().filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
+            expect.sort_unstable();
+            assert_eq!(out.results, expect, "query [{lo}, {hi}]");
+            assert!(out.exact);
+        }
+    }
+
+    #[test]
+    fn seqwalk_scheme_agrees_with_pira_scheme() {
+        let mut rng = simnet::rng_from_seed(801);
+        let mut pira = PiraScheme::build(&params(100), &mut rng).unwrap();
+        let mut rng2 = simnet::rng_from_seed(801);
+        let mut walk = SeqWalkScheme::build(&params(100), &mut rng2).unwrap();
+        let mut data_rng = simnet::rng_from_seed(8010);
+        for h in 0..200u64 {
+            let v = data_rng.gen_range(0.0..=1000.0);
+            pira.publish(v, h).unwrap();
+            walk.publish(v, h).unwrap();
+        }
+        for q in 0..10 {
+            let lo = data_rng.gen_range(0.0..800.0);
+            let origin = pira.random_origin(&mut data_rng);
+            let a = pira.range_query(origin, lo, lo + 100.0, q).unwrap();
+            let b = walk.range_query(origin, lo, lo + 100.0, q).unwrap();
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.dest_peers, b.dest_peers);
+        }
+    }
+
+    #[test]
+    fn mira_scheme_answers_rectangles() {
+        let mut rng = simnet::rng_from_seed(802);
+        let p = MultiBuildParams::new(80, &[(0.0, 100.0), (0.0, 100.0)]).with_object_id_len(24);
+        let mut scheme = MiraScheme::build(&p, &mut rng).unwrap();
+        assert_eq!(scheme.dims(), 2);
+        let mut pts = Vec::new();
+        for h in 0..150u64 {
+            let pt = [rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)];
+            scheme.publish_point(&pt, h).unwrap();
+            pts.push(pt);
+        }
+        let rect = [(20.0, 60.0), (30.0, 70.0)];
+        let origin = scheme.random_origin(&mut rng);
+        let out = scheme.rect_query(origin, &rect, 1).unwrap();
+        let mut expect: Vec<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.iter().zip(rect.iter()).all(|(&v, &(lo, hi))| v >= lo && v <= hi))
+            .map(|(h, _)| h as u64)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(out.results, expect);
+        assert!(out.exact);
+        // Arity errors are uniform.
+        assert!(matches!(
+            scheme.rect_query(origin, &[(0.0, 1.0)], 1),
+            Err(SchemeError::WrongArity { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = SchemeRegistry::new();
+        register(&mut reg);
+        assert_eq!(reg.single_names(), vec!["pira", "seqwalk"]);
+        assert_eq!(reg.multi_names(), vec!["mira"]);
+        let mut rng = simnet::rng_from_seed(803);
+        let mut s = reg.build_single("pira", &params(60), &mut rng).unwrap();
+        s.publish(500.0, 7).unwrap();
+        let origin = s.random_origin(&mut rng);
+        let out = s.range_query(origin, 499.0, 501.0, 0).unwrap();
+        assert_eq!(out.results, vec![7]);
+        // The unified error vocabulary holds for the Armada adapters too.
+        assert!(matches!(s.range_query(origin, 5.0, 1.0, 0), Err(SchemeError::EmptyRange { .. })));
+    }
+}

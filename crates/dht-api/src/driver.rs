@@ -1,0 +1,279 @@
+//! A generic batched query driver: run a workload of range queries against
+//! *any* scheme and aggregate the outcomes into summary statistics.
+//!
+//! This is the hook the experiment harness (and future throughput work —
+//! batched pipelines, parallel drivers, new overlays) builds on: the driver
+//! owns the per-query loop and the aggregation, so a new scheme or workload
+//! never re-implements measurement glue.
+
+use crate::scheme::{MultiRangeScheme, RangeScheme, SchemeError};
+use rand::rngs::SmallRng;
+use simnet::Summary;
+
+/// A batched driver: `queries` queries, per-query seeds derived from
+/// `seed` by addition (query `q` runs with `seed + q`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryDriver {
+    /// Number of queries to run.
+    pub queries: usize,
+    /// Base seed for per-query scheme randomness.
+    pub seed: u64,
+}
+
+/// Aggregated measurements over one driver run.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Registry name of the measured scheme.
+    pub scheme: String,
+    /// Queries executed.
+    pub queries: usize,
+    /// Delay (hops) per query.
+    pub delay: Summary,
+    /// Messages per query.
+    pub messages: Summary,
+    /// Ground-truth destination count per query.
+    pub dest_peers: Summary,
+    /// `MesgRatio` per query.
+    pub mesg_ratio: Summary,
+    /// `IncreRatio` per query.
+    pub incre_ratio: Summary,
+    /// Fraction of queries answered exactly (1.0 for fault-free runs of
+    /// exact schemes).
+    pub exact_rate: f64,
+    /// Total results returned across the workload.
+    pub results_returned: u64,
+}
+
+/// Sample accumulator shared by the single- and multi-attribute loops.
+#[derive(Debug, Default)]
+struct Accumulator {
+    delay: Vec<f64>,
+    messages: Vec<f64>,
+    dest_peers: Vec<f64>,
+    mesg_ratio: Vec<f64>,
+    incre_ratio: Vec<f64>,
+    exact: usize,
+    results: u64,
+}
+
+impl Accumulator {
+    fn push(&mut self, out: &crate::RangeOutcome, n_peers: usize) {
+        self.delay.push(out.delay as f64);
+        self.messages.push(out.messages as f64);
+        self.dest_peers.push(out.dest_peers as f64);
+        self.mesg_ratio.push(out.mesg_ratio());
+        self.incre_ratio.push(out.incre_ratio(n_peers));
+        if out.exact {
+            self.exact += 1;
+        }
+        self.results += out.results.len() as u64;
+    }
+
+    fn report(self, scheme: &str, queries: usize) -> DriverReport {
+        DriverReport {
+            scheme: scheme.to_string(),
+            queries,
+            delay: Summary::from_samples(self.delay),
+            messages: Summary::from_samples(self.messages),
+            dest_peers: Summary::from_samples(self.dest_peers),
+            mesg_ratio: Summary::from_samples(self.mesg_ratio),
+            incre_ratio: Summary::from_samples(self.incre_ratio),
+            exact_rate: self.exact as f64 / queries.max(1) as f64,
+            results_returned: self.results,
+        }
+    }
+}
+
+impl QueryDriver {
+    /// A driver running `queries` queries with base seed 0 (per-query seed
+    /// equals the query index).
+    pub fn new(queries: usize) -> Self {
+        QueryDriver { queries, seed: 0 }
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the workload against a single-attribute scheme. For each query,
+    /// `next_range` draws `(lo, hi)` from the workload distribution, then
+    /// the driver picks a random origin and executes — the same call
+    /// sequence every experiment previously hand-rolled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first query error (fault-free workloads on live
+    /// origins never fail).
+    pub fn run<W>(
+        &self,
+        scheme: &dyn RangeScheme,
+        rng: &mut SmallRng,
+        mut next_range: W,
+    ) -> Result<DriverReport, SchemeError>
+    where
+        W: FnMut(&mut SmallRng) -> (f64, f64),
+    {
+        let n_peers = scheme.node_count();
+        let mut acc = Accumulator::default();
+        for q in 0..self.queries {
+            let (lo, hi) = next_range(rng);
+            let origin = scheme.random_origin(rng);
+            let out = scheme.range_query(origin, lo, hi, self.seed.wrapping_add(q as u64))?;
+            acc.push(&out, n_peers);
+        }
+        Ok(acc.report(scheme.scheme_name(), self.queries))
+    }
+
+    /// Runs the workload against a multi-attribute scheme; `next_rect`
+    /// draws one rectangle per query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first query error.
+    pub fn run_multi<W>(
+        &self,
+        scheme: &dyn MultiRangeScheme,
+        rng: &mut SmallRng,
+        mut next_rect: W,
+    ) -> Result<DriverReport, SchemeError>
+    where
+        W: FnMut(&mut SmallRng) -> Vec<(f64, f64)>,
+    {
+        let n_peers = scheme.node_count();
+        let mut acc = Accumulator::default();
+        for q in 0..self.queries {
+            let rect = next_rect(rng);
+            let origin = scheme.random_origin(rng);
+            let out = scheme.rect_query(origin, &rect, self.seed.wrapping_add(q as u64))?;
+            acc.push(&out, n_peers);
+        }
+        Ok(acc.report(scheme.scheme_name(), self.queries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{RangeOutcome, RangeScheme};
+    use rand::Rng;
+    use simnet::NodeId;
+
+    /// Fixed-cost fake scheme: every query costs `delay = 2`, `messages =
+    /// 5`, reaches 4/4 destinations and returns one result per whole unit
+    /// of range width.
+    struct Fixed;
+
+    impl RangeScheme for Fixed {
+        fn scheme_name(&self) -> &'static str {
+            "fixed"
+        }
+
+        fn substrate(&self) -> String {
+            "test".into()
+        }
+
+        fn degree(&self) -> String {
+            "1".into()
+        }
+
+        fn node_count(&self) -> usize {
+            32
+        }
+
+        fn publish(&mut self, _value: f64, _handle: u64) -> Result<(), SchemeError> {
+            Ok(())
+        }
+
+        fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+            rng.gen_range(0..32)
+        }
+
+        fn range_query(
+            &self,
+            _origin: NodeId,
+            lo: f64,
+            hi: f64,
+            _seed: u64,
+        ) -> Result<RangeOutcome, SchemeError> {
+            Ok(RangeOutcome {
+                results: (0..(hi - lo).round() as u64).collect(),
+                delay: 2,
+                messages: 5,
+                dest_peers: 4,
+                reached_peers: 4,
+                exact: true,
+            })
+        }
+    }
+
+    #[test]
+    fn driver_aggregates_fixed_costs_exactly() {
+        let driver = QueryDriver::new(50);
+        let mut rng = simnet::rng_from_seed(9);
+        let report = driver.run(&Fixed, &mut rng, |rng| {
+            let lo = rng.gen_range(0.0..100.0);
+            (lo, lo + 3.0)
+        });
+        let report = report.unwrap();
+        assert_eq!(report.queries, 50);
+        assert_eq!(report.delay.mean, 2.0);
+        assert_eq!(report.delay.max, 2.0);
+        assert_eq!(report.messages.mean, 5.0);
+        assert_eq!(report.dest_peers.mean, 4.0);
+        assert_eq!(report.exact_rate, 1.0);
+        assert_eq!(report.mesg_ratio.mean, 1.25);
+        // 3 results per query (range width 3).
+        assert_eq!(report.results_returned, 150);
+        assert_eq!(report.scheme, "fixed");
+    }
+
+    #[test]
+    fn driver_seeds_are_distinct_per_query() {
+        struct SeedProbe(std::cell::RefCell<Vec<u64>>);
+        impl RangeScheme for SeedProbe {
+            fn scheme_name(&self) -> &'static str {
+                "probe"
+            }
+            fn substrate(&self) -> String {
+                "test".into()
+            }
+            fn degree(&self) -> String {
+                "0".into()
+            }
+            fn node_count(&self) -> usize {
+                1
+            }
+            fn publish(&mut self, _: f64, _: u64) -> Result<(), SchemeError> {
+                Ok(())
+            }
+            fn random_origin(&self, _: &mut SmallRng) -> NodeId {
+                0
+            }
+            fn range_query(
+                &self,
+                _: NodeId,
+                _: f64,
+                _: f64,
+                seed: u64,
+            ) -> Result<RangeOutcome, SchemeError> {
+                self.0.borrow_mut().push(seed);
+                Ok(RangeOutcome {
+                    results: vec![],
+                    delay: 0,
+                    messages: 0,
+                    dest_peers: 0,
+                    reached_peers: 0,
+                    exact: true,
+                })
+            }
+        }
+
+        let probe = SeedProbe(std::cell::RefCell::new(Vec::new()));
+        let driver = QueryDriver::new(4).with_seed(100);
+        let mut rng = simnet::rng_from_seed(1);
+        driver.run(&probe, &mut rng, |_| (0.0, 1.0)).unwrap();
+        assert_eq!(*probe.0.borrow(), vec![100, 101, 102, 103]);
+    }
+}

@@ -1,14 +1,33 @@
-//! Common abstractions for *general* (layered) range-query schemes.
+//! The workspace's query-facing contract: one trait, one outcome type, one
+//! driver for every range-query scheme.
 //!
 //! The Armada paper's taxonomy (§2) distinguishes schemes that modify the
 //! DHT from **general** schemes built entirely on the standard exact-match
-//! interface. PHT is the canonical general scheme that runs on *any* DHT;
-//! this crate defines the minimal interface it needs — keyed routing with
-//! hop accounting — implemented by both [`fissione`](https://crates.io)
-//! (constant degree) and `chord` (logarithmic degree) in this workspace.
+//! interface; its evaluation (Table 1, Figures 5–8) then *compares* seven
+//! schemes on identical workloads. This crate carries both halves of that
+//! structure:
+//!
+//! * [`Dht`] — the minimal exact-match interface a layered scheme (PHT)
+//!   consumes: keyed routing with hop accounting, implemented by `fissione`
+//!   (constant degree) and `chord` (logarithmic degree).
+//! * [`RangeScheme`] / [`MultiRangeScheme`] — the unified query interface
+//!   every scheme in the workspace implements, returning the shared
+//!   [`RangeOutcome`] metric vocabulary.
+//! * [`SchemeRegistry`] — name → builder tables so callers select schemes
+//!   at runtime as trait objects.
+//! * [`QueryDriver`] — a batched workload runner aggregating
+//!   [`RangeOutcome`]s into [`DriverReport`] summary statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod driver;
+mod registry;
+mod scheme;
+
+pub use driver::{DriverReport, QueryDriver};
+pub use registry::{BuildParams, MultiBuildParams, MultiBuilder, SchemeRegistry, SingleBuilder};
+pub use scheme::{MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError};
 
 use rand::rngs::SmallRng;
 use simnet::NodeId;
@@ -30,10 +49,19 @@ pub trait Dht {
     /// Routes from `from` to the peer owning `key`.
     fn route_key(&self, from: NodeId, key: u64) -> Lookup;
 
-    /// The peer owning `key` (no routing cost).
+    /// The peer owning `key`.
+    ///
+    /// **Cost:** the default implementation pays a full [`route_key`]
+    /// traversal from [`any_node`] to find the owner — `O(log N)` overlay
+    /// hops of simulated work, the opposite of free. Substrates with a
+    /// global view (`chord`, `fissione`) override it with an `O(log N)`
+    /// *local* table lookup that routes nothing; only those overrides are
+    /// cost-free. Callers that need the owner without paying (or charging)
+    /// routing should only rely on that on substrates known to override.
+    ///
+    /// [`route_key`]: Dht::route_key
+    /// [`any_node`]: Dht::any_node
     fn owner_of_key(&self, key: u64) -> NodeId {
-        // Routing from the owner itself costs zero hops; implementations
-        // may override with a direct lookup.
         let probe = self.route_key(self.any_node(), key);
         probe.owner
     }

@@ -1,0 +1,278 @@
+//! Runtime scheme selection: build any registered scheme by name.
+//!
+//! Scheme crates cannot be depended on from here (they depend on `dht-api`),
+//! so the registry stores *builder closures*. Each scheme crate exports a
+//! `register(&mut SchemeRegistry)` function, and
+//! `armada_experiments::standard_registry()` assembles the full set.
+
+use crate::scheme::{MultiRangeScheme, RangeScheme, SchemeError};
+use rand::rngs::SmallRng;
+use std::collections::BTreeMap;
+
+/// Construction parameters for a single-attribute scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildParams {
+    /// Number of peers (or zones) to build.
+    pub n: usize,
+    /// Attribute domain `[lo, hi]`.
+    pub domain: (f64, f64),
+    /// Resolution knob for Kautz-named schemes (FISSIONE ObjectID length;
+    /// the paper's default is 100). Schemes without such a knob ignore it.
+    pub object_id_len: usize,
+}
+
+impl BuildParams {
+    /// Params for `n` peers over `[lo, hi]` with the paper's defaults.
+    pub fn new(n: usize, lo: f64, hi: f64) -> Self {
+        BuildParams { n, domain: (lo, hi), object_id_len: 100 }
+    }
+
+    /// Overrides the ObjectID length (tests use shorter IDs for speed).
+    pub fn with_object_id_len(mut self, len: usize) -> Self {
+        self.object_id_len = len;
+        self
+    }
+}
+
+/// Construction parameters for a multi-attribute scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiBuildParams {
+    /// Number of peers to build.
+    pub n: usize,
+    /// Per-attribute domains.
+    pub domains: Vec<(f64, f64)>,
+    /// Resolution knob for Kautz-named schemes (see [`BuildParams`]).
+    pub object_id_len: usize,
+}
+
+impl MultiBuildParams {
+    /// Params for `n` peers over the given per-attribute domains.
+    pub fn new(n: usize, domains: &[(f64, f64)]) -> Self {
+        MultiBuildParams { n, domains: domains.to_vec(), object_id_len: 100 }
+    }
+
+    /// Overrides the ObjectID length.
+    pub fn with_object_id_len(mut self, len: usize) -> Self {
+        self.object_id_len = len;
+        self
+    }
+}
+
+/// Builder closure for a single-attribute scheme.
+pub type SingleBuilder =
+    Box<dyn Fn(&BuildParams, &mut SmallRng) -> Result<Box<dyn RangeScheme>, SchemeError>>;
+
+/// Builder closure for a multi-attribute scheme.
+pub type MultiBuilder =
+    Box<dyn Fn(&MultiBuildParams, &mut SmallRng) -> Result<Box<dyn MultiRangeScheme>, SchemeError>>;
+
+/// Name → builder tables for both query shapes.
+///
+/// # Example
+///
+/// ```
+/// use dht_api::{BuildParams, SchemeRegistry};
+///
+/// let mut reg = SchemeRegistry::new();
+/// // Scheme crates register themselves:
+/// // armada::register(&mut reg);
+/// // dht_can::register(&mut reg);
+/// assert!(reg.build_single("pira", &BuildParams::new(100, 0.0, 1.0),
+///     &mut simnet::rng_from_seed(1)).is_err()); // nothing registered yet
+/// ```
+#[derive(Default)]
+pub struct SchemeRegistry {
+    single: BTreeMap<String, SingleBuilder>,
+    multi: BTreeMap<String, MultiBuilder>,
+}
+
+impl SchemeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SchemeRegistry::default()
+    }
+
+    /// Registers a single-attribute scheme builder under `name`
+    /// (overwrites any previous registration of the same name).
+    pub fn register_single(&mut self, name: &str, builder: SingleBuilder) {
+        self.single.insert(name.to_string(), builder);
+    }
+
+    /// Registers a multi-attribute scheme builder under `name`.
+    pub fn register_multi(&mut self, name: &str, builder: MultiBuilder) {
+        self.multi.insert(name.to_string(), builder);
+    }
+
+    /// Builds the single-attribute scheme registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::UnknownScheme`] for unregistered names; otherwise
+    /// whatever the scheme's own builder returns.
+    pub fn build_single(
+        &self,
+        name: &str,
+        params: &BuildParams,
+        rng: &mut SmallRng,
+    ) -> Result<Box<dyn RangeScheme>, SchemeError> {
+        let builder = self
+            .single
+            .get(name)
+            .ok_or_else(|| SchemeError::UnknownScheme { name: name.to_string(), kind: "single" })?;
+        builder(params, rng)
+    }
+
+    /// Builds the multi-attribute scheme registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::UnknownScheme`] for unregistered names; otherwise
+    /// whatever the scheme's own builder returns.
+    pub fn build_multi(
+        &self,
+        name: &str,
+        params: &MultiBuildParams,
+        rng: &mut SmallRng,
+    ) -> Result<Box<dyn MultiRangeScheme>, SchemeError> {
+        let builder = self
+            .multi
+            .get(name)
+            .ok_or_else(|| SchemeError::UnknownScheme { name: name.to_string(), kind: "multi" })?;
+        builder(params, rng)
+    }
+
+    /// Names of all registered single-attribute schemes, sorted.
+    pub fn single_names(&self) -> Vec<&str> {
+        self.single.keys().map(String::as_str).collect()
+    }
+
+    /// Names of all registered multi-attribute schemes, sorted.
+    pub fn multi_names(&self) -> Vec<&str> {
+        self.multi.keys().map(String::as_str).collect()
+    }
+}
+
+impl std::fmt::Debug for SchemeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemeRegistry")
+            .field("single", &self.single_names())
+            .field("multi", &self.multi_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{RangeOutcome, RangeScheme};
+    use simnet::NodeId;
+
+    /// A toy in-memory scheme for registry tests.
+    struct LocalScan {
+        records: Vec<(f64, u64)>,
+        n: usize,
+    }
+
+    impl RangeScheme for LocalScan {
+        fn scheme_name(&self) -> &'static str {
+            "local-scan"
+        }
+
+        fn substrate(&self) -> String {
+            "none".into()
+        }
+
+        fn degree(&self) -> String {
+            "0".into()
+        }
+
+        fn node_count(&self) -> usize {
+            self.n
+        }
+
+        fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
+            self.records.push((value, handle));
+            Ok(())
+        }
+
+        fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+            use rand::Rng;
+            rng.gen_range(0..self.n)
+        }
+
+        fn range_query(
+            &self,
+            _origin: NodeId,
+            lo: f64,
+            hi: f64,
+            _seed: u64,
+        ) -> Result<RangeOutcome, SchemeError> {
+            if lo > hi {
+                return Err(SchemeError::EmptyRange { lo, hi });
+            }
+            let mut results: Vec<u64> = self
+                .records
+                .iter()
+                .filter(|&&(v, _)| v >= lo && v <= hi)
+                .map(|&(_, h)| h)
+                .collect();
+            results.sort_unstable();
+            Ok(RangeOutcome {
+                results,
+                delay: 0,
+                messages: 0,
+                dest_peers: 1,
+                reached_peers: 1,
+                exact: true,
+            })
+        }
+    }
+
+    fn toy_registry() -> SchemeRegistry {
+        let mut reg = SchemeRegistry::new();
+        reg.register_single(
+            "local-scan",
+            Box::new(|p, _rng| Ok(Box::new(LocalScan { records: Vec::new(), n: p.n }))),
+        );
+        reg
+    }
+
+    #[test]
+    fn registry_builds_by_name_and_lists() {
+        let reg = toy_registry();
+        assert_eq!(reg.single_names(), vec!["local-scan"]);
+        assert!(reg.multi_names().is_empty());
+        let mut rng = simnet::rng_from_seed(1);
+        let mut scheme =
+            reg.build_single("local-scan", &BuildParams::new(8, 0.0, 10.0), &mut rng).unwrap();
+        scheme.publish(5.0, 42).unwrap();
+        scheme.publish(9.0, 43).unwrap();
+        let out = scheme.range_query(0, 4.0, 6.0, 0).unwrap();
+        assert_eq!(out.results, vec![42]);
+    }
+
+    #[test]
+    fn unknown_names_error_cleanly() {
+        let reg = toy_registry();
+        let mut rng = simnet::rng_from_seed(1);
+        let err = reg
+            .build_single("missing", &BuildParams::new(8, 0.0, 1.0), &mut rng)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SchemeError::UnknownScheme { kind: "single", .. }));
+        let err = reg
+            .build_multi("missing", &MultiBuildParams::new(8, &[(0.0, 1.0)]), &mut rng)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SchemeError::UnknownScheme { kind: "multi", .. }));
+    }
+
+    #[test]
+    fn build_params_builders() {
+        let p = BuildParams::new(100, 0.0, 1000.0).with_object_id_len(24);
+        assert_eq!(p.object_id_len, 24);
+        let m = MultiBuildParams::new(50, &[(0.0, 1.0), (0.0, 2.0)]).with_object_id_len(32);
+        assert_eq!(m.domains.len(), 2);
+        assert_eq!(m.object_id_len, 32);
+    }
+}

@@ -1,0 +1,259 @@
+//! The unified range-query contract: one trait per query shape, one outcome
+//! type, one error type — implemented by every scheme in the workspace.
+//!
+//! The Armada paper's whole argument (Table 1, Figures 5–8) is a
+//! *comparison* of range-query schemes. These traits make that comparison a
+//! first-class program structure: anything that can `publish` handles keyed
+//! by an attribute value and answer `[lo, hi]` queries is a
+//! [`RangeScheme`]; anything that indexes points and answers rectangle
+//! queries is a [`MultiRangeScheme`]. Experiments, benches, and examples
+//! drive all of them through trait objects, so adding a scheme to every
+//! table is one `impl` plus one registry entry.
+
+use simnet::NodeId;
+
+/// The shared result of one range query, in the metric vocabulary the
+/// paper's evaluation uses (§4.3.3) — common across all schemes.
+///
+/// Schemes with richer native outcomes (e.g. PIRA's [`QueryMetrics`]-backed
+/// outcome or PHT's trie statistics) convert into this via their
+/// `into_outcome()` and keep the native type for scheme-specific analysis.
+///
+/// [`QueryMetrics`]: https://docs.rs/armada
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeOutcome {
+    /// Handles of records satisfying the query, ascending and deduplicated.
+    pub results: Vec<u64>,
+    /// Query delay: critical-path length in overlay hops under unit
+    /// per-hop latency (the paper's delay metric).
+    pub delay: u64,
+    /// Total protocol messages sent.
+    pub messages: u64,
+    /// Ground-truth destination count — peers/zones/leaves whose region
+    /// intersects the query ("Destpeers").
+    pub dest_peers: usize,
+    /// Destinations that actually answered (`== dest_peers` fault-free).
+    pub reached_peers: usize,
+    /// Whether the answered set equals the ground truth exactly.
+    pub exact: bool,
+}
+
+impl RangeOutcome {
+    /// `MesgRatio = Messages / Destpeers` (§4.3.3 metric (b)).
+    pub fn mesg_ratio(&self) -> f64 {
+        if self.dest_peers == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.dest_peers as f64
+        }
+    }
+
+    /// `IncreRatio = (Messages − log₂N) / (Destpeers − 1)` (§4.3.3 metric
+    /// (c)); returns 0 when `Destpeers ≤ 1`.
+    pub fn incre_ratio(&self, n_peers: usize) -> f64 {
+        if self.dest_peers <= 1 {
+            return 0.0;
+        }
+        (self.messages as f64 - (n_peers as f64).log2()) / (self.dest_peers as f64 - 1.0)
+    }
+
+    /// Fraction of ground-truth destinations reached.
+    pub fn peer_recall(&self) -> f64 {
+        if self.dest_peers == 0 {
+            1.0
+        } else {
+            self.reached_peers as f64 / self.dest_peers as f64
+        }
+    }
+}
+
+/// Unified error for scheme construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeError {
+    /// The query origin is not a live peer.
+    BadOrigin {
+        /// The offending node id.
+        origin: NodeId,
+    },
+    /// The queried range (or a per-attribute range) was empty.
+    EmptyRange {
+        /// Lower endpoint as supplied.
+        lo: f64,
+        /// Upper endpoint as supplied.
+        hi: f64,
+    },
+    /// A point or rectangle had the wrong number of attributes.
+    WrongArity {
+        /// Expected attribute count.
+        expected: usize,
+        /// Supplied attribute count.
+        got: usize,
+    },
+    /// No scheme registered under the requested name.
+    UnknownScheme {
+        /// The name looked up.
+        name: String,
+        /// `"single"` or `"multi"` — which registry was consulted.
+        kind: &'static str,
+    },
+    /// Scheme construction failed (wrapped native error message).
+    Build(String),
+    /// A query failed for a scheme-specific reason (wrapped message).
+    Query(String),
+}
+
+impl std::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeError::BadOrigin { origin } => write!(f, "origin {origin} is not live"),
+            SchemeError::EmptyRange { lo, hi } => write!(f, "empty range [{lo}, {hi}]"),
+            SchemeError::WrongArity { expected, got } => {
+                write!(f, "expected {expected} attributes, got {got}")
+            }
+            SchemeError::UnknownScheme { name, kind } => {
+                write!(f, "no {kind}-attribute scheme registered as {name:?}")
+            }
+            SchemeError::Build(msg) => write!(f, "scheme build failed: {msg}"),
+            SchemeError::Query(msg) => write!(f, "query failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// A single-attribute range-query scheme: publish `(value, handle)` records,
+/// answer `[lo, hi]` queries with a [`RangeOutcome`].
+///
+/// Implementations exist for all seven schemes of the paper's Table 1:
+/// Armada/PIRA, the sequential-walk reference, DCF-CAN (directed and naive
+/// flooding), PHT (over FissionE and over Chord), Skip Graph, Squid, and
+/// SCRAP (the latter two over one-dimensional builds of their native
+/// multi-attribute machinery).
+pub trait RangeScheme {
+    /// Registry name of the scheme (e.g. `"pira"`, `"dcf-can"`).
+    fn scheme_name(&self) -> &'static str;
+
+    /// Human-readable substrate description for comparison tables.
+    fn substrate(&self) -> String;
+
+    /// Degree figure for comparison tables: measured mean where the
+    /// simulation has real neighbor tables, asymptotic label otherwise.
+    fn degree(&self) -> String;
+
+    /// Number of live peers/zones.
+    fn node_count(&self) -> usize;
+
+    /// Whether the scheme family also answers multi-attribute rectangles
+    /// (Table 1's "multi-attr" column).
+    fn supports_rect(&self) -> bool {
+        false
+    }
+
+    /// Publishes a record: `handle` becomes retrievable by range queries
+    /// covering `value`.
+    ///
+    /// # Errors
+    ///
+    /// Scheme-specific; uniform schemes never fail on in-domain values.
+    fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError>;
+
+    /// A uniformly random live query origin.
+    fn random_origin(&self, rng: &mut rand::rngs::SmallRng) -> NodeId;
+
+    /// Executes a range query over `[lo, hi]` from `origin`. `seed` feeds
+    /// schemes with internal randomness (tie-breaking, simulation); pure
+    /// schemes ignore it.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::BadOrigin`] for dead origins,
+    /// [`SchemeError::EmptyRange`] for `lo > hi`, scheme-specific wraps
+    /// otherwise.
+    fn range_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<RangeOutcome, SchemeError>;
+}
+
+/// A multi-attribute range-query scheme: publish points, answer
+/// hyper-rectangle queries.
+///
+/// Implemented by Armada/MIRA, Squid, and SCRAP.
+pub trait MultiRangeScheme {
+    /// Registry name of the scheme (e.g. `"mira"`, `"squid"`).
+    fn scheme_name(&self) -> &'static str;
+
+    /// Human-readable substrate description for comparison tables.
+    fn substrate(&self) -> String;
+
+    /// Degree figure for comparison tables.
+    fn degree(&self) -> String;
+
+    /// Number of live peers.
+    fn node_count(&self) -> usize;
+
+    /// Number of attributes the scheme was built with.
+    fn dims(&self) -> usize;
+
+    /// Publishes a record at an attribute point.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::WrongArity`] when `point.len() != dims()`.
+    fn publish_point(&mut self, point: &[f64], handle: u64) -> Result<(), SchemeError>;
+
+    /// A uniformly random live query origin.
+    fn random_origin(&self, rng: &mut rand::rngs::SmallRng) -> NodeId;
+
+    /// Executes a rectangle query (one `(lo, hi)` per attribute).
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::WrongArity`] on arity mismatch,
+    /// [`SchemeError::EmptyRange`] for an empty per-attribute range,
+    /// scheme-specific wraps otherwise.
+    fn rect_query(
+        &self,
+        origin: NodeId,
+        rect: &[(f64, f64)],
+        seed: u64,
+    ) -> Result<RangeOutcome, SchemeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(messages: u64, dest: usize, reached: usize) -> RangeOutcome {
+        RangeOutcome {
+            results: vec![],
+            delay: 3,
+            messages,
+            dest_peers: dest,
+            reached_peers: reached,
+            exact: dest == reached,
+        }
+    }
+
+    #[test]
+    fn ratios_match_paper_definitions() {
+        assert_eq!(outcome(20, 10, 10).mesg_ratio(), 2.0);
+        assert_eq!(outcome(20, 0, 0).mesg_ratio(), 0.0);
+        // (20 - log2(1024)) / (6 - 1) = 2.
+        assert_eq!(outcome(20, 6, 6).incre_ratio(1024), 2.0);
+        assert_eq!(outcome(20, 1, 1).incre_ratio(1024), 0.0);
+        assert_eq!(outcome(5, 4, 3).peer_recall(), 0.75);
+        assert_eq!(outcome(5, 0, 0).peer_recall(), 1.0);
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = SchemeError::UnknownScheme { name: "nope".into(), kind: "single" };
+        assert!(e.to_string().contains("nope"));
+        assert!(SchemeError::EmptyRange { lo: 5.0, hi: 1.0 }.to_string().contains("[5, 1]"));
+        assert!(SchemeError::WrongArity { expected: 2, got: 3 }.to_string().contains("2"));
+    }
+}

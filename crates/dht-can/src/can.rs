@@ -140,7 +140,7 @@ impl CanNet {
     ///
     /// Returns [`CanError::EmptyRange`] if the configured domain is empty.
     pub fn build(cfg: CanConfig, n: usize, rng: &mut SmallRng) -> Result<Self, CanError> {
-        if !(cfg.domain_lo < cfg.domain_hi) {
+        if cfg.domain_lo.partial_cmp(&cfg.domain_hi) != Some(std::cmp::Ordering::Less) {
             return Err(CanError::EmptyRange { lo: cfg.domain_lo, hi: cfg.domain_hi });
         }
         let mut net = CanNet::new(cfg);
@@ -192,10 +192,7 @@ impl CanNet {
     pub fn owner_of_point(&self, x: f64, y: f64) -> NodeId {
         // Zones tile the square; linear scan is fine for the simulator's
         // bootstrap (routing, not scanning, is the measured path).
-        self.zones
-            .iter()
-            .position(|z| z.rect.contains(x, y))
-            .expect("zones tile the unit square")
+        self.zones.iter().position(|z| z.rect.contains(x, y)).expect("zones tile the unit square")
     }
 
     /// Normalises an attribute value to curve parameter `t ∈ [0, 1]`.
@@ -227,12 +224,20 @@ impl CanNet {
             let mid = (rect.x0 + rect.x1) / 2.0;
             let left = Rect { x1: mid, ..rect };
             let right = Rect { x0: mid, ..rect };
-            if right.contains(px, py) { (left, right) } else { (right, left) }
+            if right.contains(px, py) {
+                (left, right)
+            } else {
+                (right, left)
+            }
         } else {
             let mid = (rect.y0 + rect.y1) / 2.0;
             let bottom = Rect { y1: mid, ..rect };
             let top = Rect { y0: mid, ..rect };
-            if top.contains(px, py) { (bottom, top) } else { (top, bottom) }
+            if top.contains(px, py) {
+                (bottom, top)
+            } else {
+                (top, bottom)
+            }
         };
 
         // Repartition records.
@@ -243,12 +248,10 @@ impl CanNet {
             crate::hilbert::point_of_cell(order, crate::hilbert::cell_of(order, t))
         };
         let old_records = std::mem::take(&mut self.zones[owner].records);
-        let (kept, given): (Vec<_>, Vec<_>) = old_records
-            .into_iter()
-            .partition(|&(v, _)| {
-                let (x, y) = point(v);
-                keep.contains(x, y)
-            });
+        let (kept, given): (Vec<_>, Vec<_>) = old_records.into_iter().partition(|&(v, _)| {
+            let (x, y) = point(v);
+            keep.contains(x, y)
+        });
         self.zones[owner].rect = keep;
         self.zones[owner].records = kept;
         let newcomer = self.zones.len();
@@ -398,9 +401,8 @@ mod tests {
         for _ in 0..200 {
             let (x, y) = (rng.gen::<f64>(), rng.gen::<f64>());
             let owner = net.owner_of_point(x, y);
-            let holders = (0..net.len())
-                .filter(|&z| net.zone(z).unwrap().rect().contains(x, y))
-                .count();
+            let holders =
+                (0..net.len()).filter(|&z| net.zone(z).unwrap().rect().contains(x, y)).count();
             assert_eq!(holders, 1);
             assert!(net.zone(owner).unwrap().rect().contains(x, y));
         }
@@ -468,9 +470,7 @@ mod tests {
             net.join(&mut rng);
         }
         net.check_invariants().unwrap();
-        let total: usize = (0..net.len())
-            .map(|z| net.zone(z).unwrap().records().len())
-            .sum();
+        let total: usize = (0..net.len()).map(|z| net.zone(z).unwrap().records().len()).sum();
         assert_eq!(total, 100);
         // Every record sits in the zone containing its curve point.
         for z in 0..net.len() {

@@ -272,18 +272,14 @@ mod tests {
             for q in 0..queries {
                 let lo = rng.gen_range(0.0..(1000.0 - size));
                 let origin = net.random_zone(rng);
-                let out =
-                    range_query(&net, origin, lo, lo + size, q, FloodMode::Directed).unwrap();
+                let out = range_query(&net, origin, lo, lo + size, q, FloodMode::Directed).unwrap();
                 total += u64::from(out.delay);
             }
             total as f64 / queries as f64
         };
         let small = avg_delay(2.0, &mut rng);
         let large = avg_delay(300.0, &mut rng);
-        assert!(
-            large > small + 5.0,
-            "delay must grow with range: small {small}, large {large}"
-        );
+        assert!(large > small + 5.0, "delay must grow with range: small {small}, large {large}");
     }
 
     #[test]

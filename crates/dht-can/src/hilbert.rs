@@ -115,7 +115,7 @@ pub fn interval_blocks(order: u32, a: u64, b: u64) -> Vec<CellSquare> {
         let mut j = 0u32;
         loop {
             let next = 1u64 << (2 * (j + 1)); // 4^(j+1)
-            if j + 1 <= order && h % next == 0 && b - h + 1 >= next {
+            if j < order && h.is_multiple_of(next) && b - h + 1 >= next {
                 j += 1;
             } else {
                 break;

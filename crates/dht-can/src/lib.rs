@@ -46,8 +46,10 @@
 mod can;
 pub mod dcf;
 pub mod hilbert;
+pub mod scheme;
 
 pub use can::{CanConfig, CanNet, Rect, Zone};
+pub use scheme::{register, DcfScheme};
 
 /// Errors returned by CAN operations.
 #[derive(Debug, Clone, PartialEq)]

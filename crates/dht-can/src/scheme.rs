@@ -1,0 +1,194 @@
+//! DCF-CAN behind the unified [`dht_api`] query interface.
+//!
+//! [`DcfScheme`] wraps a [`CanNet`] plus a [`FloodMode`]; both duplicate-
+//! suppression variants register separately (`"dcf-can"` directed,
+//! `"dcf-can-naive"` naive), so ablations select them by name at runtime.
+
+use crate::dcf::{self, DcfOutcome, FloodMode};
+use crate::{CanConfig, CanError, CanNet};
+use dht_api::{BuildParams, RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};
+use rand::rngs::SmallRng;
+use simnet::NodeId;
+
+impl From<CanError> for SchemeError {
+    fn from(e: CanError) -> Self {
+        match e {
+            CanError::NoSuchZone { zone } => SchemeError::BadOrigin { origin: zone },
+            CanError::EmptyRange { lo, hi } => SchemeError::EmptyRange { lo, hi },
+            CanError::RoutingStuck => SchemeError::Query(e.to_string()),
+        }
+    }
+}
+
+impl DcfOutcome {
+    /// Converts into the scheme-generic outcome (zones count as peers).
+    pub fn into_outcome(self) -> RangeOutcome {
+        RangeOutcome {
+            results: self.results,
+            delay: u64::from(self.delay),
+            messages: self.messages,
+            dest_peers: self.dest_zones,
+            reached_peers: self.reached_zones,
+            exact: self.exact,
+        }
+    }
+}
+
+impl From<DcfOutcome> for RangeOutcome {
+    fn from(out: DcfOutcome) -> Self {
+        out.into_outcome()
+    }
+}
+
+/// DCF range queries over CAN as a [`RangeScheme`].
+#[derive(Debug, Clone)]
+pub struct DcfScheme {
+    net: CanNet,
+    mode: FloodMode,
+}
+
+impl DcfScheme {
+    /// Builds an `n`-zone CAN per the registry parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Build`] when the CAN cannot be constructed.
+    pub fn build(
+        params: &BuildParams,
+        mode: FloodMode,
+        rng: &mut SmallRng,
+    ) -> Result<Self, SchemeError> {
+        let cfg = CanConfig {
+            domain_lo: params.domain.0,
+            domain_hi: params.domain.1,
+            ..CanConfig::default()
+        };
+        let net =
+            CanNet::build(cfg, params.n, rng).map_err(|e| SchemeError::Build(e.to_string()))?;
+        Ok(DcfScheme { net, mode })
+    }
+
+    /// The wrapped CAN.
+    pub fn net(&self) -> &CanNet {
+        &self.net
+    }
+}
+
+impl RangeScheme for DcfScheme {
+    fn scheme_name(&self) -> &'static str {
+        match self.mode {
+            FloodMode::Directed => "dcf-can",
+            FloodMode::Naive => "dcf-can-naive",
+        }
+    }
+
+    fn substrate(&self) -> String {
+        "CAN (d = 2)".into()
+    }
+
+    fn degree(&self) -> String {
+        let total: usize = (0..self.net.len()).map(|z| self.net.neighbors(z).len()).sum();
+        format!("{:.1}", total as f64 / self.net.len() as f64)
+    }
+
+    fn node_count(&self) -> usize {
+        self.net.len()
+    }
+
+    fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
+        self.net.publish(value, handle);
+        Ok(())
+    }
+
+    fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+        self.net.random_zone(rng)
+    }
+
+    fn range_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<RangeOutcome, SchemeError> {
+        let out = dcf::range_query(&self.net, origin, lo, hi, seed, self.mode)?;
+        Ok(out.into_outcome())
+    }
+}
+
+/// Registers `"dcf-can"` (directed controlled flooding) and
+/// `"dcf-can-naive"` (plain flooding with receiver dedup).
+pub fn register(reg: &mut SchemeRegistry) {
+    reg.register_single(
+        "dcf-can",
+        Box::new(|p, rng| Ok(Box::new(DcfScheme::build(p, FloodMode::Directed, rng)?))),
+    );
+    reg.register_single(
+        "dcf-can-naive",
+        Box::new(|p, rng| Ok(Box::new(DcfScheme::build(p, FloodMode::Naive, rng)?))),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn dcf_scheme_is_exact_and_flags_modes() {
+        let mut rng = simnet::rng_from_seed(900);
+        let params = BuildParams::new(150, 0.0, 1000.0);
+        let mut scheme = DcfScheme::build(&params, FloodMode::Directed, &mut rng).unwrap();
+        assert_eq!(scheme.scheme_name(), "dcf-can");
+        let mut data = Vec::new();
+        for h in 0..300u64 {
+            let v = rng.gen_range(0.0..=1000.0);
+            scheme.publish(v, h).unwrap();
+            data.push((v, h));
+        }
+        for q in 0..15 {
+            let lo = rng.gen_range(0.0..900.0);
+            let hi = lo + rng.gen_range(0.5..100.0);
+            let origin = scheme.random_origin(&mut rng);
+            let out = scheme.range_query(origin, lo, hi, q).unwrap();
+            let mut expect: Vec<u64> =
+                data.iter().filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
+            expect.sort_unstable();
+            assert_eq!(out.results, expect, "query [{lo}, {hi}]");
+            assert!(out.exact);
+        }
+    }
+
+    #[test]
+    fn naive_mode_sends_at_least_as_many_messages() {
+        let mut rng = simnet::rng_from_seed(901);
+        let params = BuildParams::new(200, 0.0, 1000.0);
+        let directed = DcfScheme::build(&params, FloodMode::Directed, &mut rng).unwrap();
+        let mut rng = simnet::rng_from_seed(901);
+        let naive = DcfScheme::build(&params, FloodMode::Naive, &mut rng).unwrap();
+        assert_eq!(naive.scheme_name(), "dcf-can-naive");
+        let mut qrng = simnet::rng_from_seed(9010);
+        let mut d_total = 0u64;
+        let mut n_total = 0u64;
+        for q in 0..20 {
+            let lo = qrng.gen_range(0.0..800.0);
+            let origin = directed.random_origin(&mut qrng);
+            d_total += directed.range_query(origin, lo, lo + 150.0, q).unwrap().messages;
+            n_total += naive.range_query(origin, lo, lo + 150.0, q).unwrap().messages;
+        }
+        assert!(n_total >= d_total, "naive {n_total} < directed {d_total}");
+    }
+
+    #[test]
+    fn errors_map_to_unified_error() {
+        let mut rng = simnet::rng_from_seed(902);
+        let scheme =
+            DcfScheme::build(&BuildParams::new(30, 0.0, 10.0), FloodMode::Directed, &mut rng)
+                .unwrap();
+        assert!(matches!(scheme.range_query(0, 5.0, 1.0, 0), Err(SchemeError::EmptyRange { .. })));
+        assert!(matches!(
+            scheme.range_query(usize::MAX, 1.0, 2.0, 0),
+            Err(SchemeError::BadOrigin { .. })
+        ));
+    }
+}

@@ -1,101 +1,68 @@
 //! Criterion benches: wall-clock cost of simulated range queries for every
-//! scheme (PIRA, MIRA, DCF-CAN, PHT) at a fixed network size.
+//! scheme, selected by name from the unified registry and driven through
+//! the [`dht_api`] traits — adding a scheme to the bench is one name in a
+//! list.
 
-use armada::{MultiArmada, SingleArmada};
+use armada_experiments::standard_registry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dht_can::dcf::{self, FloodMode};
-use dht_can::{CanConfig, CanNet};
-use fissione::FissioneConfig;
-use pht::Pht;
+use dht_api::{BuildParams, MultiBuildParams};
 use rand::Rng;
 
 const N: usize = 1000;
 
-fn cfg() -> FissioneConfig {
-    FissioneConfig { object_id_len: 100, ..FissioneConfig::default() }
-}
-
-fn bench_pira(c: &mut Criterion) {
-    let mut rng = simnet::rng_from_seed(1);
-    let armada = SingleArmada::build_with(cfg(), N, 0.0, 1000.0, &mut rng).unwrap();
-    let mut group = c.benchmark_group("pira_query");
-    group.sample_size(20);
-    for size in [2.0f64, 50.0, 300.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let mut q = 0u64;
-            b.iter(|| {
-                let lo = rng.gen_range(0.0..(1000.0 - size));
-                let origin = armada.net().random_peer(&mut rng);
-                q += 1;
-                armada.pira_query(origin, lo, lo + size, q).unwrap()
+fn bench_single_schemes(c: &mut Criterion) {
+    let registry = standard_registry();
+    for name in ["pira", "dcf-can", "pht-fissione", "skipgraph", "scrap"] {
+        let mut rng = simnet::rng_from_seed(1);
+        let params = BuildParams::new(N, 0.0, 1000.0);
+        let mut scheme = registry.build_single(name, &params, &mut rng).expect("build");
+        for h in 0..N as u64 {
+            scheme.publish(rng.gen_range(0.0..=1000.0), h).expect("publish");
+        }
+        let mut group = c.benchmark_group(format!("{name}_query"));
+        group.sample_size(20);
+        for size in [2.0f64, 50.0, 300.0] {
+            group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+                let mut q = 0u64;
+                b.iter(|| {
+                    let lo = rng.gen_range(0.0..(1000.0 - size));
+                    let origin = scheme.random_origin(&mut rng);
+                    q += 1;
+                    scheme.range_query(origin, lo, lo + size, q).unwrap()
+                });
             });
-        });
+        }
+        group.finish();
     }
-    group.finish();
 }
 
-fn bench_mira(c: &mut Criterion) {
-    let mut rng = simnet::rng_from_seed(2);
-    let armada =
-        MultiArmada::build_with(cfg(), N, &[(0.0, 100.0), (0.0, 100.0)], &mut rng).unwrap();
-    let mut group = c.benchmark_group("mira_query");
-    group.sample_size(20);
-    for side in [1.0f64, 20.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
-            let mut q = 0u64;
-            b.iter(|| {
-                let lo0 = rng.gen_range(0.0..(100.0 - side));
-                let lo1 = rng.gen_range(0.0..(100.0 - side));
-                let origin = armada.net().random_peer(&mut rng);
-                q += 1;
-                armada
-                    .mira_query(origin, &[(lo0, lo0 + side), (lo1, lo1 + side)], q)
-                    .unwrap()
+fn bench_multi_schemes(c: &mut Criterion) {
+    let registry = standard_registry();
+    for name in ["mira", "squid", "scrap"] {
+        let mut rng = simnet::rng_from_seed(2);
+        let params = MultiBuildParams::new(N, &[(0.0, 100.0), (0.0, 100.0)]);
+        let mut scheme = registry.build_multi(name, &params, &mut rng).expect("build");
+        for h in 0..N as u64 {
+            let p = [rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)];
+            scheme.publish_point(&p, h).expect("publish");
+        }
+        let mut group = c.benchmark_group(format!("{name}_rect_query"));
+        group.sample_size(20);
+        for side in [1.0f64, 20.0] {
+            group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+                let mut q = 0u64;
+                b.iter(|| {
+                    let lo0 = rng.gen_range(0.0..(100.0 - side));
+                    let lo1 = rng.gen_range(0.0..(100.0 - side));
+                    let origin = scheme.random_origin(&mut rng);
+                    q += 1;
+                    scheme.rect_query(origin, &[(lo0, lo0 + side), (lo1, lo1 + side)], q).unwrap()
+                });
             });
-        });
+        }
+        group.finish();
     }
-    group.finish();
 }
 
-fn bench_dcf(c: &mut Criterion) {
-    let mut rng = simnet::rng_from_seed(3);
-    let can_cfg = CanConfig { domain_lo: 0.0, domain_hi: 1000.0, ..CanConfig::default() };
-    let net = CanNet::build(can_cfg, N, &mut rng).unwrap();
-    let mut group = c.benchmark_group("dcf_query");
-    group.sample_size(20);
-    for size in [2.0f64, 50.0, 300.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let mut q = 0u64;
-            b.iter(|| {
-                let lo = rng.gen_range(0.0..(1000.0 - size));
-                let origin = net.random_zone(&mut rng);
-                q += 1;
-                dcf::range_query(&net, origin, lo, lo + size, q, FloodMode::Directed).unwrap()
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_pht(c: &mut Criterion) {
-    let mut rng = simnet::rng_from_seed(4);
-    let dht = fissione::FissioneNet::build(cfg(), N, &mut rng).unwrap();
-    let mut pht = Pht::new(dht, 0.0, 1000.0);
-    for h in 0..N as u64 {
-        pht.insert(rng.gen_range(0.0..=1000.0), h);
-    }
-    let mut group = c.benchmark_group("pht_query");
-    group.sample_size(20);
-    for size in [2.0f64, 50.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            b.iter(|| {
-                let lo = rng.gen_range(0.0..(1000.0 - size));
-                pht.range_query(0, lo, lo + size)
-            });
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_pira, bench_mira, bench_dcf, bench_pht);
+criterion_group!(benches, bench_single_schemes, bench_multi_schemes);
 criterion_main!(benches);

@@ -9,11 +9,12 @@ use crate::output::Table;
 use crate::{paper, Scale};
 use rand::Rng;
 
-/// A1 — DCF duplicate suppression vs naive flooding.
+/// A1 — DCF duplicate suppression vs naive flooding, selected by registry
+/// name (`dcf-can` vs `dcf-can-naive`) and driven through the unified
+/// interface.
 pub mod flood {
     use super::*;
-    use dht_can::dcf::{self, FloodMode};
-    use dht_can::{CanConfig, CanNet};
+    use dht_api::BuildParams;
 
     /// Runs the flooding ablation at fixed `N` over swept range sizes.
     pub fn run(scale: Scale) -> Table {
@@ -22,16 +23,24 @@ pub mod flood {
             Scale::Quick => 400,
         };
         let queries = scale.queries() / 2;
-        let cfg = CanConfig {
-            domain_lo: paper::DOMAIN_LO,
-            domain_hi: paper::DOMAIN_HI,
-            ..CanConfig::default()
-        };
+        let registry = crate::standard_registry();
+        let params = BuildParams::new(n, paper::DOMAIN_LO, paper::DOMAIN_HI);
+        // Identical seed streams give both variants the same CAN tiling, so
+        // the comparison is paired query-for-query.
         let mut rng = simnet::rng_from_seed(0xab1a);
-        let net = CanNet::build(cfg, n, &mut rng).expect("build");
+        let directed = registry.build_single("dcf-can", &params, &mut rng).expect("build");
+        let mut rng2 = simnet::rng_from_seed(0xab1a);
+        let naive = registry.build_single("dcf-can-naive", &params, &mut rng2).expect("build");
         let mut t = Table::new(
             format!("A1 — DCF duplicate suppression vs naive flooding (N = {n})"),
-            &["range_size", "directed_msgs", "naive_msgs", "overhead", "directed_delay", "naive_delay"],
+            &[
+                "range_size",
+                "directed_msgs",
+                "naive_msgs",
+                "overhead",
+                "directed_delay",
+                "naive_delay",
+            ],
         );
         for &size in &[10.0f64, 100.0, 300.0] {
             let mut dm = 0f64;
@@ -40,15 +49,13 @@ pub mod flood {
             let mut nd = 0f64;
             for q in 0..queries {
                 let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - size));
-                let origin = net.random_zone(&mut rng);
-                let d = dcf::range_query(&net, origin, lo, lo + size, q as u64, FloodMode::Directed)
-                    .expect("query");
-                let nv = dcf::range_query(&net, origin, lo, lo + size, q as u64, FloodMode::Naive)
-                    .expect("query");
+                let origin = directed.random_origin(&mut rng);
+                let d = directed.range_query(origin, lo, lo + size, q as u64).expect("query");
+                let nv = naive.range_query(origin, lo, lo + size, q as u64).expect("query");
                 dm += d.messages as f64;
                 nm += nv.messages as f64;
-                dd += f64::from(d.delay);
-                nd += f64::from(nv.delay);
+                dd += d.delay as f64;
+                nd += nv.delay as f64;
             }
             let q = queries as f64;
             t.push_row(vec![
@@ -127,13 +134,11 @@ pub mod balance {
 }
 
 /// A3 — PHT delay decomposition over constant-degree vs logarithmic-degree
-/// substrates, against PIRA.
+/// substrates, against PIRA — three registry names, one measurement loop.
 pub mod pht_substrate {
     use super::*;
-    use armada::SingleArmada;
-    use dht_api::Dht;
-    use fissione::FissioneConfig;
-    use pht::Pht;
+    use dht_api::{BuildParams, DriverReport, QueryDriver, SchemeRegistry};
+    use rand::rngs::SmallRng;
 
     /// Runs the PHT substrate ablation over swept `N`.
     pub fn run(scale: Scale) -> Table {
@@ -143,6 +148,7 @@ pub mod pht_substrate {
         };
         let queries = scale.queries() / 2;
         let range = paper::FIG78_RANGE;
+        let registry = crate::standard_registry();
         let mut t = Table::new(
             format!("A3 — PHT substrate vs PIRA (range = {range})"),
             &[
@@ -157,68 +163,45 @@ pub mod pht_substrate {
         );
         for n in ns {
             let mut rng = simnet::rng_from_seed(0x9417 ^ n as u64);
-            // PHT over FissionE.
-            let fcfg = FissioneConfig {
-                object_id_len: paper::OBJECT_ID_LEN,
-                ..FissioneConfig::default()
-            };
-            let fdht = fissione::FissioneNet::build(fcfg, n, &mut rng).expect("build");
-            let (fd, fm) = measure(fdht, n, queries, range, &mut rng);
-            // PHT over Chord.
-            let cdht = chord::ChordNet::build(n, &mut rng);
-            let (cd, cm) = measure(cdht, n, queries, range, &mut rng);
-            // PIRA.
-            let acfg = FissioneConfig {
-                object_id_len: paper::OBJECT_ID_LEN,
-                ..FissioneConfig::default()
-            };
-            let armada =
-                SingleArmada::build_with(acfg, n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng)
-                    .expect("build");
-            let mut pd = 0f64;
-            let mut pm = 0f64;
-            for q in 0..queries {
-                let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
-                let origin = armada.net().random_peer(&mut rng);
-                let out = armada.pira_query(origin, lo, lo + range, q as u64).expect("query");
-                pd += f64::from(out.metrics.delay);
-                pm += out.metrics.messages as f64;
-            }
-            let q = queries as f64;
+            let f = measure(&registry, "pht-fissione", n, queries, range, true, &mut rng);
+            let c = measure(&registry, "pht-chord", n, queries, range, true, &mut rng);
+            let p = measure(&registry, "pira", n, queries, range, false, &mut rng);
             t.push_row(vec![
                 n.to_string(),
-                Table::fmt_f64(fd),
-                Table::fmt_f64(cd),
-                Table::fmt_f64(pd / q),
-                Table::fmt_f64(fm),
-                Table::fmt_f64(cm),
-                Table::fmt_f64(pm / q),
+                Table::fmt_f64(f.delay.mean),
+                Table::fmt_f64(c.delay.mean),
+                Table::fmt_f64(p.delay.mean),
+                Table::fmt_f64(f.messages.mean),
+                Table::fmt_f64(c.messages.mean),
+                Table::fmt_f64(p.messages.mean),
             ]);
         }
         t
     }
 
-    fn measure<D: Dht>(
-        dht: D,
+    fn measure(
+        registry: &SchemeRegistry,
+        name: &str,
         n: usize,
         queries: usize,
         range: f64,
-        rng: &mut rand::rngs::SmallRng,
-    ) -> (f64, f64) {
-        let mut pht = Pht::new(dht, paper::DOMAIN_LO, paper::DOMAIN_HI);
-        for h in 0..n as u64 {
-            pht.insert(rng.gen_range(paper::DOMAIN_LO..=paper::DOMAIN_HI), h);
+        publish: bool,
+        rng: &mut SmallRng,
+    ) -> DriverReport {
+        let params = BuildParams::new(n, paper::DOMAIN_LO, paper::DOMAIN_HI);
+        let mut scheme = registry.build_single(name, &params, rng).expect("build");
+        if publish {
+            for h in 0..n as u64 {
+                let v = rng.gen_range(paper::DOMAIN_LO..=paper::DOMAIN_HI);
+                scheme.publish(v, h).expect("publish");
+            }
         }
-        let mut delay = 0f64;
-        let mut msgs = 0f64;
-        for _ in 0..queries {
-            let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
-            let from = pht.dht().random_node(rng);
-            let out = pht.range_query(from, lo, lo + range);
-            delay += out.delay as f64;
-            msgs += out.messages as f64;
-        }
-        (delay / queries as f64, msgs / queries as f64)
+        QueryDriver::new(queries)
+            .run(scheme.as_ref(), rng, |rng| {
+                let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
+                (lo, lo + range)
+            })
+            .expect("query")
     }
 }
 

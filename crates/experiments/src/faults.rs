@@ -20,10 +20,7 @@ pub fn run(scale: Scale) -> Table {
     };
     let queries = scale.queries() / 2;
     let range = 50.0;
-    let cfg = FissioneConfig {
-        object_id_len: paper::OBJECT_ID_LEN,
-        ..FissioneConfig::default()
-    };
+    let cfg = FissioneConfig { object_id_len: paper::OBJECT_ID_LEN, ..FissioneConfig::default() };
     let mut rng = simnet::rng_from_seed(0xfa17);
     let armada = SingleArmada::build_with(cfg, n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng)
         .expect("build");

@@ -30,11 +30,13 @@ pub mod fig5 {
         );
         let log_n = (n as f64).log2();
         for p in points {
+            let pira = p.report("pira");
+            let dcf = p.report("dcf-can");
             t.push_row(vec![
                 f(p.range_size),
-                f(p.pira_delay.mean),
-                f(p.pira_delay.max),
-                f(p.dcf_delay.mean),
+                f(pira.delay.mean),
+                f(pira.delay.max),
+                f(dcf.delay.mean),
                 f(log_n),
                 f(2.0 * log_n),
             ]);
@@ -72,13 +74,15 @@ pub mod fig6 {
             ],
         );
         for p in points {
+            let pira = p.report("pira");
+            let dcf = p.report("dcf-can");
             t.push_row(vec![
                 f(p.range_size),
-                f(p.pira_messages.mean),
-                f(p.dcf_messages.mean),
-                f(p.destpeers.mean),
-                f(p.mesg_ratio.mean),
-                f(p.incre_ratio.mean),
+                f(pira.messages.mean),
+                f(dcf.messages.mean),
+                f(pira.dest_peers.mean),
+                f(pira.mesg_ratio.mean),
+                f(pira.incre_ratio.mean),
             ]);
         }
         t
@@ -107,11 +111,13 @@ pub mod fig7 {
         );
         for p in points {
             let log_n = (p.n_peers as f64).log2();
+            let pira = p.report("pira");
+            let dcf = p.report("dcf-can");
             t.push_row(vec![
                 p.n_peers.to_string(),
-                f(p.pira_delay.mean),
-                f(p.pira_delay.max),
-                f(p.dcf_delay.mean),
+                f(pira.delay.mean),
+                f(pira.delay.max),
+                f(dcf.delay.mean),
                 f(log_n),
                 f(2.0 * log_n),
             ]);
@@ -149,13 +155,15 @@ pub mod fig8 {
             ],
         );
         for p in points {
+            let pira = p.report("pira");
+            let dcf = p.report("dcf-can");
             t.push_row(vec![
                 p.n_peers.to_string(),
-                f(p.pira_messages.mean),
-                f(p.dcf_messages.mean),
-                f(p.destpeers.mean),
-                f(p.mesg_ratio.mean),
-                f(p.incre_ratio.mean),
+                f(pira.messages.mean),
+                f(dcf.messages.mean),
+                f(pira.dest_peers.mean),
+                f(pira.mesg_ratio.mean),
+                f(pira.incre_ratio.mean),
             ]);
         }
         t

@@ -39,6 +39,38 @@ pub mod topk_eval;
 
 pub use output::Table;
 
+/// The full workspace registry: every scheme of the paper's Table 1,
+/// selectable by name at runtime.
+///
+/// Single-attribute names: `pira`, `seqwalk`, `dcf-can`, `dcf-can-naive`,
+/// `pht-fissione`, `pht-chord`, `skipgraph`, `squid`, `scrap`.
+/// Multi-attribute names: `mira`, `squid`, `scrap`.
+///
+/// # Example
+///
+/// ```
+/// use dht_api::BuildParams;
+///
+/// let reg = armada_experiments::standard_registry();
+/// let mut rng = simnet::rng_from_seed(7);
+/// let params = BuildParams::new(100, 0.0, 1000.0).with_object_id_len(24);
+/// let mut scheme = reg.build_single("pira", &params, &mut rng).unwrap();
+/// scheme.publish(500.0, 1).unwrap();
+/// let origin = scheme.random_origin(&mut rng);
+/// let out = scheme.range_query(origin, 499.0, 501.0, 0).unwrap();
+/// assert_eq!(out.results, vec![1]);
+/// ```
+pub fn standard_registry() -> dht_api::SchemeRegistry {
+    let mut reg = dht_api::SchemeRegistry::new();
+    armada::register(&mut reg);
+    dht_can::register(&mut reg);
+    pht::register(&mut reg);
+    skipgraph::register(&mut reg);
+    squid::register(&mut reg);
+    scrap::register(&mut reg);
+    reg
+}
+
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -31,10 +31,8 @@ pub fn run(scale: Scale) -> Table {
     );
     for &m in &[2usize, 3] {
         let domains: Vec<(f64, f64)> = (0..m).map(|_| (0.0, 100.0)).collect();
-        let cfg = FissioneConfig {
-            object_id_len: paper::OBJECT_ID_LEN,
-            ..FissioneConfig::default()
-        };
+        let cfg =
+            FissioneConfig { object_id_len: paper::OBJECT_ID_LEN, ..FissioneConfig::default() };
         let mut rng = simnet::rng_from_seed(0x314a ^ m as u64);
         let armada = MultiArmada::build_with(cfg, n, &domains, &mut rng).expect("build");
         for &side_pct in &[1.0f64, 10.0, 40.0] {

@@ -48,7 +48,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "## {}\n", self.title);
         let _ = writeln!(out, "| {} |", self.columns.join(" | "));
-        let _ = writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ =
+            writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
@@ -65,7 +66,8 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
@@ -143,6 +145,6 @@ mod tests {
     #[test]
     fn fmt_f64_trims_integers() {
         assert_eq!(Table::fmt_f64(3.0), "3");
-        assert_eq!(Table::fmt_f64(3.14159), "3.14");
+        assert_eq!(Table::fmt_f64(1.23456), "1.23");
     }
 }

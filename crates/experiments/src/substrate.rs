@@ -27,10 +27,8 @@ pub fn run(scale: Scale) -> Table {
         ],
     );
     for n in ns {
-        let cfg = FissioneConfig {
-            object_id_len: paper::OBJECT_ID_LEN,
-            ..FissioneConfig::default()
-        };
+        let cfg =
+            FissioneConfig { object_id_len: paper::OBJECT_ID_LEN, ..FissioneConfig::default() };
         let mut rng = simnet::rng_from_seed(0x5b57 ^ n as u64);
         let net = FissioneNet::build(cfg, n, &mut rng).expect("build");
         let report = net.check_invariants().expect("invariants hold");
@@ -38,11 +36,7 @@ pub fn run(scale: Scale) -> Table {
         let degree = net.degree_stats();
         let routing = net.routing_sample(route_samples, &mut rng);
         // Exact diameter is O(N·E); sample eccentricities beyond 2000 peers.
-        let diameter = if n <= 2000 {
-            net.diameter()
-        } else {
-            net.diameter_sampled(64, &mut rng)
-        };
+        let diameter = if n <= 2000 { net.diameter() } else { net.diameter_sampled(64, &mut rng) };
         let log_n = (n as f64).log2();
         t.push_row(vec![
             n.to_string(),

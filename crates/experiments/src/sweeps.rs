@@ -1,158 +1,133 @@
 //! Shared workload runners: the paper's range-size and network-size sweeps
-//! executed against both PIRA (Armada over FISSIONE) and DCF-CAN.
+//! executed against any set of registered schemes through the unified
+//! [`dht_api`] interface (PIRA and DCF-CAN by default, matching the
+//! paper's Figures 5–8).
 
 use crate::paper;
-use armada::SingleArmada;
-use dht_can::dcf::{self, FloodMode};
-use dht_can::{CanConfig, CanNet};
-use fissione::FissioneConfig;
+use dht_api::{BuildParams, DriverReport, QueryDriver, RangeScheme};
 use rand::Rng;
-use simnet::Summary;
 
-/// Aggregated measurements for one sweep point.
+/// Aggregated measurements for one sweep point: one [`DriverReport`] per
+/// swept scheme, keyed by registry name.
 #[derive(Debug, Clone)]
 pub struct PointMetrics {
     /// Network size `N`.
     pub n_peers: usize,
     /// Queried range size (attribute units).
     pub range_size: f64,
-    /// PIRA delay (hops).
-    pub pira_delay: Summary,
-    /// PIRA message cost.
-    pub pira_messages: Summary,
-    /// Ground-truth destination peers (PIRA side).
-    pub destpeers: Summary,
-    /// `Messages / Destpeers` per query.
-    pub mesg_ratio: Summary,
-    /// `(Messages − log₂N) / (Destpeers − 1)` per query.
-    pub incre_ratio: Summary,
-    /// DCF-CAN delay (hops).
-    pub dcf_delay: Summary,
-    /// DCF-CAN message cost.
-    pub dcf_messages: Summary,
-    /// DCF-CAN destination zones.
-    pub dcf_destzones: Summary,
-    /// Fraction of queries answered exactly (must be 1.0 fault-free).
-    pub exact_rate: f64,
+    /// Per-scheme reports, in sweep order.
+    pub reports: Vec<DriverReport>,
+}
+
+impl PointMetrics {
+    /// The report for a scheme by registry name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme was not part of the sweep.
+    pub fn report(&self, scheme: &str) -> &DriverReport {
+        self.reports
+            .iter()
+            .find(|r| r.scheme == scheme)
+            .unwrap_or_else(|| panic!("scheme {scheme:?} was not swept"))
+    }
 }
 
 /// Sweep configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Queries per point (the paper averages over 1000).
     pub queries: usize,
     /// Master seed.
     pub seed: u64,
-    /// ObjectID length for FISSIONE.
+    /// ObjectID length for Kautz-named schemes.
     pub object_id_len: usize,
+    /// Registry names of the schemes to sweep.
+    pub schemes: Vec<String>,
 }
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { queries: 1000, seed: 20060704, object_id_len: paper::OBJECT_ID_LEN }
+        SweepConfig {
+            queries: 1000,
+            seed: 20060704,
+            object_id_len: paper::OBJECT_ID_LEN,
+            schemes: vec!["pira".into(), "dcf-can".into()],
+        }
     }
 }
 
-/// Builds the two substrates at size `n` with a shared seed.
-pub fn build_pair(cfg: &SweepConfig, n: usize) -> (SingleArmada, CanNet) {
-    let fission_cfg = FissioneConfig {
-        object_id_len: cfg.object_id_len,
-        ..FissioneConfig::default()
-    };
+/// Builds every configured scheme at size `n` from one shared seed stream.
+pub fn build_schemes(cfg: &SweepConfig, n: usize) -> Vec<Box<dyn RangeScheme>> {
+    let registry = crate::standard_registry();
+    let params = BuildParams::new(n, paper::DOMAIN_LO, paper::DOMAIN_HI)
+        .with_object_id_len(cfg.object_id_len);
     let mut rng = simnet::rng_from_seed(cfg.seed ^ n as u64);
-    let armada =
-        SingleArmada::build_with(fission_cfg, n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng)
-            .expect("paper-scale networks build");
-    let can_cfg = CanConfig {
-        domain_lo: paper::DOMAIN_LO,
-        domain_hi: paper::DOMAIN_HI,
-        ..CanConfig::default()
-    };
-    let can = CanNet::build(can_cfg, n, &mut rng).expect("paper-scale CAN builds");
-    (armada, can)
+    cfg.schemes
+        .iter()
+        .map(|name| {
+            registry.build_single(name, &params, &mut rng).expect("paper-scale networks build")
+        })
+        .collect()
 }
 
-/// Runs `cfg.queries` random queries of the given size against both schemes
-/// on pre-built substrates.
+/// Runs `cfg.queries` random queries of the given size against every
+/// pre-built scheme. The query ranges are drawn **once** and replayed
+/// against each scheme (origins stay scheme-local), keeping the
+/// cross-scheme comparison paired query-for-query as in the paper's
+/// harness. Exactness violations (impossible fault-free) panic loudly
+/// rather than skewing the figures.
 pub fn measure_point(
     cfg: &SweepConfig,
-    armada: &SingleArmada,
-    can: &CanNet,
+    schemes: &[Box<dyn RangeScheme>],
     range_size: f64,
 ) -> PointMetrics {
-    let n = armada.net().len();
-    let mut rng = simnet::rng_from_seed(cfg.seed ^ 0x5eed ^ (range_size.to_bits() ^ n as u64));
-    let mut pira_delay = Vec::with_capacity(cfg.queries);
-    let mut pira_messages = Vec::with_capacity(cfg.queries);
-    let mut destpeers = Vec::with_capacity(cfg.queries);
-    let mut mesg_ratio = Vec::with_capacity(cfg.queries);
-    let mut incre_ratio = Vec::with_capacity(cfg.queries);
-    let mut dcf_delay = Vec::with_capacity(cfg.queries);
-    let mut dcf_messages = Vec::with_capacity(cfg.queries);
-    let mut dcf_destzones = Vec::with_capacity(cfg.queries);
-    let mut exact = 0usize;
-
-    for q in 0..cfg.queries {
-        let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range_size));
-        let hi = lo + range_size;
-        let seed = cfg.seed.wrapping_add(q as u64);
-
-        let origin = armada.net().random_peer(&mut rng);
-        let out = armada
-            .pira_query(origin, lo, hi, seed)
-            .expect("fault-free queries succeed");
-        pira_delay.push(f64::from(out.metrics.delay));
-        pira_messages.push(out.metrics.messages as f64);
-        destpeers.push(out.metrics.dest_peers as f64);
-        mesg_ratio.push(out.metrics.mesg_ratio());
-        incre_ratio.push(out.metrics.incre_ratio(n));
-        if out.metrics.exact {
-            exact += 1;
-        }
-
-        let can_origin = can.random_zone(&mut rng);
-        let dcf = dcf::range_query(can, can_origin, lo, hi, seed, FloodMode::Directed)
-            .expect("fault-free queries succeed");
-        dcf_delay.push(f64::from(dcf.delay));
-        dcf_messages.push(dcf.messages as f64);
-        dcf_destzones.push(dcf.dest_zones as f64);
-        if !dcf.exact {
-            // DCF exactness is guaranteed by flood connectivity; surface
-            // violations loudly in experiments.
-            panic!("DCF missed zones on [{lo}, {hi}]");
-        }
-    }
-
-    PointMetrics {
-        n_peers: n,
-        range_size,
-        pira_delay: Summary::from_samples(pira_delay),
-        pira_messages: Summary::from_samples(pira_messages),
-        destpeers: Summary::from_samples(destpeers),
-        mesg_ratio: Summary::from_samples(mesg_ratio),
-        incre_ratio: Summary::from_samples(incre_ratio),
-        dcf_delay: Summary::from_samples(dcf_delay),
-        dcf_messages: Summary::from_samples(dcf_messages),
-        dcf_destzones: Summary::from_samples(dcf_destzones),
-        exact_rate: exact as f64 / cfg.queries.max(1) as f64,
-    }
+    let n = schemes.first().map_or(0, |s| s.node_count());
+    let driver = QueryDriver::new(cfg.queries).with_seed(cfg.seed);
+    let mut workload_rng =
+        simnet::rng_from_seed(cfg.seed ^ 0x5eed ^ range_size.to_bits() ^ n as u64);
+    let workload: Vec<(f64, f64)> = (0..cfg.queries)
+        .map(|_| {
+            let lo = workload_rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range_size));
+            (lo, lo + range_size)
+        })
+        .collect();
+    let reports = schemes
+        .iter()
+        .enumerate()
+        .map(|(i, scheme)| {
+            let mut origin_rng = simnet::rng_from_seed(
+                cfg.seed ^ 0x0419 ^ range_size.to_bits() ^ n as u64 ^ ((i as u64) << 48),
+            );
+            let mut queries = workload.iter().copied();
+            let report = driver
+                .run(scheme.as_ref(), &mut origin_rng, |_| {
+                    queries.next().expect("driver runs exactly cfg.queries queries")
+                })
+                .expect("fault-free queries succeed");
+            assert!(
+                report.exact_rate == 1.0,
+                "{} missed destinations on a fault-free run",
+                scheme.scheme_name()
+            );
+            report
+        })
+        .collect();
+    PointMetrics { n_peers: n, range_size, reports }
 }
 
 /// Figure 5/6 workload: fixed `N`, swept range size.
 pub fn range_sweep(cfg: &SweepConfig, n: usize, sizes: &[f64]) -> Vec<PointMetrics> {
-    let (armada, can) = build_pair(cfg, n);
-    sizes
-        .iter()
-        .map(|&s| measure_point(cfg, &armada, &can, s))
-        .collect()
+    let schemes = build_schemes(cfg, n);
+    sizes.iter().map(|&s| measure_point(cfg, &schemes, s)).collect()
 }
 
 /// Figure 7/8 workload: fixed range size, swept `N`.
 pub fn network_sweep(cfg: &SweepConfig, ns: &[usize], range_size: f64) -> Vec<PointMetrics> {
     ns.iter()
         .map(|&n| {
-            let (armada, can) = build_pair(cfg, n);
-            measure_point(cfg, &armada, &can, range_size)
+            let schemes = build_schemes(cfg, n);
+            measure_point(cfg, &schemes, range_size)
         })
         .collect()
 }
@@ -162,7 +137,7 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> SweepConfig {
-        SweepConfig { queries: 40, seed: 7, object_id_len: 32 }
+        SweepConfig { queries: 40, seed: 7, object_id_len: 32, ..SweepConfig::default() }
     }
 
     #[test]
@@ -172,14 +147,18 @@ mod tests {
         assert_eq!(points.len(), 2);
         let log_n = (400f64).log2();
         for p in &points {
-            assert_eq!(p.exact_rate, 1.0);
-            assert!(p.pira_delay.mean < log_n, "PIRA not delay-bounded");
+            assert_eq!(p.report("pira").exact_rate, 1.0);
+            assert!(p.report("pira").delay.mean < log_n, "PIRA not delay-bounded");
         }
         // DCF delay grows with range size while PIRA stays flat.
-        assert!(points[1].dcf_delay.mean > points[0].dcf_delay.mean);
-        assert!((points[1].pira_delay.mean - points[0].pira_delay.mean).abs() < 3.0);
+        assert!(points[1].report("dcf-can").delay.mean > points[0].report("dcf-can").delay.mean);
+        assert!(
+            (points[1].report("pira").delay.mean - points[0].report("pira").delay.mean).abs() < 3.0
+        );
         // Destination peers grow with the range.
-        assert!(points[1].destpeers.mean > points[0].destpeers.mean);
+        assert!(
+            points[1].report("pira").dest_peers.mean > points[0].report("pira").dest_peers.mean
+        );
     }
 
     #[test]
@@ -188,10 +167,26 @@ mod tests {
         let points = network_sweep(&cfg, &[200, 800], 20.0);
         for p in &points {
             let log_n = (p.n_peers as f64).log2();
-            assert!(p.pira_delay.mean < log_n);
-            assert_eq!(p.exact_rate, 1.0);
+            assert!(p.report("pira").delay.mean < log_n);
+            assert_eq!(p.report("pira").exact_rate, 1.0);
         }
         // DCF delay grows ~√N.
-        assert!(points[1].dcf_delay.mean > points[0].dcf_delay.mean);
+        assert!(points[1].report("dcf-can").delay.mean > points[0].report("dcf-can").delay.mean);
+    }
+
+    #[test]
+    fn sweeps_extend_to_any_registered_scheme() {
+        // The point of the unified API: adding a scheme to a sweep is one
+        // name in the config, no new glue.
+        let cfg = SweepConfig {
+            queries: 20,
+            seed: 7,
+            object_id_len: 32,
+            schemes: vec!["pira".into(), "skipgraph".into(), "scrap".into()],
+        };
+        let points = range_sweep(&cfg, 150, &[50.0]);
+        assert_eq!(points[0].reports.len(), 3);
+        assert!(points[0].report("skipgraph").delay.mean > 0.0);
+        assert!(points[0].report("scrap").delay.mean > 0.0);
     }
 }

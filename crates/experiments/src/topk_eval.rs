@@ -18,13 +18,19 @@ pub fn run(scale: Scale) -> Table {
     let log_n = (n as f64).log2();
     let mut t = Table::new(
         format!("E1 — top-k queries (N = {n}, {records} records)"),
-        &["distribution", "k", "avg probes", "avg delay", "per-probe bound 2logN", "avg messages", "exact rate"],
+        &[
+            "distribution",
+            "k",
+            "avg probes",
+            "avg delay",
+            "per-probe bound 2logN",
+            "avg messages",
+            "exact rate",
+        ],
     );
     for (dist, skew) in [("uniform", 1), ("skewed (x²)", 2)] {
-        let cfg = FissioneConfig {
-            object_id_len: paper::OBJECT_ID_LEN,
-            ..FissioneConfig::default()
-        };
+        let cfg =
+            FissioneConfig { object_id_len: paper::OBJECT_ID_LEN, ..FissioneConfig::default() };
         let mut rng = simnet::rng_from_seed(0x70c0 ^ skew as u64);
         let mut armada =
             SingleArmada::build_with(cfg, n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng)

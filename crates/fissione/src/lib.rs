@@ -100,11 +100,7 @@ pub struct FissioneConfig {
 
 impl Default for FissioneConfig {
     fn default() -> Self {
-        FissioneConfig {
-            base: 2,
-            object_id_len: 100,
-            balance: BalanceRule::default(),
-        }
+        FissioneConfig { base: 2, object_id_len: 100, balance: BalanceRule::default() }
     }
 }
 

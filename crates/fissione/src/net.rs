@@ -45,10 +45,7 @@ impl Peer {
         high: &KautzStr,
     ) -> impl Iterator<Item = (&'a KautzStr, &'a [u64])> {
         self.objects
-            .range::<KautzStr, _>((
-                Bound::Included(low.clone()),
-                Bound::Included(high.clone()),
-            ))
+            .range::<KautzStr, _>((Bound::Included(low.clone()), Bound::Included(high.clone())))
             .map(|(k, v)| (k, v.as_slice()))
     }
 
@@ -149,10 +146,7 @@ impl FissioneNet {
     ///
     /// Returns [`FissioneError::NoSuchPeer`] for dead or unknown ids.
     pub fn peer(&self, node: NodeId) -> Result<&Peer, FissioneError> {
-        self.slots
-            .get(node)
-            .and_then(Option::as_ref)
-            .ok_or(FissioneError::NoSuchPeer { node })
+        self.slots.get(node).and_then(Option::as_ref).ok_or(FissioneError::NoSuchPeer { node })
     }
 
     /// The PeerID behind a node id.
@@ -186,18 +180,12 @@ impl FissioneNet {
 
     /// Deepest live PeerID length.
     pub fn max_depth(&self) -> usize {
-        self.depth_hist
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.depth_hist.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Shallowest live PeerID length.
     pub fn min_depth(&self) -> usize {
-        self.depth_hist
-            .iter()
-            .position(|&c| c > 0)
-            .unwrap_or(0)
+        self.depth_hist.iter().position(|&c| c > 0).unwrap_or(0)
     }
 
     /// The unique live peer whose PeerID is a prefix of `s`.
@@ -210,10 +198,8 @@ impl FissioneNet {
     /// Returns [`FissioneError::TargetTooShort`] if `s` is shorter than the
     /// owning region's depth (no PeerID prefixes it).
     pub fn owner_of(&self, s: &KautzStr) -> Result<NodeId, FissioneError> {
-        let candidate = self
-            .by_id
-            .range::<KautzStr, _>((Bound::Unbounded, Bound::Included(s)))
-            .next_back();
+        let candidate =
+            self.by_id.range::<KautzStr, _>((Bound::Unbounded, Bound::Included(s))).next_back();
         match candidate {
             Some((id, &node)) if id.is_prefix_of(s) => Ok(node),
             _ => Err(FissioneError::TargetTooShort {
@@ -470,11 +456,8 @@ impl FissioneNet {
         // Donor path: merge the deepest sibling-leaf pair (inside the
         // sibling subtree when one exists, else anywhere), freeing a peer
         // that adopts the leaver's label.
-        let scope = if id.len() > 1 {
-            Self::sibling_label(&id)
-        } else {
-            KautzStr::empty(self.cfg.base)
-        };
+        let scope =
+            if id.len() > 1 { Self::sibling_label(&id) } else { KautzStr::empty(self.cfg.base) };
         let deepest = self
             .peers_with_prefix(&scope)
             .filter(|&n| n != node)
@@ -488,10 +471,7 @@ impl FissioneNet {
 
         // Merge the deepest pair: its sibling must itself be a leaf.
         let deep_sibling = Self::sibling_label(&deep_id);
-        let sib_node = *self
-            .by_id
-            .get(&deep_sibling)
-            .expect("sibling of a deepest leaf is a leaf");
+        let sib_node = *self.by_id.get(&deep_sibling).expect("sibling of a deepest leaf is a leaf");
         debug_assert_ne!(sib_node, node);
         let parent = deep_id.take_front(deep_id.len() - 1);
         let mut donor_objects =
@@ -564,7 +544,7 @@ impl FissioneNet {
                 .unwrap_or(d);
             if max_nb >= d + 2 {
                 let gap = max_nb - d;
-                if worst.map_or(true, |(g, _)| gap > g) {
+                if worst.is_none_or(|(g, _)| gap > g) {
                     worst = Some((gap, node));
                 }
             }
@@ -578,10 +558,7 @@ impl FissioneNet {
         let deep_id = self.slots[donor].as_ref().expect("live").id.clone();
         debug_assert!(deep_id.len() > 1, "root peers are never deepest in a violation");
         let sibling = Self::sibling_label(&deep_id);
-        let sib_node = *self
-            .by_id
-            .get(&sibling)
-            .expect("sibling of the deepest leaf is a leaf");
+        let sib_node = *self.by_id.get(&sibling).expect("sibling of the deepest leaf is a leaf");
         if sib_node == target || donor == target {
             return;
         }
@@ -712,12 +689,7 @@ impl FissioneNet {
             max_depth: self.max_depth(),
             min_depth: self.min_depth(),
             neighborhood_violations: violations,
-            total_objects: self
-                .slots
-                .iter()
-                .flatten()
-                .map(Peer::object_count)
-                .sum(),
+            total_objects: self.slots.iter().flatten().map(Peer::object_count).sum(),
         }
     }
 
@@ -830,10 +802,7 @@ mod tests {
             2.0 * log_n
         );
         // Average depth < logN (§3).
-        let total: usize = net
-            .live_peers()
-            .map(|n| net.peer(n).unwrap().depth())
-            .sum();
+        let total: usize = net.live_peers().map(|n| net.peer(n).unwrap().depth()).sum();
         let avg = total as f64 / net.len() as f64;
         assert!(avg < log_n, "avg depth {avg} vs logN {log_n}");
     }
@@ -906,10 +875,8 @@ mod tests {
     #[test]
     fn average_total_degree_is_about_four() {
         let net = build(1000, 7);
-        let total: usize = net
-            .live_peers()
-            .map(|n| net.out_neighbors(n).len() + net.in_neighbors(n).len())
-            .sum();
+        let total: usize =
+            net.live_peers().map(|n| net.out_neighbors(n).len() + net.in_neighbors(n).len()).sum();
         let avg = total as f64 / net.len() as f64;
         assert!((3.0..5.0).contains(&avg), "avg degree {avg}");
     }
@@ -1009,10 +976,7 @@ mod tests {
     fn stabilize_reduces_violations_after_churn() {
         let mut rng = simnet::rng_from_seed(14);
         // Use the unbalanced rule to provoke violations.
-        let cfg = FissioneConfig {
-            balance: BalanceRule::RandomOwner,
-            ..small_cfg()
-        };
+        let cfg = FissioneConfig { balance: BalanceRule::RandomOwner, ..small_cfg() };
         let mut net = FissioneNet::build(cfg, 400, &mut rng).unwrap();
         for _ in 0..150 {
             let victim = net.random_peer(&mut rng);

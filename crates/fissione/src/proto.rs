@@ -69,8 +69,7 @@ impl FissioneNet {
                         // This peer owns the target: answer directly.
                         result.owner = Some(node);
                         result.request_hops = env.hop;
-                        let handles =
-                            self.peer(node).expect("live").handles_for(target).to_vec();
+                        let handles = self.peer(node).expect("live").handles_for(target).to_vec();
                         result.handles = handles.clone();
                         sim.forward(&env, *client, LookupMsg::Response { handles });
                     }
@@ -164,10 +163,7 @@ mod tests {
         let mut rng = simnet::rng_from_seed(540);
         let target = KautzStr::random(2, 24, &mut rng);
         let owner = net.owner_of(&target).unwrap();
-        let from = net
-            .live_peers()
-            .find(|&n| n != owner)
-            .expect("another peer exists");
+        let from = net.live_peers().find(|&n| n != owner).expect("another peer exists");
         let mut faults = FaultPlan::new();
         faults.crash(owner);
         let out = net.lookup_via_sim(from, &target, 1, &faults).unwrap();

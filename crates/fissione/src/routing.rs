@@ -48,7 +48,11 @@ impl FissioneNet {
     /// Returns [`FissioneError::NoSuchPeer`] for dead nodes and
     /// [`FissioneError::TargetTooShort`] when ownership of the ideal
     /// continuation is unresolvable.
-    pub fn next_hop(&self, node: NodeId, target: &KautzStr) -> Result<Option<NodeId>, FissioneError> {
+    pub fn next_hop(
+        &self,
+        node: NodeId,
+        target: &KautzStr,
+    ) -> Result<Option<NodeId>, FissioneError> {
         let id = self.peer_id(node)?;
         if id.is_prefix_of(target) {
             return Ok(None);
@@ -130,9 +134,7 @@ impl FissioneNet {
             if let Some(i) = ideal {
                 cands.sort_by_key(|&n| n != i);
             }
-            let next = cands
-                .into_iter()
-                .find(|&n| !faults.is_crashed(n) && !visited.contains(&n));
+            let next = cands.into_iter().find(|&n| !faults.is_crashed(n) && !visited.contains(&n));
             match next {
                 Some(n) => {
                     visited.insert(n);
@@ -186,12 +188,7 @@ mod tests {
             let from = net.random_peer(&mut rng);
             let route = net.route(from, &target).unwrap();
             let depth = net.peer(from).unwrap().depth();
-            assert!(
-                route.hops() <= depth,
-                "{} hops from depth-{} peer",
-                route.hops(),
-                depth
-            );
+            assert!(route.hops() <= depth, "{} hops from depth-{} peer", route.hops(), depth);
         }
     }
 

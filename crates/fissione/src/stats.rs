@@ -40,10 +40,8 @@ pub struct RoutingSample {
 impl FissioneNet {
     /// Depth distribution of live peers.
     pub fn depth_stats(&self) -> DepthStats {
-        let depths: Vec<f64> = self
-            .live_peers()
-            .map(|n| self.peer(n).expect("live").depth() as f64)
-            .collect();
+        let depths: Vec<f64> =
+            self.live_peers().map(|n| self.peer(n).expect("live").depth() as f64).collect();
         DepthStats {
             summary: Summary::from_samples(depths),
             histogram: self.depth_histogram().to_vec(),
@@ -106,10 +104,7 @@ impl FissioneNet {
 
     /// Estimated diameter from a random sample of source peers.
     pub fn diameter_sampled(&self, sources: usize, rng: &mut SmallRng) -> usize {
-        (0..sources)
-            .map(|_| self.eccentricity(self.random_peer(rng)))
-            .max()
-            .unwrap_or(0)
+        (0..sources).map(|_| self.eccentricity(self.random_peer(rng))).max().unwrap_or(0)
     }
 
     /// Samples `queries` random lookups from random sources and summarises

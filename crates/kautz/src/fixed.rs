@@ -54,7 +54,7 @@ impl ScaledValue {
     /// `2^-120` converts exactly (f64 has only 52 fractional mantissa bits,
     /// all preserved here).
     pub fn from_unit(x: f64) -> Self {
-        if !(x > 0.0) {
+        if x.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             // NaN or ≤ 0.
             return ScaledValue(0);
         }
@@ -88,7 +88,7 @@ impl ScaledValue {
     /// interval and scales it. Out-of-range values clamp; a degenerate
     /// interval maps everything to 0.
     pub fn normalize(c: f64, lo: f64, hi: f64) -> Self {
-        if !(hi > lo) {
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return ScaledValue(0);
         }
         ScaledValue::from_unit((c - lo) / (hi - lo))
@@ -274,9 +274,7 @@ mod tests {
         let third = Boundary::from_num(BOUNDARY_DEN / 3);
         let two_thirds = Boundary::from_num(2 * (BOUNDARY_DEN / 3));
         let mid = BoundaryInterval { lo: third, hi: two_thirds };
-        let q = |a: f64, b: f64| {
-            (ScaledValue::from_unit(a), ScaledValue::from_unit(b))
-        };
+        let q = |a: f64, b: f64| (ScaledValue::from_unit(a), ScaledValue::from_unit(b));
         let (a, b) = q(0.0, 0.2);
         assert!(!mid.intersects_query(a, b));
         let (a, b) = q(0.2, 0.4);

@@ -77,10 +77,7 @@ impl KautzGraph {
         assert_eq!(node.base(), self.base, "node base mismatch");
         assert_eq!(node.len(), self.len, "node length mismatch");
         let shifted = node.drop_front(1);
-        shifted
-            .child_symbols()
-            .map(|s| shifted.child(s).expect("child symbol is legal"))
-            .collect()
+        shifted.child_symbols().map(|s| shifted.child(s).expect("child symbol is legal")).collect()
     }
 
     /// The `d` in-neighbors of `node`: `α·u1…u(k-1)` for each `α ≠ u1`.
@@ -137,12 +134,7 @@ impl KautzGraph {
     /// Panics if the graph is too large to enumerate.
     pub fn diameter(&self) -> u32 {
         self.nodes()
-            .map(|u| {
-                self.bfs_distances(&u)
-                    .into_iter()
-                    .max()
-                    .expect("graph is non-empty")
-            })
+            .map(|u| self.bfs_distances(&u).into_iter().max().expect("graph is non-empty"))
             .max()
             .expect("graph is non-empty")
     }

@@ -293,11 +293,7 @@ impl MultiHash {
         if values.len() != self.spaces.len() {
             return Err(NamingError::WrongArity { expected: self.spaces.len(), got: values.len() });
         }
-        Ok(values
-            .iter()
-            .zip(self.spaces.iter())
-            .map(|(&v, s)| s.normalize(v))
-            .collect())
+        Ok(values.iter().zip(self.spaces.iter()).map(|(&v, s)| s.normalize(v)).collect())
     }
 
     /// `Multiple_hash(v0, …, v(m-1))`: the ObjectID of a multi-attribute
@@ -403,10 +399,7 @@ mod tests {
     #[test]
     fn region_rejects_reversed_query() {
         let naming = SingleHash::new(0.0, 1.0, 4).unwrap();
-        assert!(matches!(
-            naming.region(0.9, 0.1),
-            Err(NamingError::EmptyRange { .. })
-        ));
+        assert!(matches!(naming.region(0.9, 0.1), Err(NamingError::EmptyRange { .. })));
     }
 
     #[test]

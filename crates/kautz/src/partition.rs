@@ -71,10 +71,7 @@ pub fn multiple_hash_scaled(values: &[ScaledValue], k: usize) -> KautzStr {
         let dim = level % m;
         let (idx, rest) = if level == 0 { step3(state[dim]) } else { step2(state[dim]) };
         state[dim] = rest;
-        let sym = label
-            .child_symbols()
-            .nth(idx)
-            .expect("split index below child count");
+        let sym = label.child_symbols().nth(idx).expect("split index below child count");
         label.push(sym).expect("child symbol is legal");
     }
     label
@@ -103,10 +100,8 @@ pub fn rect_of_prefix(prefix: &KautzStr, m: usize) -> Result<Vec<BoundaryInterva
     let mut context = KautzStr::empty(2);
     for (level, &sym) in prefix.symbols().iter().enumerate() {
         let dim = level % m;
-        let idx = context
-            .child_symbols()
-            .position(|s| s == sym)
-            .expect("prefix is a valid Kautz string");
+        let idx =
+            context.child_symbols().position(|s| s == sym).expect("prefix is a valid Kautz string");
         let pieces = if level == 0 { 3 } else { 2 };
         let w = width[dim] / pieces;
         debug_assert_eq!(w * pieces, width[dim], "exact division invariant");
@@ -246,18 +241,9 @@ mod tests {
     #[test]
     fn multiple_hash_is_partial_order_preserving() {
         // Definition 4: componentwise ≤ implies lexicographic ≤.
-        let pts = [
-            (0.1, 0.2),
-            (0.1, 0.9),
-            (0.4, 0.2),
-            (0.4, 0.9),
-            (0.9, 0.95),
-        ];
+        let pts = [(0.1, 0.2), (0.1, 0.9), (0.4, 0.2), (0.4, 0.9), (0.9, 0.95)];
         let f = |(a, b): (f64, f64)| {
-            multiple_hash_scaled(
-                &[ScaledValue::from_unit(a), ScaledValue::from_unit(b)],
-                8,
-            )
+            multiple_hash_scaled(&[ScaledValue::from_unit(a), ScaledValue::from_unit(b)], 8)
         };
         for &p in &pts {
             for &q in &pts {
@@ -290,10 +276,7 @@ mod tests {
             syms.push(if i % 2 == 0 { 0 } else { 1 });
         }
         let long = KautzStr::new(2, syms).unwrap();
-        assert!(matches!(
-            rect_of_prefix(&long, 1),
-            Err(KautzError::UnsupportedLength { .. })
-        ));
+        assert!(matches!(rect_of_prefix(&long, 1), Err(KautzError::UnsupportedLength { .. })));
     }
 
     #[test]

@@ -202,10 +202,7 @@ mod tests {
 
     #[test]
     fn rejects_reversed_endpoints() {
-        assert_eq!(
-            KautzRegion::new(ks("021"), ks("010")),
-            Err(KautzError::EmptyRegion)
-        );
+        assert_eq!(KautzRegion::new(ks("021"), ks("010")), Err(KautzError::EmptyRegion));
     }
 
     #[test]

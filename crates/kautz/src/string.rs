@@ -176,18 +176,12 @@ impl KautzStr {
     /// Kautz-graph edges). Dropping more symbols than exist yields the empty
     /// string.
     pub fn drop_front(&self, n: usize) -> Self {
-        KautzStr {
-            base: self.base,
-            syms: self.syms.get(n..).unwrap_or(&[]).to_vec(),
-        }
+        KautzStr { base: self.base, syms: self.syms.get(n..).unwrap_or(&[]).to_vec() }
     }
 
     /// The prefix keeping only the first `n` symbols (saturating).
     pub fn take_front(&self, n: usize) -> Self {
-        KautzStr {
-            base: self.base,
-            syms: self.syms[..n.min(self.syms.len())].to_vec(),
-        }
+        KautzStr { base: self.base, syms: self.syms[..n.min(self.syms.len())].to_vec() }
     }
 
     /// Whether `self` is a (possibly equal) prefix of `other`.
@@ -205,11 +199,7 @@ impl KautzStr {
 
     /// Length of the longest common prefix of two strings.
     pub fn common_prefix_len(&self, other: &KautzStr) -> usize {
-        self.syms
-            .iter()
-            .zip(other.syms.iter())
-            .take_while(|(a, b)| a == b)
-            .count()
+        self.syms.iter().zip(other.syms.iter()).take_while(|(a, b)| a == b).count()
     }
 
     /// The longest common prefix of two strings.
@@ -390,9 +380,7 @@ impl PartialOrd for KautzStr {
 
 impl Ord for KautzStr {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.syms
-            .cmp(&other.syms)
-            .then_with(|| self.base.cmp(&other.base))
+        self.syms.cmp(&other.syms).then_with(|| self.base.cmp(&other.base))
     }
 }
 
@@ -464,14 +452,8 @@ mod tests {
 
     #[test]
     fn rejects_adjacent_repeats() {
-        assert_eq!(
-            KautzStr::new(2, vec![0, 0]),
-            Err(KautzError::AdjacentRepeat { index: 0 })
-        );
-        assert_eq!(
-            KautzStr::new(2, vec![0, 1, 1]),
-            Err(KautzError::AdjacentRepeat { index: 1 })
-        );
+        assert_eq!(KautzStr::new(2, vec![0, 0]), Err(KautzError::AdjacentRepeat { index: 0 }));
+        assert_eq!(KautzStr::new(2, vec![0, 1, 1]), Err(KautzError::AdjacentRepeat { index: 1 }));
     }
 
     #[test]
@@ -554,9 +536,8 @@ mod tests {
     fn rank_is_lexicographic_and_bijective() {
         let n = 5;
         let count = KautzStr::count(2, n) as usize;
-        let mut all: Vec<KautzStr> = (0..count)
-            .map(|r| KautzStr::unrank(2, n, r as u128).unwrap())
-            .collect();
+        let mut all: Vec<KautzStr> =
+            (0..count).map(|r| KautzStr::unrank(2, n, r as u128).unwrap()).collect();
         // unrank is increasing in rank ⇒ sorted.
         let mut sorted = all.clone();
         sorted.sort();
@@ -569,10 +550,7 @@ mod tests {
 
     #[test]
     fn unrank_rejects_out_of_range() {
-        assert!(matches!(
-            KautzStr::unrank(2, 3, 12),
-            Err(KautzError::RankOutOfRange { .. })
-        ));
+        assert!(matches!(KautzStr::unrank(2, 3, 12), Err(KautzError::RankOutOfRange { .. })));
     }
 
     #[test]

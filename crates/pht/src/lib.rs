@@ -37,6 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scheme;
+
+pub use scheme::{register, PhtScheme};
+
 use dht_api::Dht;
 use simnet::NodeId;
 use std::collections::HashMap;
@@ -398,11 +402,8 @@ mod tests {
             let hi = lo + rng.gen_range(0.1..150.0);
             let from = 0;
             let out = pht.range_query(from, lo, hi);
-            let mut expect: Vec<u64> = data
-                .iter()
-                .filter(|&&(v, _)| v >= lo && v <= hi)
-                .map(|&(_, h)| h)
-                .collect();
+            let mut expect: Vec<u64> =
+                data.iter().filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
             expect.sort_unstable();
             assert_eq!(out.results, expect, "query [{lo}, {hi}]");
         }
@@ -442,10 +443,8 @@ mod tests {
 
     #[test]
     fn works_over_fissione_too() {
-        let cfg = fissione::FissioneConfig {
-            object_id_len: 24,
-            ..fissione::FissioneConfig::default()
-        };
+        let cfg =
+            fissione::FissioneConfig { object_id_len: 24, ..fissione::FissioneConfig::default() };
         let mut rng = simnet::rng_from_seed(5);
         let dht = fissione::FissioneNet::build(cfg, 100, &mut rng).unwrap();
         let mut pht = Pht::new(dht, 0.0, 1000.0);
@@ -458,11 +457,8 @@ mod tests {
         }
         let from = pht.dht().any_node();
         let out = pht.range_query(from, 300.0, 500.0);
-        let mut expect: Vec<u64> = data
-            .iter()
-            .filter(|&&(v, _)| (300.0..=500.0).contains(&v))
-            .map(|&(_, h)| h)
-            .collect();
+        let mut expect: Vec<u64> =
+            data.iter().filter(|&&(v, _)| (300.0..=500.0).contains(&v)).map(|&(_, h)| h).collect();
         expect.sort_unstable();
         assert_eq!(out.results, expect);
     }

@@ -1,0 +1,166 @@
+//! PHT behind the unified [`dht_api`] query interface.
+//!
+//! [`PhtScheme`] is generic over the substrate [`Dht`], mirroring PHT's
+//! "runs on any DHT" design; [`register`] wires up the two substrates the
+//! paper compares (`"pht-fissione"` and `"pht-chord"`).
+
+use crate::{Pht, PhtOutcome};
+use dht_api::{BuildParams, Dht, RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};
+use rand::rngs::SmallRng;
+use simnet::NodeId;
+
+impl PhtOutcome {
+    /// Converts into the scheme-generic outcome. PHT's destination unit is
+    /// the trie leaf; the trie is authoritative, so queries are exact by
+    /// construction.
+    pub fn into_outcome(self) -> RangeOutcome {
+        RangeOutcome {
+            results: self.results,
+            delay: self.delay,
+            messages: self.messages,
+            dest_peers: self.dest_leaves,
+            reached_peers: self.dest_leaves,
+            exact: true,
+        }
+    }
+}
+
+impl From<PhtOutcome> for RangeOutcome {
+    fn from(out: PhtOutcome) -> Self {
+        out.into_outcome()
+    }
+}
+
+/// A Prefix Hash Tree over any [`Dht`] as a [`RangeScheme`].
+#[derive(Debug, Clone)]
+pub struct PhtScheme<D: Dht> {
+    pht: Pht<D>,
+    scheme_name: &'static str,
+    degree: String,
+}
+
+impl<D: Dht> PhtScheme<D> {
+    /// Wraps a substrate with a registry name and degree label.
+    pub fn new(dht: D, params: &BuildParams, scheme_name: &'static str, degree: String) -> Self {
+        let pht = Pht::new(dht, params.domain.0, params.domain.1);
+        PhtScheme { pht, scheme_name, degree }
+    }
+
+    /// The wrapped trie (and through it, the substrate).
+    pub fn pht(&self) -> &Pht<D> {
+        &self.pht
+    }
+}
+
+impl<D: Dht> RangeScheme for PhtScheme<D> {
+    fn scheme_name(&self) -> &'static str {
+        self.scheme_name
+    }
+
+    fn substrate(&self) -> String {
+        self.pht.dht().name().into()
+    }
+
+    fn degree(&self) -> String {
+        self.degree.clone()
+    }
+
+    fn node_count(&self) -> usize {
+        self.pht.dht().node_count()
+    }
+
+    fn supports_rect(&self) -> bool {
+        true // the PHT paper answers rectangles via SFC linearisation
+    }
+
+    fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
+        self.pht.insert(value, handle);
+        Ok(())
+    }
+
+    fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+        self.pht.dht().random_node(rng)
+    }
+
+    fn range_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        _seed: u64,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if lo > hi {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        Ok(self.pht.range_query(origin, lo, hi).into_outcome())
+    }
+}
+
+/// Registers `"pht-fissione"` (constant-degree substrate, measured degree)
+/// and `"pht-chord"` (`O(log N)`-degree substrate).
+pub fn register(reg: &mut SchemeRegistry) {
+    reg.register_single(
+        "pht-fissione",
+        Box::new(|p, rng| {
+            let cfg = fissione::FissioneConfig {
+                object_id_len: p.object_id_len,
+                ..fissione::FissioneConfig::default()
+            };
+            let dht = fissione::FissioneNet::build(cfg, p.n, rng)
+                .map_err(|e| SchemeError::Build(e.to_string()))?;
+            let degree = format!("{:.1}", dht.degree_stats().total.mean);
+            Ok(Box::new(PhtScheme::new(dht, p, "pht-fissione", degree)))
+        }),
+    );
+    reg.register_single(
+        "pht-chord",
+        Box::new(|p, rng| {
+            let dht = chord::ChordNet::build(p.n, rng);
+            let degree = format!("O(logN) = {:.0}", (p.n as f64).log2());
+            Ok(Box::new(PhtScheme::new(dht, p, "pht-chord", degree)))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn pht_scheme_over_both_substrates_is_exact() {
+        let mut reg = SchemeRegistry::new();
+        register(&mut reg);
+        assert_eq!(reg.single_names(), vec!["pht-chord", "pht-fissione"]);
+        for name in ["pht-chord", "pht-fissione"] {
+            let mut rng = simnet::rng_from_seed(910);
+            let params = BuildParams::new(80, 0.0, 1000.0).with_object_id_len(24);
+            let mut scheme = reg.build_single(name, &params, &mut rng).unwrap();
+            let mut data = Vec::new();
+            for h in 0..250u64 {
+                let v = rng.gen_range(0.0..=1000.0);
+                scheme.publish(v, h).unwrap();
+                data.push((v, h));
+            }
+            for _ in 0..10 {
+                let lo = rng.gen_range(0.0..900.0);
+                let hi = lo + rng.gen_range(0.5..100.0);
+                let origin = scheme.random_origin(&mut rng);
+                let out = scheme.range_query(origin, lo, hi, 0).unwrap();
+                let mut expect: Vec<u64> =
+                    data.iter().filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
+                expect.sort_unstable();
+                assert_eq!(out.results, expect, "{name} on [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_is_rejected_uniformly() {
+        let mut rng = simnet::rng_from_seed(911);
+        let dht = chord::ChordNet::build(16, &mut rng);
+        let params = BuildParams::new(16, 0.0, 10.0);
+        let scheme = PhtScheme::new(dht, &params, "pht-chord", "x".into());
+        assert!(matches!(scheme.range_query(0, 5.0, 1.0, 0), Err(SchemeError::EmptyRange { .. })));
+    }
+}

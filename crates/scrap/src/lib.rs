@@ -27,6 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scheme;
+
+pub use scheme::register;
+
 use rand::rngs::SmallRng;
 use sfc::{merge_ranges, ZSpace};
 use simnet::NodeId;
@@ -97,13 +101,9 @@ impl ScrapNet {
     /// # Errors
     ///
     /// Returns [`ScrapError::EmptyRange`] for an empty domain.
-    pub fn build(
-        n: usize,
-        domains: &[(f64, f64)],
-        rng: &mut SmallRng,
-    ) -> Result<Self, ScrapError> {
+    pub fn build(n: usize, domains: &[(f64, f64)], rng: &mut SmallRng) -> Result<Self, ScrapError> {
         for (i, &(lo, hi)) in domains.iter().enumerate() {
-            if !(lo < hi) {
+            if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
                 return Err(ScrapError::EmptyRange { attribute: i });
             }
         }
@@ -128,6 +128,11 @@ impl ScrapNet {
         false
     }
 
+    /// Number of attributes the system was built with.
+    pub fn dims(&self) -> usize {
+        self.domains.len()
+    }
+
     /// A uniformly random peer.
     pub fn random_node(&self, rng: &mut SmallRng) -> NodeId {
         self.skip.random_node(rng)
@@ -135,10 +140,7 @@ impl ScrapNet {
 
     fn zkey(&self, values: &[f64]) -> Result<u64, ScrapError> {
         if values.len() != self.domains.len() {
-            return Err(ScrapError::WrongArity {
-                expected: self.domains.len(),
-                got: values.len(),
-            });
+            return Err(ScrapError::WrongArity { expected: self.domains.len(), got: values.len() });
         }
         let coords: Vec<u32> = values
             .iter()
@@ -171,10 +173,7 @@ impl ScrapNet {
         query: &[(f64, f64)],
     ) -> Result<ScrapOutcome, ScrapError> {
         if query.len() != self.domains.len() {
-            return Err(ScrapError::WrongArity {
-                expected: self.domains.len(),
-                got: query.len(),
-            });
+            return Err(ScrapError::WrongArity { expected: self.domains.len(), got: query.len() });
         }
         let mut qranges = Vec::with_capacity(query.len());
         for (i, (&(lo, hi), &(dlo, dhi))) in query.iter().zip(self.domains.iter()).enumerate() {
@@ -196,10 +195,8 @@ impl ScrapNet {
             messages += out.messages;
             for h in out.results {
                 let point = &self.points[&h];
-                let inside = point
-                    .iter()
-                    .zip(query.iter())
-                    .all(|(&v, &(lo, hi))| v >= lo && v <= hi);
+                let inside =
+                    point.iter().zip(query.iter()).all(|(&v, &(lo, hi))| v >= lo && v <= hi);
                 if inside {
                     results.push(h);
                 }
@@ -216,10 +213,7 @@ impl ScrapNet {
             .points
             .iter()
             .filter(|(_, point)| {
-                point
-                    .iter()
-                    .zip(query.iter())
-                    .all(|(&v, &(lo, hi))| v >= lo && v <= hi)
+                point.iter().zip(query.iter()).all(|(&v, &(lo, hi))| v >= lo && v <= hi)
             })
             .map(|(&h, _)| h)
             .collect();
@@ -282,9 +276,6 @@ mod tests {
     #[test]
     fn scrap_rejects_bad_queries() {
         let net = build2(20, 0, 4);
-        assert!(matches!(
-            net.range_query(0, &[(0.0, 1.0)]),
-            Err(ScrapError::WrongArity { .. })
-        ));
+        assert!(matches!(net.range_query(0, &[(0.0, 1.0)]), Err(ScrapError::WrongArity { .. })));
     }
 }

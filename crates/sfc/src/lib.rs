@@ -110,8 +110,7 @@ impl ZSpace {
         let mut out = Vec::new();
         // Box state: per-dim [lo, hi] of the current prefix, plus the key
         // prefix accumulated so far.
-        let full: Vec<(u32, u32)> =
-            vec![(0, ((1u64 << self.bits) - 1) as u32); self.dims as usize];
+        let full: Vec<(u32, u32)> = vec![(0, ((1u64 << self.bits) - 1) as u32); self.dims as usize];
         self.decompose_rec(ranges, 0, 0, &full, &mut out);
         out
     }

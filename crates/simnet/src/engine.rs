@@ -14,9 +14,10 @@ use std::collections::BinaryHeap;
 /// reported metric) is independent of the latency model.
 ///
 /// [`Unit`]: LatencyModel::Unit
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LatencyModel {
     /// Every hop takes exactly one tick (virtual time = hop count).
+    #[default]
     Unit,
     /// Every hop takes a fixed number of ticks.
     Fixed(u64),
@@ -27,12 +28,6 @@ pub enum LatencyModel {
         /// Maximum per-hop latency.
         hi: u64,
     },
-}
-
-impl Default for LatencyModel {
-    fn default() -> Self {
-        LatencyModel::Unit
-    }
 }
 
 impl LatencyModel {

@@ -53,7 +53,15 @@ impl Summary {
     pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Summary {
         let mut xs: Vec<f64> = samples.into_iter().collect();
         if xs.is_empty() {
-            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0, stddev: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                stddev: 0.0,
+            };
         }
         xs.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
         let count = xs.len();

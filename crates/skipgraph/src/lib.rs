@@ -27,6 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scheme;
+
+pub use scheme::register;
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 use simnet::NodeId;
@@ -97,11 +101,9 @@ impl SkipGraphNet {
             // Group by membership prefix.
             let mut groups: std::collections::HashMap<Vec<bool>, Vec<NodeId>> =
                 std::collections::HashMap::new();
-            for node in 0..n {
-                groups
-                    .entry(membership[node][..level].to_vec())
-                    .or_default()
-                    .push(node); // nodes iterated in key order ⇒ lists sorted
+            for (node, bits) in membership.iter().enumerate() {
+                groups.entry(bits[..level].to_vec()).or_default().push(node);
+                // nodes iterated in key order ⇒ lists sorted
             }
             for list in groups.values() {
                 for w in list.windows(2) {
@@ -112,13 +114,7 @@ impl SkipGraphNet {
             neighbors.push(nbr);
         }
 
-        SkipGraphNet {
-            keys,
-            neighbors,
-            records: vec![Vec::new(); n],
-            domain_lo: lo,
-            domain_hi: hi,
-        }
+        SkipGraphNet { keys, neighbors, records: vec![Vec::new(); n], domain_lo: lo, domain_hi: hi }
     }
 
     /// Number of peers.
@@ -302,11 +298,8 @@ mod tests {
             let hi = lo + rng.gen_range(0.1..150.0);
             let from = net.random_node(&mut rng);
             let out = net.range_query(from, lo, hi);
-            let mut expect: Vec<u64> = data
-                .iter()
-                .filter(|&&(v, _)| v >= lo && v <= hi)
-                .map(|&(_, h)| h)
-                .collect();
+            let mut expect: Vec<u64> =
+                data.iter().filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
             expect.sort_unstable();
             assert_eq!(out.results, expect, "query [{lo}, {hi}]");
         }

@@ -28,6 +28,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scheme;
+
+pub use scheme::register;
+
 use chord::ChordNet;
 use dht_api::Dht;
 use rand::rngs::SmallRng;
@@ -99,24 +103,15 @@ impl SquidNet {
     /// # Errors
     ///
     /// Returns [`SquidError::EmptyRange`] for an empty domain.
-    pub fn build(
-        n: usize,
-        domains: &[(f64, f64)],
-        rng: &mut SmallRng,
-    ) -> Result<Self, SquidError> {
+    pub fn build(n: usize, domains: &[(f64, f64)], rng: &mut SmallRng) -> Result<Self, SquidError> {
         for (i, &(lo, hi)) in domains.iter().enumerate() {
-            if !(lo < hi) {
+            if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
                 return Err(SquidError::EmptyRange { attribute: i });
             }
         }
         let chord = ChordNet::build(n, rng);
         let zspace = ZSpace::new(domains.len() as u32, DEFAULT_BITS);
-        Ok(SquidNet {
-            chord,
-            zspace,
-            domains: domains.to_vec(),
-            records: vec![Vec::new(); n],
-        })
+        Ok(SquidNet { chord, zspace, domains: domains.to_vec(), records: vec![Vec::new(); n] })
     }
 
     /// The underlying Chord ring.
@@ -134,6 +129,11 @@ impl SquidNet {
         false
     }
 
+    /// Number of attributes the system was built with.
+    pub fn dims(&self) -> usize {
+        self.domains.len()
+    }
+
     /// A uniformly random node.
     pub fn random_node(&self, rng: &mut SmallRng) -> NodeId {
         self.chord.random_node(rng)
@@ -147,10 +147,7 @@ impl SquidNet {
 
     fn quantize_point(&self, values: &[f64]) -> Result<Vec<u32>, SquidError> {
         if values.len() != self.domains.len() {
-            return Err(SquidError::WrongArity {
-                expected: self.domains.len(),
-                got: values.len(),
-            });
+            return Err(SquidError::WrongArity { expected: self.domains.len(), got: values.len() });
         }
         Ok(values
             .iter()
@@ -184,10 +181,7 @@ impl SquidNet {
         query: &[(f64, f64)],
     ) -> Result<SquidOutcome, SquidError> {
         if query.len() != self.domains.len() {
-            return Err(SquidError::WrongArity {
-                expected: self.domains.len(),
-                got: query.len(),
-            });
+            return Err(SquidError::WrongArity { expected: self.domains.len(), got: query.len() });
         }
         let mut qranges = Vec::with_capacity(query.len());
         for (i, (&(lo, hi), &(dlo, dhi))) in query.iter().zip(self.domains.iter()).enumerate() {
@@ -278,10 +272,7 @@ impl SquidNet {
             .iter()
             .flatten()
             .filter(|(_, point, _)| {
-                point
-                    .iter()
-                    .zip(query.iter())
-                    .all(|(&v, &(lo, hi))| v >= lo && v <= hi)
+                point.iter().zip(query.iter()).all(|(&v, &(lo, hi))| v >= lo && v <= hi)
             })
             .map(|&(_, _, h)| h)
             .collect();
@@ -327,9 +318,7 @@ mod tests {
         let net = build2(256, 500, 2);
         let mut rng = simnet::rng_from_seed(20);
         let origin = net.random_node(&mut rng);
-        let out = net
-            .range_query(origin, &[(20.0, 45.0), (30.0, 70.0)])
-            .unwrap();
+        let out = net.range_query(origin, &[(20.0, 45.0), (30.0, 70.0)]).unwrap();
         let log_n = (256f64).log2();
         assert!(
             out.delay as f64 > 2.0 * log_n,
@@ -352,10 +341,7 @@ mod tests {
     #[test]
     fn squid_rejects_bad_queries() {
         let net = build2(20, 0, 4);
-        assert!(matches!(
-            net.range_query(0, &[(0.0, 1.0)]),
-            Err(SquidError::WrongArity { .. })
-        ));
+        assert!(matches!(net.range_query(0, &[(0.0, 1.0)]), Err(SquidError::WrongArity { .. })));
         assert!(matches!(
             net.range_query(0, &[(5.0, 1.0), (0.0, 1.0)]),
             Err(SquidError::EmptyRange { .. })
@@ -365,8 +351,7 @@ mod tests {
     #[test]
     fn squid_three_attributes() {
         let mut rng = simnet::rng_from_seed(5);
-        let mut net =
-            SquidNet::build(60, &[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)], &mut rng).unwrap();
+        let mut net = SquidNet::build(60, &[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)], &mut rng).unwrap();
         for h in 0..200u64 {
             let p = [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()];
             net.publish(&p, h).unwrap();

@@ -1,0 +1,208 @@
+//! Squid behind the unified [`dht_api`] query interfaces.
+//!
+//! Squid natively answers hyper-rectangles ([`MultiRangeScheme`]); built
+//! over a single attribute it also serves the single-attribute
+//! [`RangeScheme`] contract, which is how it joins the cross-scheme
+//! differential workload.
+
+use crate::{SquidError, SquidNet, SquidOutcome};
+use dht_api::{
+    BuildParams, MultiBuildParams, MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError,
+    SchemeRegistry,
+};
+use rand::rngs::SmallRng;
+use simnet::NodeId;
+
+impl From<SquidError> for SchemeError {
+    fn from(e: SquidError) -> Self {
+        match e {
+            SquidError::WrongArity { expected, got } => SchemeError::WrongArity { expected, got },
+            SquidError::EmptyRange { .. } => SchemeError::Query(e.to_string()),
+        }
+    }
+}
+
+impl SquidOutcome {
+    /// Converts into the scheme-generic outcome. Squid's destination unit
+    /// is the curve cluster; refinement visits every overlapping cluster,
+    /// so queries are exact by construction.
+    pub fn into_outcome(self) -> RangeOutcome {
+        RangeOutcome {
+            results: self.results,
+            delay: self.delay,
+            messages: self.messages,
+            dest_peers: self.clusters,
+            reached_peers: self.clusters,
+            exact: true,
+        }
+    }
+}
+
+impl From<SquidOutcome> for RangeOutcome {
+    fn from(out: SquidOutcome) -> Self {
+        out.into_outcome()
+    }
+}
+
+impl RangeScheme for SquidNet {
+    fn scheme_name(&self) -> &'static str {
+        "squid"
+    }
+
+    fn substrate(&self) -> String {
+        "Chord".into()
+    }
+
+    fn degree(&self) -> String {
+        "O(logN)".into()
+    }
+
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn supports_rect(&self) -> bool {
+        true
+    }
+
+    fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
+        if self.dims() != 1 {
+            return Err(SchemeError::WrongArity { expected: self.dims(), got: 1 });
+        }
+        SquidNet::publish(self, &[value], handle)?;
+        Ok(())
+    }
+
+    fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+        self.random_node(rng)
+    }
+
+    fn range_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        _seed: u64,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if self.dims() != 1 {
+            return Err(SchemeError::WrongArity { expected: self.dims(), got: 1 });
+        }
+        if lo > hi {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        Ok(SquidNet::range_query(self, origin, &[(lo, hi)])?.into_outcome())
+    }
+}
+
+impl MultiRangeScheme for SquidNet {
+    fn scheme_name(&self) -> &'static str {
+        "squid"
+    }
+
+    fn substrate(&self) -> String {
+        "Chord".into()
+    }
+
+    fn degree(&self) -> String {
+        "O(logN)".into()
+    }
+
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn dims(&self) -> usize {
+        SquidNet::dims(self)
+    }
+
+    fn publish_point(&mut self, point: &[f64], handle: u64) -> Result<(), SchemeError> {
+        SquidNet::publish(self, point, handle)?;
+        Ok(())
+    }
+
+    fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+        self.random_node(rng)
+    }
+
+    fn rect_query(
+        &self,
+        origin: NodeId,
+        rect: &[(f64, f64)],
+        _seed: u64,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if let Some(&(lo, hi)) = rect.iter().find(|&&(lo, hi)| lo > hi) {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        Ok(SquidNet::range_query(self, origin, rect)?.into_outcome())
+    }
+}
+
+/// Registers `"squid"` as both a single-attribute scheme (1-D build) and a
+/// multi-attribute scheme.
+pub fn register(reg: &mut SchemeRegistry) {
+    reg.register_single(
+        "squid",
+        Box::new(|p: &BuildParams, rng| {
+            let net = SquidNet::build(p.n, &[p.domain], rng)
+                .map_err(|e| SchemeError::Build(e.to_string()))?;
+            Ok(Box::new(net))
+        }),
+    );
+    reg.register_multi(
+        "squid",
+        Box::new(|p: &MultiBuildParams, rng| {
+            let net = SquidNet::build(p.n, &p.domains, rng)
+                .map_err(|e| SchemeError::Build(e.to_string()))?;
+            Ok(Box::new(net))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn one_dimensional_build_serves_the_single_attr_contract() {
+        let mut reg = SchemeRegistry::new();
+        register(&mut reg);
+        let mut rng = simnet::rng_from_seed(930);
+        let mut scheme =
+            reg.build_single("squid", &BuildParams::new(70, 0.0, 1000.0), &mut rng).unwrap();
+        let mut data = Vec::new();
+        for h in 0..200u64 {
+            let v = rng.gen_range(0.0..=1000.0);
+            scheme.publish(v, h).unwrap();
+            data.push((v, h));
+        }
+        for _ in 0..15 {
+            let lo = rng.gen_range(0.0..900.0);
+            let hi = lo + rng.gen_range(0.5..80.0);
+            let origin = scheme.random_origin(&mut rng);
+            let out = scheme.range_query(origin, lo, hi, 0).unwrap();
+            let mut expect: Vec<u64> =
+                data.iter().filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
+            expect.sort_unstable();
+            assert_eq!(out.results, expect, "query [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn multi_build_rejects_single_attr_calls() {
+        let mut reg = SchemeRegistry::new();
+        register(&mut reg);
+        let mut rng = simnet::rng_from_seed(931);
+        let params = MultiBuildParams::new(40, &[(0.0, 1.0), (0.0, 1.0)]);
+        let multi = reg.build_multi("squid", &params, &mut rng).unwrap();
+        assert_eq!(multi.dims(), 2);
+        // The same network viewed through the single-attribute trait must
+        // refuse, not silently mis-query.
+        let mut rng2 = simnet::rng_from_seed(931);
+        let net = SquidNet::build(40, &[(0.0, 1.0), (0.0, 1.0)], &mut rng2).unwrap();
+        assert!(matches!(
+            RangeScheme::range_query(&net, 0, 0.1, 0.2, 0),
+            Err(SchemeError::WrongArity { .. })
+        ));
+    }
+}

@@ -1,63 +1,68 @@
 //! Grid information service: the paper's multi-attribute motivating example
-//! ("1GB ≤ Memory ≤ 4GB and 50GB ≤ disk ≤ 200GB", §1) served by MIRA.
+//! ("1GB ≤ Memory ≤ 4GB and 50GB ≤ disk ≤ 200GB", §1) served through the
+//! unified multi-attribute interface — pick `mira`, `squid`, or `scrap` at
+//! runtime.
 //!
 //! Run with: `cargo run --release --example grid_info_service`
+//! Try another scheme: `cargo run --release --example grid_info_service -- squid`
 
-use armada::MultiArmada;
+use armada_suite::dht_api::MultiBuildParams;
+use armada_suite::experiments::standard_registry;
 use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = standard_registry();
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mira".to_string());
     let mut rng = simnet::rng_from_seed(42);
 
     // 800 peers indexing grid machines by (memory MB, disk GB).
-    println!("building an 800-peer grid information service…");
-    let mut grid = MultiArmada::build(800, &[(0.0, 16384.0), (0.0, 2000.0)], &mut rng)?;
+    println!("available multi-attribute schemes: {:?}", registry.multi_names());
+    println!("building an 800-peer {name} grid information service…");
+    let params = MultiBuildParams::new(800, &[(0.0, 16384.0), (0.0, 2000.0)]);
+    let mut grid = registry.build_multi(&name, &params, &mut rng)?;
 
     // Register 5000 machines with a realistic mixture of configurations.
     let mem_tiers = [512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0];
-    for _ in 0..5000 {
+    let mut machines = Vec::new();
+    for id in 0..5000u64 {
         let mem = mem_tiers[rng.gen_range(0..mem_tiers.len())] * rng.gen_range(0.9..1.0);
         let disk: f64 = rng.gen_range(20.0..2000.0);
-        grid.publish(&[mem, disk])?;
+        grid.publish_point(&[mem, disk], id)?;
+        machines.push([mem, disk]);
     }
-    println!("  registered {} machines", grid.record_count());
+    println!("  registered {} machines", machines.len());
 
     // The paper's query: 1GB ≤ memory ≤ 4GB and 50GB ≤ disk ≤ 200GB.
     let query = [(1024.0, 4096.0), (50.0, 200.0)];
-    let origin = grid.net().random_peer(&mut rng);
-    let outcome = grid.mira_query(origin, &query, 7)?;
+    let origin = grid.random_origin(&mut rng);
+    let outcome = grid.rect_query(origin, &query, 7)?;
 
-    let log_n = (grid.net().len() as f64).log2();
-    println!("\nMIRA query {{1GB ≤ mem ≤ 4GB, 50GB ≤ disk ≤ 200GB}}:");
+    let log_n = (grid.node_count() as f64).log2();
+    println!("\n{name} query {{1GB ≤ mem ≤ 4GB, 50GB ≤ disk ≤ 200GB}}:");
     println!("  matching machines: {}", outcome.results.len());
-    println!("  destination peers: {}", outcome.metrics.dest_peers);
+    println!("  destination peers: {}", outcome.dest_peers);
     println!(
-        "  delay            : {} hops (logN = {log_n:.1}, bound 2·logN = {:.1})",
-        outcome.metrics.delay,
+        "  delay            : {} hops (logN = {log_n:.1}, 2·logN = {:.1})",
+        outcome.delay,
         2.0 * log_n
     );
-    println!("  messages         : {}", outcome.metrics.messages);
-    println!("  exact            : {}", outcome.metrics.exact);
+    println!("  messages         : {}", outcome.messages);
+    println!("  exact            : {}", outcome.exact);
 
     // Show a few results.
-    for &r in outcome.results.iter().take(5) {
-        let p = grid.point(r);
-        println!("    {r}: memory {:.0} MB, disk {:.0} GB", p[0], p[1]);
+    for &id in outcome.results.iter().take(5) {
+        let p = &machines[id as usize];
+        println!("    machine#{id}: memory {:.0} MB, disk {:.0} GB", p[0], p[1]);
     }
 
-    assert_eq!(outcome.results, grid.expected_results(&query));
-    assert!(f64::from(outcome.metrics.delay) < 2.0 * log_n);
-
-    // Delay stays bounded even for a huge query volume — the property that
-    // distinguishes Armada from DCF-CAN and PHT.
-    let huge = [(0.0, 16384.0), (0.0, 2000.0)];
-    let big = grid.mira_query(origin, &huge, 8)?;
-    println!(
-        "\nwhole-space query: {} peers answered within {} hops (still < 2·logN = {:.1})",
-        big.metrics.reached_peers,
-        big.metrics.delay,
-        2.0 * log_n
-    );
-    assert!(f64::from(big.metrics.delay) < 2.0 * log_n);
+    // Verify against a direct scan.
+    let expected: Vec<u64> = machines
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.iter().zip(query.iter()).all(|(&v, &(lo, hi))| v >= lo && v <= hi))
+        .map(|(id, _)| id as u64)
+        .collect();
+    assert_eq!(outcome.results, expected);
+    println!("\nresult set verified against a direct scan ✓");
     Ok(())
 }

@@ -1,43 +1,21 @@
 //! P2P data management: the paper's "70 ≤ score ≤ 80" example executed by
-//! all three implemented general schemes — Armada/PIRA, DCF-CAN and PHT —
-//! on identical data, comparing delay and message cost side by side.
+//! every registered general scheme on identical data, comparing delay and
+//! message cost side by side — one loop over registry names, zero
+//! scheme-specific glue.
 //!
 //! Run with: `cargo run --release --example p2p_database`
 
-use armada::SingleArmada;
-use dht_can::dcf::{self, FloodMode};
-use dht_can::{CanConfig, CanNet};
-use pht::Pht;
+use armada_suite::dht_api::BuildParams;
+use armada_suite::experiments::standard_registry;
 use rand::Rng;
 
 const N: usize = 1000;
 const RECORDS: usize = 4000;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = standard_registry();
     let mut rng = simnet::rng_from_seed(70);
     let scores: Vec<f64> = (0..RECORDS).map(|_| rng.gen_range(0.0..=100.0) * 10.0).collect();
-
-    println!("building three {N}-peer systems over the same {RECORDS} records…\n");
-
-    // Armada over FISSIONE.
-    let mut armada = SingleArmada::build(N, 0.0, 1000.0, &mut rng)?;
-    for &s in &scores {
-        armada.publish(s);
-    }
-
-    // DCF over CAN.
-    let can_cfg = CanConfig { domain_lo: 0.0, domain_hi: 1000.0, ..CanConfig::default() };
-    let mut can = CanNet::build(can_cfg, N, &mut rng)?;
-    for (h, &s) in scores.iter().enumerate() {
-        can.publish(s, h as u64);
-    }
-
-    // PHT over FISSIONE (the "any DHT" layered scheme).
-    let pht_dht = fissione::FissioneNet::build(fissione::FissioneConfig::default(), N, &mut rng)?;
-    let mut pht = Pht::new(pht_dht, 0.0, 1000.0);
-    for (h, &s) in scores.iter().enumerate() {
-        pht.insert(s, h as u64);
-    }
 
     // The query: 700 ≤ score ≤ 800 (the paper's 70–80 on a 0–100 scale).
     let (lo, hi) = (700.0, 800.0);
@@ -51,53 +29,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         v.sort_unstable();
         v
     };
-    println!("query [{lo}, {hi}] — {} matching records expected", expected.len());
     let log_n = (N as f64).log2();
-    println!("  logN = {log_n:.1}\n");
-    println!("| scheme | results | delay (hops) | messages | exact |");
-    println!("|---|---|---|---|---|");
+    println!("building {N}-peer systems over the same {RECORDS} records…");
+    println!("query [{lo}, {hi}] — {} matching records expected", expected.len());
+    println!("  logN = {log_n:.1}, 2·logN = {:.1}\n", 2.0 * log_n);
+    println!("| scheme | substrate | results | delay (hops) | messages | exact |");
+    println!("|---|---|---|---|---|---|");
 
-    // PIRA.
-    let origin = armada.net().random_peer(&mut rng);
-    let out = armada.pira_query(origin, lo, hi, 1)?;
-    let pira_results: Vec<u64> = out.results.iter().map(|r| r.0).collect();
-    println!(
-        "| Armada/PIRA | {} | {} | {} | {} |",
-        out.results.len(),
-        out.metrics.delay,
-        out.metrics.messages,
-        out.metrics.exact
-    );
-    assert_eq!(pira_results, expected);
-
-    // DCF-CAN.
-    let can_origin = can.random_zone(&mut rng);
-    let dcf_out = dcf::range_query(&can, can_origin, lo, hi, 1, FloodMode::Directed)?;
-    println!(
-        "| DCF-CAN | {} | {} | {} | {} |",
-        dcf_out.results.len(),
-        dcf_out.delay,
-        dcf_out.messages,
-        dcf_out.exact
-    );
-    assert_eq!(dcf_out.results, expected);
-
-    // PHT.
-    let pht_origin = {
-        use dht_api::Dht;
-        pht.dht().random_node(&mut rng)
-    };
-    let pht_out = pht.range_query(pht_origin, lo, hi);
-    println!(
-        "| PHT/FissionE | {} | {} | {} | true |",
-        pht_out.results.len(),
-        pht_out.delay,
-        pht_out.messages
-    );
-    assert_eq!(pht_out.results, expected);
+    let params = BuildParams::new(N, 0.0, 1000.0);
+    for name in registry.single_names() {
+        let mut scheme = registry.build_single(name, &params, &mut rng)?;
+        for (h, &s) in scores.iter().enumerate() {
+            scheme.publish(s, h as u64)?;
+        }
+        let origin = scheme.random_origin(&mut rng);
+        let out = scheme.range_query(origin, lo, hi, 1)?;
+        println!(
+            "| {name} | {} | {} | {} | {} | {} |",
+            scheme.substrate(),
+            out.results.len(),
+            out.delay,
+            out.messages,
+            out.exact
+        );
+        assert_eq!(out.results, expected, "{name} returned a wrong result set");
+    }
 
     println!(
-        "\nall three schemes agree on the result set; only PIRA stays below \
+        "\nall schemes agree on the result set; only Armada/PIRA stays below \
          2·logN = {:.1} hops regardless of the range.",
         2.0 * log_n
     );

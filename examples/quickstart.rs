@@ -1,54 +1,62 @@
-//! Quickstart: build a FISSIONE network, publish scored documents, and run
-//! a delay-bounded PIRA range query.
+//! Quickstart: build a range-query scheme by name through the unified API,
+//! publish scored documents, and run a delay-bounded PIRA range query.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! Try another scheme: `cargo run --release --example quickstart -- skipgraph`
 
-use armada::SingleArmada;
+use armada_suite::dht_api::{BuildParams, QueryDriver};
+use armada_suite::experiments::standard_registry;
 use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = standard_registry();
+    let name = std::env::args().nth(1).unwrap_or_else(|| "pira".to_string());
     let mut rng = simnet::rng_from_seed(2006);
 
     // A 500-peer P2P network over the attribute space [0, 1000] — the
     // paper's simulation setup (§4.3.3).
-    println!("building a 500-peer FISSIONE network…");
-    let mut armada = SingleArmada::build(500, 0.0, 1000.0, &mut rng)?;
-    let report = armada.net().check_invariants()?;
+    println!("available schemes : {:?}", registry.single_names());
+    println!("building a 500-peer {name} system…");
+    let params = BuildParams::new(500, 0.0, 1000.0);
+    let mut scheme = registry.build_single(&name, &params, &mut rng)?;
     println!(
-        "  peers: {}, peer-id depth: {}..{}, neighborhood violations: {}",
-        report.peers, report.min_depth, report.max_depth, report.neighborhood_violations
+        "  substrate: {}, degree: {}, peers: {}",
+        scheme.substrate(),
+        scheme.degree(),
+        scheme.node_count()
     );
 
     // Publish 2000 documents with random scores.
-    for _ in 0..2000 {
+    for handle in 0..2000u64 {
         let score: f64 = rng.gen_range(0.0..=1000.0);
-        armada.publish(score);
+        scheme.publish(score, handle)?;
     }
-    println!("  published {} records", armada.record_count());
+    println!("  published 2000 records");
 
     // The paper's motivating query: "70 ≤ score ≤ 80".
-    let origin = armada.net().random_peer(&mut rng);
-    let outcome = armada.pira_query(origin, 70.0, 80.0, 1)?;
+    let origin = scheme.random_origin(&mut rng);
+    let outcome = scheme.range_query(origin, 70.0, 80.0, 1)?;
 
-    let log_n = (armada.net().len() as f64).log2();
-    println!("\nPIRA range query [70, 80] from peer {origin}:");
+    let log_n = (scheme.node_count() as f64).log2();
+    println!("\n{name} range query [70, 80] from peer {origin}:");
     println!("  matching records : {}", outcome.results.len());
-    println!("  destination peers: {}", outcome.metrics.dest_peers);
-    println!("  exact            : {}", outcome.metrics.exact);
+    println!("  destination peers: {}", outcome.dest_peers);
+    println!("  exact            : {}", outcome.exact);
     println!(
-        "  delay            : {} hops (logN = {log_n:.1}, bound 2·logN = {:.1})",
-        outcome.metrics.delay,
+        "  delay            : {} hops (logN = {log_n:.1}, 2·logN = {:.1})",
+        outcome.delay,
         2.0 * log_n
     );
-    println!(
-        "  messages         : {} (≈ logN + 2n − 2 = {:.0})",
-        outcome.metrics.messages,
-        log_n + 2.0 * outcome.metrics.dest_peers as f64 - 2.0
-    );
+    println!("  messages         : {} (MesgRatio = {:.2})", outcome.messages, outcome.mesg_ratio());
 
-    // Verify against the ground truth.
-    assert_eq!(outcome.results, armada.expected_results(70.0, 80.0));
-    assert!(f64::from(outcome.metrics.delay) < 2.0 * log_n);
-    println!("\nresult set verified against a direct scan ✓");
+    // A batched workload through the generic driver.
+    let report = QueryDriver::new(200).run(scheme.as_ref(), &mut rng, |rng| {
+        let lo = rng.gen_range(0.0..990.0);
+        (lo, lo + 10.0)
+    })?;
+    println!("\n200-query batched workload (range size 10):");
+    println!("  avg delay  : {:.2} hops (max {:.0})", report.delay.mean, report.delay.max);
+    println!("  avg msgs   : {:.1}", report.messages.mean);
+    println!("  exact rate : {:.2}", report.exact_rate);
     Ok(())
 }

@@ -24,12 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for k in [3usize, 10, 100] {
         let out = board.top_k(origin, k, k as u64)?;
-        let values: Vec<String> = out
-            .results
-            .iter()
-            .take(3)
-            .map(|&r| format!("{:.2}", board.value(r)))
-            .collect();
+        let values: Vec<String> =
+            out.results.iter().take(3).map(|&r| format!("{:.2}", board.value(r))).collect();
         println!(
             "\ntop-{k}: {} probes, {} hops total (per-probe bound 2·logN = {:.1}), {} messages",
             out.probes,

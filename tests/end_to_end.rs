@@ -85,14 +85,10 @@ fn headline_claim_delay_bounded_vs_baselines() {
         for q in 0..queries {
             let lo = rng.gen_range(0.0..(1000.0 - size));
             let origin = armada.net().random_peer(rng);
-            p += f64::from(
-                armada.pira_query(origin, lo, lo + size, q).unwrap().metrics.delay,
-            );
+            p += f64::from(armada.pira_query(origin, lo, lo + size, q).unwrap().metrics.delay);
             let zo = can.random_zone(rng);
             d += f64::from(
-                dcf::range_query(&can, zo, lo, lo + size, q, FloodMode::Directed)
-                    .unwrap()
-                    .delay,
+                dcf::range_query(&can, zo, lo, lo + size, q, FloodMode::Directed).unwrap().delay,
             );
         }
         (p / queries as f64, d / queries as f64)
@@ -105,10 +101,7 @@ fn headline_claim_delay_bounded_vs_baselines() {
         (pira_large - pira_small).abs() < 2.0,
         "PIRA flat in range size: {pira_small} vs {pira_large}"
     );
-    assert!(
-        dcf_large > dcf_small * 1.5,
-        "DCF grows with range size: {dcf_small} vs {dcf_large}"
-    );
+    assert!(dcf_large > dcf_small * 1.5, "DCF grows with range size: {dcf_small} vs {dcf_large}");
     assert!(dcf_small > pira_small, "DCF above PIRA even for small ranges");
 }
 

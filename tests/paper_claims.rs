@@ -118,8 +118,7 @@ fn claim_substrate_properties() {
 fn claim_mira_bounds() {
     let mut rng = simnet::rng_from_seed(6);
     let n = 800;
-    let armada =
-        MultiArmada::build_with(cfg(), n, &[(0.0, 10.0), (0.0, 10.0)], &mut rng).unwrap();
+    let armada = MultiArmada::build_with(cfg(), n, &[(0.0, 10.0), (0.0, 10.0)], &mut rng).unwrap();
     let log_n = (n as f64).log2();
     for &side in &[0.1f64, 2.0, 9.9] {
         let mut total = 0f64;
@@ -129,9 +128,8 @@ fn claim_mira_bounds() {
             let lo0 = rng.gen_range(0.0..(10.0 - side));
             let lo1 = rng.gen_range(0.0..(10.0 - side));
             let origin = armada.net().random_peer(&mut rng);
-            let out = armada
-                .mira_query(origin, &[(lo0, lo0 + side), (lo1, lo1 + side)], q)
-                .unwrap();
+            let out =
+                armada.mira_query(origin, &[(lo0, lo0 + side), (lo1, lo1 + side)], q).unwrap();
             total += f64::from(out.metrics.delay);
             max = max.max(f64::from(out.metrics.delay));
         }

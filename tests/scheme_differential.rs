@@ -1,0 +1,98 @@
+//! Cross-scheme differential property test — the paper's exactness claim
+//! enforced uniformly through the unified `RangeScheme` trait.
+//!
+//! Every registered single-attribute scheme receives the *same* dataset and
+//! answers the *same* random range queries; all result sets must be
+//! identical (and equal to a direct scan). A scheme that silently drops or
+//! invents records cannot pass, whatever its delay profile.
+
+use armada_suite::dht_api::{BuildParams, RangeScheme};
+use armada_suite::experiments::standard_registry;
+use proptest::prelude::*;
+use rand::Rng;
+
+const DOMAIN: (f64, f64) = (0.0, 1000.0);
+
+fn build_all(seed: u64, n: usize) -> Vec<Box<dyn RangeScheme>> {
+    let registry = standard_registry();
+    let params = BuildParams::new(n, DOMAIN.0, DOMAIN.1).with_object_id_len(24);
+    registry
+        .single_names()
+        .iter()
+        .map(|name| {
+            let mut rng = simnet::rng_from_seed(seed ^ dht_api::fnv1a(name.as_bytes()));
+            registry.build_single(name, &params, &mut rng).expect("build")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn all_schemes_return_identical_result_sets(
+        seed in 0u64..10_000,
+        records in 1usize..150,
+    ) {
+        let mut schemes = build_all(seed, 60);
+        prop_assert!(schemes.len() >= 4, "need at least 4 schemes for the differential");
+
+        // One dataset, published into every scheme.
+        let mut data_rng = simnet::rng_from_seed(seed ^ 0xda7a);
+        let mut data = Vec::new();
+        for h in 0..records as u64 {
+            let v = data_rng.gen_range(DOMAIN.0..=DOMAIN.1);
+            for s in &mut schemes {
+                s.publish(v, h).expect("publish");
+            }
+            data.push((v, h));
+        }
+
+        // Identical random queries against every scheme.
+        let mut qrng = simnet::rng_from_seed(seed ^ 0x9e4);
+        for q in 0..8u64 {
+            let lo: f64 = qrng.gen_range(DOMAIN.0..DOMAIN.1);
+            let hi = (lo + qrng.gen_range(0.1f64..300.0)).min(DOMAIN.1);
+            let mut expected: Vec<u64> = data
+                .iter()
+                .filter(|&&(v, _)| v >= lo && v <= hi)
+                .map(|&(_, h)| h)
+                .collect();
+            expected.sort_unstable();
+            for s in &schemes {
+                let origin = s.random_origin(&mut qrng);
+                let out = s.range_query(origin, lo, hi, q).expect("query");
+                prop_assert_eq!(
+                    &out.results,
+                    &expected,
+                    "{} disagrees on [{}, {}]",
+                    s.scheme_name(),
+                    lo,
+                    hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whole_domain_query_returns_everything_everywhere(seed in 0u64..10_000) {
+        let mut schemes = build_all(seed, 40);
+        let mut data_rng = simnet::rng_from_seed(seed ^ 0xa11);
+        for h in 0..60u64 {
+            let v = data_rng.gen_range(DOMAIN.0..=DOMAIN.1);
+            for s in &mut schemes {
+                s.publish(v, h).expect("publish");
+            }
+        }
+        for s in &schemes {
+            let origin = s.random_origin(&mut data_rng);
+            let out = s.range_query(origin, DOMAIN.0, DOMAIN.1, 0).expect("query");
+            prop_assert_eq!(
+                out.results.len(),
+                60,
+                "{} dropped records on the whole-domain query",
+                s.scheme_name()
+            );
+        }
+    }
+}
