@@ -6,6 +6,11 @@
 //! `RecordId → caller handle` table, so [`RangeOutcome::results`] carries
 //! the handles the caller published — the contract every scheme shares.
 //!
+//! All three adapters are `Send + Sync` (plain owned tables, no interior
+//! mutability), so one built instance shards across the parallel driver's
+//! threads by reference; [`register`] wires their builders into the
+//! [`SchemeRegistry`] under `"pira"`, `"seqwalk"`, and `"mira"`.
+//!
 //! [`RangeOutcome::results`]: dht_api::RangeOutcome
 
 use crate::{ArmadaError, MultiArmada, QueryOutcome, SingleArmada};

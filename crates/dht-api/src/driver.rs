@@ -8,7 +8,7 @@
 
 use crate::scheme::{MultiRangeScheme, RangeScheme, SchemeError};
 use rand::rngs::SmallRng;
-use simnet::Summary;
+use simnet::{Samples, Summary};
 
 /// A batched driver: `queries` queries, per-query seeds derived from
 /// `seed` by addition (query `q` runs with `seed + q`).
@@ -44,20 +44,23 @@ pub struct DriverReport {
     pub results_returned: u64,
 }
 
-/// Sample accumulator shared by the single- and multi-attribute loops.
+/// Sample accumulator shared by the single- and multi-attribute loops —
+/// and, shard by shard, by [`ParallelDriver`](crate::ParallelDriver), whose
+/// worker threads each fill one `Accumulator` and [`merge`](Self::merge)
+/// them back in shard order.
 #[derive(Debug, Default)]
-struct Accumulator {
-    delay: Vec<f64>,
-    messages: Vec<f64>,
-    dest_peers: Vec<f64>,
-    mesg_ratio: Vec<f64>,
-    incre_ratio: Vec<f64>,
+pub(crate) struct Accumulator {
+    delay: Samples,
+    messages: Samples,
+    dest_peers: Samples,
+    mesg_ratio: Samples,
+    incre_ratio: Samples,
     exact: usize,
     results: u64,
 }
 
 impl Accumulator {
-    fn push(&mut self, out: &crate::RangeOutcome, n_peers: usize) {
+    pub(crate) fn push(&mut self, out: &crate::RangeOutcome, n_peers: usize) {
         self.delay.push(out.delay as f64);
         self.messages.push(out.messages as f64);
         self.dest_peers.push(out.dest_peers as f64);
@@ -69,15 +72,27 @@ impl Accumulator {
         self.results += out.results.len() as u64;
     }
 
-    fn report(self, scheme: &str, queries: usize) -> DriverReport {
+    /// Appends another shard's samples. Since [`Samples::summarize`] sorts,
+    /// the final report does not depend on how queries were sharded.
+    pub(crate) fn merge(&mut self, other: Accumulator) {
+        self.delay.merge(other.delay);
+        self.messages.merge(other.messages);
+        self.dest_peers.merge(other.dest_peers);
+        self.mesg_ratio.merge(other.mesg_ratio);
+        self.incre_ratio.merge(other.incre_ratio);
+        self.exact += other.exact;
+        self.results += other.results;
+    }
+
+    pub(crate) fn report(self, scheme: &str, queries: usize) -> DriverReport {
         DriverReport {
             scheme: scheme.to_string(),
             queries,
-            delay: Summary::from_samples(self.delay),
-            messages: Summary::from_samples(self.messages),
-            dest_peers: Summary::from_samples(self.dest_peers),
-            mesg_ratio: Summary::from_samples(self.mesg_ratio),
-            incre_ratio: Summary::from_samples(self.incre_ratio),
+            delay: self.delay.summarize(),
+            messages: self.messages.summarize(),
+            dest_peers: self.dest_peers.summarize(),
+            mesg_ratio: self.mesg_ratio.summarize(),
+            incre_ratio: self.incre_ratio.summarize(),
             exact_rate: self.exact as f64 / queries.max(1) as f64,
             results_returned: self.results,
         }
@@ -231,7 +246,7 @@ mod tests {
 
     #[test]
     fn driver_seeds_are_distinct_per_query() {
-        struct SeedProbe(std::cell::RefCell<Vec<u64>>);
+        struct SeedProbe(std::sync::Mutex<Vec<u64>>);
         impl RangeScheme for SeedProbe {
             fn scheme_name(&self) -> &'static str {
                 "probe"
@@ -258,7 +273,7 @@ mod tests {
                 _: f64,
                 seed: u64,
             ) -> Result<RangeOutcome, SchemeError> {
-                self.0.borrow_mut().push(seed);
+                self.0.lock().unwrap().push(seed);
                 Ok(RangeOutcome {
                     results: vec![],
                     delay: 0,
@@ -270,10 +285,10 @@ mod tests {
             }
         }
 
-        let probe = SeedProbe(std::cell::RefCell::new(Vec::new()));
+        let probe = SeedProbe(std::sync::Mutex::new(Vec::new()));
         let driver = QueryDriver::new(4).with_seed(100);
         let mut rng = simnet::rng_from_seed(1);
         driver.run(&probe, &mut rng, |_| (0.0, 1.0)).unwrap();
-        assert_eq!(*probe.0.borrow(), vec![100, 101, 102, 103]);
+        assert_eq!(*probe.0.lock().unwrap(), vec![100, 101, 102, 103]);
     }
 }

@@ -15,19 +15,51 @@
 //!   [`RangeOutcome`] metric vocabulary.
 //! * [`SchemeRegistry`] — name → builder tables so callers select schemes
 //!   at runtime as trait objects.
-//! * [`QueryDriver`] — a batched workload runner aggregating
+//! * [`QueryDriver`] — a batched serial workload runner aggregating
 //!   [`RangeOutcome`]s into [`DriverReport`] summary statistics.
+//! * [`WorkloadGen`] — named, seeded query mixes (uniform, Zipf-skewed hot
+//!   ranges, clustered, wide scans, correlated rectangles, a production
+//!   blend), addressed by query *index* so a workload is identical however
+//!   it is sharded.
+//! * [`ParallelDriver`] — the sharded driver: fans a batch across OS
+//!   threads over one shared `&dyn` scheme and merges per-thread
+//!   [`Summary`](simnet::Summary) statistics deterministically — the same
+//!   report for any thread count.
+//!
+//! # Metric vocabulary (§4.3.3 of the paper)
+//!
+//! Every outcome and report speaks the paper's evaluation language:
+//!
+//! * **delay** — critical-path length of the query in overlay hops under
+//!   unit per-hop latency ([`RangeOutcome::delay`]).
+//! * **messages** — total protocol messages sent
+//!   ([`RangeOutcome::messages`]).
+//! * **Destpeers** — ground-truth count of peers whose region intersects
+//!   the query ([`RangeOutcome::dest_peers`]).
+//! * **MesgRatio** = `Messages / Destpeers`
+//!   ([`RangeOutcome::mesg_ratio`]) — messages paid per useful
+//!   destination; 1.0 is perfect targeting.
+//! * **IncreRatio** = `(Messages − log₂N) / (Destpeers − 1)`
+//!   ([`RangeOutcome::incre_ratio`]) — the *marginal* message cost per
+//!   additional destination once the first one is reached.
+//! * **peer recall** = `reached / Destpeers`
+//!   ([`RangeOutcome::peer_recall`]) — completeness under faults (1.0 on
+//!   fault-free runs of exact schemes).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod driver;
+mod parallel;
 mod registry;
 mod scheme;
+mod workload;
 
 pub use driver::{DriverReport, QueryDriver};
+pub use parallel::{default_threads, ParallelDriver};
 pub use registry::{BuildParams, MultiBuildParams, MultiBuilder, SchemeRegistry, SingleBuilder};
 pub use scheme::{MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError};
+pub use workload::{WorkloadGen, WorkloadKind, WORKLOAD_NAMES};
 
 use rand::rngs::SmallRng;
 use simnet::NodeId;
@@ -45,7 +77,12 @@ pub struct Lookup {
 ///
 /// Keys are opaque `u64`s (layered schemes hash their labels into this
 /// space); the DHT maps each key deterministically onto one live peer.
-pub trait Dht {
+///
+/// `Send + Sync` are supertraits: routing takes `&self`, and a layered
+/// scheme (e.g. PHT) can only satisfy [`RangeScheme`]'s thread-safety
+/// contract if its substrate satisfies the same one — which every routing
+/// table without interior mutability does for free.
+pub trait Dht: Send + Sync {
     /// Routes from `from` to the peer owning `key`.
     fn route_key(&self, from: NodeId, key: u64) -> Lookup;
 

@@ -109,6 +109,57 @@ impl SchemeRegistry {
     ///
     /// [`SchemeError::UnknownScheme`] for unregistered names; otherwise
     /// whatever the scheme's own builder returns.
+    ///
+    /// # Example
+    ///
+    /// Register a builder, construct by name, publish, query (a toy
+    /// local-scan scheme here; with the full workspace the same calls work
+    /// on `armada_experiments::standard_registry()` with names like
+    /// `"pira"` or `"skipgraph"`):
+    ///
+    /// ```
+    /// use dht_api::{BuildParams, SchemeRegistry};
+    ///
+    /// # use dht_api::{RangeOutcome, RangeScheme, SchemeError};
+    /// # use rand::Rng;
+    /// # struct Scan { records: Vec<(f64, u64)>, n: usize }
+    /// # impl RangeScheme for Scan {
+    /// #     fn scheme_name(&self) -> &'static str { "scan" }
+    /// #     fn substrate(&self) -> String { "local".into() }
+    /// #     fn degree(&self) -> String { "0".into() }
+    /// #     fn node_count(&self) -> usize { self.n }
+    /// #     fn publish(&mut self, v: f64, h: u64) -> Result<(), SchemeError> {
+    /// #         self.records.push((v, h));
+    /// #         Ok(())
+    /// #     }
+    /// #     fn random_origin(&self, rng: &mut rand::rngs::SmallRng) -> usize {
+    /// #         rng.gen_range(0..self.n)
+    /// #     }
+    /// #     fn range_query(&self, _o: usize, lo: f64, hi: f64, _s: u64)
+    /// #         -> Result<RangeOutcome, SchemeError> {
+    /// #         let mut results: Vec<u64> = self.records.iter()
+    /// #             .filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
+    /// #         results.sort_unstable();
+    /// #         Ok(RangeOutcome { results, delay: 0, messages: 0, dest_peers: 1,
+    /// #             reached_peers: 1, exact: true })
+    /// #     }
+    /// # }
+    /// let mut registry = SchemeRegistry::new();
+    /// registry.register_single(
+    ///     "scan",
+    ///     Box::new(|p, _rng| Ok(Box::new(Scan { records: Vec::new(), n: p.n }))),
+    /// );
+    ///
+    /// let mut rng = simnet::rng_from_seed(7);
+    /// let params = BuildParams::new(64, 0.0, 1000.0);
+    /// let mut scheme = registry.build_single("scan", &params, &mut rng)?;
+    /// scheme.publish(500.0, 42)?;
+    /// let origin = scheme.random_origin(&mut rng);
+    /// let outcome = scheme.range_query(origin, 499.0, 501.0, 0)?;
+    /// assert_eq!(outcome.results, vec![42]);
+    /// assert!(outcome.exact);
+    /// # Ok::<(), SchemeError>(())
+    /// ```
     pub fn build_single(
         &self,
         name: &str,

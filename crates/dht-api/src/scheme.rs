@@ -96,6 +96,11 @@ pub enum SchemeError {
         /// `"single"` or `"multi"` — which registry was consulted.
         kind: &'static str,
     },
+    /// No named workload in the [`WorkloadGen`](crate::WorkloadGen) catalog.
+    UnknownWorkload {
+        /// The name looked up.
+        name: String,
+    },
     /// Scheme construction failed (wrapped native error message).
     Build(String),
     /// A query failed for a scheme-specific reason (wrapped message).
@@ -113,6 +118,9 @@ impl std::fmt::Display for SchemeError {
             SchemeError::UnknownScheme { name, kind } => {
                 write!(f, "no {kind}-attribute scheme registered as {name:?}")
             }
+            SchemeError::UnknownWorkload { name } => {
+                write!(f, "no workload named {name:?} in the catalog")
+            }
             SchemeError::Build(msg) => write!(f, "scheme build failed: {msg}"),
             SchemeError::Query(msg) => write!(f, "query failed: {msg}"),
         }
@@ -129,7 +137,18 @@ impl std::error::Error for SchemeError {}
 /// flooding), PHT (over FissionE and over Chord), Skip Graph, Squid, and
 /// SCRAP (the latter two over one-dimensional builds of their native
 /// multi-attribute machinery).
-pub trait RangeScheme {
+///
+/// # Thread safety
+///
+/// `Send + Sync` are supertraits: queries take `&self` and must not mutate
+/// scheme state (all mutation happens through `publish` before measuring),
+/// so one built instance can be shared by reference across the worker
+/// threads of [`ParallelDriver`](crate::ParallelDriver). Implementations
+/// satisfy this for free as long as they avoid interior mutability
+/// (`RefCell`, `Cell`, un-synchronized statics) — which every scheme in the
+/// workspace does; per-query randomness comes in through the `seed`
+/// argument instead.
+pub trait RangeScheme: Send + Sync {
     /// Registry name of the scheme (e.g. `"pira"`, `"dcf-can"`).
     fn scheme_name(&self) -> &'static str;
 
@@ -162,13 +181,49 @@ pub trait RangeScheme {
 
     /// Executes a range query over `[lo, hi]` from `origin`. `seed` feeds
     /// schemes with internal randomness (tie-breaking, simulation); pure
-    /// schemes ignore it.
+    /// schemes ignore it. Takes `&self`: queries never mutate scheme state,
+    /// which is what lets [`ParallelDriver`](crate::ParallelDriver) share
+    /// one instance across threads.
     ///
     /// # Errors
     ///
     /// [`SchemeError::BadOrigin`] for dead origins,
     /// [`SchemeError::EmptyRange`] for `lo > hi`, scheme-specific wraps
     /// otherwise.
+    ///
+    /// # Example
+    ///
+    /// The uniform call sequence (toy scheme hidden; every registered
+    /// scheme answers the same way):
+    ///
+    /// ```
+    /// # use dht_api::{RangeOutcome, RangeScheme, SchemeError};
+    /// # struct One;
+    /// # impl RangeScheme for One {
+    /// #     fn scheme_name(&self) -> &'static str { "one" }
+    /// #     fn substrate(&self) -> String { "local".into() }
+    /// #     fn degree(&self) -> String { "0".into() }
+    /// #     fn node_count(&self) -> usize { 1 }
+    /// #     fn publish(&mut self, _: f64, _: u64) -> Result<(), SchemeError> { Ok(()) }
+    /// #     fn random_origin(&self, _: &mut rand::rngs::SmallRng) -> usize { 0 }
+    /// #     fn range_query(&self, _o: usize, lo: f64, hi: f64, _s: u64)
+    /// #         -> Result<RangeOutcome, SchemeError> {
+    /// #         if lo > hi { return Err(SchemeError::EmptyRange { lo, hi }); }
+    /// #         Ok(RangeOutcome { results: vec![7], delay: 2, messages: 3,
+    /// #             dest_peers: 1, reached_peers: 1, exact: true })
+    /// #     }
+    /// # }
+    /// # let scheme = One;
+    /// # let origin = 0;
+    /// let outcome = scheme.range_query(origin, 10.0, 20.0, 0)?;
+    /// assert!(outcome.exact);
+    /// assert!(outcome.mesg_ratio() >= 1.0); // messages per useful peer
+    /// assert!(matches!(
+    ///     scheme.range_query(origin, 20.0, 10.0, 0), // lo > hi
+    ///     Err(SchemeError::EmptyRange { .. })
+    /// ));
+    /// # Ok::<(), SchemeError>(())
+    /// ```
     fn range_query(
         &self,
         origin: NodeId,
@@ -182,7 +237,13 @@ pub trait RangeScheme {
 /// hyper-rectangle queries.
 ///
 /// Implemented by Armada/MIRA, Squid, and SCRAP.
-pub trait MultiRangeScheme {
+///
+/// # Thread safety
+///
+/// `Send + Sync` are supertraits under the same contract as
+/// [`RangeScheme`]: `rect_query` takes `&self`, so built instances shard
+/// across [`ParallelDriver`](crate::ParallelDriver) threads by reference.
+pub trait MultiRangeScheme: Send + Sync {
     /// Registry name of the scheme (e.g. `"mira"`, `"squid"`).
     fn scheme_name(&self) -> &'static str;
 

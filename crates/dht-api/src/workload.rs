@@ -1,0 +1,427 @@
+//! Named, seeded query workloads: the distribution axis of the evaluation.
+//!
+//! The paper measures every scheme under one distribution — uniformly
+//! placed ranges of a fixed size (§4.3.3). Related systems (ART, D³-Tree)
+//! evaluate under *skewed* and adversarial key distributions as well, and
+//! production traffic is never uniform; this module makes the workload a
+//! first-class, named object so experiments can sweep the distribution
+//! axis the same way they sweep `N` and the range size.
+//!
+//! A [`WorkloadGen`] is a pure function from `(seed, query index)` to a
+//! query: every query is derived from its *index*, never from a shared RNG
+//! stream, so the same `(workload, seed)` pair reproduces the identical
+//! query sequence no matter how the indices are sharded across threads.
+//! That index-addressed contract is what lets
+//! [`ParallelDriver`](crate::ParallelDriver) guarantee `threads = 1` and
+//! `threads = N` produce bitwise-identical reports.
+//!
+//! # The catalog
+//!
+//! | Name | Distribution |
+//! |---|---|
+//! | `uniform` | the paper's workload: fixed-width ranges, uniform placement |
+//! | `zipf-hot` | Zipf-weighted hot cells — a few slices of the domain absorb most queries |
+//! | `clustered` | narrow ranges packed around a handful of cluster centers |
+//! | `wide-scan` | scans covering 10–30 % of the domain |
+//! | `rect-correlated` | multi-attribute rectangles whose per-attribute positions correlate |
+//! | `mixed` | a production-style blend of all of the above |
+
+use crate::scheme::SchemeError;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Workload names accepted by [`WorkloadGen::named`], in catalog order.
+pub const WORKLOAD_NAMES: [&str; 6] =
+    ["uniform", "zipf-hot", "clustered", "wide-scan", "rect-correlated", "mixed"];
+
+/// The distribution a [`WorkloadGen`] draws queries from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadKind {
+    /// Fixed-width ranges placed uniformly over the domain (the paper's
+    /// §4.3.3 workload).
+    Uniform {
+        /// Range width in attribute units.
+        width: f64,
+    },
+    /// Hot-spot traffic: the domain is cut into `cells` equal slices and a
+    /// query lands in slice of Zipf rank `r` with probability ∝ `r^-s`
+    /// (ranks are scattered over the domain, not sorted by position).
+    ZipfHot {
+        /// Number of equal domain slices.
+        cells: usize,
+        /// Zipf exponent `s` (≈ 1 for classic web-like skew).
+        exponent: f64,
+        /// Range width in attribute units.
+        width: f64,
+    },
+    /// Narrow ranges packed around `clusters` fixed pseudo-random centers
+    /// (triangular jitter of half-width `spread` around each center).
+    Clustered {
+        /// Number of cluster centers.
+        clusters: usize,
+        /// Jitter half-width around a center, attribute units.
+        spread: f64,
+        /// Range width in attribute units.
+        width: f64,
+    },
+    /// Wide scans: width drawn uniformly from `[min_frac, max_frac]` of the
+    /// domain span, placed uniformly.
+    WideScan {
+        /// Smallest width as a fraction of the domain span.
+        min_frac: f64,
+        /// Largest width as a fraction of the domain span.
+        max_frac: f64,
+    },
+    /// Correlated multi-attribute rectangles: attribute 0 is placed
+    /// uniformly and every further attribute sits at the same *relative*
+    /// domain position ± `jitter_frac` (grid-style "CPU high ⇒ memory
+    /// high" correlation). Degrades to a uniform range in 1-D use.
+    CorrelatedRect {
+        /// Per-attribute width as a fraction of that attribute's span.
+        width_frac: f64,
+        /// Positional jitter as a fraction of the span.
+        jitter_frac: f64,
+    },
+    /// Production-style blend: 55 % narrow uniform, 20 % `zipf-hot`, 15 %
+    /// `clustered`, 10 % `wide-scan`, re-drawn independently per query.
+    Mixed,
+}
+
+/// A seeded, named query-mix generator over an attribute domain.
+///
+/// Construct via [`WorkloadGen::named`] (the catalog) or
+/// [`WorkloadGen::uniform`] (explicit width, e.g. a sweep's range size),
+/// then draw with [`range`](WorkloadGen::range) or
+/// [`rect`](WorkloadGen::rect).
+///
+/// # Example
+///
+/// ```
+/// use dht_api::WorkloadGen;
+///
+/// let wl = WorkloadGen::named("zipf-hot", (0.0, 1000.0)).unwrap();
+/// let (lo, hi) = wl.range(7, 0);
+/// assert!(lo >= 0.0 && hi <= 1000.0 && lo <= hi);
+/// // Index-addressed: query 0 is the same whenever it is drawn.
+/// assert_eq!(wl.range(7, 0), (lo, hi));
+/// // Different indices give different queries.
+/// assert_ne!(wl.range(7, 1), (lo, hi));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadGen {
+    name: String,
+    domain: (f64, f64),
+    kind: WorkloadKind,
+}
+
+impl WorkloadGen {
+    /// The paper's uniform workload with an explicit range width — what the
+    /// figure sweeps use, with `width` set to the swept range size.
+    pub fn uniform(domain: (f64, f64), width: f64) -> WorkloadGen {
+        WorkloadGen { name: "uniform".into(), domain, kind: WorkloadKind::Uniform { width } }
+    }
+
+    /// Builds a cataloged workload by name over `domain` (see the module
+    /// docs for the catalog). Widths scale with the domain span so the
+    /// catalog is meaningful over any `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::UnknownWorkload`] for names outside
+    /// [`WORKLOAD_NAMES`].
+    pub fn named(name: &str, domain: (f64, f64)) -> Result<WorkloadGen, SchemeError> {
+        let span = domain.1 - domain.0;
+        let kind = match name {
+            "uniform" => WorkloadKind::Uniform { width: 0.02 * span },
+            "zipf-hot" => WorkloadKind::ZipfHot { cells: 16, exponent: 1.1, width: 0.01 * span },
+            "clustered" => {
+                WorkloadKind::Clustered { clusters: 5, spread: 0.015 * span, width: 0.002 * span }
+            }
+            "wide-scan" => WorkloadKind::WideScan { min_frac: 0.10, max_frac: 0.30 },
+            "rect-correlated" => {
+                WorkloadKind::CorrelatedRect { width_frac: 0.05, jitter_frac: 0.02 }
+            }
+            "mixed" => WorkloadKind::Mixed,
+            other => return Err(SchemeError::UnknownWorkload { name: other.to_string() }),
+        };
+        Ok(WorkloadGen { name: name.to_string(), domain, kind })
+    }
+
+    /// A custom workload under a caller-chosen name.
+    pub fn custom(name: &str, domain: (f64, f64), kind: WorkloadKind) -> WorkloadGen {
+        WorkloadGen { name: name.to_string(), domain, kind }
+    }
+
+    /// The workload's name (catalog name, or whatever `custom` chose).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute domain queries are drawn over.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// The underlying distribution.
+    pub fn kind(&self) -> &WorkloadKind {
+        &self.kind
+    }
+
+    /// The RNG for query `q`: derived from `(workload name, seed, q)` only,
+    /// so a query's value is independent of which thread draws it and of
+    /// every other query.
+    fn query_rng(&self, seed: u64, q: u64) -> SmallRng {
+        let salt = crate::fnv1a(self.name.as_bytes());
+        simnet::rng_from_seed(seed ^ salt ^ q.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Draws the single-attribute range for query index `q` under `seed`.
+    ///
+    /// Always returns `domain.0 <= lo <= hi <= domain.1`.
+    pub fn range(&self, seed: u64, q: u64) -> (f64, f64) {
+        let mut rng = self.query_rng(seed, q);
+        sample_range(&self.kind, self.domain, &mut rng)
+    }
+
+    /// Draws the rectangle for query index `q` under `seed`, one `(lo, hi)`
+    /// per entry of `domains`. [`CorrelatedRect`](WorkloadKind) correlates
+    /// the attributes; every other kind draws each attribute independently
+    /// (from the same per-query stream).
+    pub fn rect(&self, domains: &[(f64, f64)], seed: u64, q: u64) -> Vec<(f64, f64)> {
+        let mut rng = self.query_rng(seed, q);
+        match self.kind {
+            WorkloadKind::CorrelatedRect { width_frac, jitter_frac } => {
+                let mut out = Vec::with_capacity(domains.len());
+                let first = domains.first().copied().unwrap_or((0.0, 1.0));
+                let span0 = first.1 - first.0;
+                let w0 = width_frac * span0;
+                let lo0 = place(first, w0, &mut rng);
+                let rel = if span0 > 0.0 { (lo0 - first.0) / span0 } else { 0.0 };
+                for (i, &(dlo, dhi)) in domains.iter().enumerate() {
+                    let span = dhi - dlo;
+                    let w = width_frac * span;
+                    if i == 0 {
+                        out.push((lo0, lo0 + w0));
+                    } else {
+                        let jitter = rng.gen_range(-jitter_frac..=jitter_frac);
+                        let lo = (dlo + (rel + jitter) * span).clamp(dlo, (dhi - w).max(dlo));
+                        out.push((lo, (lo + w).min(dhi)));
+                    }
+                }
+                out
+            }
+            _ => domains.iter().map(|&d| sample_range(&self.kind, d, &mut rng)).collect(),
+        }
+    }
+}
+
+/// Places a range of width `w` uniformly inside `domain` (clamping `w` to
+/// the span so degenerate domains still yield a valid range).
+fn place(domain: (f64, f64), w: f64, rng: &mut SmallRng) -> f64 {
+    let (dlo, dhi) = domain;
+    let hi_bound = dhi - w;
+    if hi_bound <= dlo {
+        dlo
+    } else {
+        rng.gen_range(dlo..hi_bound)
+    }
+}
+
+/// One draw of `kind` over `domain` from an already-derived per-query RNG.
+fn sample_range(kind: &WorkloadKind, domain: (f64, f64), rng: &mut SmallRng) -> (f64, f64) {
+    let (dlo, dhi) = domain;
+    let span = dhi - dlo;
+    match *kind {
+        WorkloadKind::Uniform { width } => {
+            let w = width.min(span);
+            let lo = place(domain, w, rng);
+            (lo, lo + w)
+        }
+        WorkloadKind::ZipfHot { cells, exponent, width } => {
+            let cells = cells.max(1);
+            let rank = zipf_rank(cells, exponent, rng);
+            // Scatter ranks over the domain so hot cells are not adjacent.
+            // The multiplier must be coprime with `cells` or the map is
+            // not a bijection and ranks collapse onto fewer cells.
+            let mult = (7..).step_by(2).find(|&m| gcd(m, cells) == 1).unwrap_or(1);
+            let cell = (rank * mult + 3) % cells;
+            let cell_span = span / cells as f64;
+            let cell_lo = dlo + cell as f64 * cell_span;
+            let w = width.min(cell_span);
+            let lo = place((cell_lo, cell_lo + cell_span), w, rng);
+            (lo, lo + w)
+        }
+        WorkloadKind::Clustered { clusters, spread, width } => {
+            let clusters = clusters.max(1);
+            let c = rng.gen_range(0..clusters);
+            // Fixed pseudo-random center per cluster index (Knuth hash).
+            let frac = (c as u64).wrapping_mul(2_654_435_761) % (1 << 32);
+            let center = dlo + span * (0.1 + 0.8 * frac as f64 / (1u64 << 32) as f64);
+            // Triangular jitter: sum of two uniforms, centered.
+            let jitter = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * spread;
+            let w = width.min(span);
+            let lo = (center + jitter).clamp(dlo, (dhi - w).max(dlo));
+            (lo, (lo + w).min(dhi))
+        }
+        WorkloadKind::WideScan { min_frac, max_frac } => {
+            let w = (span * rng.gen_range(min_frac..=max_frac)).min(span);
+            let lo = place(domain, w, rng);
+            (lo, lo + w)
+        }
+        WorkloadKind::CorrelatedRect { width_frac, .. } => {
+            // 1-D degradation: a plain uniform range of the same width.
+            let w = (width_frac * span).min(span);
+            let lo = place(domain, w, rng);
+            (lo, lo + w)
+        }
+        WorkloadKind::Mixed => {
+            let u: f64 = rng.gen();
+            let sub = if u < 0.55 {
+                WorkloadKind::Uniform { width: 0.02 * span }
+            } else if u < 0.75 {
+                WorkloadKind::ZipfHot { cells: 16, exponent: 1.1, width: 0.01 * span }
+            } else if u < 0.90 {
+                WorkloadKind::Clustered { clusters: 5, spread: 0.015 * span, width: 0.002 * span }
+            } else {
+                WorkloadKind::WideScan { min_frac: 0.10, max_frac: 0.30 }
+            };
+            sample_range(&sub, domain, rng)
+        }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Draws a Zipf(`s`) rank in `0..cells` by inverse-CDF walk over the
+/// normalized weights `(r+1)^-s`.
+fn zipf_rank(cells: usize, s: f64, rng: &mut SmallRng) -> usize {
+    let total: f64 = (1..=cells).map(|r| (r as f64).powf(-s)).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for r in 0..cells {
+        u -= ((r + 1) as f64).powf(-s);
+        if u <= 0.0 {
+            return r;
+        }
+    }
+    cells - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOMAIN: (f64, f64) = (0.0, 1000.0);
+
+    #[test]
+    fn catalog_builds_every_name_and_rejects_strangers() {
+        for name in WORKLOAD_NAMES {
+            let wl = WorkloadGen::named(name, DOMAIN).unwrap();
+            assert_eq!(wl.name(), name);
+        }
+        assert!(matches!(
+            WorkloadGen::named("bogus", DOMAIN),
+            Err(SchemeError::UnknownWorkload { .. })
+        ));
+    }
+
+    #[test]
+    fn ranges_stay_in_domain_and_are_index_addressed() {
+        for name in WORKLOAD_NAMES {
+            let wl = WorkloadGen::named(name, DOMAIN).unwrap();
+            for q in 0..500 {
+                let (lo, hi) = wl.range(42, q);
+                assert!(lo >= DOMAIN.0 && hi <= DOMAIN.1 && lo <= hi, "{name} q{q}: [{lo},{hi}]");
+                // Re-drawing the same index reproduces the query exactly.
+                assert_eq!(wl.range(42, q), (lo, hi), "{name} q{q} not index-addressed");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_and_names_decorrelate_streams() {
+        let wl = WorkloadGen::named("uniform", DOMAIN).unwrap();
+        assert_ne!(wl.range(1, 0), wl.range(2, 0));
+        let zipf = WorkloadGen::named("zipf-hot", DOMAIN).unwrap();
+        assert_ne!(wl.range(1, 0), zipf.range(1, 0));
+    }
+
+    #[test]
+    fn zipf_scatter_is_a_bijection_for_any_cell_count() {
+        // cells divisible by small multipliers must still spread ranks
+        // over every cell (regression: rank*7 % 7 collapsed to one cell).
+        for cells in [7, 14, 16, 21, 49] {
+            let wl = WorkloadGen::custom(
+                "hot7",
+                DOMAIN,
+                WorkloadKind::ZipfHot { cells, exponent: 0.1, width: 1.0 },
+            );
+            let mut seen = std::collections::BTreeSet::new();
+            for q in 0..4000 {
+                let (lo, _) = wl.range(11, q);
+                seen.insert(((lo / 1000.0) * cells as f64) as usize);
+            }
+            // A near-flat Zipf (s = 0.1) over 4000 draws must hit nearly
+            // every cell; the broken scatter hit exactly one.
+            assert!(seen.len() > cells / 2, "cells={cells}: only {} hit", seen.len());
+        }
+    }
+
+    #[test]
+    fn zipf_hot_concentrates_mass() {
+        // The hottest cell must absorb far more than the uniform share.
+        let wl = WorkloadGen::named("zipf-hot", DOMAIN).unwrap();
+        let mut counts = [0usize; 16];
+        for q in 0..4000 {
+            let (lo, _) = wl.range(5, q);
+            counts[(((lo / 1000.0) * 16.0) as usize).min(15)] += 1;
+        }
+        let hottest = *counts.iter().max().unwrap();
+        assert!(hottest > 4000 / 16 * 3, "hottest cell only {hottest}/4000");
+    }
+
+    #[test]
+    fn wide_scans_are_wide_and_uniform_is_narrow() {
+        let wide = WorkloadGen::named("wide-scan", DOMAIN).unwrap();
+        let narrow = WorkloadGen::named("uniform", DOMAIN).unwrap();
+        for q in 0..200 {
+            let (lo, hi) = wide.range(3, q);
+            assert!(hi - lo >= 100.0 - 1e-9 && hi - lo <= 300.0 + 1e-9);
+            let (nlo, nhi) = narrow.range(3, q);
+            assert!((nhi - nlo - 20.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlated_rects_correlate_and_others_fill_dims() {
+        let domains = [(0.0, 100.0), (0.0, 100.0)];
+        let corr = WorkloadGen::named("rect-correlated", DOMAIN).unwrap();
+        for q in 0..300 {
+            let r = corr.rect(&domains, 9, q);
+            assert_eq!(r.len(), 2);
+            let rel0 = r[0].0 / 100.0;
+            let rel1 = r[1].0 / 100.0;
+            assert!((rel0 - rel1).abs() < 0.05 + 0.03, "q{q}: {rel0} vs {rel1}");
+        }
+        let mixed = WorkloadGen::named("mixed", DOMAIN).unwrap();
+        let r = mixed.rect(&domains, 9, 0);
+        assert_eq!(r.len(), 2);
+        for &(lo, hi) in &r {
+            assert!(lo >= 0.0 && hi <= 100.0 && lo <= hi);
+        }
+    }
+
+    #[test]
+    fn uniform_constructor_carries_the_swept_width() {
+        let wl = WorkloadGen::uniform(DOMAIN, 50.0);
+        for q in 0..100 {
+            let (lo, hi) = wl.range(0, q);
+            assert!((hi - lo - 50.0).abs() < 1e-9);
+        }
+    }
+}

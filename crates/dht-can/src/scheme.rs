@@ -3,6 +3,8 @@
 //! [`DcfScheme`] wraps a [`CanNet`] plus a [`FloodMode`]; both duplicate-
 //! suppression variants register separately (`"dcf-can"` directed,
 //! `"dcf-can-naive"` naive), so ablations select them by name at runtime.
+//! Queries flood zone-to-zone through `&self` state only, so a built
+//! scheme is `Send + Sync` and shards across parallel-driver threads.
 
 use crate::dcf::{self, DcfOutcome, FloodMode};
 use crate::{CanConfig, CanError, CanNet};

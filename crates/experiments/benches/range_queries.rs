@@ -1,34 +1,36 @@
 //! Criterion benches: wall-clock cost of simulated range queries for every
 //! scheme, selected by name from the unified registry and driven through
-//! the [`dht_api`] traits — adding a scheme to the bench is one name in a
-//! list.
+//! the [`dht_api`] traits over the named workload catalog — adding a scheme
+//! or a workload to the bench is one name in a list.
 
 use armada_experiments::standard_registry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dht_api::{BuildParams, MultiBuildParams};
+use dht_api::{BuildParams, MultiBuildParams, WorkloadGen};
 use rand::Rng;
 
 const N: usize = 1000;
+const DOMAIN: (f64, f64) = (0.0, 1000.0);
 
 fn bench_single_schemes(c: &mut Criterion) {
     let registry = standard_registry();
     for name in ["pira", "dcf-can", "pht-fissione", "skipgraph", "scrap"] {
         let mut rng = simnet::rng_from_seed(1);
-        let params = BuildParams::new(N, 0.0, 1000.0);
+        let params = BuildParams::new(N, DOMAIN.0, DOMAIN.1);
         let mut scheme = registry.build_single(name, &params, &mut rng).expect("build");
         for h in 0..N as u64 {
-            scheme.publish(rng.gen_range(0.0..=1000.0), h).expect("publish");
+            scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).expect("publish");
         }
         let mut group = c.benchmark_group(format!("{name}_query"));
         group.sample_size(20);
-        for size in [2.0f64, 50.0, 300.0] {
-            group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+        for wl_name in ["uniform", "zipf-hot", "wide-scan"] {
+            let workload = WorkloadGen::named(wl_name, DOMAIN).expect("cataloged");
+            group.bench_with_input(BenchmarkId::from_parameter(wl_name), &workload, |b, wl| {
                 let mut q = 0u64;
                 b.iter(|| {
-                    let lo = rng.gen_range(0.0..(1000.0 - size));
+                    let (lo, hi) = wl.range(1, q);
                     let origin = scheme.random_origin(&mut rng);
                     q += 1;
-                    scheme.range_query(origin, lo, lo + size, q).unwrap()
+                    scheme.range_query(origin, lo, hi, q).unwrap()
                 });
             });
         }
@@ -38,9 +40,10 @@ fn bench_single_schemes(c: &mut Criterion) {
 
 fn bench_multi_schemes(c: &mut Criterion) {
     let registry = standard_registry();
+    let domains = [(0.0, 100.0), (0.0, 100.0)];
     for name in ["mira", "squid", "scrap"] {
         let mut rng = simnet::rng_from_seed(2);
-        let params = MultiBuildParams::new(N, &[(0.0, 100.0), (0.0, 100.0)]);
+        let params = MultiBuildParams::new(N, &domains);
         let mut scheme = registry.build_multi(name, &params, &mut rng).expect("build");
         for h in 0..N as u64 {
             let p = [rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)];
@@ -48,15 +51,15 @@ fn bench_multi_schemes(c: &mut Criterion) {
         }
         let mut group = c.benchmark_group(format!("{name}_rect_query"));
         group.sample_size(20);
-        for side in [1.0f64, 20.0] {
-            group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+        for wl_name in ["rect-correlated", "mixed"] {
+            let workload = WorkloadGen::named(wl_name, (0.0, 100.0)).expect("cataloged");
+            group.bench_with_input(BenchmarkId::from_parameter(wl_name), &workload, |b, wl| {
                 let mut q = 0u64;
                 b.iter(|| {
-                    let lo0 = rng.gen_range(0.0..(100.0 - side));
-                    let lo1 = rng.gen_range(0.0..(100.0 - side));
+                    let rect = wl.rect(&domains, 2, q);
                     let origin = scheme.random_origin(&mut rng);
                     q += 1;
-                    scheme.rect_query(origin, &[(lo0, lo0 + side), (lo1, lo1 + side)], q).unwrap()
+                    scheme.rect_query(origin, &rect, q).unwrap()
                 });
             });
         }

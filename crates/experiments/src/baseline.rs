@@ -1,0 +1,327 @@
+//! The persisted performance baseline: every registered scheme × every
+//! named workload, measured once and written to `BENCH_baseline.json` at
+//! the workspace root.
+//!
+//! This is the repo's first durable perf artifact: the `bench_baseline`
+//! binary runs the full scheme × workload grid through
+//! [`ParallelDriver`] at a fixed network size,
+//! records throughput (queries/second, wall clock) next to the simulated
+//! metrics (mean/p99 delay, messages per query, MesgRatio), and persists
+//! the grid as JSON so future PRs can diff their numbers against a
+//! committed trajectory. The simulated metrics are deterministic per seed;
+//! only the `qps` column moves with the hardware.
+
+use crate::output::Table;
+use crate::standard_registry;
+use dht_api::{BuildParams, DriverReport, MultiBuildParams, ParallelDriver, WorkloadGen};
+use rand::Rng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Single-attribute workloads measured in the baseline grid.
+pub const SINGLE_WORKLOADS: [&str; 5] = ["uniform", "zipf-hot", "clustered", "wide-scan", "mixed"];
+
+/// Multi-attribute workloads measured for the rectangle schemes.
+pub const MULTI_WORKLOADS: [&str; 2] = ["rect-correlated", "mixed"];
+
+/// Baseline run configuration.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Network size every scheme is built at.
+    pub n: usize,
+    /// Queries per (scheme, workload) cell.
+    pub queries: usize,
+    /// Master seed (simulated metrics are a pure function of it).
+    pub seed: u64,
+    /// Worker threads for the parallel driver.
+    pub threads: usize,
+    /// ObjectID length for Kautz-named schemes.
+    pub object_id_len: usize,
+}
+
+impl BaselineConfig {
+    /// The committed-baseline setup: `N = 1000`, the paper's 1000 queries
+    /// per cell.
+    pub fn full() -> Self {
+        BaselineConfig {
+            n: 1000,
+            queries: 1000,
+            seed: 0xba5e,
+            threads: dht_api::default_threads(),
+            object_id_len: crate::paper::OBJECT_ID_LEN,
+        }
+    }
+
+    /// A reduced setup for tests and `--quick` runs.
+    pub fn quick() -> Self {
+        BaselineConfig { n: 250, queries: 40, object_id_len: 32, ..BaselineConfig::full() }
+    }
+}
+
+/// One measured cell of the scheme × workload grid.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Registry name of the scheme.
+    pub scheme: String,
+    /// Query shape: `"single"` or `"rect"`.
+    pub shape: &'static str,
+    /// Workload name from the catalog.
+    pub workload: String,
+    /// Wall-clock throughput, queries per second (hardware-dependent).
+    pub qps: f64,
+    /// The full deterministic metric report for the cell.
+    pub report: DriverReport,
+}
+
+/// A complete baseline run: configuration plus the measured grid.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// The configuration the grid ran under.
+    pub config: BaselineConfig,
+    /// One row per (scheme, workload) cell.
+    pub rows: Vec<BaselineRow>,
+}
+
+/// Runs the full grid: every registered single-attribute scheme ×
+/// [`SINGLE_WORKLOADS`], then every multi-attribute scheme ×
+/// [`MULTI_WORKLOADS`] on 2-attribute squares.
+///
+/// # Panics
+///
+/// Panics if a scheme fails to build or a fault-free query errs — a
+/// baseline with silently missing cells would be worse than no baseline.
+pub fn run(cfg: &BaselineConfig) -> BaselineReport {
+    let registry = standard_registry();
+    let domain = (crate::paper::DOMAIN_LO, crate::paper::DOMAIN_HI);
+    let mut rows = Vec::new();
+
+    for name in registry.single_names() {
+        let params =
+            BuildParams::new(cfg.n, domain.0, domain.1).with_object_id_len(cfg.object_id_len);
+        let mut rng = simnet::rng_from_seed(cfg.seed ^ dht_api::fnv1a(name.as_bytes()));
+        let mut scheme = registry.build_single(name, &params, &mut rng).expect("scheme builds");
+        for h in 0..cfg.n as u64 {
+            scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+        }
+        for wl_name in SINGLE_WORKLOADS {
+            let workload = WorkloadGen::named(wl_name, domain).expect("cataloged");
+            let driver = ParallelDriver {
+                queries: cfg.queries,
+                seed: cfg.seed ^ dht_api::fnv1a(wl_name.as_bytes()),
+                threads: cfg.threads,
+            };
+            let start = Instant::now();
+            let report = driver.run(scheme.as_ref(), &workload).expect("fault-free queries");
+            let qps = cfg.queries as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            rows.push(BaselineRow {
+                scheme: name.to_string(),
+                shape: "single",
+                workload: wl_name.to_string(),
+                qps,
+                report,
+            });
+        }
+    }
+
+    let domains = [(0.0, 100.0), (0.0, 100.0)];
+    for name in registry.multi_names() {
+        let params = MultiBuildParams::new(cfg.n, &domains).with_object_id_len(cfg.object_id_len);
+        let mut rng = simnet::rng_from_seed(cfg.seed ^ dht_api::fnv1a(name.as_bytes()) ^ 0xd1);
+        let mut scheme = registry.build_multi(name, &params, &mut rng).expect("scheme builds");
+        for h in 0..cfg.n as u64 {
+            let p = [rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)];
+            scheme.publish_point(&p, h).expect("publish");
+        }
+        for wl_name in MULTI_WORKLOADS {
+            let workload = WorkloadGen::named(wl_name, (0.0, 100.0)).expect("cataloged");
+            let driver = ParallelDriver {
+                queries: cfg.queries,
+                seed: cfg.seed ^ dht_api::fnv1a(wl_name.as_bytes()),
+                threads: cfg.threads,
+            };
+            let start = Instant::now();
+            let report =
+                driver.run_multi(scheme.as_ref(), &domains, &workload).expect("fault-free");
+            let qps = cfg.queries as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            rows.push(BaselineRow {
+                scheme: name.to_string(),
+                shape: "rect",
+                workload: wl_name.to_string(),
+                qps,
+                report,
+            });
+        }
+    }
+
+    BaselineReport { config: cfg.clone(), rows }
+}
+
+impl BaselineReport {
+    /// Renders the grid as a printable [`Table`].
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Bench baseline — N = {}, {} queries/cell, {} threads",
+                self.config.n, self.config.queries, self.config.threads
+            ),
+            &[
+                "scheme",
+                "shape",
+                "workload",
+                "qps",
+                "delay_mean",
+                "delay_p99",
+                "msgs/query",
+                "mesg_ratio",
+                "exact",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.scheme.clone(),
+                r.shape.to_string(),
+                r.workload.clone(),
+                format!("{:.0}", r.qps),
+                format!("{:.2}", r.report.delay.mean),
+                format!("{:.1}", r.report.delay.p99),
+                format!("{:.1}", r.report.messages.mean),
+                format!("{:.2}", r.report.mesg_ratio.mean),
+                format!("{:.2}", r.report.exact_rate),
+            ]);
+        }
+        t
+    }
+
+    /// Serializes the report as pretty-printed JSON (hand-rolled — the
+    /// build environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let c = &self.config;
+        // `threads` is deliberately omitted: it provably cannot affect any
+        // simulated metric (see tests/parallel_determinism.rs) and is
+        // machine-local. The per-row `qps` field is the one remaining
+        // machine-dependent value — filter it out when diffing regenerated
+        // baselines (everything else is a pure function of the seed).
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"bench-baseline-v1\",");
+        let _ = writeln!(
+            s,
+            "  \"config\": {{ \"n\": {}, \"queries\": {}, \"seed\": {}, \"object_id_len\": {} }},",
+            c.n, c.queries, c.seed, c.object_id_len
+        );
+        let _ = writeln!(s, "  \"results\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{ \"scheme\": \"{}\", \"shape\": \"{}\", \"workload\": \"{}\", \
+                 \"qps\": {}, \"delay_mean\": {}, \"delay_p50\": {}, \"delay_p99\": {}, \
+                 \"delay_max\": {}, \"messages_mean\": {}, \"messages_p99\": {}, \
+                 \"dest_peers_mean\": {}, \"mesg_ratio_mean\": {}, \"incre_ratio_mean\": {}, \
+                 \"exact_rate\": {}, \"results_returned\": {} }}{comma}",
+                r.scheme,
+                r.shape,
+                r.workload,
+                json_f64(r.qps),
+                json_f64(r.report.delay.mean),
+                json_f64(r.report.delay.p50),
+                json_f64(r.report.delay.p99),
+                json_f64(r.report.delay.max),
+                json_f64(r.report.messages.mean),
+                json_f64(r.report.messages.p99),
+                json_f64(r.report.dest_peers.mean),
+                json_f64(r.report.mesg_ratio.mean),
+                json_f64(r.report.incre_ratio.mean),
+                json_f64(r.report.exact_rate),
+                r.report.results_returned,
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Writes the JSON to [`baseline_path`] and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        self.write_json_to(baseline_path())
+    }
+
+    /// Writes the JSON to an explicit path (quick/smoke runs use this to
+    /// avoid clobbering the committed full-scale baseline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json_to(&self, path: PathBuf) -> std::io::Result<PathBuf> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// JSON-safe float rendering (JSON has no NaN/∞; neither should a
+/// baseline, but a corrupt artifact must never be written).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Where the committed baseline lives: `BENCH_baseline.json` at the
+/// workspace root.
+pub fn baseline_path() -> PathBuf {
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("BENCH_baseline.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_covers_every_scheme_and_workload() {
+        let report = run(&BaselineConfig::quick());
+        // 9 single schemes × 5 workloads + 3 multi schemes × 2 workloads.
+        let singles: Vec<_> = report.rows.iter().filter(|r| r.shape == "single").collect();
+        let rects: Vec<_> = report.rows.iter().filter(|r| r.shape == "rect").collect();
+        assert_eq!(singles.len(), 9 * SINGLE_WORKLOADS.len());
+        assert_eq!(rects.len(), 3 * MULTI_WORKLOADS.len());
+        for r in &report.rows {
+            assert!(r.qps > 0.0, "{}/{} qps", r.scheme, r.workload);
+            assert_eq!(r.report.queries, report.config.queries);
+            assert_eq!(r.report.exact_rate, 1.0, "{}/{} inexact", r.scheme, r.workload);
+        }
+        // JSON sanity: parses at the bracket level and names every scheme.
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for name in ["pira", "seqwalk", "dcf-can", "skipgraph", "squid", "scrap", "mira"] {
+            assert!(json.contains(&format!("\"scheme\": \"{name}\"")), "{name} missing");
+        }
+        assert!(json.contains("\"schema\": \"bench-baseline-v1\""));
+        // The table mirrors the grid.
+        assert_eq!(report.to_table().rows.len(), report.rows.len());
+    }
+
+    #[test]
+    fn simulated_metrics_are_seed_deterministic() {
+        let a = run(&BaselineConfig { queries: 15, n: 150, ..BaselineConfig::quick() });
+        let b = run(&BaselineConfig { queries: 15, n: 150, ..BaselineConfig::quick() });
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.scheme, rb.scheme);
+            assert_eq!(ra.report.delay, rb.report.delay, "{}/{}", ra.scheme, ra.workload);
+            assert_eq!(ra.report.messages, rb.report.messages);
+            assert_eq!(ra.report.results_returned, rb.report.results_returned);
+        }
+    }
+}

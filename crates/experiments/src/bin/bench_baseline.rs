@@ -1,0 +1,39 @@
+//! Runs the scheme × workload baseline grid and persists
+//! `BENCH_baseline.json` at the workspace root.
+//!
+//! ```sh
+//! cargo run --release -p armada-experiments --bin bench_baseline            # committed scale
+//! cargo run --release -p armada-experiments --bin bench_baseline -- --quick # smoke scale
+//! ```
+
+use armada_experiments::baseline::{self, BaselineConfig};
+use armada_experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = match scale {
+        Scale::Full => BaselineConfig::full(),
+        Scale::Quick => BaselineConfig::quick(),
+    };
+    eprintln!(
+        "bench_baseline: N = {}, {} queries/cell, {} threads — building schemes…",
+        cfg.n, cfg.queries, cfg.threads
+    );
+    let report = baseline::run(&cfg);
+    print!("{}", report.to_table().to_markdown());
+    // Only full-scale runs refresh the committed baseline; --quick smoke
+    // runs land under target/ so they can never clobber the trajectory.
+    let written = match scale {
+        Scale::Full => report.write_json(),
+        Scale::Quick => report.write_json_to(
+            armada_experiments::output::output_dir().join("BENCH_baseline_quick.json"),
+        ),
+    };
+    match written {
+        Ok(path) => println!("\n[json] {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write baseline json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,17 +17,24 @@
 //! | §6 future work (top-k) | [`topk_eval`] | `topk_eval` |
 //! | ablations (ours) | [`ablations`] | `ablation_*` |
 //! | robustness (ours) | [`faults`] | `fault_tolerance` |
+//! | perf baseline (ours) | [`baseline`] | `bench_baseline` |
 //!
-//! All runs are deterministic given a seed. The paper's setup (§4.3.3) is
-//! the default: attribute interval `[0, 1000]`, 1000 random queries per
-//! measurement, random origins; Figures 5/6 fix `N = 2000` and sweep the
-//! range size over `{2, 10, 50, 100, 150, 200, 250, 300}`; Figures 7/8 fix
-//! the range size at 20 and sweep `N` over `1000..=8000`.
+//! All runs are deterministic given a seed — including under the parallel
+//! driver, whose per-thread statistics merge identically for any thread
+//! count. The paper's setup (§4.3.3) is the default: attribute interval
+//! `[0, 1000]`, 1000 random queries per measurement, random origins;
+//! Figures 5/6 fix `N = 2000` and sweep the range size over
+//! `{2, 10, 50, 100, 150, 200, 250, 300}`; Figures 7/8 fix the range size
+//! at 20 and sweep `N` over `1000..=8000`. Beyond the paper, the workload
+//! axis is open too: `bench_baseline` measures every scheme under the
+//! [`dht_api::WorkloadGen`] catalog (uniform, Zipf-skewed hot ranges,
+//! clustered, wide scans, correlated rectangles, a production blend).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod baseline;
 pub mod faults;
 pub mod figures;
 pub mod mira_eval;

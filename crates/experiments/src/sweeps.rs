@@ -2,10 +2,15 @@
 //! executed against any set of registered schemes through the unified
 //! [`dht_api`] interface (PIRA and DCF-CAN by default, matching the
 //! paper's Figures 5–8).
+//!
+//! Since PR 2 the sweeps run through [`ParallelDriver`]: queries fan out
+//! across `threads` OS threads against each pre-built scheme, and because
+//! every query is derived from its index the measured figures are
+//! identical for any thread count — sweep output is a function of the
+//! seed alone.
 
 use crate::paper;
-use dht_api::{BuildParams, DriverReport, QueryDriver, RangeScheme};
-use rand::Rng;
+use dht_api::{BuildParams, DriverReport, ParallelDriver, RangeScheme, WorkloadGen};
 
 /// Aggregated measurements for one sweep point: one [`DriverReport`] per
 /// swept scheme, keyed by registry name.
@@ -44,6 +49,9 @@ pub struct SweepConfig {
     pub object_id_len: usize,
     /// Registry names of the schemes to sweep.
     pub schemes: Vec<String>,
+    /// Worker threads per measurement point (results are thread-count
+    /// invariant; this only tunes wall-clock time).
+    pub threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -53,6 +61,7 @@ impl Default for SweepConfig {
             seed: 20060704,
             object_id_len: paper::OBJECT_ID_LEN,
             schemes: vec!["pira".into(), "dcf-can".into()],
+            threads: dht_api::default_threads(),
         }
     }
 }
@@ -72,39 +81,30 @@ pub fn build_schemes(cfg: &SweepConfig, n: usize) -> Vec<Box<dyn RangeScheme>> {
 }
 
 /// Runs `cfg.queries` random queries of the given size against every
-/// pre-built scheme. The query ranges are drawn **once** and replayed
-/// against each scheme (origins stay scheme-local), keeping the
-/// cross-scheme comparison paired query-for-query as in the paper's
-/// harness. Exactness violations (impossible fault-free) panic loudly
-/// rather than skewing the figures.
+/// pre-built scheme, fanned across `cfg.threads` threads by
+/// [`ParallelDriver`]. Every scheme runs under the **same driver seed**,
+/// so query `q` pairs completely across schemes: the same range, the same
+/// origin-selection stream (each scheme maps it into its own peer space),
+/// and the same scheme-internal seed — the cross-scheme comparison is
+/// paired query-for-query as in the paper's harness. Exactness violations
+/// (impossible fault-free) panic loudly rather than skewing the figures.
 pub fn measure_point(
     cfg: &SweepConfig,
     schemes: &[Box<dyn RangeScheme>],
     range_size: f64,
 ) -> PointMetrics {
     let n = schemes.first().map_or(0, |s| s.node_count());
-    let driver = QueryDriver::new(cfg.queries).with_seed(cfg.seed);
-    let mut workload_rng =
-        simnet::rng_from_seed(cfg.seed ^ 0x5eed ^ range_size.to_bits() ^ n as u64);
-    let workload: Vec<(f64, f64)> = (0..cfg.queries)
-        .map(|_| {
-            let lo = workload_rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range_size));
-            (lo, lo + range_size)
-        })
-        .collect();
+    let workload = WorkloadGen::uniform((paper::DOMAIN_LO, paper::DOMAIN_HI), range_size);
+    let driver = ParallelDriver {
+        queries: cfg.queries,
+        seed: cfg.seed ^ 0x5eed ^ range_size.to_bits() ^ n as u64,
+        threads: cfg.threads,
+    };
     let reports = schemes
         .iter()
-        .enumerate()
-        .map(|(i, scheme)| {
-            let mut origin_rng = simnet::rng_from_seed(
-                cfg.seed ^ 0x0419 ^ range_size.to_bits() ^ n as u64 ^ ((i as u64) << 48),
-            );
-            let mut queries = workload.iter().copied();
-            let report = driver
-                .run(scheme.as_ref(), &mut origin_rng, |_| {
-                    queries.next().expect("driver runs exactly cfg.queries queries")
-                })
-                .expect("fault-free queries succeed");
+        .map(|scheme| {
+            let report =
+                driver.run(scheme.as_ref(), &workload).expect("fault-free queries succeed");
             assert!(
                 report.exact_rate == 1.0,
                 "{} missed destinations on a fault-free run",
@@ -183,6 +183,7 @@ mod tests {
             seed: 7,
             object_id_len: 32,
             schemes: vec!["pira".into(), "skipgraph".into(), "scrap".into()],
+            ..SweepConfig::default()
         };
         let points = range_sweep(&cfg, 150, &[50.0]);
         assert_eq!(points[0].reports.len(), 3);

@@ -1,12 +1,12 @@
 //! Table 1 — comparison of general range-query schemes, with **every row
 //! measured** through the unified [`dht_api`] interface: each row names a
 //! scheme in the [`standard registry`](crate::standard_registry), builds it
-//! at runtime, and drives the identical workload with the shared
-//! [`QueryDriver`] — no scheme-specific glue.
+//! at runtime, and fans the identical workload across threads with the
+//! shared [`ParallelDriver`] — no scheme-specific glue.
 
 use crate::output::Table;
 use crate::{paper, Scale};
-use dht_api::{BuildParams, DriverReport, MultiBuildParams, QueryDriver};
+use dht_api::{BuildParams, DriverReport, MultiBuildParams, ParallelDriver, WorkloadGen};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -145,7 +145,6 @@ pub fn run(scale: Scale) -> Table {
     let range = paper::FIG78_RANGE;
     let master_seed = 0x7ab1e1u64;
     let log_n = (n as f64).log2();
-    let driver = QueryDriver::new(queries); // per-query seed = query index
 
     let mut t = Table::new(
         format!("Table 1 — general range query schemes (measured at N = {n}, range = {range})"),
@@ -176,8 +175,11 @@ pub fn run(scale: Scale) -> Table {
             }
         };
 
-        // Build by name, optionally load data, drive the workload — all
-        // through the unified interface.
+        // Build by name, optionally load data, then fan the workload across
+        // threads — all through the unified interface. The driver seed is
+        // drawn from the row's RNG stream, so each row keeps its historical
+        // build/publish/query stream dependence while the queries
+        // themselves are index-addressed and thread-count invariant.
         let (substrate, degree, report): (String, String, DriverReport) = match spec.shape {
             Shape::Single { publish } => {
                 let params = BuildParams::new(n, paper::DOMAIN_LO, paper::DOMAIN_HI);
@@ -189,28 +191,24 @@ pub fn run(scale: Scale) -> Table {
                         scheme.publish(v, h).expect("publish");
                     }
                 }
-                let report = driver
-                    .run(scheme.as_ref(), rng, |rng| {
-                        let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
-                        (lo, lo + range)
-                    })
-                    .expect("fault-free workload");
+                let driver = ParallelDriver::new(queries).with_seed(rng.gen());
+                let workload = WorkloadGen::uniform((paper::DOMAIN_LO, paper::DOMAIN_HI), range);
+                let report = driver.run(scheme.as_ref(), &workload).expect("fault-free workload");
                 (scheme.substrate(), scheme.degree(), report)
             }
             Shape::Square => {
-                let params = MultiBuildParams::new(n, &[(0.0, 100.0), (0.0, 100.0)]);
+                let domains = [(0.0, 100.0), (0.0, 100.0)];
+                let params = MultiBuildParams::new(n, &domains);
                 let mut scheme =
                     registry.build_multi(spec.name, &params, rng).expect("registered scheme");
                 for h in 0..n as u64 {
                     let p = [rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)];
                     scheme.publish_point(&p, h).expect("publish");
                 }
+                let driver = ParallelDriver::new(queries).with_seed(rng.gen());
+                let workload = WorkloadGen::uniform((0.0, 100.0), side);
                 let report = driver
-                    .run_multi(scheme.as_ref(), rng, |rng| {
-                        let lo0 = rng.gen_range(0.0..(100.0 - side));
-                        let lo1 = rng.gen_range(0.0..(100.0 - side));
-                        vec![(lo0, lo0 + side), (lo1, lo1 + side)]
-                    })
+                    .run_multi(scheme.as_ref(), &domains, &workload)
                     .expect("fault-free workload");
                 (scheme.substrate(), scheme.degree(), report)
             }

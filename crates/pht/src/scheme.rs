@@ -2,7 +2,9 @@
 //!
 //! [`PhtScheme`] is generic over the substrate [`Dht`], mirroring PHT's
 //! "runs on any DHT" design; [`register`] wires up the two substrates the
-//! paper compares (`"pht-fissione"` and `"pht-chord"`).
+//! paper compares (`"pht-fissione"` and `"pht-chord"`). `Dht` requires
+//! `Send + Sync`, so the layered scheme inherits the thread-safety the
+//! parallel driver needs directly from its substrate.
 
 use crate::{Pht, PhtOutcome};
 use dht_api::{BuildParams, Dht, RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};

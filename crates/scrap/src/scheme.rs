@@ -2,7 +2,10 @@
 //!
 //! Like Squid, SCRAP natively answers hyper-rectangles
 //! ([`MultiRangeScheme`]); a one-dimensional build also serves the
-//! single-attribute [`RangeScheme`] contract.
+//! single-attribute [`RangeScheme`] contract. Both impls query through
+//! `&self`, so a built net is `Send + Sync` and shards across
+//! parallel-driver threads; [`register`] exposes both shapes under
+//! `"scrap"`.
 
 use crate::{ScrapError, ScrapNet, ScrapOutcome};
 use dht_api::{

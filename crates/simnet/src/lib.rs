@@ -13,8 +13,10 @@
 //!   robustness experiments.
 //! * [`LatencyModel`] — per-hop virtual latency (unit by default so virtual
 //!   time equals hop count; uniform random for jitter studies).
-//! * [`Summary`] — helper statistics (mean/min/max/percentiles) used by the
-//!   experiment harnesses to aggregate the paper's 1000-query averages.
+//! * [`Summary`] / [`Samples`] — helper statistics (mean/min/max/
+//!   percentiles) used by the experiment harnesses to aggregate the paper's
+//!   1000-query averages; [`Samples`] merges per-shard measurement vectors
+//!   deterministically for the parallel drivers.
 //!
 //! Determinism: all randomness flows through a seeded [`rand::rngs::SmallRng`]
 //! and ties in the event queue break by sequence number, so a given seed
@@ -51,7 +53,7 @@ mod stats;
 
 pub use engine::{Envelope, LatencyModel, Sim};
 pub use faults::FaultPlan;
-pub use stats::{SimStats, Summary};
+pub use stats::{Samples, SimStats, Summary};
 
 /// Identifier of a simulated node (index into the caller's node table).
 pub type NodeId = usize;

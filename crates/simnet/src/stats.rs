@@ -44,6 +44,8 @@ pub struct Summary {
     pub p50: f64,
     /// 95th percentile (linear interpolation, 0 for an empty sample).
     pub p95: f64,
+    /// 99th percentile (linear interpolation, 0 for an empty sample).
+    pub p99: f64,
     /// Sample standard deviation (0 for fewer than 2 samples).
     pub stddev: f64,
 }
@@ -51,7 +53,65 @@ pub struct Summary {
 impl Summary {
     /// Computes a summary from any collection of `f64` samples.
     pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Summary {
-        let mut xs: Vec<f64> = samples.into_iter().collect();
+        Samples::from_iter(samples).summarize()
+    }
+}
+
+/// A mergeable sample accumulator: collect measurements shard by shard
+/// (e.g. one [`Samples`] per worker thread), [`merge`](Samples::merge) in a
+/// deterministic order, then [`summarize`](Samples::summarize).
+///
+/// Because [`Summary::from_samples`] sorts before computing every statistic,
+/// the summary of merged shards is **bitwise identical** no matter how the
+/// samples were partitioned — the property the parallel query driver's
+/// `threads = 1` vs `threads = N` determinism contract rests on.
+///
+/// # Example
+///
+/// ```
+/// use simnet::{Samples, Summary};
+///
+/// let mut a = Samples::new();
+/// a.push(1.0);
+/// a.push(4.0);
+/// let mut b = Samples::new();
+/// b.push(3.0);
+/// b.push(2.0);
+/// a.merge(b);
+/// assert_eq!(a.summarize(), Summary::from_samples([1.0, 2.0, 3.0, 4.0]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Samples(Vec<f64>);
+
+impl Samples {
+    /// An empty accumulator.
+    pub fn new() -> Samples {
+        Samples(Vec::new())
+    }
+
+    /// Records one measurement.
+    pub fn push(&mut self, x: f64) {
+        self.0.push(x);
+    }
+
+    /// Appends every sample of `other` (consumed) to this accumulator.
+    pub fn merge(&mut self, other: Samples) {
+        self.0.extend(other.0);
+    }
+
+    /// Number of samples collected so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Computes the [`Summary`] of everything collected.
+    pub fn summarize(self) -> Summary {
+        let Samples(mut xs) = self;
         if xs.is_empty() {
             return Summary {
                 count: 0,
@@ -60,6 +120,7 @@ impl Summary {
                 max: 0.0,
                 p50: 0.0,
                 p95: 0.0,
+                p99: 0.0,
                 stddev: 0.0,
             };
         }
@@ -79,8 +140,15 @@ impl Summary {
             max: xs[count - 1],
             p50: percentile(&xs, 0.50),
             p95: percentile(&xs, 0.95),
+            p99: percentile(&xs, 0.99),
             stddev: var.sqrt(),
         }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Samples {
+        Samples(iter.into_iter().collect())
     }
 }
 
@@ -126,8 +194,22 @@ mod tests {
         let s = Summary::from_samples((1..=100).map(f64::from));
         assert!((s.p50 - 50.5).abs() < 1e-9);
         assert!((s.p95 - 95.05).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn merged_shards_summarize_identically_to_serial() {
+        // 3 shards in order vs one flat pass: bitwise-equal summaries.
+        let xs: Vec<f64> = (0..97).map(|i| ((i * 31 + 7) % 50) as f64 / 3.0).collect();
+        let serial = Summary::from_samples(xs.iter().copied());
+        let mut merged = Samples::new();
+        for chunk in xs.chunks(33) {
+            merged.merge(chunk.iter().copied().collect());
+        }
+        assert_eq!(merged.len(), xs.len());
+        assert_eq!(merged.summarize(), serial);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! [`SkipGraphNet`] implements [`RangeScheme`] directly — it owns the
 //! overlay, the storage, and the query algorithm, so no adapter state is
-//! needed.
+//! needed. Queries walk the skip lists through `&self`, so the net is
+//! `Send + Sync` and shards across parallel-driver threads; [`register`]
+//! exposes it as `"skipgraph"`.
 
 use crate::{SkipGraphNet, SkipOutcome};
 use dht_api::{RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};

@@ -3,7 +3,10 @@
 //! Squid natively answers hyper-rectangles ([`MultiRangeScheme`]); built
 //! over a single attribute it also serves the single-attribute
 //! [`RangeScheme`] contract, which is how it joins the cross-scheme
-//! differential workload.
+//! differential workload. Both impls query through `&self` (cluster
+//! refinement allocates per call), so a built net is `Send + Sync` and
+//! shards across parallel-driver threads; [`register`] exposes both
+//! shapes under `"squid"`.
 
 use crate::{SquidError, SquidNet, SquidOutcome};
 use dht_api::{

@@ -5,6 +5,17 @@
 //! benchmark over a fixed warm-up plus measured pass and prints a mean
 //! per-iteration figure. No statistical analysis, plotting, or baselines —
 //! just honest wall-clock numbers so `cargo bench` keeps working offline.
+//!
+//! # This is not the real `criterion`
+//!
+//! Contributor notes: there is no outlier rejection, no confidence
+//! interval, no HTML report, and no `--save-baseline` — treat the printed
+//! mean as a smoke-level signal, not a publishable measurement. The
+//! durable perf trajectory for this repo is the `bench_baseline` binary in
+//! `armada-experiments`, which persists `BENCH_baseline.json` with
+//! seed-deterministic simulated metrics next to wall-clock throughput.
+//! Extend this shim only with API the real criterion has (same
+//! signatures), so benches stay portable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -11,6 +11,16 @@
 //!
 //! Failures report the case number; reproduce by rerunning the test (case
 //! generation is deterministic per test name).
+//!
+//! # This is not the real `proptest`
+//!
+//! Contributor notes: the headline difference is **no shrinking** — a
+//! failing case is reported as-is rather than minimized, so keep generated
+//! inputs small where you can. There is also no persistent failure file
+//! and no `prop_filter`/recursive strategies. Extend this shim with the
+//! real crate's signatures if a property needs more surface; the macros
+//! are source-compatible with the real `proptest!` for everything the
+//! workspace uses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -13,6 +13,22 @@
 //!
 //! Determinism is part of the contract: a given seed reproduces the same
 //! stream on every platform, which the experiment harness relies on.
+//!
+//! # This is not the real `rand`
+//!
+//! Contributor notes:
+//!
+//! * Anything outside the API above (`thread_rng`, distributions beyond
+//!   `Standard`/ranges, `choose`/`shuffle`, other RNG cores) is simply
+//!   absent — add it here if a new test needs it, keeping the real crate's
+//!   v0.8 signatures so a future swap back to crates.io is a
+//!   `Cargo.toml`-only change.
+//! * Do **not** "fix" the generator: seeds are baked into committed
+//!   experiment outputs (`BENCH_baseline.json`, figure CSVs), so changing
+//!   the stream invalidates every committed number at once.
+//! * The package name matches crates.io's `rand` deliberately — workspace
+//!   crates depend on it by path (see the root `Cargo.toml`) and their
+//!   `use rand::…` lines stay portable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -27,6 +27,7 @@ pub use dht_can;
 pub use fissione;
 pub use kautz;
 pub use pht;
+pub use rand;
 pub use scrap;
 pub use sfc;
 pub use simnet;

@@ -1,0 +1,80 @@
+//! The parallel driver's headline guarantee, enforced on real schemes:
+//! `ParallelDriver` with `threads = 1` and `threads = 8` must produce
+//! **identical** merged summaries for the same seed, across the workload
+//! catalog.
+//!
+//! Every query is derived from its index — range, origin, and scheme seed
+//! are all pure functions of `(workload, seed, q)` — and per-thread sample
+//! vectors merge in shard order before a single sort-and-summarize pass,
+//! so nothing about the sharding can leak into the report. This test is
+//! the contract the sweeps and the persisted bench baseline rely on to
+//! stay reproducible while running at full hardware width.
+
+use armada_suite::dht_api::{BuildParams, DriverReport, ParallelDriver, WorkloadGen};
+use armada_suite::experiments::standard_registry;
+
+const DOMAIN: (f64, f64) = (0.0, 1000.0);
+
+/// Field-by-field exact equality of two reports (Summary is `PartialEq`
+/// over plain `f64`s; identical merged samples give bitwise-equal stats).
+fn assert_reports_identical(a: &DriverReport, b: &DriverReport, ctx: &str) {
+    assert_eq!(a.scheme, b.scheme, "{ctx}: scheme");
+    assert_eq!(a.queries, b.queries, "{ctx}: queries");
+    assert_eq!(a.delay, b.delay, "{ctx}: delay");
+    assert_eq!(a.messages, b.messages, "{ctx}: messages");
+    assert_eq!(a.dest_peers, b.dest_peers, "{ctx}: dest_peers");
+    assert_eq!(a.mesg_ratio, b.mesg_ratio, "{ctx}: mesg_ratio");
+    assert_eq!(a.incre_ratio, b.incre_ratio, "{ctx}: incre_ratio");
+    assert_eq!(a.exact_rate, b.exact_rate, "{ctx}: exact_rate");
+    assert_eq!(a.results_returned, b.results_returned, "{ctx}: results_returned");
+}
+
+#[test]
+fn threads_1_and_8_merge_identically_across_schemes_and_workloads() {
+    let registry = standard_registry();
+    let params = BuildParams::new(200, DOMAIN.0, DOMAIN.1).with_object_id_len(32);
+
+    // A scheme from each family: Kautz-routed, CAN-flooded, trie-layered,
+    // and linked-list walked.
+    for scheme_name in ["pira", "dcf-can", "pht-chord", "skipgraph"] {
+        let mut rng = simnet::rng_from_seed(0xdec0de);
+        let mut scheme = registry.build_single(scheme_name, &params, &mut rng).unwrap();
+        for h in 0..200u64 {
+            use armada_suite::rand::Rng;
+            scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).unwrap();
+        }
+
+        for wl_name in ["uniform", "zipf-hot", "clustered", "wide-scan", "mixed"] {
+            let workload = WorkloadGen::named(wl_name, DOMAIN).unwrap();
+            let driver = ParallelDriver { queries: 60, seed: 7, threads: 1 };
+            let serial = driver.run(scheme.as_ref(), &workload).unwrap();
+            let sharded = driver.with_threads(8).run(scheme.as_ref(), &workload).unwrap();
+            assert_reports_identical(&serial, &sharded, &format!("{scheme_name}/{wl_name}"));
+            // And the batch actually measured something.
+            assert_eq!(serial.queries, 60);
+            assert!(serial.delay.count == 60 && serial.delay.max >= serial.delay.mean);
+        }
+    }
+}
+
+#[test]
+fn rect_driver_is_thread_count_invariant_too() {
+    let registry = standard_registry();
+    let domains = [(0.0, 100.0), (0.0, 100.0)];
+    let params = armada_suite::dht_api::MultiBuildParams::new(150, &domains).with_object_id_len(32);
+    let mut rng = simnet::rng_from_seed(0xabcd);
+    let mut scheme = registry.build_multi("mira", &params, &mut rng).unwrap();
+    for h in 0..150u64 {
+        use armada_suite::rand::Rng;
+        let p = [rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)];
+        scheme.publish_point(&p, h).unwrap();
+    }
+    for wl_name in ["rect-correlated", "mixed", "uniform"] {
+        let workload = WorkloadGen::named(wl_name, (0.0, 100.0)).unwrap();
+        let driver = ParallelDriver { queries: 40, seed: 3, threads: 1 };
+        let serial = driver.run_multi(scheme.as_ref(), &domains, &workload).unwrap();
+        let sharded =
+            driver.with_threads(8).run_multi(scheme.as_ref(), &domains, &workload).unwrap();
+        assert_reports_identical(&serial, &sharded, &format!("mira/{wl_name}"));
+    }
+}
