@@ -102,6 +102,33 @@ impl SingleArmada {
         values.into_iter().map(|v| self.publish(v)).collect()
     }
 
+    /// Re-publishes every record that is no longer stored anywhere in the
+    /// network — the data-repair half of stabilization after crashes
+    /// (graceful leaves hand records over; crashes drop them). Returns the
+    /// number of records restored.
+    ///
+    /// The record table is the ground truth the engine already keeps for
+    /// exactness checking, so repair is a lookup-and-republish sweep: a
+    /// record is missing iff its ObjectID's owner no longer holds its
+    /// handle.
+    pub fn repair_records(&mut self) -> usize {
+        let missing: Vec<(KautzStr, u64)> = self
+            .values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| {
+                let object = self.naming.object_id(v);
+                let (_, handles) = self.net.lookup(&object).expect("cover is complete");
+                (!handles.contains(&(i as u64))).then_some((object, i as u64))
+            })
+            .collect();
+        let restored = missing.len();
+        for (object, handle) in missing {
+            self.net.publish(object, handle).expect("ObjectIDs always have an owner");
+        }
+        restored
+    }
+
     /// Ground truth: the set of peers whose region intersects the query's
     /// Kautz region (the paper's "Destpeers"). `O(log N + answer)` via the
     /// contiguity of zones in leaf order.
@@ -394,6 +421,29 @@ mod tests {
                 "query [{lo}, {hi}]"
             );
         }
+    }
+
+    #[test]
+    fn repair_restores_records_lost_to_crashes() {
+        let mut rng = simnet::rng_from_seed(56);
+        let mut a = SingleArmada::build_with(small_cfg(), 80, 0.0, 1000.0, &mut rng).unwrap();
+        use rand::Rng;
+        for _ in 0..120 {
+            a.publish(rng.gen_range(0.0..=1000.0));
+        }
+        // Nothing to repair on a healthy network.
+        assert_eq!(a.repair_records(), 0);
+        let mut lost = 0;
+        for _ in 0..10 {
+            let victim = a.net().random_peer(&mut rng);
+            lost += a.net_mut().crash(victim).unwrap();
+        }
+        assert!(lost > 0, "crashes should lose something at this density");
+        assert_eq!(a.repair_records(), lost);
+        // Full-domain query sees every record again.
+        let out = a.pira_query(a.net().random_peer(&mut rng), 0.0, 1000.0, 1).unwrap();
+        assert_eq!(out.results.len(), 120);
+        a.net().check_invariants().unwrap();
     }
 
     #[test]

@@ -11,16 +11,23 @@
 //! threads by reference; [`register`] wires their builders into the
 //! [`SchemeRegistry`] under `"pira"`, `"seqwalk"`, and `"mira"`.
 //!
+//! The single-attribute adapters also opt into the dynamics layer
+//! ([`RangeScheme::as_dynamic`]): FISSIONE supplies
+//! join/leave/crash/stabilize natively, and the adapters add the
+//! data-repair half — [`SingleArmada::repair_records`] re-publishes
+//! whatever crashed peers lost, restoring the post-stabilize exactness
+//! contract.
+//!
 //! [`RangeOutcome::results`]: dht_api::RangeOutcome
 
 use crate::{ArmadaError, MultiArmada, QueryOutcome, SingleArmada};
 use dht_api::{
-    BuildParams, MultiBuildParams, MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError,
-    SchemeRegistry,
+    BuildParams, DynamicScheme, MultiBuildParams, MultiRangeScheme, RangeOutcome, RangeScheme,
+    SchemeError, SchemeRegistry,
 };
 use fissione::FissioneConfig;
 use rand::rngs::SmallRng;
-use simnet::NodeId;
+use simnet::{FaultPlan, NodeId};
 
 impl From<ArmadaError> for SchemeError {
     fn from(e: ArmadaError) -> Self {
@@ -136,7 +143,64 @@ impl RangeScheme for PiraScheme {
         let out = self.inner.pira_query(origin, lo, hi, seed)?;
         Ok(remap(out, &self.handles))
     }
+
+    fn supports_fault_injection(&self) -> bool {
+        true
+    }
+
+    fn range_query_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if lo > hi {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        let out = self.inner.pira_query_with_faults(origin, lo, hi, seed, faults)?;
+        Ok(remap(out, &self.handles))
+    }
+
+    fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
+        Some(self)
+    }
 }
+
+/// FISSIONE-backed dynamics shared by the PIRA and sequential-walk
+/// adapters: churn goes straight to the substrate, and stabilization pairs
+/// the overlay's invariant repair with a record-repair sweep re-publishing
+/// whatever crashes lost (the engine's record table is the ground truth).
+macro_rules! impl_fissione_dynamics {
+    ($adapter:ty) => {
+        impl DynamicScheme for $adapter {
+            fn join(&mut self, rng: &mut SmallRng) -> Result<NodeId, SchemeError> {
+                Ok(self.inner.net_mut().join(rng))
+            }
+
+            fn leave(&mut self, node: NodeId) -> Result<(), SchemeError> {
+                self.inner.net_mut().leave(node).map_err(SchemeError::from)
+            }
+
+            fn crash(&mut self, node: NodeId) -> Result<(), SchemeError> {
+                self.inner.net_mut().crash(node).map(|_lost| ()).map_err(SchemeError::from)
+            }
+
+            fn stabilize(&mut self) -> usize {
+                let migrations = self.inner.net_mut().stabilize();
+                migrations + self.inner.repair_records()
+            }
+
+            fn live_peers(&self) -> Vec<NodeId> {
+                self.inner.net().live_peers().collect()
+            }
+        }
+    };
+}
+
+impl_fissione_dynamics!(PiraScheme);
+impl_fissione_dynamics!(SeqWalkScheme);
 
 /// The sequential-walk reference baseline as a [`RangeScheme`].
 ///
@@ -198,6 +262,10 @@ impl RangeScheme for SeqWalkScheme {
         }
         let out = crate::seqwalk::query(&self.inner, origin, lo, hi)?;
         Ok(remap(out, &self.handles))
+    }
+
+    fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
+        Some(self)
     }
 }
 
@@ -372,6 +440,69 @@ mod tests {
             scheme.rect_query(origin, &[(0.0, 1.0)], 1),
             Err(SchemeError::WrongArity { .. })
         ));
+    }
+
+    #[test]
+    fn dynamics_churn_then_stabilize_restores_exactness() {
+        let mut rng = simnet::rng_from_seed(804);
+        let mut scheme = PiraScheme::build(&params(100), &mut rng).unwrap();
+        let mut data = Vec::new();
+        for h in 0..200u64 {
+            let v = rng.gen_range(0.0..=1000.0);
+            scheme.publish(v, h).unwrap();
+            data.push((v, h));
+        }
+        // Churn through the capability hook, as a driver would.
+        let dynamic = scheme.as_dynamic().expect("pira is dynamic");
+        for _ in 0..40 {
+            dynamic.join(&mut rng).unwrap();
+        }
+        for _ in 0..25 {
+            let live = dynamic.live_peers();
+            dynamic.leave(live[live.len() / 2]).unwrap();
+        }
+        for _ in 0..10 {
+            let live = dynamic.live_peers();
+            dynamic.crash(live[live.len() / 3]).unwrap();
+        }
+        dynamic.stabilize();
+        assert_eq!(dynamic.live_peers().len(), 105);
+        // Every query is exact again, records included.
+        for q in 0..10 {
+            let lo = rng.gen_range(0.0..800.0);
+            let hi = lo + 150.0;
+            let origin = scheme.random_origin(&mut rng);
+            let out = scheme.range_query(origin, lo, hi, q).unwrap();
+            let mut expect: Vec<u64> =
+                data.iter().filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
+            expect.sort_unstable();
+            assert_eq!(out.results, expect, "post-churn query [{lo}, {hi}]");
+            assert!(out.exact);
+            assert_eq!(out.peer_recall(), 1.0);
+        }
+    }
+
+    #[test]
+    fn pira_supports_fault_injection_through_the_trait() {
+        let mut rng = simnet::rng_from_seed(805);
+        let mut scheme = PiraScheme::build(&params(150), &mut rng).unwrap();
+        for h in 0..150u64 {
+            scheme.publish(rng.gen_range(0.0..=1000.0), h).unwrap();
+        }
+        let mut faults = simnet::FaultPlan::with_drop_prob(0.3);
+        let mut degraded = false;
+        for q in 0..20 {
+            let origin = scheme.random_origin(&mut rng);
+            let out = scheme.range_query_with_faults(origin, 100.0, 400.0, q, &faults).unwrap();
+            degraded |= out.peer_recall() < 1.0;
+        }
+        assert!(degraded, "30% loss should cost some recall");
+        // A fault-free plan matches the plain path bit for bit.
+        faults.set_drop_prob(0.0);
+        let origin = scheme.random_origin(&mut rng);
+        let a = scheme.range_query(origin, 100.0, 400.0, 1).unwrap();
+        let b = scheme.range_query_with_faults(origin, 100.0, 400.0, 1, &faults).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

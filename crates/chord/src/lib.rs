@@ -5,6 +5,15 @@
 //! substrate: PHT runs over both Chord and FISSIONE to show the layered
 //! scheme's costs on either side of Table 1's degree divide.
 //!
+//! Node ids ([`NodeId`]) are **stable slots**: a node keeps its id for its
+//! lifetime, departures free the slot, and later joins may recycle it —
+//! the discipline every dynamic substrate in the workspace shares, so
+//! drivers can hold ids across membership events. The simulator models the
+//! converged steady state the paper's analysis assumes: a membership event
+//! re-derives the affected finger tables synchronously, so
+//! [`stabilize`](dht_api::DynamicDht::stabilize) has no deferred repair to
+//! do and reports zero operations.
+//!
 //! # Example
 //!
 //! ```
@@ -20,7 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dht_api::{Dht, Lookup};
+use dht_api::{Dht, DynamicDht, Lookup, SchemeError};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use simnet::NodeId;
@@ -29,20 +38,25 @@ const RING_BITS: u32 = 64;
 
 /// A simulated Chord ring.
 ///
-/// Node ids are uniform random 64-bit identifiers; key `k` is owned by its
-/// **successor** (the first node clockwise at or after `k`). Fingers are
-/// exact (the network is built in a converged state, as the paper's
-/// steady-state analysis assumes).
+/// Ring identifiers are uniform random 64-bit values; key `k` is owned by
+/// its **successor** (the first node clockwise at or after `k`). Fingers
+/// are exact (the network is maintained in a converged state, as the
+/// paper's steady-state analysis assumes).
 #[derive(Debug, Clone)]
 pub struct ChordNet {
-    /// Sorted ring identifiers; index in this vector = `NodeId`.
-    ids: Vec<u64>,
-    /// `fingers[n][i]` = node owning `ids[n] + 2^i`.
+    /// Slot table: `slots[n]` is node `n`'s ring identifier, `None` for
+    /// departed slots.
+    slots: Vec<Option<u64>>,
+    /// The live ring: `(identifier, slot)` sorted by identifier.
+    ring: Vec<(u64, NodeId)>,
+    /// `fingers[n][b]` = node owning `slots[n] + 2^b`; empty for dead
+    /// slots.
     fingers: Vec<Vec<NodeId>>,
 }
 
 impl ChordNet {
-    /// Builds a converged `n`-node ring with random identifiers.
+    /// Builds a converged `n`-node ring with random identifiers. Slot `i`
+    /// holds the `i`-th smallest identifier.
     ///
     /// # Panics
     ///
@@ -58,28 +72,35 @@ impl ChordNet {
                 ids.insert(pos, extra);
             }
         }
-        let mut net = ChordNet { ids, fingers: Vec::new() };
-        net.rebuild_fingers();
+        let ring = ids.iter().enumerate().map(|(slot, &id)| (id, slot)).collect();
+        let mut net =
+            ChordNet { slots: ids.into_iter().map(Some).collect(), ring, fingers: Vec::new() };
+        net.fingers = vec![Vec::new(); net.slots.len()];
+        net.rebuild_all_fingers();
         net
     }
 
-    fn rebuild_fingers(&mut self) {
-        let n = self.ids.len();
-        self.fingers = (0..n)
-            .map(|i| {
-                (0..RING_BITS)
-                    .map(|b| self.successor_of(self.ids[i].wrapping_add(1u64 << b)))
-                    .collect()
-            })
-            .collect();
+    fn rebuild_all_fingers(&mut self) {
+        for slot in 0..self.slots.len() {
+            self.rebuild_fingers_of(slot);
+        }
+    }
+
+    fn rebuild_fingers_of(&mut self, slot: NodeId) {
+        self.fingers[slot] = match self.slots[slot] {
+            Some(id) => {
+                (0..RING_BITS).map(|b| self.successor_of(id.wrapping_add(1u64 << b))).collect()
+            }
+            None => Vec::new(),
+        };
     }
 
     /// The node owning `point` (its successor on the ring).
     pub fn successor_of(&self, point: u64) -> NodeId {
-        match self.ids.binary_search(&point) {
-            Ok(i) => i,
-            Err(i) if i == self.ids.len() => 0, // wrap
-            Err(i) => i,
+        match self.ring.binary_search_by_key(&point, |&(id, _)| id) {
+            Ok(i) => self.ring[i].1,
+            Err(i) if i == self.ring.len() => self.ring[0].1, // wrap
+            Err(i) => self.ring[i].1,
         }
     }
 
@@ -87,21 +108,103 @@ impl ChordNet {
     ///
     /// # Panics
     ///
-    /// Panics for unknown node ids.
+    /// Panics for dead or unknown node ids.
     pub fn id_of(&self, node: NodeId) -> u64 {
-        self.ids[node]
+        self.slots[node].expect("live node")
     }
 
-    /// Whether `x` lies in the half-open clockwise interval `(a, b]`.
-    fn in_interval(a: u64, b: u64, x: u64) -> bool {
-        if a < b {
-            x > a && x <= b
+    /// Whether `node` refers to a live ring member.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.slots.get(node).is_some_and(Option::is_some)
+    }
+
+    /// Live nodes in ring order (ascending identifier) — a deterministic
+    /// order churn plans rely on for victim selection.
+    pub fn live_members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ring.iter().map(|&(_, slot)| slot)
+    }
+
+    /// A new node joins with a fresh random identifier; the converged
+    /// maintenance model re-derives the affected finger tables
+    /// synchronously. Returns the newcomer's slot.
+    ///
+    /// Maintenance is incremental: the newcomer computes its own table
+    /// (64 successor lookups), and an existing finger moves only when the
+    /// new identifier now owns its target point — an `O(1)` interval test
+    /// per finger, no per-event full rebuild.
+    pub fn join(&mut self, rng: &mut SmallRng) -> NodeId {
+        let id = loop {
+            let candidate: u64 = rng.gen();
+            if self.ring.binary_search_by_key(&candidate, |&(i, _)| i).is_err() {
+                break candidate;
+            }
+        };
+        let slot = if let Some(free) = self.slots.iter().position(Option::is_none) {
+            self.slots[free] = Some(id);
+            free
         } else {
-            x > a || x <= b // wrapped
+            self.slots.push(Some(id));
+            self.fingers.push(Vec::new());
+            self.slots.len() - 1
+        };
+        let pos = self.ring.binary_search_by_key(&id, |&(i, _)| i).unwrap_err();
+        self.ring.insert(pos, (id, slot));
+        self.rebuild_fingers_of(slot);
+        // A finger `successor_of(start)` moves to the newcomer exactly when
+        // the new identifier lies in `[start, old_target]` clockwise.
+        for &(other_id, other) in &self.ring {
+            if other == slot {
+                continue;
+            }
+            for b in 0..RING_BITS {
+                let start = other_id.wrapping_add(1u64 << b);
+                let old_target = self.slots[self.fingers[other][b as usize]].expect("live finger");
+                if Self::in_interval(start.wrapping_sub(1), old_target, id) {
+                    self.fingers[other][b as usize] = slot;
+                }
+            }
         }
+        slot
+    }
+
+    /// Graceful departure: the node's successor takes over its keys (keys
+    /// are derived, not stored, in this simulator) and the remaining
+    /// fingers re-converge — incrementally: only fingers that pointed at
+    /// the leaver move, and their new target is by definition the leaver's
+    /// ring successor.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::BadOrigin`] for dead ids, [`SchemeError::Query`] when
+    /// only one node remains.
+    pub fn remove(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        if !self.is_live(node) {
+            return Err(SchemeError::BadOrigin { origin: node });
+        }
+        if self.ring.len() <= 1 {
+            return Err(SchemeError::Query("the last Chord node cannot leave".into()));
+        }
+        let id = self.slots[node].take().expect("checked live");
+        let pos = self.ring.binary_search_by_key(&id, |&(i, _)| i).expect("ring member");
+        self.ring.remove(pos);
+        self.fingers[node].clear();
+        // Everything the leaver owned falls to its ring successor.
+        let heir = self.ring[pos % self.ring.len()].1;
+        for &(_, other) in &self.ring {
+            for f in self.fingers[other].iter_mut() {
+                if *f == node {
+                    *f = heir;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Greedy finger routing from `from` to the owner of ring point `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is dead.
     pub fn route_point(&self, from: NodeId, key: u64) -> Lookup {
         let owner = self.successor_of(key);
         let mut cur = from;
@@ -109,7 +212,7 @@ impl ChordNet {
         while cur != owner {
             // If the owner is our direct successor, one hop finishes.
             let succ = self.fingers[cur][0];
-            if Self::in_interval(self.ids[cur], self.ids[succ], key) {
+            if Self::in_interval(self.id_of(cur), self.id_of(succ), key) {
                 debug_assert_eq!(succ, owner);
                 hops += 1;
                 break;
@@ -118,7 +221,7 @@ impl ChordNet {
             let mut next = succ;
             for b in (0..RING_BITS as usize).rev() {
                 let f = self.fingers[cur][b];
-                if f != cur && Self::in_interval(self.ids[cur], key, self.ids[f]) {
+                if f != cur && Self::in_interval(self.id_of(cur), key, self.id_of(f)) {
                     next = f;
                     break;
                 }
@@ -128,9 +231,18 @@ impl ChordNet {
             }
             cur = next;
             hops += 1;
-            debug_assert!(hops <= self.ids.len(), "routing must terminate");
+            debug_assert!(hops <= self.ring.len(), "routing must terminate");
         }
         Lookup { owner, hops }
+    }
+
+    /// Whether `x` lies in the half-open clockwise interval `(a, b]`.
+    fn in_interval(a: u64, b: u64, x: u64) -> bool {
+        if a < b {
+            x > a && x <= b
+        } else {
+            x > a || x <= b // wrapped
+        }
     }
 }
 
@@ -144,19 +256,51 @@ impl Dht for ChordNet {
     }
 
     fn any_node(&self) -> NodeId {
-        0
+        self.ring[0].1
     }
 
     fn random_node(&self, rng: &mut SmallRng) -> NodeId {
-        rng.gen_range(0..self.ids.len())
+        loop {
+            let slot = rng.gen_range(0..self.slots.len());
+            if self.slots[slot].is_some() {
+                return slot;
+            }
+        }
     }
 
     fn node_count(&self) -> usize {
-        self.ids.len()
+        self.ring.len()
     }
 
     fn name(&self) -> &'static str {
         "chord"
+    }
+}
+
+impl DynamicDht for ChordNet {
+    fn join(&mut self, rng: &mut SmallRng) -> NodeId {
+        ChordNet::join(self, rng)
+    }
+
+    fn leave(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        self.remove(node)
+    }
+
+    fn crash(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        // The simulator stores no per-node state at the Chord layer, so an
+        // abrupt failure differs from a graceful leave only in what the
+        // layer above loses.
+        self.remove(node)
+    }
+
+    fn stabilize(&mut self) -> usize {
+        // Maintenance is synchronous in the converged-state model: every
+        // membership event already re-derived the finger tables.
+        0
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        self.live_members().collect()
     }
 }
 
@@ -177,7 +321,7 @@ mod tests {
             let key: u64 = rng.gen();
             let owner = net.successor_of(key);
             // No node lies strictly between key and its owner clockwise.
-            for n in 0..net.node_count() {
+            for n in net.live_members() {
                 if n != owner {
                     assert!(
                         !ChordNet::in_interval(key.wrapping_sub(1), net.id_of(owner), net.id_of(n))
@@ -232,8 +376,63 @@ mod tests {
     #[test]
     fn single_node_owns_everything() {
         let net = build(1, 5);
-        assert_eq!(net.successor_of(0), 0);
-        assert_eq!(net.successor_of(u64::MAX), 0);
-        assert_eq!(net.route_point(0, 12345).hops, 0);
+        let only = net.any_node();
+        assert_eq!(net.successor_of(0), only);
+        assert_eq!(net.successor_of(u64::MAX), only);
+        assert_eq!(net.route_point(only, 12345).hops, 0);
+    }
+
+    #[test]
+    fn churn_preserves_routing_and_slot_stability() {
+        let mut rng = simnet::rng_from_seed(6);
+        let mut net = ChordNet::build(64, &mut rng);
+        // A survivor's slot and identifier must never move under churn.
+        let witness = net.live_members().nth(10).unwrap();
+        let witness_id = net.id_of(witness);
+        for i in 0..60 {
+            if i % 2 == 0 {
+                net.join(&mut rng);
+            } else {
+                let victim = net.live_members().find(|&n| n != witness).unwrap();
+                net.remove(victim).unwrap();
+            }
+        }
+        assert_eq!(net.id_of(witness), witness_id);
+        assert_eq!(net.node_count(), 64);
+        // Ring order is maintained and routing still converges everywhere.
+        for _ in 0..100 {
+            let key: u64 = rng.gen();
+            let from = net.random_node(&mut rng);
+            let lookup = net.route_point(from, key);
+            assert_eq!(lookup.owner, net.successor_of(key));
+            assert!(lookup.hops <= net.node_count());
+        }
+    }
+
+    #[test]
+    fn incremental_finger_maintenance_matches_a_full_rebuild() {
+        let mut rng = simnet::rng_from_seed(8);
+        let mut net = ChordNet::build(80, &mut rng);
+        for i in 0..100 {
+            if i % 3 == 0 {
+                let victim = net.random_node(&mut rng);
+                let _ = net.remove(victim);
+            } else {
+                net.join(&mut rng);
+            }
+        }
+        let incremental = net.fingers.clone();
+        net.rebuild_all_fingers();
+        assert_eq!(incremental, net.fingers, "incremental repair must converge exactly");
+    }
+
+    #[test]
+    fn last_node_cannot_leave_and_dead_ids_error() {
+        let mut net = build(2, 7);
+        let victim = net.any_node();
+        net.remove(victim).unwrap();
+        assert!(matches!(net.remove(victim), Err(SchemeError::BadOrigin { .. })));
+        let survivor = net.any_node();
+        assert!(matches!(net.remove(survivor), Err(SchemeError::Query(_))));
     }
 }

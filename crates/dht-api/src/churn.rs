@@ -1,0 +1,342 @@
+//! Named, seeded churn plans: the membership-dynamics axis of the
+//! evaluation, mirroring [`WorkloadGen`](crate::WorkloadGen)'s determinism
+//! contract.
+//!
+//! A [`ChurnPlan`] decides which membership events hit the network between
+//! query epochs. Every event is a pure function of `(plan, seed, epoch)`:
+//! the event *list* of an epoch is a fixed pattern of the plan's mix and
+//! rate, and the placement randomness (where a join lands, which peer
+//! leaves) comes from an RNG derived from `(plan name, seed, epoch)` alone.
+//! Nothing depends on thread count or on how queries were sharded, which is
+//! what lets [`ParallelDriver::run_epochs`](crate::ParallelDriver::run_epochs)
+//! keep its bitwise-determinism guarantee under churn.
+//!
+//! # The catalog
+//!
+//! | Name | Mix per epoch transition |
+//! |---|---|
+//! | `join-storm` | joins only — the network grows every epoch |
+//! | `leave-storm` | graceful leaves only — the network drains |
+//! | `flash-crowd` | two epochs of pure joins, then two of pure leaves, repeating |
+//! | `steady-churn` | alternating join/leave — size-stationary turnover |
+//! | `massacre` | 3 crashes to every 1 join, stabilizing only every other epoch |
+//!
+//! `massacre` is the recall-stress plan: crashes lose locally stored
+//! records, and with stabilization deferred the epoch series shows the
+//! degraded answers before repair catches up.
+
+use crate::dynamics::DynamicScheme;
+use crate::scheme::SchemeError;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Churn plan names accepted by [`ChurnPlan::named`], in catalog order.
+pub const CHURN_PLAN_NAMES: [&str; 5] =
+    ["join-storm", "leave-storm", "flash-crowd", "steady-churn", "massacre"];
+
+/// Salt separating churn RNG streams from workload and origin streams.
+const CHURN_SALT: u64 = 0x0c0d_0c0d_0c0d_0c0d;
+
+/// One membership event of a churn plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A new peer joins.
+    Join,
+    /// A random live peer departs gracefully.
+    Leave,
+    /// A random live peer fails abruptly.
+    Crash,
+}
+
+/// What actually happened when a plan's epoch was applied.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Joins performed.
+    pub joins: usize,
+    /// Graceful leaves performed.
+    pub leaves: usize,
+    /// Crashes performed.
+    pub crashes: usize,
+    /// Events skipped because the scheme refused them (e.g. a leave at the
+    /// minimum network size).
+    pub skipped: usize,
+    /// Whether the plan stabilized after this epoch's events.
+    pub stabilized: bool,
+    /// Repair operations the stabilization performed (0 if not stabilized).
+    pub stabilize_ops: usize,
+}
+
+impl ChurnStats {
+    /// Total membership events applied (joins + leaves + crashes).
+    pub fn events(&self) -> usize {
+        self.joins + self.leaves + self.crashes
+    }
+}
+
+/// The event mix a plan generates each epoch transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChurnMix {
+    /// Joins only.
+    Joins,
+    /// Graceful leaves only.
+    Leaves,
+    /// Joins for two epochs, leaves for the next two, repeating.
+    FlashCrowd,
+    /// Alternating join/leave within every epoch.
+    Steady,
+    /// Three crashes to every join.
+    Massacre,
+}
+
+/// A named, seeded membership-dynamics plan.
+///
+/// # Example
+///
+/// ```
+/// use dht_api::ChurnPlan;
+///
+/// let plan = ChurnPlan::named("steady-churn").unwrap().with_rate(6);
+/// // The event list is a pure function of the epoch:
+/// assert_eq!(plan.events(0), plan.events(0));
+/// assert_eq!(plan.events(0).len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnPlan {
+    name: String,
+    mix: ChurnMix,
+    rate: usize,
+    stabilize_period: u64,
+}
+
+impl ChurnPlan {
+    /// Builds a cataloged plan by name with its default rate (8 events per
+    /// epoch transition) and stabilization period.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::UnknownChurnPlan`] for names outside
+    /// [`CHURN_PLAN_NAMES`].
+    pub fn named(name: &str) -> Result<ChurnPlan, SchemeError> {
+        let (mix, stabilize_period) = match name {
+            "join-storm" => (ChurnMix::Joins, 1),
+            "leave-storm" => (ChurnMix::Leaves, 1),
+            "flash-crowd" => (ChurnMix::FlashCrowd, 1),
+            "steady-churn" => (ChurnMix::Steady, 1),
+            // The stress plan defers repair so degraded epochs are visible.
+            "massacre" => (ChurnMix::Massacre, 2),
+            other => return Err(SchemeError::UnknownChurnPlan { name: other.to_string() }),
+        };
+        Ok(ChurnPlan { name: name.to_string(), mix, rate: 8, stabilize_period })
+    }
+
+    /// Sets the number of membership events per epoch transition.
+    pub fn with_rate(mut self, rate: usize) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Sets how often the plan stabilizes: after every `period`-th epoch
+    /// transition (0 = never — callers stabilize manually).
+    pub fn with_stabilize_period(mut self, period: u64) -> Self {
+        self.stabilize_period = period;
+        self
+    }
+
+    /// The plan's catalog name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Membership events per epoch transition.
+    pub fn rate(&self) -> usize {
+        self.rate
+    }
+
+    /// Whether the plan stabilizes after the events of epoch transition
+    /// `epoch`.
+    pub fn should_stabilize(&self, epoch: u64) -> bool {
+        self.stabilize_period != 0 && (epoch + 1).is_multiple_of(self.stabilize_period)
+    }
+
+    /// The event list for epoch transition `epoch` — a pure function of
+    /// `(plan, epoch)`, independent of seed, threads, and history.
+    pub fn events(&self, epoch: u64) -> Vec<ChurnEvent> {
+        (0..self.rate)
+            .map(|i| match self.mix {
+                ChurnMix::Joins => ChurnEvent::Join,
+                ChurnMix::Leaves => ChurnEvent::Leave,
+                ChurnMix::FlashCrowd => {
+                    if epoch % 4 < 2 {
+                        ChurnEvent::Join
+                    } else {
+                        ChurnEvent::Leave
+                    }
+                }
+                ChurnMix::Steady => {
+                    if i % 2 == 0 {
+                        ChurnEvent::Join
+                    } else {
+                        ChurnEvent::Leave
+                    }
+                }
+                ChurnMix::Massacre => {
+                    if i % 4 == 3 {
+                        ChurnEvent::Join
+                    } else {
+                        ChurnEvent::Crash
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The placement/victim RNG for epoch transition `epoch` under `seed` —
+    /// derived from `(plan name, seed, epoch)` only.
+    pub fn epoch_rng(&self, seed: u64, epoch: u64) -> SmallRng {
+        simnet::rng_from_seed(
+            crate::fnv1a(self.name.as_bytes())
+                ^ seed
+                ^ CHURN_SALT
+                ^ epoch.wrapping_mul(0xa076_1d64_78bd_642f),
+        )
+    }
+
+    /// Applies epoch transition `epoch` to a dynamic scheme: every event of
+    /// [`events`](Self::events), victims drawn by index from
+    /// [`DynamicScheme::live_peers`], then a stabilization pass when
+    /// [`should_stabilize`](Self::should_stabilize) says so.
+    ///
+    /// Events the scheme refuses (a leave at the minimum network size, a
+    /// join at the resolution floor) are counted as `skipped` rather than
+    /// failing the run — a churn plan models an environment, and the
+    /// environment does not stop because one departure was impossible.
+    ///
+    /// # Errors
+    ///
+    /// None currently; the `Result` reserves room for schemes whose churn
+    /// primitives can fail unrecoverably.
+    pub fn apply(
+        &self,
+        scheme: &mut dyn DynamicScheme,
+        seed: u64,
+        epoch: u64,
+    ) -> Result<ChurnStats, SchemeError> {
+        let mut rng = self.epoch_rng(seed, epoch);
+        let mut stats = ChurnStats::default();
+        for event in self.events(epoch) {
+            match event {
+                ChurnEvent::Join => match scheme.join(&mut rng) {
+                    Ok(_) => stats.joins += 1,
+                    Err(_) => stats.skipped += 1,
+                },
+                ChurnEvent::Leave | ChurnEvent::Crash => {
+                    let live = scheme.live_peers();
+                    if live.is_empty() {
+                        stats.skipped += 1;
+                        continue;
+                    }
+                    let victim = live[rng.gen_range(0..live.len())];
+                    let outcome = match event {
+                        ChurnEvent::Leave => scheme.leave(victim),
+                        _ => scheme.crash(victim),
+                    };
+                    match (outcome, event) {
+                        (Ok(()), ChurnEvent::Leave) => stats.leaves += 1,
+                        (Ok(()), _) => stats.crashes += 1,
+                        (Err(_), _) => stats.skipped += 1,
+                    }
+                }
+            }
+        }
+        if self.should_stabilize(epoch) {
+            stats.stabilized = true;
+            stats.stabilize_ops = scheme.stabilize();
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_every_name_and_rejects_strangers() {
+        for name in CHURN_PLAN_NAMES {
+            let plan = ChurnPlan::named(name).unwrap();
+            assert_eq!(plan.name(), name);
+            assert_eq!(plan.events(0).len(), plan.rate());
+        }
+        assert!(matches!(ChurnPlan::named("bogus"), Err(SchemeError::UnknownChurnPlan { .. })));
+    }
+
+    #[test]
+    fn event_lists_are_epoch_addressed_and_match_their_mix() {
+        let joins = ChurnPlan::named("join-storm").unwrap();
+        assert!(joins.events(3).iter().all(|&e| e == ChurnEvent::Join));
+        let leaves = ChurnPlan::named("leave-storm").unwrap();
+        assert!(leaves.events(3).iter().all(|&e| e == ChurnEvent::Leave));
+        let flash = ChurnPlan::named("flash-crowd").unwrap();
+        assert!(flash.events(0).iter().all(|&e| e == ChurnEvent::Join));
+        assert!(flash.events(2).iter().all(|&e| e == ChurnEvent::Leave));
+        let steady = ChurnPlan::named("steady-churn").unwrap().with_rate(10);
+        let joins_n = steady.events(7).iter().filter(|&&e| e == ChurnEvent::Join).count();
+        assert_eq!(joins_n, 5, "steady churn is size-stationary");
+        let massacre = ChurnPlan::named("massacre").unwrap().with_rate(8);
+        let crashes = massacre.events(0).iter().filter(|&&e| e == ChurnEvent::Crash).count();
+        assert_eq!(crashes, 6, "massacre is crash-heavy");
+        // Pure in the epoch: re-asking reproduces the list.
+        assert_eq!(flash.events(5), flash.events(5));
+    }
+
+    #[test]
+    fn stabilize_period_gates_repair() {
+        let every = ChurnPlan::named("steady-churn").unwrap();
+        assert!(every.should_stabilize(0) && every.should_stabilize(1));
+        let deferred = ChurnPlan::named("massacre").unwrap();
+        assert!(!deferred.should_stabilize(0));
+        assert!(deferred.should_stabilize(1));
+        let manual = every.clone().with_stabilize_period(0);
+        assert!(!manual.should_stabilize(0) && !manual.should_stabilize(99));
+    }
+
+    #[test]
+    fn epoch_rngs_decorrelate_plans_seeds_and_epochs() {
+        let a = ChurnPlan::named("steady-churn").unwrap();
+        let b = ChurnPlan::named("massacre").unwrap();
+        let draw = |mut rng: SmallRng| -> u64 { rng.gen() };
+        assert_ne!(draw(a.epoch_rng(1, 0)), draw(a.epoch_rng(2, 0)));
+        assert_ne!(draw(a.epoch_rng(1, 0)), draw(a.epoch_rng(1, 1)));
+        assert_ne!(draw(a.epoch_rng(1, 0)), draw(b.epoch_rng(1, 0)));
+        // And reproduce exactly.
+        assert_eq!(draw(a.epoch_rng(1, 0)), draw(a.epoch_rng(1, 0)));
+    }
+
+    #[test]
+    fn apply_tolerates_refusals() {
+        /// A scheme at its minimum size: every leave/crash is refused.
+        struct Stuck;
+        impl DynamicScheme for Stuck {
+            fn join(&mut self, _: &mut SmallRng) -> Result<usize, SchemeError> {
+                Ok(0)
+            }
+            fn leave(&mut self, _: usize) -> Result<(), SchemeError> {
+                Err(SchemeError::Query("too small".into()))
+            }
+            fn crash(&mut self, _: usize) -> Result<(), SchemeError> {
+                Err(SchemeError::Query("too small".into()))
+            }
+            fn stabilize(&mut self) -> usize {
+                0
+            }
+            fn live_peers(&self) -> Vec<usize> {
+                vec![0, 1, 2]
+            }
+        }
+        let plan = ChurnPlan::named("leave-storm").unwrap().with_rate(5);
+        let stats = plan.apply(&mut Stuck, 0, 0).unwrap();
+        assert_eq!(stats.leaves, 0);
+        assert_eq!(stats.skipped, 5);
+        assert!(stats.stabilized);
+    }
+}

@@ -37,10 +37,37 @@ pub struct DriverReport {
     pub mesg_ratio: Summary,
     /// `IncreRatio` per query.
     pub incre_ratio: Summary,
+    /// `peer_recall` per query (1.0 throughout for fault-free runs).
+    pub recall: Summary,
     /// Fraction of queries answered exactly (1.0 for fault-free runs of
     /// exact schemes).
     pub exact_rate: f64,
     /// Total results returned across the workload.
+    pub results_returned: u64,
+    /// Per-epoch series when the run was epoch-driven
+    /// ([`ParallelDriver::run_epochs`](crate::ParallelDriver::run_epochs));
+    /// empty for plain batch runs.
+    pub epochs: Vec<EpochSummary>,
+}
+
+/// One epoch of an epoch-driven run: the churn applied just before it and
+/// the measurement series of its queries.
+#[derive(Debug, Clone)]
+pub struct EpochSummary {
+    /// Epoch index (0-based; epoch 0 queries the as-built network).
+    pub epoch: usize,
+    /// Live peers while this epoch's queries ran.
+    pub peers: usize,
+    /// Membership events applied between the previous epoch and this one
+    /// (all zeros for epoch 0).
+    pub churn: crate::ChurnStats,
+    /// Mean query delay (hops) within the epoch.
+    pub delay_mean: f64,
+    /// Fraction of the epoch's queries answered exactly.
+    pub exact_rate: f64,
+    /// Mean `peer_recall` within the epoch.
+    pub recall_mean: f64,
+    /// Results returned by the epoch's queries.
     pub results_returned: u64,
 }
 
@@ -48,13 +75,14 @@ pub struct DriverReport {
 /// and, shard by shard, by [`ParallelDriver`](crate::ParallelDriver), whose
 /// worker threads each fill one `Accumulator` and [`merge`](Self::merge)
 /// them back in shard order.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct Accumulator {
     delay: Samples,
     messages: Samples,
     dest_peers: Samples,
     mesg_ratio: Samples,
     incre_ratio: Samples,
+    recall: Samples,
     exact: usize,
     results: u64,
 }
@@ -66,6 +94,7 @@ impl Accumulator {
         self.dest_peers.push(out.dest_peers as f64);
         self.mesg_ratio.push(out.mesg_ratio());
         self.incre_ratio.push(out.incre_ratio(n_peers));
+        self.recall.push(out.peer_recall());
         if out.exact {
             self.exact += 1;
         }
@@ -80,6 +109,7 @@ impl Accumulator {
         self.dest_peers.merge(other.dest_peers);
         self.mesg_ratio.merge(other.mesg_ratio);
         self.incre_ratio.merge(other.incre_ratio);
+        self.recall.merge(other.recall);
         self.exact += other.exact;
         self.results += other.results;
     }
@@ -93,8 +123,10 @@ impl Accumulator {
             dest_peers: self.dest_peers.summarize(),
             mesg_ratio: self.mesg_ratio.summarize(),
             incre_ratio: self.incre_ratio.summarize(),
+            recall: self.recall.summarize(),
             exact_rate: self.exact as f64 / queries.max(1) as f64,
             results_returned: self.results,
+            epochs: Vec::new(),
         }
     }
 }

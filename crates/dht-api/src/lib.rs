@@ -25,6 +25,17 @@
 //!   threads over one shared `&dyn` scheme and merges per-thread
 //!   [`Summary`](simnet::Summary) statistics deterministically — the same
 //!   report for any thread count.
+//! * [`DynamicScheme`] / [`DynamicDht`] — the dynamics layer: churn
+//!   primitives (`join`/`leave`/`crash`/`stabilize`) a scheme exposes
+//!   through [`RangeScheme::as_dynamic`] when its substrate supports
+//!   membership change, with the stabilize guarantee that queries are
+//!   exact again afterwards.
+//! * [`ChurnPlan`] — named, seeded membership-dynamics plans (join storms,
+//!   leave storms, flash crowds, steady churn, crash massacres) whose
+//!   events are pure functions of `(plan, seed, epoch)`; driven by
+//!   [`ParallelDriver::run_epochs`], which interleaves sharded query
+//!   epochs with serial membership events and reports a per-epoch
+//!   recall/exactness/delay series.
 //!
 //! # Metric vocabulary (§4.3.3 of the paper)
 //!
@@ -49,13 +60,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod driver;
+mod dynamics;
 mod parallel;
 mod registry;
 mod scheme;
 mod workload;
 
-pub use driver::{DriverReport, QueryDriver};
+pub use churn::{ChurnEvent, ChurnPlan, ChurnStats, CHURN_PLAN_NAMES};
+pub use driver::{DriverReport, EpochSummary, QueryDriver};
+pub use dynamics::{DynamicDht, DynamicScheme};
 pub use parallel::{default_threads, ParallelDriver};
 pub use registry::{BuildParams, MultiBuildParams, MultiBuilder, SchemeRegistry, SingleBuilder};
 pub use scheme::{MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError};

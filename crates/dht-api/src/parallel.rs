@@ -16,7 +16,8 @@
 //! queries take `&self`, and `Send + Sync` are supertraits of
 //! [`RangeScheme`] — so no per-thread rebuilds are paid.
 
-use crate::driver::Accumulator;
+use crate::churn::{ChurnPlan, ChurnStats};
+use crate::driver::{Accumulator, EpochSummary};
 use crate::scheme::{MultiRangeScheme, RangeScheme, SchemeError};
 use crate::workload::WorkloadGen;
 use crate::DriverReport;
@@ -206,6 +207,77 @@ impl ParallelDriver {
             Ok((out, n_peers))
         })?;
         Ok(acc.report(scheme.scheme_name(), self.queries))
+    }
+
+    /// Runs an epoch-driven batch under a churn plan: `epochs` epochs of
+    /// `self.queries` queries each, with the plan's membership events (and
+    /// its stabilization policy) applied between epochs.
+    ///
+    /// Within an epoch the batch shards across threads against
+    /// `&dyn RangeScheme` exactly like [`run`](Self::run) — query `q` of
+    /// epoch `e` is addressed by the *global* index `e·queries + q`, so
+    /// ranges, origins, and scheme seeds are all pure functions of that
+    /// index and the report stays **bitwise identical for any thread
+    /// count**. Membership events apply between epochs under `&mut`,
+    /// single-threaded, from an RNG derived from `(plan, seed, epoch)`
+    /// alone. The merged [`DriverReport`] covers all epochs and carries the
+    /// per-epoch recall/exactness/delay series in
+    /// [`DriverReport::epochs`].
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Unsupported`] when the scheme's
+    /// [`as_dynamic`](RangeScheme::as_dynamic) hook returns `None`;
+    /// otherwise the lowest-indexed query error of the failing epoch.
+    pub fn run_epochs(
+        &self,
+        scheme: &mut dyn RangeScheme,
+        workload: &WorkloadGen,
+        plan: &ChurnPlan,
+        epochs: usize,
+    ) -> Result<DriverReport, SchemeError> {
+        if scheme.as_dynamic().is_none() {
+            return Err(SchemeError::Unsupported {
+                scheme: scheme.scheme_name().to_string(),
+                feature: "dynamics",
+            });
+        }
+        let name = scheme.scheme_name().to_string();
+        let mut total = Accumulator::default();
+        let mut series = Vec::with_capacity(epochs);
+        let mut pending_churn = ChurnStats::default();
+        for epoch in 0..epochs {
+            let n_peers = scheme.node_count();
+            let base = epoch * self.queries;
+            let acc = {
+                let shared: &dyn RangeScheme = &*scheme;
+                self.run_sharded(|q| {
+                    let g = (base + q) as u64;
+                    let (lo, hi) = workload.range(self.seed, g);
+                    let origin = shared.random_origin(&mut self.origin_rng(base + q));
+                    let out = shared.range_query(origin, lo, hi, self.seed.wrapping_add(g))?;
+                    Ok((out, n_peers))
+                })?
+            };
+            let epoch_report = acc.clone().report(&name, self.queries);
+            series.push(EpochSummary {
+                epoch,
+                peers: n_peers,
+                churn: std::mem::take(&mut pending_churn),
+                delay_mean: epoch_report.delay.mean,
+                exact_rate: epoch_report.exact_rate,
+                recall_mean: epoch_report.recall.mean,
+                results_returned: epoch_report.results_returned,
+            });
+            total.merge(acc);
+            if epoch + 1 < epochs {
+                let dynamic = scheme.as_dynamic().expect("checked above");
+                pending_churn = plan.apply(dynamic, self.seed, epoch as u64)?;
+            }
+        }
+        let mut report = total.report(&name, epochs * self.queries);
+        report.epochs = series;
+        Ok(report)
     }
 
     /// Origin-selection RNG for query `q`: index-derived, like the

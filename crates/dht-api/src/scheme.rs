@@ -101,6 +101,19 @@ pub enum SchemeError {
         /// The name looked up.
         name: String,
     },
+    /// No named plan in the [`ChurnPlan`](crate::ChurnPlan) catalog.
+    UnknownChurnPlan {
+        /// The name looked up.
+        name: String,
+    },
+    /// The scheme does not support the requested capability (e.g. dynamics
+    /// on a scheme whose substrate has no churn primitives).
+    Unsupported {
+        /// Registry name of the scheme.
+        scheme: String,
+        /// The capability asked for (`"dynamics"`, `"fault injection"`).
+        feature: &'static str,
+    },
     /// Scheme construction failed (wrapped native error message).
     Build(String),
     /// A query failed for a scheme-specific reason (wrapped message).
@@ -120,6 +133,12 @@ impl std::fmt::Display for SchemeError {
             }
             SchemeError::UnknownWorkload { name } => {
                 write!(f, "no workload named {name:?} in the catalog")
+            }
+            SchemeError::UnknownChurnPlan { name } => {
+                write!(f, "no churn plan named {name:?} in the catalog")
+            }
+            SchemeError::Unsupported { scheme, feature } => {
+                write!(f, "scheme {scheme:?} does not support {feature}")
             }
             SchemeError::Build(msg) => write!(f, "scheme build failed: {msg}"),
             SchemeError::Query(msg) => write!(f, "query failed: {msg}"),
@@ -231,6 +250,51 @@ pub trait RangeScheme: Send + Sync {
         hi: f64,
         seed: u64,
     ) -> Result<RangeOutcome, SchemeError>;
+
+    /// Whether the scheme models per-query fault injection — i.e. whether
+    /// [`range_query_with_faults`](Self::range_query_with_faults) is a
+    /// real implementation rather than the refusing default. Overridden
+    /// alongside it, so drivers and experiments discover support at
+    /// runtime instead of hard-coding scheme lists.
+    fn supports_fault_injection(&self) -> bool {
+        false
+    }
+
+    /// Executes a range query under a fault plan (message drops, crashed
+    /// responders). Schemes whose native engine models per-query faults
+    /// (PIRA, DCF-CAN) override this; the default answers fault-free plans
+    /// via [`range_query`](Self::range_query) and refuses real fault
+    /// injection honestly.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Unsupported`] from the default implementation when
+    /// the plan actually injects faults; otherwise as
+    /// [`range_query`](Self::range_query).
+    fn range_query_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &simnet::FaultPlan,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if faults.drop_prob() == 0.0 && faults.crashed_count() == 0 {
+            return self.range_query(origin, lo, hi, seed);
+        }
+        Err(SchemeError::Unsupported {
+            scheme: self.scheme_name().to_string(),
+            feature: "fault injection",
+        })
+    }
+
+    /// The scheme's dynamics capability: `Some` when the substrate has
+    /// churn primitives (join/leave/crash/stabilize), `None` otherwise.
+    /// Drivers and experiments discover support at runtime through this
+    /// hook — no hard-coded scheme lists.
+    fn as_dynamic(&mut self) -> Option<&mut dyn crate::DynamicScheme> {
+        None
+    }
 }
 
 /// A multi-attribute range-query scheme: publish points, answer

@@ -1,4 +1,10 @@
-//! The CAN torus: zones, joins, adjacency, greedy routing, storage.
+//! The CAN torus: zones, joins, departures, adjacency, greedy routing,
+//! storage.
+//!
+//! Zone ids are **stable**: a zone keeps its id for its lifetime, departures
+//! free the slot, and later joins may recycle it — the same slot discipline
+//! `fissione` uses, so churn plans and drivers can hold `NodeId`s across
+//! membership events on either substrate.
 
 use crate::CanError;
 use rand::rngs::SmallRng;
@@ -115,13 +121,36 @@ impl Default for CanConfig {
     }
 }
 
+/// One node of the split tree: the BSP history of midpoint splits. Leaves
+/// carry live zones; internal nodes remember the rectangle a future merge
+/// restores. This is what makes departures always possible while keeping
+/// every peer's region a rectangle: a deepest internal node's children are
+/// both leaves, so *some* sibling pair can always merge back into its
+/// parent (FISSIONE's donor discipline, transplanted to rectangles).
+#[derive(Debug, Clone)]
+struct SplitNode {
+    rect: Rect,
+    depth: usize,
+    parent: Option<usize>,
+    /// Child tree-node indices after a split; `None` for leaves.
+    kids: Option<(usize, usize)>,
+    /// The live zone occupying this leaf; `None` for internal nodes.
+    zone: Option<NodeId>,
+}
+
 /// A 2-d CAN whose zones tile the unit torus, with the attribute interval
 /// mapped in by a Hilbert curve (the Andrzejak–Xu substrate).
 #[derive(Debug, Clone)]
 pub struct CanNet {
     cfg: CanConfig,
-    zones: Vec<Zone>,
+    /// Slot table: `None` marks a departed zone whose slot may be recycled.
+    zones: Vec<Option<Zone>>,
     neighbors: Vec<Vec<NodeId>>,
+    live: usize,
+    /// The split tree; `node_of[slot]` is the leaf a live zone occupies.
+    tree: Vec<SplitNode>,
+    free_nodes: Vec<usize>,
+    node_of: Vec<usize>,
 }
 
 impl CanNet {
@@ -129,8 +158,18 @@ impl CanNet {
     pub fn new(cfg: CanConfig) -> Self {
         CanNet {
             cfg,
-            zones: vec![Zone { rect: Rect::UNIT, records: Vec::new() }],
+            zones: vec![Some(Zone { rect: Rect::UNIT, records: Vec::new() })],
             neighbors: vec![Vec::new()],
+            live: 1,
+            tree: vec![SplitNode {
+                rect: Rect::UNIT,
+                depth: 0,
+                parent: None,
+                kids: None,
+                zone: Some(0),
+            }],
+            free_nodes: Vec::new(),
+            node_of: vec![0],
         }
     }
 
@@ -155,9 +194,9 @@ impl CanNet {
         &self.cfg
     }
 
-    /// Number of zones (= peers).
+    /// Number of live zones (= peers).
     pub fn len(&self) -> usize {
-        self.zones.len()
+        self.live
     }
 
     /// Always false (a CAN has at least one zone).
@@ -165,34 +204,52 @@ impl CanNet {
         false
     }
 
+    /// Whether `id` refers to a live zone.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.zones.get(id).is_some_and(Option::is_some)
+    }
+
+    /// Live zone ids in ascending slot order (a deterministic order churn
+    /// plans rely on for victim selection).
+    pub fn live_zones(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.zones.iter().enumerate().filter_map(|(i, z)| z.as_ref().map(|_| i))
+    }
+
     /// The zone behind an id.
     ///
     /// # Errors
     ///
-    /// Returns [`CanError::NoSuchZone`] for unknown ids.
+    /// Returns [`CanError::NoSuchZone`] for dead or unknown ids.
     pub fn zone(&self, id: NodeId) -> Result<&Zone, CanError> {
-        self.zones.get(id).ok_or(CanError::NoSuchZone { zone: id })
+        self.zones.get(id).and_then(Option::as_ref).ok_or(CanError::NoSuchZone { zone: id })
     }
 
-    /// Neighbor zones (abutting on the torus).
+    /// Neighbor zones (abutting on the torus); empty for dead ids.
     ///
     /// # Panics
     ///
-    /// Panics for unknown ids.
+    /// Panics for ids that never existed.
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
         &self.neighbors[id]
     }
 
-    /// A uniformly random zone id.
+    /// A uniformly random live zone id.
     pub fn random_zone(&self, rng: &mut SmallRng) -> NodeId {
-        rng.gen_range(0..self.zones.len())
+        loop {
+            let i = rng.gen_range(0..self.zones.len());
+            if self.zones[i].is_some() {
+                return i;
+            }
+        }
     }
 
     /// The zone owning a point.
     pub fn owner_of_point(&self, x: f64, y: f64) -> NodeId {
         // Zones tile the square; linear scan is fine for the simulator's
         // bootstrap (routing, not scanning, is the measured path).
-        self.zones.iter().position(|z| z.rect.contains(x, y)).expect("zones tile the unit square")
+        self.live_zones()
+            .find(|&z| self.zones[z].as_ref().expect("live").rect.contains(x, y))
+            .expect("zones tile the unit square")
     }
 
     /// Normalises an attribute value to curve parameter `t ∈ [0, 1]`.
@@ -217,8 +274,12 @@ impl CanNet {
 
     /// Splits `owner` at the midpoint of its longer side; the new zone is
     /// the half containing `(px, py)` and takes the records falling in it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is not live.
     pub fn split_zone(&mut self, owner: NodeId, px: f64, py: f64) -> NodeId {
-        let rect = self.zones[owner].rect;
+        let rect = self.zones[owner].as_ref().expect("live owner").rect;
         let vertical = (rect.x1 - rect.x0) >= (rect.y1 - rect.y0);
         let (keep, give) = if vertical {
             let mid = (rect.x0 + rect.x1) / 2.0;
@@ -247,16 +308,38 @@ impl CanNet {
             let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
             crate::hilbert::point_of_cell(order, crate::hilbert::cell_of(order, t))
         };
-        let old_records = std::mem::take(&mut self.zones[owner].records);
+        let owner_zone = self.zones[owner].as_mut().expect("live owner");
+        let old_records = std::mem::take(&mut owner_zone.records);
         let (kept, given): (Vec<_>, Vec<_>) = old_records.into_iter().partition(|&(v, _)| {
             let (x, y) = point(v);
             keep.contains(x, y)
         });
-        self.zones[owner].rect = keep;
-        self.zones[owner].records = kept;
-        let newcomer = self.zones.len();
-        self.zones.push(Zone { rect: give, records: given });
-        self.neighbors.push(Vec::new());
+        owner_zone.rect = keep;
+        owner_zone.records = kept;
+        let newcomer = self.alloc_slot(Zone { rect: give, records: given });
+
+        // Record the split in the tree: the owner's leaf becomes internal
+        // with one child leaf per half.
+        let parent = self.node_of[owner];
+        let depth = self.tree[parent].depth + 1;
+        let keep_node = self.alloc_node(SplitNode {
+            rect: keep,
+            depth,
+            parent: Some(parent),
+            kids: None,
+            zone: Some(owner),
+        });
+        let give_node = self.alloc_node(SplitNode {
+            rect: give,
+            depth,
+            parent: Some(parent),
+            kids: None,
+            zone: Some(newcomer),
+        });
+        self.tree[parent].kids = Some((keep_node, give_node));
+        self.tree[parent].zone = None;
+        self.node_of[owner] = keep_node;
+        self.node_of[newcomer] = give_node;
 
         // Recompute adjacency: candidates are the old neighbor set plus the
         // sibling pair itself.
@@ -279,11 +362,166 @@ impl CanNet {
         newcomer
     }
 
-    /// Whether two zones abut on the torus (share an edge of positive
+    /// Graceful departure: the zone's region is reabsorbed into the tiling
+    /// and its records move with it.
+    ///
+    /// If the leaver's split-tree sibling is itself a leaf, that sibling
+    /// absorbs the leaver and takes over the parent rectangle. Otherwise
+    /// the deepest sibling-leaf pair of the tree merges back into *its*
+    /// parent — a deepest internal node's children are always both leaves,
+    /// so this never fails — and the freed peer adopts the leaver's zone
+    /// and records: FISSIONE's donor trick, transplanted to rectangles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::NoSuchZone`] for dead ids and
+    /// [`CanError::TooSmall`] when only one zone remains.
+    pub fn leave(&mut self, id: NodeId) -> Result<(), CanError> {
+        self.remove_zone(id, true).map(|_| ())
+    }
+
+    /// Abrupt failure: like [`leave`](Self::leave) but the zone's records
+    /// are lost (the takeover reclaims only the region). Returns the number
+    /// of records lost.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`leave`](Self::leave).
+    pub fn crash(&mut self, id: NodeId) -> Result<usize, CanError> {
+        self.remove_zone(id, false)
+    }
+
+    fn remove_zone(&mut self, id: NodeId, keep_records: bool) -> Result<usize, CanError> {
+        self.zone(id)?;
+        if self.live <= 1 {
+            return Err(CanError::TooSmall);
+        }
+        let dropped =
+            if keep_records { 0 } else { self.zones[id].as_ref().expect("live").records.len() };
+
+        // Fast path: the leaver's tree sibling is a leaf and can absorb the
+        // parent rectangle directly.
+        if let Some(sibling) = self.leaf_sibling(id) {
+            let absorbed = self.zones[id].take().expect("live");
+            let parent = self.tree[self.node_of[id]].parent.expect("siblings have parents");
+            self.merge_pair_into(parent, sibling);
+            let sib = self.zones[sibling].as_mut().expect("live sibling");
+            if keep_records {
+                sib.records.extend(absorbed.records);
+            }
+            self.live -= 1;
+            let affected = self.collect_affected(&[sibling], &[id, sibling]);
+            self.refresh_adjacency(&affected);
+            return Ok(dropped);
+        }
+
+        // Donor path: merge the deepest sibling-leaf pair, freeing a peer
+        // that adopts the leaver's zone (and records on a graceful leave).
+        let (parent, absorber, donor) =
+            self.deepest_leaf_pair(id).expect("live > 1 implies a mergeable sibling pair");
+        let donor_zone = self.zones[donor].take().expect("live donor");
+        self.merge_pair_into(parent, absorber);
+        self.zones[absorber].as_mut().expect("live absorber").records.extend(donor_zone.records);
+        let leaver = self.zones[id].take().expect("live leaver");
+        self.zones[donor] = Some(Zone {
+            rect: leaver.rect,
+            records: if keep_records { leaver.records } else { Vec::new() },
+        });
+        self.node_of[donor] = self.node_of[id];
+        self.tree[self.node_of[donor]].zone = Some(donor);
+        self.live -= 1;
+        let affected = self.collect_affected(&[absorber, donor], &[id, donor, absorber]);
+        self.refresh_adjacency(&affected);
+        Ok(dropped)
+    }
+
+    /// The live zone occupying the leaver's tree sibling, if that sibling
+    /// is a leaf.
+    fn leaf_sibling(&self, id: NodeId) -> Option<NodeId> {
+        let node = self.node_of[id];
+        let parent = self.tree[node].parent?;
+        let (a, b) = self.tree[parent].kids.expect("parents are internal");
+        let sibling = if a == node { b } else { a };
+        self.tree[sibling].zone
+    }
+
+    /// The deepest internal node whose children are both leaves occupied by
+    /// zones other than `exclude`: `(parent node, absorbing zone, donor
+    /// zone)`. Deterministic: maximum depth, then lowest parent index; the
+    /// first child absorbs, the second donates its peer.
+    fn deepest_leaf_pair(&self, exclude: NodeId) -> Option<(usize, NodeId, NodeId)> {
+        let mut best: Option<(usize, usize)> = None; // (depth, parent)
+        for z in self.live_zones() {
+            if z == exclude {
+                continue;
+            }
+            let node = self.node_of[z];
+            let Some(parent) = self.tree[node].parent else { continue };
+            let (a, b) = self.tree[parent].kids.expect("parents are internal");
+            let (Some(za), Some(zb)) = (self.tree[a].zone, self.tree[b].zone) else { continue };
+            if za == exclude || zb == exclude {
+                continue;
+            }
+            let depth = self.tree[node].depth;
+            if best.is_none_or(|(d, p)| depth > d || (depth == d && parent < p)) {
+                best = Some((depth, parent));
+            }
+        }
+        let (_, parent) = best?;
+        let (a, b) = self.tree[parent].kids.expect("internal");
+        Some((parent, self.tree[a].zone.expect("leaf"), self.tree[b].zone.expect("leaf")))
+    }
+
+    /// Collapses the sibling pair under `parent` into `parent` itself: the
+    /// absorbing zone takes over the parent rectangle, both child nodes are
+    /// freed. The caller moves records and frees the other zone slot.
+    fn merge_pair_into(&mut self, parent: usize, absorber: NodeId) {
+        let (a, b) = self.tree[parent].kids.take().expect("parent is internal");
+        self.tree[parent].zone = Some(absorber);
+        self.free_nodes.push(a);
+        self.free_nodes.push(b);
+        self.node_of[absorber] = parent;
+        self.zones[absorber].as_mut().expect("live absorber").rect = self.tree[parent].rect;
+    }
+
+    /// The zones whose adjacency lists a removal can change: the reshaped
+    /// zones themselves plus everything previously adjacent to any involved
+    /// slot. (A reshaped zone's new rectangle is a union of old ones, so its
+    /// new neighbors all abutted one of the old rectangles.)
+    fn collect_affected(&self, reshaped: &[NodeId], involved: &[NodeId]) -> Vec<NodeId> {
+        let mut affected: Vec<NodeId> = reshaped.to_vec();
+        for &z in involved {
+            affected.extend(self.neighbors[z].iter().copied());
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        affected.retain(|&z| self.zones[z].is_some());
+        affected
+    }
+
+    /// Recomputes the adjacency lists of `affected` (and clears dead
+    /// slots') by scanning the live tiling.
+    fn refresh_adjacency(&mut self, affected: &[NodeId]) {
+        for (i, slot) in self.zones.iter().enumerate() {
+            if slot.is_none() {
+                self.neighbors[i].clear();
+            }
+        }
+        let live: Vec<NodeId> = self.live_zones().collect();
+        for &a in affected {
+            let nbrs: Vec<NodeId> =
+                live.iter().copied().filter(|&b| b != a && self.adjacent(a, b)).collect();
+            self.neighbors[a] = nbrs;
+        }
+        // Symmetry: everything `affected` now lists was itself affected (its
+        // old list referenced an involved slot), so both ends were rebuilt.
+    }
+
+    /// Whether two live zones abut on the torus (share an edge of positive
     /// length).
     pub fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
-        let ra = self.zones[a].rect;
-        let rb = self.zones[b].rect;
+        let ra = self.zones[a].as_ref().expect("live").rect;
+        let rb = self.zones[b].as_ref().expect("live").rect;
         let x_abut = abuts(ra.x0, ra.x1, rb.x0, rb.x1) && overlaps(ra.y0, ra.y1, rb.y0, rb.y1);
         let y_abut = abuts(ra.y0, ra.y1, rb.y0, rb.y1) && overlaps(ra.x0, ra.x1, rb.x0, rb.x1);
         x_abut || y_abut
@@ -294,7 +532,7 @@ impl CanNet {
     pub fn publish(&mut self, value: f64, handle: u64) -> NodeId {
         let (x, y) = self.point_of_value(value);
         let owner = self.owner_of_point(x, y);
-        self.zones[owner].records.push((value, handle));
+        self.zones[owner].as_mut().expect("live owner").records.push((value, handle));
         owner
     }
 
@@ -309,12 +547,12 @@ impl CanNet {
     pub fn route_to_point(&self, from: NodeId, x: f64, y: f64) -> Result<Vec<NodeId>, CanError> {
         let mut path = vec![from];
         let mut cur = from;
-        let mut cur_d = self.zones[cur].rect.torus_dist2(x, y);
+        let mut cur_d = self.zone(cur)?.rect.torus_dist2(x, y);
         while cur_d > 0.0 {
             let next = self.neighbors[cur]
                 .iter()
                 .copied()
-                .map(|n| (self.zones[n].rect.torus_dist2(x, y), n))
+                .map(|n| (self.zones[n].as_ref().expect("live").rect.torus_dist2(x, y), n))
                 .min_by(|a, b| a.partial_cmp(b).expect("distances are finite"))
                 .filter(|&(d, _)| d < cur_d);
             match next {
@@ -329,27 +567,52 @@ impl CanNet {
         Ok(path)
     }
 
-    /// Verifies the tiling invariants: zones cover the unit square exactly
-    /// (areas sum to 1 and are pairwise disjoint) and the adjacency lists
-    /// are symmetric and correct.
+    /// Verifies the tiling invariants: live zones cover the unit square
+    /// exactly (areas sum to 1 and are pairwise disjoint), the adjacency
+    /// lists are symmetric and correct, and dead slots carry no state.
     ///
     /// # Errors
     ///
     /// Returns a descriptive string on violation (test helper).
     pub fn check_invariants(&self) -> Result<(), String> {
-        let total: f64 = self.zones.iter().map(|z| z.rect.area()).sum();
+        let live: Vec<NodeId> = self.live_zones().collect();
+        if live.len() != self.live {
+            return Err(format!("live count {} vs {} live slots", self.live, live.len()));
+        }
+        let total: f64 = live.iter().map(|&z| self.zones[z].as_ref().unwrap().rect.area()).sum();
         if (total - 1.0).abs() > 1e-12 {
             return Err(format!("zone areas sum to {total}"));
         }
-        for i in 0..self.zones.len() {
-            for j in (i + 1)..self.zones.len() {
-                if self.zones[i].rect.intersects(&self.zones[j].rect) {
-                    return Err(format!("zones {i} and {j} overlap"));
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[(i + 1)..] {
+                let ra = self.zones[a].as_ref().unwrap().rect;
+                let rb = self.zones[b].as_ref().unwrap().rect;
+                if ra.intersects(&rb) {
+                    return Err(format!("zones {a} and {b} overlap"));
                 }
             }
         }
-        for a in 0..self.zones.len() {
+        for (i, slot) in self.zones.iter().enumerate() {
+            if slot.is_none() && !self.neighbors[i].is_empty() {
+                return Err(format!("dead slot {i} still lists neighbors"));
+            }
+        }
+        // Tree consistency: every live zone occupies a leaf carrying its id
+        // and rectangle.
+        for &z in &live {
+            let node = self.node_of[z];
+            if self.tree[node].zone != Some(z) {
+                return Err(format!("zone {z} not at its tree leaf"));
+            }
+            if self.tree[node].rect != self.zones[z].as_ref().unwrap().rect {
+                return Err(format!("zone {z} rect disagrees with its tree leaf"));
+            }
+        }
+        for &a in &live {
             for &b in &self.neighbors[a] {
+                if self.zones[b].is_none() {
+                    return Err(format!("{a} lists dead neighbor {b}"));
+                }
                 if !self.adjacent(a, b) {
                     return Err(format!("{a} lists non-adjacent {b}"));
                 }
@@ -358,13 +621,41 @@ impl CanNet {
                 }
             }
             // Completeness: every adjacent zone is listed.
-            for b in 0..self.zones.len() {
+            for &b in &live {
                 if b != a && self.adjacent(a, b) && !self.neighbors[a].contains(&b) {
                     return Err(format!("{a} misses adjacent {b}"));
                 }
             }
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+
+    fn alloc_slot(&mut self, zone: Zone) -> NodeId {
+        if let Some(i) = self.zones.iter().position(Option::is_none) {
+            self.zones[i] = Some(zone);
+            self.neighbors[i].clear();
+            self.live += 1;
+            i
+        } else {
+            self.zones.push(Some(zone));
+            self.neighbors.push(Vec::new());
+            self.node_of.push(usize::MAX); // set by the caller right after
+            self.live += 1;
+            self.zones.len() - 1
+        }
+    }
+
+    fn alloc_node(&mut self, node: SplitNode) -> usize {
+        if let Some(i) = self.free_nodes.pop() {
+            self.tree[i] = node;
+            i
+        } else {
+            self.tree.push(node);
+            self.tree.len() - 1
+        }
     }
 }
 
@@ -389,7 +680,7 @@ mod tests {
     #[test]
     fn average_degree_about_four() {
         let net = build(500, 81);
-        let total: usize = (0..net.len()).map(|z| net.neighbors(z).len()).sum();
+        let total: usize = net.live_zones().map(|z| net.neighbors(z).len()).sum();
         let avg = total as f64 / net.len() as f64;
         assert!((3.0..6.0).contains(&avg), "avg degree {avg}");
     }
@@ -402,7 +693,7 @@ mod tests {
             let (x, y) = (rng.gen::<f64>(), rng.gen::<f64>());
             let owner = net.owner_of_point(x, y);
             let holders =
-                (0..net.len()).filter(|&z| net.zone(z).unwrap().rect().contains(x, y)).count();
+                net.live_zones().filter(|&z| net.zone(z).unwrap().rect().contains(x, y)).count();
             assert_eq!(holders, 1);
             assert!(net.zone(owner).unwrap().rect().contains(x, y));
         }
@@ -470,14 +761,85 @@ mod tests {
             net.join(&mut rng);
         }
         net.check_invariants().unwrap();
-        let total: usize = (0..net.len()).map(|z| net.zone(z).unwrap().records().len()).sum();
+        let total: usize = net.live_zones().map(|z| net.zone(z).unwrap().records().len()).sum();
         assert_eq!(total, 100);
         // Every record sits in the zone containing its curve point.
-        for z in 0..net.len() {
+        for z in net.live_zones() {
             for &(v, _) in net.zone(z).unwrap().records() {
                 let (x, y) = net.point_of_value(v);
                 assert!(net.zone(z).unwrap().rect().contains(x, y));
             }
         }
+    }
+
+    #[test]
+    fn leaves_keep_tiling_and_records() {
+        let mut net = build(80, 88);
+        let mut rng = simnet::rng_from_seed(880);
+        for h in 0..150u64 {
+            net.publish(rng.gen_range(0.0..1000.0), h);
+        }
+        for _ in 0..60 {
+            let victim = net.random_zone(&mut rng);
+            net.leave(victim).unwrap();
+            net.check_invariants().unwrap();
+        }
+        assert_eq!(net.len(), 20);
+        let total: usize = net.live_zones().map(|z| net.zone(z).unwrap().records().len()).sum();
+        assert_eq!(total, 150, "graceful leaves keep records");
+        // Records still sit in the zone containing their curve point.
+        for z in net.live_zones() {
+            for &(v, _) in net.zone(z).unwrap().records() {
+                let (x, y) = net.point_of_value(v);
+                assert!(net.zone(z).unwrap().rect().contains(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn crash_loses_records_but_keeps_tiling() {
+        let mut net = build(40, 89);
+        let mut rng = simnet::rng_from_seed(890);
+        for h in 0..100u64 {
+            net.publish(rng.gen_range(0.0..1000.0), h);
+        }
+        let victim = net.random_zone(&mut rng);
+        let lost = net.crash(victim).unwrap();
+        net.check_invariants().unwrap();
+        let total: usize = net.live_zones().map(|z| net.zone(z).unwrap().records().len()).sum();
+        assert_eq!(total + lost, 100);
+        assert_eq!(net.len(), 39);
+    }
+
+    #[test]
+    fn churn_storm_converges_to_a_valid_tiling() {
+        let mut net = build(50, 90);
+        let mut rng = simnet::rng_from_seed(900);
+        for i in 0..200 {
+            if i % 3 == 0 {
+                net.join(&mut rng);
+            } else {
+                let victim = net.random_zone(&mut rng);
+                let _ = net.leave(victim);
+            }
+            if i % 25 == 0 {
+                net.check_invariants().unwrap();
+            }
+        }
+        net.check_invariants().unwrap();
+        // Routing still reaches everything.
+        for _ in 0..50 {
+            let (x, y) = (rng.gen::<f64>(), rng.gen::<f64>());
+            let from = net.random_zone(&mut rng);
+            let dest = *net.route_to_point(from, x, y).unwrap().last().unwrap();
+            assert!(net.zone(dest).unwrap().rect().contains(x, y));
+        }
+    }
+
+    #[test]
+    fn last_zone_cannot_leave() {
+        let mut net = build(1, 91);
+        assert_eq!(net.leave(0), Err(CanError::TooSmall));
+        assert!(matches!(net.leave(99), Err(CanError::NoSuchZone { .. })));
     }
 }

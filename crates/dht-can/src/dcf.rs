@@ -108,7 +108,7 @@ pub fn range_query_with_faults(
     };
 
     // Ground truth.
-    let truth: BTreeSet<NodeId> = (0..net.len()).filter(|&z| hits(z)).collect();
+    let truth: BTreeSet<NodeId> = net.live_zones().filter(|&z| hits(z)).collect();
 
     // Median target point.
     let (mx, my) = net.point_of_value((lo + hi) / 2.0);
@@ -228,7 +228,8 @@ mod tests {
             let out = range_query(&net, origin, lo, hi, q, FloodMode::Directed).unwrap();
             assert!(out.exact, "query [{lo}, {hi}] missed zones");
             // Result set matches a direct scan.
-            let mut expect: Vec<u64> = (0..net.len())
+            let mut expect: Vec<u64> = net
+                .live_zones()
                 .flat_map(|z| net.zone(z).unwrap().records().to_vec())
                 .filter(|&(v, _)| v >= lo && v <= hi)
                 .map(|(_, h)| h)

@@ -69,6 +69,8 @@ pub enum CanError {
     /// Greedy routing made no progress (cannot happen on a well-formed
     /// tiling; reported rather than looping).
     RoutingStuck,
+    /// A departure would empty the network (the last zone cannot leave).
+    TooSmall,
 }
 
 impl std::fmt::Display for CanError {
@@ -77,6 +79,7 @@ impl std::fmt::Display for CanError {
             CanError::NoSuchZone { zone } => write!(f, "no zone with id {zone}"),
             CanError::EmptyRange { lo, hi } => write!(f, "empty range [{lo}, {hi}]"),
             CanError::RoutingStuck => write!(f, "greedy routing made no progress"),
+            CanError::TooSmall => write!(f, "the last zone cannot leave the network"),
         }
     }
 }

@@ -5,19 +5,24 @@
 //! `"dcf-can-naive"` naive), so ablations select them by name at runtime.
 //! Queries flood zone-to-zone through `&self` state only, so a built
 //! scheme is `Send + Sync` and shards across parallel-driver threads.
+//!
+//! Both variants opt into the dynamics layer
+//! ([`RangeScheme::as_dynamic`]): zone joins/departures go to the CAN
+//! substrate, and stabilization re-publishes records lost to crashes from
+//! the adapter's own record table.
 
 use crate::dcf::{self, DcfOutcome, FloodMode};
 use crate::{CanConfig, CanError, CanNet};
-use dht_api::{BuildParams, RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};
+use dht_api::{BuildParams, DynamicScheme, RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};
 use rand::rngs::SmallRng;
-use simnet::NodeId;
+use simnet::{FaultPlan, NodeId};
 
 impl From<CanError> for SchemeError {
     fn from(e: CanError) -> Self {
         match e {
             CanError::NoSuchZone { zone } => SchemeError::BadOrigin { origin: zone },
             CanError::EmptyRange { lo, hi } => SchemeError::EmptyRange { lo, hi },
-            CanError::RoutingStuck => SchemeError::Query(e.to_string()),
+            CanError::RoutingStuck | CanError::TooSmall => SchemeError::Query(e.to_string()),
         }
     }
 }
@@ -47,6 +52,9 @@ impl From<DcfOutcome> for RangeOutcome {
 pub struct DcfScheme {
     net: CanNet,
     mode: FloodMode,
+    /// Every record ever published — the ground truth the stabilization
+    /// repair sweep restores after crashes lose zone-local copies.
+    published: Vec<(f64, u64)>,
 }
 
 impl DcfScheme {
@@ -67,12 +75,32 @@ impl DcfScheme {
         };
         let net =
             CanNet::build(cfg, params.n, rng).map_err(|e| SchemeError::Build(e.to_string()))?;
-        Ok(DcfScheme { net, mode })
+        Ok(DcfScheme { net, mode, published: Vec::new() })
     }
 
     /// The wrapped CAN.
     pub fn net(&self) -> &CanNet {
         &self.net
+    }
+
+    /// Re-publishes every record no longer stored at its owning zone;
+    /// returns the number restored.
+    fn repair_records(&mut self) -> usize {
+        let missing: Vec<(f64, u64)> = self
+            .published
+            .iter()
+            .filter(|&&(v, h)| {
+                let (x, y) = self.net.point_of_value(v);
+                let owner = self.net.owner_of_point(x, y);
+                !self.net.zone(owner).expect("live owner").records().contains(&(v, h))
+            })
+            .copied()
+            .collect();
+        let restored = missing.len();
+        for (v, h) in missing {
+            self.net.publish(v, h);
+        }
+        restored
     }
 }
 
@@ -89,7 +117,7 @@ impl RangeScheme for DcfScheme {
     }
 
     fn degree(&self) -> String {
-        let total: usize = (0..self.net.len()).map(|z| self.net.neighbors(z).len()).sum();
+        let total: usize = self.net.live_zones().map(|z| self.net.neighbors(z).len()).sum();
         format!("{:.1}", total as f64 / self.net.len() as f64)
     }
 
@@ -99,6 +127,7 @@ impl RangeScheme for DcfScheme {
 
     fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
         self.net.publish(value, handle);
+        self.published.push((value, handle));
         Ok(())
     }
 
@@ -115,6 +144,50 @@ impl RangeScheme for DcfScheme {
     ) -> Result<RangeOutcome, SchemeError> {
         let out = dcf::range_query(&self.net, origin, lo, hi, seed, self.mode)?;
         Ok(out.into_outcome())
+    }
+
+    fn supports_fault_injection(&self) -> bool {
+        true
+    }
+
+    fn range_query_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<RangeOutcome, SchemeError> {
+        let out = dcf::range_query_with_faults(&self.net, origin, lo, hi, seed, self.mode, faults)?;
+        Ok(out.into_outcome())
+    }
+
+    fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
+        Some(self)
+    }
+}
+
+impl DynamicScheme for DcfScheme {
+    fn join(&mut self, rng: &mut SmallRng) -> Result<NodeId, SchemeError> {
+        Ok(self.net.join(rng))
+    }
+
+    fn leave(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        self.net.leave(node).map_err(SchemeError::from)
+    }
+
+    fn crash(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        self.net.crash(node).map(|_lost| ()).map_err(SchemeError::from)
+    }
+
+    fn stabilize(&mut self) -> usize {
+        // The tiling repairs itself synchronously on every event; only the
+        // records crashes dropped need restoring.
+        self.repair_records()
+    }
+
+    fn live_peers(&self) -> Vec<NodeId> {
+        self.net.live_zones().collect()
     }
 }
 
@@ -179,6 +252,46 @@ mod tests {
             n_total += naive.range_query(origin, lo, lo + 150.0, q).unwrap().messages;
         }
         assert!(n_total >= d_total, "naive {n_total} < directed {d_total}");
+    }
+
+    #[test]
+    fn dynamics_churn_then_stabilize_restores_exactness() {
+        let mut rng = simnet::rng_from_seed(903);
+        let params = BuildParams::new(120, 0.0, 1000.0);
+        let mut scheme = DcfScheme::build(&params, FloodMode::Directed, &mut rng).unwrap();
+        let mut data = Vec::new();
+        for h in 0..250u64 {
+            let v = rng.gen_range(0.0..=1000.0);
+            scheme.publish(v, h).unwrap();
+            data.push((v, h));
+        }
+        let dynamic = scheme.as_dynamic().expect("dcf-can is dynamic");
+        for _ in 0..30 {
+            dynamic.join(&mut rng).unwrap();
+        }
+        for _ in 0..20 {
+            let live = dynamic.live_peers();
+            dynamic.leave(live[live.len() / 2]).unwrap();
+        }
+        for _ in 0..15 {
+            let live = dynamic.live_peers();
+            dynamic.crash(live[live.len() / 3]).unwrap();
+        }
+        let repaired = dynamic.stabilize();
+        assert!(repaired > 0, "crashes at this density should lose records");
+        assert_eq!(dynamic.live_peers().len(), 115);
+        scheme.net().check_invariants().unwrap();
+        for q in 0..10 {
+            let lo = rng.gen_range(0.0..800.0);
+            let hi = lo + 150.0;
+            let origin = scheme.random_origin(&mut rng);
+            let out = scheme.range_query(origin, lo, hi, q).unwrap();
+            let mut expect: Vec<u64> =
+                data.iter().filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
+            expect.sort_unstable();
+            assert_eq!(out.results, expect, "post-churn query [{lo}, {hi}]");
+            assert!(out.exact);
+        }
     }
 
     #[test]

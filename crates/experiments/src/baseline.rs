@@ -10,10 +10,19 @@
 //! the grid as JSON so future PRs can diff their numbers against a
 //! committed trajectory. The simulated metrics are deterministic per seed;
 //! only the `qps` column moves with the hardware.
+//!
+//! Since the dynamics layer landed, the artifact also carries a **churn
+//! section**: every dynamic scheme × every [`ChurnPlan`] catalog entry,
+//! run epoch-driven through [`ParallelDriver::run_epochs`] with the
+//! per-epoch recall/exactness/delay series persisted alongside the merged
+//! metrics.
 
 use crate::output::Table;
 use crate::standard_registry;
-use dht_api::{BuildParams, DriverReport, MultiBuildParams, ParallelDriver, WorkloadGen};
+use dht_api::{
+    BuildParams, ChurnPlan, DriverReport, MultiBuildParams, ParallelDriver, WorkloadGen,
+    CHURN_PLAN_NAMES,
+};
 use rand::Rng;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -38,6 +47,9 @@ pub struct BaselineConfig {
     pub threads: usize,
     /// ObjectID length for Kautz-named schemes.
     pub object_id_len: usize,
+    /// Epochs per churn cell (the churn section splits `queries` evenly
+    /// across them).
+    pub churn_epochs: usize,
 }
 
 impl BaselineConfig {
@@ -50,6 +62,7 @@ impl BaselineConfig {
             seed: 0xba5e,
             threads: dht_api::default_threads(),
             object_id_len: crate::paper::OBJECT_ID_LEN,
+            churn_epochs: 4,
         }
     }
 
@@ -74,18 +87,37 @@ pub struct BaselineRow {
     pub report: DriverReport,
 }
 
-/// A complete baseline run: configuration plus the measured grid.
+/// One measured cell of the dynamic-scheme × churn-plan grid.
+#[derive(Debug, Clone)]
+pub struct ChurnBaselineRow {
+    /// Registry name of the scheme.
+    pub scheme: String,
+    /// Churn plan name from the [`ChurnPlan`] catalog.
+    pub plan: String,
+    /// Wall-clock throughput, queries per second (hardware-dependent).
+    pub qps: f64,
+    /// The merged epoch-driven report (carries the per-epoch series).
+    pub report: DriverReport,
+    /// Live peers after the final epoch.
+    pub final_peers: usize,
+}
+
+/// A complete baseline run: configuration plus the measured grids.
 #[derive(Debug, Clone)]
 pub struct BaselineReport {
     /// The configuration the grid ran under.
     pub config: BaselineConfig,
     /// One row per (scheme, workload) cell.
     pub rows: Vec<BaselineRow>,
+    /// One row per (dynamic scheme, churn plan) cell — queries under
+    /// epoch-driven membership churn.
+    pub churn_rows: Vec<ChurnBaselineRow>,
 }
 
 /// Runs the full grid: every registered single-attribute scheme ×
-/// [`SINGLE_WORKLOADS`], then every multi-attribute scheme ×
-/// [`MULTI_WORKLOADS`] on 2-attribute squares.
+/// [`SINGLE_WORKLOADS`], every multi-attribute scheme ×
+/// [`MULTI_WORKLOADS`] on 2-attribute squares, and every dynamic scheme ×
+/// the [`ChurnPlan`] catalog under epoch-driven churn.
 ///
 /// # Panics
 ///
@@ -154,7 +186,49 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
         }
     }
 
-    BaselineReport { config: cfg.clone(), rows }
+    // Churn section: every dynamic scheme under every named plan.
+    let mut churn_rows = Vec::new();
+    let epoch_queries = (cfg.queries / cfg.churn_epochs).max(1);
+    for name in crate::churn_sweep::dynamic_single_names() {
+        for plan_name in CHURN_PLAN_NAMES {
+            let params =
+                BuildParams::new(cfg.n, domain.0, domain.1).with_object_id_len(cfg.object_id_len);
+            let mut rng = simnet::rng_from_seed(cfg.seed ^ dht_api::fnv1a(name.as_bytes()));
+            let mut scheme =
+                registry.build_single(&name, &params, &mut rng).expect("scheme builds");
+            for h in 0..cfg.n as u64 {
+                scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+            }
+            let plan = ChurnPlan::named(plan_name).expect("cataloged");
+            let driver = ParallelDriver {
+                queries: epoch_queries,
+                seed: cfg.seed ^ dht_api::fnv1a(plan_name.as_bytes()),
+                threads: cfg.threads,
+            };
+            let start = Instant::now();
+            let report = driver
+                .run_epochs(scheme.as_mut(), &churn_workload(domain), &plan, cfg.churn_epochs)
+                .expect("dynamic schemes run every cataloged plan");
+            let total_queries = epoch_queries * cfg.churn_epochs;
+            let qps = total_queries as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            let final_peers = report.epochs.last().expect("epochs ran").peers;
+            churn_rows.push(ChurnBaselineRow {
+                scheme: name.clone(),
+                plan: plan_name.to_string(),
+                qps,
+                report,
+                final_peers,
+            });
+        }
+    }
+
+    BaselineReport { config: cfg.clone(), rows, churn_rows }
+}
+
+/// The workload the churn section drives (the paper's uniform mix keeps
+/// the section comparable with Table 1's fault-free numbers).
+fn churn_workload(domain: (f64, f64)) -> WorkloadGen {
+    WorkloadGen::named("uniform", domain).expect("cataloged")
 }
 
 impl BaselineReport {
@@ -190,6 +264,19 @@ impl BaselineReport {
                 format!("{:.2}", r.report.exact_rate),
             ]);
         }
+        for r in &self.churn_rows {
+            t.push_row(vec![
+                r.scheme.clone(),
+                "churn".to_string(),
+                r.plan.clone(),
+                format!("{:.0}", r.qps),
+                format!("{:.2}", r.report.delay.mean),
+                format!("{:.1}", r.report.delay.p99),
+                format!("{:.1}", r.report.messages.mean),
+                format!("{:.2}", r.report.mesg_ratio.mean),
+                format!("{:.2}", r.report.exact_rate),
+            ]);
+        }
         t
     }
 
@@ -204,11 +291,12 @@ impl BaselineReport {
         // machine-dependent value — filter it out when diffing regenerated
         // baselines (everything else is a pure function of the seed).
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"bench-baseline-v1\",");
+        let _ = writeln!(s, "  \"schema\": \"bench-baseline-v2\",");
         let _ = writeln!(
             s,
-            "  \"config\": {{ \"n\": {}, \"queries\": {}, \"seed\": {}, \"object_id_len\": {} }},",
-            c.n, c.queries, c.seed, c.object_id_len
+            "  \"config\": {{ \"n\": {}, \"queries\": {}, \"seed\": {}, \"object_id_len\": {}, \
+             \"churn_epochs\": {} }},",
+            c.n, c.queries, c.seed, c.object_id_len, c.churn_epochs
         );
         let _ = writeln!(s, "  \"results\": [");
         for (i, r) in self.rows.iter().enumerate() {
@@ -235,6 +323,48 @@ impl BaselineReport {
                 json_f64(r.report.incre_ratio.mean),
                 json_f64(r.report.exact_rate),
                 r.report.results_returned,
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"churn\": [");
+        for (i, r) in self.churn_rows.iter().enumerate() {
+            let comma = if i + 1 < self.churn_rows.len() { "," } else { "" };
+            let epochs: Vec<String> = r
+                .report
+                .epochs
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{{ \"epoch\": {}, \"peers\": {}, \"events\": {}, \"delay_mean\": {}, \
+                         \"exact_rate\": {}, \"recall_mean\": {}, \"results\": {} }}",
+                        e.epoch,
+                        e.peers,
+                        e.churn.events(),
+                        json_f64(e.delay_mean),
+                        json_f64(e.exact_rate),
+                        json_f64(e.recall_mean),
+                        e.results_returned,
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "    {{ \"scheme\": \"{}\", \"plan\": \"{}\", \"qps\": {}, \
+                 \"delay_mean\": {}, \"delay_p99\": {}, \"messages_mean\": {}, \
+                 \"mesg_ratio_mean\": {}, \"recall_mean\": {}, \"exact_rate\": {}, \
+                 \"results_returned\": {}, \"final_peers\": {}, \"epochs\": [{}] }}{comma}",
+                r.scheme,
+                r.plan,
+                json_f64(r.qps),
+                json_f64(r.report.delay.mean),
+                json_f64(r.report.delay.p99),
+                json_f64(r.report.messages.mean),
+                json_f64(r.report.mesg_ratio.mean),
+                json_f64(r.report.recall.mean),
+                json_f64(r.report.exact_rate),
+                r.report.results_returned,
+                r.final_peers,
+                epochs.join(", "),
             );
         }
         let _ = writeln!(s, "  ]");
@@ -290,7 +420,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_grid_covers_every_scheme_and_workload() {
+    fn quick_grid_covers_every_scheme_workload_and_churn_plan() {
         let report = run(&BaselineConfig::quick());
         // 9 single schemes × 5 workloads + 3 multi schemes × 2 workloads.
         let singles: Vec<_> = report.rows.iter().filter(|r| r.shape == "single").collect();
@@ -302,15 +432,27 @@ mod tests {
             assert_eq!(r.report.queries, report.config.queries);
             assert_eq!(r.report.exact_rate, 1.0, "{}/{} inexact", r.scheme, r.workload);
         }
+        // Churn section: 6 dynamic schemes × 5 cataloged plans.
+        assert_eq!(report.churn_rows.len(), 6 * CHURN_PLAN_NAMES.len());
+        for r in &report.churn_rows {
+            assert!(r.qps > 0.0, "{}/{} qps", r.scheme, r.plan);
+            assert_eq!(r.report.epochs.len(), report.config.churn_epochs);
+            assert!(r.final_peers > 0);
+            // Epoch 0 always queries the as-built, fully-exact network.
+            assert_eq!(r.report.epochs[0].exact_rate, 1.0, "{}/{}", r.scheme, r.plan);
+        }
         // JSON sanity: parses at the bracket level and names every scheme.
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for name in ["pira", "seqwalk", "dcf-can", "skipgraph", "squid", "scrap", "mira"] {
             assert!(json.contains(&format!("\"scheme\": \"{name}\"")), "{name} missing");
         }
-        assert!(json.contains("\"schema\": \"bench-baseline-v1\""));
-        // The table mirrors the grid.
-        assert_eq!(report.to_table().rows.len(), report.rows.len());
+        assert!(json.contains("\"schema\": \"bench-baseline-v2\""));
+        for plan in CHURN_PLAN_NAMES {
+            assert!(json.contains(&format!("\"plan\": \"{plan}\"")), "{plan} missing");
+        }
+        // The table mirrors both grids.
+        assert_eq!(report.to_table().rows.len(), report.rows.len() + report.churn_rows.len());
     }
 
     #[test]
@@ -322,6 +464,13 @@ mod tests {
             assert_eq!(ra.report.delay, rb.report.delay, "{}/{}", ra.scheme, ra.workload);
             assert_eq!(ra.report.messages, rb.report.messages);
             assert_eq!(ra.report.results_returned, rb.report.results_returned);
+        }
+        for (ra, rb) in a.churn_rows.iter().zip(&b.churn_rows) {
+            assert_eq!(ra.scheme, rb.scheme);
+            assert_eq!(ra.plan, rb.plan);
+            assert_eq!(ra.report.delay, rb.report.delay, "{}/{}", ra.scheme, ra.plan);
+            assert_eq!(ra.report.results_returned, rb.report.results_returned);
+            assert_eq!(ra.final_peers, rb.final_peers);
         }
     }
 }

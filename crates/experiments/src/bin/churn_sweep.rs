@@ -1,0 +1,7 @@
+//! R2: recall and delay under membership churn, every dynamic scheme.
+//! Usage: `cargo run --release -p armada-experiments --bin churn_sweep [--quick]`
+
+fn main() {
+    let scale = armada_experiments::Scale::from_args();
+    armada_experiments::churn_sweep::run(scale).emit("churn_sweep");
+}

@@ -1,0 +1,182 @@
+//! R2 — dynamics: recall and delay under membership churn, across every
+//! dynamic scheme.
+//!
+//! The paper evaluates fully-stabilized networks; this extension measures
+//! what the related systems literature says actually differentiates
+//! schemes — behaviour *while the membership changes*. Every scheme whose
+//! [`as_dynamic`](dht_api::RangeScheme::as_dynamic) hook opts in runs the
+//! same epoch-driven workload under the crash-heavy `massacre` plan at a
+//! sweep of churn rates; the rate-0 run of each scheme is its frozen
+//! control, so "result recall" is directly the fraction of the control's
+//! answers that survive churn.
+//!
+//! `massacre` defers stabilization (every *other* epoch), so the per-epoch
+//! series visibly dips where crashes have eaten records and recovers where
+//! the stabilize pass re-published them; the table reports both the mean
+//! and the worst epoch.
+
+use crate::output::Table;
+use crate::{standard_registry, Scale};
+use dht_api::{BuildParams, ChurnPlan, DriverReport, ParallelDriver, WorkloadGen};
+use rand::Rng;
+
+/// Churn rates swept (membership events per epoch transition); 0 is the
+/// frozen control every other rate is compared against.
+pub const CHURN_RATES: [usize; 3] = [0, 4, 16];
+
+/// Names of every registered single-attribute scheme that opts into the
+/// dynamics layer, discovered at runtime through the capability hook (no
+/// hard-coded scheme list — a new dynamic scheme joins this sweep by
+/// registering itself).
+pub fn dynamic_single_names() -> Vec<String> {
+    let registry = standard_registry();
+    let params = BuildParams::new(40, 0.0, 1000.0).with_object_id_len(24);
+    registry
+        .single_names()
+        .into_iter()
+        .filter(|name| {
+            let mut rng = simnet::rng_from_seed(0xd1a9);
+            let mut scheme = registry.build_single(name, &params, &mut rng).expect("build");
+            scheme.as_dynamic().is_some()
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// One scheme × churn-rate measurement.
+#[derive(Debug, Clone)]
+pub struct ChurnPoint {
+    /// Registry name of the scheme.
+    pub scheme: String,
+    /// Membership events per epoch transition.
+    pub rate: usize,
+    /// The merged epoch-driven report (carries the per-epoch series).
+    pub report: DriverReport,
+    /// `results_returned / control results_returned` — 1.0 when churn cost
+    /// no answers overall.
+    pub result_recall: f64,
+    /// The worst single epoch's share of the control's answers for that
+    /// epoch — where deferred stabilization shows.
+    pub worst_epoch_recall: f64,
+    /// Live peers after the final epoch.
+    pub final_peers: usize,
+}
+
+/// Runs the sweep and returns each scheme's points in rate order.
+///
+/// # Panics
+///
+/// Panics if a dynamic scheme fails to build or errors on a fault-free
+/// query — the sweep is meaningless with missing cells.
+pub fn run_points(scale: Scale) -> Vec<ChurnPoint> {
+    let registry = standard_registry();
+    let (n, epochs) = match scale {
+        Scale::Full => (600, 6),
+        Scale::Quick => (150, 4),
+    };
+    let queries_per_epoch = (scale.queries() / epochs).max(10);
+    let domain = (crate::paper::DOMAIN_LO, crate::paper::DOMAIN_HI);
+    let params = BuildParams::new(n, domain.0, domain.1).with_object_id_len(32);
+    let workload = WorkloadGen::named("uniform", domain).expect("cataloged");
+    let driver = ParallelDriver::new(queries_per_epoch).with_seed(0xc482);
+
+    let mut points = Vec::new();
+    for name in dynamic_single_names() {
+        let mut control_epochs: Vec<u64> = Vec::new();
+        for &rate in &CHURN_RATES {
+            let mut rng = simnet::rng_from_seed(0xc482 ^ dht_api::fnv1a(name.as_bytes()));
+            let mut scheme =
+                registry.build_single(&name, &params, &mut rng).expect("scheme builds");
+            for h in 0..n as u64 {
+                scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+            }
+            let plan = ChurnPlan::named("massacre").expect("cataloged").with_rate(rate);
+            let report =
+                driver.run_epochs(scheme.as_mut(), &workload, &plan, epochs).expect("epoch run");
+            let per_epoch: Vec<u64> = report.epochs.iter().map(|e| e.results_returned).collect();
+            if rate == 0 {
+                control_epochs = per_epoch.clone();
+            }
+            let control_total: u64 = control_epochs.iter().sum();
+            let result_recall = if control_total == 0 {
+                1.0
+            } else {
+                report.results_returned as f64 / control_total as f64
+            };
+            let worst_epoch_recall = per_epoch
+                .iter()
+                .zip(&control_epochs)
+                .map(|(&got, &want)| if want == 0 { 1.0 } else { got as f64 / want as f64 })
+                .fold(f64::INFINITY, f64::min);
+            let final_peers = report.epochs.last().expect("epochs ran").peers;
+            points.push(ChurnPoint {
+                scheme: name.clone(),
+                rate,
+                report,
+                result_recall,
+                worst_epoch_recall,
+                final_peers,
+            });
+        }
+    }
+    points
+}
+
+/// Runs the sweep and renders the recall-vs-churn-rate table.
+pub fn run(scale: Scale) -> Table {
+    let points = run_points(scale);
+    let mut t = Table::new(
+        "R2 — recall under churn (massacre plan, epoch-driven)",
+        &[
+            "scheme",
+            "churn rate",
+            "final peers",
+            "avg delay",
+            "exact rate",
+            "peer recall",
+            "result recall",
+            "worst epoch",
+        ],
+    );
+    for p in &points {
+        t.push_row(vec![
+            p.scheme.clone(),
+            p.rate.to_string(),
+            p.final_peers.to_string(),
+            format!("{:.2}", p.report.delay.mean),
+            format!("{:.3}", p.report.exact_rate),
+            format!("{:.3}", p.report.recall.mean),
+            format!("{:.3}", p.result_recall),
+            format!("{:.3}", p.worst_epoch_recall),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dynamic_scheme_is_swept_and_controls_are_perfect() {
+        let points = run_points(Scale::Quick);
+        let schemes = dynamic_single_names();
+        assert_eq!(
+            schemes,
+            vec!["dcf-can", "dcf-can-naive", "pht-chord", "pht-fissione", "pira", "seqwalk"],
+            "runtime discovery should find exactly the opted-in schemes"
+        );
+        assert_eq!(points.len(), schemes.len() * CHURN_RATES.len());
+        for p in &points {
+            // Frozen controls answer everything, exactly.
+            if p.rate == 0 {
+                assert_eq!(p.result_recall, 1.0, "{} control", p.scheme);
+                assert_eq!(p.report.exact_rate, 1.0, "{} control", p.scheme);
+            }
+            assert!(p.result_recall <= 1.0 + 1e-9, "{}@{}", p.scheme, p.rate);
+            assert!(p.worst_epoch_recall <= p.result_recall + 1e-9);
+            assert_eq!(p.report.epochs.len(), 4);
+            assert!(p.final_peers > 0);
+        }
+    }
+}

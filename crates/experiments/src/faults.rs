@@ -1,16 +1,41 @@
-//! R1 — robustness: PIRA recall under message loss and crashed peers.
+//! R1 — robustness: recall under message loss and crashed peers, driven
+//! through the unified query API.
 //!
 //! The paper evaluates fault-free networks; this extension quantifies how
-//! the FRT descent degrades when the overlay misbehaves (a dropped message
-//! prunes a whole subtree), and how FISSIONE's detour routing restores
-//! exact-match lookups around crashes.
+//! a scheme degrades when the overlay misbehaves (a dropped message prunes
+//! a whole subtree of PIRA's descent; a crashed zone swallows a flood
+//! branch). It is scheme-generic: anything whose
+//! [`range_query_with_faults`](dht_api::RangeScheme::range_query_with_faults)
+//! override models per-query faults is measured — discovered at runtime
+//! through
+//! [`supports_fault_injection`](dht_api::RangeScheme::supports_fault_injection)
+//! (PIRA and both DCF-CAN variants today) — and everything is built by
+//! registry name, never through a native constructor.
 
 use crate::output::Table;
-use crate::{paper, Scale};
-use armada::SingleArmada;
-use fissione::FissioneConfig;
+use crate::{paper, standard_registry, Scale};
+use dht_api::{BuildParams, RangeScheme};
 use rand::Rng;
 use simnet::FaultPlan;
+
+/// Names of every registered single-attribute scheme that models
+/// per-query fault injection, discovered through the capability hook (no
+/// hard-coded scheme list — a new faulty-capable scheme joins R1 by
+/// registering itself).
+pub fn fault_capable_names() -> Vec<String> {
+    let registry = standard_registry();
+    let params = BuildParams::new(40, 0.0, 1000.0).with_object_id_len(24);
+    registry
+        .single_names()
+        .into_iter()
+        .filter(|name| {
+            let mut rng = simnet::rng_from_seed(0xfa17);
+            let scheme = registry.build_single(name, &params, &mut rng).expect("build");
+            scheme.supports_fault_injection()
+        })
+        .map(str::to_string)
+        .collect()
+}
 
 /// Runs the fault-tolerance study.
 pub fn run(scale: Scale) -> Table {
@@ -20,54 +45,60 @@ pub fn run(scale: Scale) -> Table {
     };
     let queries = scale.queries() / 2;
     let range = 50.0;
-    let cfg = FissioneConfig { object_id_len: paper::OBJECT_ID_LEN, ..FissioneConfig::default() };
-    let mut rng = simnet::rng_from_seed(0xfa17);
-    let armada = SingleArmada::build_with(cfg, n, paper::DOMAIN_LO, paper::DOMAIN_HI, &mut rng)
-        .expect("build");
+    let registry = standard_registry();
+    let params = BuildParams::new(n, paper::DOMAIN_LO, paper::DOMAIN_HI)
+        .with_object_id_len(paper::OBJECT_ID_LEN);
 
     let mut t = Table::new(
-        format!("R1 — PIRA recall under faults (N = {n}, range = {range})"),
-        &["fault", "level", "avg peer recall", "min recall", "avg delay", "exact rate"],
+        format!("R1 — recall under faults (N = {n}, range = {range})"),
+        &["scheme", "fault", "level", "avg peer recall", "min recall", "avg delay", "exact rate"],
     );
 
-    // Message loss.
-    for &p in &[0.0f64, 0.02, 0.05, 0.10, 0.20] {
-        let faults = FaultPlan::with_drop_prob(p);
-        let (recall, min_recall, delay, exact) =
-            measure(&armada, &faults, queries, range, &mut rng);
-        t.push_row(vec![
-            "message loss".into(),
-            format!("{:.0}%", p * 100.0),
-            format!("{recall:.3}"),
-            format!("{min_recall:.3}"),
-            format!("{delay:.2}"),
-            format!("{exact:.3}"),
-        ]);
-    }
+    for scheme_name in fault_capable_names() {
+        let mut rng = simnet::rng_from_seed(0xfa17 ^ dht_api::fnv1a(scheme_name.as_bytes()));
+        let scheme = registry.build_single(&scheme_name, &params, &mut rng).expect("build");
 
-    // Crashed peers (never the query origin).
-    for &frac in &[0.01f64, 0.05, 0.10] {
-        let mut faults = FaultPlan::new();
-        let crash_count = ((n as f64) * frac) as usize;
-        while faults.crashed_count() < crash_count {
-            faults.crash(armada.net().random_peer(&mut rng));
+        // Message loss.
+        for &p in &[0.0f64, 0.02, 0.05, 0.10, 0.20] {
+            let faults = FaultPlan::with_drop_prob(p);
+            let (recall, min_recall, delay, exact) =
+                measure(scheme.as_ref(), &faults, queries, range, &mut rng);
+            t.push_row(vec![
+                scheme_name.clone(),
+                "message loss".into(),
+                format!("{:.0}%", p * 100.0),
+                format!("{recall:.3}"),
+                format!("{min_recall:.3}"),
+                format!("{delay:.2}"),
+                format!("{exact:.3}"),
+            ]);
         }
-        let (recall, min_recall, delay, exact) =
-            measure(&armada, &faults, queries, range, &mut rng);
-        t.push_row(vec![
-            "crashed peers".into(),
-            format!("{:.0}%", frac * 100.0),
-            format!("{recall:.3}"),
-            format!("{min_recall:.3}"),
-            format!("{delay:.2}"),
-            format!("{exact:.3}"),
-        ]);
+
+        // Crashed peers (never the query origin).
+        for &frac in &[0.01f64, 0.05, 0.10] {
+            let mut faults = FaultPlan::new();
+            let crash_count = ((n as f64) * frac) as usize;
+            while faults.crashed_count() < crash_count {
+                faults.crash(scheme.random_origin(&mut rng));
+            }
+            let (recall, min_recall, delay, exact) =
+                measure(scheme.as_ref(), &faults, queries, range, &mut rng);
+            t.push_row(vec![
+                scheme_name.clone(),
+                "crashed peers".into(),
+                format!("{:.0}%", frac * 100.0),
+                format!("{recall:.3}"),
+                format!("{min_recall:.3}"),
+                format!("{delay:.2}"),
+                format!("{exact:.3}"),
+            ]);
+        }
     }
     t
 }
 
 fn measure(
-    armada: &SingleArmada,
+    scheme: &dyn RangeScheme,
     faults: &FaultPlan,
     queries: usize,
     range: f64,
@@ -79,17 +110,17 @@ fn measure(
     let mut ran = 0usize;
     for q in 0..queries {
         let lo = rng.gen_range(paper::DOMAIN_LO..(paper::DOMAIN_HI - range));
-        let origin = armada.net().random_peer(rng);
+        let origin = scheme.random_origin(rng);
         if faults.is_crashed(origin) {
             continue; // a crashed client issues nothing
         }
         ran += 1;
-        let out = armada
-            .pira_query_with_faults(origin, lo, lo + range, q as u64, faults)
+        let out = scheme
+            .range_query_with_faults(origin, lo, lo + range, q as u64, faults)
             .expect("query runs");
-        recalls.push(out.metrics.peer_recall());
-        delay += f64::from(out.metrics.delay);
-        if out.metrics.exact {
+        recalls.push(out.peer_recall());
+        delay += out.delay as f64;
+        if out.exact {
             exact += 1;
         }
     }
@@ -103,16 +134,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fault_free_row_is_perfect_and_loss_degrades() {
+    fn fault_free_rows_are_perfect_and_loss_degrades() {
+        let discovered = fault_capable_names();
+        assert_eq!(
+            discovered,
+            vec!["dcf-can", "dcf-can-naive", "pira"],
+            "runtime discovery should find exactly the overriding schemes"
+        );
         let t = run(Scale::Quick);
-        // Row 0 is 0% loss: recall 1, exact 1.
-        assert_eq!(t.rows[0][2], "1.000");
-        assert_eq!(t.rows[0][5], "1.000");
-        // 20% loss (row 4) must hurt recall.
-        let heavy: f64 = t.rows[4][2].parse().unwrap();
-        assert!(heavy < 1.0);
-        // More loss ⇒ (weakly) worse recall.
-        let light: f64 = t.rows[1][2].parse().unwrap();
-        assert!(heavy <= light);
+        // 8 rows per scheme: 5 loss levels + 3 crash fractions.
+        assert_eq!(t.rows.len(), discovered.len() * 8);
+        for (s, chunk) in discovered.iter().zip(t.rows.chunks(8)) {
+            assert_eq!(&chunk[0][0], s);
+            // Row 0 is 0% loss: recall 1, exact 1.
+            assert_eq!(chunk[0][3], "1.000", "{s} fault-free recall");
+            assert_eq!(chunk[0][6], "1.000", "{s} fault-free exactness");
+            // 20% loss (row 4) must hurt recall, monotonically vs 2%.
+            let heavy: f64 = chunk[4][3].parse().unwrap();
+            let light: f64 = chunk[1][3].parse().unwrap();
+            assert!(heavy < 1.0, "{s} heavy loss should hurt");
+            assert!(heavy <= light, "{s} more loss should not help");
+        }
     }
 }

@@ -17,6 +17,7 @@
 //! | §6 future work (top-k) | [`topk_eval`] | `topk_eval` |
 //! | ablations (ours) | [`ablations`] | `ablation_*` |
 //! | robustness (ours) | [`faults`] | `fault_tolerance` |
+//! | churn dynamics (ours) | [`churn_sweep`] | `churn_sweep` |
 //! | perf baseline (ours) | [`baseline`] | `bench_baseline` |
 //!
 //! All runs are deterministic given a seed — including under the parallel
@@ -35,6 +36,7 @@
 
 pub mod ablations;
 pub mod baseline;
+pub mod churn_sweep;
 pub mod faults;
 pub mod figures;
 pub mod mira_eval;

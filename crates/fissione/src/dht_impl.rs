@@ -1,11 +1,20 @@
 //! FISSIONE as a generic [`dht_api::Dht`]: the exact-match interface layered
-//! schemes (PHT) consume.
+//! schemes (PHT) consume — plus its [`DynamicDht`] churn capability.
 
-use crate::FissioneNet;
-use dht_api::{Dht, Lookup};
+use crate::{FissioneError, FissioneNet};
+use dht_api::{Dht, DynamicDht, Lookup, SchemeError};
 use kautz::KautzStr;
 use rand::rngs::SmallRng;
 use simnet::NodeId;
+
+impl From<FissioneError> for SchemeError {
+    fn from(e: FissioneError) -> Self {
+        match e {
+            FissioneError::NoSuchPeer { node } => SchemeError::BadOrigin { origin: node },
+            other => SchemeError::Query(other.to_string()),
+        }
+    }
+}
 
 impl FissioneNet {
     /// Maps an opaque 64-bit key deterministically onto an ObjectID-length
@@ -48,6 +57,28 @@ impl Dht for FissioneNet {
     }
 }
 
+impl DynamicDht for FissioneNet {
+    fn join(&mut self, rng: &mut SmallRng) -> NodeId {
+        FissioneNet::join(self, rng)
+    }
+
+    fn leave(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        FissioneNet::leave(self, node).map_err(SchemeError::from)
+    }
+
+    fn crash(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        FissioneNet::crash(self, node).map(|_lost| ()).map_err(SchemeError::from)
+    }
+
+    fn stabilize(&mut self) -> usize {
+        FissioneNet::stabilize(self)
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        self.live_peers().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{FissioneConfig, FissioneNet};
@@ -64,6 +95,34 @@ mod tests {
             assert_eq!(lookup.owner, net.owner_of_key(key));
             assert!(lookup.hops as f64 <= 2.0 * (150f64).log2());
         }
+    }
+
+    #[test]
+    fn dynamic_dht_churns_with_invariants_intact() {
+        use dht_api::DynamicDht;
+        let cfg = FissioneConfig { object_id_len: 24, ..FissioneConfig::default() };
+        let mut rng = simnet::rng_from_seed(43);
+        let mut net = FissioneNet::build(cfg, 60, &mut rng).unwrap();
+        for _ in 0..20 {
+            DynamicDht::join(&mut net, &mut rng);
+        }
+        for _ in 0..15 {
+            let live = net.live_nodes();
+            DynamicDht::leave(&mut net, live[7]).unwrap();
+        }
+        for _ in 0..5 {
+            let live = net.live_nodes();
+            DynamicDht::crash(&mut net, live[3]).unwrap();
+        }
+        DynamicDht::stabilize(&mut net);
+        net.check_invariants().unwrap();
+        assert_eq!(net.live_nodes().len(), 60);
+        // Dead ids map to the unified error vocabulary.
+        let dead = usize::MAX;
+        assert!(matches!(
+            DynamicDht::leave(&mut net, dead),
+            Err(dht_api::SchemeError::BadOrigin { .. })
+        ));
     }
 
     #[test]

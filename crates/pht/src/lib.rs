@@ -39,7 +39,7 @@
 
 pub mod scheme;
 
-pub use scheme::{register, PhtScheme};
+pub use scheme::{register, DynamicPhtScheme, PhtScheme};
 
 use dht_api::Dht;
 use simnet::NodeId;
@@ -175,6 +175,16 @@ impl<D: Dht> Pht<D> {
     /// The substrate.
     pub fn dht(&self) -> &D {
         &self.dht
+    }
+
+    /// The substrate, mutably (churn drives membership through here).
+    ///
+    /// The trie's node table itself is unaffected by substrate membership:
+    /// PHT assumes DHT-level replication of trie nodes (the original paper
+    /// stores each node under a replicated put/get interface), so a peer
+    /// crash changes routing costs and origins but loses no index state.
+    pub fn dht_mut(&mut self) -> &mut D {
+        &mut self.dht
     }
 
     /// Quantises an attribute value to a `width`-bit key.

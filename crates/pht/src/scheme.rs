@@ -1,13 +1,21 @@
 //! PHT behind the unified [`dht_api`] query interface.
 //!
 //! [`PhtScheme`] is generic over the substrate [`Dht`], mirroring PHT's
-//! "runs on any DHT" design; [`register`] wires up the two substrates the
-//! paper compares (`"pht-fissione"` and `"pht-chord"`). `Dht` requires
-//! `Send + Sync`, so the layered scheme inherits the thread-safety the
-//! parallel driver needs directly from its substrate.
+//! "runs on any DHT" design — a static substrate still makes a full
+//! [`RangeScheme`] whose [`as_dynamic`](RangeScheme::as_dynamic) honestly
+//! stays `None`. [`DynamicPhtScheme`] wraps it for substrates that also
+//! implement [`DynamicDht`], inheriting the dynamics capability the same
+//! way the thread-safety contract is inherited: churn forwards to the
+//! substrate, while the trie (modeled as DHT-replicated, as in the PHT
+//! paper) loses nothing to crashes. [`register`] wires up the two
+//! substrates the paper compares (`"pht-fissione"` and `"pht-chord"`),
+//! both dynamic.
 
 use crate::{Pht, PhtOutcome};
-use dht_api::{BuildParams, Dht, RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};
+use dht_api::{
+    BuildParams, Dht, DynamicDht, DynamicScheme, RangeOutcome, RangeScheme, SchemeError,
+    SchemeRegistry,
+};
 use rand::rngs::SmallRng;
 use simnet::NodeId;
 
@@ -98,6 +106,95 @@ impl<D: Dht> RangeScheme for PhtScheme<D> {
     }
 }
 
+/// [`PhtScheme`] over a churn-capable substrate: the same queries, plus
+/// the dynamics capability forwarded to the substrate's [`DynamicDht`].
+///
+/// A separate wrapper (rather than a `DynamicDht` bound on [`PhtScheme`]
+/// itself) keeps the "runs on any DHT" promise: a static substrate still
+/// builds a full [`RangeScheme`] whose `as_dynamic` returns `None`.
+#[derive(Debug, Clone)]
+pub struct DynamicPhtScheme<D: DynamicDht>(PhtScheme<D>);
+
+impl<D: DynamicDht> DynamicPhtScheme<D> {
+    /// Wraps a churn-capable substrate; parameters as [`PhtScheme::new`].
+    pub fn new(dht: D, params: &BuildParams, scheme_name: &'static str, degree: String) -> Self {
+        DynamicPhtScheme(PhtScheme::new(dht, params, scheme_name, degree))
+    }
+
+    /// The wrapped static scheme (and through it, the trie and substrate).
+    pub fn inner(&self) -> &PhtScheme<D> {
+        &self.0
+    }
+}
+
+impl<D: DynamicDht> RangeScheme for DynamicPhtScheme<D> {
+    fn scheme_name(&self) -> &'static str {
+        self.0.scheme_name()
+    }
+
+    fn substrate(&self) -> String {
+        self.0.substrate()
+    }
+
+    fn degree(&self) -> String {
+        self.0.degree()
+    }
+
+    fn node_count(&self) -> usize {
+        self.0.node_count()
+    }
+
+    fn supports_rect(&self) -> bool {
+        self.0.supports_rect()
+    }
+
+    fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
+        self.0.publish(value, handle)
+    }
+
+    fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+        self.0.random_origin(rng)
+    }
+
+    fn range_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<RangeOutcome, SchemeError> {
+        self.0.range_query(origin, lo, hi, seed)
+    }
+
+    fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
+        Some(self)
+    }
+}
+
+impl<D: DynamicDht> DynamicScheme for DynamicPhtScheme<D> {
+    fn join(&mut self, rng: &mut SmallRng) -> Result<NodeId, SchemeError> {
+        Ok(self.0.pht.dht_mut().join(rng))
+    }
+
+    fn leave(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        self.0.pht.dht_mut().leave(node)
+    }
+
+    fn crash(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        self.0.pht.dht_mut().crash(node)
+    }
+
+    fn stabilize(&mut self) -> usize {
+        // The trie is DHT-replicated (see `Pht::dht_mut`); only the
+        // substrate's overlay invariants need repair.
+        self.0.pht.dht_mut().stabilize()
+    }
+
+    fn live_peers(&self) -> Vec<NodeId> {
+        self.0.pht.dht().live_nodes()
+    }
+}
+
 /// Registers `"pht-fissione"` (constant-degree substrate, measured degree)
 /// and `"pht-chord"` (`O(log N)`-degree substrate).
 pub fn register(reg: &mut SchemeRegistry) {
@@ -111,7 +208,7 @@ pub fn register(reg: &mut SchemeRegistry) {
             let dht = fissione::FissioneNet::build(cfg, p.n, rng)
                 .map_err(|e| SchemeError::Build(e.to_string()))?;
             let degree = format!("{:.1}", dht.degree_stats().total.mean);
-            Ok(Box::new(PhtScheme::new(dht, p, "pht-fissione", degree)))
+            Ok(Box::new(DynamicPhtScheme::new(dht, p, "pht-fissione", degree)))
         }),
     );
     reg.register_single(
@@ -119,7 +216,7 @@ pub fn register(reg: &mut SchemeRegistry) {
         Box::new(|p, rng| {
             let dht = chord::ChordNet::build(p.n, rng);
             let degree = format!("O(logN) = {:.0}", (p.n as f64).log2());
-            Ok(Box::new(PhtScheme::new(dht, p, "pht-chord", degree)))
+            Ok(Box::new(DynamicPhtScheme::new(dht, p, "pht-chord", degree)))
         }),
     );
 }
@@ -155,6 +252,74 @@ mod tests {
                 assert_eq!(out.results, expect, "{name} on [{lo}, {hi}]");
             }
         }
+    }
+
+    #[test]
+    fn dynamics_churn_then_stabilize_keeps_queries_exact_on_both_substrates() {
+        let mut reg = SchemeRegistry::new();
+        register(&mut reg);
+        for name in ["pht-chord", "pht-fissione"] {
+            let mut rng = simnet::rng_from_seed(912);
+            let params = BuildParams::new(70, 0.0, 1000.0).with_object_id_len(24);
+            let mut scheme = reg.build_single(name, &params, &mut rng).unwrap();
+            let mut data = Vec::new();
+            for h in 0..200u64 {
+                let v = rng.gen_range(0.0..=1000.0);
+                scheme.publish(v, h).unwrap();
+                data.push((v, h));
+            }
+            let dynamic = scheme.as_dynamic().expect("pht schemes are dynamic");
+            for _ in 0..20 {
+                dynamic.join(&mut rng).unwrap();
+            }
+            for _ in 0..25 {
+                let live = dynamic.live_peers();
+                dynamic.crash(live[live.len() / 2]).unwrap();
+            }
+            dynamic.stabilize();
+            assert_eq!(dynamic.live_peers().len(), 65, "{name}");
+            for q in 0..8 {
+                let lo = rng.gen_range(0.0..850.0);
+                let hi = lo + 120.0;
+                let origin = scheme.random_origin(&mut rng);
+                let out = scheme.range_query(origin, lo, hi, q).unwrap();
+                let mut expect: Vec<u64> =
+                    data.iter().filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
+                expect.sort_unstable();
+                assert_eq!(out.results, expect, "{name} post-churn [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn pht_over_a_static_only_dht_is_still_a_range_scheme() {
+        /// A substrate with no churn primitives at all — `Dht` only.
+        struct OneNode;
+        impl Dht for OneNode {
+            fn route_key(&self, _: NodeId, _: u64) -> dht_api::Lookup {
+                dht_api::Lookup { owner: 0, hops: 0 }
+            }
+            fn any_node(&self) -> NodeId {
+                0
+            }
+            fn random_node(&self, _: &mut SmallRng) -> NodeId {
+                0
+            }
+            fn node_count(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &'static str {
+                "static"
+            }
+        }
+        // PHT's "runs on any DHT" promise: a static substrate still makes
+        // a full RangeScheme whose dynamics hook honestly returns None.
+        let params = BuildParams::new(1, 0.0, 10.0);
+        let mut scheme = PhtScheme::new(OneNode, &params, "pht-static", "0".into());
+        scheme.publish(5.0, 1).unwrap();
+        let out = scheme.range_query(0, 4.0, 6.0, 0).unwrap();
+        assert_eq!(out.results, vec![1]);
+        assert!(scheme.as_dynamic().is_none());
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! `&self`, so a built net is `Send + Sync` and shards across
 //! parallel-driver threads; [`register`] exposes both shapes under
 //! `"scrap"`.
+//!
+//! SCRAP does **not** opt into the dynamics layer: it rides the static
+//! Skip Graph simulation, which has no join/leave/crash protocol, so
+//! [`RangeScheme::as_dynamic`] honestly stays `None` and epoch-driven
+//! churn runs skip it at runtime.
 
 use crate::{ScrapError, ScrapNet, ScrapOutcome};
 use dht_api::{

@@ -3,7 +3,7 @@
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Faults applied to a simulation run.
 ///
@@ -26,7 +26,10 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     drop_prob: f64,
-    crashed: HashSet<NodeId>,
+    // A BTreeSet, not a HashSet: `crashed_nodes()` iteration order (and
+    // anything derived from it — victim picks, printed reports) must be a
+    // pure function of the plan's contents, never of hasher seeds.
+    crashed: BTreeSet<NodeId>,
 }
 
 impl FaultPlan {
@@ -42,7 +45,7 @@ impl FaultPlan {
     /// Panics unless `0.0 ≤ p ≤ 1.0`.
     pub fn with_drop_prob(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
-        FaultPlan { drop_prob: p, crashed: HashSet::new() }
+        FaultPlan { drop_prob: p, crashed: BTreeSet::new() }
     }
 
     /// The message-drop probability.
@@ -80,7 +83,9 @@ impl FaultPlan {
         self.crashed.len()
     }
 
-    /// Iterates over crashed nodes (arbitrary order).
+    /// Iterates over crashed nodes in ascending `NodeId` order — a
+    /// deterministic order, so derived streams (victim selection, report
+    /// rows) are run-independent.
     pub fn crashed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.crashed.iter().copied()
     }
@@ -117,6 +122,25 @@ mod tests {
     #[should_panic(expected = "drop probability")]
     fn rejects_invalid_probability() {
         FaultPlan::with_drop_prob(1.5);
+    }
+
+    #[test]
+    fn crashed_nodes_iterate_in_sorted_order_regardless_of_insertion() {
+        // Regression: a HashSet here made crashed_nodes() run-dependent.
+        let mut plan = FaultPlan::new();
+        for node in [42, 7, 19, 3, 99, 7] {
+            plan.crash(node);
+        }
+        assert_eq!(plan.crashed_nodes().collect::<Vec<_>>(), vec![3, 7, 19, 42, 99]);
+        let mut reversed = FaultPlan::new();
+        for node in [99, 42, 19, 7, 3] {
+            reversed.crash(node);
+        }
+        assert_eq!(
+            plan.crashed_nodes().collect::<Vec<_>>(),
+            reversed.crashed_nodes().collect::<Vec<_>>(),
+            "iteration order must be a pure function of the set contents"
+        );
     }
 
     #[test]

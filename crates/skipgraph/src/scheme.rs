@@ -5,6 +5,11 @@
 //! needed. Queries walk the skip lists through `&self`, so the net is
 //! `Send + Sync` and shards across parallel-driver threads; [`register`]
 //! exposes it as `"skipgraph"`.
+//!
+//! Skip Graph does **not** opt into the dynamics layer: the simulated
+//! overlay builds its membership vectors once and has no join/leave/crash
+//! protocol, so [`RangeScheme::as_dynamic`] honestly stays `None` and
+//! epoch-driven churn runs skip it at runtime.
 
 use crate::{SkipGraphNet, SkipOutcome};
 use dht_api::{RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};

@@ -7,6 +7,11 @@
 //! refinement allocates per call), so a built net is `Send + Sync` and
 //! shards across parallel-driver threads; [`register`] exposes both
 //! shapes under `"squid"`.
+//!
+//! Squid does **not** opt into the dynamics layer: its SFC cluster tables
+//! are derived from a fixed Chord snapshot at build time (the native code
+//! has no churn path for them), so [`RangeScheme::as_dynamic`] honestly
+//! stays `None` and epoch-driven churn runs skip it at runtime.
 
 use crate::{SquidError, SquidNet, SquidOutcome};
 use dht_api::{

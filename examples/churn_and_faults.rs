@@ -1,88 +1,110 @@
-//! Churn and fault tolerance: peers join, leave and crash while the system
-//! keeps answering range queries; lossy links degrade recall gracefully.
+//! Churn and fault tolerance through the unified API: peers join, leave and
+//! crash between query epochs while the system keeps answering range
+//! queries; stabilization repairs what crashes lost; lossy links degrade
+//! recall gracefully.
+//!
+//! Everything here goes through the public surface — the registry, the
+//! `DynamicScheme` capability hook, `ChurnPlan`, and the epoch-mode
+//! `ParallelDriver` — so any dynamic scheme can ride along.
 //!
 //! Run with: `cargo run --release --example churn_and_faults`
+//! Other schemes: `cargo run --release --example churn_and_faults -- pira pht-chord`
 
-use armada::SingleArmada;
+use armada_suite::dht_api::{BuildParams, ChurnPlan, ParallelDriver, SchemeError, WorkloadGen};
+use armada_suite::experiments::standard_registry;
 use rand::Rng;
 use simnet::FaultPlan;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = simnet::rng_from_seed(13);
+    let registry = standard_registry();
+    let mut names: Vec<String> = std::env::args().skip(1).collect();
+    if names.is_empty() {
+        names = vec!["pira".into(), "dcf-can".into()];
+    }
+    println!("available schemes : {:?}", registry.single_names());
 
-    println!("building a 300-peer network…");
-    let mut armada = SingleArmada::build(300, 0.0, 1000.0, &mut rng)?;
-    for _ in 0..1000 {
-        let v: f64 = rng.gen_range(0.0..=1000.0);
-        armada.publish(v);
-    }
-
-    // Churn storm: 150 joins, 100 graceful leaves, 20 crashes.
-    println!("churning: +150 joins, −100 leaves, −20 crashes…");
-    for _ in 0..150 {
-        armada.net_mut().join(&mut rng);
-    }
-    for _ in 0..100 {
-        let victim = armada.net().random_peer(&mut rng);
-        let _ = armada.net_mut().leave(victim);
-    }
-    let mut lost = 0;
-    for _ in 0..20 {
-        let victim = armada.net().random_peer(&mut rng);
-        if let Ok(n) = armada.net_mut().crash(victim) {
-            lost += n;
+    for name in &names {
+        println!("\n=== {name} ===");
+        let mut rng = simnet::rng_from_seed(13);
+        let params = BuildParams::new(300, 0.0, 1000.0);
+        let mut scheme = registry.build_single(name, &params, &mut rng)?;
+        let mut data = Vec::new();
+        for h in 0..1000u64 {
+            let v: f64 = rng.gen_range(0.0..=1000.0);
+            scheme.publish(v, h)?;
+            data.push((v, h));
         }
-    }
-    let moved = armada.net_mut().stabilize();
-    let report = armada.net().check_invariants()?;
-    println!(
-        "  now {} peers, {} records lost to crashes, {} balancing migrations, \
-         {} neighborhood violations",
-        report.peers, lost, moved, report.neighborhood_violations
-    );
 
-    // Queries remain exact after churn (the cover invariant guarantees it).
-    let origin = armada.net().random_peer(&mut rng);
-    let out = armada.pira_query(origin, 250.0, 400.0, 1)?;
-    println!(
-        "\npost-churn query [250, 400]: {} results, exact = {}, delay = {} hops",
-        out.results.len(),
-        out.metrics.exact,
-        out.metrics.delay
-    );
-    assert!(out.metrics.exact);
-    assert_eq!(out.results, armada.expected_results(250.0, 400.0));
-
-    // Lossy network: recall degrades smoothly, never catastrophically.
-    println!("\nrecall under message loss (100 queries each):");
-    for p in [0.0, 0.05, 0.10, 0.20] {
-        let faults = FaultPlan::with_drop_prob(p);
-        let mut recall_sum = 0.0;
-        for q in 0..100 {
-            let lo: f64 = rng.gen_range(0.0..900.0);
-            let origin = armada.net().random_peer(&mut rng);
-            let out = armada.pira_query_with_faults(origin, lo, lo + 100.0, q, &faults)?;
-            recall_sum += out.metrics.peer_recall();
+        if scheme.as_dynamic().is_none() {
+            println!("  {name} does not support dynamics — skipping the churn phase");
+            continue;
         }
-        println!("  drop {:>3.0}% → avg peer recall {:.3}", p * 100.0, recall_sum / 100.0);
-    }
 
-    // Exact-match lookups detour around crashed peers.
-    println!("\nfault-tolerant lookup (DFS detours around a crashed next hop):");
-    let target = kautz::KautzStr::random(2, armada.net().config().object_id_len, &mut rng);
-    let from = armada.net().random_peer(&mut rng);
-    let clean = armada.net().route(from, &target)?;
-    if clean.hops() > 1 {
-        let mut faults = FaultPlan::new();
-        faults.crash(clean.path()[1]);
-        match armada.net().route_avoiding(from, &target, &faults) {
-            Ok(detour) => println!(
-                "  clean route: {} hops; with first hop crashed: {} hops, same owner = {}",
-                clean.hops(),
-                detour.hops(),
-                detour.dest() == clean.dest()
-            ),
-            Err(e) => println!("  detour failed: {e}"),
+        // Epoch-driven churn: the crash-heavy plan with deferred repair, so
+        // the per-epoch series shows answers dipping and recovering.
+        println!("querying across 6 epochs under the `massacre` churn plan (rate 20):");
+        let plan = ChurnPlan::named("massacre")?.with_rate(20);
+        let driver = ParallelDriver::new(150).with_seed(13);
+        let workload = WorkloadGen::named("uniform", (0.0, 1000.0))?;
+        let report = driver.run_epochs(scheme.as_mut(), &workload, &plan, 6)?;
+        for e in &report.epochs {
+            println!(
+                "  epoch {}: {:>3} peers | {:>2} churn events{} | avg delay {:>5.2} | \
+                 results {:>4}",
+                e.epoch,
+                e.peers,
+                e.churn.events(),
+                if e.churn.stabilized { ", stabilized  " } else { "              " },
+                e.delay_mean,
+                e.results_returned,
+            );
+        }
+
+        // An explicit stabilize restores the exactness contract.
+        let dynamic = scheme.as_dynamic().expect("checked above");
+        let repairs = dynamic.stabilize();
+        println!("  final stabilize: {repairs} repair ops");
+        let origin = scheme.random_origin(&mut rng);
+        let out = scheme.range_query(origin, 250.0, 400.0, 1)?;
+        let mut expect: Vec<u64> =
+            data.iter().filter(|&&(v, _)| (250.0..=400.0).contains(&v)).map(|&(_, h)| h).collect();
+        expect.sort_unstable();
+        assert_eq!(out.results, expect, "post-stabilize queries are exact again");
+        println!(
+            "  post-stabilize query [250, 400]: {} results, exact = {}, delay = {} hops",
+            out.results.len(),
+            out.exact,
+            out.delay
+        );
+
+        // Lossy network: recall degrades smoothly, never catastrophically.
+        println!("  recall under message loss (100 queries each):");
+        for p in [0.0, 0.05, 0.10, 0.20] {
+            let faults = FaultPlan::with_drop_prob(p);
+            let mut recall_sum = 0.0;
+            let mut supported = true;
+            for q in 0..100 {
+                let lo: f64 = rng.gen_range(0.0..900.0);
+                let origin = scheme.random_origin(&mut rng);
+                match scheme.range_query_with_faults(origin, lo, lo + 100.0, q, &faults) {
+                    Ok(out) => recall_sum += out.peer_recall(),
+                    Err(SchemeError::Unsupported { .. }) => {
+                        supported = false;
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if supported {
+                println!(
+                    "    drop {:>3.0}% → avg peer recall {:.3}",
+                    p * 100.0,
+                    recall_sum / 100.0
+                );
+            } else {
+                println!("    {name} does not model per-query fault injection");
+                break;
+            }
         }
     }
     Ok(())

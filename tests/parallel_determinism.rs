@@ -10,13 +10,17 @@
 //! the contract the sweeps and the persisted bench baseline rely on to
 //! stay reproducible while running at full hardware width.
 
-use armada_suite::dht_api::{BuildParams, DriverReport, ParallelDriver, WorkloadGen};
+use armada_suite::dht_api::{
+    BuildParams, ChurnPlan, DriverReport, ParallelDriver, RangeScheme, WorkloadGen,
+    CHURN_PLAN_NAMES,
+};
 use armada_suite::experiments::standard_registry;
 
 const DOMAIN: (f64, f64) = (0.0, 1000.0);
 
 /// Field-by-field exact equality of two reports (Summary is `PartialEq`
-/// over plain `f64`s; identical merged samples give bitwise-equal stats).
+/// over plain `f64`s; identical merged samples give bitwise-equal stats),
+/// including the per-epoch series of epoch-driven runs.
 fn assert_reports_identical(a: &DriverReport, b: &DriverReport, ctx: &str) {
     assert_eq!(a.scheme, b.scheme, "{ctx}: scheme");
     assert_eq!(a.queries, b.queries, "{ctx}: queries");
@@ -25,8 +29,20 @@ fn assert_reports_identical(a: &DriverReport, b: &DriverReport, ctx: &str) {
     assert_eq!(a.dest_peers, b.dest_peers, "{ctx}: dest_peers");
     assert_eq!(a.mesg_ratio, b.mesg_ratio, "{ctx}: mesg_ratio");
     assert_eq!(a.incre_ratio, b.incre_ratio, "{ctx}: incre_ratio");
+    assert_eq!(a.recall, b.recall, "{ctx}: recall");
     assert_eq!(a.exact_rate, b.exact_rate, "{ctx}: exact_rate");
     assert_eq!(a.results_returned, b.results_returned, "{ctx}: results_returned");
+    assert_eq!(a.epochs.len(), b.epochs.len(), "{ctx}: epoch count");
+    for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+        let ectx = format!("{ctx} epoch {}", ea.epoch);
+        assert_eq!(ea.epoch, eb.epoch, "{ectx}: index");
+        assert_eq!(ea.peers, eb.peers, "{ectx}: peers");
+        assert_eq!(ea.churn, eb.churn, "{ectx}: churn stats");
+        assert_eq!(ea.delay_mean, eb.delay_mean, "{ectx}: delay");
+        assert_eq!(ea.exact_rate, eb.exact_rate, "{ectx}: exact");
+        assert_eq!(ea.recall_mean, eb.recall_mean, "{ectx}: recall");
+        assert_eq!(ea.results_returned, eb.results_returned, "{ectx}: results");
+    }
 }
 
 #[test]
@@ -55,6 +71,64 @@ fn threads_1_and_8_merge_identically_across_schemes_and_workloads() {
             assert!(serial.delay.count == 60 && serial.delay.max >= serial.delay.mean);
         }
     }
+}
+
+/// Builds and loads one scheme instance, identically every call: epoch-mode
+/// runs mutate the scheme, so each thread-count run gets a fresh build from
+/// the same seed.
+fn fresh_scheme(name: &str) -> Box<dyn RangeScheme> {
+    let registry = standard_registry();
+    let params = BuildParams::new(150, DOMAIN.0, DOMAIN.1).with_object_id_len(32);
+    let mut rng = simnet::rng_from_seed(0xe90c);
+    let mut scheme = registry.build_single(name, &params, &mut rng).unwrap();
+    for h in 0..150u64 {
+        use armada_suite::rand::Rng;
+        scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).unwrap();
+    }
+    scheme
+}
+
+#[test]
+fn epoch_mode_reports_are_identical_across_thread_counts_for_every_plan() {
+    // The acceptance bar: under every named churn plan, the epoch-driven
+    // report — per-epoch series included — must not depend on threads.
+    let workload = WorkloadGen::named("uniform", DOMAIN).unwrap();
+    for scheme_name in ["pira", "dcf-can"] {
+        for plan_name in CHURN_PLAN_NAMES {
+            let plan = ChurnPlan::named(plan_name).unwrap().with_rate(6);
+            let driver = ParallelDriver { queries: 30, seed: 11, threads: 1 };
+            let mut serial_scheme = fresh_scheme(scheme_name);
+            let serial = driver.run_epochs(serial_scheme.as_mut(), &workload, &plan, 4).unwrap();
+            for threads in [3, 8] {
+                let mut sharded_scheme = fresh_scheme(scheme_name);
+                let sharded = driver
+                    .with_threads(threads)
+                    .run_epochs(sharded_scheme.as_mut(), &workload, &plan, 4)
+                    .unwrap();
+                assert_reports_identical(
+                    &serial,
+                    &sharded,
+                    &format!("{scheme_name}/{plan_name}/t{threads}"),
+                );
+            }
+            assert_eq!(serial.queries, 120, "4 epochs × 30 queries");
+            assert_eq!(serial.epochs.len(), 4);
+            // Churn actually happened (epoch 0 is the clean baseline).
+            let events: usize = serial.epochs.iter().map(|e| e.churn.events()).sum();
+            assert!(events > 0, "{scheme_name}/{plan_name} applied no churn");
+        }
+    }
+}
+
+#[test]
+fn epoch_mode_refuses_static_schemes_honestly() {
+    let workload = WorkloadGen::named("uniform", DOMAIN).unwrap();
+    let plan = ChurnPlan::named("steady-churn").unwrap();
+    let mut scheme = fresh_scheme("skipgraph");
+    let err = ParallelDriver::new(10)
+        .run_epochs(scheme.as_mut(), &workload, &plan, 2)
+        .expect_err("skipgraph has no dynamics");
+    assert!(matches!(err, armada_suite::dht_api::SchemeError::Unsupported { .. }), "{err}");
 }
 
 #[test]

@@ -5,8 +5,13 @@
 //! answers the *same* random range queries; all result sets must be
 //! identical (and equal to a direct scan). A scheme that silently drops or
 //! invents records cannot pass, whatever its delay profile.
+//!
+//! The dynamics layer extends the claim to churned networks: after a shared
+//! `ChurnPlan` runs and `stabilize()` completes, every *dynamic* scheme
+//! must again return identical, exact result sets with full peer recall —
+//! the stabilize guarantee, pinned cross-scheme.
 
-use armada_suite::dht_api::{BuildParams, RangeScheme};
+use armada_suite::dht_api::{BuildParams, ChurnPlan, RangeScheme, CHURN_PLAN_NAMES};
 use armada_suite::experiments::standard_registry;
 use proptest::prelude::*;
 use rand::Rng;
@@ -70,6 +75,67 @@ proptest! {
                     lo,
                     hi
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_schemes_agree_exactly_after_churn_and_stabilize(
+        seed in 0u64..10_000,
+        plan_idx in 0usize..CHURN_PLAN_NAMES.len(),
+    ) {
+        // Only the schemes that opt into dynamics take part — discovered
+        // through the capability hook, not a hard-coded list.
+        let mut schemes = build_all(seed, 60);
+        schemes.retain_mut(|s| s.as_dynamic().is_some());
+        prop_assert!(schemes.len() >= 4, "need several dynamic schemes for the differential");
+
+        let mut data_rng = simnet::rng_from_seed(seed ^ 0xc4a2);
+        let mut data = Vec::new();
+        for h in 0..100u64 {
+            let v = data_rng.gen_range(DOMAIN.0..=DOMAIN.1);
+            for s in &mut schemes {
+                s.publish(v, h).expect("publish");
+            }
+            data.push((v, h));
+        }
+
+        // The same plan epochs hit every scheme (victims differ per
+        // substrate — the plan draws them from each scheme's own live set).
+        let plan = ChurnPlan::named(CHURN_PLAN_NAMES[plan_idx]).expect("cataloged").with_rate(10);
+        for s in &mut schemes {
+            let dynamic = s.as_dynamic().expect("filtered to dynamic schemes");
+            for epoch in 0..3 {
+                plan.apply(dynamic, seed, epoch).expect("plans tolerate refusals");
+            }
+            dynamic.stabilize();
+        }
+
+        // Post-stabilize: identical, exact result sets with full recall.
+        let mut qrng = simnet::rng_from_seed(seed ^ 0x57ab);
+        for q in 0..6u64 {
+            let lo: f64 = qrng.gen_range(DOMAIN.0..DOMAIN.1);
+            let hi = (lo + qrng.gen_range(0.1f64..300.0)).min(DOMAIN.1);
+            let mut expected: Vec<u64> = data
+                .iter()
+                .filter(|&&(v, _)| v >= lo && v <= hi)
+                .map(|&(_, h)| h)
+                .collect();
+            expected.sort_unstable();
+            for s in &schemes {
+                let origin = s.random_origin(&mut qrng);
+                let out = s.range_query(origin, lo, hi, q).expect("query");
+                prop_assert_eq!(
+                    &out.results,
+                    &expected,
+                    "{} disagrees on [{}, {}] after {} churn",
+                    s.scheme_name(),
+                    lo,
+                    hi,
+                    plan.name()
+                );
+                prop_assert!(out.exact, "{} inexact after stabilize", s.scheme_name());
+                prop_assert_eq!(out.peer_recall(), 1.0, "{} recall", s.scheme_name());
             }
         }
     }
