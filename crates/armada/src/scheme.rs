@@ -22,8 +22,8 @@
 
 use crate::{ArmadaError, MultiArmada, QueryOutcome, SingleArmada};
 use dht_api::{
-    BuildParams, DynamicScheme, MultiBuildParams, MultiRangeScheme, RangeOutcome, RangeScheme,
-    SchemeError, SchemeRegistry,
+    BuildParams, Dht, DynamicScheme, MultiBuildParams, MultiRangeScheme, RangeOutcome, RangeScheme,
+    ReplicaRouting, SchemeError, SchemeRegistry,
 };
 use fissione::FissioneConfig;
 use rand::rngs::SmallRng;
@@ -166,6 +166,10 @@ impl RangeScheme for PiraScheme {
     fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
         Some(self)
     }
+
+    fn as_replica_routing(&self) -> Option<&dyn ReplicaRouting> {
+        Some(self)
+    }
 }
 
 /// FISSIONE-backed dynamics shared by the PIRA and sequential-walk
@@ -201,6 +205,39 @@ macro_rules! impl_fissione_dynamics {
 
 impl_fissione_dynamics!(PiraScheme);
 impl_fissione_dynamics!(SeqWalkScheme);
+
+/// FISSIONE-backed replica routing shared by the single-attribute
+/// adapters: close groups come from the substrate's Kautz neighborhood
+/// ([`Dht::replica_owners`]), and point fetches pay the real routed path
+/// to the holder plus one direct response hop.
+macro_rules! impl_fissione_replication {
+    ($adapter:ty) => {
+        impl ReplicaRouting for $adapter {
+            fn live_peers(&self) -> Vec<NodeId> {
+                self.inner.net().live_peers().collect()
+            }
+
+            fn close_group(&self, value: f64, r: usize) -> Vec<NodeId> {
+                self.inner.net().replica_owners(dht_api::value_key(value), r)
+            }
+
+            fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> (u64, u64) {
+                if origin == holder {
+                    return (0, 0); // the copy is local
+                }
+                let net = self.inner.net();
+                let hops = net
+                    .peer_id(holder)
+                    .and_then(|id| net.route(origin, id))
+                    .map_or_else(|_| (net.len() as f64).log2().ceil() as u64, |r| r.hops() as u64);
+                (hops + 1, hops + 1) // routed request + direct response
+            }
+        }
+    };
+}
+
+impl_fissione_replication!(PiraScheme);
+impl_fissione_replication!(SeqWalkScheme);
 
 /// The sequential-walk reference baseline as a [`RangeScheme`].
 ///
@@ -265,6 +302,10 @@ impl RangeScheme for SeqWalkScheme {
     }
 
     fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
+        Some(self)
+    }
+
+    fn as_replica_routing(&self) -> Option<&dyn ReplicaRouting> {
         Some(self)
     }
 }
@@ -503,6 +544,55 @@ mod tests {
         let a = scheme.range_query(origin, 100.0, 400.0, 1).unwrap();
         let b = scheme.range_query_with_faults(origin, 100.0, 400.0, 1, &faults).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replicated_pira_recovers_records_before_stabilize() {
+        let mut reg = SchemeRegistry::new();
+        register(&mut reg);
+        let build = |name: &str| {
+            let mut rng = simnet::rng_from_seed(806);
+            let mut s = reg.build_single(name, &params(120), &mut rng).unwrap();
+            let mut data_rng = simnet::rng_from_seed(8060);
+            for h in 0..300u64 {
+                s.publish(data_rng.gen_range(0.0..=1000.0), h).unwrap();
+            }
+            s
+        };
+        let mut plain = build("pira");
+        let mut replicated = build("pira+r3");
+        // The same crash sequence hits both (victims are drawn by index
+        // from identical live lists — the wrapper does not perturb
+        // membership).
+        for s in [&mut plain, &mut replicated] {
+            let dynamic = s.as_dynamic().unwrap();
+            for _ in 0..15 {
+                let live = dynamic.live_peers();
+                dynamic.crash(live[live.len() / 2]).unwrap();
+            }
+        }
+        // No stabilize: the primary path is degraded on both…
+        let mut rng = simnet::rng_from_seed(807);
+        let origin = plain.random_origin(&mut rng);
+        let bare = plain.range_query(origin, 0.0, 1000.0, 0).unwrap();
+        let served = replicated.range_query(origin, 0.0, 1000.0, 0).unwrap();
+        assert!(bare.results.len() < 300, "15 crashes must cost the bare scheme records");
+        // …but replicas win answers back, at an honest message premium.
+        assert!(
+            served.results.len() > bare.results.len(),
+            "replicas must recover records: {} !> {}",
+            served.results.len(),
+            bare.results.len()
+        );
+        // FissionE reclaims crashed zones synchronously, so peer-level
+        // recall can already sit at 1.0 mid-churn — the replicas win back
+        // the *records* and must never make peer recall worse.
+        assert!(served.peer_recall() >= bare.peer_recall());
+        assert!(served.messages > bare.messages, "replica fetches are not free");
+        assert!(served.delay >= bare.delay, "the fetch phase cannot shorten the critical path");
+        // The wrapper still reports the scheme's registry identity.
+        assert_eq!(replicated.scheme_name(), "pira");
+        assert!(replicated.substrate().contains("successor-3"));
     }
 
     #[test]

@@ -255,6 +255,17 @@ impl Dht for ChordNet {
         self.successor_of(key)
     }
 
+    fn replica_owners(&self, key: u64, r: usize) -> Vec<NodeId> {
+        // Chord's classic successor-list replication: the key's owner plus
+        // the next `r − 1` nodes clockwise — a local ring walk, no routing.
+        let want = r.max(1).min(self.ring.len());
+        let start = match self.ring.binary_search_by_key(&key, |&(id, _)| id) {
+            Ok(i) => i,
+            Err(i) => i % self.ring.len(),
+        };
+        (0..want).map(|i| self.ring[(start + i) % self.ring.len()].1).collect()
+    }
+
     fn any_node(&self) -> NodeId {
         self.ring[0].1
     }
@@ -363,6 +374,34 @@ mod tests {
             assert!(avg < log_n, "N={n}: avg {avg} ≥ log2N {log_n}");
             assert!(avg > 0.25 * log_n, "N={n}: avg {avg} suspiciously low");
         }
+    }
+
+    #[test]
+    fn replica_owners_walk_the_successor_list() {
+        let net = build(40, 9);
+        let mut rng = simnet::rng_from_seed(90);
+        for _ in 0..50 {
+            let key: u64 = rng.gen();
+            let owners = Dht::replica_owners(&net, key, 4);
+            assert_eq!(owners.len(), 4);
+            assert_eq!(owners[0], net.successor_of(key), "primary is the key's owner");
+            let distinct: std::collections::BTreeSet<_> = owners.iter().collect();
+            assert_eq!(distinct.len(), 4, "owners must be distinct");
+            // Consecutive on the ring: each owner is its predecessor's
+            // direct successor.
+            for pair in owners.windows(2) {
+                assert_eq!(
+                    net.successor_of(net.id_of(pair[0]).wrapping_add(1)),
+                    pair[1],
+                    "successor-list order"
+                );
+            }
+            // Prefix-stable in r.
+            assert_eq!(Dht::replica_owners(&net, key, 2), owners[..2].to_vec());
+        }
+        // Clamped to the network size.
+        let tiny = build(3, 10);
+        assert_eq!(Dht::replica_owners(&tiny, 7, 10).len(), 3);
     }
 
     #[test]

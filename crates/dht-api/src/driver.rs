@@ -61,6 +61,10 @@ pub struct EpochSummary {
     /// Membership events applied between the previous epoch and this one
     /// (all zeros for epoch 0).
     pub churn: crate::ChurnStats,
+    /// Replica repair performed after those membership events — the
+    /// re-replication traffic of a [`Replicated`](crate::Replicated)
+    /// scheme (all zeros for epoch 0 and for unreplicated schemes).
+    pub repair: crate::ReplicaRepair,
     /// Mean query delay (hops) within the epoch.
     pub delay_mean: f64,
     /// Fraction of the epoch's queries answered exactly.

@@ -36,6 +36,12 @@
 //!   [`ParallelDriver::run_epochs`], which interleaves sharded query
 //!   epochs with serial membership events and reports a per-epoch
 //!   recall/exactness/delay series.
+//! * [`ReplicaPolicy`] / [`Replicated`] — the replication layer: named,
+//!   deterministic replica placement (`none`, `successor-r`,
+//!   `neighbor-set-r`) composable over any scheme that exposes
+//!   [`ReplicaRouting`], answering range queries from any live replica
+//!   mid-churn and re-replicating after membership events
+//!   ([`ReplicationControl`]), with repair traffic reported per epoch.
 //!
 //! # Metric vocabulary (§4.3.3 of the paper)
 //!
@@ -65,6 +71,7 @@ mod driver;
 mod dynamics;
 mod parallel;
 mod registry;
+mod replication;
 mod scheme;
 mod workload;
 
@@ -73,6 +80,10 @@ pub use driver::{DriverReport, EpochSummary, QueryDriver};
 pub use dynamics::{DynamicDht, DynamicScheme};
 pub use parallel::{default_threads, ParallelDriver};
 pub use registry::{BuildParams, MultiBuildParams, MultiBuilder, SchemeRegistry, SingleBuilder};
+pub use replication::{
+    ring_owners, value_key, ReplicaKind, ReplicaPolicy, ReplicaRepair, ReplicaRouting, Replicated,
+    ReplicationControl,
+};
 pub use scheme::{MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError};
 pub use workload::{WorkloadGen, WorkloadKind, WORKLOAD_NAMES};
 
@@ -116,6 +127,35 @@ pub trait Dht: Send + Sync {
     fn owner_of_key(&self, key: u64) -> NodeId {
         let probe = self.route_key(self.any_node(), key);
         probe.owner
+    }
+
+    /// The `r` distinct peers that should hold copies of `key`'s record —
+    /// the substrate's close group around the owner, primary first.
+    ///
+    /// **Cost:** the default implementation derives extra owners by salted
+    /// re-hashing, paying one [`owner_of_key`] probe per candidate — on
+    /// substrates without a local-owner override that is `O(r · log N)`
+    /// overlay hops of simulated work. Substrates with structural
+    /// neighborhoods override it with a *local* computation: `chord`
+    /// returns the key's ring successors (the classic successor list),
+    /// `fissione` the owner plus its Kautz neighbors. The result is always
+    /// deterministic in `(key, r, membership)` and clamped to the live
+    /// peer count.
+    ///
+    /// [`owner_of_key`]: Dht::owner_of_key
+    fn replica_owners(&self, key: u64, r: usize) -> Vec<NodeId> {
+        let want = r.max(1).min(self.node_count());
+        let mut owners = vec![self.owner_of_key(key)];
+        let mut salt: u64 = 0;
+        // The salt walk terminates even when few distinct owners exist.
+        while owners.len() < want && salt < 64 * want as u64 {
+            salt += 1;
+            let probe = self.owner_of_key(key ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            if !owners.contains(&probe) {
+                owners.push(probe);
+            }
+        }
+        owners
     }
 
     /// Some live peer (used as a default probe source).

@@ -246,6 +246,7 @@ impl ParallelDriver {
         let mut total = Accumulator::default();
         let mut series = Vec::with_capacity(epochs);
         let mut pending_churn = ChurnStats::default();
+        let mut pending_repair = crate::ReplicaRepair::default();
         for epoch in 0..epochs {
             let n_peers = scheme.node_count();
             let base = epoch * self.queries;
@@ -264,6 +265,7 @@ impl ParallelDriver {
                 epoch,
                 peers: n_peers,
                 churn: std::mem::take(&mut pending_churn),
+                repair: std::mem::take(&mut pending_repair),
                 delay_mean: epoch_report.delay.mean,
                 exact_rate: epoch_report.exact_rate,
                 recall_mean: epoch_report.recall.mean,
@@ -273,6 +275,12 @@ impl ParallelDriver {
             if epoch + 1 < epochs {
                 let dynamic = scheme.as_dynamic().expect("checked above");
                 pending_churn = plan.apply(dynamic, self.seed, epoch as u64)?;
+                // Replicated schemes re-replicate after membership events;
+                // when the plan already stabilized (which repairs replicas
+                // too), this pass finds nothing left to do and reports the
+                // delta honestly.
+                pending_repair =
+                    scheme.as_replicated().map_or_else(Default::default, |c| c.re_replicate());
             }
         }
         let mut report = total.report(&name, epochs * self.queries);

@@ -5,6 +5,7 @@
 //! `register(&mut SchemeRegistry)` function, and
 //! `armada_experiments::standard_registry()` assembles the full set.
 
+use crate::replication::{ReplicaPolicy, Replicated};
 use crate::scheme::{MultiRangeScheme, RangeScheme, SchemeError};
 use rand::rngs::SmallRng;
 use std::collections::BTreeMap;
@@ -19,17 +20,27 @@ pub struct BuildParams {
     /// Resolution knob for Kautz-named schemes (FISSIONE ObjectID length;
     /// the paper's default is 100). Schemes without such a knob ignore it.
     pub object_id_len: usize,
+    /// Replica placement policy the built scheme is wrapped with
+    /// ([`ReplicaPolicy::none`] by default — no wrapper). A `+suffix` on
+    /// the scheme name (e.g. `"pira+r3"`) overrides this field.
+    pub replication: ReplicaPolicy,
 }
 
 impl BuildParams {
     /// Params for `n` peers over `[lo, hi]` with the paper's defaults.
     pub fn new(n: usize, lo: f64, hi: f64) -> Self {
-        BuildParams { n, domain: (lo, hi), object_id_len: 100 }
+        BuildParams { n, domain: (lo, hi), object_id_len: 100, replication: ReplicaPolicy::none() }
     }
 
     /// Overrides the ObjectID length (tests use shorter IDs for speed).
     pub fn with_object_id_len(mut self, len: usize) -> Self {
         self.object_id_len = len;
+        self
+    }
+
+    /// Sets the replica placement policy built schemes are wrapped with.
+    pub fn with_replication(mut self, policy: ReplicaPolicy) -> Self {
+        self.replication = policy;
         self
     }
 }
@@ -166,11 +177,22 @@ impl SchemeRegistry {
         params: &BuildParams,
         rng: &mut SmallRng,
     ) -> Result<Box<dyn RangeScheme>, SchemeError> {
+        // `"pira+r3"`-style names select a replica policy inline; the
+        // suffix takes precedence over `params.replication`.
+        let (base, suffix_policy) = match name.split_once('+') {
+            Some((base, suffix)) => (base, Some(ReplicaPolicy::named(suffix)?)),
+            None => (name, None),
+        };
         let builder = self
             .single
-            .get(name)
+            .get(base)
             .ok_or_else(|| SchemeError::UnknownScheme { name: name.to_string(), kind: "single" })?;
-        builder(params, rng)
+        let inner = builder(params, rng)?;
+        let policy = suffix_policy.unwrap_or_else(|| params.replication.clone());
+        if policy.is_none() {
+            return Ok(inner);
+        }
+        Ok(Box::new(Replicated::new(inner, policy)?))
     }
 
     /// Builds the multi-attribute scheme registered under `name`.
@@ -316,6 +338,33 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, SchemeError::UnknownScheme { kind: "multi", .. }));
+    }
+
+    #[test]
+    fn replication_suffixes_wrap_or_refuse() {
+        let reg = toy_registry();
+        let mut rng = simnet::rng_from_seed(1);
+        let params = BuildParams::new(8, 0.0, 10.0);
+        // LocalScan exposes no ReplicaRouting: wrapping must refuse.
+        let err = reg.build_single("local-scan+r2", &params, &mut rng).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SchemeError::Unsupported { feature: "replication", .. }), "{err}");
+        let err = reg
+            .build_single(
+                "local-scan",
+                &params.clone().with_replication(ReplicaPolicy::successor(2)),
+                &mut rng,
+            )
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SchemeError::Unsupported { feature: "replication", .. }), "{err}");
+        // Factor-1 and `none` policies skip the wrapper entirely.
+        assert!(reg.build_single("local-scan+r1", &params, &mut rng).is_ok());
+        assert!(reg.build_single("local-scan+none", &params, &mut rng).is_ok());
+        // Unknown suffixes fail as policies, unknown bases as schemes.
+        let err = reg.build_single("local-scan+bogus", &params, &mut rng).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SchemeError::UnknownReplicaPolicy { .. }), "{err}");
+        let err = reg.build_single("missing+r2", &params, &mut rng).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SchemeError::UnknownScheme { .. }), "{err}");
     }
 
     #[test]

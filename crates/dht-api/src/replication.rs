@@ -1,0 +1,1027 @@
+//! The replication layer: deterministic replica placement, quorum-style
+//! range reads, and post-churn repair — composable over any scheme.
+//!
+//! The paper's evaluation treats recall loss under faults as a given (§4.3.3
+//! measures *peer recall* but never tries to win it back), and the churn
+//! experiments confirm it: every dynamic scheme's recall collapses between
+//! crash events and `stabilize()`. Real DHT deployments close that gap with
+//! record replication — garage's sharded replica sets over the ring and
+//! maidsafe's close-group replication near the target address are the two
+//! classic disciplines — and this module makes that a first-class,
+//! scheme-generic capability:
+//!
+//! * [`ReplicaPolicy`] — a named, deterministic placement policy: `none`,
+//!   `successor-r` (consistent-hash ring walk over the live peer set, the
+//!   garage/Dynamo discipline) or `neighbor-set-r` (the substrate's close
+//!   group around the primary owner, the maidsafe discipline).
+//! * [`ReplicaRouting`] — what a scheme exposes so the layer can place and
+//!   read replicas: deterministic owner selection and honest point-fetch
+//!   cost accounting. Schemes opt in through
+//!   [`RangeScheme::as_replica_routing`].
+//! * [`Replicated`] — the wrapper: composes over any boxed [`RangeScheme`],
+//!   publishes each record to `r` deterministically chosen owners, answers
+//!   range queries from *any live replica* when the primary path comes back
+//!   short (extra messages and the second-phase delay are counted in the
+//!   [`RangeOutcome`]), and re-replicates after membership events.
+//! * [`ReplicationControl`] / [`ReplicaRepair`] — the control surface
+//!   drivers use ([`RangeScheme::as_replicated`]) to trigger
+//!   [`re_replicate`](ReplicationControl::re_replicate) after churn and
+//!   report the repair traffic as a per-epoch series.
+//!
+//! # Determinism and monotonicity
+//!
+//! Placement is a pure function of `(policy, record value, live peer set)`;
+//! repair iterates records in publish order; nothing draws from an RNG. Two
+//! consequences the workspace tests pin: epoch-driven reports stay
+//! **bitwise identical for any thread count**, and under `successor-r`
+//! placement the owner list for factor `r` is a *prefix* of the list for
+//! `r + 1`, so the set of records recoverable mid-churn grows monotonically
+//! with the replication factor — the recall-vs-replication trade-off the
+//! `replication_sweep` experiment measures.
+//!
+//! # What repair may assume
+//!
+//! Like the schemes' own `repair_records` sweeps, the wrapper keeps the
+//! published record table as durable ground truth, and repair is modeled
+//! as **loss-free re-publication from that table**: `re_replicate` places
+//! copies at the freshly-computed owners whether or not a live copy
+//! survived the epoch's crashes (the same assumption every substrate's
+//! `stabilize` repair already makes — a record whose primary *and* all
+//! replicas died in one event batch still comes back at the next repair
+//! pass). What replication factors trade off is therefore the *window*,
+//! not permanent loss: copies held by crashed or departed peers are gone
+//! until repair runs, and queries inside that window — exactly what the
+//! recall experiments measure — only recover records that still have a
+//! live holder.
+
+use crate::dynamics::DynamicScheme;
+use crate::scheme::{RangeOutcome, RangeScheme, SchemeError};
+use rand::rngs::SmallRng;
+use simnet::NodeId;
+use std::collections::BTreeSet;
+
+/// Salt separating replica-fetch drop draws from every other seeded
+/// stream (workload, origin, churn).
+const FETCH_SALT: u64 = 0xfe7c_fe7c_fe7c_fe7c;
+
+/// Replica placement disciplines a [`ReplicaPolicy`] can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaKind {
+    /// No replication: the primary copy is the only copy.
+    None,
+    /// Consistent-hash ring walk: the record's key is hashed to a point on
+    /// a ring of live-peer positions and the `r` peers clockwise from it
+    /// hold the copies (garage / Dynamo style).
+    Successor,
+    /// The substrate's close group: the primary owner plus its `r − 1`
+    /// nearest peers in the overlay's own distance metric (maidsafe style).
+    NeighborSet,
+}
+
+/// A named, deterministic replica placement policy: the kind plus the
+/// replication factor `r` (total copies, primary included).
+///
+/// # Example
+///
+/// ```
+/// use dht_api::ReplicaPolicy;
+///
+/// let p = ReplicaPolicy::named("successor-3").unwrap();
+/// assert_eq!(p.factor(), 3);
+/// assert_eq!(p.name(), "successor-3");
+/// // Registry-suffix shorthand parses to the same policies.
+/// assert_eq!(ReplicaPolicy::named("r3").unwrap(), p);
+/// assert_eq!(
+///     ReplicaPolicy::named("ns2").unwrap(),
+///     ReplicaPolicy::named("neighbor-set-2").unwrap()
+/// );
+/// assert!(ReplicaPolicy::named("none").unwrap().is_none());
+/// assert!(ReplicaPolicy::named("quorum-9").is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaPolicy {
+    kind: ReplicaKind,
+    factor: usize,
+}
+
+impl Default for ReplicaPolicy {
+    fn default() -> Self {
+        ReplicaPolicy::none()
+    }
+}
+
+impl ReplicaPolicy {
+    /// The no-replication policy (factor 1).
+    pub fn none() -> Self {
+        ReplicaPolicy { kind: ReplicaKind::None, factor: 1 }
+    }
+
+    /// Successor placement with `r` total copies (clamped to at least 1).
+    pub fn successor(r: usize) -> Self {
+        ReplicaPolicy { kind: ReplicaKind::Successor, factor: r.max(1) }
+    }
+
+    /// Close-group placement with `r` total copies (clamped to at least 1).
+    pub fn neighbor_set(r: usize) -> Self {
+        ReplicaPolicy { kind: ReplicaKind::NeighborSet, factor: r.max(1) }
+    }
+
+    /// Parses a policy name: `none`, `successor-R`, `neighbor-set-R`, or
+    /// the registry-suffix shorthands `rR` / `nsR` (as in `"pira+r3"`).
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::UnknownReplicaPolicy`] for anything else.
+    pub fn named(name: &str) -> Result<Self, SchemeError> {
+        let unknown = || SchemeError::UnknownReplicaPolicy { name: name.to_string() };
+        if name == "none" {
+            return Ok(ReplicaPolicy::none());
+        }
+        let (kind, digits) = if let Some(d) = name.strip_prefix("successor-") {
+            (ReplicaKind::Successor, d)
+        } else if let Some(d) = name.strip_prefix("neighbor-set-") {
+            (ReplicaKind::NeighborSet, d)
+        } else if let Some(d) = name.strip_prefix("ns") {
+            (ReplicaKind::NeighborSet, d)
+        } else if let Some(d) = name.strip_prefix('r') {
+            (ReplicaKind::Successor, d)
+        } else {
+            return Err(unknown());
+        };
+        let factor: usize = digits.parse().map_err(|_| unknown())?;
+        if factor == 0 {
+            return Err(unknown());
+        }
+        Ok(ReplicaPolicy { kind, factor })
+    }
+
+    /// The canonical policy name (`"none"`, `"successor-3"`, …).
+    pub fn name(&self) -> String {
+        match self.kind {
+            ReplicaKind::None => "none".to_string(),
+            ReplicaKind::Successor => format!("successor-{}", self.factor),
+            ReplicaKind::NeighborSet => format!("neighbor-set-{}", self.factor),
+        }
+    }
+
+    /// The placement discipline.
+    pub fn kind(&self) -> ReplicaKind {
+        self.kind
+    }
+
+    /// Total copies per record, primary included (always ≥ 1).
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Whether the policy places no extra copies (kind `none`, or any kind
+    /// at factor 1).
+    pub fn is_none(&self) -> bool {
+        self.kind == ReplicaKind::None || self.factor <= 1
+    }
+}
+
+/// A peer's position on the consistent-hash ring used by
+/// [`ring_owners`] — a pure function of the node id, so positions survive
+/// churn (only a changed peer's own arc moves, the property consistent
+/// hashing exists for).
+fn ring_position(node: NodeId) -> u64 {
+    crate::fnv1a(&(node as u64).to_le_bytes())
+}
+
+/// Successor-style owner selection over a live peer set: hash `key` to a
+/// ring point, take the first `r` live peers clockwise from it.
+///
+/// The returned list for `r` is always a **prefix** of the list for
+/// `r + 1` — the property that makes recall monotone in the replication
+/// factor under identical churn histories.
+pub fn ring_owners(live: &[NodeId], key: u64, r: usize) -> Vec<NodeId> {
+    if live.is_empty() || r == 0 {
+        return Vec::new();
+    }
+    let mut ring: Vec<(u64, NodeId)> = live.iter().map(|&n| (ring_position(n), n)).collect();
+    ring.sort_unstable();
+    let point = crate::fnv1a(&key.to_le_bytes());
+    let start = ring.partition_point(|&(p, _)| p < point);
+    (0..r.min(ring.len())).map(|i| ring[(start + i) % ring.len()].1).collect()
+}
+
+/// Hashes a record's attribute value into the opaque key space replica
+/// placement works over (bit-exact, so `0.1` and `0.1` always co-locate).
+pub fn value_key(value: f64) -> u64 {
+    crate::fnv1a(&value.to_bits().to_le_bytes())
+}
+
+/// What a scheme exposes so the replication layer can place and read
+/// replicas — the live membership, the substrate's close group, and honest
+/// fetch costs.
+///
+/// Schemes opt in through [`RangeScheme::as_replica_routing`]; the
+/// [`Replicated`] wrapper refuses construction over schemes that do not.
+pub trait ReplicaRouting {
+    /// All live peers, in the same deterministic order as
+    /// [`DynamicScheme::live_peers`].
+    fn live_peers(&self) -> Vec<NodeId>;
+
+    /// The substrate's close group for the record keyed by `value`: the
+    /// primary owner plus its `r − 1` nearest live peers in the overlay's
+    /// own distance metric (e.g.
+    /// [`Dht::replica_owners`](crate::Dht::replica_owners) one layer
+    /// down). Distinct, primary first.
+    fn close_group(&self, value: f64, r: usize) -> Vec<NodeId>;
+
+    /// The cost of one point fetch from `origin` at `holder` as
+    /// `(delay, messages)`: the overlay routing path to the holder plus one
+    /// direct response hop. Implementations must price this with the same
+    /// honesty as their query paths (real routed hops where the substrate
+    /// can route to a node, the `O(log N)` lookup model otherwise).
+    fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> (u64, u64);
+
+    /// The `policy.factor()` distinct live owners for the record keyed by
+    /// `value`, primary first — a pure function of `(value, policy, live
+    /// membership)`. [`ReplicaKind::Successor`] walks the consistent-hash
+    /// ring over [`live_peers`](Self::live_peers) ([`ring_owners`], whose
+    /// prefix property makes recall monotone in the factor);
+    /// [`ReplicaKind::NeighborSet`] delegates to
+    /// [`close_group`](Self::close_group).
+    fn replica_owners(&self, value: f64, policy: &ReplicaPolicy) -> Vec<NodeId> {
+        match policy.kind() {
+            ReplicaKind::None => Vec::new(),
+            ReplicaKind::Successor => {
+                ring_owners(&self.live_peers(), value_key(value), policy.factor())
+            }
+            ReplicaKind::NeighborSet => self.close_group(value, policy.factor()),
+        }
+    }
+}
+
+/// What one repair pass did: copies placed, stale copies dropped, and the
+/// messages the traffic cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaRepair {
+    /// Replica copies newly placed on live owners.
+    pub placed: usize,
+    /// Stale copies retired from live peers that are no longer owners.
+    pub dropped: usize,
+    /// Protocol messages the pass sent (copy transfers + retirements).
+    pub messages: u64,
+}
+
+impl ReplicaRepair {
+    /// Total repair operations (placements + retirements).
+    pub fn ops(&self) -> usize {
+        self.placed + self.dropped
+    }
+}
+
+/// The control surface of a replicated scheme, discovered at runtime via
+/// [`RangeScheme::as_replicated`] — how
+/// [`ParallelDriver::run_epochs`](crate::ParallelDriver::run_epochs)
+/// triggers repair after membership events and reports its traffic.
+pub trait ReplicationControl {
+    /// The active placement policy.
+    fn policy(&self) -> &ReplicaPolicy;
+
+    /// Restores the replica invariant: every record's copies sit at its
+    /// currently-computed owners. Returns what the pass did; a second call
+    /// with no intervening membership change returns all zeros
+    /// (idempotency, pinned by `tests/repair_idempotency.rs`).
+    fn re_replicate(&mut self) -> ReplicaRepair;
+
+    /// Replica copies currently placed (primaries not counted).
+    fn replica_count(&self) -> usize;
+
+    /// Human-readable label, e.g. `"pira+successor-3"`.
+    fn label(&self) -> String;
+}
+
+/// A replicated scheme: any boxed [`RangeScheme`] wrapped with
+/// policy-driven replica placement, replica-served range reads, and
+/// post-churn repair.
+///
+/// Build one directly, or through the registry with a
+/// [`BuildParams::replication`](crate::BuildParams) policy or a
+/// `"pira+r3"`-style name suffix.
+///
+/// # Outcome semantics
+///
+/// The wrapper reinterprets completeness at *data* granularity: when the
+/// primary path misses records that a live replica still holds, the
+/// wrapper fetches them (one point fetch per record, priced by
+/// [`ReplicaRouting::fetch_cost`]), adds the fetch messages to
+/// [`RangeOutcome::messages`], extends [`RangeOutcome::delay`] by the
+/// slowest fetch (the fetch phase starts after the primary phase
+/// completes), and scales [`RangeOutcome::reached_peers`] by the recovered
+/// fraction of the missing records — full recovery restores
+/// `exact == true` and `peer_recall == 1.0`.
+pub struct Replicated {
+    inner: Box<dyn RangeScheme>,
+    policy: ReplicaPolicy,
+    /// Every record ever published, in publish order — the ground truth
+    /// queries are checked against and repair re-replicates from.
+    published: Vec<(f64, u64)>,
+    /// `holders[i]` = peers currently holding a replica of record `i`
+    /// (the primary copy lives inside the inner scheme and is not listed).
+    holders: Vec<Vec<NodeId>>,
+}
+
+impl Replicated {
+    /// Wraps `inner` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Unsupported`] when the inner scheme does not expose
+    /// [`ReplicaRouting`] (placement would be impossible).
+    pub fn new(inner: Box<dyn RangeScheme>, policy: ReplicaPolicy) -> Result<Self, SchemeError> {
+        if inner.as_replica_routing().is_none() {
+            return Err(SchemeError::Unsupported {
+                scheme: inner.scheme_name().to_string(),
+                feature: "replication",
+            });
+        }
+        Ok(Replicated { inner, policy, published: Vec::new(), holders: Vec::new() })
+    }
+
+    /// The wrapped scheme.
+    pub fn inner(&self) -> &dyn RangeScheme {
+        self.inner.as_ref()
+    }
+
+    fn routing(&self) -> &dyn ReplicaRouting {
+        self.inner.as_replica_routing().expect("checked at construction")
+    }
+
+    /// Ground-truth handles for `[lo, hi]`, ascending and deduplicated —
+    /// the same contract as [`RangeOutcome::results`].
+    fn expected(&self, lo: f64, hi: f64) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .published
+            .iter()
+            .filter(|&&(value, _)| value >= lo && value <= hi)
+            .map(|&(_, h)| h)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The second query phase: fetch records the primary path missed from
+    /// any live replica, with honest cost accounting. Under fault
+    /// injection (`faults` present) the fetches obey the same plan the
+    /// primary phase did: holders the plan has crashed cannot serve, and
+    /// each fetch is dropped with the plan's message-loss probability,
+    /// drawn from an RNG derived from the query seed so the outcome stays
+    /// deterministic. Dropped fetches still cost their messages and delay.
+    fn recover(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        mut out: RangeOutcome,
+        faults: Option<(&simnet::FaultPlan, u64)>,
+    ) -> RangeOutcome {
+        use rand::Rng as _;
+        if self.policy.is_none() {
+            return out;
+        }
+        let expected = self.expected(lo, hi);
+        if expected == out.results {
+            return out;
+        }
+        let have: BTreeSet<u64> = out.results.iter().copied().collect();
+        let mut missing: BTreeSet<u64> =
+            expected.iter().copied().filter(|h| !have.contains(h)).collect();
+        let missing_n = missing.len();
+        let routing = self.routing();
+        let mut fault_state =
+            faults.map(|(plan, seed)| (plan, simnet::rng_from_seed(seed ^ FETCH_SALT)));
+        let mut fetched: Vec<u64> = Vec::new();
+        let mut fetch_delay = 0u64;
+        for (idx, &(value, handle)) in self.published.iter().enumerate() {
+            if value < lo || value > hi || !missing.contains(&handle) {
+                continue;
+            }
+            let holder = match &fault_state {
+                None => self.holders[idx].first().copied(),
+                Some((plan, _)) => self.holders[idx].iter().copied().find(|&h| !plan.is_crashed(h)),
+            };
+            let Some(holder) = holder else { continue };
+            let (delay, messages) = routing.fetch_cost(origin, holder);
+            fetch_delay = fetch_delay.max(delay);
+            out.messages += messages;
+            if let Some((plan, rng)) = &mut fault_state {
+                if plan.drop_prob() > 0.0 && rng.gen::<f64>() < plan.drop_prob() {
+                    continue; // paid for, lost in transit
+                }
+            }
+            fetched.push(handle);
+            missing.remove(&handle);
+        }
+        // Fetches run in parallel, but only after the primary phase came
+        // back short — a strictly two-phase read (dropped fetches extend
+        // the phase too; the origin waited for them).
+        out.delay += fetch_delay;
+        if fetched.is_empty() {
+            return out;
+        }
+        let recovered = fetched.len();
+        out.results.extend(fetched);
+        out.results.sort_unstable();
+        out.results.dedup();
+        out.exact = out.results == expected;
+        if out.exact {
+            out.reached_peers = out.dest_peers;
+        } else {
+            // Scale reached by the recovered fraction of the missing
+            // records, flooring so a partially-recovered query can never
+            // report the full-recall figure exact recovery earns.
+            let gap = out.dest_peers.saturating_sub(out.reached_peers);
+            let gain = gap * recovered / missing_n;
+            out.reached_peers = (out.reached_peers + gain)
+                .min(out.dest_peers.saturating_sub(1))
+                .max(out.reached_peers);
+        }
+        out
+    }
+
+    /// Drops every copy held by `node` (it crashed or departed).
+    fn evict(&mut self, node: NodeId) {
+        for hs in &mut self.holders {
+            hs.retain(|&h| h != node);
+        }
+    }
+
+    fn dynamic_inner(&mut self) -> Result<&mut dyn DynamicScheme, SchemeError> {
+        let name = self.inner.scheme_name().to_string();
+        self.inner
+            .as_dynamic()
+            .ok_or(SchemeError::Unsupported { scheme: name, feature: "dynamics" })
+    }
+}
+
+impl std::fmt::Debug for Replicated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replicated")
+            .field("scheme", &self.inner.scheme_name())
+            .field("policy", &self.policy.name())
+            .field("records", &self.published.len())
+            .field("replicas", &self.replica_count())
+            .finish()
+    }
+}
+
+impl RangeScheme for Replicated {
+    fn scheme_name(&self) -> &'static str {
+        self.inner.scheme_name()
+    }
+
+    fn substrate(&self) -> String {
+        format!("{} + {}", self.inner.substrate(), self.policy.name())
+    }
+
+    fn degree(&self) -> String {
+        self.inner.degree()
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn supports_rect(&self) -> bool {
+        self.inner.supports_rect()
+    }
+
+    fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
+        let owners = if self.policy.is_none() {
+            Vec::new()
+        } else {
+            self.routing().replica_owners(value, &self.policy)
+        };
+        self.inner.publish(value, handle)?;
+        self.published.push((value, handle));
+        // The primary copy (owners[0]) lives inside the inner scheme.
+        self.holders.push(owners.into_iter().skip(1).collect());
+        Ok(())
+    }
+
+    fn random_origin(&self, rng: &mut SmallRng) -> NodeId {
+        self.inner.random_origin(rng)
+    }
+
+    fn range_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<RangeOutcome, SchemeError> {
+        let out = self.inner.range_query(origin, lo, hi, seed)?;
+        Ok(self.recover(origin, lo, hi, out, None))
+    }
+
+    fn supports_fault_injection(&self) -> bool {
+        self.inner.supports_fault_injection()
+    }
+
+    fn range_query_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &simnet::FaultPlan,
+    ) -> Result<RangeOutcome, SchemeError> {
+        let out = self.inner.range_query_with_faults(origin, lo, hi, seed, faults)?;
+        Ok(self.recover(origin, lo, hi, out, Some((faults, seed))))
+    }
+
+    fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
+        if self.inner.as_dynamic().is_some() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    fn as_replicated(&mut self) -> Option<&mut dyn ReplicationControl> {
+        Some(self)
+    }
+}
+
+impl DynamicScheme for Replicated {
+    fn join(&mut self, rng: &mut SmallRng) -> Result<NodeId, SchemeError> {
+        self.dynamic_inner()?.join(rng)
+    }
+
+    fn leave(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        self.dynamic_inner()?.leave(node)?;
+        self.evict(node);
+        Ok(())
+    }
+
+    fn crash(&mut self, node: NodeId) -> Result<(), SchemeError> {
+        self.dynamic_inner()?.crash(node)?;
+        self.evict(node);
+        Ok(())
+    }
+
+    fn stabilize(&mut self) -> usize {
+        let inner_ops = self.dynamic_inner().map_or(0, |d| d.stabilize());
+        inner_ops + self.re_replicate().ops()
+    }
+
+    fn live_peers(&self) -> Vec<NodeId> {
+        // The dynamics hook needs `&mut self`; the routing hook exposes the
+        // same deterministic membership list through `&self`.
+        self.routing().live_peers()
+    }
+}
+
+impl ReplicationControl for Replicated {
+    fn policy(&self) -> &ReplicaPolicy {
+        &self.policy
+    }
+
+    fn re_replicate(&mut self) -> ReplicaRepair {
+        let mut repair = ReplicaRepair::default();
+        if self.policy.is_none() {
+            return repair;
+        }
+        for idx in 0..self.published.len() {
+            let (value, _) = self.published[idx];
+            let owners = self
+                .inner
+                .as_replica_routing()
+                .expect("checked")
+                .replica_owners(value, &self.policy);
+            let desired: Vec<NodeId> = owners.iter().skip(1).copied().collect();
+            let primary = owners.first().copied();
+            let current = &mut self.holders[idx];
+            let before = current.len();
+            current.retain(|h| desired.contains(h));
+            let retired = before - current.len();
+            repair.dropped += retired;
+            repair.messages += retired as u64; // one retirement message each
+            for &owner in &desired {
+                if !current.contains(&owner) {
+                    // Copy transfer from the primary owner's side.
+                    let (_, messages) = self
+                        .inner
+                        .as_replica_routing()
+                        .expect("checked")
+                        .fetch_cost(primary.unwrap_or(owner), owner);
+                    repair.messages += messages;
+                    current.push(owner);
+                    repair.placed += 1;
+                }
+            }
+        }
+        repair
+    }
+
+    fn replica_count(&self) -> usize {
+        self.holders.iter().map(Vec::len).sum()
+    }
+
+    fn label(&self) -> String {
+        format!("{}+{}", self.inner.scheme_name(), self.policy.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy sharded scheme: each record lives at one owner chosen by
+    /// consistent hashing; crashed owners lose their records until
+    /// `stabilize` re-homes them. Faithful enough to exercise every
+    /// wrapper path without a real substrate.
+    struct ShardScan {
+        alive: Vec<bool>,
+        /// `(value, handle, current owner)`; dead owner ⇒ record lost.
+        records: Vec<(f64, u64, NodeId)>,
+    }
+
+    impl ShardScan {
+        fn new(n: usize) -> Self {
+            ShardScan { alive: vec![true; n], records: Vec::new() }
+        }
+
+        fn live(&self) -> Vec<NodeId> {
+            (0..self.alive.len()).filter(|&i| self.alive[i]).collect()
+        }
+    }
+
+    impl RangeScheme for ShardScan {
+        fn scheme_name(&self) -> &'static str {
+            "shard-scan"
+        }
+        fn substrate(&self) -> String {
+            "toy".into()
+        }
+        fn degree(&self) -> String {
+            "0".into()
+        }
+        fn node_count(&self) -> usize {
+            self.live().len()
+        }
+        fn publish(&mut self, value: f64, handle: u64) -> Result<(), SchemeError> {
+            let owner = ring_owners(&self.live(), value_key(value), 1)[0];
+            self.records.push((value, handle, owner));
+            Ok(())
+        }
+        fn random_origin(&self, _rng: &mut SmallRng) -> NodeId {
+            self.live()[0]
+        }
+        fn range_query(
+            &self,
+            _origin: NodeId,
+            lo: f64,
+            hi: f64,
+            _seed: u64,
+        ) -> Result<RangeOutcome, SchemeError> {
+            let in_range: Vec<&(f64, u64, NodeId)> =
+                self.records.iter().filter(|&&(v, _, _)| v >= lo && v <= hi).collect();
+            let dest: BTreeSet<NodeId> = in_range.iter().map(|r| r.2).collect();
+            let reached: BTreeSet<NodeId> =
+                dest.iter().copied().filter(|&o| self.alive[o]).collect();
+            let mut results: Vec<u64> =
+                in_range.iter().filter(|r| self.alive[r.2]).map(|r| r.1).collect();
+            results.sort_unstable();
+            results.dedup();
+            Ok(RangeOutcome {
+                results,
+                delay: 2,
+                messages: dest.len() as u64,
+                dest_peers: dest.len(),
+                reached_peers: reached.len(),
+                exact: dest.len() == reached.len(),
+            })
+        }
+        fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
+            Some(self)
+        }
+        fn as_replica_routing(&self) -> Option<&dyn ReplicaRouting> {
+            Some(self)
+        }
+        fn supports_fault_injection(&self) -> bool {
+            true
+        }
+        fn range_query_with_faults(
+            &self,
+            origin: NodeId,
+            lo: f64,
+            hi: f64,
+            seed: u64,
+            faults: &simnet::FaultPlan,
+        ) -> Result<RangeOutcome, SchemeError> {
+            // Owners crashed by the plan cannot answer this query.
+            let mut out = self.range_query(origin, lo, hi, seed)?;
+            let lost: Vec<u64> = self
+                .records
+                .iter()
+                .filter(|&&(v, _, owner)| v >= lo && v <= hi && faults.is_crashed(owner))
+                .map(|&(_, h, _)| h)
+                .collect();
+            out.results.retain(|h| !lost.contains(h));
+            out.exact = lost.is_empty() && out.exact;
+            Ok(out)
+        }
+    }
+
+    impl DynamicScheme for ShardScan {
+        fn join(&mut self, _rng: &mut SmallRng) -> Result<NodeId, SchemeError> {
+            self.alive.push(true);
+            Ok(self.alive.len() - 1)
+        }
+        fn leave(&mut self, node: NodeId) -> Result<(), SchemeError> {
+            self.crash(node)
+        }
+        fn crash(&mut self, node: NodeId) -> Result<(), SchemeError> {
+            if !self.alive.get(node).copied().unwrap_or(false) {
+                return Err(SchemeError::BadOrigin { origin: node });
+            }
+            self.alive[node] = false;
+            Ok(())
+        }
+        fn stabilize(&mut self) -> usize {
+            let live = self.live();
+            let mut moved = 0;
+            for rec in &mut self.records {
+                if !self.alive[rec.2] {
+                    rec.2 = ring_owners(&live, value_key(rec.0), 1)[0];
+                    moved += 1;
+                }
+            }
+            moved
+        }
+        fn live_peers(&self) -> Vec<NodeId> {
+            self.live()
+        }
+    }
+
+    impl ReplicaRouting for ShardScan {
+        fn live_peers(&self) -> Vec<NodeId> {
+            self.live()
+        }
+        fn close_group(&self, value: f64, r: usize) -> Vec<NodeId> {
+            ring_owners(&self.live(), value_key(value), r)
+        }
+        fn fetch_cost(&self, _origin: NodeId, _holder: NodeId) -> (u64, u64) {
+            (2, 2)
+        }
+    }
+
+    fn replicated(n: usize, records: usize, policy: ReplicaPolicy) -> Replicated {
+        let mut wrapped = Replicated::new(Box::new(ShardScan::new(n)), policy).unwrap();
+        for h in 0..records as u64 {
+            // Spread values deterministically over [0, 1000].
+            wrapped.publish((h as f64 * 37.0) % 1000.0, h).unwrap();
+        }
+        wrapped
+    }
+
+    #[test]
+    fn policy_parsing_and_labels() {
+        assert!(ReplicaPolicy::named("bogus").is_err());
+        assert!(ReplicaPolicy::named("r0").is_err());
+        assert!(ReplicaPolicy::named("successor-x").is_err());
+        assert_eq!(ReplicaPolicy::successor(3).name(), "successor-3");
+        assert_eq!(ReplicaPolicy::neighbor_set(2).name(), "neighbor-set-2");
+        assert!(ReplicaPolicy::successor(1).is_none(), "factor 1 places no copies");
+        assert!(!ReplicaPolicy::successor(2).is_none());
+        assert_eq!(ReplicaPolicy::default(), ReplicaPolicy::none());
+    }
+
+    #[test]
+    fn ring_owners_are_distinct_live_and_prefix_stable() {
+        let live: Vec<NodeId> = (0..20).collect();
+        for key in [0u64, 7, 0xdead_beef] {
+            let five = ring_owners(&live, key, 5);
+            assert_eq!(five.len(), 5);
+            let set: BTreeSet<_> = five.iter().collect();
+            assert_eq!(set.len(), 5, "owners must be distinct");
+            // Prefix property: r owners are the first r of r+1 owners.
+            for r in 1..5 {
+                assert_eq!(ring_owners(&live, key, r), five[..r].to_vec());
+            }
+        }
+        // Clamps to the live set.
+        assert_eq!(ring_owners(&live[..3], 1, 9).len(), 3);
+        assert!(ring_owners(&[], 1, 3).is_empty());
+    }
+
+    #[test]
+    fn wrapper_requires_the_routing_hook() {
+        struct NoHook;
+        impl RangeScheme for NoHook {
+            fn scheme_name(&self) -> &'static str {
+                "no-hook"
+            }
+            fn substrate(&self) -> String {
+                "toy".into()
+            }
+            fn degree(&self) -> String {
+                "0".into()
+            }
+            fn node_count(&self) -> usize {
+                1
+            }
+            fn publish(&mut self, _: f64, _: u64) -> Result<(), SchemeError> {
+                Ok(())
+            }
+            fn random_origin(&self, _: &mut SmallRng) -> NodeId {
+                0
+            }
+            fn range_query(
+                &self,
+                _: NodeId,
+                _: f64,
+                _: f64,
+                _: u64,
+            ) -> Result<RangeOutcome, SchemeError> {
+                unreachable!()
+            }
+        }
+        let err = Replicated::new(Box::new(NoHook), ReplicaPolicy::successor(2))
+            .map(|_| ())
+            .expect_err("no routing hook, no replication");
+        assert!(matches!(err, SchemeError::Unsupported { feature: "replication", .. }), "{err}");
+    }
+
+    #[test]
+    fn replicas_recover_crash_lost_records_with_honest_costs() {
+        let mut scheme = replicated(12, 60, ReplicaPolicy::successor(3));
+        let clean = scheme.range_query(0, 0.0, 1000.0, 0).unwrap();
+        assert!(clean.exact);
+        assert_eq!(clean.results.len(), 60);
+
+        // Crash a third of the network through the wrapper.
+        for _ in 0..4 {
+            let victim = *DynamicScheme::live_peers(&scheme).last().unwrap();
+            DynamicScheme::crash(&mut scheme, victim).unwrap();
+        }
+        let out = scheme.range_query(0, 0.0, 1000.0, 0).unwrap();
+        let inner_out = scheme.inner().range_query(0, 0.0, 1000.0, 0).unwrap();
+        assert!(inner_out.results.len() < 60, "crashes must cost the primary path records");
+        assert_eq!(out.results.len(), 60, "every record has a live replica at r = 3");
+        assert!(out.exact, "full recovery restores exactness");
+        assert_eq!(out.peer_recall(), 1.0);
+        assert!(
+            out.messages > inner_out.messages,
+            "replica fetches must be paid for: {} !> {}",
+            out.messages,
+            inner_out.messages
+        );
+        assert!(out.delay > inner_out.delay, "the fetch phase extends the critical path");
+    }
+
+    #[test]
+    fn factor_one_and_none_are_pass_through() {
+        for policy in [ReplicaPolicy::none(), ReplicaPolicy::successor(1)] {
+            let mut scheme = replicated(10, 30, policy);
+            assert_eq!(scheme.replica_count(), 0);
+            let victim = *DynamicScheme::live_peers(&scheme).last().unwrap();
+            DynamicScheme::crash(&mut scheme, victim).unwrap();
+            let out = scheme.range_query(0, 0.0, 1000.0, 0).unwrap();
+            let inner_out = scheme.inner().range_query(0, 0.0, 1000.0, 0).unwrap();
+            assert_eq!(out, inner_out, "no replicas ⇒ the wrapper changes nothing");
+            assert_eq!(scheme.re_replicate(), ReplicaRepair::default());
+        }
+    }
+
+    #[test]
+    fn recovered_results_grow_monotonically_with_the_factor() {
+        let mut per_factor = Vec::new();
+        for r in [1usize, 2, 3, 5] {
+            let mut scheme = replicated(14, 80, ReplicaPolicy::successor(r));
+            // Identical crash sequence for every factor.
+            for _ in 0..5 {
+                let victim = DynamicScheme::live_peers(&scheme)[1];
+                DynamicScheme::crash(&mut scheme, victim).unwrap();
+            }
+            let out = scheme.range_query(0, 0.0, 1000.0, 0).unwrap();
+            per_factor.push((r, out.results.len(), out.peer_recall()));
+        }
+        for pair in per_factor.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "results must be monotone in r: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+            assert!(pair[1].2 >= pair[0].2, "recall must be monotone in r");
+        }
+        assert!(
+            per_factor.last().unwrap().1 > per_factor.first().unwrap().1,
+            "5 crashes on 14 peers must cost the unreplicated scheme something"
+        );
+    }
+
+    #[test]
+    fn re_replicate_is_idempotent_and_heals_after_churn() {
+        let mut scheme = replicated(12, 50, ReplicaPolicy::successor(3));
+        let placed_at_publish = scheme.replica_count();
+        assert_eq!(placed_at_publish, 100, "r = 3 places two copies per record");
+        // Fresh network, placement already correct: repair is a no-op.
+        assert_eq!(scheme.re_replicate(), ReplicaRepair::default());
+
+        for _ in 0..3 {
+            let victim = DynamicScheme::live_peers(&scheme)[0];
+            DynamicScheme::crash(&mut scheme, victim).unwrap();
+        }
+        assert!(scheme.replica_count() < placed_at_publish, "evictions shrink the copy set");
+        let repair = scheme.re_replicate();
+        assert!(repair.placed > 0, "repair must restore evicted copies");
+        assert!(repair.messages > 0, "repair traffic is not free");
+        assert_eq!(scheme.replica_count(), 100);
+        // Second pass with no intervening membership change: all zeros.
+        assert_eq!(scheme.re_replicate(), ReplicaRepair::default());
+        assert_eq!(repair.ops(), repair.placed + repair.dropped);
+    }
+
+    #[test]
+    fn fault_injected_queries_cannot_recover_from_faulted_holders() {
+        let scheme = replicated(12, 60, ReplicaPolicy::successor(3));
+        let clean = scheme.range_query(0, 0.0, 1000.0, 0).unwrap();
+        assert_eq!(clean.results.len(), 60);
+
+        // Pick one record and fault-crash its primary: the replicas serve.
+        let inner_live: Vec<NodeId> = (0..12).collect();
+        let owners = ring_owners(&inner_live, value_key(37.0), 3);
+        let mut faults = simnet::FaultPlan::new();
+        faults.crash(owners[0]);
+        let out = scheme.range_query_with_faults(0, 0.0, 1000.0, 0, &faults).unwrap();
+        assert_eq!(out.results.len(), 60, "a live replica must cover the faulted primary");
+
+        // Fault-crash the whole replica set: recovery must NOT resurrect
+        // the records (the holders are down for this query).
+        for &o in &owners {
+            faults.crash(o);
+        }
+        let out = scheme.range_query_with_faults(0, 0.0, 1000.0, 0, &faults).unwrap();
+        assert!(
+            out.results.len() < 60,
+            "records whose full replica set is faulted must stay missing"
+        );
+        assert!(!out.exact);
+
+        // Total message loss: fetches are paid for but recover nothing.
+        let mut lossy = simnet::FaultPlan::with_drop_prob(1.0);
+        lossy.crash(owners[0]);
+        let dropped = scheme.range_query_with_faults(0, 0.0, 1000.0, 0, &lossy).unwrap();
+        let inner_only = scheme.inner().range_query_with_faults(0, 0.0, 1000.0, 0, &lossy).unwrap();
+        assert_eq!(
+            dropped.results, inner_only.results,
+            "at 100% loss no fetch can land, so no record comes back"
+        );
+        assert!(
+            dropped.messages > inner_only.messages,
+            "the dropped fetches were still sent and must be charged"
+        );
+    }
+
+    #[test]
+    fn partial_recovery_never_reports_full_recall() {
+        let mut scheme = replicated(10, 40, ReplicaPolicy::successor(2));
+        // Crash enough peers that some records lose primary AND replica.
+        for _ in 0..4 {
+            let victim = DynamicScheme::live_peers(&scheme)[0];
+            DynamicScheme::crash(&mut scheme, victim).unwrap();
+        }
+        let out = scheme.range_query(9, 0.0, 1000.0, 0).unwrap();
+        if !out.exact {
+            assert!(
+                out.peer_recall() < 1.0,
+                "an inexact recovered query must not report peer recall 1.0 \
+                 (reached {} of {})",
+                out.reached_peers,
+                out.dest_peers
+            );
+        }
+    }
+
+    #[test]
+    fn stabilize_repairs_both_layers() {
+        let mut scheme = replicated(12, 50, ReplicaPolicy::neighbor_set(2));
+        for _ in 0..3 {
+            let victim = DynamicScheme::live_peers(&scheme)[2];
+            DynamicScheme::crash(&mut scheme, victim).unwrap();
+        }
+        let ops = DynamicScheme::stabilize(&mut scheme);
+        assert!(ops > 0, "stabilize re-homes records and replicas");
+        let out = scheme.range_query(0, 0.0, 1000.0, 0).unwrap();
+        assert!(out.exact, "post-stabilize queries are exact again");
+        // And the repair pass left nothing to do.
+        assert_eq!(scheme.re_replicate(), ReplicaRepair::default());
+    }
+
+    #[test]
+    fn control_surface_reports_policy_and_label() {
+        let mut scheme = replicated(8, 10, ReplicaPolicy::successor(2));
+        let control = scheme.as_replicated().expect("wrapper exposes control");
+        assert_eq!(control.policy().name(), "successor-2");
+        assert_eq!(control.label(), "shard-scan+successor-2");
+        assert!(scheme.substrate().contains("successor-2"));
+    }
+}

@@ -106,6 +106,12 @@ pub enum SchemeError {
         /// The name looked up.
         name: String,
     },
+    /// No replica policy parses from the name (see
+    /// [`ReplicaPolicy::named`](crate::ReplicaPolicy::named)).
+    UnknownReplicaPolicy {
+        /// The name looked up.
+        name: String,
+    },
     /// The scheme does not support the requested capability (e.g. dynamics
     /// on a scheme whose substrate has no churn primitives).
     Unsupported {
@@ -136,6 +142,12 @@ impl std::fmt::Display for SchemeError {
             }
             SchemeError::UnknownChurnPlan { name } => {
                 write!(f, "no churn plan named {name:?} in the catalog")
+            }
+            SchemeError::UnknownReplicaPolicy { name } => {
+                write!(
+                    f,
+                    "no replica policy named {name:?} (try none, successor-R, neighbor-set-R)"
+                )
             }
             SchemeError::Unsupported { scheme, feature } => {
                 write!(f, "scheme {scheme:?} does not support {feature}")
@@ -293,6 +305,23 @@ pub trait RangeScheme: Send + Sync {
     /// Drivers and experiments discover support at runtime through this
     /// hook — no hard-coded scheme lists.
     fn as_dynamic(&mut self) -> Option<&mut dyn crate::DynamicScheme> {
+        None
+    }
+
+    /// The scheme's replica-routing capability: `Some` when the scheme can
+    /// tell the replication layer where copies belong and what a point
+    /// fetch costs ([`ReplicaRouting`](crate::ReplicaRouting)), `None`
+    /// otherwise. The [`Replicated`](crate::Replicated) wrapper refuses
+    /// construction over schemes without it.
+    fn as_replica_routing(&self) -> Option<&dyn crate::ReplicaRouting> {
+        None
+    }
+
+    /// The scheme's replication control surface: `Some` only on the
+    /// [`Replicated`](crate::Replicated) wrapper. Drivers use this to run
+    /// [`re_replicate`](crate::ReplicationControl::re_replicate) after
+    /// membership events and report the repair traffic per epoch.
+    fn as_replicated(&mut self) -> Option<&mut dyn crate::ReplicationControl> {
         None
     }
 }

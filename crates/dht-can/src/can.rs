@@ -252,6 +252,34 @@ impl CanNet {
             .expect("zones tile the unit square")
     }
 
+    /// The `r` distinct zones that should hold copies of `value`'s record:
+    /// the owning zone plus its nearest neighbors, breadth-first over the
+    /// adjacency lists — the CAN close group over rectangles. Deterministic
+    /// in `(value, r, tiling)`, local table reads only, primary first.
+    pub fn replica_owners(&self, value: f64, r: usize) -> Vec<NodeId> {
+        let (x, y) = self.point_of_value(value);
+        let primary = self.owner_of_point(x, y);
+        let want = r.max(1).min(self.len());
+        let mut owners = vec![primary];
+        let mut frontier = vec![primary];
+        while owners.len() < want && !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &zone in &frontier {
+                for &neighbor in self.neighbors(zone) {
+                    if owners.len() >= want {
+                        break;
+                    }
+                    if !owners.contains(&neighbor) {
+                        owners.push(neighbor);
+                        next.push(neighbor);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        owners
+    }
+
     /// Normalises an attribute value to curve parameter `t ∈ [0, 1]`.
     pub fn normalize(&self, value: f64) -> f64 {
         ((value - self.cfg.domain_lo) / (self.cfg.domain_hi - self.cfg.domain_lo)).clamp(0.0, 1.0)
@@ -675,6 +703,26 @@ mod tests {
             assert_eq!(net.len(), n);
             net.check_invariants().unwrap();
         }
+    }
+
+    #[test]
+    fn replica_owners_are_the_adjacent_close_group() {
+        let net = build(120, 77);
+        for value in [0.0, 123.4, 500.0, 999.9] {
+            let owners = net.replica_owners(value, 4);
+            assert_eq!(owners.len(), 4);
+            let (x, y) = net.point_of_value(value);
+            assert_eq!(owners[0], net.owner_of_point(x, y), "primary owns the value's point");
+            let distinct: std::collections::BTreeSet<_> = owners.iter().collect();
+            assert_eq!(distinct.len(), 4);
+            assert!(owners.iter().all(|&z| net.is_live(z)));
+            // The first replica borders the primary zone.
+            assert!(net.adjacent(owners[0], owners[1]), "close group starts at the border");
+            assert_eq!(owners, net.replica_owners(value, 4), "deterministic");
+        }
+        // Clamped to the zone count.
+        let tiny = build(2, 5);
+        assert_eq!(tiny.replica_owners(10.0, 9).len(), 2);
     }
 
     #[test]

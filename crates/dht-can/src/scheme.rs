@@ -13,7 +13,10 @@
 
 use crate::dcf::{self, DcfOutcome, FloodMode};
 use crate::{CanConfig, CanError, CanNet};
-use dht_api::{BuildParams, DynamicScheme, RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};
+use dht_api::{
+    BuildParams, DynamicScheme, RangeOutcome, RangeScheme, ReplicaRouting, SchemeError,
+    SchemeRegistry,
+};
 use rand::rngs::SmallRng;
 use simnet::{FaultPlan, NodeId};
 
@@ -164,6 +167,41 @@ impl RangeScheme for DcfScheme {
 
     fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
         Some(self)
+    }
+
+    fn as_replica_routing(&self) -> Option<&dyn ReplicaRouting> {
+        Some(self)
+    }
+}
+
+impl ReplicaRouting for DcfScheme {
+    fn live_peers(&self) -> Vec<NodeId> {
+        self.net.live_zones().collect()
+    }
+
+    fn close_group(&self, value: f64, r: usize) -> Vec<NodeId> {
+        self.net.replica_owners(value, r)
+    }
+
+    fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> (u64, u64) {
+        if origin == holder {
+            return (0, 0); // the copy is local
+        }
+        // Greedy-route to the holder zone's center, plus one direct
+        // response hop — the same path pricing the query flood pays.
+        let hops = self
+            .net
+            .zone(holder)
+            .map(|z| {
+                let rect = z.rect();
+                ((rect.x0 + rect.x1) / 2.0, (rect.y0 + rect.y1) / 2.0)
+            })
+            .and_then(|(cx, cy)| self.net.route_to_point(origin, cx, cy))
+            .map_or_else(
+                |_| (self.net.len() as f64).sqrt().ceil() as u64,
+                |path| path.len().saturating_sub(1) as u64,
+            );
+        (hops + 1, hops + 1)
     }
 }
 

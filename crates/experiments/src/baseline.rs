@@ -15,18 +15,27 @@
 //! section**: every dynamic scheme × every [`ChurnPlan`] catalog entry,
 //! run epoch-driven through [`ParallelDriver::run_epochs`] with the
 //! per-epoch recall/exactness/delay series persisted alongside the merged
-//! metrics.
+//! metrics. Schema v3 adds a **replication section**: the same
+//! scheme × plan grid re-run at higher replication factors
+//! (`successor-r` placement through the replication layer), with replica
+//! recovery visible in the recall/message metrics and the per-epoch
+//! repair traffic persisted next to the churn stats.
 
 use crate::output::Table;
-use crate::standard_registry;
+use crate::{dynamic_single_names, standard_registry};
 use dht_api::{
-    BuildParams, ChurnPlan, DriverReport, MultiBuildParams, ParallelDriver, WorkloadGen,
-    CHURN_PLAN_NAMES,
+    BuildParams, ChurnPlan, DriverReport, EpochSummary, MultiBuildParams, ParallelDriver,
+    ReplicaPolicy, WorkloadGen, CHURN_PLAN_NAMES,
 };
 use rand::Rng;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// The schema tag written to (and expected in) `BENCH_baseline.json` —
+/// bumped whenever the JSON shape changes, and pinned by the CI
+/// bench-schema smoke job (`bench_baseline --quick --check-schema`).
+pub const SCHEMA_VERSION: &str = "bench-baseline-v3";
 
 /// Single-attribute workloads measured in the baseline grid.
 pub const SINGLE_WORKLOADS: [&str; 5] = ["uniform", "zipf-hot", "clustered", "wide-scan", "mixed"];
@@ -50,6 +59,9 @@ pub struct BaselineConfig {
     /// Epochs per churn cell (the churn section splits `queries` evenly
     /// across them).
     pub churn_epochs: usize,
+    /// Replication factors measured in the replication section (factor 1
+    /// is the unreplicated cross-check against the churn section).
+    pub replication_factors: Vec<usize>,
 }
 
 impl BaselineConfig {
@@ -63,6 +75,7 @@ impl BaselineConfig {
             threads: dht_api::default_threads(),
             object_id_len: crate::paper::OBJECT_ID_LEN,
             churn_epochs: 4,
+            replication_factors: vec![1, 3],
         }
     }
 
@@ -102,6 +115,29 @@ pub struct ChurnBaselineRow {
     pub final_peers: usize,
 }
 
+/// One measured cell of the scheme × plan × replication-factor grid.
+#[derive(Debug, Clone)]
+pub struct ReplicationBaselineRow {
+    /// Registry name of the scheme.
+    pub scheme: String,
+    /// Churn plan name from the [`ChurnPlan`] catalog.
+    pub plan: String,
+    /// Replication factor (total copies per record; 1 = unreplicated).
+    pub factor: usize,
+    /// Canonical replica policy name (`"none"` at factor 1).
+    pub policy: String,
+    /// Wall-clock throughput, queries per second (hardware-dependent).
+    pub qps: f64,
+    /// The merged epoch-driven report (per-epoch series included).
+    pub report: DriverReport,
+    /// Replica copies placed by repair across all epochs.
+    pub repair_placed: usize,
+    /// Messages spent by repair across all epochs.
+    pub repair_messages: u64,
+    /// Live peers after the final epoch.
+    pub final_peers: usize,
+}
+
 /// A complete baseline run: configuration plus the measured grids.
 #[derive(Debug, Clone)]
 pub struct BaselineReport {
@@ -112,6 +148,9 @@ pub struct BaselineReport {
     /// One row per (dynamic scheme, churn plan) cell — queries under
     /// epoch-driven membership churn.
     pub churn_rows: Vec<ChurnBaselineRow>,
+    /// One row per (dynamic scheme, churn plan, replication factor) cell —
+    /// the same churn grid behind the replication layer.
+    pub replication_rows: Vec<ReplicationBaselineRow>,
 }
 
 /// Runs the full grid: every registered single-attribute scheme ×
@@ -189,28 +228,36 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
     // Churn section: every dynamic scheme under every named plan.
     let mut churn_rows = Vec::new();
     let epoch_queries = (cfg.queries / cfg.churn_epochs).max(1);
-    for name in crate::churn_sweep::dynamic_single_names() {
+    let churn_cell = |name: &str, plan_name: &str, factor: usize| {
+        let policy =
+            if factor <= 1 { ReplicaPolicy::none() } else { ReplicaPolicy::successor(factor) };
+        let params = BuildParams::new(cfg.n, domain.0, domain.1)
+            .with_object_id_len(cfg.object_id_len)
+            .with_replication(policy);
+        let mut rng = simnet::rng_from_seed(cfg.seed ^ dht_api::fnv1a(name.as_bytes()));
+        let mut scheme = registry.build_single(name, &params, &mut rng).expect("scheme builds");
+        for h in 0..cfg.n as u64 {
+            scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+        }
+        let plan = ChurnPlan::named(plan_name).expect("cataloged");
+        let driver = ParallelDriver {
+            queries: epoch_queries,
+            seed: cfg.seed ^ dht_api::fnv1a(plan_name.as_bytes()),
+            threads: cfg.threads,
+        };
+        let policy_name =
+            scheme.as_replicated().map_or_else(|| "none".to_string(), |c| c.policy().name());
+        let start = Instant::now();
+        let report = driver
+            .run_epochs(scheme.as_mut(), &churn_workload(domain), &plan, cfg.churn_epochs)
+            .expect("dynamic schemes run every cataloged plan");
+        let total_queries = epoch_queries * cfg.churn_epochs;
+        let qps = total_queries as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        (report, qps, policy_name)
+    };
+    for name in dynamic_single_names() {
         for plan_name in CHURN_PLAN_NAMES {
-            let params =
-                BuildParams::new(cfg.n, domain.0, domain.1).with_object_id_len(cfg.object_id_len);
-            let mut rng = simnet::rng_from_seed(cfg.seed ^ dht_api::fnv1a(name.as_bytes()));
-            let mut scheme =
-                registry.build_single(&name, &params, &mut rng).expect("scheme builds");
-            for h in 0..cfg.n as u64 {
-                scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
-            }
-            let plan = ChurnPlan::named(plan_name).expect("cataloged");
-            let driver = ParallelDriver {
-                queries: epoch_queries,
-                seed: cfg.seed ^ dht_api::fnv1a(plan_name.as_bytes()),
-                threads: cfg.threads,
-            };
-            let start = Instant::now();
-            let report = driver
-                .run_epochs(scheme.as_mut(), &churn_workload(domain), &plan, cfg.churn_epochs)
-                .expect("dynamic schemes run every cataloged plan");
-            let total_queries = epoch_queries * cfg.churn_epochs;
-            let qps = total_queries as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            let (report, qps, _) = churn_cell(&name, plan_name, 1);
             let final_peers = report.epochs.last().expect("epochs ran").peers;
             churn_rows.push(ChurnBaselineRow {
                 scheme: name.clone(),
@@ -222,7 +269,34 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
         }
     }
 
-    BaselineReport { config: cfg.clone(), rows, churn_rows }
+    // Replication section: the same grid again, behind the replication
+    // layer at each configured factor (factor 1 rebuilds the unreplicated
+    // scheme and must reproduce the churn section bit for bit — the
+    // cross-check the quick tests pin).
+    let mut replication_rows = Vec::new();
+    for name in dynamic_single_names() {
+        for plan_name in CHURN_PLAN_NAMES {
+            for &factor in &cfg.replication_factors {
+                let (report, qps, policy) = churn_cell(&name, plan_name, factor);
+                let repair_placed = report.epochs.iter().map(|e| e.repair.placed).sum();
+                let repair_messages = report.epochs.iter().map(|e| e.repair.messages).sum();
+                let final_peers = report.epochs.last().expect("epochs ran").peers;
+                replication_rows.push(ReplicationBaselineRow {
+                    scheme: name.clone(),
+                    plan: plan_name.to_string(),
+                    factor,
+                    policy,
+                    qps,
+                    report,
+                    repair_placed,
+                    repair_messages,
+                    final_peers,
+                });
+            }
+        }
+    }
+
+    BaselineReport { config: cfg.clone(), rows, churn_rows, replication_rows }
 }
 
 /// The workload the churn section drives (the paper's uniform mix keeps
@@ -277,6 +351,19 @@ impl BaselineReport {
                 format!("{:.2}", r.report.exact_rate),
             ]);
         }
+        for r in &self.replication_rows {
+            t.push_row(vec![
+                format!("{}+r{}", r.scheme, r.factor),
+                "replication".to_string(),
+                r.plan.clone(),
+                format!("{:.0}", r.qps),
+                format!("{:.2}", r.report.delay.mean),
+                format!("{:.1}", r.report.delay.p99),
+                format!("{:.1}", r.report.messages.mean),
+                format!("{:.2}", r.report.mesg_ratio.mean),
+                format!("{:.2}", r.report.exact_rate),
+            ]);
+        }
         t
     }
 
@@ -290,13 +377,19 @@ impl BaselineReport {
         // machine-local. The per-row `qps` field is the one remaining
         // machine-dependent value — filter it out when diffing regenerated
         // baselines (everything else is a pure function of the seed).
+        let factors: Vec<String> = c.replication_factors.iter().map(usize::to_string).collect();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"bench-baseline-v2\",");
+        let _ = writeln!(s, "  \"schema\": \"{SCHEMA_VERSION}\",");
         let _ = writeln!(
             s,
             "  \"config\": {{ \"n\": {}, \"queries\": {}, \"seed\": {}, \"object_id_len\": {}, \
-             \"churn_epochs\": {} }},",
-            c.n, c.queries, c.seed, c.object_id_len, c.churn_epochs
+             \"churn_epochs\": {}, \"replication_factors\": [{}] }},",
+            c.n,
+            c.queries,
+            c.seed,
+            c.object_id_len,
+            c.churn_epochs,
+            factors.join(", ")
         );
         let _ = writeln!(s, "  \"results\": [");
         for (i, r) in self.rows.iter().enumerate() {
@@ -329,24 +422,7 @@ impl BaselineReport {
         let _ = writeln!(s, "  \"churn\": [");
         for (i, r) in self.churn_rows.iter().enumerate() {
             let comma = if i + 1 < self.churn_rows.len() { "," } else { "" };
-            let epochs: Vec<String> = r
-                .report
-                .epochs
-                .iter()
-                .map(|e| {
-                    format!(
-                        "{{ \"epoch\": {}, \"peers\": {}, \"events\": {}, \"delay_mean\": {}, \
-                         \"exact_rate\": {}, \"recall_mean\": {}, \"results\": {} }}",
-                        e.epoch,
-                        e.peers,
-                        e.churn.events(),
-                        json_f64(e.delay_mean),
-                        json_f64(e.exact_rate),
-                        json_f64(e.recall_mean),
-                        e.results_returned,
-                    )
-                })
-                .collect();
+            let epochs: Vec<String> = r.report.epochs.iter().map(epoch_json).collect();
             let _ = writeln!(
                 s,
                 "    {{ \"scheme\": \"{}\", \"plan\": \"{}\", \"qps\": {}, \
@@ -363,6 +439,36 @@ impl BaselineReport {
                 json_f64(r.report.recall.mean),
                 json_f64(r.report.exact_rate),
                 r.report.results_returned,
+                r.final_peers,
+                epochs.join(", "),
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"replication\": [");
+        for (i, r) in self.replication_rows.iter().enumerate() {
+            let comma = if i + 1 < self.replication_rows.len() { "," } else { "" };
+            let epochs: Vec<String> = r.report.epochs.iter().map(epoch_json).collect();
+            let _ = writeln!(
+                s,
+                "    {{ \"scheme\": \"{}\", \"plan\": \"{}\", \"factor\": {}, \
+                 \"policy\": \"{}\", \"qps\": {}, \"delay_mean\": {}, \"delay_p99\": {}, \
+                 \"messages_mean\": {}, \"mesg_ratio_mean\": {}, \"recall_mean\": {}, \
+                 \"exact_rate\": {}, \"results_returned\": {}, \"repair_placed\": {}, \
+                 \"repair_messages\": {}, \"final_peers\": {}, \"epochs\": [{}] }}{comma}",
+                r.scheme,
+                r.plan,
+                r.factor,
+                r.policy,
+                json_f64(r.qps),
+                json_f64(r.report.delay.mean),
+                json_f64(r.report.delay.p99),
+                json_f64(r.report.messages.mean),
+                json_f64(r.report.mesg_ratio.mean),
+                json_f64(r.report.recall.mean),
+                json_f64(r.report.exact_rate),
+                r.report.results_returned,
+                r.repair_placed,
+                r.repair_messages,
                 r.final_peers,
                 epochs.join(", "),
             );
@@ -396,6 +502,25 @@ impl BaselineReport {
     }
 }
 
+/// Renders one epoch of an epoch-driven report (shared by the churn and
+/// replication sections; unreplicated rows report all-zero repair).
+fn epoch_json(e: &EpochSummary) -> String {
+    format!(
+        "{{ \"epoch\": {}, \"peers\": {}, \"events\": {}, \"delay_mean\": {}, \
+         \"exact_rate\": {}, \"recall_mean\": {}, \"results\": {}, \"repair_placed\": {}, \
+         \"repair_messages\": {} }}",
+        e.epoch,
+        e.peers,
+        e.churn.events(),
+        json_f64(e.delay_mean),
+        json_f64(e.exact_rate),
+        json_f64(e.recall_mean),
+        e.results_returned,
+        e.repair.placed,
+        e.repair.messages,
+    )
+}
+
 /// JSON-safe float rendering (JSON has no NaN/∞; neither should a
 /// baseline, but a corrupt artifact must never be written).
 fn json_f64(x: f64) -> String {
@@ -420,20 +545,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_grid_covers_every_scheme_workload_and_churn_plan() {
+    fn quick_grid_covers_every_scheme_workload_churn_plan_and_factor() {
         let report = run(&BaselineConfig::quick());
-        // 9 single schemes × 5 workloads + 3 multi schemes × 2 workloads.
+        // Coverage counts come from the registry, not hand-kept lists.
+        let registry = standard_registry();
         let singles: Vec<_> = report.rows.iter().filter(|r| r.shape == "single").collect();
         let rects: Vec<_> = report.rows.iter().filter(|r| r.shape == "rect").collect();
-        assert_eq!(singles.len(), 9 * SINGLE_WORKLOADS.len());
-        assert_eq!(rects.len(), 3 * MULTI_WORKLOADS.len());
+        assert_eq!(singles.len(), registry.single_names().len() * SINGLE_WORKLOADS.len());
+        assert_eq!(rects.len(), registry.multi_names().len() * MULTI_WORKLOADS.len());
         for r in &report.rows {
             assert!(r.qps > 0.0, "{}/{} qps", r.scheme, r.workload);
             assert_eq!(r.report.queries, report.config.queries);
             assert_eq!(r.report.exact_rate, 1.0, "{}/{} inexact", r.scheme, r.workload);
         }
-        // Churn section: 6 dynamic schemes × 5 cataloged plans.
-        assert_eq!(report.churn_rows.len(), 6 * CHURN_PLAN_NAMES.len());
+        // Churn section: every dynamic scheme × every cataloged plan.
+        let dynamic = dynamic_single_names();
+        assert_eq!(report.churn_rows.len(), dynamic.len() * CHURN_PLAN_NAMES.len());
         for r in &report.churn_rows {
             assert!(r.qps > 0.0, "{}/{} qps", r.scheme, r.plan);
             assert_eq!(r.report.epochs.len(), report.config.churn_epochs);
@@ -441,18 +568,50 @@ mod tests {
             // Epoch 0 always queries the as-built, fully-exact network.
             assert_eq!(r.report.epochs[0].exact_rate, 1.0, "{}/{}", r.scheme, r.plan);
         }
+        // Replication section: the churn grid × every configured factor.
+        let factors = &report.config.replication_factors;
+        assert_eq!(
+            report.replication_rows.len(),
+            dynamic.len() * CHURN_PLAN_NAMES.len() * factors.len()
+        );
+        for r in &report.replication_rows {
+            assert_eq!(r.report.epochs.len(), report.config.churn_epochs);
+            if r.factor <= 1 {
+                assert_eq!(r.policy, "none");
+                assert_eq!(r.repair_placed, 0, "{}/{} unreplicated repair", r.scheme, r.plan);
+            } else {
+                assert_eq!(r.policy, format!("successor-{}", r.factor));
+            }
+        }
+        // Factor-1 rows rebuild the unreplicated scheme from the same seed
+        // and must reproduce the churn section exactly.
+        for c in &report.churn_rows {
+            let r1 = report
+                .replication_rows
+                .iter()
+                .find(|r| r.factor == 1 && r.scheme == c.scheme && r.plan == c.plan)
+                .expect("factor-1 row exists");
+            assert_eq!(r1.report.delay, c.report.delay, "{}/{}", c.scheme, c.plan);
+            assert_eq!(r1.report.results_returned, c.report.results_returned);
+            assert_eq!(r1.final_peers, c.final_peers);
+        }
         // JSON sanity: parses at the bracket level and names every scheme.
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        for name in ["pira", "seqwalk", "dcf-can", "skipgraph", "squid", "scrap", "mira"] {
+        for name in registry.single_names().iter().chain(registry.multi_names().iter()) {
             assert!(json.contains(&format!("\"scheme\": \"{name}\"")), "{name} missing");
         }
-        assert!(json.contains("\"schema\": \"bench-baseline-v2\""));
+        assert!(json.contains(&format!("\"schema\": \"{SCHEMA_VERSION}\"")));
+        assert!(json.contains("\"replication\": ["));
+        assert!(json.contains("\"repair_placed\""));
         for plan in CHURN_PLAN_NAMES {
             assert!(json.contains(&format!("\"plan\": \"{plan}\"")), "{plan} missing");
         }
-        // The table mirrors both grids.
-        assert_eq!(report.to_table().rows.len(), report.rows.len() + report.churn_rows.len());
+        // The table mirrors all three grids.
+        assert_eq!(
+            report.to_table().rows.len(),
+            report.rows.len() + report.churn_rows.len() + report.replication_rows.len()
+        );
     }
 
     #[test]
@@ -471,6 +630,17 @@ mod tests {
             assert_eq!(ra.report.delay, rb.report.delay, "{}/{}", ra.scheme, ra.plan);
             assert_eq!(ra.report.results_returned, rb.report.results_returned);
             assert_eq!(ra.final_peers, rb.final_peers);
+        }
+        for (ra, rb) in a.replication_rows.iter().zip(&b.replication_rows) {
+            assert_eq!((&ra.scheme, &ra.plan, ra.factor), (&rb.scheme, &rb.plan, rb.factor));
+            assert_eq!(
+                ra.report.delay, rb.report.delay,
+                "{}/{}@r{}",
+                ra.scheme, ra.plan, ra.factor
+            );
+            assert_eq!(ra.report.results_returned, rb.report.results_returned);
+            assert_eq!(ra.repair_placed, rb.repair_placed);
+            assert_eq!(ra.repair_messages, rb.repair_messages);
         }
     }
 }

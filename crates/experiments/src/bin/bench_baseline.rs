@@ -4,13 +4,21 @@
 //! ```sh
 //! cargo run --release -p armada-experiments --bin bench_baseline            # committed scale
 //! cargo run --release -p armada-experiments --bin bench_baseline -- --quick # smoke scale
+//! cargo run --release -p armada-experiments --bin bench_baseline -- --quick --check-schema
 //! ```
+//!
+//! `--check-schema` additionally compares the schema tag this binary emits
+//! against the committed `BENCH_baseline.json` and exits non-zero on
+//! drift — the CI bench-schema smoke job runs exactly that, so a schema
+//! bump that forgets to regenerate the committed artifact fails before it
+//! lands.
 
 use armada_experiments::baseline::{self, BaselineConfig};
 use armada_experiments::Scale;
 
 fn main() {
     let scale = Scale::from_args();
+    let check_schema = std::env::args().any(|a| a == "--check-schema");
     let cfg = match scale {
         Scale::Full => BaselineConfig::full(),
         Scale::Quick => BaselineConfig::quick(),
@@ -33,6 +41,36 @@ fn main() {
         Ok(path) => println!("\n[json] {}", path.display()),
         Err(e) => {
             eprintln!("error: could not write baseline json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if check_schema {
+        let committed_path = baseline::baseline_path();
+        let committed = match std::fs::read_to_string(&committed_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", committed_path.display());
+                std::process::exit(1);
+            }
+        };
+        let want = format!("\"schema\": \"{}\"", baseline::SCHEMA_VERSION);
+        if committed.contains(&want) {
+            println!("[schema] committed baseline matches {}", baseline::SCHEMA_VERSION);
+        } else {
+            let found = committed
+                .lines()
+                .find(|l| l.contains("\"schema\""))
+                .unwrap_or("<no schema line>")
+                .trim();
+            eprintln!(
+                "error: schema drift — this binary emits {:?} but {} has {}",
+                baseline::SCHEMA_VERSION,
+                committed_path.display(),
+                found
+            );
+            eprintln!(
+                "regenerate with: cargo run --release -p armada-experiments --bin bench_baseline"
+            );
             std::process::exit(1);
         }
     }

@@ -1,7 +1,30 @@
 //! R2: recall and delay under membership churn, every dynamic scheme.
-//! Usage: `cargo run --release -p armada-experiments --bin churn_sweep [--quick]`
+//!
+//! ```sh
+//! cargo run --release -p armada-experiments --bin churn_sweep [-- --quick]
+//!     [--schemes pira,dcf-can] [--plans massacre,steady-churn] [--threads 4]
+//! ```
+//!
+//! With no filters the sweep runs every dynamic scheme under the
+//! `massacre` stress plan — the committed R2 configuration. The filters
+//! exist for local iteration: a single scheme × plan cell runs in seconds
+//! where the full sweep takes minutes.
+
+use armada_experiments::churn_sweep::{run_with, ChurnSweepConfig};
+use armada_experiments::{require_schemes, sweep_filter_args, Scale};
 
 fn main() {
-    let scale = armada_experiments::Scale::from_args();
-    armada_experiments::churn_sweep::run(scale).emit("churn_sweep");
+    let mut cfg = ChurnSweepConfig::new(Scale::from_args());
+    let (schemes, plans, threads) = sweep_filter_args();
+    if schemes.is_some() {
+        cfg.schemes = schemes;
+    }
+    if let Some(plans) = plans {
+        cfg.plans = plans;
+    }
+    if let Some(threads) = threads {
+        cfg.threads = threads;
+    }
+    require_schemes(&cfg.scheme_names());
+    run_with(&cfg).emit("churn_sweep");
 }

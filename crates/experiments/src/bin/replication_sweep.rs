@@ -1,0 +1,28 @@
+//! R3: recall, message overhead, and repair traffic vs replication factor.
+//!
+//! ```sh
+//! cargo run --release -p armada-experiments --bin replication_sweep [-- --quick]
+//!     [--schemes pira,dcf-can] [--plans massacre] [--threads 4]
+//! ```
+//!
+//! Defaults to every dynamic scheme × every cataloged churn plan ×
+//! `r ∈ {1, 2, 3, 5}` under `successor-r` placement.
+
+use armada_experiments::replication_sweep::{run_with, ReplicationSweepConfig};
+use armada_experiments::{require_schemes, sweep_filter_args, Scale};
+
+fn main() {
+    let mut cfg = ReplicationSweepConfig::new(Scale::from_args());
+    let (schemes, plans, threads) = sweep_filter_args();
+    if schemes.is_some() {
+        cfg.schemes = schemes;
+    }
+    if let Some(plans) = plans {
+        cfg.plans = plans;
+    }
+    if let Some(threads) = threads {
+        cfg.threads = threads;
+    }
+    require_schemes(&cfg.scheme_names());
+    run_with(&cfg).emit("replication_sweep");
+}

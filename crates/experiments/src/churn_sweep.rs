@@ -5,15 +5,17 @@
 //! what the related systems literature says actually differentiates
 //! schemes — behaviour *while the membership changes*. Every scheme whose
 //! [`as_dynamic`](dht_api::RangeScheme::as_dynamic) hook opts in runs the
-//! same epoch-driven workload under the crash-heavy `massacre` plan at a
-//! sweep of churn rates; the rate-0 run of each scheme is its frozen
-//! control, so "result recall" is directly the fraction of the control's
-//! answers that survive churn.
+//! same epoch-driven workload under a churn plan at a sweep of churn rates;
+//! the rate-0 run of each scheme is its frozen control, so "result recall"
+//! is directly the fraction of the control's answers that survive churn.
 //!
-//! `massacre` defers stabilization (every *other* epoch), so the per-epoch
-//! series visibly dips where crashes have eaten records and recovers where
-//! the stabilize pass re-published them; the table reports both the mean
-//! and the worst epoch.
+//! The default plan is `massacre`, which defers stabilization (every
+//! *other* epoch), so the per-epoch series visibly dips where crashes have
+//! eaten records and recovers where the stabilize pass re-published them;
+//! the table reports both the mean and the worst epoch. The sweep is
+//! filterable for local iteration — [`ChurnSweepConfig`] selects schemes,
+//! plans, and the worker thread count, mirrored by the binary's
+//! `--schemes`, `--plans`, and `--threads` flags.
 
 use crate::output::Table;
 use crate::{standard_registry, Scale};
@@ -25,29 +27,58 @@ use rand::Rng;
 pub const CHURN_RATES: [usize; 3] = [0, 4, 16];
 
 /// Names of every registered single-attribute scheme that opts into the
-/// dynamics layer, discovered at runtime through the capability hook (no
-/// hard-coded scheme list — a new dynamic scheme joins this sweep by
-/// registering itself).
+/// dynamics layer (re-exported for compatibility; see
+/// [`crate::dynamic_single_names`]).
 pub fn dynamic_single_names() -> Vec<String> {
-    let registry = standard_registry();
-    let params = BuildParams::new(40, 0.0, 1000.0).with_object_id_len(24);
-    registry
-        .single_names()
-        .into_iter()
-        .filter(|name| {
-            let mut rng = simnet::rng_from_seed(0xd1a9);
-            let mut scheme = registry.build_single(name, &params, &mut rng).expect("build");
-            scheme.as_dynamic().is_some()
-        })
-        .map(str::to_string)
-        .collect()
+    crate::dynamic_single_names()
 }
 
-/// One scheme × churn-rate measurement.
+/// What the sweep runs: scale plus optional scheme/plan filters — the
+/// all-defaults config reproduces the committed R2 numbers.
+#[derive(Debug, Clone)]
+pub struct ChurnSweepConfig {
+    /// Experiment scale (network size, epochs, queries per epoch).
+    pub scale: Scale,
+    /// Schemes to sweep; `None` = every dynamic scheme.
+    pub schemes: Option<Vec<String>>,
+    /// Churn plans to sweep; the default is `["massacre"]`, the
+    /// recall-stress plan.
+    pub plans: Vec<String>,
+    /// Worker threads for the parallel driver (the report is identical for
+    /// any value; this only tunes wall-clock time).
+    pub threads: usize,
+}
+
+impl ChurnSweepConfig {
+    /// The default sweep at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        ChurnSweepConfig {
+            scale,
+            schemes: None,
+            plans: vec!["massacre".to_string()],
+            threads: dht_api::default_threads(),
+        }
+    }
+
+    /// The scheme names this config selects, in registry order.
+    pub fn scheme_names(&self) -> Vec<String> {
+        match &self.schemes {
+            None => crate::dynamic_single_names(),
+            Some(filter) => crate::dynamic_single_names()
+                .into_iter()
+                .filter(|n| filter.iter().any(|f| f == n))
+                .collect(),
+        }
+    }
+}
+
+/// One scheme × plan × churn-rate measurement.
 #[derive(Debug, Clone)]
 pub struct ChurnPoint {
     /// Registry name of the scheme.
     pub scheme: String,
+    /// Churn plan name.
+    pub plan: String,
     /// Membership events per epoch transition.
     pub rate: usize,
     /// The merged epoch-driven report (carries the per-epoch series).
@@ -62,61 +93,76 @@ pub struct ChurnPoint {
     pub final_peers: usize,
 }
 
-/// Runs the sweep and returns each scheme's points in rate order.
+/// Runs the default sweep (every dynamic scheme, the `massacre` plan) and
+/// returns each scheme's points in rate order.
 ///
 /// # Panics
 ///
 /// Panics if a dynamic scheme fails to build or errors on a fault-free
 /// query — the sweep is meaningless with missing cells.
 pub fn run_points(scale: Scale) -> Vec<ChurnPoint> {
+    run_points_with(&ChurnSweepConfig::new(scale))
+}
+
+/// Runs the sweep under an explicit config (scheme/plan/thread filters).
+///
+/// # Panics
+///
+/// As [`run_points`].
+pub fn run_points_with(cfg: &ChurnSweepConfig) -> Vec<ChurnPoint> {
     let registry = standard_registry();
-    let (n, epochs) = match scale {
+    let (n, epochs) = match cfg.scale {
         Scale::Full => (600, 6),
         Scale::Quick => (150, 4),
     };
-    let queries_per_epoch = (scale.queries() / epochs).max(10);
+    let queries_per_epoch = (cfg.scale.queries() / epochs).max(10);
     let domain = (crate::paper::DOMAIN_LO, crate::paper::DOMAIN_HI);
     let params = BuildParams::new(n, domain.0, domain.1).with_object_id_len(32);
     let workload = WorkloadGen::named("uniform", domain).expect("cataloged");
-    let driver = ParallelDriver::new(queries_per_epoch).with_seed(0xc482);
+    let driver = ParallelDriver::new(queries_per_epoch).with_seed(0xc482).with_threads(cfg.threads);
 
     let mut points = Vec::new();
-    for name in dynamic_single_names() {
-        let mut control_epochs: Vec<u64> = Vec::new();
-        for &rate in &CHURN_RATES {
-            let mut rng = simnet::rng_from_seed(0xc482 ^ dht_api::fnv1a(name.as_bytes()));
-            let mut scheme =
-                registry.build_single(&name, &params, &mut rng).expect("scheme builds");
-            for h in 0..n as u64 {
-                scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+    for name in cfg.scheme_names() {
+        for plan_name in &cfg.plans {
+            let mut control_epochs: Vec<u64> = Vec::new();
+            for &rate in &CHURN_RATES {
+                let mut rng = simnet::rng_from_seed(0xc482 ^ dht_api::fnv1a(name.as_bytes()));
+                let mut scheme =
+                    registry.build_single(&name, &params, &mut rng).expect("scheme builds");
+                for h in 0..n as u64 {
+                    scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+                }
+                let plan = ChurnPlan::named(plan_name).expect("cataloged").with_rate(rate);
+                let report = driver
+                    .run_epochs(scheme.as_mut(), &workload, &plan, epochs)
+                    .expect("epoch run");
+                let per_epoch: Vec<u64> =
+                    report.epochs.iter().map(|e| e.results_returned).collect();
+                if rate == 0 {
+                    control_epochs = per_epoch.clone();
+                }
+                let control_total: u64 = control_epochs.iter().sum();
+                let result_recall = if control_total == 0 {
+                    1.0
+                } else {
+                    report.results_returned as f64 / control_total as f64
+                };
+                let worst_epoch_recall = per_epoch
+                    .iter()
+                    .zip(&control_epochs)
+                    .map(|(&got, &want)| if want == 0 { 1.0 } else { got as f64 / want as f64 })
+                    .fold(f64::INFINITY, f64::min);
+                let final_peers = report.epochs.last().expect("epochs ran").peers;
+                points.push(ChurnPoint {
+                    scheme: name.clone(),
+                    plan: plan_name.clone(),
+                    rate,
+                    report,
+                    result_recall,
+                    worst_epoch_recall,
+                    final_peers,
+                });
             }
-            let plan = ChurnPlan::named("massacre").expect("cataloged").with_rate(rate);
-            let report =
-                driver.run_epochs(scheme.as_mut(), &workload, &plan, epochs).expect("epoch run");
-            let per_epoch: Vec<u64> = report.epochs.iter().map(|e| e.results_returned).collect();
-            if rate == 0 {
-                control_epochs = per_epoch.clone();
-            }
-            let control_total: u64 = control_epochs.iter().sum();
-            let result_recall = if control_total == 0 {
-                1.0
-            } else {
-                report.results_returned as f64 / control_total as f64
-            };
-            let worst_epoch_recall = per_epoch
-                .iter()
-                .zip(&control_epochs)
-                .map(|(&got, &want)| if want == 0 { 1.0 } else { got as f64 / want as f64 })
-                .fold(f64::INFINITY, f64::min);
-            let final_peers = report.epochs.last().expect("epochs ran").peers;
-            points.push(ChurnPoint {
-                scheme: name.clone(),
-                rate,
-                report,
-                result_recall,
-                worst_epoch_recall,
-                final_peers,
-            });
         }
     }
     points
@@ -124,11 +170,17 @@ pub fn run_points(scale: Scale) -> Vec<ChurnPoint> {
 
 /// Runs the sweep and renders the recall-vs-churn-rate table.
 pub fn run(scale: Scale) -> Table {
-    let points = run_points(scale);
+    run_with(&ChurnSweepConfig::new(scale))
+}
+
+/// Renders the table for an explicit config.
+pub fn run_with(cfg: &ChurnSweepConfig) -> Table {
+    let points = run_points_with(cfg);
     let mut t = Table::new(
-        "R2 — recall under churn (massacre plan, epoch-driven)",
+        "R2 — recall under churn (epoch-driven)",
         &[
             "scheme",
+            "plan",
             "churn rate",
             "final peers",
             "avg delay",
@@ -141,6 +193,7 @@ pub fn run(scale: Scale) -> Table {
     for p in &points {
         t.push_row(vec![
             p.scheme.clone(),
+            p.plan.clone(),
             p.rate.to_string(),
             p.final_peers.to_string(),
             format!("{:.2}", p.report.delay.mean),
@@ -160,7 +213,7 @@ mod tests {
     #[test]
     fn every_dynamic_scheme_is_swept_and_controls_are_perfect() {
         let points = run_points(Scale::Quick);
-        let schemes = dynamic_single_names();
+        let schemes = crate::dynamic_single_names();
         assert_eq!(
             schemes,
             vec!["dcf-can", "dcf-can-naive", "pht-chord", "pht-fissione", "pira", "seqwalk"],
@@ -173,10 +226,31 @@ mod tests {
                 assert_eq!(p.result_recall, 1.0, "{} control", p.scheme);
                 assert_eq!(p.report.exact_rate, 1.0, "{} control", p.scheme);
             }
+            assert_eq!(p.plan, "massacre", "default sweep runs the stress plan");
             assert!(p.result_recall <= 1.0 + 1e-9, "{}@{}", p.scheme, p.rate);
             assert!(p.worst_epoch_recall <= p.result_recall + 1e-9);
             assert_eq!(p.report.epochs.len(), 4);
             assert!(p.final_peers > 0);
+        }
+    }
+
+    #[test]
+    fn filters_narrow_the_sweep() {
+        let cfg = ChurnSweepConfig {
+            schemes: Some(vec!["pira".into(), "no-such-scheme".into()]),
+            plans: vec!["steady-churn".into(), "join-storm".into()],
+            threads: 2,
+            ..ChurnSweepConfig::new(Scale::Quick)
+        };
+        assert_eq!(cfg.scheme_names(), vec!["pira"], "unknown names filter out silently");
+        let points = run_points_with(&cfg);
+        // 1 scheme × 2 plans × 3 rates.
+        assert_eq!(points.len(), 2 * CHURN_RATES.len());
+        assert!(points.iter().all(|p| p.scheme == "pira"));
+        assert!(points.iter().any(|p| p.plan == "join-storm"));
+        // Graceful plans lose nothing: recall stays perfect at every rate.
+        for p in &points {
+            assert!(p.result_recall > 0.999, "{}/{}@{}", p.scheme, p.plan, p.rate);
         }
     }
 }

@@ -41,12 +41,95 @@ pub mod faults;
 pub mod figures;
 pub mod mira_eval;
 pub mod output;
+pub mod replication_sweep;
 pub mod substrate;
 pub mod sweeps;
 pub mod table1;
 pub mod topk_eval;
 
 pub use output::Table;
+
+/// Names of every registered single-attribute scheme that opts into the
+/// dynamics layer, discovered at runtime through the capability hook (no
+/// hard-coded scheme list — a new dynamic scheme joins every churn and
+/// replication experiment by registering itself).
+pub fn dynamic_single_names() -> Vec<String> {
+    let registry = standard_registry();
+    let params = dht_api::BuildParams::new(40, 0.0, 1000.0).with_object_id_len(24);
+    registry
+        .single_names()
+        .into_iter()
+        .filter(|name| {
+            let mut rng = simnet::rng_from_seed(0xd1a9);
+            let mut scheme = registry.build_single(name, &params, &mut rng).expect("build");
+            scheme.as_dynamic().is_some()
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// Shared CLI convention for the experiment binaries: the value following
+/// `--name` (or inline as `--name=value`), if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let inline = format!("--{name}=");
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&inline) {
+            return Some(v.to_string());
+        }
+        if *a == flag {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Parses a comma-separated `--name a,b,c` CLI filter into a list.
+pub fn arg_list(name: &str) -> Option<Vec<String>> {
+    arg_value(name)
+        .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect())
+}
+
+/// The shared `--schemes` / `--plans` / `--threads` CLI contract of the
+/// sweep binaries (`churn_sweep`, `replication_sweep`): parses and
+/// validates the three filters, exiting with a usage error on an unknown
+/// plan name or a non-positive thread count. Each slot is `None` when its
+/// flag is absent.
+pub fn sweep_filter_args() -> (Option<Vec<String>>, Option<Vec<String>>, Option<usize>) {
+    let schemes = arg_list("schemes");
+    let plans = arg_list("plans");
+    if let Some(plans) = &plans {
+        for plan in plans {
+            if dht_api::ChurnPlan::named(plan).is_err() {
+                eprintln!(
+                    "error: unknown churn plan {plan:?} (catalog: {})",
+                    dht_api::CHURN_PLAN_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let threads = arg_value("threads").map(|raw| match raw.parse::<usize>() {
+        Ok(t) if t > 0 => t,
+        _ => {
+            eprintln!("error: --threads wants a positive integer, got {raw:?}");
+            std::process::exit(2);
+        }
+    });
+    (schemes, plans, threads)
+}
+
+/// Exits with a usage error when a `--schemes` filter matched nothing.
+pub fn require_schemes(selected: &[String]) {
+    if selected.is_empty() {
+        eprintln!(
+            "error: no dynamic scheme matches the --schemes filter (have: {})",
+            dynamic_single_names().join(", ")
+        );
+        std::process::exit(2);
+    }
+}
 
 /// The full workspace registry: every scheme of the paper's Table 1,
 /// selectable by name at runtime.

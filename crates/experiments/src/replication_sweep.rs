@@ -1,0 +1,322 @@
+//! R3 — replication: recall, message overhead, and repair traffic as a
+//! function of the replication factor, across every dynamic scheme and
+//! every churn plan.
+//!
+//! The paper never asks what recall *costs to keep*: its peer-recall
+//! metric (§4.3.3) measures the damage faults do, and the R2 churn sweep
+//! confirmed that every scheme's recall collapses between crash events and
+//! `stabilize()`. This experiment closes the loop with the replication
+//! layer: each scheme runs the same epoch-driven workload under each churn
+//! plan at replication factors `r ∈ {1, 2, 3, 5}` (`successor-r`
+//! placement — the factor-prefix-stable discipline), and the sweep reports
+//!
+//! * **result recall** — the fraction of the churn-free control's answers
+//!   the churned run still returns (and the worst single epoch);
+//! * **MesgRatio** — replica fetches are counted in the outcome, so the
+//!   message premium of recovery is visible next to the recall it buys;
+//! * **repair cost** — copies placed and messages spent by
+//!   [`re_replicate`](dht_api::ReplicationControl::re_replicate) after
+//!   each epoch's membership events.
+//!
+//! Because placement is deterministic and `successor-r` owner lists are
+//! prefix-stable in `r`, recall is **monotonically non-decreasing in the
+//! replication factor** under *identical* churn histories — pinned by this
+//! module's tests for PIRA and DCF-CAN under every cataloged plan.
+
+use crate::output::Table;
+use crate::{standard_registry, Scale};
+use dht_api::{
+    BuildParams, ChurnPlan, DriverReport, ParallelDriver, ReplicaPolicy, WorkloadGen,
+    CHURN_PLAN_NAMES,
+};
+use rand::Rng;
+
+/// Replication factors swept (total copies per record, primary included);
+/// factor 1 is the unreplicated baseline.
+pub const REPLICATION_FACTORS: [usize; 4] = [1, 2, 3, 5];
+
+/// What the sweep runs: scale plus optional scheme/plan filters, mirroring
+/// [`ChurnSweepConfig`](crate::churn_sweep::ChurnSweepConfig).
+#[derive(Debug, Clone)]
+pub struct ReplicationSweepConfig {
+    /// Experiment scale (network size, epochs, queries per epoch).
+    pub scale: Scale,
+    /// Schemes to sweep; `None` = every dynamic scheme.
+    pub schemes: Option<Vec<String>>,
+    /// Churn plans to sweep; the default is the full catalog.
+    pub plans: Vec<String>,
+    /// Events per epoch transition (the plans' default rate keeps the
+    /// comparison honest across plans).
+    pub rate: usize,
+    /// Worker threads for the parallel driver.
+    pub threads: usize,
+}
+
+impl ReplicationSweepConfig {
+    /// The default sweep at the given scale: every dynamic scheme × every
+    /// cataloged plan × [`REPLICATION_FACTORS`].
+    pub fn new(scale: Scale) -> Self {
+        ReplicationSweepConfig {
+            scale,
+            schemes: None,
+            plans: CHURN_PLAN_NAMES.iter().map(|s| s.to_string()).collect(),
+            rate: 8,
+            threads: dht_api::default_threads(),
+        }
+    }
+
+    /// The scheme names this config selects, in registry order.
+    pub fn scheme_names(&self) -> Vec<String> {
+        match &self.schemes {
+            None => crate::dynamic_single_names(),
+            Some(filter) => crate::dynamic_single_names()
+                .into_iter()
+                .filter(|n| filter.iter().any(|f| f == n))
+                .collect(),
+        }
+    }
+}
+
+/// One scheme × plan × factor measurement.
+#[derive(Debug, Clone)]
+pub struct ReplicationPoint {
+    /// Registry name of the scheme.
+    pub scheme: String,
+    /// Churn plan name.
+    pub plan: String,
+    /// Replication factor (total copies per record).
+    pub factor: usize,
+    /// Canonical policy name (`"none"` for factor 1).
+    pub policy: String,
+    /// The merged epoch-driven report (per-epoch series included).
+    pub report: DriverReport,
+    /// `results_returned / churn-free control results_returned`.
+    pub result_recall: f64,
+    /// The worst single epoch's share of the control's answers.
+    pub worst_epoch_recall: f64,
+    /// Replica copies placed by repair across all epochs.
+    pub repair_placed: usize,
+    /// Messages spent by repair across all epochs.
+    pub repair_messages: u64,
+    /// Live peers after the final epoch.
+    pub final_peers: usize,
+}
+
+/// Runs the default sweep; see [`run_points_with`].
+///
+/// # Panics
+///
+/// Panics if a scheme fails to build or errors on a fault-free query.
+pub fn run_points(scale: Scale) -> Vec<ReplicationPoint> {
+    run_points_with(&ReplicationSweepConfig::new(scale))
+}
+
+/// Runs the sweep under an explicit config. Every `(scheme, plan, factor)`
+/// cell rebuilds the scheme from the same seed and drives the identical
+/// epoch workload, so cells differ *only* in the replication factor; the
+/// control (result-recall denominator) is the scheme's churn-free run.
+///
+/// # Panics
+///
+/// As [`run_points`].
+pub fn run_points_with(cfg: &ReplicationSweepConfig) -> Vec<ReplicationPoint> {
+    let registry = standard_registry();
+    let (n, epochs) = match cfg.scale {
+        Scale::Full => (600, 6),
+        Scale::Quick => (150, 4),
+    };
+    let queries_per_epoch = (cfg.scale.queries() / epochs).max(10);
+    let domain = (crate::paper::DOMAIN_LO, crate::paper::DOMAIN_HI);
+    let workload = WorkloadGen::named("uniform", domain).expect("cataloged");
+    let driver = ParallelDriver::new(queries_per_epoch).with_seed(0x4e91).with_threads(cfg.threads);
+
+    let build = |name: &str, factor: usize| {
+        let policy =
+            if factor <= 1 { ReplicaPolicy::none() } else { ReplicaPolicy::successor(factor) };
+        let params =
+            BuildParams::new(n, domain.0, domain.1).with_object_id_len(32).with_replication(policy);
+        let mut rng = simnet::rng_from_seed(0x4e91 ^ dht_api::fnv1a(name.as_bytes()));
+        let mut scheme = registry.build_single(name, &params, &mut rng).expect("scheme builds");
+        for h in 0..n as u64 {
+            scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+        }
+        scheme
+    };
+
+    let mut points = Vec::new();
+    for name in cfg.scheme_names() {
+        // The churn-free control: the same epoch workload with no
+        // membership events (shared across plans and factors).
+        let control = {
+            let mut scheme = build(&name, 1);
+            let plan = ChurnPlan::named("steady-churn").expect("cataloged").with_rate(0);
+            driver.run_epochs(scheme.as_mut(), &workload, &plan, epochs).expect("control run")
+        };
+        let control_epochs: Vec<u64> = control.epochs.iter().map(|e| e.results_returned).collect();
+        let control_total: u64 = control_epochs.iter().sum();
+
+        for plan_name in &cfg.plans {
+            for &factor in &REPLICATION_FACTORS {
+                let mut scheme = build(&name, factor);
+                let policy_name = scheme
+                    .as_replicated()
+                    .map_or_else(|| "none".to_string(), |c| c.policy().name());
+                let plan = ChurnPlan::named(plan_name).expect("cataloged").with_rate(cfg.rate);
+                let report = driver
+                    .run_epochs(scheme.as_mut(), &workload, &plan, epochs)
+                    .expect("epoch run");
+                let result_recall = if control_total == 0 {
+                    1.0
+                } else {
+                    report.results_returned as f64 / control_total as f64
+                };
+                let worst_epoch_recall = report
+                    .epochs
+                    .iter()
+                    .map(|e| e.results_returned)
+                    .zip(&control_epochs)
+                    .map(|(got, &want)| if want == 0 { 1.0 } else { got as f64 / want as f64 })
+                    .fold(f64::INFINITY, f64::min);
+                let repair_placed: usize = report.epochs.iter().map(|e| e.repair.placed).sum();
+                let repair_messages: u64 = report.epochs.iter().map(|e| e.repair.messages).sum();
+                let final_peers = report.epochs.last().expect("epochs ran").peers;
+                points.push(ReplicationPoint {
+                    scheme: name.clone(),
+                    plan: plan_name.clone(),
+                    factor,
+                    policy: policy_name,
+                    report,
+                    result_recall,
+                    worst_epoch_recall,
+                    repair_placed,
+                    repair_messages,
+                    final_peers,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs the default sweep and renders the recall-vs-replication table.
+pub fn run(scale: Scale) -> Table {
+    run_with(&ReplicationSweepConfig::new(scale))
+}
+
+/// Renders the table for an explicit config.
+pub fn run_with(cfg: &ReplicationSweepConfig) -> Table {
+    let points = run_points_with(cfg);
+    let mut t = Table::new(
+        "R3 — recall vs replication factor (epoch-driven churn)",
+        &[
+            "scheme",
+            "plan",
+            "r",
+            "final peers",
+            "avg delay",
+            "mesg ratio",
+            "peer recall",
+            "result recall",
+            "worst epoch",
+            "repair placed",
+            "repair msgs",
+        ],
+    );
+    for p in &points {
+        t.push_row(vec![
+            p.scheme.clone(),
+            p.plan.clone(),
+            p.factor.to_string(),
+            p.final_peers.to_string(),
+            format!("{:.2}", p.report.delay.mean),
+            format!("{:.2}", p.report.mesg_ratio.mean),
+            format!("{:.3}", p.report.recall.mean),
+            format!("{:.3}", p.result_recall),
+            format!("{:.3}", p.worst_epoch_recall),
+            p.repair_placed.to_string(),
+            p.repair_messages.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance bar: recall must be monotonically non-decreasing in
+    /// the replication factor under *every* cataloged churn plan, for at
+    /// least two schemes. Deterministic placement plus the successor
+    /// policy's prefix property make this exact, not statistical.
+    #[test]
+    fn recall_is_monotone_in_the_replication_factor() {
+        let cfg = ReplicationSweepConfig {
+            schemes: Some(vec!["pira".into(), "dcf-can".into()]),
+            ..ReplicationSweepConfig::new(Scale::Quick)
+        };
+        let points = run_points_with(&cfg);
+        assert_eq!(points.len(), 2 * CHURN_PLAN_NAMES.len() * REPLICATION_FACTORS.len());
+        for scheme in ["pira", "dcf-can"] {
+            for plan in CHURN_PLAN_NAMES {
+                let series: Vec<&ReplicationPoint> =
+                    points.iter().filter(|p| p.scheme == scheme && p.plan == plan).collect();
+                assert_eq!(series.len(), REPLICATION_FACTORS.len());
+                for pair in series.windows(2) {
+                    assert!(
+                        pair[1].result_recall >= pair[0].result_recall - 1e-12,
+                        "{scheme}/{plan}: recall not monotone: r={} gives {}, r={} gives {}",
+                        pair[0].factor,
+                        pair[0].result_recall,
+                        pair[1].factor,
+                        pair[1].result_recall
+                    );
+                    assert!(
+                        pair[1].worst_epoch_recall >= pair[0].worst_epoch_recall - 1e-12,
+                        "{scheme}/{plan}: worst-epoch recall not monotone"
+                    );
+                }
+                // Replication must actually pay for itself on the
+                // crash-heavy plan: r = 5 strictly beats r = 1.
+                if plan == "massacre" {
+                    let first = series.first().unwrap();
+                    let last = series.last().unwrap();
+                    assert!(
+                        last.result_recall > first.result_recall,
+                        "{scheme}/massacre: replication bought no recall \
+                         ({} at r=1 vs {} at r=5)",
+                        first.result_recall,
+                        last.result_recall
+                    );
+                    assert!(last.repair_placed > 0, "{scheme}: crashes must trigger repair");
+                    assert!(last.repair_messages > 0);
+                }
+                // Factor 1 is genuinely unreplicated.
+                assert_eq!(series[0].policy, "none");
+                assert_eq!(series[0].repair_placed, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn replication_cost_shows_up_in_the_message_metrics() {
+        let cfg = ReplicationSweepConfig {
+            schemes: Some(vec!["pira".into()]),
+            plans: vec!["massacre".into()],
+            ..ReplicationSweepConfig::new(Scale::Quick)
+        };
+        let points = run_points_with(&cfg);
+        let r1 = points.iter().find(|p| p.factor == 1).unwrap();
+        let r5 = points.iter().find(|p| p.factor == 5).unwrap();
+        // Recovery fetches are counted: more copies, more recovered
+        // records, more messages per query.
+        assert!(
+            r5.report.messages.mean > r1.report.messages.mean,
+            "replica reads must cost messages: {} !> {}",
+            r5.report.messages.mean,
+            r1.report.messages.mean
+        );
+        assert!(r5.report.mesg_ratio.mean > r1.report.mesg_ratio.mean);
+        // And the recovered answers are real: strictly more results.
+        assert!(r5.report.results_returned > r1.report.results_returned);
+    }
+}

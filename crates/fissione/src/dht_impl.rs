@@ -40,6 +40,32 @@ impl Dht for FissioneNet {
         self.owner_of(&self.key_to_kautz(key)).expect("cover is complete")
     }
 
+    fn replica_owners(&self, key: u64, r: usize) -> Vec<NodeId> {
+        // The Kautz close group: the owner plus its nearest overlay
+        // neighbors, breadth-first — all local table reads, no routing
+        // (the maidsafe close-group discipline on a constant-degree graph).
+        let want = r.max(1).min(self.len());
+        let primary = Dht::owner_of_key(self, key);
+        let mut owners = vec![primary];
+        let mut frontier = vec![primary];
+        while owners.len() < want && !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for neighbor in self.neighbors(node) {
+                    if owners.len() >= want {
+                        break;
+                    }
+                    if !owners.contains(&neighbor) {
+                        owners.push(neighbor);
+                        next.push(neighbor);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        owners
+    }
+
     fn any_node(&self) -> NodeId {
         self.live_peers().next().expect("network is never empty")
     }
@@ -123,6 +149,27 @@ mod tests {
             DynamicDht::leave(&mut net, dead),
             Err(dht_api::SchemeError::BadOrigin { .. })
         ));
+    }
+
+    #[test]
+    fn replica_owners_form_the_kautz_close_group() {
+        use dht_api::Dht;
+        let cfg = FissioneConfig { object_id_len: 24, ..FissioneConfig::default() };
+        let mut rng = simnet::rng_from_seed(44);
+        let net = FissioneNet::build(cfg, 80, &mut rng).unwrap();
+        for key in [0u64, 9, 0xfeed, u64::MAX] {
+            let owners = net.replica_owners(key, 4);
+            assert_eq!(owners.len(), 4);
+            assert_eq!(owners[0], net.owner_of_key(key), "primary is the key's owner");
+            let distinct: std::collections::BTreeSet<_> = owners.iter().collect();
+            assert_eq!(distinct.len(), 4);
+            assert!(owners.iter().all(|&o| net.is_live(o)));
+            // The first replica is an overlay neighbor of the primary —
+            // the close-group property.
+            assert!(net.neighbors(owners[0]).contains(&owners[1]));
+            // Deterministic.
+            assert_eq!(owners, net.replica_owners(key, 4));
+        }
     }
 
     #[test]

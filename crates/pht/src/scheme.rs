@@ -13,8 +13,8 @@
 
 use crate::{Pht, PhtOutcome};
 use dht_api::{
-    BuildParams, Dht, DynamicDht, DynamicScheme, RangeOutcome, RangeScheme, SchemeError,
-    SchemeRegistry,
+    BuildParams, Dht, DynamicDht, DynamicScheme, RangeOutcome, RangeScheme, ReplicaRouting,
+    SchemeError, SchemeRegistry,
 };
 use rand::rngs::SmallRng;
 use simnet::NodeId;
@@ -168,6 +168,31 @@ impl<D: DynamicDht> RangeScheme for DynamicPhtScheme<D> {
 
     fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
         Some(self)
+    }
+
+    fn as_replica_routing(&self) -> Option<&dyn ReplicaRouting> {
+        Some(self)
+    }
+}
+
+impl<D: DynamicDht> ReplicaRouting for DynamicPhtScheme<D> {
+    fn live_peers(&self) -> Vec<NodeId> {
+        self.0.pht.dht().live_nodes()
+    }
+
+    fn close_group(&self, value: f64, r: usize) -> Vec<NodeId> {
+        self.0.pht.dht().replica_owners(dht_api::value_key(value), r)
+    }
+
+    fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> (u64, u64) {
+        if origin == holder {
+            return (0, 0); // the copy is local
+        }
+        // The generic substrate can route to a *key* but not to a node, so
+        // the fetch is priced with the `O(log N)` point-lookup model every
+        // PHT trie operation already uses, plus one direct response hop.
+        let hops = (self.node_count().max(2) as f64).log2().ceil() as u64;
+        (hops + 1, hops + 1)
     }
 }
 

@@ -38,6 +38,7 @@ fn assert_reports_identical(a: &DriverReport, b: &DriverReport, ctx: &str) {
         assert_eq!(ea.epoch, eb.epoch, "{ectx}: index");
         assert_eq!(ea.peers, eb.peers, "{ectx}: peers");
         assert_eq!(ea.churn, eb.churn, "{ectx}: churn stats");
+        assert_eq!(ea.repair, eb.repair, "{ectx}: repair stats");
         assert_eq!(ea.delay_mean, eb.delay_mean, "{ectx}: delay");
         assert_eq!(ea.exact_rate, eb.exact_rate, "{ectx}: exact");
         assert_eq!(ea.recall_mean, eb.recall_mean, "{ectx}: recall");
@@ -116,6 +117,42 @@ fn epoch_mode_reports_are_identical_across_thread_counts_for_every_plan() {
             // Churn actually happened (epoch 0 is the clean baseline).
             let events: usize = serial.epochs.iter().map(|e| e.churn.events()).sum();
             assert!(events > 0, "{scheme_name}/{plan_name} applied no churn");
+        }
+    }
+}
+
+#[test]
+fn replicated_epoch_reports_are_identical_across_thread_counts() {
+    // The replication layer must not cost the determinism guarantee:
+    // replica placement, recovery fetches, and the per-epoch repair series
+    // are all pure functions of the query index and the membership
+    // history, so a replicated scheme's epoch report — repair series
+    // included — is bitwise identical for any thread count.
+    let workload = WorkloadGen::named("uniform", DOMAIN).unwrap();
+    for scheme_name in ["pira+r3", "dcf-can+ns2"] {
+        for plan_name in ["massacre", "steady-churn"] {
+            let plan = ChurnPlan::named(plan_name).unwrap().with_rate(6);
+            let driver = ParallelDriver { queries: 30, seed: 11, threads: 1 };
+            let mut serial_scheme = fresh_scheme(scheme_name);
+            let serial = driver.run_epochs(serial_scheme.as_mut(), &workload, &plan, 4).unwrap();
+            for threads in [3, 8] {
+                let mut sharded_scheme = fresh_scheme(scheme_name);
+                let sharded = driver
+                    .with_threads(threads)
+                    .run_epochs(sharded_scheme.as_mut(), &workload, &plan, 4)
+                    .unwrap();
+                assert_reports_identical(
+                    &serial,
+                    &sharded,
+                    &format!("{scheme_name}/{plan_name}/t{threads}"),
+                );
+            }
+            // Replication is genuinely active in these runs: the massacre
+            // plan's crashes must trigger repair placements somewhere.
+            if plan_name == "massacre" {
+                let placed: usize = serial.epochs.iter().map(|e| e.repair.placed).sum();
+                assert!(placed > 0, "{scheme_name}/{plan_name}: no repair traffic recorded");
+            }
         }
     }
 }

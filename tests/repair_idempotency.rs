@@ -1,0 +1,97 @@
+//! Repair idempotency, pinned across every dynamic scheme and crash
+//! severity: after churn, one `stabilize()` pass must leave *nothing* for
+//! a second pass to do — the second call returns 0 operations — and the
+//! replication layer's `re_replicate()` obeys the same contract.
+//!
+//! This generalizes what used to be pinned only by armada's unit test of
+//! `SingleArmada::repair_records`: a repair sweep that keeps finding work
+//! on a converged network is either leaking repairs or mis-detecting loss,
+//! and both bugs corrupt the repair-traffic series the churn and
+//! replication experiments report.
+
+use armada_suite::dht_api::{BuildParams, RangeScheme, ReplicaPolicy};
+use armada_suite::experiments::{dynamic_single_names, standard_registry};
+use proptest::prelude::*;
+use rand::Rng;
+
+const DOMAIN: (f64, f64) = (0.0, 1000.0);
+
+/// Crash severities exercised: a light brush, a heavy blow, and a third of
+/// the network.
+const SEVERITIES: [usize; 3] = [3, 12, 24];
+
+fn build_loaded(name: &str, seed: u64, policy: Option<ReplicaPolicy>) -> Box<dyn RangeScheme> {
+    let registry = standard_registry();
+    let mut params = BuildParams::new(72, DOMAIN.0, DOMAIN.1).with_object_id_len(24);
+    if let Some(p) = policy {
+        params = params.with_replication(p);
+    }
+    let mut rng = simnet::rng_from_seed(seed ^ dht_api::fnv1a(name.as_bytes()));
+    let mut scheme = registry.build_single(name, &params, &mut rng).expect("build");
+    for h in 0..150u64 {
+        scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).expect("publish");
+    }
+    scheme
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn second_stabilize_finds_nothing_to_repair(seed in 0u64..10_000) {
+        for name in dynamic_single_names() {
+            for &severity in &SEVERITIES {
+                let mut scheme = build_loaded(&name, seed, None);
+                let dynamic = scheme.as_dynamic().expect("dynamic scheme");
+                let mut vrng = simnet::rng_from_seed(seed ^ 0xc4a5);
+                for _ in 0..severity {
+                    let live = dynamic.live_peers();
+                    prop_assert!(!live.is_empty());
+                    let victim = live[vrng.gen_range(0..live.len())];
+                    dynamic.crash(victim).expect("crash a live peer");
+                }
+                dynamic.stabilize();
+                let second = dynamic.stabilize();
+                prop_assert_eq!(
+                    second, 0,
+                    "{} after {} crashes: a second stabilize must be a no-op",
+                    name, severity
+                );
+                // And the repaired network answers exactly.
+                let origin = scheme.random_origin(&mut vrng);
+                let out = scheme.range_query(origin, 100.0, 600.0, 0).expect("query");
+                prop_assert!(out.exact, "{} inexact after stabilize", name);
+            }
+        }
+    }
+
+    #[test]
+    fn second_re_replicate_finds_nothing_to_place(seed in 0u64..10_000) {
+        for name in dynamic_single_names() {
+            for &severity in &SEVERITIES {
+                let mut scheme =
+                    build_loaded(&name, seed, Some(ReplicaPolicy::successor(3)));
+                {
+                    let dynamic = scheme.as_dynamic().expect("dynamic scheme");
+                    let mut vrng = simnet::rng_from_seed(seed ^ 0x5e15);
+                    for _ in 0..severity {
+                        let live = dynamic.live_peers();
+                        let victim = live[vrng.gen_range(0..live.len())];
+                        dynamic.crash(victim).expect("crash a live peer");
+                    }
+                }
+                let control = scheme.as_replicated().expect("replicated scheme");
+                let first = control.re_replicate();
+                prop_assert!(
+                    first.placed > 0 || severity < 5,
+                    "{}: heavy crashes should evict replicas somewhere",
+                    name
+                );
+                let second = control.re_replicate();
+                prop_assert_eq!(second.placed, 0, "{} second pass placed copies", name);
+                prop_assert_eq!(second.dropped, 0, "{} second pass dropped copies", name);
+                prop_assert_eq!(second.messages, 0, "{} second pass sent messages", name);
+            }
+        }
+    }
+}
