@@ -27,6 +27,7 @@ pub struct SingleArmada {
     net: FissioneNet,
     naming: SingleHash,
     values: Vec<f64>,
+    net_model: simnet::NetModel,
 }
 
 impl SingleArmada {
@@ -55,7 +56,20 @@ impl SingleArmada {
     ) -> Result<Self, ArmadaError> {
         let naming = SingleHash::new(lo, hi, cfg.object_id_len)?;
         let net = FissioneNet::build(cfg, n, rng)?;
-        Ok(SingleArmada { net, naming, values: Vec::new() })
+        Ok(SingleArmada { net, naming, values: Vec::new(), net_model: simnet::NetModel::unit() })
+    }
+
+    /// Replaces the network cost model queries price their edges with
+    /// (`unit` by default — latency reproduces hop ticks). Hop metrics,
+    /// message counts and result sets are model-invariant by construction;
+    /// only [`QueryMetrics::latency`](crate::QueryMetrics) moves.
+    pub fn set_net_model(&mut self, model: simnet::NetModel) {
+        self.net_model = model;
+    }
+
+    /// The network cost model in force.
+    pub fn net_model(&self) -> &simnet::NetModel {
+        &self.net_model
     }
 
     /// The underlying DHT (read-only).
@@ -222,6 +236,7 @@ pub struct MultiArmada {
     net: FissioneNet,
     naming: MultiHash,
     points: Vec<Vec<f64>>,
+    net_model: simnet::NetModel,
 }
 
 impl MultiArmada {
@@ -251,7 +266,17 @@ impl MultiArmada {
     ) -> Result<Self, ArmadaError> {
         let naming = MultiHash::new(domains, cfg.object_id_len)?;
         let net = FissioneNet::build(cfg, n, rng)?;
-        Ok(MultiArmada { net, naming, points: Vec::new() })
+        Ok(MultiArmada { net, naming, points: Vec::new(), net_model: simnet::NetModel::unit() })
+    }
+
+    /// Replaces the network cost model (see [`SingleArmada::set_net_model`]).
+    pub fn set_net_model(&mut self, model: simnet::NetModel) {
+        self.net_model = model;
+    }
+
+    /// The network cost model in force.
+    pub fn net_model(&self) -> &simnet::NetModel {
+        &self.net_model
     }
 
     /// The underlying DHT (read-only).

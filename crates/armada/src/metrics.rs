@@ -16,6 +16,11 @@ use crate::RecordId;
 pub struct QueryMetrics {
     /// Max hop depth among destination deliveries.
     pub delay: u32,
+    /// Critical-path virtual milliseconds under the engine's
+    /// [`NetModel`](simnet::NetModel): the largest, over destination
+    /// peers, of the cheapest accumulated edge cost among the messages
+    /// that reached that peer. Equals `delay` under the `unit` model.
+    pub latency: u64,
     /// Total protocol messages sent.
     pub messages: u64,
     /// Ground-truth destination peer count.
@@ -70,7 +75,14 @@ mod tests {
     use super::*;
 
     fn metrics(messages: u64, dest: usize) -> QueryMetrics {
-        QueryMetrics { delay: 5, messages, dest_peers: dest, reached_peers: dest, exact: true }
+        QueryMetrics {
+            delay: 5,
+            latency: 5,
+            messages,
+            dest_peers: dest,
+            reached_peers: dest,
+            exact: true,
+        }
     }
 
     #[test]
@@ -88,8 +100,14 @@ mod tests {
 
     #[test]
     fn recall_is_fraction_reached() {
-        let m =
-            QueryMetrics { delay: 1, messages: 3, dest_peers: 4, reached_peers: 3, exact: false };
+        let m = QueryMetrics {
+            delay: 1,
+            latency: 1,
+            messages: 3,
+            dest_peers: 4,
+            reached_peers: 3,
+            exact: false,
+        };
         assert_eq!(m.peer_recall(), 0.75);
     }
 }

@@ -51,7 +51,8 @@ pub(crate) fn query(
     let truth = armada.ground_truth_peers(ranges)?;
     let origin_id = net.peer_id(origin)?.clone();
 
-    let mut sim: Sim<MiraMsg> = Sim::new(seed).with_faults(faults.clone());
+    let mut sim: Sim<MiraMsg> =
+        Sim::new(seed).with_faults(faults.clone()).with_net(*armada.net_model());
     for sub in corner.split_by_common_prefix() {
         let com_t = sub.common_prefix();
         let (f, hops_left) = descent_budget(&origin_id, &com_t);
@@ -60,6 +61,9 @@ pub(crate) fn query(
     }
 
     let mut answered: BTreeSet<NodeId> = BTreeSet::new();
+    // Cheapest accumulated edge cost per answering peer (min over all
+    // deliveries — order-independent; see pira.rs).
+    let mut arrival: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
     let mut results: BTreeSet<RecordId> = BTreeSet::new();
     let mut delay: u32 = 0;
     sim.run(|sim, env: Envelope<MiraMsg>| {
@@ -68,17 +72,22 @@ pub(crate) fn query(
 
         // Local answer: this peer's hyper-rectangle intersects the query.
         let zone = naming.prefix_rect(id).expect("peer depth within naming depth");
-        if rect.intersects(&zone) && answered.insert(node) {
-            delay = delay.max(env.hop);
-            let peer = net.peer(node).expect("live");
-            for (_oid, handles) in peer.objects_in_range(corner.low(), corner.high()) {
-                for &h in handles {
-                    let record = RecordId(h);
-                    let point = armada.point(record);
-                    let inside =
-                        point.iter().zip(ranges.iter()).all(|(&v, &(lo, hi))| v >= lo && v <= hi);
-                    if inside {
-                        results.insert(record);
+        if rect.intersects(&zone) {
+            arrival.entry(node).and_modify(|c| *c = (*c).min(env.cost)).or_insert(env.cost);
+            if answered.insert(node) {
+                delay = delay.max(env.hop);
+                let peer = net.peer(node).expect("live");
+                for (_oid, handles) in peer.objects_in_range(corner.low(), corner.high()) {
+                    for &h in handles {
+                        let record = RecordId(h);
+                        let point = armada.point(record);
+                        let inside = point
+                            .iter()
+                            .zip(ranges.iter())
+                            .all(|(&v, &(lo, hi))| v >= lo && v <= hi);
+                        if inside {
+                            results.insert(record);
+                        }
                     }
                 }
             }
@@ -110,10 +119,12 @@ pub(crate) fn query(
 
     let reached = answered.len();
     let exact = answered == truth;
+    let latency = arrival.values().copied().max().unwrap_or(0);
     Ok(QueryOutcome {
         results: results.into_iter().collect(),
         metrics: QueryMetrics {
             delay,
+            latency,
             messages: sim.stats().messages_sent,
             dest_peers: truth.len(),
             reached_peers: reached,

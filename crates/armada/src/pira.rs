@@ -63,7 +63,8 @@ pub(crate) fn query(
     let truth = armada.ground_truth_peers(lo, hi)?;
     let origin_id = net.peer_id(origin)?.clone();
 
-    let mut sim: Sim<PiraMsg> = Sim::new(seed).with_faults(faults.clone());
+    let mut sim: Sim<PiraMsg> =
+        Sim::new(seed).with_faults(faults.clone()).with_net(*armada.net_model());
     for sub in region.split_by_common_prefix() {
         let com_t = sub.common_prefix();
         let (f, hops_left) = descent_budget(&origin_id, &com_t);
@@ -76,6 +77,11 @@ pub(crate) fn query(
     }
 
     let mut answered: BTreeSet<NodeId> = BTreeSet::new();
+    // Cheapest accumulated edge cost among the messages reaching each
+    // answering peer — the min over all deliveries, so the figure is
+    // independent of delivery order (scheduling stays on unit ticks; the
+    // cost model rides along in the envelopes).
+    let mut arrival: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
     let mut results: BTreeSet<RecordId> = BTreeSet::new();
     let mut delay: u32 = 0;
     sim.run(|sim, env: Envelope<PiraMsg>| {
@@ -87,15 +93,18 @@ pub(crate) fn query(
         // Local answer: this peer's region intersects the sub-region.
         // Records are collected against the *full* query so one visit per
         // peer suffices even when it straddles several sub-regions.
-        if sub.intersects_prefix(id) && answered.insert(node) {
-            delay = delay.max(env.hop);
-            let peer = net.peer(node).expect("live");
-            for (_oid, handles) in peer.objects_in_range(region.low(), region.high()) {
-                for &h in handles {
-                    let record = RecordId(h);
-                    let v = armada.value(record);
-                    if v >= lo && v <= hi {
-                        results.insert(record);
+        if sub.intersects_prefix(id) {
+            arrival.entry(node).and_modify(|c| *c = (*c).min(env.cost)).or_insert(env.cost);
+            if answered.insert(node) {
+                delay = delay.max(env.hop);
+                let peer = net.peer(node).expect("live");
+                for (_oid, handles) in peer.objects_in_range(region.low(), region.high()) {
+                    for &h in handles {
+                        let record = RecordId(h);
+                        let v = armada.value(record);
+                        if v >= lo && v <= hi {
+                            results.insert(record);
+                        }
                     }
                 }
             }
@@ -132,10 +141,14 @@ pub(crate) fn query(
 
     let reached = answered.len();
     let exact = answered == truth;
+    // Critical path in virtual ms: the query completes when the last
+    // destination first learns of it.
+    let latency = arrival.values().copied().max().unwrap_or(0);
     Ok(QueryOutcome {
         results: results.into_iter().collect(),
         metrics: QueryMetrics {
             delay,
+            latency,
             messages: sim.stats().messages_sent,
             dest_peers: truth.len(),
             reached_peers: reached,

@@ -22,8 +22,8 @@
 
 use crate::{ArmadaError, MultiArmada, QueryOutcome, SingleArmada};
 use dht_api::{
-    BuildParams, Dht, DynamicScheme, MultiBuildParams, MultiRangeScheme, RangeOutcome, RangeScheme,
-    ReplicaRouting, SchemeError, SchemeRegistry,
+    BuildParams, Dht, DynamicScheme, FetchCost, MultiBuildParams, MultiRangeScheme, OutcomeCosts,
+    RangeOutcome, RangeScheme, ReplicaRouting, SchemeError, SchemeRegistry,
 };
 use fissione::FissioneConfig;
 use rand::rngs::SmallRng;
@@ -43,14 +43,17 @@ impl QueryOutcome {
     /// [`RecordId`](crate::RecordId) values; adapters that track caller
     /// handles remap before converting.
     pub fn into_outcome(self) -> RangeOutcome {
-        RangeOutcome {
-            results: self.results.iter().map(|r| r.0).collect(),
-            delay: u64::from(self.metrics.delay),
-            messages: self.metrics.messages,
-            dest_peers: self.metrics.dest_peers,
-            reached_peers: self.metrics.reached_peers,
-            exact: self.metrics.exact,
-        }
+        RangeOutcome::from_native(
+            self.results.iter().map(|r| r.0).collect(),
+            OutcomeCosts {
+                hops: u64::from(self.metrics.delay),
+                latency: self.metrics.latency,
+                messages: self.metrics.messages,
+            },
+            self.metrics.dest_peers,
+            self.metrics.reached_peers,
+            self.metrics.exact,
+        )
     }
 }
 
@@ -72,8 +75,21 @@ fn remap(out: QueryOutcome, handles: &[u64]) -> RangeOutcome {
 
 fn build_single(params: &BuildParams, rng: &mut SmallRng) -> Result<SingleArmada, SchemeError> {
     let cfg = FissioneConfig { object_id_len: params.object_id_len, ..FissioneConfig::default() };
-    SingleArmada::build_with(cfg, params.n, params.domain.0, params.domain.1, rng)
-        .map_err(|e| SchemeError::Build(e.to_string()))
+    let mut armada = SingleArmada::build_with(cfg, params.n, params.domain.0, params.domain.1, rng)
+        .map_err(|e| SchemeError::Build(e.to_string()))?;
+    armada.set_net_model(params.net);
+    Ok(armada)
+}
+
+/// The substrate label with the cost model appended when it is not the
+/// default hop-tick network (comparison tables stay unchanged under
+/// `unit`).
+fn substrate_label(base: &str, model: &simnet::NetModel) -> String {
+    if model.is_unit() {
+        base.to_string()
+    } else {
+        format!("{base} @ {}", model.name())
+    }
 }
 
 /// Armada's PIRA algorithm as a [`RangeScheme`].
@@ -105,7 +121,7 @@ impl RangeScheme for PiraScheme {
     }
 
     fn substrate(&self) -> String {
-        "FissionE".into()
+        substrate_label("FissionE", self.inner.net_model())
     }
 
     fn degree(&self) -> String {
@@ -209,7 +225,8 @@ impl_fissione_dynamics!(SeqWalkScheme);
 /// FISSIONE-backed replica routing shared by the single-attribute
 /// adapters: close groups come from the substrate's Kautz neighborhood
 /// ([`Dht::replica_owners`]), and point fetches pay the real routed path
-/// to the holder plus one direct response hop.
+/// to the holder plus one direct response hop — with the same edges
+/// priced by the engine's cost model for the latency figure.
 macro_rules! impl_fissione_replication {
     ($adapter:ty) => {
         impl ReplicaRouting for $adapter {
@@ -221,16 +238,29 @@ macro_rules! impl_fissione_replication {
                 self.inner.net().replica_owners(dht_api::value_key(value), r)
             }
 
-            fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> (u64, u64) {
+            fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> FetchCost {
                 if origin == holder {
-                    return (0, 0); // the copy is local
+                    return FetchCost::default(); // the copy is local
                 }
                 let net = self.inner.net();
-                let hops = net
-                    .peer_id(holder)
-                    .and_then(|id| net.route(origin, id))
-                    .map_or_else(|_| (net.len() as f64).log2().ceil() as u64, |r| r.hops() as u64);
-                (hops + 1, hops + 1) // routed request + direct response
+                let model = self.inner.net_model();
+                let response = model.edge_cost(holder, origin);
+                let (hops, route_latency) =
+                    net.peer_id(holder).and_then(|id| net.route(origin, id)).map_or_else(
+                        |_| {
+                            // Unroutable (dead holder): fall back to the
+                            // log N lookup model, priced at the direct
+                            // origin→holder edge per modeled hop.
+                            let h = (net.len() as f64).log2().ceil() as u64;
+                            (h, h * model.edge_cost(origin, holder))
+                        },
+                        |r| (r.hops() as u64, model.path_cost(r.path())),
+                    );
+                FetchCost {
+                    hops: hops + 1, // routed request + direct response
+                    latency: route_latency + response,
+                    messages: hops + 1,
+                }
             }
         }
     };
@@ -266,7 +296,7 @@ impl RangeScheme for SeqWalkScheme {
     }
 
     fn substrate(&self) -> String {
-        "FissionE placement".into()
+        substrate_label("FissionE placement", self.inner.net_model())
     }
 
     fn degree(&self) -> String {
@@ -327,8 +357,9 @@ impl MiraScheme {
     pub fn build(params: &MultiBuildParams, rng: &mut SmallRng) -> Result<Self, SchemeError> {
         let cfg =
             FissioneConfig { object_id_len: params.object_id_len, ..FissioneConfig::default() };
-        let inner = MultiArmada::build_with(cfg, params.n, &params.domains, rng)
+        let mut inner = MultiArmada::build_with(cfg, params.n, &params.domains, rng)
             .map_err(|e| SchemeError::Build(e.to_string()))?;
+        inner.set_net_model(params.net);
         Ok(MiraScheme { inner, dims: params.domains.len(), handles: Vec::new() })
     }
 
@@ -344,7 +375,7 @@ impl MultiRangeScheme for MiraScheme {
     }
 
     fn substrate(&self) -> String {
-        "FissionE".into()
+        substrate_label("FissionE", self.inner.net_model())
     }
 
     fn degree(&self) -> String {

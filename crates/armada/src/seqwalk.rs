@@ -37,17 +37,23 @@ pub fn query(
     let truth: BTreeSet<simnet::NodeId> = destinations.iter().copied().collect();
 
     // Phase 1: DHT-route to the first destination (the owner of LowT).
+    let model = armada.net_model();
     let route = net.route(origin, region.low())?;
     debug_assert_eq!(Some(&route.dest()), destinations.first());
     let mut messages = route.hops() as u64;
     let mut delay = route.hops() as u32;
+    // The routing phase's edges, priced by the cost model.
+    let mut latency = model.path_cost(route.path());
 
     // Phase 2: walk the contiguous destination run, one hop per successor.
+    // The walk is strictly sequential, so every successor edge joins the
+    // critical path in both currencies.
     let mut results: BTreeSet<RecordId> = BTreeSet::new();
     for (i, &peer) in destinations.iter().enumerate() {
         if i > 0 {
             messages += 1;
             delay += 1;
+            latency += model.edge_cost(destinations[i - 1], peer);
         }
         let p = net.peer(peer).expect("live");
         for (_oid, handles) in p.objects_in_range(region.low(), region.high()) {
@@ -65,6 +71,7 @@ pub fn query(
         results: results.into_iter().collect(),
         metrics: QueryMetrics {
             delay,
+            latency,
             messages,
             dest_peers: truth.len(),
             reached_peers: truth.len(),

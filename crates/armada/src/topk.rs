@@ -108,6 +108,9 @@ impl TopKOutcome {
     pub fn as_metrics(&self) -> QueryMetrics {
         QueryMetrics {
             delay: self.delay,
+            // Top-k probes predate the cost-model layer and report hops
+            // only; under the unit model latency equals hop depth.
+            latency: u64::from(self.delay),
             messages: self.messages,
             dest_peers: 0,
             reached_peers: 0,

@@ -206,15 +206,26 @@ impl ChordNet {
     ///
     /// Panics if `from` is dead.
     pub fn route_point(&self, from: NodeId, key: u64) -> Lookup {
+        let (lookup, _) = self.route_point_path(from, key);
+        lookup
+    }
+
+    /// [`route_point`](Self::route_point) returning the full traversed
+    /// path, `[from, ..., owner]` — what per-edge cost models price.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is dead.
+    pub fn route_point_path(&self, from: NodeId, key: u64) -> (Lookup, Vec<NodeId>) {
         let owner = self.successor_of(key);
         let mut cur = from;
-        let mut hops = 0usize;
+        let mut path = vec![from];
         while cur != owner {
             // If the owner is our direct successor, one hop finishes.
             let succ = self.fingers[cur][0];
             if Self::in_interval(self.id_of(cur), self.id_of(succ), key) {
                 debug_assert_eq!(succ, owner);
-                hops += 1;
+                path.push(succ);
                 break;
             }
             // Otherwise jump through the farthest finger preceding the key.
@@ -230,10 +241,10 @@ impl ChordNet {
                 next = succ;
             }
             cur = next;
-            hops += 1;
-            debug_assert!(hops <= self.ring.len(), "routing must terminate");
+            path.push(next);
+            debug_assert!(path.len() <= self.ring.len() + 1, "routing must terminate");
         }
-        Lookup { owner, hops }
+        (Lookup { owner, hops: path.len() - 1 }, path)
     }
 
     /// Whether `x` lies in the half-open clockwise interval `(a, b]`.
@@ -249,6 +260,12 @@ impl ChordNet {
 impl Dht for ChordNet {
     fn route_key(&self, from: NodeId, key: u64) -> Lookup {
         self.route_point(from, key)
+    }
+
+    fn route_key_latency(&self, from: NodeId, key: u64, net: &simnet::NetModel) -> (Lookup, u64) {
+        // The real finger path, priced edge by edge.
+        let (lookup, path) = self.route_point_path(from, key);
+        (lookup, net.path_cost(&path))
     }
 
     fn owner_of_key(&self, key: u64) -> NodeId {

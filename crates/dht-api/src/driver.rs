@@ -29,6 +29,9 @@ pub struct DriverReport {
     pub queries: usize,
     /// Delay (hops) per query.
     pub delay: Summary,
+    /// Latency (virtual ms under the scheme's
+    /// [`NetModel`](crate::NetModel)) per query.
+    pub latency: Summary,
     /// Messages per query.
     pub messages: Summary,
     /// Ground-truth destination count per query.
@@ -67,6 +70,8 @@ pub struct EpochSummary {
     pub repair: crate::ReplicaRepair,
     /// Mean query delay (hops) within the epoch.
     pub delay_mean: f64,
+    /// Mean query latency (virtual ms) within the epoch.
+    pub latency_mean: f64,
     /// Fraction of the epoch's queries answered exactly.
     pub exact_rate: f64,
     /// Mean `peer_recall` within the epoch.
@@ -82,6 +87,7 @@ pub struct EpochSummary {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Accumulator {
     delay: Samples,
+    latency: Samples,
     messages: Samples,
     dest_peers: Samples,
     mesg_ratio: Samples,
@@ -94,6 +100,7 @@ pub(crate) struct Accumulator {
 impl Accumulator {
     pub(crate) fn push(&mut self, out: &crate::RangeOutcome, n_peers: usize) {
         self.delay.push(out.delay as f64);
+        self.latency.push(out.latency as f64);
         self.messages.push(out.messages as f64);
         self.dest_peers.push(out.dest_peers as f64);
         self.mesg_ratio.push(out.mesg_ratio());
@@ -109,6 +116,7 @@ impl Accumulator {
     /// the final report does not depend on how queries were sharded.
     pub(crate) fn merge(&mut self, other: Accumulator) {
         self.delay.merge(other.delay);
+        self.latency.merge(other.latency);
         self.messages.merge(other.messages);
         self.dest_peers.merge(other.dest_peers);
         self.mesg_ratio.merge(other.mesg_ratio);
@@ -123,6 +131,7 @@ impl Accumulator {
             scheme: scheme.to_string(),
             queries,
             delay: self.delay.summarize(),
+            latency: self.latency.summarize(),
             messages: self.messages.summarize(),
             dest_peers: self.dest_peers.summarize(),
             mesg_ratio: self.mesg_ratio.summarize(),
@@ -251,6 +260,7 @@ mod tests {
             Ok(RangeOutcome {
                 results: (0..(hi - lo).round() as u64).collect(),
                 delay: 2,
+                latency: 2,
                 messages: 5,
                 dest_peers: 4,
                 reached_peers: 4,
@@ -313,6 +323,7 @@ mod tests {
                 Ok(RangeOutcome {
                     results: vec![],
                     delay: 0,
+                    latency: 0,
                     messages: 0,
                     dest_peers: 0,
                     reached_peers: 0,

@@ -49,6 +49,10 @@
 //!
 //! * **delay** — critical-path length of the query in overlay hops under
 //!   unit per-hop latency ([`RangeOutcome::delay`]).
+//! * **latency** — critical-path virtual time in milliseconds under the
+//!   scheme's [`NetModel`] ([`RangeOutcome::latency`]): the same message
+//!   paths, priced edge by edge. Hop metrics are model-invariant; this is
+//!   the figure that moves when the network is not the unit-cost one.
 //! * **messages** — total protocol messages sent
 //!   ([`RangeOutcome::messages`]).
 //! * **Destpeers** — ground-truth count of peers whose region intersects
@@ -81,11 +85,19 @@ pub use dynamics::{DynamicDht, DynamicScheme};
 pub use parallel::{default_threads, ParallelDriver};
 pub use registry::{BuildParams, MultiBuildParams, MultiBuilder, SchemeRegistry, SingleBuilder};
 pub use replication::{
-    ring_owners, value_key, ReplicaKind, ReplicaPolicy, ReplicaRepair, ReplicaRouting, Replicated,
-    ReplicationControl,
+    ring_owners, value_key, FetchCost, ReplicaKind, ReplicaPolicy, ReplicaRepair, ReplicaRouting,
+    Replicated, ReplicationControl,
 };
-pub use scheme::{MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError};
+pub use scheme::{MultiRangeScheme, OutcomeCosts, RangeOutcome, RangeScheme, SchemeError};
 pub use workload::{WorkloadGen, WorkloadKind, WORKLOAD_NAMES};
+
+// The network cost-model layer. `NetModel` is defined in `simnet` (the
+// simulator charges edge costs as messages are scheduled, and `simnet`
+// cannot depend on this crate), but it is part of this crate's query
+// contract: `BuildParams::net` selects it, every scheme accumulates its
+// edge costs into `RangeOutcome::latency`, and registry names accept
+// `"pira@wan"`-style suffixes.
+pub use simnet::{NetModel, NetModelKind, NET_MODEL_NAMES};
 
 use rand::rngs::SmallRng;
 use simnet::NodeId;
@@ -111,6 +123,23 @@ pub struct Lookup {
 pub trait Dht: Send + Sync {
     /// Routes from `from` to the peer owning `key`.
     fn route_key(&self, from: NodeId, key: u64) -> Lookup;
+
+    /// [`route_key`](Dht::route_key) with the traversed path's virtual
+    /// latency under `net`: returns the lookup and the summed
+    /// [`NetModel::edge_cost`] of every edge actually routed through.
+    ///
+    /// **Accuracy:** the default implementation cannot see the substrate's
+    /// hop-by-hop path, so it prices each of the `hops` edges at the cost
+    /// of the *direct* `from → owner` edge — exact under `unit` (every
+    /// edge costs 1) and an explicit approximation elsewhere. Substrates
+    /// that expose real paths (`chord`, `fissione`) override it with true
+    /// per-edge accumulation; layered schemes (PHT) inherit whichever
+    /// accuracy their substrate provides.
+    fn route_key_latency(&self, from: NodeId, key: u64, net: &NetModel) -> (Lookup, u64) {
+        let lookup = self.route_key(from, key);
+        let per_edge = if lookup.hops == 0 { 0 } else { net.edge_cost(from, lookup.owner) };
+        (lookup, per_edge * lookup.hops as u64)
+    }
 
     /// The peer owning `key`.
     ///

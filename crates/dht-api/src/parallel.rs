@@ -62,7 +62,7 @@ pub fn default_threads() -> usize {
 /// #         let mut results: Vec<u64> = self.0.iter()
 /// #             .filter(|&&(v, _)| v >= lo && v <= hi).map(|&(_, h)| h).collect();
 /// #         results.sort_unstable();
-/// #         Ok(RangeOutcome { results, delay: 1, messages: 1, dest_peers: 1,
+/// #         Ok(RangeOutcome { results, delay: 1, latency: 1, messages: 1, dest_peers: 1,
 /// #             reached_peers: 1, exact: true })
 /// #     }
 /// # }
@@ -267,6 +267,7 @@ impl ParallelDriver {
                 churn: std::mem::take(&mut pending_churn),
                 repair: std::mem::take(&mut pending_repair),
                 delay_mean: epoch_report.delay.mean,
+                latency_mean: epoch_report.latency.mean,
                 exact_rate: epoch_report.exact_rate,
                 recall_mean: epoch_report.recall.mean,
                 results_returned: epoch_report.results_returned,
@@ -351,6 +352,7 @@ mod tests {
             Ok(RangeOutcome {
                 results: vec![seed],
                 delay: (width as u64 % 17) + (origin as u64 % 3),
+                latency: (width as u64 % 29) + (origin as u64 % 5),
                 messages: (lo as u64 % 23) + 1,
                 dest_peers: (width as usize / 10) + 1,
                 reached_peers: (width as usize / 10) + 1,
@@ -438,6 +440,7 @@ mod tests {
                 Ok(RangeOutcome {
                     results: vec![],
                     delay: 0,
+                    latency: 0,
                     messages: 0,
                     dest_peers: 0,
                     reached_peers: 0,

@@ -230,12 +230,14 @@ pub trait ReplicaRouting {
     /// down). Distinct, primary first.
     fn close_group(&self, value: f64, r: usize) -> Vec<NodeId>;
 
-    /// The cost of one point fetch from `origin` at `holder` as
-    /// `(delay, messages)`: the overlay routing path to the holder plus one
-    /// direct response hop. Implementations must price this with the same
-    /// honesty as their query paths (real routed hops where the substrate
-    /// can route to a node, the `O(log N)` lookup model otherwise).
-    fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> (u64, u64);
+    /// The cost of one point fetch from `origin` at `holder`: the overlay
+    /// routing path to the holder plus one direct response hop, in hops,
+    /// [`NetModel`](crate::NetModel) virtual milliseconds, and messages.
+    /// Implementations must price this with the same honesty as their
+    /// query paths (real routed edges where the substrate can route to a
+    /// node, the `O(log N)` lookup model otherwise — with latency
+    /// accumulated over the same edges the hop figure counts).
+    fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> FetchCost;
 
     /// The `policy.factor()` distinct live owners for the record keyed by
     /// `value`, primary first — a pure function of `(value, policy, live
@@ -255,6 +257,20 @@ pub trait ReplicaRouting {
     }
 }
 
+/// The cost of one replica point fetch (or copy transfer): the overlay
+/// routing path to the holder plus one direct response hop, in all three
+/// cost currencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchCost {
+    /// Overlay hops on the critical path (request routing + response).
+    pub hops: u64,
+    /// Virtual milliseconds under the scheme's
+    /// [`NetModel`](crate::NetModel), accumulated over the same edges.
+    pub latency: u64,
+    /// Protocol messages sent.
+    pub messages: u64,
+}
+
 /// What one repair pass did: copies placed, stale copies dropped, and the
 /// messages the traffic cost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -265,6 +281,10 @@ pub struct ReplicaRepair {
     pub dropped: usize,
     /// Protocol messages the pass sent (copy transfers + retirements).
     pub messages: u64,
+    /// Critical-path virtual milliseconds of the pass: transfers run in
+    /// parallel, so this is the slowest single copy transfer under the
+    /// scheme's [`NetModel`](crate::NetModel).
+    pub latency: u64,
 }
 
 impl ReplicaRepair {
@@ -397,6 +417,7 @@ impl Replicated {
             faults.map(|(plan, seed)| (plan, simnet::rng_from_seed(seed ^ FETCH_SALT)));
         let mut fetched: Vec<u64> = Vec::new();
         let mut fetch_delay = 0u64;
+        let mut fetch_latency = 0u64;
         for (idx, &(value, handle)) in self.published.iter().enumerate() {
             if value < lo || value > hi || !missing.contains(&handle) {
                 continue;
@@ -406,9 +427,10 @@ impl Replicated {
                 Some((plan, _)) => self.holders[idx].iter().copied().find(|&h| !plan.is_crashed(h)),
             };
             let Some(holder) = holder else { continue };
-            let (delay, messages) = routing.fetch_cost(origin, holder);
-            fetch_delay = fetch_delay.max(delay);
-            out.messages += messages;
+            let cost = routing.fetch_cost(origin, holder);
+            fetch_delay = fetch_delay.max(cost.hops);
+            fetch_latency = fetch_latency.max(cost.latency);
+            out.messages += cost.messages;
             if let Some((plan, rng)) = &mut fault_state {
                 if plan.drop_prob() > 0.0 && rng.gen::<f64>() < plan.drop_prob() {
                     continue; // paid for, lost in transit
@@ -419,8 +441,10 @@ impl Replicated {
         }
         // Fetches run in parallel, but only after the primary phase came
         // back short — a strictly two-phase read (dropped fetches extend
-        // the phase too; the origin waited for them).
+        // the phase too; the origin waited for them). Hop and virtual-ms
+        // critical paths extend by the slowest fetch in their own currency.
         out.delay += fetch_delay;
+        out.latency += fetch_latency;
         if fetched.is_empty() {
             return out;
         }
@@ -605,12 +629,15 @@ impl ReplicationControl for Replicated {
             for &owner in &desired {
                 if !current.contains(&owner) {
                     // Copy transfer from the primary owner's side.
-                    let (_, messages) = self
+                    let cost = self
                         .inner
                         .as_replica_routing()
                         .expect("checked")
                         .fetch_cost(primary.unwrap_or(owner), owner);
-                    repair.messages += messages;
+                    repair.messages += cost.messages;
+                    // Transfers run in parallel: the pass's virtual-time
+                    // critical path is its slowest single transfer.
+                    repair.latency = repair.latency.max(cost.latency);
                     current.push(owner);
                     repair.placed += 1;
                 }
@@ -692,6 +719,7 @@ mod tests {
             Ok(RangeOutcome {
                 results,
                 delay: 2,
+                latency: 2,
                 messages: dest.len() as u64,
                 dest_peers: dest.len(),
                 reached_peers: reached.len(),
@@ -767,8 +795,8 @@ mod tests {
         fn close_group(&self, value: f64, r: usize) -> Vec<NodeId> {
             ring_owners(&self.live(), value_key(value), r)
         }
-        fn fetch_cost(&self, _origin: NodeId, _holder: NodeId) -> (u64, u64) {
-            (2, 2)
+        fn fetch_cost(&self, _origin: NodeId, _holder: NodeId) -> FetchCost {
+            FetchCost { hops: 2, latency: 2, messages: 2 }
         }
     }
 

@@ -27,6 +27,15 @@ pub struct RangeOutcome {
     /// Query delay: critical-path length in overlay hops under unit
     /// per-hop latency (the paper's delay metric).
     pub delay: u64,
+    /// Query latency: critical-path virtual time in milliseconds under the
+    /// scheme's [`NetModel`](crate::NetModel) — the time by which the last
+    /// destination first learns of the query, accumulated edge by edge
+    /// along the realized message paths. Under the `unit` model this is
+    /// the hop metric again (`latency ≤ delay`, with equality everywhere
+    /// except degenerate local RPCs some layered schemes charge a hop
+    /// for); under `wan`/`cluster`/`straggler` it is where the paper's
+    /// hop bounds are re-examined in wall-clock terms.
+    pub latency: u64,
     /// Total protocol messages sent.
     pub messages: u64,
     /// Ground-truth destination count — peers/zones/leaves whose region
@@ -38,7 +47,44 @@ pub struct RangeOutcome {
     pub exact: bool,
 }
 
+/// The cost triple every native scheme outcome reports — hop critical
+/// path, [`NetModel`](crate::NetModel) critical path, and message total.
+///
+/// Exists so [`RangeOutcome::from_native`] is the *single* conversion
+/// point from scheme-native outcomes: an adapter cannot forget (or
+/// silently zero) the latency plumbing without the type signature
+/// noticing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeCosts {
+    /// Critical-path length in overlay hops ([`RangeOutcome::delay`]).
+    pub hops: u64,
+    /// Critical-path virtual milliseconds ([`RangeOutcome::latency`]).
+    pub latency: u64,
+    /// Total protocol messages ([`RangeOutcome::messages`]).
+    pub messages: u64,
+}
+
 impl RangeOutcome {
+    /// The shared adapter conversion: every scheme's `into_outcome()`
+    /// funnels through here, so the hop/latency/messages/exactness
+    /// plumbing lives in one place and cannot drift per scheme.
+    pub fn from_native(
+        results: Vec<u64>,
+        costs: OutcomeCosts,
+        dest_peers: usize,
+        reached_peers: usize,
+        exact: bool,
+    ) -> RangeOutcome {
+        RangeOutcome {
+            results,
+            delay: costs.hops,
+            latency: costs.latency,
+            messages: costs.messages,
+            dest_peers,
+            reached_peers,
+            exact,
+        }
+    }
     /// `MesgRatio = Messages / Destpeers` (§4.3.3 metric (b)).
     pub fn mesg_ratio(&self) -> f64 {
         if self.dest_peers == 0 {
@@ -112,6 +158,12 @@ pub enum SchemeError {
         /// The name looked up.
         name: String,
     },
+    /// No network cost model in the [`NetModel`](crate::NetModel) catalog
+    /// (see [`NET_MODEL_NAMES`](crate::NET_MODEL_NAMES)).
+    UnknownNetModel {
+        /// The name looked up.
+        name: String,
+    },
     /// The scheme does not support the requested capability (e.g. dynamics
     /// on a scheme whose substrate has no churn primitives).
     Unsupported {
@@ -147,6 +199,13 @@ impl std::fmt::Display for SchemeError {
                 write!(
                     f,
                     "no replica policy named {name:?} (try none, successor-R, neighbor-set-R)"
+                )
+            }
+            SchemeError::UnknownNetModel { name } => {
+                write!(
+                    f,
+                    "no net model named {name:?} (catalog: {})",
+                    simnet::NET_MODEL_NAMES.join(", ")
                 )
             }
             SchemeError::Unsupported { scheme, feature } => {
@@ -240,7 +299,7 @@ pub trait RangeScheme: Send + Sync {
     /// #     fn range_query(&self, _o: usize, lo: f64, hi: f64, _s: u64)
     /// #         -> Result<RangeOutcome, SchemeError> {
     /// #         if lo > hi { return Err(SchemeError::EmptyRange { lo, hi }); }
-    /// #         Ok(RangeOutcome { results: vec![7], delay: 2, messages: 3,
+    /// #         Ok(RangeOutcome { results: vec![7], delay: 2, latency: 2, messages: 3,
     /// #             dest_peers: 1, reached_peers: 1, exact: true })
     /// #     }
     /// # }
@@ -382,14 +441,13 @@ mod tests {
     use super::*;
 
     fn outcome(messages: u64, dest: usize, reached: usize) -> RangeOutcome {
-        RangeOutcome {
-            results: vec![],
-            delay: 3,
-            messages,
-            dest_peers: dest,
-            reached_peers: reached,
-            exact: dest == reached,
-        }
+        RangeOutcome::from_native(
+            vec![],
+            OutcomeCosts { hops: 3, latency: 3, messages },
+            dest,
+            reached,
+            dest == reached,
+        )
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! Armada paper's Figures 5 and 7 contrast with PIRA.
 
 use crate::{CanError, CanNet, Rect};
-use simnet::{Envelope, FaultPlan, NodeId, Sim};
+use simnet::{Envelope, FaultPlan, NetModel, NodeId, Sim};
 use std::collections::BTreeSet;
 
 /// Duplicate-suppression strategy for the flooding phase.
@@ -39,6 +39,11 @@ pub struct DcfOutcome {
     pub results: Vec<u64>,
     /// Max hop depth among destination-zone deliveries (routing + flood).
     pub delay: u32,
+    /// Critical-path virtual milliseconds under the query's [`NetModel`]:
+    /// the largest, over destination zones, of the cheapest accumulated
+    /// edge cost among the messages reaching that zone. Equals `delay`
+    /// under the `unit` model.
+    pub latency: u64,
     /// Total messages sent.
     pub messages: u64,
     /// Ground-truth destination zone count.
@@ -71,7 +76,7 @@ pub fn range_query(
     seed: u64,
     mode: FloodMode,
 ) -> Result<DcfOutcome, CanError> {
-    range_query_with_faults(net, origin, lo, hi, seed, mode, &FaultPlan::new())
+    range_query_priced(net, origin, lo, hi, seed, mode, &FaultPlan::new(), &NetModel::unit())
 }
 
 /// [`range_query`] under a fault plan (message drops / crashed zones).
@@ -87,6 +92,28 @@ pub fn range_query_with_faults(
     seed: u64,
     mode: FloodMode,
     faults: &FaultPlan,
+) -> Result<DcfOutcome, CanError> {
+    range_query_priced(net, origin, lo, hi, seed, mode, faults, &NetModel::unit())
+}
+
+/// The full-surface query: fault plan plus network cost model. Hop
+/// metrics, message counts, and result sets are model-invariant (the cost
+/// layer never perturbs event scheduling); only [`DcfOutcome::latency`]
+/// moves with the model.
+///
+/// # Errors
+///
+/// Same conditions as [`range_query`].
+#[allow(clippy::too_many_arguments)]
+pub fn range_query_priced(
+    net: &CanNet,
+    origin: NodeId,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+    mode: FloodMode,
+    faults: &FaultPlan,
+    model: &NetModel,
 ) -> Result<DcfOutcome, CanError> {
     if lo > hi {
         return Err(CanError::EmptyRange { lo, hi });
@@ -113,10 +140,14 @@ pub fn range_query_with_faults(
     // Median target point.
     let (mx, my) = net.point_of_value((lo + hi) / 2.0);
 
-    let mut sim: Sim<DcfMsg> = Sim::new(seed).with_faults(faults.clone());
+    let mut sim: Sim<DcfMsg> = Sim::new(seed).with_faults(faults.clone()).with_net(*model);
     sim.send(origin, origin, 0, DcfMsg::Route);
 
     let mut answered: BTreeSet<NodeId> = BTreeSet::new();
+    // Cheapest accumulated edge cost per answering zone (min over all
+    // deliveries — order-independent, since scheduling stays on unit
+    // ticks and the cost model rides along in the envelopes).
+    let mut arrival: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
     let mut results: BTreeSet<u64> = BTreeSet::new();
     let mut delay: u32 = 0;
     sim.run(|sim, env: Envelope<DcfMsg>| {
@@ -139,15 +170,17 @@ pub fn range_query_with_faults(
                     sim.forward(&env, next, DcfMsg::Route);
                 } else {
                     // Arrived at the median zone: switch to flooding by
-                    // re-delivering locally as a flood message.
+                    // re-delivering locally as a flood message (carrying
+                    // the routing phase's accumulated cost).
                     let informed = vec![node];
-                    sim.send(node, node, env.hop, DcfMsg::Flood { informed });
+                    sim.send_with_cost(node, node, env.hop, env.cost, DcfMsg::Flood { informed });
                 }
             }
             DcfMsg::Flood { informed } => {
                 if !hits(node) {
                     return;
                 }
+                arrival.entry(node).and_modify(|c| *c = (*c).min(env.cost)).or_insert(env.cost);
                 let first_visit = answered.insert(node);
                 if first_visit {
                     delay = delay.max(env.hop);
@@ -191,9 +224,11 @@ pub fn range_query_with_faults(
 
     let reached = answered.len();
     let exact = answered == truth;
+    let latency = arrival.values().copied().max().unwrap_or(0);
     Ok(DcfOutcome {
         results: results.into_iter().collect(),
         delay,
+        latency,
         messages: sim.stats().messages_sent,
         dest_zones: truth.len(),
         reached_zones: reached,

@@ -14,11 +14,11 @@
 use crate::dcf::{self, DcfOutcome, FloodMode};
 use crate::{CanConfig, CanError, CanNet};
 use dht_api::{
-    BuildParams, DynamicScheme, RangeOutcome, RangeScheme, ReplicaRouting, SchemeError,
-    SchemeRegistry,
+    BuildParams, DynamicScheme, FetchCost, OutcomeCosts, RangeOutcome, RangeScheme, ReplicaRouting,
+    SchemeError, SchemeRegistry,
 };
 use rand::rngs::SmallRng;
-use simnet::{FaultPlan, NodeId};
+use simnet::{FaultPlan, NetModel, NodeId};
 
 impl From<CanError> for SchemeError {
     fn from(e: CanError) -> Self {
@@ -33,14 +33,17 @@ impl From<CanError> for SchemeError {
 impl DcfOutcome {
     /// Converts into the scheme-generic outcome (zones count as peers).
     pub fn into_outcome(self) -> RangeOutcome {
-        RangeOutcome {
-            results: self.results,
-            delay: u64::from(self.delay),
-            messages: self.messages,
-            dest_peers: self.dest_zones,
-            reached_peers: self.reached_zones,
-            exact: self.exact,
-        }
+        RangeOutcome::from_native(
+            self.results,
+            OutcomeCosts {
+                hops: u64::from(self.delay),
+                latency: self.latency,
+                messages: self.messages,
+            },
+            self.dest_zones,
+            self.reached_zones,
+            self.exact,
+        )
     }
 }
 
@@ -55,6 +58,9 @@ impl From<DcfOutcome> for RangeOutcome {
 pub struct DcfScheme {
     net: CanNet,
     mode: FloodMode,
+    /// Network cost model pricing the flood's edges (from
+    /// [`BuildParams::net`]).
+    net_model: NetModel,
     /// Every record ever published — the ground truth the stabilization
     /// repair sweep restores after crashes lose zone-local copies.
     published: Vec<(f64, u64)>,
@@ -78,7 +84,7 @@ impl DcfScheme {
         };
         let net =
             CanNet::build(cfg, params.n, rng).map_err(|e| SchemeError::Build(e.to_string()))?;
-        Ok(DcfScheme { net, mode, published: Vec::new() })
+        Ok(DcfScheme { net, mode, net_model: params.net, published: Vec::new() })
     }
 
     /// The wrapped CAN.
@@ -116,7 +122,11 @@ impl RangeScheme for DcfScheme {
     }
 
     fn substrate(&self) -> String {
-        "CAN (d = 2)".into()
+        if self.net_model.is_unit() {
+            "CAN (d = 2)".into()
+        } else {
+            format!("CAN (d = 2) @ {}", self.net_model.name())
+        }
     }
 
     fn degree(&self) -> String {
@@ -145,7 +155,16 @@ impl RangeScheme for DcfScheme {
         hi: f64,
         seed: u64,
     ) -> Result<RangeOutcome, SchemeError> {
-        let out = dcf::range_query(&self.net, origin, lo, hi, seed, self.mode)?;
+        let out = dcf::range_query_priced(
+            &self.net,
+            origin,
+            lo,
+            hi,
+            seed,
+            self.mode,
+            &FaultPlan::new(),
+            &self.net_model,
+        )?;
         Ok(out.into_outcome())
     }
 
@@ -161,7 +180,16 @@ impl RangeScheme for DcfScheme {
         seed: u64,
         faults: &FaultPlan,
     ) -> Result<RangeOutcome, SchemeError> {
-        let out = dcf::range_query_with_faults(&self.net, origin, lo, hi, seed, self.mode, faults)?;
+        let out = dcf::range_query_priced(
+            &self.net,
+            origin,
+            lo,
+            hi,
+            seed,
+            self.mode,
+            faults,
+            &self.net_model,
+        )?;
         Ok(out.into_outcome())
     }
 
@@ -183,13 +211,16 @@ impl ReplicaRouting for DcfScheme {
         self.net.replica_owners(value, r)
     }
 
-    fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> (u64, u64) {
+    fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> FetchCost {
         if origin == holder {
-            return (0, 0); // the copy is local
+            return FetchCost::default(); // the copy is local
         }
         // Greedy-route to the holder zone's center, plus one direct
-        // response hop — the same path pricing the query flood pays.
-        let hops = self
+        // response hop — the same path pricing the query flood pays, with
+        // the same edges charged by the cost model.
+        let model = &self.net_model;
+        let response = model.edge_cost(holder, origin);
+        let (hops, route_latency) = self
             .net
             .zone(holder)
             .map(|z| {
@@ -198,10 +229,15 @@ impl ReplicaRouting for DcfScheme {
             })
             .and_then(|(cx, cy)| self.net.route_to_point(origin, cx, cy))
             .map_or_else(
-                |_| (self.net.len() as f64).sqrt().ceil() as u64,
-                |path| path.len().saturating_sub(1) as u64,
+                |_| {
+                    // Unroutable: fall back to the √N grid model, priced
+                    // at the direct origin→holder edge per modeled hop.
+                    let h = (self.net.len() as f64).sqrt().ceil() as u64;
+                    (h, h * model.edge_cost(origin, holder))
+                },
+                |path| (path.len().saturating_sub(1) as u64, model.path_cost(&path)),
             );
-        (hops + 1, hops + 1)
+        FetchCost { hops: hops + 1, latency: route_latency + response, messages: hops + 1 }
     }
 }
 

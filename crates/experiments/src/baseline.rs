@@ -19,13 +19,20 @@
 //! scheme × plan grid re-run at higher replication factors
 //! (`successor-r` placement through the replication layer), with replica
 //! recovery visible in the recall/message metrics and the per-epoch
-//! repair traffic persisted next to the churn stats.
+//! repair traffic persisted next to the churn stats. Schema v4 adds a
+//! **latency section**: every single-attribute scheme rebuilt under every
+//! [`NetModel`] catalog entry from the same seed, so
+//! hop metrics pair bit-for-bit across the model axis while the latency
+//! columns show the virtual-millisecond cost surface — plus `delay_p95`
+//! and `latency_mean` columns on the existing grids (whose v3 metric
+//! values are unchanged: under the default `unit` model the cost layer is
+//! an observer, never an actor).
 
 use crate::output::Table;
 use crate::{dynamic_single_names, standard_registry};
 use dht_api::{
-    BuildParams, ChurnPlan, DriverReport, EpochSummary, MultiBuildParams, ParallelDriver,
-    ReplicaPolicy, WorkloadGen, CHURN_PLAN_NAMES,
+    BuildParams, ChurnPlan, DriverReport, EpochSummary, MultiBuildParams, NetModel, ParallelDriver,
+    ReplicaPolicy, WorkloadGen, CHURN_PLAN_NAMES, NET_MODEL_NAMES,
 };
 use rand::Rng;
 use std::fmt::Write as _;
@@ -35,7 +42,7 @@ use std::time::Instant;
 /// The schema tag written to (and expected in) `BENCH_baseline.json` —
 /// bumped whenever the JSON shape changes, and pinned by the CI
 /// bench-schema smoke job (`bench_baseline --quick --check-schema`).
-pub const SCHEMA_VERSION: &str = "bench-baseline-v3";
+pub const SCHEMA_VERSION: &str = "bench-baseline-v4";
 
 /// Single-attribute workloads measured in the baseline grid.
 pub const SINGLE_WORKLOADS: [&str; 5] = ["uniform", "zipf-hot", "clustered", "wide-scan", "mixed"];
@@ -62,6 +69,9 @@ pub struct BaselineConfig {
     /// Replication factors measured in the replication section (factor 1
     /// is the unreplicated cross-check against the churn section).
     pub replication_factors: Vec<usize>,
+    /// Net models measured in the latency section (the `unit` row is the
+    /// hop-metric cross-check against the fault-free grid).
+    pub net_models: Vec<String>,
 }
 
 impl BaselineConfig {
@@ -76,6 +86,7 @@ impl BaselineConfig {
             object_id_len: crate::paper::OBJECT_ID_LEN,
             churn_epochs: 4,
             replication_factors: vec![1, 3],
+            net_models: NET_MODEL_NAMES.iter().map(|s| s.to_string()).collect(),
         }
     }
 
@@ -97,6 +108,20 @@ pub struct BaselineRow {
     /// Wall-clock throughput, queries per second (hardware-dependent).
     pub qps: f64,
     /// The full deterministic metric report for the cell.
+    pub report: DriverReport,
+}
+
+/// One measured cell of the scheme × net-model latency grid.
+#[derive(Debug, Clone)]
+pub struct LatencyBaselineRow {
+    /// Registry name of the scheme.
+    pub scheme: String,
+    /// Net model name from the [`NetModel`] catalog.
+    pub net: String,
+    /// Wall-clock throughput, queries per second (hardware-dependent).
+    pub qps: f64,
+    /// The full deterministic metric report for the cell (`delay` in hops
+    /// — identical across the model axis — and `latency` in virtual ms).
     pub report: DriverReport,
 }
 
@@ -145,6 +170,9 @@ pub struct BaselineReport {
     pub config: BaselineConfig,
     /// One row per (scheme, workload) cell.
     pub rows: Vec<BaselineRow>,
+    /// One row per (single scheme, net model) cell — the uniform workload
+    /// re-priced under every cataloged cost model.
+    pub latency_rows: Vec<LatencyBaselineRow>,
     /// One row per (dynamic scheme, churn plan) cell — queries under
     /// epoch-driven membership churn.
     pub churn_rows: Vec<ChurnBaselineRow>,
@@ -225,6 +253,40 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
         }
     }
 
+    // Latency section: every single scheme rebuilt under every cataloged
+    // net model from the *same* seed (so hop metrics pair bit-for-bit
+    // across the model axis; the `unit` row reproduces the fault-free
+    // grid's uniform-workload hop numbers exactly).
+    let mut latency_rows = Vec::new();
+    for name in registry.single_names() {
+        for net_name in &cfg.net_models {
+            let net = NetModel::named(net_name).expect("cataloged net model");
+            let params = BuildParams::new(cfg.n, domain.0, domain.1)
+                .with_object_id_len(cfg.object_id_len)
+                .with_net(net);
+            let mut rng = simnet::rng_from_seed(cfg.seed ^ dht_api::fnv1a(name.as_bytes()));
+            let mut scheme = registry.build_single(name, &params, &mut rng).expect("scheme builds");
+            for h in 0..cfg.n as u64 {
+                scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+            }
+            let workload = WorkloadGen::named("uniform", domain).expect("cataloged");
+            let driver = ParallelDriver {
+                queries: cfg.queries,
+                seed: cfg.seed ^ dht_api::fnv1a(b"uniform"),
+                threads: cfg.threads,
+            };
+            let start = Instant::now();
+            let report = driver.run(scheme.as_ref(), &workload).expect("fault-free queries");
+            let qps = cfg.queries as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            latency_rows.push(LatencyBaselineRow {
+                scheme: name.to_string(),
+                net: net_name.clone(),
+                qps,
+                report,
+            });
+        }
+    }
+
     // Churn section: every dynamic scheme under every named plan.
     let mut churn_rows = Vec::new();
     let epoch_queries = (cfg.queries / cfg.churn_epochs).max(1);
@@ -296,7 +358,7 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
         }
     }
 
-    BaselineReport { config: cfg.clone(), rows, churn_rows, replication_rows }
+    BaselineReport { config: cfg.clone(), rows, latency_rows, churn_rows, replication_rows }
 }
 
 /// The workload the churn section drives (the paper's uniform mix keeps
@@ -319,7 +381,9 @@ impl BaselineReport {
                 "workload",
                 "qps",
                 "delay_mean",
+                "delay_p95",
                 "delay_p99",
+                "latency_mean",
                 "msgs/query",
                 "mesg_ratio",
                 "exact",
@@ -332,7 +396,24 @@ impl BaselineReport {
                 r.workload.clone(),
                 format!("{:.0}", r.qps),
                 format!("{:.2}", r.report.delay.mean),
+                format!("{:.1}", r.report.delay.p95),
                 format!("{:.1}", r.report.delay.p99),
+                format!("{:.2}", r.report.latency.mean),
+                format!("{:.1}", r.report.messages.mean),
+                format!("{:.2}", r.report.mesg_ratio.mean),
+                format!("{:.2}", r.report.exact_rate),
+            ]);
+        }
+        for r in &self.latency_rows {
+            t.push_row(vec![
+                format!("{}@{}", r.scheme, r.net),
+                "latency".to_string(),
+                "uniform".to_string(),
+                format!("{:.0}", r.qps),
+                format!("{:.2}", r.report.delay.mean),
+                format!("{:.1}", r.report.delay.p95),
+                format!("{:.1}", r.report.delay.p99),
+                format!("{:.2}", r.report.latency.mean),
                 format!("{:.1}", r.report.messages.mean),
                 format!("{:.2}", r.report.mesg_ratio.mean),
                 format!("{:.2}", r.report.exact_rate),
@@ -345,7 +426,9 @@ impl BaselineReport {
                 r.plan.clone(),
                 format!("{:.0}", r.qps),
                 format!("{:.2}", r.report.delay.mean),
+                format!("{:.1}", r.report.delay.p95),
                 format!("{:.1}", r.report.delay.p99),
+                format!("{:.2}", r.report.latency.mean),
                 format!("{:.1}", r.report.messages.mean),
                 format!("{:.2}", r.report.mesg_ratio.mean),
                 format!("{:.2}", r.report.exact_rate),
@@ -358,7 +441,9 @@ impl BaselineReport {
                 r.plan.clone(),
                 format!("{:.0}", r.qps),
                 format!("{:.2}", r.report.delay.mean),
+                format!("{:.1}", r.report.delay.p95),
                 format!("{:.1}", r.report.delay.p99),
+                format!("{:.2}", r.report.latency.mean),
                 format!("{:.1}", r.report.messages.mean),
                 format!("{:.2}", r.report.mesg_ratio.mean),
                 format!("{:.2}", r.report.exact_rate),
@@ -378,18 +463,20 @@ impl BaselineReport {
         // machine-dependent value — filter it out when diffing regenerated
         // baselines (everything else is a pure function of the seed).
         let factors: Vec<String> = c.replication_factors.iter().map(usize::to_string).collect();
+        let nets: Vec<String> = c.net_models.iter().map(|m| format!("\"{m}\"")).collect();
         let _ = writeln!(s, "{{");
         let _ = writeln!(s, "  \"schema\": \"{SCHEMA_VERSION}\",");
         let _ = writeln!(
             s,
             "  \"config\": {{ \"n\": {}, \"queries\": {}, \"seed\": {}, \"object_id_len\": {}, \
-             \"churn_epochs\": {}, \"replication_factors\": [{}] }},",
+             \"churn_epochs\": {}, \"replication_factors\": [{}], \"net_models\": [{}] }},",
             c.n,
             c.queries,
             c.seed,
             c.object_id_len,
             c.churn_epochs,
-            factors.join(", ")
+            factors.join(", "),
+            nets.join(", ")
         );
         let _ = writeln!(s, "  \"results\": [");
         for (i, r) in self.rows.iter().enumerate() {
@@ -397,8 +484,9 @@ impl BaselineReport {
             let _ = writeln!(
                 s,
                 "    {{ \"scheme\": \"{}\", \"shape\": \"{}\", \"workload\": \"{}\", \
-                 \"qps\": {}, \"delay_mean\": {}, \"delay_p50\": {}, \"delay_p99\": {}, \
-                 \"delay_max\": {}, \"messages_mean\": {}, \"messages_p99\": {}, \
+                 \"qps\": {}, \"delay_mean\": {}, \"delay_p50\": {}, \"delay_p95\": {}, \
+                 \"delay_p99\": {}, \"delay_max\": {}, \"latency_mean\": {}, \
+                 \"messages_mean\": {}, \"messages_p99\": {}, \
                  \"dest_peers_mean\": {}, \"mesg_ratio_mean\": {}, \"incre_ratio_mean\": {}, \
                  \"exact_rate\": {}, \"results_returned\": {} }}{comma}",
                 r.scheme,
@@ -407,13 +495,42 @@ impl BaselineReport {
                 json_f64(r.qps),
                 json_f64(r.report.delay.mean),
                 json_f64(r.report.delay.p50),
+                json_f64(r.report.delay.p95),
                 json_f64(r.report.delay.p99),
                 json_f64(r.report.delay.max),
+                json_f64(r.report.latency.mean),
                 json_f64(r.report.messages.mean),
                 json_f64(r.report.messages.p99),
                 json_f64(r.report.dest_peers.mean),
                 json_f64(r.report.mesg_ratio.mean),
                 json_f64(r.report.incre_ratio.mean),
+                json_f64(r.report.exact_rate),
+                r.report.results_returned,
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"latency\": [");
+        for (i, r) in self.latency_rows.iter().enumerate() {
+            let comma = if i + 1 < self.latency_rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{ \"scheme\": \"{}\", \"net\": \"{}\", \"qps\": {}, \
+                 \"delay_mean\": {}, \"delay_p95\": {}, \"delay_p99\": {}, \
+                 \"latency_mean\": {}, \"latency_p50\": {}, \"latency_p95\": {}, \
+                 \"latency_p99\": {}, \"latency_max\": {}, \"messages_mean\": {}, \
+                 \"exact_rate\": {}, \"results_returned\": {} }}{comma}",
+                r.scheme,
+                r.net,
+                json_f64(r.qps),
+                json_f64(r.report.delay.mean),
+                json_f64(r.report.delay.p95),
+                json_f64(r.report.delay.p99),
+                json_f64(r.report.latency.mean),
+                json_f64(r.report.latency.p50),
+                json_f64(r.report.latency.p95),
+                json_f64(r.report.latency.p99),
+                json_f64(r.report.latency.max),
+                json_f64(r.report.messages.mean),
                 json_f64(r.report.exact_rate),
                 r.report.results_returned,
             );
@@ -426,14 +543,17 @@ impl BaselineReport {
             let _ = writeln!(
                 s,
                 "    {{ \"scheme\": \"{}\", \"plan\": \"{}\", \"qps\": {}, \
-                 \"delay_mean\": {}, \"delay_p99\": {}, \"messages_mean\": {}, \
+                 \"delay_mean\": {}, \"delay_p95\": {}, \"delay_p99\": {}, \
+                 \"latency_mean\": {}, \"messages_mean\": {}, \
                  \"mesg_ratio_mean\": {}, \"recall_mean\": {}, \"exact_rate\": {}, \
                  \"results_returned\": {}, \"final_peers\": {}, \"epochs\": [{}] }}{comma}",
                 r.scheme,
                 r.plan,
                 json_f64(r.qps),
                 json_f64(r.report.delay.mean),
+                json_f64(r.report.delay.p95),
                 json_f64(r.report.delay.p99),
+                json_f64(r.report.latency.mean),
                 json_f64(r.report.messages.mean),
                 json_f64(r.report.mesg_ratio.mean),
                 json_f64(r.report.recall.mean),
@@ -451,7 +571,8 @@ impl BaselineReport {
             let _ = writeln!(
                 s,
                 "    {{ \"scheme\": \"{}\", \"plan\": \"{}\", \"factor\": {}, \
-                 \"policy\": \"{}\", \"qps\": {}, \"delay_mean\": {}, \"delay_p99\": {}, \
+                 \"policy\": \"{}\", \"qps\": {}, \"delay_mean\": {}, \"delay_p95\": {}, \
+                 \"delay_p99\": {}, \"latency_mean\": {}, \
                  \"messages_mean\": {}, \"mesg_ratio_mean\": {}, \"recall_mean\": {}, \
                  \"exact_rate\": {}, \"results_returned\": {}, \"repair_placed\": {}, \
                  \"repair_messages\": {}, \"final_peers\": {}, \"epochs\": [{}] }}{comma}",
@@ -461,7 +582,9 @@ impl BaselineReport {
                 r.policy,
                 json_f64(r.qps),
                 json_f64(r.report.delay.mean),
+                json_f64(r.report.delay.p95),
                 json_f64(r.report.delay.p99),
+                json_f64(r.report.latency.mean),
                 json_f64(r.report.messages.mean),
                 json_f64(r.report.mesg_ratio.mean),
                 json_f64(r.report.recall.mean),
@@ -507,12 +630,13 @@ impl BaselineReport {
 fn epoch_json(e: &EpochSummary) -> String {
     format!(
         "{{ \"epoch\": {}, \"peers\": {}, \"events\": {}, \"delay_mean\": {}, \
-         \"exact_rate\": {}, \"recall_mean\": {}, \"results\": {}, \"repair_placed\": {}, \
-         \"repair_messages\": {} }}",
+         \"latency_mean\": {}, \"exact_rate\": {}, \"recall_mean\": {}, \"results\": {}, \
+         \"repair_placed\": {}, \"repair_messages\": {} }}",
         e.epoch,
         e.peers,
         e.churn.events(),
         json_f64(e.delay_mean),
+        json_f64(e.latency_mean),
         json_f64(e.exact_rate),
         json_f64(e.recall_mean),
         e.results_returned,
@@ -557,6 +681,43 @@ mod tests {
             assert!(r.qps > 0.0, "{}/{} qps", r.scheme, r.workload);
             assert_eq!(r.report.queries, report.config.queries);
             assert_eq!(r.report.exact_rate, 1.0, "{}/{} inexact", r.scheme, r.workload);
+        }
+        // Latency section: every single scheme × every cataloged net
+        // model, with model-invariant hop metrics and a unit row that
+        // reproduces the fault-free grid's uniform cell exactly.
+        assert_eq!(
+            report.latency_rows.len(),
+            registry.single_names().len() * report.config.net_models.len()
+        );
+        for r in &report.latency_rows {
+            assert_eq!(r.report.exact_rate, 1.0, "{}@{} inexact", r.scheme, r.net);
+            let unit = report
+                .latency_rows
+                .iter()
+                .find(|u| u.net == "unit" && u.scheme == r.scheme)
+                .expect("unit row exists");
+            assert_eq!(r.report.delay, unit.report.delay, "{}@{} hop drift", r.scheme, r.net);
+            assert_eq!(r.report.messages, unit.report.messages);
+            assert_eq!(r.report.results_returned, unit.report.results_returned);
+            if r.net == "unit" {
+                // The unit row is the cross-check against the fault-free
+                // grid's uniform cell: same build seed, same driver seed.
+                let grid = report
+                    .rows
+                    .iter()
+                    .find(|g| {
+                        g.shape == "single" && g.scheme == r.scheme && g.workload == "uniform"
+                    })
+                    .expect("uniform grid cell exists");
+                assert_eq!(r.report.delay, grid.report.delay, "{} unit != grid", r.scheme);
+                assert_eq!(r.report.latency, grid.report.latency);
+            } else if r.net == "wan" {
+                assert!(
+                    r.report.latency.mean >= 30.0 * unit.report.latency.mean,
+                    "{}@wan latency too cheap",
+                    r.scheme
+                );
+            }
         }
         // Churn section: every dynamic scheme × every cataloged plan.
         let dynamic = dynamic_single_names();
@@ -604,13 +765,22 @@ mod tests {
         assert!(json.contains(&format!("\"schema\": \"{SCHEMA_VERSION}\"")));
         assert!(json.contains("\"replication\": ["));
         assert!(json.contains("\"repair_placed\""));
+        assert!(json.contains("\"latency\": ["));
+        assert!(json.contains("\"latency_p95\""));
+        assert!(json.contains("\"delay_p95\""));
+        for net in NET_MODEL_NAMES {
+            assert!(json.contains(&format!("\"net\": \"{net}\"")), "{net} missing");
+        }
         for plan in CHURN_PLAN_NAMES {
             assert!(json.contains(&format!("\"plan\": \"{plan}\"")), "{plan} missing");
         }
-        // The table mirrors all three grids.
+        // The table mirrors all four grids.
         assert_eq!(
             report.to_table().rows.len(),
-            report.rows.len() + report.churn_rows.len() + report.replication_rows.len()
+            report.rows.len()
+                + report.latency_rows.len()
+                + report.churn_rows.len()
+                + report.replication_rows.len()
         );
     }
 

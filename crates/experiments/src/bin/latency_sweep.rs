@@ -1,0 +1,52 @@
+//! R4: query latency in virtual milliseconds, every scheme × every net
+//! model, over range size and network size.
+//!
+//! ```sh
+//! cargo run --release -p armada-experiments --bin latency_sweep [-- --quick]
+//!     [--schemes pira,seqwalk] [--net wan,straggler] [--threads 4]
+//! ```
+//!
+//! With no filters the sweep runs every registered single-attribute
+//! scheme under the whole [`NetModel`](dht_api::NetModel) catalog — the
+//! committed R4 configuration. The filters exist for local iteration: a
+//! single scheme × model cell runs in seconds where the full grid takes
+//! minutes.
+
+use armada_experiments::latency_sweep::{run_with, LatencySweepConfig};
+use armada_experiments::{arg_list, arg_value, Scale};
+
+fn main() {
+    let mut cfg = LatencySweepConfig::new(Scale::from_args());
+    if let Some(schemes) = arg_list("schemes") {
+        cfg.schemes = Some(schemes);
+    }
+    if let Some(nets) = arg_list("net") {
+        for net in &nets {
+            if dht_api::NetModel::named(net).is_none() {
+                eprintln!(
+                    "error: unknown net model {net:?} (catalog: {})",
+                    dht_api::NET_MODEL_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+        cfg.nets = nets;
+    }
+    if let Some(raw) = arg_value("threads") {
+        match raw.parse::<usize>() {
+            Ok(t) if t > 0 => cfg.threads = t,
+            _ => {
+                eprintln!("error: --threads wants a positive integer, got {raw:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.scheme_names().is_empty() {
+        eprintln!(
+            "error: no scheme matches the --schemes filter (have: {})",
+            armada_experiments::standard_registry().single_names().join(", ")
+        );
+        std::process::exit(2);
+    }
+    run_with(&cfg).emit("latency_sweep");
+}

@@ -1,0 +1,385 @@
+//! R4 — the delay bound in milliseconds: every scheme × every network
+//! cost model, swept over range size and network size.
+//!
+//! The paper states its headline bound — PIRA's query delay stays below
+//! `log₂ N` *hops* regardless of the queried range — on a network where
+//! every edge costs the same. This experiment re-examines that bound in
+//! **virtual milliseconds** under the [`NetModel`]
+//! catalog: homogeneous `lan`/`wan` (where hop counts and wall clocks are
+//! proportional and the bound survives trivially), `cluster` transit-stub
+//! (where some edges cost 30× others), and `straggler` (where a
+//! deterministic 1-in-16 slow-peer set taxes every path that touches it).
+//!
+//! Two findings the tests pin:
+//!
+//! * Hop metrics are **model-invariant** — the cost layer observes message
+//!   paths, it never perturbs them — so the `unit` column of this sweep
+//!   reproduces the Figure 5/7 hop numbers exactly.
+//! * Under `straggler`, PIRA's *latency* is no longer bounded by
+//!   `log₂ N · max_edge`-style reasoning alone — a wide range almost
+//!   surely touches a straggler destination, so the critical path absorbs
+//!   the straggler tax — but it still beats the sequential-walk class by
+//!   an order of magnitude, because the walk *sums* straggler taxes along
+//!   the run while PIRA's parallel descent pays each at most once on the
+//!   critical path. The hop bound translates to a latency bound up to the
+//!   (bounded) per-path straggler tax.
+//!
+//! Filterable like the other sweeps: [`LatencySweepConfig`] selects
+//! schemes, net models, and the worker thread count, mirrored by the
+//! binary's `--schemes`, `--net`, and `--threads` flags.
+
+use crate::output::Table;
+use crate::{paper, standard_registry, Scale};
+use dht_api::{BuildParams, DriverReport, NetModel, ParallelDriver, WorkloadGen, NET_MODEL_NAMES};
+use rand::Rng;
+
+/// Which axis a [`LatencyPoint`] sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepAxis {
+    /// Fixed `N`, swept range size (the Figure 5 shape, in ms).
+    RangeSize,
+    /// Fixed range size, swept `N` (the Figure 7 shape, in ms).
+    NetworkSize,
+}
+
+impl SweepAxis {
+    /// Short label for tables/CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepAxis::RangeSize => "range",
+            SweepAxis::NetworkSize => "n",
+        }
+    }
+}
+
+/// What the sweep runs: scale plus optional scheme/net filters — the
+/// all-defaults config is the committed R4 grid.
+#[derive(Debug, Clone)]
+pub struct LatencySweepConfig {
+    /// Experiment scale (network sizes, queries per point).
+    pub scale: Scale,
+    /// Schemes to sweep; `None` = every registered single-attribute
+    /// scheme.
+    pub schemes: Option<Vec<String>>,
+    /// Net models to sweep; the default is the whole catalog.
+    pub nets: Vec<String>,
+    /// Worker threads for the parallel driver (reports are identical for
+    /// any value; this only tunes wall-clock time).
+    pub threads: usize,
+}
+
+impl LatencySweepConfig {
+    /// The default sweep at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        LatencySweepConfig {
+            scale,
+            schemes: None,
+            nets: NET_MODEL_NAMES.iter().map(|s| s.to_string()).collect(),
+            threads: dht_api::default_threads(),
+        }
+    }
+
+    /// The scheme names this config selects, in registry order.
+    pub fn scheme_names(&self) -> Vec<String> {
+        let all: Vec<String> =
+            standard_registry().single_names().into_iter().map(str::to_string).collect();
+        match &self.schemes {
+            None => all,
+            Some(filter) => all.into_iter().filter(|n| filter.iter().any(|f| f == n)).collect(),
+        }
+    }
+
+    /// Fixed network size for the range-size axis.
+    fn range_axis_n(&self) -> usize {
+        match self.scale {
+            Scale::Full => 1000,
+            Scale::Quick => 200,
+        }
+    }
+
+    /// Range sizes swept on the range-size axis.
+    fn range_sizes(&self) -> Vec<f64> {
+        match self.scale {
+            Scale::Full => paper::RANGE_SIZES.to_vec(),
+            Scale::Quick => vec![2.0, 50.0, 300.0],
+        }
+    }
+
+    /// Network sizes swept on the network-size axis (fixed range
+    /// [`paper::FIG78_RANGE`]).
+    fn network_sizes(&self) -> Vec<usize> {
+        match self.scale {
+            Scale::Full => vec![1000, 2000, 4000],
+            Scale::Quick => vec![150, 300],
+        }
+    }
+}
+
+/// One scheme × net model × axis point.
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// Registry name of the scheme.
+    pub scheme: String,
+    /// Net model name from the catalog.
+    pub net: String,
+    /// Which sweep axis this point belongs to.
+    pub axis: SweepAxis,
+    /// Network size the point ran at.
+    pub n_peers: usize,
+    /// Queried range size (attribute units).
+    pub range_size: f64,
+    /// The full metric report (hop `delay` and virtual-ms `latency`).
+    pub report: DriverReport,
+}
+
+/// Runs the default sweep (every scheme × every net model).
+///
+/// # Panics
+///
+/// Panics if a scheme fails to build or errs on a fault-free query — a
+/// sweep with silently missing cells would be worse than none.
+pub fn run_points(scale: Scale) -> Vec<LatencyPoint> {
+    run_points_with(&LatencySweepConfig::new(scale))
+}
+
+/// Runs the sweep under an explicit config (scheme/net/thread filters).
+///
+/// # Panics
+///
+/// As [`run_points`].
+pub fn run_points_with(cfg: &LatencySweepConfig) -> Vec<LatencyPoint> {
+    let mut points = Vec::new();
+    // Axis 1: fixed N, swept range size.
+    let n = cfg.range_axis_n();
+    for net_name in &cfg.nets {
+        for scheme_name in cfg.scheme_names() {
+            let scheme = build_loaded(cfg, &scheme_name, net_name, n);
+            for &size in &cfg.range_sizes() {
+                let report = measure(cfg, scheme.as_ref(), size, n);
+                points.push(LatencyPoint {
+                    scheme: scheme_name.clone(),
+                    net: net_name.clone(),
+                    axis: SweepAxis::RangeSize,
+                    n_peers: n,
+                    range_size: size,
+                    report,
+                });
+            }
+        }
+    }
+    // Axis 2: fixed range size, swept N.
+    for net_name in &cfg.nets {
+        for &n in &cfg.network_sizes() {
+            for scheme_name in cfg.scheme_names() {
+                let scheme = build_loaded(cfg, &scheme_name, net_name, n);
+                let report = measure(cfg, scheme.as_ref(), paper::FIG78_RANGE, n);
+                points.push(LatencyPoint {
+                    scheme: scheme_name.clone(),
+                    net: net_name.clone(),
+                    axis: SweepAxis::NetworkSize,
+                    n_peers: n,
+                    range_size: paper::FIG78_RANGE,
+                    report,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Builds one scheme under one net model at size `n` and publishes `n`
+/// records — the same build/data seed for every net model, so hop metrics
+/// pair bit-for-bit across the model axis.
+fn build_loaded(
+    cfg: &LatencySweepConfig,
+    scheme_name: &str,
+    net_name: &str,
+    n: usize,
+) -> Box<dyn dht_api::RangeScheme> {
+    let registry = standard_registry();
+    let domain = (paper::DOMAIN_LO, paper::DOMAIN_HI);
+    let net = NetModel::named(net_name).expect("cataloged net model");
+    let object_id_len = if cfg.scale == Scale::Full { paper::OBJECT_ID_LEN } else { 32 };
+    let params =
+        BuildParams::new(n, domain.0, domain.1).with_object_id_len(object_id_len).with_net(net);
+    // Seed depends on (scheme, n) but NOT the net model: identical
+    // networks and data under every model.
+    let mut rng = simnet::rng_from_seed(0x1a7e ^ dht_api::fnv1a(scheme_name.as_bytes()) ^ n as u64);
+    let mut scheme = registry.build_single(scheme_name, &params, &mut rng).expect("scheme builds");
+    for h in 0..n as u64 {
+        scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+    }
+    scheme
+}
+
+/// One measurement cell: `queries` fixed-width random ranges through the
+/// parallel driver (driver seed depends on the point, not the net model,
+/// so queries pair across models too).
+fn measure(
+    cfg: &LatencySweepConfig,
+    scheme: &dyn dht_api::RangeScheme,
+    range_size: f64,
+    n: usize,
+) -> DriverReport {
+    let workload = WorkloadGen::uniform((paper::DOMAIN_LO, paper::DOMAIN_HI), range_size);
+    let driver = ParallelDriver {
+        queries: cfg.scale.queries(),
+        seed: 0x5eed ^ range_size.to_bits() ^ n as u64,
+        threads: cfg.threads,
+    };
+    let report = driver.run(scheme, &workload).expect("fault-free queries succeed");
+    assert_eq!(report.exact_rate, 1.0, "{} missed destinations fault-free", scheme.scheme_name());
+    report
+}
+
+/// Runs the sweep and renders the latency table.
+pub fn run(scale: Scale) -> Table {
+    run_with(&LatencySweepConfig::new(scale))
+}
+
+/// Renders the table for an explicit config.
+pub fn run_with(cfg: &LatencySweepConfig) -> Table {
+    let points = run_points_with(cfg);
+    let mut t = Table::new(
+        "R4 — query latency in virtual ms under the net-model catalog",
+        &[
+            "scheme",
+            "net",
+            "axis",
+            "N",
+            "range",
+            "delay_mean (hops)",
+            "latency_mean (ms)",
+            "latency_p95",
+            "latency_p99",
+            "latency_max",
+        ],
+    );
+    for p in &points {
+        t.push_row(vec![
+            p.scheme.clone(),
+            p.net.clone(),
+            p.axis.label().to_string(),
+            p.n_peers.to_string(),
+            format!("{:.0}", p.range_size),
+            format!("{:.2}", p.report.delay.mean),
+            format!("{:.2}", p.report.latency.mean),
+            format!("{:.1}", p.report.latency.p95),
+            format!("{:.1}", p.report.latency.p99),
+            format!("{:.0}", p.report.latency.max),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(schemes: &[&str], nets: &[&str]) -> LatencySweepConfig {
+        LatencySweepConfig {
+            schemes: Some(schemes.iter().map(|s| s.to_string()).collect()),
+            nets: nets.iter().map(|s| s.to_string()).collect(),
+            ..LatencySweepConfig::new(Scale::Quick)
+        }
+    }
+
+    #[test]
+    fn grid_covers_schemes_nets_and_both_axes() {
+        let cfg = quick_cfg(&["pira", "skipgraph"], &["unit", "wan"]);
+        let points = run_points_with(&cfg);
+        // 2 schemes × 2 nets × (3 range sizes + 2 network sizes).
+        assert_eq!(points.len(), 2 * 2 * (3 + 2));
+        assert!(points.iter().any(|p| p.axis == SweepAxis::RangeSize));
+        assert!(points.iter().any(|p| p.axis == SweepAxis::NetworkSize));
+        for p in &points {
+            assert_eq!(p.report.exact_rate, 1.0, "{}/{}", p.scheme, p.net);
+            assert!(p.report.latency.count > 0);
+        }
+        // Table mirrors the grid.
+        assert_eq!(run_with(&cfg).rows.len(), points.len());
+    }
+
+    #[test]
+    fn hop_delay_is_identical_across_net_models_per_cell() {
+        let cfg = quick_cfg(&["pira", "dcf-can"], &["unit", "straggler", "cluster"]);
+        let points = run_points_with(&cfg);
+        for p in &points {
+            let unit = points
+                .iter()
+                .find(|q| {
+                    q.net == "unit"
+                        && q.scheme == p.scheme
+                        && q.axis == p.axis
+                        && q.n_peers == p.n_peers
+                        && q.range_size == p.range_size
+                })
+                .expect("unit twin exists");
+            assert_eq!(
+                p.report.delay, unit.report.delay,
+                "{}@{} hop delay drifted from unit",
+                p.scheme, p.net
+            );
+            assert_eq!(p.report.messages, unit.report.messages);
+        }
+    }
+
+    #[test]
+    fn pira_latency_bound_survives_the_straggler_model_relative_to_seqwalk() {
+        // The headline question: does the hop bound still translate to a
+        // latency bound when 1 in 16 peers is slow? Relative to the
+        // sequential-walk class it must — the walk sums straggler taxes
+        // along the destination run, PIRA's parallel descent pays each at
+        // most once on its critical path.
+        let cfg = quick_cfg(&["pira", "seqwalk"], &["straggler"]);
+        let points = run_points_with(&cfg);
+        let widest = |scheme: &str| {
+            points
+                .iter()
+                .filter(|p| p.scheme == scheme && p.axis == SweepAxis::RangeSize)
+                .max_by(|a, b| a.range_size.total_cmp(&b.range_size))
+                .expect("range axis ran")
+        };
+        let pira = widest("pira");
+        let walk = widest("seqwalk");
+        assert!(
+            pira.report.latency.mean < walk.report.latency.mean / 2.0,
+            "pira {} !< seqwalk {} / 2 under straggler",
+            pira.report.latency.mean,
+            walk.report.latency.mean
+        );
+        // And PIRA's own latency grows sub-linearly in the range: the
+        // 150× wider query costs nowhere near 150× the milliseconds.
+        let narrow = points
+            .iter()
+            .filter(|p| p.scheme == "pira" && p.axis == SweepAxis::RangeSize)
+            .min_by(|a, b| a.range_size.total_cmp(&b.range_size))
+            .unwrap();
+        assert!(
+            pira.report.latency.mean < 20.0 * narrow.report.latency.mean.max(1.0),
+            "pira latency blew up with range size: {} vs {}",
+            pira.report.latency.mean,
+            narrow.report.latency.mean
+        );
+    }
+
+    #[test]
+    fn wan_scales_every_scheme_by_the_edge_cost_band() {
+        let cfg = quick_cfg(&["pira"], &["unit", "wan"]);
+        let points = run_points_with(&cfg);
+        for p in points.iter().filter(|p| p.net == "wan") {
+            let unit = points
+                .iter()
+                .find(|q| {
+                    q.net == "unit"
+                        && q.axis == p.axis
+                        && q.range_size == p.range_size
+                        && q.n_peers == p.n_peers
+                })
+                .unwrap();
+            // Every wan edge costs 30–90 unit edges.
+            assert!(p.report.latency.mean >= 30.0 * unit.report.latency.mean);
+            assert!(p.report.latency.mean <= 90.0 * unit.report.latency.mean + 1e-9);
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //! | ablations (ours) | [`ablations`] | `ablation_*` |
 //! | robustness (ours) | [`faults`] | `fault_tolerance` |
 //! | churn dynamics (ours) | [`churn_sweep`] | `churn_sweep` |
+//! | replication (ours) | [`replication_sweep`] | `replication_sweep` |
+//! | latency in ms (ours) | [`latency_sweep`] | `latency_sweep` |
 //! | perf baseline (ours) | [`baseline`] | `bench_baseline` |
 //!
 //! All runs are deterministic given a seed — including under the parallel
@@ -39,6 +41,7 @@ pub mod baseline;
 pub mod churn_sweep;
 pub mod faults;
 pub mod figures;
+pub mod latency_sweep;
 pub mod mira_eval;
 pub mod output;
 pub mod replication_sweep;

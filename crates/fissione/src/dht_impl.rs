@@ -36,6 +36,13 @@ impl Dht for FissioneNet {
         Lookup { owner: route.dest(), hops: route.hops() }
     }
 
+    fn route_key_latency(&self, from: NodeId, key: u64, net: &simnet::NetModel) -> (Lookup, u64) {
+        // The real Kautz long path, priced edge by edge.
+        let target = self.key_to_kautz(key);
+        let route = self.route(from, &target).expect("routing on a complete cover succeeds");
+        (Lookup { owner: route.dest(), hops: route.hops() }, net.path_cost(route.path()))
+    }
+
     fn owner_of_key(&self, key: u64) -> NodeId {
         self.owner_of(&self.key_to_kautz(key)).expect("cover is complete")
     }

@@ -124,6 +124,13 @@ pub struct PhtOutcome {
     /// Critical-path delay in overlay hops: sequential binary-search probes
     /// plus, per descent level, the slowest parallel get.
     pub delay: u64,
+    /// Critical-path virtual milliseconds under the trie's
+    /// [`NetModel`](simnet::NetModel): the same probe/descent structure
+    /// with each get priced by its substrate routing path's edge costs
+    /// plus the direct response edge. `latency ≤ delay` under the `unit`
+    /// model (a get whose trie node hashes onto the querying peer still
+    /// pays the response-message hop charge but no wire time).
+    pub latency: u64,
     /// Total overlay messages (each trie-node get = routing hops + 1 direct
     /// response).
     pub messages: u64,
@@ -145,6 +152,7 @@ pub struct Pht<D: Dht> {
     leaf_capacity: usize,
     domain_lo: f64,
     domain_hi: f64,
+    net: simnet::NetModel,
     nodes: HashMap<Label, Node>,
 }
 
@@ -169,7 +177,27 @@ impl<D: Dht> Pht<D> {
         assert!(capacity >= 1, "leaf capacity must be positive");
         let mut nodes = HashMap::new();
         nodes.insert(Label::ROOT, Node::Leaf(Vec::new()));
-        Pht { dht, width, leaf_capacity: capacity, domain_lo: lo, domain_hi: hi, nodes }
+        Pht {
+            dht,
+            width,
+            leaf_capacity: capacity,
+            domain_lo: lo,
+            domain_hi: hi,
+            net: simnet::NetModel::unit(),
+            nodes,
+        }
+    }
+
+    /// Replaces the network cost model trie-node gets are priced with
+    /// (`unit` by default). Hop and message metrics are model-invariant;
+    /// only [`PhtOutcome::latency`] moves.
+    pub fn set_net_model(&mut self, model: simnet::NetModel) {
+        self.net = model;
+    }
+
+    /// The network cost model in force.
+    pub fn net_model(&self) -> &simnet::NetModel {
+        &self.net
     }
 
     /// The substrate.
@@ -274,11 +302,13 @@ impl<D: Dht> Pht<D> {
     }
 
     /// One DHT get of a trie node from the client: returns `(hops_rtt,
-    /// messages)` — request routing plus a one-hop direct response.
-    fn get_cost(&self, from: NodeId, label: Label) -> (u64, u64) {
-        let lookup = self.dht.route_key(from, label.hash_key());
+    /// latency_rtt, messages)` — request routing plus a one-hop direct
+    /// response, in hops, cost-model virtual milliseconds, and messages.
+    fn get_cost(&self, from: NodeId, label: Label) -> (u64, u64, u64) {
+        let (lookup, route_latency) = self.dht.route_key_latency(from, label.hash_key(), &self.net);
         let rtt = lookup.hops as u64 + 1;
-        (rtt, rtt)
+        let latency = route_latency + self.net.edge_cost(lookup.owner, from);
+        (rtt, latency, rtt)
     }
 
     /// Executes a range query from the client peer `from`.
@@ -289,6 +319,7 @@ impl<D: Dht> Pht<D> {
     pub fn range_query(&self, from: NodeId, lo: f64, hi: f64) -> PhtOutcome {
         let (a, b) = (self.quantize(lo.min(hi)), self.quantize(hi.max(lo)));
         let mut delay = 0u64;
+        let mut latency = 0u64;
         let mut messages = 0u64;
         let mut visited = 0usize;
 
@@ -303,8 +334,9 @@ impl<D: Dht> Pht<D> {
         while lo_len <= hi_len {
             let mid = (lo_len + hi_len).div_ceil(2);
             let probe = lcp.prefix(mid);
-            let (rtt, msg) = self.get_cost(from, probe);
+            let (rtt, lat, msg) = self.get_cost(from, probe);
             delay += rtt;
+            latency += lat; // binary-search probes are sequential
             messages += msg;
             visited += 1;
             if self.nodes.contains_key(&probe) {
@@ -328,9 +360,11 @@ impl<D: Dht> Pht<D> {
         while !frontier.is_empty() {
             let mut next = Vec::new();
             let mut level_delay = 0u64;
+            let mut level_latency = 0u64;
             for label in frontier {
-                let (rtt, msg) = self.get_cost(from, label);
+                let (rtt, lat, msg) = self.get_cost(from, label);
                 level_delay = level_delay.max(rtt);
+                level_latency = level_latency.max(lat); // parallel gets
                 messages += msg;
                 visited += 1;
                 match self.nodes.get(&label).expect("descent stays inside the trie") {
@@ -357,11 +391,12 @@ impl<D: Dht> Pht<D> {
                 }
             }
             delay += level_delay;
+            latency += level_latency;
             frontier = next;
         }
 
         results.sort_unstable();
-        PhtOutcome { results, delay, messages, nodes_visited: visited, dest_leaves }
+        PhtOutcome { results, delay, latency, messages, nodes_visited: visited, dest_leaves }
     }
 }
 

@@ -13,8 +13,8 @@
 
 use crate::{Pht, PhtOutcome};
 use dht_api::{
-    BuildParams, Dht, DynamicDht, DynamicScheme, RangeOutcome, RangeScheme, ReplicaRouting,
-    SchemeError, SchemeRegistry,
+    BuildParams, Dht, DynamicDht, DynamicScheme, FetchCost, OutcomeCosts, RangeOutcome,
+    RangeScheme, ReplicaRouting, SchemeError, SchemeRegistry,
 };
 use rand::rngs::SmallRng;
 use simnet::NodeId;
@@ -24,14 +24,13 @@ impl PhtOutcome {
     /// the trie leaf; the trie is authoritative, so queries are exact by
     /// construction.
     pub fn into_outcome(self) -> RangeOutcome {
-        RangeOutcome {
-            results: self.results,
-            delay: self.delay,
-            messages: self.messages,
-            dest_peers: self.dest_leaves,
-            reached_peers: self.dest_leaves,
-            exact: true,
-        }
+        RangeOutcome::from_native(
+            self.results,
+            OutcomeCosts { hops: self.delay, latency: self.latency, messages: self.messages },
+            self.dest_leaves,
+            self.dest_leaves,
+            true,
+        )
     }
 }
 
@@ -52,7 +51,8 @@ pub struct PhtScheme<D: Dht> {
 impl<D: Dht> PhtScheme<D> {
     /// Wraps a substrate with a registry name and degree label.
     pub fn new(dht: D, params: &BuildParams, scheme_name: &'static str, degree: String) -> Self {
-        let pht = Pht::new(dht, params.domain.0, params.domain.1);
+        let mut pht = Pht::new(dht, params.domain.0, params.domain.1);
+        pht.set_net_model(params.net);
         PhtScheme { pht, scheme_name, degree }
     }
 
@@ -68,7 +68,12 @@ impl<D: Dht> RangeScheme for PhtScheme<D> {
     }
 
     fn substrate(&self) -> String {
-        self.pht.dht().name().into()
+        let model = self.pht.net_model();
+        if model.is_unit() {
+            self.pht.dht().name().into()
+        } else {
+            format!("{} @ {}", self.pht.dht().name(), model.name())
+        }
     }
 
     fn degree(&self) -> String {
@@ -184,15 +189,21 @@ impl<D: DynamicDht> ReplicaRouting for DynamicPhtScheme<D> {
         self.0.pht.dht().replica_owners(dht_api::value_key(value), r)
     }
 
-    fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> (u64, u64) {
+    fn fetch_cost(&self, origin: NodeId, holder: NodeId) -> FetchCost {
         if origin == holder {
-            return (0, 0); // the copy is local
+            return FetchCost::default(); // the copy is local
         }
         // The generic substrate can route to a *key* but not to a node, so
         // the fetch is priced with the `O(log N)` point-lookup model every
-        // PHT trie operation already uses, plus one direct response hop.
+        // PHT trie operation already uses, plus one direct response hop —
+        // each modeled hop priced at the direct origin→holder edge.
+        let model = self.0.pht.net_model();
         let hops = (self.node_count().max(2) as f64).log2().ceil() as u64;
-        (hops + 1, hops + 1)
+        FetchCost {
+            hops: hops + 1,
+            latency: (hops + 1) * model.edge_cost(origin, holder),
+            messages: hops + 1,
+        }
     }
 }
 

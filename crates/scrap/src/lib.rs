@@ -79,6 +79,10 @@ pub struct ScrapOutcome {
     /// Critical-path delay: the slowest of the parallel per-range Skip
     /// Graph queries.
     pub delay: u32,
+    /// The same parallel-range critical path in virtual milliseconds
+    /// under the deployment's [`NetModel`](simnet::NetModel): the slowest
+    /// per-range Skip Graph latency. Equals `delay` under `unit`.
+    pub latency: u64,
     /// Total messages across all ranges.
     pub messages: u64,
     /// Curve ranges queried.
@@ -116,6 +120,19 @@ impl ScrapNet {
             domains: domains.to_vec(),
             points: std::collections::HashMap::new(),
         })
+    }
+
+    /// Replaces the network cost model (forwarded to the underlying Skip
+    /// Graph, whose searches and walks do all the routing). Hop and
+    /// message metrics are model-invariant; only
+    /// [`ScrapOutcome::latency`] moves.
+    pub fn set_net_model(&mut self, model: simnet::NetModel) {
+        self.skip.set_net_model(model);
+    }
+
+    /// The network cost model in force.
+    pub fn net_model(&self) -> &simnet::NetModel {
+        self.skip.net_model()
     }
 
     /// Number of peers.
@@ -188,10 +205,12 @@ impl ScrapNet {
 
         let mut results = Vec::new();
         let mut delay = 0u32;
+        let mut latency = 0u64;
         let mut messages = 0u64;
         for r in &ranges {
             let out = self.skip.range_query(origin, r.lo as f64, r.hi as f64);
             delay = delay.max(out.delay); // parallel ranges
+            latency = latency.max(out.latency);
             messages += out.messages;
             for h in out.results {
                 let point = &self.points[&h];
@@ -204,7 +223,7 @@ impl ScrapNet {
         }
         results.sort_unstable();
         results.dedup();
-        Ok(ScrapOutcome { results, delay, messages, ranges: ranges.len() })
+        Ok(ScrapOutcome { results, delay, latency, messages, ranges: ranges.len() })
     }
 
     /// Ground truth for tests: a direct scan over all published points.

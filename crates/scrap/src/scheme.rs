@@ -14,8 +14,8 @@
 
 use crate::{ScrapError, ScrapNet, ScrapOutcome};
 use dht_api::{
-    BuildParams, MultiBuildParams, MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError,
-    SchemeRegistry,
+    BuildParams, MultiBuildParams, MultiRangeScheme, OutcomeCosts, RangeOutcome, RangeScheme,
+    SchemeError, SchemeRegistry,
 };
 use rand::rngs::SmallRng;
 use simnet::NodeId;
@@ -34,14 +34,17 @@ impl ScrapOutcome {
     /// is the contiguous curve range; every range is queried, so queries
     /// are exact by construction.
     pub fn into_outcome(self) -> RangeOutcome {
-        RangeOutcome {
-            results: self.results,
-            delay: u64::from(self.delay),
-            messages: self.messages,
-            dest_peers: self.ranges,
-            reached_peers: self.ranges,
-            exact: true,
-        }
+        RangeOutcome::from_native(
+            self.results,
+            OutcomeCosts {
+                hops: u64::from(self.delay),
+                latency: self.latency,
+                messages: self.messages,
+            },
+            self.ranges,
+            self.ranges,
+            true,
+        )
     }
 }
 
@@ -57,7 +60,11 @@ impl RangeScheme for ScrapNet {
     }
 
     fn substrate(&self) -> String {
-        "Skip Graph".into()
+        if self.net_model().is_unit() {
+            "Skip Graph".into()
+        } else {
+            format!("Skip Graph @ {}", self.net_model().name())
+        }
     }
 
     fn degree(&self) -> String {
@@ -107,7 +114,11 @@ impl MultiRangeScheme for ScrapNet {
     }
 
     fn substrate(&self) -> String {
-        "Skip Graph".into()
+        if self.net_model().is_unit() {
+            "Skip Graph".into()
+        } else {
+            format!("Skip Graph @ {}", self.net_model().name())
+        }
     }
 
     fn degree(&self) -> String {
@@ -150,16 +161,18 @@ pub fn register(reg: &mut SchemeRegistry) {
     reg.register_single(
         "scrap",
         Box::new(|p: &BuildParams, rng| {
-            let net = ScrapNet::build(p.n, &[p.domain], rng)
+            let mut net = ScrapNet::build(p.n, &[p.domain], rng)
                 .map_err(|e| SchemeError::Build(e.to_string()))?;
+            net.set_net_model(p.net);
             Ok(Box::new(net))
         }),
     );
     reg.register_multi(
         "scrap",
         Box::new(|p: &MultiBuildParams, rng| {
-            let net = ScrapNet::build(p.n, &p.domains, rng)
+            let mut net = ScrapNet::build(p.n, &p.domains, rng)
                 .map_err(|e| SchemeError::Build(e.to_string()))?;
+            net.set_net_model(p.net);
             Ok(Box::new(net))
         }),
     );

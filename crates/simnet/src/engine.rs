@@ -1,19 +1,33 @@
 //! The event-queue kernel: virtual clock, message scheduling, delivery.
 
 use crate::faults::FaultPlan;
+use crate::net::NetModel;
 use crate::stats::SimStats;
 use crate::{NodeId, SimTime};
 use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::BinaryHeap;
 
-/// Per-hop virtual latency model.
+/// Per-hop virtual latency model governing **event scheduling** (the
+/// simulator's clock).
 ///
-/// The paper measures delay in hops, which corresponds to [`Unit`]. The other
-/// models exist for jitter/sensitivity studies; hop-depth accounting (the
-/// reported metric) is independent of the latency model.
+/// The paper measures delay in hops, which corresponds to [`Unit`]. The
+/// other variants exist for jitter/sensitivity studies; hop-depth
+/// accounting (the reported metric) is independent of the latency model.
+///
+/// Sampling is **edge-keyed**: the cost of a hop is a pure function of
+/// `(model, sim seed, src, dst)`, never of the shared RNG stream — so the
+/// virtual time of a delivery cannot depend on how concurrently-scheduled
+/// events happened to interleave. (The [`Uniform`] variant used to draw
+/// from the simulator's `SmallRng` in delivery order, which made virtual
+/// times send-order-dependent; the regression is pinned by
+/// `uniform_latency_is_send_order_invariant` below.)
+///
+/// This is distinct from the [`NetModel`] cost layer ([`Sim::with_net`]),
+/// which *accumulates* per-edge costs along message chains without
+/// perturbing scheduling — see [`Envelope::cost`].
 ///
 /// [`Unit`]: LatencyModel::Unit
+/// [`Uniform`]: LatencyModel::Uniform
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LatencyModel {
     /// Every hop takes exactly one tick (virtual time = hop count).
@@ -21,7 +35,7 @@ pub enum LatencyModel {
     Unit,
     /// Every hop takes a fixed number of ticks.
     Fixed(u64),
-    /// Hop latency drawn uniformly from `lo..=hi` ticks.
+    /// Hop latency keyed uniformly into `lo..=hi` ticks per edge.
     Uniform {
         /// Minimum per-hop latency.
         lo: u64,
@@ -31,11 +45,23 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
-    fn sample(&self, rng: &mut SmallRng) -> u64 {
+    /// The scheduling cost of edge `src → dst` under simulator seed `seed`
+    /// — a pure function of its arguments (no RNG stream; the hash is
+    /// [`crate::net::mix`], shared with [`NetModel`] edge costs).
+    fn cost(&self, seed: u64, src: NodeId, dst: NodeId) -> u64 {
         match *self {
             LatencyModel::Unit => 1,
             LatencyModel::Fixed(t) => t,
-            LatencyModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi, "empty latency range [{lo}, {hi}]");
+                let key = crate::net::mix(seed, src as u64, dst as u64);
+                // A full-domain span (hi − lo + 1 overflows) admits every
+                // u64, so the key is already a valid sample.
+                match (hi.wrapping_sub(lo)).checked_add(1) {
+                    Some(span) => lo + key % span,
+                    None => key,
+                }
+            }
         }
     }
 }
@@ -52,6 +78,12 @@ pub struct Envelope<M> {
     pub hop: u32,
     /// Virtual time of delivery.
     pub at: SimTime,
+    /// Accumulated [`NetModel`] cost (virtual milliseconds) along this
+    /// message's forwarding chain: the parent envelope's cost plus the
+    /// edge cost of the final hop. Under the default `unit` model this
+    /// equals `hop` — accumulation never perturbs scheduling, so hop
+    /// metrics and message sets are identical under every cost model.
+    pub cost: u64,
     /// Protocol payload.
     pub payload: M,
 }
@@ -89,9 +121,11 @@ impl<M> Ord for Scheduled<M> {
 pub struct Sim<M> {
     now: SimTime,
     seq: u64,
+    seed: u64,
     queue: BinaryHeap<Scheduled<M>>,
     rng: SmallRng,
     latency: LatencyModel,
+    net: NetModel,
     faults: FaultPlan,
     stats: SimStats,
 }
@@ -113,9 +147,11 @@ impl<M> Sim<M> {
         Sim {
             now: 0,
             seq: 0,
+            seed,
             queue: BinaryHeap::new(),
             rng: crate::rng_from_seed(seed),
             latency: LatencyModel::Unit,
+            net: NetModel::unit(),
             faults: FaultPlan::default(),
             stats: SimStats::default(),
         }
@@ -125,6 +161,20 @@ impl<M> Sim<M> {
     pub fn with_latency(mut self, latency: LatencyModel) -> Self {
         self.latency = latency;
         self
+    }
+
+    /// Replaces the [`NetModel`] whose per-edge costs accumulate into
+    /// [`Envelope::cost`]. Scheduling (and therefore event order, hop
+    /// metrics, and message sets) is unaffected: the cost layer rides on
+    /// top of the unit-tick clock.
+    pub fn with_net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// The cost model in force.
+    pub fn net(&self) -> &NetModel {
+        &self.net
     }
 
     /// Replaces the fault plan.
@@ -170,6 +220,23 @@ impl<M> Sim<M> {
     /// convention that the origin peer's local processing costs no hops).
     /// The message may be dropped or ignored according to the [`FaultPlan`].
     pub fn send(&mut self, from: NodeId, to: NodeId, hop: u32, payload: M) {
+        self.send_with_cost(from, to, hop, 0, payload);
+    }
+
+    /// [`send`](Self::send) with an explicit accumulated-cost base: the
+    /// envelope's [`cost`](Envelope::cost) is `base_cost` plus the edge's
+    /// [`NetModel`] cost. Protocols use this where a message chain
+    /// continues through a local hand-off (e.g. a routing phase switching
+    /// to a flooding phase by self-delivery), so the chain's cost is not
+    /// reset to zero.
+    pub fn send_with_cost(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        hop: u32,
+        base_cost: u64,
+        payload: M,
+    ) {
         let is_network = from != to;
         if is_network {
             self.stats.messages_sent += 1;
@@ -182,26 +249,27 @@ impl<M> Sim<M> {
             self.stats.messages_to_crashed += 1;
             return;
         }
-        let latency = if is_network { self.latency.sample(&mut self.rng) } else { 0 };
-        let env = Envelope { from, to, hop, at: self.now + latency, payload };
+        let latency = if is_network { self.latency.cost(self.seed, from, to) } else { 0 };
+        let cost = base_cost + if is_network { self.net.edge_cost(from, to) } else { 0 };
+        let env = Envelope { from, to, hop, at: self.now + latency, cost, payload };
         self.seq += 1;
         self.queue.push(Scheduled { at: env.at, seq: self.seq, env });
     }
 
     /// Forwards in response to a received envelope: hop depth increments
-    /// automatically.
+    /// and the accumulated [`NetModel`] cost carries over automatically.
     pub fn forward(&mut self, received: &Envelope<M>, to: NodeId, payload: M) {
-        self.send(received.to, to, received.hop + 1, payload);
+        self.send_with_cost(received.to, to, received.hop + 1, received.cost, payload);
     }
 
     /// Schedules a local (non-network) event at `delay` ticks in the future;
     /// hop depth is preserved. Used for timers/retries. Not counted as a
-    /// message.
+    /// message and free under every cost model.
     pub fn schedule_local(&mut self, node: NodeId, delay: u64, hop: u32, payload: M) {
         if self.faults.is_crashed(node) {
             return;
         }
-        let env = Envelope { from: node, to: node, hop, at: self.now + delay, payload };
+        let env = Envelope { from: node, to: node, hop, at: self.now + delay, cost: 0, payload };
         self.seq += 1;
         self.queue.push(Scheduled { at: env.at, seq: self.seq, env });
     }
@@ -336,5 +404,68 @@ mod tests {
         sim.send(0, 1, 0, 0);
         sim.run(|_, _| {});
         assert_eq!(sim.now(), 5);
+    }
+
+    #[test]
+    fn uniform_latency_is_send_order_invariant() {
+        // Regression: Uniform used to draw from the shared SmallRng in
+        // delivery order, so an edge's virtual cost depended on how sends
+        // interleaved. Edge-keyed sampling makes the cost a pure function
+        // of (seed, src, dst): the same plan sent in a different order
+        // yields the same per-edge delivery times.
+        let edges = [(0usize, 1usize), (2, 3), (4, 5), (1, 4), (3, 0)];
+        let deliver = |order: &[usize]| -> std::collections::BTreeMap<(NodeId, NodeId), SimTime> {
+            let mut sim: Sim<()> =
+                Sim::new(11).with_latency(LatencyModel::Uniform { lo: 1, hi: 50 });
+            for &i in order {
+                let (a, b) = edges[i];
+                sim.send(a, b, 0, ());
+            }
+            let mut times = std::collections::BTreeMap::new();
+            sim.run(|_, env| {
+                times.insert((env.from, env.to), env.at);
+            });
+            times
+        };
+        let forward = deliver(&[0, 1, 2, 3, 4]);
+        let reversed = deliver(&[4, 3, 2, 1, 0]);
+        assert_eq!(forward, reversed, "edge costs must not depend on send order");
+        assert!(forward.values().any(|&t| t > 1), "jitter must actually vary costs");
+    }
+
+    #[test]
+    fn envelope_cost_accumulates_net_model_edges() {
+        use crate::net::NetModel;
+        let wan = NetModel::wan();
+        let mut sim: Sim<u8> = Sim::new(5).with_net(wan);
+        sim.send(0, 0, 0, 3); // free self-delivery starts the chain
+        let mut costs = Vec::new();
+        sim.run(|sim, env| {
+            costs.push((env.to, env.cost));
+            if env.payload > 0 {
+                sim.forward(&env, env.to + 1, env.payload - 1);
+            }
+        });
+        assert_eq!(costs[0], (0, 0), "self-delivery is cost-free");
+        assert_eq!(costs[1].1, wan.edge_cost(0, 1));
+        assert_eq!(costs[2].1, wan.edge_cost(0, 1) + wan.edge_cost(1, 2));
+        // Scheduling stayed on unit ticks: hop order is unperturbed.
+        assert_eq!(sim.now(), 3);
+        // An explicit base cost carries a chain across a local hand-off.
+        let mut sim2: Sim<u8> = Sim::new(5).with_net(wan);
+        sim2.send_with_cost(7, 8, 4, 100, 0);
+        sim2.run(|_, env| assert_eq!(env.cost, 100 + wan.edge_cost(7, 8)));
+    }
+
+    #[test]
+    fn unit_net_model_cost_equals_hop_depth() {
+        let mut sim: Sim<u8> = Sim::new(9);
+        sim.send(0, 0, 0, 4);
+        sim.run(|sim, env| {
+            assert_eq!(env.cost, u64::from(env.hop), "unit cost reproduces hop ticks");
+            if env.payload > 0 {
+                sim.forward(&env, env.to + 1, env.payload - 1);
+            }
+        });
     }
 }

@@ -11,8 +11,13 @@
 //!   path length from the query origin), which is the paper's delay metric.
 //! * [`FaultPlan`] — message-drop probability and crashed-node sets for
 //!   robustness experiments.
-//! * [`LatencyModel`] — per-hop virtual latency (unit by default so virtual
-//!   time equals hop count; uniform random for jitter studies).
+//! * [`LatencyModel`] — per-hop scheduling latency (unit by default so
+//!   virtual time equals hop count; edge-keyed uniform for jitter studies).
+//! * [`NetModel`] — the network cost layer: named, seeded, deterministic
+//!   per-edge costs in virtual milliseconds (`unit`, `lan`, `wan`,
+//!   `cluster`, `straggler`), accumulated along message chains into
+//!   [`Envelope::cost`] without perturbing event order — so hop metrics
+//!   stay bitwise identical under every cost model.
 //! * [`Summary`] / [`Samples`] — helper statistics (mean/min/max/
 //!   percentiles) used by the experiment harnesses to aggregate the paper's
 //!   1000-query averages; [`Samples`] merges per-shard measurement vectors
@@ -49,10 +54,12 @@
 
 mod engine;
 mod faults;
+mod net;
 mod stats;
 
 pub use engine::{Envelope, LatencyModel, Sim};
 pub use faults::FaultPlan;
+pub use net::{NetModel, NetModelKind, NET_MODEL_NAMES};
 pub use stats::{Samples, SimStats, Summary};
 
 /// Identifier of a simulated node (index into the caller's node table).

@@ -42,6 +42,10 @@ pub struct SkipOutcome {
     pub results: Vec<u64>,
     /// Search hops + level-0 walk hops.
     pub delay: u32,
+    /// The same search-then-walk path priced edge by edge under the
+    /// graph's [`NetModel`](simnet::NetModel) (every hop is sequential, so
+    /// the whole path is the critical path). Equals `delay` under `unit`.
+    pub latency: u64,
     /// Total messages (equals delay: one message per hop).
     pub messages: u64,
     /// Peers whose key range intersected the query.
@@ -64,6 +68,8 @@ pub struct SkipGraphNet {
     records: Vec<Vec<(f64, u64)>>,
     domain_lo: f64,
     domain_hi: f64,
+    /// Network cost model pricing search and walk edges (`unit` default).
+    net_model: simnet::NetModel,
 }
 
 impl SkipGraphNet {
@@ -114,7 +120,26 @@ impl SkipGraphNet {
             neighbors.push(nbr);
         }
 
-        SkipGraphNet { keys, neighbors, records: vec![Vec::new(); n], domain_lo: lo, domain_hi: hi }
+        SkipGraphNet {
+            keys,
+            neighbors,
+            records: vec![Vec::new(); n],
+            domain_lo: lo,
+            domain_hi: hi,
+            net_model: simnet::NetModel::unit(),
+        }
+    }
+
+    /// Replaces the network cost model queries price their edges with
+    /// (`unit` by default). Hop and message metrics are model-invariant;
+    /// only [`SkipOutcome::latency`] moves.
+    pub fn set_net_model(&mut self, model: simnet::NetModel) {
+        self.net_model = model;
+    }
+
+    /// The network cost model in force.
+    pub fn net_model(&self) -> &simnet::NetModel {
+        &self.net_model
     }
 
     /// Number of peers.
@@ -164,13 +189,21 @@ impl SkipGraphNet {
     /// `(owner, hops)`. Standard algorithm: at each level move toward the
     /// target as far as possible without overshooting, then descend.
     pub fn search(&self, from: NodeId, value: f64) -> (NodeId, u32) {
+        let (owner, hops, _) = self.search_priced(from, value);
+        (owner, hops)
+    }
+
+    /// [`search`](Self::search) also accumulating the traversed edges'
+    /// [`NetModel`](simnet::NetModel) cost: `(owner, hops, latency)`.
+    pub fn search_priced(&self, from: NodeId, value: f64) -> (NodeId, u32, u64) {
         let target = self.owner_of(value);
         let mut cur = from;
         let mut hops = 0u32;
+        let mut latency = 0u64;
         let mut level = self.neighbors.len() - 1;
         loop {
             if cur == target {
-                return (target, hops);
+                return (target, hops, latency);
             }
             let rightward = target > cur; // NodeIds are in key order
             let step = if rightward {
@@ -180,6 +213,7 @@ impl SkipGraphNet {
             };
             match step {
                 Some(next) => {
+                    latency += self.net_model.edge_cost(cur, next);
                     cur = next;
                     hops += 1;
                 }
@@ -193,9 +227,10 @@ impl SkipGraphNet {
     /// right through every bucket intersecting `[lo, hi]`.
     pub fn range_query(&self, from: NodeId, lo: f64, hi: f64) -> SkipOutcome {
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
-        let (first, search_hops) = self.search(from, lo);
+        let (first, search_hops, search_latency) = self.search_priced(from, lo);
         let mut results = Vec::new();
         let mut walk = 0u32;
+        let mut latency = search_latency;
         let mut dest = 0usize;
         let mut cur = Some(first);
         while let Some(node) = cur {
@@ -209,15 +244,17 @@ impl SkipGraphNet {
                 }
             }
             cur = self.neighbors[0][node].1;
-            if cur.is_some() && cur.map(|n| self.keys[n] <= hi) == Some(true) {
-                walk += 1;
-            } else {
-                break;
+            match cur {
+                Some(next) if self.keys[next] <= hi => {
+                    walk += 1;
+                    latency += self.net_model.edge_cost(node, next);
+                }
+                _ => break,
             }
         }
         results.sort_unstable();
         let delay = search_hops + walk;
-        SkipOutcome { results, delay, messages: u64::from(delay), dest_peers: dest }
+        SkipOutcome { results, delay, latency, messages: u64::from(delay), dest_peers: dest }
     }
 }
 

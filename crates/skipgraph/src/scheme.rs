@@ -12,7 +12,7 @@
 //! epoch-driven churn runs skip it at runtime.
 
 use crate::{SkipGraphNet, SkipOutcome};
-use dht_api::{RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};
+use dht_api::{OutcomeCosts, RangeOutcome, RangeScheme, SchemeError, SchemeRegistry};
 use rand::rngs::SmallRng;
 use simnet::NodeId;
 
@@ -20,14 +20,17 @@ impl SkipOutcome {
     /// Converts into the scheme-generic outcome. The level-0 walk visits
     /// every destination bucket, so queries are exact by construction.
     pub fn into_outcome(self) -> RangeOutcome {
-        RangeOutcome {
-            results: self.results,
-            delay: u64::from(self.delay),
-            messages: self.messages,
-            dest_peers: self.dest_peers,
-            reached_peers: self.dest_peers,
-            exact: true,
-        }
+        RangeOutcome::from_native(
+            self.results,
+            OutcomeCosts {
+                hops: u64::from(self.delay),
+                latency: self.latency,
+                messages: self.messages,
+            },
+            self.dest_peers,
+            self.dest_peers,
+            true,
+        )
     }
 }
 
@@ -43,7 +46,11 @@ impl RangeScheme for SkipGraphNet {
     }
 
     fn substrate(&self) -> String {
-        "— (is the overlay)".into()
+        if self.net_model().is_unit() {
+            "— (is the overlay)".into()
+        } else {
+            format!("— (is the overlay) @ {}", self.net_model().name())
+        }
     }
 
     fn degree(&self) -> String {
@@ -84,7 +91,11 @@ impl RangeScheme for SkipGraphNet {
 pub fn register(reg: &mut SchemeRegistry) {
     reg.register_single(
         "skipgraph",
-        Box::new(|p, rng| Ok(Box::new(SkipGraphNet::build(p.n, p.domain.0, p.domain.1, rng)))),
+        Box::new(|p, rng| {
+            let mut net = SkipGraphNet::build(p.n, p.domain.0, p.domain.1, rng);
+            net.set_net_model(p.net);
+            Ok(Box::new(net))
+        }),
     );
 }
 

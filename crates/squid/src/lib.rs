@@ -81,6 +81,13 @@ pub struct SquidOutcome {
     /// Critical-path delay: per refinement level, the slowest routing, plus
     /// the ring-segment walks that collect cluster contents.
     pub delay: u64,
+    /// The same per-level critical path priced in virtual milliseconds
+    /// under the deployment's [`NetModel`](simnet::NetModel): each Chord
+    /// routing charges its real finger path's edges plus the direct
+    /// response edge, each segment-walk step its successor edge.
+    /// `latency ≤ delay` under `unit` (an origin-owned cluster head pays
+    /// the response-message hop charge but no wire time).
+    pub latency: u64,
     /// Total messages.
     pub messages: u64,
     /// Clusters visited (each costs one Chord routing).
@@ -93,6 +100,8 @@ pub struct SquidNet {
     chord: ChordNet,
     zspace: ZSpace,
     domains: Vec<(f64, f64)>,
+    /// Network cost model pricing routings and segment walks.
+    net_model: simnet::NetModel,
     /// Per-node stored records `(zkey, point, handle)`.
     records: Vec<Vec<(u64, Vec<f64>, u64)>>,
 }
@@ -111,7 +120,25 @@ impl SquidNet {
         }
         let chord = ChordNet::build(n, rng);
         let zspace = ZSpace::new(domains.len() as u32, DEFAULT_BITS);
-        Ok(SquidNet { chord, zspace, domains: domains.to_vec(), records: vec![Vec::new(); n] })
+        Ok(SquidNet {
+            chord,
+            zspace,
+            domains: domains.to_vec(),
+            net_model: simnet::NetModel::unit(),
+            records: vec![Vec::new(); n],
+        })
+    }
+
+    /// Replaces the network cost model queries price their edges with
+    /// (`unit` by default). Hop and message metrics are model-invariant;
+    /// only [`SquidOutcome::latency`] moves.
+    pub fn set_net_model(&mut self, model: simnet::NetModel) {
+        self.net_model = model;
+    }
+
+    /// The network cost model in force.
+    pub fn net_model(&self) -> &simnet::NetModel {
+        &self.net_model
     }
 
     /// The underlying Chord ring.
@@ -199,7 +226,9 @@ impl SquidNet {
         // the per-level cost is the slowest routing of that level and a
         // cluster emitted at depth `d` has paid `d/dims` refinement rounds.
         let clusters = merge_ranges(self.zspace.decompose(&qranges));
+        let model = &self.net_model;
         let mut delay = 0u64;
+        let mut latency = 0u64;
         let mut messages = 0u64;
         let mut results = Vec::new();
 
@@ -214,10 +243,14 @@ impl SquidNet {
         }
         for (_, level_clusters) in per_level {
             let mut level_delay = 0u64;
+            let mut level_latency = 0u64;
             for cluster in level_clusters {
-                // Route to the cluster's first key.
-                let lookup = self.chord.route_key(origin, self.ring_point(cluster.lo));
+                // Route to the cluster's first key: the real finger path,
+                // priced edge by edge, plus the direct response edge.
+                let (lookup, path) =
+                    self.chord.route_point_path(origin, self.ring_point(cluster.lo));
                 let rtt = lookup.hops as u64 + 1;
+                let rtt_latency = model.path_cost(&path) + model.edge_cost(lookup.owner, origin);
                 level_delay = level_delay.max(rtt);
                 messages += rtt;
                 // Walk the successor chain of nodes owning keys in
@@ -226,6 +259,7 @@ impl SquidNet {
                 // id reaches `ring_point(hi)` — possibly wrapping past 0.
                 let mut node = lookup.owner;
                 let mut walked = 0u64;
+                let mut walk_latency = 0u64;
                 let mut prev_id: Option<u64> = None;
                 loop {
                     for (zkey, point, handle) in &self.records[node] {
@@ -251,18 +285,21 @@ impl SquidNet {
                     if succ == node {
                         break; // single-node ring
                     }
+                    walk_latency += model.edge_cost(node, succ);
                     node = succ;
                     walked += 1;
                     messages += 1;
                 }
                 level_delay = level_delay.max(rtt + walked);
+                level_latency = level_latency.max(rtt_latency + walk_latency);
             }
             delay += level_delay;
+            latency += level_latency;
         }
 
         results.sort_unstable();
         results.dedup();
-        Ok(SquidOutcome { results, delay, messages, clusters: clusters.len() })
+        Ok(SquidOutcome { results, delay, latency, messages, clusters: clusters.len() })
     }
 
     /// Ground truth for tests: a direct scan over all stored records.

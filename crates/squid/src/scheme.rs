@@ -15,8 +15,8 @@
 
 use crate::{SquidError, SquidNet, SquidOutcome};
 use dht_api::{
-    BuildParams, MultiBuildParams, MultiRangeScheme, RangeOutcome, RangeScheme, SchemeError,
-    SchemeRegistry,
+    BuildParams, MultiBuildParams, MultiRangeScheme, OutcomeCosts, RangeOutcome, RangeScheme,
+    SchemeError, SchemeRegistry,
 };
 use rand::rngs::SmallRng;
 use simnet::NodeId;
@@ -35,14 +35,13 @@ impl SquidOutcome {
     /// is the curve cluster; refinement visits every overlapping cluster,
     /// so queries are exact by construction.
     pub fn into_outcome(self) -> RangeOutcome {
-        RangeOutcome {
-            results: self.results,
-            delay: self.delay,
-            messages: self.messages,
-            dest_peers: self.clusters,
-            reached_peers: self.clusters,
-            exact: true,
-        }
+        RangeOutcome::from_native(
+            self.results,
+            OutcomeCosts { hops: self.delay, latency: self.latency, messages: self.messages },
+            self.clusters,
+            self.clusters,
+            true,
+        )
     }
 }
 
@@ -58,7 +57,11 @@ impl RangeScheme for SquidNet {
     }
 
     fn substrate(&self) -> String {
-        "Chord".into()
+        if self.net_model().is_unit() {
+            "Chord".into()
+        } else {
+            format!("Chord @ {}", self.net_model().name())
+        }
     }
 
     fn degree(&self) -> String {
@@ -108,7 +111,11 @@ impl MultiRangeScheme for SquidNet {
     }
 
     fn substrate(&self) -> String {
-        "Chord".into()
+        if self.net_model().is_unit() {
+            "Chord".into()
+        } else {
+            format!("Chord @ {}", self.net_model().name())
+        }
     }
 
     fn degree(&self) -> String {
@@ -151,16 +158,18 @@ pub fn register(reg: &mut SchemeRegistry) {
     reg.register_single(
         "squid",
         Box::new(|p: &BuildParams, rng| {
-            let net = SquidNet::build(p.n, &[p.domain], rng)
+            let mut net = SquidNet::build(p.n, &[p.domain], rng)
                 .map_err(|e| SchemeError::Build(e.to_string()))?;
+            net.set_net_model(p.net);
             Ok(Box::new(net))
         }),
     );
     reg.register_multi(
         "squid",
         Box::new(|p: &MultiBuildParams, rng| {
-            let net = SquidNet::build(p.n, &p.domains, rng)
+            let mut net = SquidNet::build(p.n, &p.domains, rng)
                 .map_err(|e| SchemeError::Build(e.to_string()))?;
+            net.set_net_model(p.net);
             Ok(Box::new(net))
         }),
     );

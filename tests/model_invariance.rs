@@ -1,0 +1,121 @@
+//! Property test for the network cost-model layer: the cost model must be
+//! an *observer*, never an *actor*.
+//!
+//! For every registered single-attribute scheme, the same build seed, data
+//! set, and query stream are run under every cataloged
+//! [`NetModel`](dht_api::NetModel). The contract, across multiple seeds:
+//!
+//! * hop `delay`, `messages`, `dest_peers`, `reached_peers`, `exact`, and
+//!   the full result set are **identical** under every model — edge costs
+//!   ride along the realized message paths without perturbing protocol
+//!   behavior;
+//! * `latency` equals `delay` under the `unit` model for schemes whose
+//!   every charged hop is a real wire edge, and never exceeds it for the
+//!   layered schemes that charge a response-message hop even when a trie
+//!   node / cluster head happens to live at the querying peer;
+//! * non-unit models actually move the latency figure somewhere in the
+//!   workload (the layer is not a no-op).
+
+use dht_api::{BuildParams, NetModel, RangeOutcome, WorkloadGen, NET_MODEL_NAMES};
+use rand::Rng;
+
+const N: usize = 150;
+const QUERIES: u64 = 25;
+const SEEDS: [u64; 3] = [0x01a7_e4c1, 0xbeef, 7];
+
+/// Runs one scheme under one net model and returns each query's outcome.
+fn run_scheme(name: &str, model: &NetModel, seed: u64) -> Vec<RangeOutcome> {
+    let registry = armada_experiments::standard_registry();
+    let domain = (0.0, 1000.0);
+    let params = BuildParams::new(N, domain.0, domain.1).with_object_id_len(24).with_net(*model);
+    let mut rng = simnet::rng_from_seed(seed ^ dht_api::fnv1a(name.as_bytes()));
+    let mut scheme = registry.build_single(name, &params, &mut rng).expect("scheme builds");
+    for h in 0..N as u64 {
+        scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+    }
+    let workload = WorkloadGen::named("mixed", domain).expect("cataloged");
+    let mut origin_rng = simnet::rng_from_seed(seed ^ 0x0419);
+    (0..QUERIES)
+        .map(|q| {
+            let (lo, hi) = workload.range(seed, q);
+            let origin = scheme.random_origin(&mut origin_rng);
+            scheme.range_query(origin, lo, hi, seed.wrapping_add(q)).expect("fault-free query")
+        })
+        .collect()
+}
+
+#[test]
+fn hop_metrics_and_results_are_net_model_invariant() {
+    let registry = armada_experiments::standard_registry();
+    for seed in SEEDS {
+        for name in registry.single_names() {
+            let unit = run_scheme(name, &NetModel::unit(), seed);
+            for model_name in NET_MODEL_NAMES {
+                let model = NetModel::named(model_name).expect("cataloged");
+                let outcomes = run_scheme(name, &model, seed);
+                assert_eq!(outcomes.len(), unit.len());
+                for (q, (got, want)) in outcomes.iter().zip(&unit).enumerate() {
+                    let at = format!("{name}@{model_name} seed {seed} query {q}");
+                    assert_eq!(got.results, want.results, "{at}: results drifted");
+                    assert_eq!(got.delay, want.delay, "{at}: hop delay drifted");
+                    assert_eq!(got.messages, want.messages, "{at}: messages drifted");
+                    assert_eq!(got.dest_peers, want.dest_peers, "{at}: dest_peers drifted");
+                    assert_eq!(got.reached_peers, want.reached_peers, "{at}: reached drifted");
+                    assert_eq!(got.exact, want.exact, "{at}: exactness drifted");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unit_latency_reproduces_hop_ticks() {
+    // Schemes whose every charged hop is a wire edge: latency == delay
+    // exactly. The layered schemes (pht-*, squid) charge a response-message
+    // hop even for a get whose target node lives at the querying peer, so
+    // they satisfy latency ≤ delay instead — never more.
+    let exact = ["pira", "seqwalk", "dcf-can", "dcf-can-naive", "skipgraph", "scrap"];
+    let registry = armada_experiments::standard_registry();
+    for name in registry.single_names() {
+        for out in run_scheme(name, &NetModel::unit(), SEEDS[0]) {
+            if exact.contains(&name) {
+                assert_eq!(out.latency, out.delay, "{name}: unit latency must equal hop delay");
+            } else {
+                assert!(
+                    out.latency <= out.delay,
+                    "{name}: unit latency {} exceeds hop delay {}",
+                    out.latency,
+                    out.delay
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn non_unit_models_move_the_latency_figure() {
+    let registry = armada_experiments::standard_registry();
+    for name in registry.single_names() {
+        let unit: u64 =
+            run_scheme(name, &NetModel::unit(), SEEDS[0]).iter().map(|o| o.latency).sum();
+        let wan: u64 = run_scheme(name, &NetModel::wan(), SEEDS[0]).iter().map(|o| o.latency).sum();
+        // Every wan edge costs ≥ 30× a unit edge; any routed workload must
+        // show it.
+        assert!(wan > 10 * unit.max(1), "{name}: wan latency {wan} vs unit {unit}");
+    }
+}
+
+#[test]
+fn straggler_latency_dominates_lan_for_touched_paths() {
+    // The straggler model's whole point: a sparse slow-peer set shows up
+    // in the tail. Summed over a workload, straggler ≥ lan for every
+    // scheme (any path that dodges all stragglers costs lan-like 2-4 ms;
+    // one touched straggler adds 120).
+    let registry = armada_experiments::standard_registry();
+    for name in registry.single_names() {
+        let lan: u64 = run_scheme(name, &NetModel::lan(), SEEDS[1]).iter().map(|o| o.latency).sum();
+        let straggler: u64 =
+            run_scheme(name, &NetModel::straggler(), SEEDS[1]).iter().map(|o| o.latency).sum();
+        assert!(straggler >= lan, "{name}: straggler {straggler} < lan {lan}");
+    }
+}

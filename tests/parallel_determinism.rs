@@ -25,6 +25,7 @@ fn assert_reports_identical(a: &DriverReport, b: &DriverReport, ctx: &str) {
     assert_eq!(a.scheme, b.scheme, "{ctx}: scheme");
     assert_eq!(a.queries, b.queries, "{ctx}: queries");
     assert_eq!(a.delay, b.delay, "{ctx}: delay");
+    assert_eq!(a.latency, b.latency, "{ctx}: latency");
     assert_eq!(a.messages, b.messages, "{ctx}: messages");
     assert_eq!(a.dest_peers, b.dest_peers, "{ctx}: dest_peers");
     assert_eq!(a.mesg_ratio, b.mesg_ratio, "{ctx}: mesg_ratio");
@@ -40,6 +41,7 @@ fn assert_reports_identical(a: &DriverReport, b: &DriverReport, ctx: &str) {
         assert_eq!(ea.churn, eb.churn, "{ectx}: churn stats");
         assert_eq!(ea.repair, eb.repair, "{ectx}: repair stats");
         assert_eq!(ea.delay_mean, eb.delay_mean, "{ectx}: delay");
+        assert_eq!(ea.latency_mean, eb.latency_mean, "{ectx}: latency");
         assert_eq!(ea.exact_rate, eb.exact_rate, "{ectx}: exact");
         assert_eq!(ea.recall_mean, eb.recall_mean, "{ectx}: recall");
         assert_eq!(ea.results_returned, eb.results_returned, "{ectx}: results");
@@ -152,6 +154,38 @@ fn replicated_epoch_reports_are_identical_across_thread_counts() {
             if plan_name == "massacre" {
                 let placed: usize = serial.epochs.iter().map(|e| e.repair.placed).sum();
                 assert!(placed > 0, "{scheme_name}/{plan_name}: no repair traffic recorded");
+            }
+        }
+    }
+}
+
+#[test]
+fn latency_reports_are_thread_count_invariant_under_every_net_model() {
+    // The cost-model layer's determinism claim: every edge cost is a pure
+    // function of (model, seed, src, dst) — no RNG stream order — so the
+    // merged latency summary cannot depend on how queries were sharded,
+    // under any cataloged model.
+    let registry = standard_registry();
+    for net_name in armada_suite::dht_api::NET_MODEL_NAMES {
+        for scheme_name in ["pira", "pht-chord", "skipgraph"] {
+            let name = format!("{scheme_name}@{net_name}");
+            let params = BuildParams::new(150, DOMAIN.0, DOMAIN.1).with_object_id_len(32);
+            let mut rng = simnet::rng_from_seed(0x1a7);
+            let mut scheme = registry.build_single(&name, &params, &mut rng).unwrap();
+            for h in 0..150u64 {
+                use armada_suite::rand::Rng;
+                scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).unwrap();
+            }
+            let workload = WorkloadGen::named("mixed", DOMAIN).unwrap();
+            let driver = ParallelDriver { queries: 48, seed: 5, threads: 1 };
+            let serial = driver.run(scheme.as_ref(), &workload).unwrap();
+            for threads in [3, 8] {
+                let sharded = driver.with_threads(threads).run(scheme.as_ref(), &workload).unwrap();
+                assert_reports_identical(&serial, &sharded, &format!("{name}/t{threads}"));
+            }
+            assert_eq!(serial.latency.count, 48, "{name}: latency was measured");
+            if net_name == "unit" {
+                assert!(serial.latency.mean <= serial.delay.mean, "{name}: unit ≤ hop delay");
             }
         }
     }
