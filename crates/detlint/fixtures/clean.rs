@@ -1,0 +1,29 @@
+// The deterministic counterpart of seeded_violations.rs: the same shapes
+// written the way the contract demands. detlint must report nothing here —
+// `fixture_violations_all_fire` asserts this file contributes no findings.
+
+use std::collections::BTreeMap;
+
+fn simulated_clock(seed: u64, tick: u64) -> u64 {
+    // Time is simulation state, not a wall-clock read.
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(tick)
+}
+
+fn seeded_randomness(seed: u64, index: u64) -> u64 {
+    // Randomness is a pure function of (seed, index) — splitmix64.
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn ordered_iteration(m: &BTreeMap<u64, u64>) -> Vec<u64> {
+    // BTreeMap iterates in key order: nothing to canonicalize.
+    m.values().copied().collect()
+}
+
+fn canonicalized(samples: &[u64]) -> Vec<u64> {
+    let mut out: Vec<u64> = samples.to_vec();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,68 @@
+// Seeded violations for detlint's self-test. This file is never compiled —
+// it is scanned by `cargo test -p detlint` and by the CI fixture gate
+// (which asserts that detlint exits non-zero here). The per-rule counts
+// are pinned by `fixture_expected_counts_are_exact`: D1=3, D2=3, D3=3,
+// D4=3, bad pragmas=2, audited allowances=4 (one per rule).
+
+// --- D1/D2 imports --------------------------------------------------------
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+// --- D2: wall-clock reads -------------------------------------------------
+
+fn wall_clock_reads() -> u64 {
+    let t0 = Instant::now();
+    let boot = std::time::SystemTime::now();
+    t0.elapsed().as_nanos() as u64 ^ boot.elapsed().unwrap().as_nanos() as u64
+}
+
+// --- D3: ambient randomness -----------------------------------------------
+
+fn ambient_randomness() -> u64 {
+    let mut rng = thread_rng();
+    let stream = SmallRng::from_entropy();
+    let jitter: u64 = rand::random();
+    rng.gen::<u64>() ^ stream.gen::<u64>() ^ jitter
+}
+
+// --- D1 + D4: hash state leaking iteration order --------------------------
+
+fn order_leaks() -> Vec<u64> {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(1, 2);
+    let seen: std::collections::HashSet<u64> = Default::default(); // detlint: allow(D1)
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    for v in seen.iter() {
+        out.push(*v);
+    }
+    let total: u64 = m.values().sum();
+    out.push(total);
+    out
+}
+
+// --- audited exceptions: reasoned pragmas become allowances ---------------
+
+// detlint: allow(D1) — audited: map is read only through a sorted key list
+fn audited_len(names: &HashMap<u64, u64>) -> usize {
+    names.len()
+}
+
+fn audited_sites() {
+    let _t = Instant::now(); // detlint: allow(D2) — audited: fixture stopwatch, result discarded
+    let _r = thread_rng(); // detlint: allow(D3) — audited: fixture only, never a delivery path
+    let _n = m.values().count(); // detlint: allow(D4) — audited: count() is order-insensitive
+}
+
+// --- negative case: an intervening sort discharges D4 ---------------------
+
+fn canonical_keys_are_fine() -> Vec<u64> {
+    let mut ks: Vec<u64> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+// detlint: forbid(D1) — not a verb the grammar knows

@@ -1,0 +1,65 @@
+//! CLI for the determinism linter.
+//!
+//! ```text
+//! cargo run -p detlint -- --workspace          # scan the whole tree
+//! cargo run -p detlint -- --root <dir>         # scan one directory
+//! cargo run -p detlint -- --workspace --json   # machine-readable report
+//! ```
+//!
+//! Exits 0 when the scan is clean, 1 when any unannotated violation was
+//! found, 2 on usage or I/O errors — so CI can gate on the exit code and
+//! the fixture run can assert non-zero.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => usage("--root requires a directory"),
+            },
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match (workspace, root) {
+        (true, None) => detlint::scan_workspace(&detlint::workspace_root()),
+        (false, Some(dir)) => detlint::scan_dir(&dir),
+        (true, Some(_)) => {
+            usage("--workspace and --root are mutually exclusive");
+            unreachable!()
+        }
+        (false, None) => {
+            usage("pass --workspace or --root <dir>");
+            unreachable!()
+        }
+    };
+
+    match report {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+            }
+            std::process::exit(if report.is_clean() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage(msg: &str) {
+    eprintln!("detlint: {msg}");
+    eprintln!("usage: detlint (--workspace | --root <dir>) [--json]");
+    std::process::exit(2);
+}

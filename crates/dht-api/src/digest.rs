@@ -1,0 +1,256 @@
+//! The runtime half of the determinism contract: a canonical digest over
+//! a full [`DriverReport`].
+//!
+//! The static rules (`cargo run -p detlint`) catch the *patterns* that
+//! break bitwise reproducibility; this digest catches whatever the rules
+//! miss. [`DigestReport::of`] folds every field of a report — the merged
+//! summaries, the scalar rates, and the complete per-epoch series with its
+//! churn and repair stats — into one 64-bit FNV-1a value, canonically:
+//! floats contribute their exact bit patterns ([`f64::to_bits`]), never a
+//! formatted approximation, so two digests are equal **iff** the reports
+//! are bitwise identical. The hasher-perturbation canary
+//! (`tests/hasher_perturbation.rs` at the workspace root) re-runs drivers
+//! on fresh OS threads (fresh `RandomState` hasher keys), under shuffled
+//! shard submission orders and different thread counts, and asserts digest
+//! equality across all of it.
+
+use crate::driver::{DriverReport, EpochSummary};
+
+/// FNV-1a offset basis (the same constants as [`crate::fnv1a`], restated
+/// here so the streaming form cannot drift from the one-shot helper).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A canonical 64-bit digest of a [`DriverReport`]: equal iff the reports
+/// are bitwise identical, field for field, epochs included.
+///
+/// Displays as 16 hex digits, so failures diff legibly:
+///
+/// ```
+/// use dht_api::{DigestReport, DriverReport};
+/// let report = DriverReport::default();
+/// let d = DigestReport::of(&report);
+/// assert_eq!(d, DigestReport::of(&report.clone()));
+/// assert_eq!(format!("{d}").len(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DigestReport(u64);
+
+impl DigestReport {
+    /// Digests every field of `report` in declaration order.
+    pub fn of(report: &DriverReport) -> DigestReport {
+        let mut h = Fnv::new();
+        h.bytes(report.scheme.as_bytes());
+        h.u64(report.queries as u64);
+        for s in [
+            &report.delay,
+            &report.latency,
+            &report.messages,
+            &report.dest_peers,
+            &report.mesg_ratio,
+            &report.incre_ratio,
+            &report.recall,
+        ] {
+            h.summary(s);
+        }
+        h.f64(report.exact_rate);
+        h.u64(report.results_returned);
+        h.u64(report.epochs.len() as u64);
+        for e in &report.epochs {
+            h.epoch(e);
+        }
+        DigestReport(h.state)
+    }
+
+    /// The raw digest value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for DigestReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Streaming FNV-1a over length-framed field encodings. Every value is
+/// folded as its full fixed-width little-endian encoding (floats via
+/// `to_bits`), so field boundaries cannot alias: the stream is injective
+/// over the report's field tuple up to hash collisions.
+struct Fnv {
+    state: u64,
+}
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv { state: FNV_OFFSET }
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        // Length-framed so "ab" + "c" never collides with "a" + "bc".
+        self.u64(bytes.len() as u64);
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    fn summary(&mut self, s: &simnet::Summary) {
+        self.u64(s.count as u64);
+        self.f64(s.mean);
+        self.f64(s.min);
+        self.f64(s.max);
+        self.f64(s.p50);
+        self.f64(s.p95);
+        self.f64(s.p99);
+        self.f64(s.stddev);
+    }
+
+    fn epoch(&mut self, e: &EpochSummary) {
+        self.u64(e.epoch as u64);
+        self.u64(e.peers as u64);
+        self.u64(e.churn.joins as u64);
+        self.u64(e.churn.leaves as u64);
+        self.u64(e.churn.crashes as u64);
+        self.u64(e.churn.skipped as u64);
+        self.bool(e.churn.stabilized);
+        self.u64(e.churn.stabilize_ops as u64);
+        self.u64(e.repair.placed as u64);
+        self.u64(e.repair.dropped as u64);
+        self.u64(e.repair.messages);
+        self.u64(e.repair.latency);
+        self.f64(e.delay_mean);
+        self.f64(e.latency_mean);
+        self.f64(e.exact_rate);
+        self.f64(e.recall_mean);
+        self.u64(e.results_returned);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChurnStats;
+
+    fn sample_report() -> DriverReport {
+        DriverReport {
+            scheme: "pira".to_string(),
+            queries: 60,
+            delay: simnet::Summary::from_samples([1.0, 2.0, 3.0]),
+            latency: simnet::Summary::from_samples([10.0, 20.0]),
+            messages: simnet::Summary::from_samples([5.0]),
+            dest_peers: simnet::Summary::from_samples([2.0, 2.0]),
+            mesg_ratio: simnet::Summary::from_samples([2.5]),
+            incre_ratio: simnet::Summary::from_samples([1.25]),
+            recall: simnet::Summary::from_samples([1.0, 1.0]),
+            exact_rate: 1.0,
+            results_returned: 123,
+            epochs: vec![EpochSummary {
+                epoch: 0,
+                peers: 100,
+                churn: ChurnStats { joins: 3, ..Default::default() },
+                repair: crate::ReplicaRepair { placed: 2, dropped: 1, messages: 3, latency: 9 },
+                delay_mean: 2.0,
+                latency_mean: 15.0,
+                exact_rate: 1.0,
+                recall_mean: 1.0,
+                results_returned: 60,
+            }],
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_across_clones() {
+        let r = sample_report();
+        assert_eq!(DigestReport::of(&r), DigestReport::of(&r.clone()));
+    }
+
+    #[test]
+    fn every_field_perturbs_the_digest() {
+        let base = DigestReport::of(&sample_report());
+        let variants: Vec<DriverReport> = vec![
+            {
+                let mut r = sample_report();
+                r.scheme = "pirb".to_string();
+                r
+            },
+            {
+                let mut r = sample_report();
+                r.queries += 1;
+                r
+            },
+            {
+                let mut r = sample_report();
+                r.delay.mean += 1e-12;
+                r
+            },
+            {
+                let mut r = sample_report();
+                r.exact_rate -= 1e-12;
+                r
+            },
+            {
+                let mut r = sample_report();
+                r.results_returned += 1;
+                r
+            },
+            {
+                let mut r = sample_report();
+                r.epochs[0].churn.stabilized = true;
+                r
+            },
+            {
+                let mut r = sample_report();
+                r.epochs[0].repair.latency += 1;
+                r
+            },
+            {
+                let mut r = sample_report();
+                r.epochs.clear();
+                r
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(DigestReport::of(v), base, "variant {i} did not move the digest");
+        }
+    }
+
+    #[test]
+    fn float_bit_patterns_matter_not_formatting() {
+        // -0.0 formats like 0.0 but is a different bit pattern; the digest
+        // must see the difference (that is the "canonical" in canonical
+        // hash — no round-trip through Display).
+        let mut a = sample_report();
+        let mut b = sample_report();
+        a.recall.min = 0.0;
+        b.recall.min = -0.0;
+        assert_ne!(DigestReport::of(&a), DigestReport::of(&b));
+    }
+
+    #[test]
+    fn swapping_epoch_order_changes_the_digest() {
+        let mut r = sample_report();
+        let mut e1 = r.epochs[0].clone();
+        e1.epoch = 1;
+        e1.peers = 97;
+        r.epochs.push(e1);
+        let forward = DigestReport::of(&r);
+        r.epochs.reverse();
+        assert_ne!(DigestReport::of(&r), forward);
+    }
+}

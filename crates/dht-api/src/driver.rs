@@ -21,7 +21,7 @@ pub struct QueryDriver {
 }
 
 /// Aggregated measurements over one driver run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DriverReport {
     /// Registry name of the measured scheme.
     pub scheme: String,
@@ -55,7 +55,7 @@ pub struct DriverReport {
 
 /// One epoch of an epoch-driven run: the churn applied just before it and
 /// the measurement series of its queries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct EpochSummary {
     /// Epoch index (0-based; epoch 0 queries the as-built network).
     pub epoch: usize,

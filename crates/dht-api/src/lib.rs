@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 
 mod churn;
+mod digest;
 mod driver;
 mod dynamics;
 mod parallel;
@@ -80,6 +81,7 @@ mod scheme;
 mod workload;
 
 pub use churn::{ChurnEvent, ChurnPlan, ChurnStats, CHURN_PLAN_NAMES};
+pub use digest::DigestReport;
 pub use driver::{DriverReport, EpochSummary, QueryDriver};
 pub use dynamics::{DynamicDht, DynamicScheme};
 pub use parallel::{default_threads, ParallelDriver};

@@ -84,13 +84,19 @@ pub struct ParallelDriver {
     pub seed: u64,
     /// Worker thread count (shards are contiguous index chunks).
     pub threads: usize,
+    /// Permutes the order shards are *submitted* to worker threads
+    /// (0 = natural order). Results always merge in shard-index order, so
+    /// the report is identical for every salt — the determinism canary
+    /// (`tests/hasher_perturbation.rs`) sweeps this to prove submission
+    /// order cannot leak into a report.
+    pub shard_salt: u64,
 }
 
 impl ParallelDriver {
     /// A driver for `queries` queries with seed 0 and
     /// [`default_threads`] workers.
     pub fn new(queries: usize) -> Self {
-        ParallelDriver { queries, seed: 0, threads: default_threads() }
+        ParallelDriver { queries, seed: 0, threads: default_threads(), shard_salt: 0 }
     }
 
     /// Sets the base seed.
@@ -106,6 +112,13 @@ impl ParallelDriver {
         self
     }
 
+    /// Sets the shard submission-order salt. The report is the same for
+    /// every value; only the order workers are handed their shards moves.
+    pub fn with_shard_salt(mut self, salt: u64) -> Self {
+        self.shard_salt = salt;
+        self
+    }
+
     /// The contiguous index shards the batch is cut into.
     fn shards(&self) -> Vec<std::ops::Range<usize>> {
         let threads = self.threads.clamp(1, self.queries.max(1));
@@ -117,26 +130,42 @@ impl ParallelDriver {
     }
 
     /// Runs one shard's worth of work and hands back its accumulator; the
-    /// closure maps a query index to an outcome.
+    /// closure maps a query index to an outcome. Shards are *submitted* in
+    /// [`shard_salt`](Self::shard_salt)-permuted order but their results
+    /// are re-placed by shard index before merging, so neither scheduling
+    /// nor submission order can reach the report.
     fn run_sharded<F>(&self, per_query: F) -> Result<Accumulator, SchemeError>
     where
         F: Fn(usize) -> Result<(crate::RangeOutcome, usize), SchemeError> + Sync,
     {
         let shards = self.shards();
-        let shard_results: Vec<Result<Accumulator, SchemeError>> = if shards.len() <= 1 {
-            shards.into_iter().map(|shard| run_shard(shard, &per_query)).collect()
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        if self.shard_salt != 0 {
+            order.sort_by_key(|&i| splitmix64(self.shard_salt ^ i as u64));
+        }
+        let mut shard_results: Vec<Option<Result<Accumulator, SchemeError>>> =
+            (0..shards.len()).map(|_| None).collect();
+        if shards.len() <= 1 {
+            for &i in &order {
+                shard_results[i] = Some(run_shard(shards[i].clone(), &per_query));
+            }
         } else {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .into_iter()
-                    .map(|shard| scope.spawn(|| run_shard(shard, &per_query)))
+                let handles: Vec<_> = order
+                    .iter()
+                    .map(|&i| {
+                        let shard = shards[i].clone();
+                        (i, scope.spawn(|| run_shard(shard, &per_query)))
+                    })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-        };
+                for (i, h) in handles {
+                    shard_results[i] = Some(h.join().expect("worker panicked"));
+                }
+            });
+        }
         let mut merged = Accumulator::default();
         for r in shard_results {
-            merged.merge(r?);
+            merged.merge(r.expect("every shard ran")?);
         }
         Ok(merged)
     }
@@ -298,6 +327,15 @@ impl ParallelDriver {
     }
 }
 
+/// SplitMix64 finalizer: the permutation key behind
+/// [`ParallelDriver::shard_salt`].
+fn splitmix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Executes one contiguous shard serially, in index order.
 fn run_shard<F>(shard: std::ops::Range<usize>, per_query: &F) -> Result<Accumulator, SchemeError>
 where
@@ -364,7 +402,7 @@ mod tests {
     #[test]
     fn shards_cover_exactly_once() {
         for (queries, threads) in [(100, 8), (7, 8), (8, 3), (1, 4), (0, 4), (64, 1)] {
-            let d = ParallelDriver { queries, seed: 0, threads };
+            let d = ParallelDriver { queries, seed: 0, threads, shard_salt: 0 };
             let mut seen = vec![0usize; queries];
             for shard in d.shards() {
                 for q in shard {
@@ -393,11 +431,26 @@ mod tests {
     }
 
     #[test]
+    fn shard_salt_permutes_submission_without_touching_the_report() {
+        let wl = WorkloadGen::named("mixed", (0.0, 1000.0)).unwrap();
+        let base = ParallelDriver::new(257).with_seed(99).with_threads(8);
+        let reference = base.run(&Synth, &wl).unwrap();
+        for salt in [1u64, 0x5eed, u64::MAX] {
+            let permuted = base.with_shard_salt(salt).run(&Synth, &wl).unwrap();
+            assert_eq!(
+                crate::DigestReport::of(&permuted),
+                crate::DigestReport::of(&reference),
+                "salt {salt:#x} leaked into the report"
+            );
+        }
+    }
+
+    #[test]
     fn per_query_seed_convention_matches_query_driver() {
         // results carry the scheme seed in Synth; with base seed 10 and 4
         // queries the batch must have used seeds 10..14.
         let wl = WorkloadGen::named("uniform", (0.0, 1000.0)).unwrap();
-        let d = ParallelDriver { queries: 4, seed: 10, threads: 2 };
+        let d = ParallelDriver { queries: 4, seed: 10, threads: 2, shard_salt: 0 };
         let report = d.run(&Synth, &wl).unwrap();
         // One result per query; sum of seeds 10+11+12+13 = 46 is invisible
         // through the report, but the count is exact.
@@ -450,7 +503,7 @@ mod tests {
         }
         let wl = WorkloadGen::named("uniform", (0.0, 10.0)).unwrap();
         // Failure lands in the last shard; the driver must still report it.
-        let d = ParallelDriver { queries: 40, seed: 0, threads: 4 };
+        let d = ParallelDriver { queries: 40, seed: 0, threads: 4, shard_salt: 0 };
         assert!(d.run(&FailAbove(35), &wl).is_err());
         assert!(d.run(&FailAbove(1000), &wl).is_ok());
     }

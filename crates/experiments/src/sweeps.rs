@@ -99,6 +99,7 @@ pub fn measure_point(
         queries: cfg.queries,
         seed: cfg.seed ^ 0x5eed ^ range_size.to_bits() ^ n as u64,
         threads: cfg.threads,
+        shard_salt: 0,
     };
     let reports = schemes
         .iter()

@@ -186,7 +186,7 @@ mod tests {
         let net = FissioneNet::build(cfg, 50, &mut rng).unwrap();
         assert_eq!(net.key_to_kautz(7), net.key_to_kautz(7));
         // Sequential keys spread across distinct owners reasonably often.
-        let owners: std::collections::HashSet<_> =
+        let owners: std::collections::BTreeSet<_> =
             (0..100u64).map(|k| net.owner_of_key(k)).collect();
         assert!(owners.len() > 25, "only {} distinct owners", owners.len());
     }

@@ -114,7 +114,7 @@ impl FissioneNet {
         if faults.is_crashed(from) {
             return Err(FissioneError::Unroutable);
         }
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = std::collections::BTreeSet::new();
         visited.insert(from);
         let mut stack = vec![from];
         let mut walk = vec![from];

@@ -43,7 +43,7 @@ pub use scheme::{register, DynamicPhtScheme, PhtScheme};
 
 use dht_api::Dht;
 use simnet::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default key width in bits (quantisation of the attribute domain).
 pub const DEFAULT_WIDTH: u32 = 16;
@@ -52,7 +52,7 @@ pub const DEFAULT_WIDTH: u32 = 16;
 pub const DEFAULT_LEAF_CAPACITY: usize = 4;
 
 /// A binary trie label: the first `len` bits of `bits` (MSB-first).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label {
     bits: u32,
     len: u32,
@@ -153,7 +153,7 @@ pub struct Pht<D: Dht> {
     domain_lo: f64,
     domain_hi: f64,
     net: simnet::NetModel,
-    nodes: HashMap<Label, Node>,
+    nodes: BTreeMap<Label, Node>,
 }
 
 impl<D: Dht> Pht<D> {
@@ -175,7 +175,7 @@ impl<D: Dht> Pht<D> {
         assert!(lo < hi, "empty attribute domain");
         assert!((1..=30).contains(&width), "width out of range");
         assert!(capacity >= 1, "leaf capacity must be positive");
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         nodes.insert(Label::ROOT, Node::Leaf(Vec::new()));
         Pht {
             dht,

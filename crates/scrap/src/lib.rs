@@ -95,8 +95,9 @@ pub struct ScrapNet {
     skip: SkipGraphNet,
     zspace: ZSpace,
     domains: Vec<(f64, f64)>,
-    /// Points by handle, for final rectangle filtering.
-    points: std::collections::HashMap<u64, Vec<f64>>,
+    /// Points by handle, for final rectangle filtering. BTreeMap so every
+    /// walk over the stored points runs in handle order.
+    points: std::collections::BTreeMap<u64, Vec<f64>>,
 }
 
 impl ScrapNet {
@@ -118,7 +119,7 @@ impl ScrapNet {
             skip,
             zspace,
             domains: domains.to_vec(),
-            points: std::collections::HashMap::new(),
+            points: std::collections::BTreeMap::new(),
         })
     }
 

@@ -30,7 +30,7 @@ pub struct SimStats {
 /// assert_eq!(s.max, 4.0);
 /// assert_eq!(s.count, 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,

@@ -104,9 +104,14 @@ impl SkipGraphNet {
         let mut neighbors = Vec::with_capacity(levels + 1);
         for level in 0..=levels {
             let mut nbr = vec![(None, None); n];
-            // Group by membership prefix.
-            let mut groups: std::collections::HashMap<Vec<bool>, Vec<NodeId>> =
-                std::collections::HashMap::new();
+            // Group by membership prefix. BTreeMap so the group walk below
+            // is prefix-ordered, never hasher-ordered — within a group the
+            // lists stay key-sorted because nodes arrive in key order, and
+            // groups are disjoint, so neighbor assignment is independent of
+            // group order; the deterministic walk makes that a non-issue
+            // rather than a proof obligation.
+            let mut groups: std::collections::BTreeMap<Vec<bool>, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
             for (node, bits) in membership.iter().enumerate() {
                 groups.entry(bits[..level].to_vec()).or_default().push(node);
                 // nodes iterated in key order ⇒ lists sorted
@@ -265,6 +270,27 @@ mod tests {
     fn build(n: usize, seed: u64) -> SkipGraphNet {
         let mut rng = simnet::rng_from_seed(seed);
         SkipGraphNet::build(n, 0.0, 1000.0, &mut rng)
+    }
+
+    #[test]
+    fn level_neighbors_are_hasher_and_run_independent() {
+        // Regression for the level-builder hazard this PR closes: the
+        // membership-prefix grouping used to live in a `HashMap`, so the
+        // `groups.values()` walk at level-assembly time ran in hasher
+        // order — a per-thread, per-instance random order. The grouping is
+        // now a `BTreeMap`; pin the contract by rebuilding from the same
+        // seed on fresh OS threads (each with fresh hasher-key state) and
+        // requiring the full neighbor structure to come out identical.
+        let reference = build(120, 7);
+        for round in 0..3 {
+            let rebuilt =
+                std::thread::spawn(move || build(120, 7)).join().expect("build thread panicked");
+            assert_eq!(
+                rebuilt.neighbors, reference.neighbors,
+                "round {round}: level lists drifted"
+            );
+            assert_eq!(rebuilt.keys, reference.keys, "round {round}: keys drifted");
+        }
     }
 
     #[test]

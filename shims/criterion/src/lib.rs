@@ -62,6 +62,10 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `routine`, first warming up briefly, then measuring.
+    // Wall-clock is this shim's whole job (real criterion's stopwatch is
+    // wall-clock too); it never runs on a simulation or report path, and
+    // detlint excludes `shims/` for the same reason.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: run until ~50ms or 10 iterations, whichever first.
         let warm_start = Instant::now();

@@ -65,7 +65,7 @@ fn threads_1_and_8_merge_identically_across_schemes_and_workloads() {
 
         for wl_name in ["uniform", "zipf-hot", "clustered", "wide-scan", "mixed"] {
             let workload = WorkloadGen::named(wl_name, DOMAIN).unwrap();
-            let driver = ParallelDriver { queries: 60, seed: 7, threads: 1 };
+            let driver = ParallelDriver { queries: 60, seed: 7, threads: 1, shard_salt: 0 };
             let serial = driver.run(scheme.as_ref(), &workload).unwrap();
             let sharded = driver.with_threads(8).run(scheme.as_ref(), &workload).unwrap();
             assert_reports_identical(&serial, &sharded, &format!("{scheme_name}/{wl_name}"));
@@ -99,7 +99,7 @@ fn epoch_mode_reports_are_identical_across_thread_counts_for_every_plan() {
     for scheme_name in ["pira", "dcf-can"] {
         for plan_name in CHURN_PLAN_NAMES {
             let plan = ChurnPlan::named(plan_name).unwrap().with_rate(6);
-            let driver = ParallelDriver { queries: 30, seed: 11, threads: 1 };
+            let driver = ParallelDriver { queries: 30, seed: 11, threads: 1, shard_salt: 0 };
             let mut serial_scheme = fresh_scheme(scheme_name);
             let serial = driver.run_epochs(serial_scheme.as_mut(), &workload, &plan, 4).unwrap();
             for threads in [3, 8] {
@@ -134,7 +134,7 @@ fn replicated_epoch_reports_are_identical_across_thread_counts() {
     for scheme_name in ["pira+r3", "dcf-can+ns2"] {
         for plan_name in ["massacre", "steady-churn"] {
             let plan = ChurnPlan::named(plan_name).unwrap().with_rate(6);
-            let driver = ParallelDriver { queries: 30, seed: 11, threads: 1 };
+            let driver = ParallelDriver { queries: 30, seed: 11, threads: 1, shard_salt: 0 };
             let mut serial_scheme = fresh_scheme(scheme_name);
             let serial = driver.run_epochs(serial_scheme.as_mut(), &workload, &plan, 4).unwrap();
             for threads in [3, 8] {
@@ -177,7 +177,7 @@ fn latency_reports_are_thread_count_invariant_under_every_net_model() {
                 scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).unwrap();
             }
             let workload = WorkloadGen::named("mixed", DOMAIN).unwrap();
-            let driver = ParallelDriver { queries: 48, seed: 5, threads: 1 };
+            let driver = ParallelDriver { queries: 48, seed: 5, threads: 1, shard_salt: 0 };
             let serial = driver.run(scheme.as_ref(), &workload).unwrap();
             for threads in [3, 8] {
                 let sharded = driver.with_threads(threads).run(scheme.as_ref(), &workload).unwrap();
@@ -216,7 +216,7 @@ fn rect_driver_is_thread_count_invariant_too() {
     }
     for wl_name in ["rect-correlated", "mixed", "uniform"] {
         let workload = WorkloadGen::named(wl_name, (0.0, 100.0)).unwrap();
-        let driver = ParallelDriver { queries: 40, seed: 3, threads: 1 };
+        let driver = ParallelDriver { queries: 40, seed: 3, threads: 1, shard_salt: 0 };
         let serial = driver.run_multi(scheme.as_ref(), &domains, &workload).unwrap();
         let sharded =
             driver.with_threads(8).run_multi(scheme.as_ref(), &domains, &workload).unwrap();
