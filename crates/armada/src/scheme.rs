@@ -175,6 +175,11 @@ impl RangeScheme for PiraScheme {
         if lo > hi {
             return Err(SchemeError::EmptyRange { lo, hi });
         }
+        // A plan crashing a peer outside the id space would silently be a
+        // no-op (nothing routes to it); reject it instead.
+        if let Some(node) = faults.first_out_of_range(self.node_count()) {
+            return Err(SchemeError::FaultPlanOutOfRange { node, n: self.node_count() });
+        }
         let out = self.inner.pira_query_with_faults(origin, lo, hi, seed, faults)?;
         Ok(remap(out, &self.handles))
     }
@@ -575,6 +580,23 @@ mod tests {
         let a = scheme.range_query(origin, 100.0, 400.0, 1).unwrap();
         let b = scheme.range_query_with_faults(origin, 100.0, 400.0, 1, &faults).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_fault_plans_are_rejected_not_ignored() {
+        // Regression: a plan crashing peer ≥ N used to be a silent no-op.
+        let mut rng = simnet::rng_from_seed(808);
+        let scheme = PiraScheme::build(&params(80), &mut rng).unwrap();
+        let mut faults = FaultPlan::new();
+        faults.crash(scheme.node_count() + 5);
+        let origin = scheme.random_origin(&mut rng);
+        let err = scheme.range_query_with_faults(origin, 1.0, 2.0, 0, &faults).unwrap_err();
+        assert!(matches!(err, SchemeError::FaultPlanOutOfRange { .. }), "{err}");
+        assert!(err.to_string().contains("80"));
+        // In-range plans still run.
+        let mut ok = FaultPlan::new();
+        ok.crash(scheme.node_count() - 1);
+        assert!(scheme.range_query_with_faults(origin, 1.0, 2.0, 0, &ok).is_ok());
     }
 
     #[test]

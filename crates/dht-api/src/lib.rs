@@ -42,6 +42,13 @@
 //!   [`ReplicaRouting`], answering range queries from any live replica
 //!   mid-churn and re-replicating after membership events
 //!   ([`ReplicationControl`]), with repair traffic reported per epoch.
+//! * [`RetryPolicy`] / [`Hostile`] — the hostile-network layer: named
+//!   fault plans (per-edge loss, partitions, rate limits — see
+//!   [`simnet::FaultPlan`]) and seeded retry/timeout policies composable
+//!   over any scheme via `"pira@lossy-p/r2"`-style registry suffixes,
+//!   every verdict a pure hash so faulted reports stay bitwise
+//!   thread-count-invariant; epoch drivers advance partition epochs
+//!   through [`HostileControl`].
 //!
 //! # Metric vocabulary (§4.3.3 of the paper)
 //!
@@ -74,6 +81,7 @@ mod churn;
 mod digest;
 mod driver;
 mod dynamics;
+mod hostile;
 mod parallel;
 mod registry;
 mod replication;
@@ -84,6 +92,7 @@ pub use churn::{ChurnEvent, ChurnPlan, ChurnStats, CHURN_PLAN_NAMES};
 pub use digest::DigestReport;
 pub use driver::{DriverReport, EpochSummary, QueryDriver};
 pub use dynamics::{DynamicDht, DynamicScheme};
+pub use hostile::{Hostile, HostileControl, RetryPolicy};
 pub use parallel::{default_threads, ParallelDriver};
 pub use registry::{BuildParams, MultiBuildParams, MultiBuilder, SchemeRegistry, SingleBuilder};
 pub use replication::{
@@ -98,8 +107,10 @@ pub use workload::{WorkloadGen, WorkloadKind, WORKLOAD_NAMES};
 // cannot depend on this crate), but it is part of this crate's query
 // contract: `BuildParams::net` selects it, every scheme accumulates its
 // edge costs into `RangeOutcome::latency`, and registry names accept
-// `"pira@wan"`-style suffixes.
-pub use simnet::{NetModel, NetModelKind, NET_MODEL_NAMES};
+// `"pira@wan"`-style suffixes. The hostile fault catalog re-exports for
+// the same reason: registry names accept `"pira@lossy-p/r2"`-style
+// suffixes resolved against `FaultPlan::named_hostile`.
+pub use simnet::{NetModel, NetModelKind, HOSTILE_PLAN_NAMES, NET_MODEL_NAMES};
 
 use rand::rngs::SmallRng;
 use simnet::NodeId;

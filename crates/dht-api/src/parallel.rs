@@ -277,6 +277,13 @@ impl ParallelDriver {
         let mut pending_churn = ChurnStats::default();
         let mut pending_repair = crate::ReplicaRepair::default();
         for epoch in 0..epochs {
+            // Hostile-wrapped schemes observe the epoch through their
+            // fault plan (partition open/heal schedules). Advanced here,
+            // serially, before the sharded batch: the epoch a query sees
+            // is a pure function of its global index.
+            if let Some(hostile) = scheme.as_hostile() {
+                hostile.set_epoch(epoch as u64);
+            }
             let n_peers = scheme.node_count();
             let base = epoch * self.queries;
             let acc = {

@@ -5,10 +5,11 @@
 //! `register(&mut SchemeRegistry)` function, and
 //! `armada_experiments::standard_registry()` assembles the full set.
 
+use crate::hostile::{parse_hostile_spec, Hostile, RetryPolicy};
 use crate::replication::{ReplicaPolicy, Replicated};
 use crate::scheme::{MultiRangeScheme, RangeScheme, SchemeError};
 use rand::rngs::SmallRng;
-use simnet::NetModel;
+use simnet::{FaultPlan, NetModel};
 use std::collections::BTreeMap;
 
 /// Construction parameters for a single-attribute scheme.
@@ -31,6 +32,11 @@ pub struct BuildParams {
     /// field. Hop metrics are model-invariant by construction; only
     /// [`RangeOutcome::latency`](crate::RangeOutcome) moves.
     pub net: NetModel,
+    /// Default retry policy a hostile-wrapped build uses when its `@plan`
+    /// suffix carries no `/rN` override ([`RetryPolicy::none`] by
+    /// default — one attempt, no waits). Ignored unless the name carries
+    /// a hostile suffix.
+    pub retry: RetryPolicy,
 }
 
 impl BuildParams {
@@ -42,6 +48,7 @@ impl BuildParams {
             object_id_len: 100,
             replication: ReplicaPolicy::none(),
             net: NetModel::unit(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -60,6 +67,12 @@ impl BuildParams {
     /// Sets the network cost model built schemes price their edges with.
     pub fn with_net(mut self, net: NetModel) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Sets the default retry policy for hostile-wrapped builds.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -98,6 +111,7 @@ impl MultiBuildParams {
 
 /// Splits an optional `@net` suffix off a registry name (`"pira@wan"` ⇒
 /// `("pira", Some(wan))`), resolving it against the [`NetModel`] catalog.
+/// Used by the multi-attribute path, which accepts net suffixes only.
 fn split_net_suffix(name: &str) -> Result<(&str, Option<NetModel>), SchemeError> {
     match name.rsplit_once('@') {
         None => Ok((name, None)),
@@ -107,6 +121,38 @@ fn split_net_suffix(name: &str) -> Result<(&str, Option<NetModel>), SchemeError>
             Ok((base, Some(model)))
         }
     }
+}
+
+/// The `@` suffixes parsed off a single-attribute registry name: an
+/// optional net model and an optional hostile `plan[/rN]` spec.
+struct ParsedSuffixes {
+    net: Option<NetModel>,
+    hostile: Option<(FaultPlan, Option<RetryPolicy>, String)>,
+}
+
+/// Splits every `@` suffix off a single-attribute registry name
+/// (`"pira+r3@wan@lossy-p/r2"` ⇒ base `"pira+r3"`, net `wan`, hostile
+/// `lossy-p` with a 2-attempt retry override). Each suffix resolves first
+/// against the [`NetModel`] catalog, then as a hostile spec; when both
+/// categories repeat, the rightmost spelling wins.
+fn split_suffixes(name: &str) -> Result<(&str, ParsedSuffixes), SchemeError> {
+    let mut parts = name.split('@');
+    let base = parts.next().expect("split yields at least one part");
+    let mut parsed = ParsedSuffixes { net: None, hostile: None };
+    for s in parts {
+        if let Some(net) = NetModel::named(s) {
+            parsed.net = Some(net);
+        } else if let Some((plan, retry)) = parse_hostile_spec(s) {
+            parsed.hostile = Some((plan, retry, s.to_string()));
+        } else if s.contains('/') || s.starts_with("lossy-") || s.starts_with("island-") {
+            // Clearly hostile-shaped but unparseable: name the right
+            // catalog in the error.
+            return Err(SchemeError::UnknownHostilePlan { name: s.to_string() });
+        } else {
+            return Err(SchemeError::UnknownNetModel { name: s.to_string() });
+        }
+    }
+    Ok((base, parsed))
 }
 
 /// Builder closure for a single-attribute scheme.
@@ -217,19 +263,22 @@ impl SchemeRegistry {
         params: &BuildParams,
         rng: &mut SmallRng,
     ) -> Result<Box<dyn RangeScheme>, SchemeError> {
-        // `"pira+r3@wan"`-style names select a replica policy and/or a net
-        // model inline; each suffix takes precedence over its params field.
-        let (name_sans_net, suffix_net) = split_net_suffix(name)?;
-        let (base, suffix_policy) = match name_sans_net.split_once('+') {
+        // `"pira+r3@wan@lossy-p/r2"`-style names select a replica policy,
+        // a net model, and/or a hostile fault plan inline; each suffix
+        // takes precedence over its params field. Composition order is
+        // fixed: scheme, then replication, then the hostile wrapper
+        // outermost (retries see replica-served answers).
+        let (name_sans_suffix, suffixes) = split_suffixes(name)?;
+        let (base, suffix_policy) = match name_sans_suffix.split_once('+') {
             Some((base, suffix)) => (base, Some(ReplicaPolicy::named(suffix)?)),
-            None => (name_sans_net, None),
+            None => (name_sans_suffix, None),
         };
         let builder = self
             .single
             .get(base)
             .ok_or_else(|| SchemeError::UnknownScheme { name: name.to_string(), kind: "single" })?;
         let overridden;
-        let effective = match suffix_net {
+        let effective = match suffixes.net {
             Some(net) => {
                 overridden = params.clone().with_net(net);
                 &overridden
@@ -238,10 +287,15 @@ impl SchemeRegistry {
         };
         let inner = builder(effective, rng)?;
         let policy = suffix_policy.unwrap_or_else(|| params.replication.clone());
-        if policy.is_none() {
-            return Ok(inner);
+        let scheme: Box<dyn RangeScheme> =
+            if policy.is_none() { inner } else { Box::new(Replicated::new(inner, policy)?) };
+        match suffixes.hostile {
+            None => Ok(scheme),
+            Some((plan, retry, spec)) => {
+                let retry = retry.unwrap_or(effective.retry);
+                Ok(Box::new(Hostile::new(scheme, plan, retry, effective.net, spec)?))
+            }
         }
-        Ok(Box::new(Replicated::new(inner, policy)?))
     }
 
     /// Builds the multi-attribute scheme registered under `name`.
@@ -446,6 +500,61 @@ mod tests {
         let p = BuildParams::new(8, 0.0, 10.0).with_net(simnet::NetModel::wan());
         assert_eq!(p.net, simnet::NetModel::wan());
         assert_eq!(BuildParams::new(8, 0.0, 10.0).net, simnet::NetModel::unit());
+    }
+
+    #[test]
+    fn hostile_suffixes_wrap_and_compose() {
+        let reg = toy_registry();
+        let mut rng = simnet::rng_from_seed(1);
+        let params = BuildParams::new(8, 0.0, 10.0);
+        // A hostile suffix wraps; the substrate is annotated.
+        let scheme = reg.build_single("local-scan@lossy-p", &params, &mut rng).unwrap();
+        assert_eq!(scheme.scheme_name(), "local-scan");
+        assert!(scheme.substrate().contains("lossy-p"), "{}", scheme.substrate());
+        // Retry spellings parse; composition with net suffixes works in
+        // either order, and the parameterized plan spellings parse too.
+        for name in [
+            "local-scan@lossy-p/r2",
+            "local-scan@wan@split-brain",
+            "local-scan@bursty@cluster",
+            "local-scan@lossy-25/r3",
+            "local-scan@island-4",
+            "local-scan@throttle",
+        ] {
+            assert!(reg.build_single(name, &params, &mut rng).is_ok(), "{name}");
+        }
+        // Unknown hostile-shaped suffixes name the hostile catalog;
+        // plain unknown suffixes still fail as net models.
+        let err =
+            reg.build_single("local-scan@lossy-p/r0", &params, &mut rng).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SchemeError::UnknownHostilePlan { .. }), "{err}");
+        let err =
+            reg.build_single("local-scan@island-1", &params, &mut rng).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SchemeError::UnknownHostilePlan { .. }), "{err}");
+        let err = reg.build_single("local-scan@dialup", &params, &mut rng).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SchemeError::UnknownNetModel { .. }), "{err}");
+        // The hostile wrapper sits outermost over replication refusals:
+        // the replica error still surfaces.
+        let err =
+            reg.build_single("local-scan+r2@lossy-p", &params, &mut rng).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SchemeError::Unsupported { feature: "replication", .. }), "{err}");
+    }
+
+    #[test]
+    fn params_retry_is_the_default_for_suffixes_without_override() {
+        let reg = toy_registry();
+        let mut rng = simnet::rng_from_seed(1);
+        let params = BuildParams::new(8, 0.0, 10.0).with_retry(RetryPolicy::with_attempts(3));
+        assert_eq!(params.retry.attempts, 3);
+        // No hostile suffix: retry field is inert, no wrapper.
+        let plain = reg.build_single("local-scan", &params, &mut rng).unwrap();
+        assert!(!plain.substrate().contains("hostile"));
+        // With a suffix, the field supplies the default attempts; the
+        // control surface confirms what was wired.
+        let mut wrapped = reg.build_single("local-scan@lossy-p", &params, &mut rng).unwrap();
+        assert_eq!(wrapped.as_hostile().unwrap().retry_policy().attempts, 3);
+        let mut overridden = reg.build_single("local-scan@lossy-p/r2", &params, &mut rng).unwrap();
+        assert_eq!(overridden.as_hostile().unwrap().retry_policy().attempts, 2);
     }
 
     #[test]

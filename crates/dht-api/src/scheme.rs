@@ -164,6 +164,22 @@ pub enum SchemeError {
         /// The name looked up.
         name: String,
     },
+    /// No hostile fault plan parses from the name (see
+    /// [`HOSTILE_PLAN_NAMES`](crate::HOSTILE_PLAN_NAMES) and the `plan/rN`
+    /// retry-suffix grammar).
+    UnknownHostilePlan {
+        /// The name looked up.
+        name: String,
+    },
+    /// A fault plan names a peer outside the scheme's id space — rejected
+    /// instead of silently ignored, so a typo'd crash list cannot pass as
+    /// a fault-free run.
+    FaultPlanOutOfRange {
+        /// The smallest offending node id.
+        node: NodeId,
+        /// The scheme's peer count (valid ids are `0..n`).
+        n: usize,
+    },
     /// The scheme does not support the requested capability (e.g. dynamics
     /// on a scheme whose substrate has no churn primitives).
     Unsupported {
@@ -207,6 +223,17 @@ impl std::fmt::Display for SchemeError {
                     "no net model named {name:?} (catalog: {})",
                     simnet::NET_MODEL_NAMES.join(", ")
                 )
+            }
+            SchemeError::UnknownHostilePlan { name } => {
+                write!(
+                    f,
+                    "no hostile fault plan named {name:?} (catalog: {}; \
+                     parameterized lossy-N / island-K; retry suffix /rN)",
+                    simnet::HOSTILE_PLAN_NAMES.join(", ")
+                )
+            }
+            SchemeError::FaultPlanOutOfRange { node, n } => {
+                write!(f, "fault plan names peer {node} but the scheme has {n} peers (0..{n})")
             }
             SchemeError::Unsupported { scheme, feature } => {
                 write!(f, "scheme {scheme:?} does not support {feature}")
@@ -332,10 +359,11 @@ pub trait RangeScheme: Send + Sync {
     }
 
     /// Executes a range query under a fault plan (message drops, crashed
-    /// responders). Schemes whose native engine models per-query faults
-    /// (PIRA, DCF-CAN) override this; the default answers fault-free plans
-    /// via [`range_query`](Self::range_query) and refuses real fault
-    /// injection honestly.
+    /// responders, hostile loss/partition/rate-limit families). Schemes
+    /// whose native engine models per-query faults (PIRA, DCF-CAN)
+    /// override this; the default answers fault-free plans via
+    /// [`range_query`](Self::range_query) and refuses real fault injection
+    /// honestly.
     ///
     /// # Errors
     ///
@@ -350,7 +378,7 @@ pub trait RangeScheme: Send + Sync {
         seed: u64,
         faults: &simnet::FaultPlan,
     ) -> Result<RangeOutcome, SchemeError> {
-        if faults.drop_prob() == 0.0 && faults.crashed_count() == 0 {
+        if faults.is_fault_free() {
             return self.range_query(origin, lo, hi, seed);
         }
         Err(SchemeError::Unsupported {
@@ -381,6 +409,15 @@ pub trait RangeScheme: Send + Sync {
     /// [`re_replicate`](crate::ReplicationControl::re_replicate) after
     /// membership events and report the repair traffic per epoch.
     fn as_replicated(&mut self) -> Option<&mut dyn crate::ReplicationControl> {
+        None
+    }
+
+    /// The scheme's hostile-network control surface: `Some` only on the
+    /// [`Hostile`](crate::Hostile) wrapper. Epoch drivers use it to advance
+    /// the wrapped fault plan's partition epoch between query epochs —
+    /// serially, between the sharded batches, so the epoch a query sees is
+    /// a pure function of its global index.
+    fn as_hostile(&mut self) -> Option<&mut dyn crate::HostileControl> {
         None
     }
 }

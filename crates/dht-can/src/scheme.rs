@@ -180,6 +180,11 @@ impl RangeScheme for DcfScheme {
         seed: u64,
         faults: &FaultPlan,
     ) -> Result<RangeOutcome, SchemeError> {
+        // A plan crashing a zone outside the id space would silently be a
+        // no-op (no message ever reaches it); reject it instead.
+        if let Some(node) = faults.first_out_of_range(self.node_count()) {
+            return Err(SchemeError::FaultPlanOutOfRange { node, n: self.node_count() });
+        }
         let out = dcf::range_query_priced(
             &self.net,
             origin,
@@ -366,6 +371,23 @@ mod tests {
             assert_eq!(out.results, expect, "post-churn query [{lo}, {hi}]");
             assert!(out.exact);
         }
+    }
+
+    #[test]
+    fn out_of_range_fault_plans_are_rejected_not_ignored() {
+        // Regression: a plan crashing zone ≥ N used to be a silent no-op.
+        let mut rng = simnet::rng_from_seed(904);
+        let scheme =
+            DcfScheme::build(&BuildParams::new(50, 0.0, 100.0), FloodMode::Directed, &mut rng)
+                .unwrap();
+        let mut faults = FaultPlan::new();
+        faults.crash(scheme.node_count());
+        let err = scheme.range_query_with_faults(0, 1.0, 2.0, 0, &faults).unwrap_err();
+        assert!(matches!(err, SchemeError::FaultPlanOutOfRange { .. }), "{err}");
+        // In-range plans still run.
+        let mut ok = FaultPlan::new();
+        ok.crash(scheme.node_count() - 1);
+        assert!(scheme.range_query_with_faults(0, 1.0, 2.0, 0, &ok).is_ok());
     }
 
     #[test]

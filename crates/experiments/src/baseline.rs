@@ -31,7 +31,14 @@
 //! columns show the virtual-millisecond cost surface — plus `delay_p95`
 //! and `latency_mean` columns on the existing grids (whose v3 metric
 //! values are unchanged: under the default `unit` model the cost layer is
-//! an observer, never an actor).
+//! an observer, never an actor). Schema v5 adds a **hostile section**:
+//! every dynamic scheme re-run epoch-driven (frozen membership) under a
+//! catalog of hostile-network specs (`lossy-p`, `lossy-p/r3`,
+//! `split-brain`, `throttle` — see [`simnet::FaultPlan::named_hostile`]),
+//! so the artifact pins recall under loss, the retry premium, the
+//! partition timeline, and rate-limit latency pricing. Every v4 metric is
+//! unchanged: the hostile grid builds *additional* suffixed schemes and
+//! touches none of the existing cells.
 
 use crate::output::Table;
 use crate::{dynamic_single_names, standard_registry};
@@ -47,7 +54,12 @@ use std::time::Instant; // detlint: allow(D2) — qps stopwatch import; every re
 /// The schema tag written to (and expected in) `BENCH_baseline.json` —
 /// bumped whenever the JSON shape changes, and pinned by the CI
 /// bench-schema smoke job (`bench_baseline --quick --check-schema`).
-pub const SCHEMA_VERSION: &str = "bench-baseline-v4";
+pub const SCHEMA_VERSION: &str = "bench-baseline-v5";
+
+/// Hostile-network specs measured in the hostile section: loss alone, the
+/// same loss with a 3-attempt retry budget, the two-island partition, and
+/// the token-bucket rate limit.
+pub const HOSTILE_SPECS: [&str; 4] = ["lossy-p", "lossy-p/r3", "split-brain", "throttle"];
 
 /// Single-attribute workloads measured in the baseline grid.
 pub const SINGLE_WORKLOADS: [&str; 5] = ["uniform", "zipf-hot", "clustered", "wide-scan", "mixed"];
@@ -77,6 +89,9 @@ pub struct BaselineConfig {
     /// Net models measured in the latency section (the `unit` row is the
     /// hop-metric cross-check against the fault-free grid).
     pub net_models: Vec<String>,
+    /// Hostile-network specs measured in the hostile section
+    /// (`plan[/rN]` registry-suffix spellings).
+    pub hostile_specs: Vec<String>,
 }
 
 impl BaselineConfig {
@@ -92,6 +107,7 @@ impl BaselineConfig {
             churn_epochs: 4,
             replication_factors: vec![1, 3],
             net_models: NET_MODEL_NAMES.iter().map(|s| s.to_string()).collect(),
+            hostile_specs: HOSTILE_SPECS.iter().map(|s| s.to_string()).collect(),
         }
     }
 
@@ -168,6 +184,20 @@ pub struct ReplicationBaselineRow {
     pub final_peers: usize,
 }
 
+/// One measured cell of the dynamic-scheme × hostile-spec grid.
+#[derive(Debug, Clone)]
+pub struct HostileBaselineRow {
+    /// Registry name of the base scheme (no suffixes).
+    pub scheme: String,
+    /// Hostile spec suffix (`plan[/rN]`) the scheme ran under.
+    pub spec: String,
+    /// Wall-clock throughput, queries per second (hardware-dependent).
+    pub qps: f64,
+    /// The merged epoch-driven report (per-epoch series included — the
+    /// partition specs' recall timeline lives there).
+    pub report: DriverReport,
+}
+
 /// A complete baseline run: configuration plus the measured grids.
 #[derive(Debug, Clone)]
 pub struct BaselineReport {
@@ -184,6 +214,9 @@ pub struct BaselineReport {
     /// One row per (dynamic scheme, churn plan, replication factor) cell —
     /// the same churn grid behind the replication layer.
     pub replication_rows: Vec<ReplicationBaselineRow>,
+    /// One row per (dynamic scheme, hostile spec) cell — frozen membership
+    /// under the hostile-network layer.
+    pub hostile_rows: Vec<HostileBaselineRow>,
 }
 
 /// Runs the full grid: every registered single-attribute scheme ×
@@ -371,7 +404,59 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
         }
     }
 
-    BaselineReport { config: cfg.clone(), rows, latency_rows, churn_rows, replication_rows }
+    // Hostile section: every dynamic scheme under every configured
+    // hostile spec, epoch-driven with a frozen membership (rate-0 plan) so
+    // partition specs traverse their open/heal schedule while loss and
+    // rate-limit specs simply answer every epoch under fire. The build
+    // RNG is seeded by the *base* name — the same network the churn
+    // section measures, so recall deltas are attributable to the faults.
+    let mut hostile_rows = Vec::new();
+    let frozen = ChurnPlan::named("steady-churn").expect("cataloged").with_rate(0);
+    for name in dynamic_single_names() {
+        for spec in &cfg.hostile_specs {
+            let full = format!("{name}@{spec}");
+            let params =
+                BuildParams::new(cfg.n, domain.0, domain.1).with_object_id_len(cfg.object_id_len);
+            let mut rng = simnet::rng_from_seed(cfg.seed ^ dht_api::fnv1a(name.as_bytes()));
+            let mut scheme =
+                registry.build_single(&full, &params, &mut rng).expect("scheme builds");
+            for h in 0..cfg.n as u64 {
+                scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+            }
+            // One driver seed for the whole section: every spec answers
+            // the *same* queries, so recall/message deltas across specs
+            // (the retry premium, the partition dip) are attributable to
+            // the faults alone.
+            let driver = ParallelDriver {
+                queries: epoch_queries,
+                seed: cfg.seed ^ dht_api::fnv1a(b"hostile"),
+                threads: cfg.threads,
+                shard_salt: 0,
+            };
+            #[allow(clippy::disallowed_methods)]
+            let start = Instant::now(); // detlint: allow(D2) — qps stopwatch
+            let report = driver
+                .run_epochs(scheme.as_mut(), &churn_workload(domain), &frozen, cfg.churn_epochs)
+                .expect("hostile queries degrade, never error");
+            let total_queries = epoch_queries * cfg.churn_epochs;
+            let qps = total_queries as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            hostile_rows.push(HostileBaselineRow {
+                scheme: name.clone(),
+                spec: spec.clone(),
+                qps,
+                report,
+            });
+        }
+    }
+
+    BaselineReport {
+        config: cfg.clone(),
+        rows,
+        latency_rows,
+        churn_rows,
+        replication_rows,
+        hostile_rows,
+    }
 }
 
 /// The workload the churn section drives (the paper's uniform mix keeps
@@ -462,6 +547,21 @@ impl BaselineReport {
                 format!("{:.2}", r.report.exact_rate),
             ]);
         }
+        for r in &self.hostile_rows {
+            t.push_row(vec![
+                format!("{}@{}", r.scheme, r.spec),
+                "hostile".to_string(),
+                "uniform".to_string(),
+                format!("{:.0}", r.qps),
+                format!("{:.2}", r.report.delay.mean),
+                format!("{:.1}", r.report.delay.p95),
+                format!("{:.1}", r.report.delay.p99),
+                format!("{:.2}", r.report.latency.mean),
+                format!("{:.1}", r.report.messages.mean),
+                format!("{:.2}", r.report.mesg_ratio.mean),
+                format!("{:.2}", r.report.exact_rate),
+            ]);
+        }
         t
     }
 
@@ -477,19 +577,22 @@ impl BaselineReport {
         // baselines (everything else is a pure function of the seed).
         let factors: Vec<String> = c.replication_factors.iter().map(usize::to_string).collect();
         let nets: Vec<String> = c.net_models.iter().map(|m| format!("\"{m}\"")).collect();
+        let hostile: Vec<String> = c.hostile_specs.iter().map(|m| format!("\"{m}\"")).collect();
         let _ = writeln!(s, "{{");
         let _ = writeln!(s, "  \"schema\": \"{SCHEMA_VERSION}\",");
         let _ = writeln!(
             s,
             "  \"config\": {{ \"n\": {}, \"queries\": {}, \"seed\": {}, \"object_id_len\": {}, \
-             \"churn_epochs\": {}, \"replication_factors\": [{}], \"net_models\": [{}] }},",
+             \"churn_epochs\": {}, \"replication_factors\": [{}], \"net_models\": [{}], \
+             \"hostile_specs\": [{}] }},",
             c.n,
             c.queries,
             c.seed,
             c.object_id_len,
             c.churn_epochs,
             factors.join(", "),
-            nets.join(", ")
+            nets.join(", "),
+            hostile.join(", ")
         );
         let _ = writeln!(s, "  \"results\": [");
         for (i, r) in self.rows.iter().enumerate() {
@@ -606,6 +709,33 @@ impl BaselineReport {
                 r.repair_placed,
                 r.repair_messages,
                 r.final_peers,
+                epochs.join(", "),
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"hostile\": [");
+        for (i, r) in self.hostile_rows.iter().enumerate() {
+            let comma = if i + 1 < self.hostile_rows.len() { "," } else { "" };
+            let epochs: Vec<String> = r.report.epochs.iter().map(epoch_json).collect();
+            let _ = writeln!(
+                s,
+                "    {{ \"scheme\": \"{}\", \"spec\": \"{}\", \"qps\": {}, \
+                 \"delay_mean\": {}, \"delay_p95\": {}, \"delay_p99\": {}, \
+                 \"latency_mean\": {}, \"messages_mean\": {}, \
+                 \"mesg_ratio_mean\": {}, \"recall_mean\": {}, \"exact_rate\": {}, \
+                 \"results_returned\": {}, \"epochs\": [{}] }}{comma}",
+                r.scheme,
+                r.spec,
+                json_f64(r.qps),
+                json_f64(r.report.delay.mean),
+                json_f64(r.report.delay.p95),
+                json_f64(r.report.delay.p99),
+                json_f64(r.report.latency.mean),
+                json_f64(r.report.messages.mean),
+                json_f64(r.report.mesg_ratio.mean),
+                json_f64(r.report.recall.mean),
+                json_f64(r.report.exact_rate),
+                r.report.results_returned,
                 epochs.join(", "),
             );
         }
@@ -769,6 +899,39 @@ mod tests {
             assert_eq!(r1.report.results_returned, c.report.results_returned);
             assert_eq!(r1.final_peers, c.final_peers);
         }
+        // Hostile section: every dynamic scheme × every configured spec.
+        let specs = &report.config.hostile_specs;
+        assert_eq!(report.hostile_rows.len(), dynamic.len() * specs.len());
+        for r in &report.hostile_rows {
+            assert!(r.qps > 0.0, "{}@{} qps", r.scheme, r.spec);
+            assert_eq!(r.report.epochs.len(), report.config.churn_epochs);
+            assert!(r.report.recall.mean <= 1.0 + 1e-12);
+        }
+        for name in &dynamic {
+            let cell = |spec: &str| {
+                report
+                    .hostile_rows
+                    .iter()
+                    .find(|r| &r.scheme == name && r.spec == spec)
+                    .unwrap_or_else(|| panic!("{name}@{spec} missing"))
+            };
+            // Loss costs recall; the 3-attempt retry budget wins some back
+            // and pays for it in messages.
+            let r1 = cell("lossy-p");
+            let r3 = cell("lossy-p/r3");
+            assert!(r1.report.recall.mean < 1.0, "{name}@lossy-p unscathed");
+            assert!(r3.report.recall.mean >= r1.report.recall.mean, "{name} retries lost recall");
+            assert!(r3.report.messages.mean > r1.report.messages.mean, "{name} free retries");
+            // split-brain opens at epoch 1: epoch 0 is fault-free and the
+            // open interval visibly dips.
+            let sb = cell("split-brain");
+            assert_eq!(sb.report.epochs[0].recall_mean, 1.0, "{name} pre-split");
+            assert!(sb.report.epochs[1].recall_mean < 1.0, "{name} split epoch unscathed");
+            // throttle prices latency, never loses answers.
+            let th = cell("throttle");
+            assert_eq!(th.report.recall.mean, 1.0, "{name}@throttle lost answers");
+            assert_eq!(th.report.exact_rate, 1.0, "{name}@throttle inexact");
+        }
         // JSON sanity: parses at the bracket level and names every scheme.
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -781,6 +944,11 @@ mod tests {
         assert!(json.contains("\"latency\": ["));
         assert!(json.contains("\"latency_p95\""));
         assert!(json.contains("\"delay_p95\""));
+        assert!(json.contains("\"hostile\": ["));
+        assert!(json.contains("\"hostile_specs\": ["));
+        for spec in HOSTILE_SPECS {
+            assert!(json.contains(&format!("\"spec\": \"{spec}\"")), "{spec} missing");
+        }
         for net in NET_MODEL_NAMES {
             assert!(json.contains(&format!("\"net\": \"{net}\"")), "{net} missing");
         }
@@ -794,6 +962,7 @@ mod tests {
                 + report.latency_rows.len()
                 + report.churn_rows.len()
                 + report.replication_rows.len()
+                + report.hostile_rows.len()
         );
     }
 
@@ -824,6 +993,13 @@ mod tests {
             assert_eq!(ra.report.results_returned, rb.report.results_returned);
             assert_eq!(ra.repair_placed, rb.repair_placed);
             assert_eq!(ra.repair_messages, rb.repair_messages);
+        }
+        for (ra, rb) in a.hostile_rows.iter().zip(&b.hostile_rows) {
+            assert_eq!((&ra.scheme, &ra.spec), (&rb.scheme, &rb.spec));
+            assert_eq!(ra.report.recall, rb.report.recall, "{}@{}", ra.scheme, ra.spec);
+            assert_eq!(ra.report.messages, rb.report.messages);
+            assert_eq!(ra.report.latency, rb.report.latency);
+            assert_eq!(ra.report.results_returned, rb.report.results_returned);
         }
     }
 }

@@ -1,0 +1,58 @@
+//! R3: recall through partitions and the retry premium under loss, every
+//! dynamic scheme.
+//!
+//! ```sh
+//! cargo run --release -p armada-experiments --bin partition_sweep [-- --quick]
+//!     [--schemes pira,dcf-can] [--plans split-brain,island-3]
+//!     [--nets unit,cluster] [--threads 4]
+//! ```
+//!
+//! With no filters the sweep runs every dynamic scheme under both default
+//! partition plans × both net models (R3a) and the `lossy-p` retry ladder
+//! r1..r3 (R3b) — the committed R3 configuration. The filters exist for
+//! local iteration.
+
+use armada_experiments::partition_sweep::{run_retry_with, run_with, PartitionSweepConfig};
+use armada_experiments::{arg_list, arg_value, require_schemes, Scale};
+use simnet::{FaultPlan, NetModel};
+
+fn main() {
+    let mut cfg = PartitionSweepConfig::new(Scale::from_args());
+    if let Some(schemes) = arg_list("schemes") {
+        cfg.schemes = Some(schemes);
+    }
+    if let Some(plans) = arg_list("plans") {
+        for plan in &plans {
+            let known = FaultPlan::named_hostile(plan).is_some_and(|p| p.partition().is_some());
+            if !known {
+                eprintln!("error: {plan:?} is not a partition plan (try split-brain, island-K)");
+                std::process::exit(2);
+            }
+        }
+        cfg.plans = plans;
+    }
+    if let Some(nets) = arg_list("nets") {
+        for net in &nets {
+            if NetModel::named(net).is_none() {
+                eprintln!(
+                    "error: unknown net model {net:?} (catalog: {})",
+                    simnet::NET_MODEL_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+        cfg.nets = nets;
+    }
+    if let Some(threads) = arg_value("threads") {
+        match threads.parse::<usize>() {
+            Ok(t) if t > 0 => cfg.threads = t,
+            _ => {
+                eprintln!("error: --threads takes a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    require_schemes(&cfg.scheme_names());
+    run_with(&cfg).emit("partition_sweep");
+    run_retry_with(&cfg).emit("partition_retry_premium");
+}

@@ -19,6 +19,7 @@
 //! | robustness (ours) | [`faults`] | `fault_tolerance` |
 //! | churn dynamics (ours) | [`churn_sweep`] | `churn_sweep` |
 //! | replication (ours) | [`replication_sweep`] | `replication_sweep` |
+//! | hostile networks (ours) | [`partition_sweep`] | `partition_sweep` |
 //! | latency in ms (ours) | [`latency_sweep`] | `latency_sweep` |
 //! | perf baseline (ours) | [`baseline`] | `bench_baseline` |
 //!
@@ -44,6 +45,7 @@ pub mod figures;
 pub mod latency_sweep;
 pub mod mira_eval;
 pub mod output;
+pub mod partition_sweep;
 pub mod replication_sweep;
 pub mod substrate;
 pub mod sweeps;

@@ -1,0 +1,404 @@
+//! R3 — hostile networks: recall through a partition's lifetime, and the
+//! message premium retries pay to win recall back under loss.
+//!
+//! The paper evaluates delay-bounded range queries on a *well-behaved*
+//! overlay; this extension measures the two failure modes the DHT
+//! literature cares about most. Both experiments address schemes through
+//! the registry's hostile suffixes (`"pira@split-brain"`,
+//! `"pira@lossy-p/r3"`), so every fault verdict is the same pure hash the
+//! test battery pins — the tables here are bitwise identical for any
+//! worker thread count.
+//!
+//! * **Partition timeline** — every dynamic scheme runs a zero-churn
+//!   epoch series under a partition plan (`split-brain`, `island-3`)
+//!   crossed with net models (`unit`, `cluster` — under `cluster` the
+//!   split follows the transit-stub topology). The per-epoch recall
+//!   series shows 1.0 before the split opens, a dip while it is open,
+//!   and 1.0 again from the first healed epoch — partitions are loud but
+//!   leave no scars on a static membership.
+//! * **Retry premium** — every dynamic scheme answers the same batch
+//!   under `lossy-p` (10 % per-edge Bernoulli loss) at retry budgets
+//!   r1/r2/r3. Recall and messages both rise monotonically in the
+//!   attempt budget: retries buy recall and the table prices exactly
+//!   what they cost.
+
+use crate::output::Table;
+use crate::{standard_registry, Scale};
+use dht_api::{BuildParams, ChurnPlan, DriverReport, ParallelDriver, WorkloadGen};
+use rand::Rng;
+use simnet::FaultPlan;
+
+/// Partition plans swept by default (both shapes in the hostile catalog).
+pub const PARTITION_PLANS: [&str; 2] = ["split-brain", "island-3"];
+
+/// Net models the partition is crossed with; under `cluster` the split
+/// follows the transit-stub cluster groups instead of a node-id hash.
+pub const PARTITION_NETS: [&str; 2] = ["unit", "cluster"];
+
+/// Retry budgets swept against `lossy-p` (suffix spellings `r1`..`r3`).
+pub const RETRY_ATTEMPTS: [u32; 3] = [1, 2, 3];
+
+/// Epochs per timeline run — enough to see every default plan open *and*
+/// heal with at least one healed epoch after (`split-brain` heals at 3,
+/// `island-3` at 2).
+pub const TIMELINE_EPOCHS: usize = 5;
+
+/// Driver seed for both experiments (distinct from the churn sweep's).
+const SWEEP_SEED: u64 = 0x9a17;
+
+/// What the sweep runs: scale plus optional scheme/plan/net filters — the
+/// all-defaults config reproduces the committed R3 numbers.
+#[derive(Debug, Clone)]
+pub struct PartitionSweepConfig {
+    /// Experiment scale (network size, queries per epoch).
+    pub scale: Scale,
+    /// Schemes to sweep; `None` = every dynamic scheme.
+    pub schemes: Option<Vec<String>>,
+    /// Partition plans for the timeline experiment.
+    pub plans: Vec<String>,
+    /// Net models the timeline crosses the plans with.
+    pub nets: Vec<String>,
+    /// Worker threads for the parallel driver (the report is identical
+    /// for any value; this only tunes wall-clock time).
+    pub threads: usize,
+}
+
+impl PartitionSweepConfig {
+    /// The default sweep at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        PartitionSweepConfig {
+            scale,
+            schemes: None,
+            plans: PARTITION_PLANS.iter().map(|s| s.to_string()).collect(),
+            nets: PARTITION_NETS.iter().map(|s| s.to_string()).collect(),
+            threads: dht_api::default_threads(),
+        }
+    }
+
+    /// The scheme names this config selects, in registry order.
+    pub fn scheme_names(&self) -> Vec<String> {
+        match &self.schemes {
+            None => crate::dynamic_single_names(),
+            Some(filter) => crate::dynamic_single_names()
+                .into_iter()
+                .filter(|n| filter.iter().any(|f| f == n))
+                .collect(),
+        }
+    }
+
+    fn network_size(&self) -> usize {
+        match self.scale {
+            Scale::Full => 500,
+            Scale::Quick => 150,
+        }
+    }
+}
+
+/// One scheme × partition plan × net model timeline measurement.
+#[derive(Debug, Clone)]
+pub struct PartitionPoint {
+    /// Registry name of the base scheme (no suffixes).
+    pub scheme: String,
+    /// Partition plan name.
+    pub plan: String,
+    /// Net model name.
+    pub net: String,
+    /// First epoch the split is open.
+    pub open_epoch: u64,
+    /// First epoch the split is healed again.
+    pub heal_epoch: u64,
+    /// Mean peer recall per epoch, in epoch order.
+    pub epoch_recall: Vec<f64>,
+    /// Exact-answer rate per epoch, in epoch order.
+    pub epoch_exact: Vec<f64>,
+    /// The merged epoch-driven report.
+    pub report: DriverReport,
+}
+
+impl PartitionPoint {
+    /// Mean recall over the epochs the split is open.
+    pub fn split_recall(&self) -> f64 {
+        mean(&self.epoch_recall[self.open_epoch as usize..self.heal_epoch as usize])
+    }
+
+    /// Mean recall over the epochs at or after the heal.
+    pub fn healed_recall(&self) -> f64 {
+        mean(&self.epoch_recall[self.heal_epoch as usize..])
+    }
+
+    /// Mean recall over the epochs before the split opens (`None` for
+    /// plans that open at epoch 0).
+    pub fn pre_split_recall(&self) -> Option<f64> {
+        (self.open_epoch > 0).then(|| mean(&self.epoch_recall[..self.open_epoch as usize]))
+    }
+}
+
+/// One scheme × retry-budget measurement under `lossy-p`.
+#[derive(Debug, Clone)]
+pub struct RetryPoint {
+    /// Registry name of the base scheme (no suffixes).
+    pub scheme: String,
+    /// Retry budget (total attempts; 1 = no retries).
+    pub attempts: u32,
+    /// The batch report under `{scheme}@lossy-p/r{attempts}`.
+    pub report: DriverReport,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Build-time RNG seeded by the *base* scheme name, so every suffixed
+/// variant of a scheme measures the identical network and record load —
+/// the comparisons across plans and retry budgets are same-network.
+fn build_rng(base: &str) -> rand::rngs::SmallRng {
+    simnet::rng_from_seed(SWEEP_SEED ^ dht_api::fnv1a(base.as_bytes()))
+}
+
+/// Runs the partition timeline for the default config.
+///
+/// # Panics
+///
+/// Panics if a dynamic scheme fails to build or errors on a query — the
+/// sweep is meaningless with missing cells.
+pub fn run_timeline_points(scale: Scale) -> Vec<PartitionPoint> {
+    run_timeline_points_with(&PartitionSweepConfig::new(scale))
+}
+
+/// Runs the partition timeline under an explicit config.
+///
+/// # Panics
+///
+/// As [`run_timeline_points`].
+pub fn run_timeline_points_with(cfg: &PartitionSweepConfig) -> Vec<PartitionPoint> {
+    let registry = standard_registry();
+    let n = cfg.network_size();
+    let queries_per_epoch = (cfg.scale.queries() / TIMELINE_EPOCHS).max(10);
+    let domain = (crate::paper::DOMAIN_LO, crate::paper::DOMAIN_HI);
+    let params = BuildParams::new(n, domain.0, domain.1).with_object_id_len(32);
+    let workload = WorkloadGen::named("uniform", domain).expect("cataloged");
+    let driver =
+        ParallelDriver::new(queries_per_epoch).with_seed(SWEEP_SEED).with_threads(cfg.threads);
+    // Queries never change membership and the rate-0 plan applies no
+    // events: the timeline isolates the partition itself.
+    let frozen = ChurnPlan::named("steady-churn").expect("cataloged").with_rate(0);
+
+    let mut points = Vec::new();
+    for name in cfg.scheme_names() {
+        for plan_name in &cfg.plans {
+            let schedule = FaultPlan::named_hostile(plan_name)
+                .unwrap_or_else(|| panic!("{plan_name}: not a hostile plan"));
+            let partition = schedule.partition().expect("partition plans only");
+            for net in &cfg.nets {
+                let full = format!("{name}@{net}@{plan_name}");
+                let mut rng = build_rng(&name);
+                let mut scheme =
+                    registry.build_single(&full, &params, &mut rng).expect("scheme builds");
+                for h in 0..n as u64 {
+                    scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+                }
+                let report = driver
+                    .run_epochs(scheme.as_mut(), &workload, &frozen, TIMELINE_EPOCHS)
+                    .expect("epoch run");
+                points.push(PartitionPoint {
+                    scheme: name.clone(),
+                    plan: plan_name.clone(),
+                    net: net.clone(),
+                    open_epoch: partition.open_epoch(),
+                    heal_epoch: partition.heal_epoch(),
+                    epoch_recall: report.epochs.iter().map(|e| e.recall_mean).collect(),
+                    epoch_exact: report.epochs.iter().map(|e| e.exact_rate).collect(),
+                    report,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs the retry-premium experiment for the default config.
+///
+/// # Panics
+///
+/// As [`run_timeline_points`].
+pub fn run_retry_points(scale: Scale) -> Vec<RetryPoint> {
+    run_retry_points_with(&PartitionSweepConfig::new(scale))
+}
+
+/// Runs the retry-premium experiment under an explicit config: every
+/// selected scheme at each retry budget against `lossy-p`, in attempt
+/// order per scheme.
+///
+/// # Panics
+///
+/// As [`run_timeline_points`].
+pub fn run_retry_points_with(cfg: &PartitionSweepConfig) -> Vec<RetryPoint> {
+    let registry = standard_registry();
+    let n = cfg.network_size();
+    let domain = (crate::paper::DOMAIN_LO, crate::paper::DOMAIN_HI);
+    let params = BuildParams::new(n, domain.0, domain.1).with_object_id_len(32);
+    let workload = WorkloadGen::named("uniform", domain).expect("cataloged");
+    let driver =
+        ParallelDriver::new(cfg.scale.queries()).with_seed(SWEEP_SEED).with_threads(cfg.threads);
+
+    let mut points = Vec::new();
+    for name in cfg.scheme_names() {
+        for &attempts in &RETRY_ATTEMPTS {
+            let full = format!("{name}@lossy-p/r{attempts}");
+            let mut rng = build_rng(&name);
+            let mut scheme =
+                registry.build_single(&full, &params, &mut rng).expect("scheme builds");
+            for h in 0..n as u64 {
+                scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+            }
+            let report = driver.run(scheme.as_ref(), &workload).expect("batch run");
+            points.push(RetryPoint { scheme: name.clone(), attempts, report });
+        }
+    }
+    points
+}
+
+/// Runs the timeline and renders its table.
+pub fn run(scale: Scale) -> Table {
+    run_with(&PartitionSweepConfig::new(scale))
+}
+
+/// Renders the timeline table for an explicit config.
+pub fn run_with(cfg: &PartitionSweepConfig) -> Table {
+    let points = run_timeline_points_with(cfg);
+    let mut t = Table::new(
+        "R3a — recall through a partition (epoch-driven)",
+        &[
+            "scheme",
+            "plan",
+            "net",
+            "open..heal",
+            "pre recall",
+            "split recall",
+            "healed recall",
+            "avg delay",
+        ],
+    );
+    for p in &points {
+        t.push_row(vec![
+            p.scheme.clone(),
+            p.plan.clone(),
+            p.net.clone(),
+            format!("{}..{}", p.open_epoch, p.heal_epoch),
+            p.pre_split_recall().map_or_else(|| "—".to_string(), |r| format!("{r:.3}")),
+            format!("{:.3}", p.split_recall()),
+            format!("{:.3}", p.healed_recall()),
+            format!("{:.2}", p.report.delay.mean),
+        ]);
+    }
+    t
+}
+
+/// Runs the retry-premium experiment and renders its table.
+pub fn run_retry_with(cfg: &PartitionSweepConfig) -> Table {
+    let points = run_retry_points_with(cfg);
+    let mut t = Table::new(
+        "R3b — retry premium under lossy-p (10% per-edge loss)",
+        &["scheme", "attempts", "peer recall", "exact rate", "avg messages", "avg latency"],
+    );
+    for p in &points {
+        t.push_row(vec![
+            p.scheme.clone(),
+            p.attempts.to_string(),
+            format!("{:.3}", p.report.recall.mean),
+            format!("{:.3}", p.report.exact_rate),
+            format!("{:.2}", p.report.messages.mean),
+            format!("{:.2}", p.report.latency.mean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_dips_during_the_split_and_heals_within_one_epoch() {
+        let cfg = PartitionSweepConfig::new(Scale::Quick);
+        let points = run_timeline_points_with(&cfg);
+        let schemes = crate::dynamic_single_names();
+        assert_eq!(points.len(), schemes.len() * PARTITION_PLANS.len() * PARTITION_NETS.len());
+        for p in &points {
+            let tag = format!("{}@{}@{}", p.scheme, p.net, p.plan);
+            assert_eq!(p.epoch_recall.len(), TIMELINE_EPOCHS, "{tag}");
+            // Before the split opens the network is fault-free.
+            for e in 0..p.open_epoch as usize {
+                assert_eq!(p.epoch_recall[e], 1.0, "{tag} epoch {e} pre-split");
+                assert_eq!(p.epoch_exact[e], 1.0, "{tag} epoch {e} pre-split");
+            }
+            // The split visibly costs recall while it is open...
+            assert!(p.split_recall() < 0.9999, "{tag}: split recall {}", p.split_recall());
+            // ...and recall is perfect again from the very first healed
+            // epoch — no scars on a static membership.
+            for e in p.heal_epoch as usize..TIMELINE_EPOCHS {
+                assert_eq!(p.epoch_recall[e], 1.0, "{tag} epoch {e} post-heal");
+                assert_eq!(p.epoch_exact[e], 1.0, "{tag} epoch {e} post-heal");
+            }
+        }
+    }
+
+    #[test]
+    fn retries_buy_recall_and_pay_in_messages_monotonically() {
+        let cfg = PartitionSweepConfig::new(Scale::Quick);
+        let points = run_retry_points_with(&cfg);
+        let schemes = crate::dynamic_single_names();
+        assert_eq!(points.len(), schemes.len() * RETRY_ATTEMPTS.len());
+        for chunk in points.chunks(RETRY_ATTEMPTS.len()) {
+            let name = &chunk[0].scheme;
+            // 10% per-edge loss costs every scheme something at r1.
+            assert!(chunk[0].report.recall.mean < 1.0, "{name} r1 unscathed by lossy-p");
+            for pair in chunk.windows(2) {
+                let (lo, hi) = (&pair[0], &pair[1]);
+                assert_eq!(lo.scheme, hi.scheme);
+                assert!(
+                    hi.report.recall.mean >= lo.report.recall.mean - 1e-12,
+                    "{name}: recall not monotone r{} -> r{}",
+                    lo.attempts,
+                    hi.attempts
+                );
+                assert!(
+                    hi.report.messages.mean >= lo.report.messages.mean - 1e-12,
+                    "{name}: messages not monotone r{} -> r{}",
+                    lo.attempts,
+                    hi.attempts
+                );
+            }
+            // Retries actually fired: the r3 budget sent more messages
+            // than the single attempt it extends.
+            assert!(
+                chunk[2].report.messages.mean > chunk[0].report.messages.mean,
+                "{name}: no retry premium"
+            );
+            assert!(
+                chunk[2].report.recall.mean > chunk[0].report.recall.mean,
+                "{name}: retries bought no recall"
+            );
+        }
+    }
+
+    #[test]
+    fn filters_narrow_the_sweep() {
+        let cfg = PartitionSweepConfig {
+            schemes: Some(vec!["pira".into(), "no-such-scheme".into()]),
+            plans: vec!["split-brain".into()],
+            nets: vec!["unit".into()],
+            threads: 2,
+            ..PartitionSweepConfig::new(Scale::Quick)
+        };
+        assert_eq!(cfg.scheme_names(), vec!["pira"], "unknown names filter out silently");
+        let points = run_timeline_points_with(&cfg);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].plan, "split-brain");
+        assert_eq!((points[0].open_epoch, points[0].heal_epoch), (1, 3));
+        assert_eq!(points[0].pre_split_recall(), Some(1.0));
+    }
+}

@@ -10,7 +10,11 @@
 //! * [`Envelope`] — a delivered message carrying its **hop depth** (overlay
 //!   path length from the query origin), which is the paper's delay metric.
 //! * [`FaultPlan`] — message-drop probability and crashed-node sets for
-//!   robustness experiments.
+//!   robustness experiments, plus the hostile-network families
+//!   ([`LossPlan`] hash-verdict per-edge loss, [`PartitionPlan`]
+//!   epoch-scheduled splits, [`RateLimitPlan`] token-bucket queueing
+//!   delay) whose every decision is a pure hash — see the
+//!   [`faults`](FaultPlan) module docs.
 //! * [`LatencyModel`] — per-hop scheduling latency (unit by default so
 //!   virtual time equals hop count; edge-keyed uniform for jitter studies).
 //! * [`NetModel`] — the network cost layer: named, seeded, deterministic
@@ -58,8 +62,8 @@ mod net;
 mod stats;
 
 pub use engine::{Envelope, LatencyModel, Sim};
-pub use faults::FaultPlan;
-pub use net::{NetModel, NetModelKind, NET_MODEL_NAMES};
+pub use faults::{FaultPlan, LossPlan, PartitionPlan, RateLimitPlan, HOSTILE_PLAN_NAMES};
+pub use net::{mix, NetModel, NetModelKind, NET_MODEL_NAMES};
 pub use stats::{Samples, SimStats, Summary};
 
 /// Identifier of a simulated node (index into the caller's node table).

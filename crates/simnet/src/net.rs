@@ -220,6 +220,13 @@ impl NetModel {
         path.windows(2).map(|w| self.edge_cost(w[0], w[1])).sum()
     }
 
+    /// Which cluster group a node hashes into — `Some` only under the
+    /// `cluster` model (partition plans use this to split the network
+    /// along its transit-stub topology rather than at random).
+    pub fn cluster_group(&self, node: NodeId) -> Option<u64> {
+        (self.kind == NetModelKind::Cluster).then(|| self.cluster_of(node))
+    }
+
     /// Which cluster a node hashes into under the `cluster` model.
     fn cluster_of(&self, node: NodeId) -> u64 {
         mix(self.seed ^ 0xc105, node as u64, 1) % CLUSTERS
@@ -233,9 +240,19 @@ impl NetModel {
 }
 
 /// SplitMix64-style avalanche over three words — the pure edge-keyed hash
-/// shared by [`NetModel`] costs and the engine's edge-keyed scheduling
-/// jitter (one definition, so the two can never de-synchronize).
-pub(crate) fn mix(seed: u64, a: u64, b: u64) -> u64 {
+/// shared by [`NetModel`] costs, the engine's edge-keyed scheduling
+/// jitter, and the hostile fault verdicts (one definition, so none of them
+/// can de-synchronize). Public because downstream layers (retry backoff
+/// jitter, response-plane fault models) must hash the same way.
+///
+/// # Example
+///
+/// ```
+/// // Pure: same words, same hash; any word change avalanches.
+/// assert_eq!(simnet::mix(1, 2, 3), simnet::mix(1, 2, 3));
+/// assert_ne!(simnet::mix(1, 2, 3), simnet::mix(1, 2, 4));
+/// ```
+pub fn mix(seed: u64, a: u64, b: u64) -> u64 {
     let mut z = seed
         .wrapping_add(a.wrapping_mul(0x9e37_79b9_7f4a_7c15))
         .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9));

@@ -7,6 +7,14 @@ pub struct SimStats {
     pub messages_sent: u64,
     /// Messages lost to the fault plan's drop probability.
     pub messages_dropped: u64,
+    /// Messages lost to a hash-verdict [`LossPlan`](crate::LossPlan).
+    pub messages_lost: u64,
+    /// Messages refused because a [`PartitionPlan`](crate::PartitionPlan)
+    /// severed the edge.
+    pub messages_blocked: u64,
+    /// Messages that overflowed a [`RateLimitPlan`](crate::RateLimitPlan)
+    /// token bucket and accrued queueing delay (still delivered).
+    pub messages_throttled: u64,
     /// Messages discarded because the receiver was crashed.
     pub messages_to_crashed: u64,
     /// Envelopes actually handed to the protocol handler.

@@ -1,0 +1,150 @@
+//! Loss-determinism property test: hostile-network verdicts are pure
+//! hashes, so every faulted report must be bitwise identical across
+//! worker thread counts and shard-submission salts — for every registered
+//! scheme, at several seeds, under loss and partition plans alike.
+//!
+//! This is the hostile layer's counterpart of `parallel_determinism.rs`:
+//! a loss verdict driven by anything ambient (retry counters shared
+//! across threads, wall-clock timeouts, iteration order of a fault set)
+//! would shard-split differently at different thread counts and move the
+//! digest. The battery also pins the retry *trace* — messages and
+//! virtual-ms latency, where timeouts and backoff are priced — and the
+//! wrap-time rejection of fault plans that name peers outside the
+//! scheme's id space.
+
+use armada_suite::dht_api::{
+    BuildParams, ChurnPlan, DigestReport, Hostile, ParallelDriver, RangeScheme, RetryPolicy,
+    SchemeError, WorkloadGen,
+};
+use armada_suite::experiments::{dynamic_single_names, standard_registry};
+use armada_suite::rand::Rng;
+use simnet::FaultPlan;
+
+const DOMAIN: (f64, f64) = (0.0, 1000.0);
+const N: usize = 100;
+const BATCH_QUERIES: usize = 12;
+const EPOCH_QUERIES: usize = 10;
+const EPOCHS: usize = 4;
+
+/// Seeds each scheme × plan cell is digested at — the invariance must
+/// hold pointwise, not just for one lucky seed.
+const SEEDS: [u64; 3] = [7, 0x5eed, 0xbad_5eed];
+
+/// Shard-submission salts (0 = natural order).
+const SALTS: [u64; 2] = [0x5eed, 0xfeed_face_0ca1];
+
+fn build(name: &str) -> Box<dyn RangeScheme> {
+    let registry = standard_registry();
+    let params = BuildParams::new(N, DOMAIN.0, DOMAIN.1).with_object_id_len(32);
+    let mut rng = simnet::rng_from_seed(0x0ca9_a817);
+    let mut scheme = registry.build_single(name, &params, &mut rng).expect("scheme builds");
+    for h in 0..N as u64 {
+        scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).expect("publish");
+    }
+    scheme
+}
+
+/// Batch digest under a hostile suffix. The scheme is rebuilt per call so
+/// no state (not even a benign cache) can leak between runs.
+fn batch_digest(name: &str, seed: u64, threads: usize, salt: u64) -> DigestReport {
+    let scheme = build(name);
+    let workload = WorkloadGen::named("mixed", DOMAIN).expect("cataloged");
+    let driver = ParallelDriver { queries: BATCH_QUERIES, seed, threads, shard_salt: salt };
+    DigestReport::of(&driver.run(scheme.as_ref(), &workload).expect("faulted queries degrade"))
+}
+
+/// Epoch-driven digest under a hostile suffix (partitions traverse their
+/// open/heal schedule; membership stays frozen so the faults are the only
+/// signal).
+fn epoch_digest(name: &str, seed: u64, threads: usize, salt: u64) -> DigestReport {
+    let mut scheme = build(name);
+    let workload = WorkloadGen::named("uniform", DOMAIN).expect("cataloged");
+    let plan = ChurnPlan::named("steady-churn").expect("cataloged").with_rate(0);
+    let driver = ParallelDriver { queries: EPOCH_QUERIES, seed, threads, shard_salt: salt };
+    DigestReport::of(
+        &driver.run_epochs(scheme.as_mut(), &workload, &plan, EPOCHS).expect("epoch run"),
+    )
+}
+
+/// The invariance harness: a single-threaded natural-order reference,
+/// compared against 4 workers under every shard salt, at every seed.
+fn assert_thread_invariant(
+    label: &str,
+    name: &str,
+    digest: fn(&str, u64, usize, u64) -> DigestReport,
+) {
+    for &seed in &SEEDS {
+        let reference = digest(name, seed, 1, 0);
+        for &salt in &SALTS {
+            for threads in [1usize, 4] {
+                let d = digest(name, seed, threads, salt);
+                assert_eq!(
+                    d, reference,
+                    "{label}/{name}: digest moved (seed {seed:#x}, salt {salt:#x}, \
+                     threads {threads})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lossy_batch_digests_are_thread_count_invariant_for_every_scheme() {
+    for name in standard_registry().single_names() {
+        assert_thread_invariant("lossy-p", &format!("{name}@lossy-p"), batch_digest);
+    }
+}
+
+#[test]
+fn retry_traces_are_thread_count_invariant() {
+    // r3 puts retransmit counting, timeout pricing, and per-attempt
+    // backoff jitter on the report path — all must merge identically.
+    for name in standard_registry().single_names() {
+        assert_thread_invariant("lossy-25/r3", &format!("{name}@lossy-25/r3"), batch_digest);
+    }
+}
+
+#[test]
+fn split_brain_epoch_digests_are_thread_count_invariant() {
+    for name in dynamic_single_names() {
+        assert_thread_invariant("split-brain", &format!("{name}@split-brain"), epoch_digest);
+    }
+}
+
+#[test]
+fn bursty_loss_composed_with_a_net_model_stays_invariant() {
+    // Burst windows share per-edge attempt counters; composing with the
+    // cluster model exercises the partition-free hostile path under
+    // non-unit edge pricing.
+    for name in dynamic_single_names() {
+        assert_thread_invariant("bursty@cluster", &format!("{name}@bursty@cluster"), batch_digest);
+    }
+}
+
+#[test]
+fn faulted_reports_actually_differ_from_fault_free_ones() {
+    // Sanity for the battery itself: the hostile suffix is not a no-op.
+    let hostile = batch_digest("pira@lossy-p", 7, 1, 0);
+    let clean = batch_digest("pira", 7, 1, 0);
+    assert_ne!(hostile, clean, "lossy-p left pira's report untouched");
+}
+
+#[test]
+fn out_of_range_fault_plans_are_rejected_at_wrap_time() {
+    // The wrapper refuses a plan naming peers outside the scheme's id
+    // space instead of silently no-opping the crash (the original bug).
+    let inner = build("pira");
+    let n = inner.node_count();
+    let mut plan = FaultPlan::new();
+    plan.crash(n + 7);
+    let err = Hostile::new(inner, plan, RetryPolicy::none(), Default::default(), "crash")
+        .err()
+        .expect("out-of-range plan must not wrap");
+    match err {
+        SchemeError::FaultPlanOutOfRange { node, n: got_n } => {
+            assert_eq!(node, n + 7);
+            assert_eq!(got_n, n);
+        }
+        other => panic!("wrong error for out-of-range plan: {other}"),
+    }
+}

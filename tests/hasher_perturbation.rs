@@ -22,7 +22,10 @@
 //! `@straggler` net model — the costliest, most order-sensitive edge
 //! pricing in the catalog), every dynamic scheme's epoch-driven run under
 //! churn (bare and `+r3`-replicated, where repair traffic is on the
-//! report path), and every multi-attribute scheme's rectangle batch.
+//! report path), every multi-attribute scheme's rectangle batch, and the
+//! hostile-network layer (`@lossy-p/r2` batches, where loss verdicts and
+//! retry pricing are on the report path, and `@split-brain` epoch runs,
+//! where the partition schedule is).
 
 use armada_suite::dht_api::{
     BuildParams, ChurnPlan, DigestReport, MultiBuildParams, ParallelDriver, WorkloadGen,
@@ -152,6 +155,34 @@ fn replicated_epoch_digests_survive_perturbation() {
 fn replicated_batch_digests_survive_perturbation() {
     for name in dynamic_single_names() {
         assert_perturbation_invariant_for("batch+r3", &format!("{name}+r3"), batch_digest);
+    }
+}
+
+#[test]
+fn hostile_batch_digests_survive_perturbation() {
+    // `@lossy-p/r2` puts loss verdicts, retransmit counting, and
+    // timeout/backoff latency pricing on the report path for every
+    // registered scheme — native fault injection and the generic
+    // response-plane degradation alike.
+    for name in standard_registry().single_names() {
+        assert_perturbation_invariant_for(
+            "lossy-p/r2",
+            &format!("{name}@lossy-p/r2"),
+            batch_digest,
+        );
+    }
+}
+
+#[test]
+fn hostile_epoch_digests_survive_perturbation() {
+    // `@split-brain` epoch runs traverse the partition's open/heal
+    // schedule while churn keeps mutating membership underneath.
+    for name in dynamic_single_names() {
+        assert_perturbation_invariant_for(
+            "split-brain",
+            &format!("{name}@split-brain"),
+            epoch_digest,
+        );
     }
 }
 

@@ -8,6 +8,12 @@
 //! on a converged network is either leaking repairs or mis-detecting loss,
 //! and both bugs corrupt the repair-traffic series the churn and
 //! replication experiments report.
+//!
+//! The hostile layer adds the partition variant: peers crash while a
+//! partition plan's split is open, the split heals, and the same
+//! idempotency contract must hold — the first `stabilize()` after the
+//! heal converges the network, the second finds nothing, and a second
+//! `re_replicate()` places, drops, and sends nothing.
 
 use armada_suite::dht_api::{BuildParams, RangeScheme, ReplicaPolicy};
 use armada_suite::experiments::{dynamic_single_names, standard_registry};
@@ -19,6 +25,9 @@ const DOMAIN: (f64, f64) = (0.0, 1000.0);
 /// Crash severities exercised: a light brush, a heavy blow, and a third of
 /// the network.
 const SEVERITIES: [usize; 3] = [3, 12, 24];
+
+/// The partition shapes of the hostile catalog.
+const PARTITION_PLANS: [&str; 2] = ["split-brain", "island-3"];
 
 fn build_loaded(name: &str, seed: u64, policy: Option<ReplicaPolicy>) -> Box<dyn RangeScheme> {
     let registry = standard_registry();
@@ -91,6 +100,55 @@ proptest! {
                 prop_assert_eq!(second.placed, 0, "{} second pass placed copies", name);
                 prop_assert_eq!(second.dropped, 0, "{} second pass dropped copies", name);
                 prop_assert_eq!(second.messages, 0, "{} second pass sent messages", name);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_is_idempotent_after_a_partition_heals(seed in 0u64..10_000) {
+        for name in dynamic_single_names() {
+            for plan_name in PARTITION_PLANS {
+                let schedule = simnet::FaultPlan::named_hostile(plan_name).expect("cataloged");
+                let partition = schedule.partition().expect("partition plan");
+                let mut scheme = build_loaded(
+                    &format!("{name}+r3@{plan_name}"),
+                    seed,
+                    None,
+                );
+                // Crash peers while the split is open, then heal.
+                scheme.as_hostile().expect("hostile").set_epoch(partition.open_epoch());
+                {
+                    let dynamic = scheme.as_dynamic().expect("dynamic scheme");
+                    let mut vrng = simnet::rng_from_seed(seed ^ 0x9a17);
+                    for _ in 0..8 {
+                        let live = dynamic.live_peers();
+                        prop_assert!(!live.is_empty());
+                        let victim = live[vrng.gen_range(0..live.len())];
+                        dynamic.crash(victim).expect("crash a live peer");
+                    }
+                }
+                scheme.as_hostile().expect("hostile").set_epoch(partition.heal_epoch());
+                // Same contract as the plain-churn cases: one pass each
+                // converges, the second finds nothing left to do.
+                let dynamic = scheme.as_dynamic().expect("dynamic scheme");
+                dynamic.stabilize();
+                let second = dynamic.stabilize();
+                prop_assert_eq!(
+                    second, 0,
+                    "{}@{}: second stabilize after heal must be a no-op",
+                    name, plan_name
+                );
+                let control = scheme.as_replicated().expect("replicated scheme");
+                control.re_replicate();
+                let second = control.re_replicate();
+                prop_assert_eq!(second.placed, 0, "{}@{} re-placed", name, plan_name);
+                prop_assert_eq!(second.dropped, 0, "{}@{} re-dropped", name, plan_name);
+                prop_assert_eq!(second.messages, 0, "{}@{} re-sent", name, plan_name);
+                // And the healed, repaired network answers exactly.
+                let mut qrng = simnet::rng_from_seed(seed ^ 0x0e4);
+                let origin = scheme.random_origin(&mut qrng);
+                let out = scheme.range_query(origin, 100.0, 600.0, 0).expect("query");
+                prop_assert!(out.exact, "{}@{} inexact after heal", name, plan_name);
             }
         }
     }

@@ -10,6 +10,12 @@
 //! `ChurnPlan` runs and `stabilize()` completes, every *dynamic* scheme
 //! must again return identical, exact result sets with full peer recall —
 //! the stabilize guarantee, pinned cross-scheme.
+//!
+//! The hostile layer extends it again to partitioned networks: peers
+//! crash *while* a partition plan's split is open, and once the split
+//! heals, `stabilize()` + `re_replicate()` must restore identical exact
+//! result sets with full recall — a partition is loud while open but may
+//! leave no permanent disagreement behind.
 
 use armada_suite::dht_api::{BuildParams, ChurnPlan, RangeScheme, CHURN_PLAN_NAMES};
 use armada_suite::experiments::standard_registry;
@@ -17,6 +23,10 @@ use proptest::prelude::*;
 use rand::Rng;
 
 const DOMAIN: (f64, f64) = (0.0, 1000.0);
+
+/// The partition shapes of the hostile catalog (their open/heal epochs
+/// come from the catalog itself, not a copy here).
+const PARTITION_PLANS: [&str; 2] = ["split-brain", "island-3"];
 
 fn build_all(seed: u64, n: usize) -> Vec<Box<dyn RangeScheme>> {
     let registry = standard_registry();
@@ -135,6 +145,88 @@ proptest! {
                     plan.name()
                 );
                 prop_assert!(out.exact, "{} inexact after stabilize", s.scheme_name());
+                prop_assert_eq!(out.peer_recall(), 1.0, "{} recall", s.scheme_name());
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_schemes_heal_identically_after_a_partition(
+        seed in 0u64..10_000,
+        plan_idx in 0usize..PARTITION_PLANS.len(),
+    ) {
+        let plan_name = PARTITION_PLANS[plan_idx];
+        let schedule = simnet::FaultPlan::named_hostile(plan_name).expect("cataloged");
+        let partition = schedule.partition().expect("partition plan");
+        let (open, heal) = (partition.open_epoch(), partition.heal_epoch());
+
+        // Every dynamic scheme, replicated (so `re_replicate` has copies
+        // to restore) and wrapped by the partition plan via the registry
+        // suffix grammar.
+        let registry = standard_registry();
+        let params = BuildParams::new(60, DOMAIN.0, DOMAIN.1).with_object_id_len(24);
+        let mut schemes: Vec<Box<dyn RangeScheme>> =
+            armada_suite::experiments::dynamic_single_names()
+                .iter()
+                .map(|name| {
+                    let mut rng = simnet::rng_from_seed(seed ^ dht_api::fnv1a(name.as_bytes()));
+                    registry
+                        .build_single(&format!("{name}+r2@{plan_name}"), &params, &mut rng)
+                        .expect("build")
+                })
+                .collect();
+        prop_assert!(schemes.len() >= 4, "need several dynamic schemes for the differential");
+
+        let mut data_rng = simnet::rng_from_seed(seed ^ 0x5b17);
+        let mut data = Vec::new();
+        for h in 0..100u64 {
+            let v = data_rng.gen_range(DOMAIN.0..=DOMAIN.1);
+            for s in &mut schemes {
+                s.publish(v, h).expect("publish");
+            }
+            data.push((v, h));
+        }
+
+        // Open the split, crash peers mid-partition, then heal and repair.
+        for s in &mut schemes {
+            s.as_hostile().expect("hostile-wrapped").set_epoch(open);
+            let dynamic = s.as_dynamic().expect("filtered to dynamic schemes");
+            let mut vrng = simnet::rng_from_seed(seed ^ 0xdead);
+            for _ in 0..6 {
+                let live = dynamic.live_peers();
+                prop_assert!(!live.is_empty());
+                let victim = live[vrng.gen_range(0..live.len())];
+                dynamic.crash(victim).expect("crash a live peer");
+            }
+            s.as_hostile().expect("hostile-wrapped").set_epoch(heal);
+            s.as_dynamic().expect("dynamic").stabilize();
+            s.as_replicated().expect("replicated").re_replicate();
+        }
+
+        // Post-heal: identical, exact result sets with full recall.
+        let mut qrng = simnet::rng_from_seed(seed ^ 0x57ab);
+        for q in 0..6u64 {
+            let lo: f64 = qrng.gen_range(DOMAIN.0..DOMAIN.1);
+            let hi = (lo + qrng.gen_range(0.1f64..300.0)).min(DOMAIN.1);
+            let mut expected: Vec<u64> = data
+                .iter()
+                .filter(|&&(v, _)| v >= lo && v <= hi)
+                .map(|&(_, h)| h)
+                .collect();
+            expected.sort_unstable();
+            for s in &schemes {
+                let origin = s.random_origin(&mut qrng);
+                let out = s.range_query(origin, lo, hi, q).expect("query");
+                prop_assert_eq!(
+                    &out.results,
+                    &expected,
+                    "{} disagrees on [{}, {}] after {} healed",
+                    s.scheme_name(),
+                    lo,
+                    hi,
+                    plan_name
+                );
+                prop_assert!(out.exact, "{} inexact after heal + repair", s.scheme_name());
                 prop_assert_eq!(out.peer_recall(), 1.0, "{} recall", s.scheme_name());
             }
         }
