@@ -61,9 +61,9 @@ pub(crate) fn query(
     }
 
     let mut answered: BTreeSet<NodeId> = BTreeSet::new();
-    // Cheapest accumulated edge cost per answering peer (min over all
-    // deliveries — order-independent; see pira.rs).
-    let mut arrival: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
+    // Flat arrival log reduced by a sorted post-pass (min cost per peer,
+    // max over peers — order-independent; see pira.rs).
+    let mut arrivals: Vec<(NodeId, u64)> = Vec::new();
     let mut results: BTreeSet<RecordId> = BTreeSet::new();
     let mut delay: u32 = 0;
     sim.run(|sim, env: Envelope<MiraMsg>| {
@@ -73,7 +73,7 @@ pub(crate) fn query(
         // Local answer: this peer's hyper-rectangle intersects the query.
         let zone = naming.prefix_rect(id).expect("peer depth within naming depth");
         if rect.intersects(&zone) {
-            arrival.entry(node).and_modify(|c| *c = (*c).min(env.cost)).or_insert(env.cost);
+            arrivals.push((node, env.cost));
             if answered.insert(node) {
                 delay = delay.max(env.hop);
                 let peer = net.peer(node).expect("live");
@@ -119,7 +119,7 @@ pub(crate) fn query(
 
     let reached = answered.len();
     let exact = answered == truth;
-    let latency = arrival.values().copied().max().unwrap_or(0);
+    let latency = simnet::last_first_arrival(&mut arrivals);
     Ok(QueryOutcome {
         results: results.into_iter().collect(),
         metrics: QueryMetrics {

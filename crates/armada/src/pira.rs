@@ -77,11 +77,11 @@ pub(crate) fn query(
     }
 
     let mut answered: BTreeSet<NodeId> = BTreeSet::new();
-    // Cheapest accumulated edge cost among the messages reaching each
-    // answering peer — the min over all deliveries, so the figure is
-    // independent of delivery order (scheduling stays on unit ticks; the
-    // cost model rides along in the envelopes).
-    let mut arrival: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
+    // Flat arrival log, one entry per qualifying delivery; the sorted
+    // post-pass (`last_first_arrival`) reduces it to the min cost per peer
+    // and the max over peers — independent of delivery order (scheduling
+    // stays on unit ticks; the cost model rides along in the envelopes).
+    let mut arrivals: Vec<(NodeId, u64)> = Vec::new();
     let mut results: BTreeSet<RecordId> = BTreeSet::new();
     let mut delay: u32 = 0;
     sim.run(|sim, env: Envelope<PiraMsg>| {
@@ -94,7 +94,7 @@ pub(crate) fn query(
         // Records are collected against the *full* query so one visit per
         // peer suffices even when it straddles several sub-regions.
         if sub.intersects_prefix(id) {
-            arrival.entry(node).and_modify(|c| *c = (*c).min(env.cost)).or_insert(env.cost);
+            arrivals.push((node, env.cost));
             if answered.insert(node) {
                 delay = delay.max(env.hop);
                 let peer = net.peer(node).expect("live");
@@ -143,7 +143,7 @@ pub(crate) fn query(
     let exact = answered == truth;
     // Critical path in virtual ms: the query completes when the last
     // destination first learns of it.
-    let latency = arrival.values().copied().max().unwrap_or(0);
+    let latency = simnet::last_first_arrival(&mut arrivals);
     Ok(QueryOutcome {
         results: results.into_iter().collect(),
         metrics: QueryMetrics {

@@ -33,8 +33,12 @@ use dht_api::{Dht, DynamicDht, Lookup, SchemeError};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use simnet::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 const RING_BITS: u32 = 64;
+/// Sentinel filling the finger-slab rows of dead slots.
+const DEAD_FINGER: NodeId = NodeId::MAX;
 
 /// A simulated Chord ring.
 ///
@@ -49,9 +53,13 @@ pub struct ChordNet {
     slots: Vec<Option<u64>>,
     /// The live ring: `(identifier, slot)` sorted by identifier.
     ring: Vec<(u64, NodeId)>,
-    /// `fingers[n][b]` = node owning `slots[n] + 2^b`; empty for dead
-    /// slots.
-    fingers: Vec<Vec<NodeId>>,
+    /// Finger slab: row `n` is the contiguous stripe
+    /// `fingers[n·64 .. (n+1)·64]`, where entry `b` is the node owning
+    /// `slots[n] + 2^b`; dead slots' rows hold [`DEAD_FINGER`].
+    fingers: Vec<NodeId>,
+    /// Free slots as a min-heap: joins recycle the lowest free index,
+    /// matching the old slot scan without its O(N) cost.
+    free_slots: BinaryHeap<Reverse<usize>>,
 }
 
 impl ChordNet {
@@ -73,9 +81,13 @@ impl ChordNet {
             }
         }
         let ring = ids.iter().enumerate().map(|(slot, &id)| (id, slot)).collect();
-        let mut net =
-            ChordNet { slots: ids.into_iter().map(Some).collect(), ring, fingers: Vec::new() };
-        net.fingers = vec![Vec::new(); net.slots.len()];
+        let mut net = ChordNet {
+            slots: ids.into_iter().map(Some).collect(),
+            ring,
+            fingers: Vec::new(),
+            free_slots: BinaryHeap::new(),
+        };
+        net.fingers = vec![DEAD_FINGER; net.slots.len() * RING_BITS as usize];
         net.rebuild_all_fingers();
         net
     }
@@ -87,12 +99,20 @@ impl ChordNet {
     }
 
     fn rebuild_fingers_of(&mut self, slot: NodeId) {
-        self.fingers[slot] = match self.slots[slot] {
+        let base = slot * RING_BITS as usize;
+        match self.slots[slot] {
             Some(id) => {
-                (0..RING_BITS).map(|b| self.successor_of(id.wrapping_add(1u64 << b))).collect()
+                for b in 0..RING_BITS {
+                    self.fingers[base + b as usize] = self.successor_of(id.wrapping_add(1u64 << b));
+                }
             }
-            None => Vec::new(),
-        };
+            None => self.fingers[base..base + RING_BITS as usize].fill(DEAD_FINGER),
+        }
+    }
+
+    /// Finger `b` of a live slot: the node owning `slots[slot] + 2^b`.
+    fn finger(&self, slot: NodeId, b: usize) -> NodeId {
+        self.fingers[slot * RING_BITS as usize + b]
     }
 
     /// The node owning `point` (its successor on the ring).
@@ -124,6 +144,22 @@ impl ChordNet {
         self.ring.iter().map(|&(_, slot)| slot)
     }
 
+    /// The complete finger slab in slot-major order (row `n` holds the 64
+    /// fingers of slot `n`; dead slots are all-`u64::MAX`) — exposed so
+    /// equivalence tests can compare incremental maintenance against
+    /// [`refresh_all_fingers`](Self::refresh_all_fingers) byte for byte.
+    pub fn finger_slab(&self) -> &[NodeId] {
+        &self.fingers
+    }
+
+    /// Recomputes every finger table from scratch on the current
+    /// membership — the oracle the incremental `join`/`remove` repairs are
+    /// pinned against. A converged network is a fixed point: calling this
+    /// must never change [`finger_slab`](Self::finger_slab).
+    pub fn refresh_all_fingers(&mut self) {
+        self.rebuild_all_fingers();
+    }
+
     /// A new node joins with a fresh random identifier; the converged
     /// maintenance model re-derives the affected finger tables
     /// synchronously. Returns the newcomer's slot.
@@ -133,38 +169,62 @@ impl ChordNet {
     /// new identifier now owns its target point — an `O(1)` interval test
     /// per finger, no per-event full rebuild.
     pub fn join(&mut self, rng: &mut SmallRng) -> NodeId {
-        let id = loop {
-            let candidate: u64 = rng.gen();
-            if self.ring.binary_search_by_key(&candidate, |&(i, _)| i).is_err() {
-                break candidate;
-            }
-        };
-        let slot = if let Some(free) = self.slots.iter().position(Option::is_none) {
+        // Exactly one RNG draw per join, so the membership plan's stream
+        // advances by a fixed amount regardless of ring contents (detlint's
+        // D3 seeded-plan discipline). A colliding identifier (probability
+        // ~N/2⁶⁴) re-derives follow-up candidates from the draw itself
+        // instead of consuming more of the stream.
+        let mut id: u64 = rng.gen();
+        while self.ring.binary_search_by_key(&id, |&(i, _)| i).is_ok() {
+            id = splitmix64(id);
+        }
+        let slot = if let Some(Reverse(free)) = self.free_slots.pop() {
+            debug_assert!(self.slots[free].is_none(), "free-slot heap out of sync");
             self.slots[free] = Some(id);
             free
         } else {
             self.slots.push(Some(id));
-            self.fingers.push(Vec::new());
+            self.fingers.resize(self.fingers.len() + RING_BITS as usize, DEAD_FINGER);
             self.slots.len() - 1
         };
         let pos = self.ring.binary_search_by_key(&id, |&(i, _)| i).unwrap_err();
+        let pred_id = self.ring[(pos + self.ring.len() - 1) % self.ring.len()].0;
         self.ring.insert(pos, (id, slot));
         self.rebuild_fingers_of(slot);
         // A finger `successor_of(start)` moves to the newcomer exactly when
-        // the new identifier lies in `[start, old_target]` clockwise.
-        for &(other_id, other) in &self.ring {
-            if other == slot {
-                continue;
-            }
-            for b in 0..RING_BITS {
-                let start = other_id.wrapping_add(1u64 << b);
-                let old_target = self.slots[self.fingers[other][b as usize]].expect("live finger");
-                if Self::in_interval(start.wrapping_sub(1), old_target, id) {
-                    self.fingers[other][b as usize] = slot;
+        // its start point `other + 2^b` lies on the arc `(pred, id]` the
+        // newcomer took over — equivalently, when `other` lies on that arc
+        // shifted by `−2^b`. Binary-searching the shifted arc per bit
+        // touches only the expected-O(1) movers instead of the whole ring.
+        for b in 0..RING_BITS as usize {
+            let step = 1u64 << b;
+            let (r1, r2) = self.arc_ranges(pred_id.wrapping_sub(step), id.wrapping_sub(step));
+            for i in r1.chain(r2) {
+                let other = self.ring[i].1;
+                if other == slot {
+                    continue;
                 }
+                self.fingers[other * RING_BITS as usize + b] = slot;
             }
         }
         slot
+    }
+
+    /// Ring indices whose identifiers lie on the clockwise arc
+    /// `(lo, hi]`, as up to two contiguous index ranges (the second is the
+    /// wrapped prefix). Requires `lo != hi`.
+    fn arc_ranges(&self, lo: u64, hi: u64) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        debug_assert_ne!(lo, hi, "a full-ring arc is never enumerated");
+        let above = |point: u64| match self.ring.binary_search_by_key(&point, |&(i, _)| i) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        let (a, b) = (above(lo), above(hi));
+        if lo < hi {
+            (a..b, 0..0)
+        } else {
+            (a..self.ring.len(), 0..b)
+        }
     }
 
     /// Graceful departure: the node's successor takes over its keys (keys
@@ -186,15 +246,24 @@ impl ChordNet {
         }
         let id = self.slots[node].take().expect("checked live");
         let pos = self.ring.binary_search_by_key(&id, |&(i, _)| i).expect("ring member");
+        let pred_id = self.ring[(pos + self.ring.len() - 1) % self.ring.len()].0;
         self.ring.remove(pos);
-        self.fingers[node].clear();
-        // Everything the leaver owned falls to its ring successor.
+        let base = node * RING_BITS as usize;
+        self.fingers[base..base + RING_BITS as usize].fill(DEAD_FINGER);
+        self.free_slots.push(Reverse(node));
+        // Everything the leaver owned falls to its ring successor. In the
+        // converged state the fingers pointing at the leaver are exactly
+        // those whose start point lies on the leaver's arc `(pred, id]`, so
+        // the shifted-arc enumeration of `join` finds every one of them.
         let heir = self.ring[pos % self.ring.len()].1;
-        for &(_, other) in &self.ring {
-            for f in self.fingers[other].iter_mut() {
-                if *f == node {
-                    *f = heir;
-                }
+        for b in 0..RING_BITS as usize {
+            let step = 1u64 << b;
+            let (r1, r2) = self.arc_ranges(pred_id.wrapping_sub(step), id.wrapping_sub(step));
+            for i in r1.chain(r2) {
+                let other = self.ring[i].1;
+                let f = &mut self.fingers[other * RING_BITS as usize + b];
+                debug_assert_eq!(*f, node, "converged fingers point into the leaver's arc");
+                *f = heir;
             }
         }
         Ok(())
@@ -222,7 +291,7 @@ impl ChordNet {
         let mut path = vec![from];
         while cur != owner {
             // If the owner is our direct successor, one hop finishes.
-            let succ = self.fingers[cur][0];
+            let succ = self.finger(cur, 0);
             if Self::in_interval(self.id_of(cur), self.id_of(succ), key) {
                 debug_assert_eq!(succ, owner);
                 path.push(succ);
@@ -231,7 +300,7 @@ impl ChordNet {
             // Otherwise jump through the farthest finger preceding the key.
             let mut next = succ;
             for b in (0..RING_BITS as usize).rev() {
-                let f = self.fingers[cur][b];
+                let f = self.finger(cur, b);
                 if f != cur && Self::in_interval(self.id_of(cur), key, self.id_of(f)) {
                     next = f;
                     break;
@@ -255,6 +324,15 @@ impl ChordNet {
             x > a || x <= b // wrapped
         }
     }
+}
+
+/// SplitMix64 finalizer: derives collision-retry identifiers in
+/// [`ChordNet::join`] without consuming more of the membership RNG stream.
+fn splitmix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl Dht for ChordNet {

@@ -175,6 +175,13 @@ impl ParallelDriver {
     /// RNG, with scheme seed `seed + q` (matching [`QueryDriver`]'s
     /// per-query seed convention).
     ///
+    /// This is the **streaming** mode: each worker derives its shard's
+    /// ranges from the workload generator on the fly, so memory stays
+    /// `O(queries / threads)` regardless of batch size — the mode the
+    /// scaling sweeps rely on at `N = 10⁶`. Because `workload.range` is a
+    /// pure function of `(seed, q)`, the report is bitwise identical to
+    /// [`run_materialized`](Self::run_materialized) at every thread count.
+    ///
     /// # Errors
     ///
     /// Propagates the lowest-indexed query error across all shards.
@@ -186,6 +193,30 @@ impl ParallelDriver {
         workload: &WorkloadGen,
     ) -> Result<DriverReport, SchemeError> {
         self.run_indexed(scheme, |q| workload.range(self.seed, q))
+    }
+
+    /// The **materialized** counterpart of [`run`](Self::run): pre-generates
+    /// every query range into one `O(queries)` table, then drives the same
+    /// sharded execution by table lookup.
+    ///
+    /// Exists as the oracle for the streaming contract — both modes address
+    /// query `q` by the pure function `workload.range(seed, q)`, one eagerly
+    /// and one lazily, so their [`DriverReport`]s must be bitwise identical
+    /// (pinned by `tests/parallel_determinism.rs`). Prefer
+    /// [`run`](Self::run): it has
+    /// the same report and does not hold the whole range table in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed query error across all shards.
+    pub fn run_materialized(
+        &self,
+        scheme: &dyn RangeScheme,
+        workload: &WorkloadGen,
+    ) -> Result<DriverReport, SchemeError> {
+        let ranges: Vec<(f64, f64)> =
+            (0..self.queries as u64).map(|q| workload.range(self.seed, q)).collect();
+        self.run_indexed(scheme, |q| ranges[q as usize])
     }
 
     /// The general index-addressed form of [`run`](Self::run): `next_range`

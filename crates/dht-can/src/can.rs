@@ -10,6 +10,8 @@ use crate::CanError;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use simnet::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// An axis-aligned half-open rectangle `[x0,x1) × [y0,y1)` in the unit
 /// square. All coordinates are dyadic (produced by midpoint splits), so
@@ -151,6 +153,15 @@ pub struct CanNet {
     tree: Vec<SplitNode>,
     free_nodes: Vec<usize>,
     node_of: Vec<usize>,
+    /// Free zone slots as a min-heap: allocation recycles the lowest free
+    /// index, matching the slot-scan discipline without the O(N) scan.
+    free_slots: BinaryHeap<Reverse<usize>>,
+    /// Internal tree nodes whose children are both leaves, keyed by
+    /// `(child depth, Reverse(node index))` so the deepest pair with the
+    /// lowest parent index is the last element — the merge candidate
+    /// [`deepest_leaf_pair`](Self::deepest_leaf_pair) used to find by a
+    /// full scan.
+    merge_pairs: BTreeSet<(usize, Reverse<usize>)>,
 }
 
 impl CanNet {
@@ -170,6 +181,8 @@ impl CanNet {
             }],
             free_nodes: Vec::new(),
             node_of: vec![0],
+            free_slots: BinaryHeap::new(),
+            merge_pairs: BTreeSet::new(),
         }
     }
 
@@ -245,11 +258,16 @@ impl CanNet {
 
     /// The zone owning a point.
     pub fn owner_of_point(&self, x: f64, y: f64) -> NodeId {
-        // Zones tile the square; linear scan is fine for the simulator's
-        // bootstrap (routing, not scanning, is the measured path).
-        self.live_zones()
-            .find(|&z| self.zones[z].as_ref().expect("live").rect.contains(x, y))
-            .expect("zones tile the unit square")
+        // Descend the split tree: a node's children exactly partition its
+        // rectangle (midpoint splits on dyadic edges), so containment picks
+        // a unique child and the leaf reached is the unique live owner the
+        // old linear scan found.
+        assert!(self.tree[0].rect.contains(x, y), "zones tile the unit square");
+        let mut node = 0;
+        while let Some((a, b)) = self.tree[node].kids {
+            node = if self.tree[a].rect.contains(x, y) { a } else { b };
+        }
+        self.tree[node].zone.expect("leaves carry live zones")
     }
 
     /// The `r` distinct zones that should hold copies of `value`'s record:
@@ -368,6 +386,10 @@ impl CanNet {
         self.tree[parent].zone = None;
         self.node_of[owner] = keep_node;
         self.node_of[newcomer] = give_node;
+        self.refresh_merge_pair(parent);
+        if let Some(grand) = self.tree[parent].parent {
+            self.refresh_merge_pair(grand);
+        }
 
         // Recompute adjacency: candidates are the old neighbor set plus the
         // sibling pair itself.
@@ -439,6 +461,8 @@ impl CanNet {
             }
             self.live -= 1;
             let affected = self.collect_affected(&[sibling], &[id, sibling]);
+            self.neighbors[id].clear();
+            self.free_slots.push(Reverse(id));
             self.refresh_adjacency(&affected);
             return Ok(dropped);
         }
@@ -459,6 +483,8 @@ impl CanNet {
         self.tree[self.node_of[donor]].zone = Some(donor);
         self.live -= 1;
         let affected = self.collect_affected(&[absorber, donor], &[id, donor, absorber]);
+        self.neighbors[id].clear();
+        self.free_slots.push(Reverse(id));
         self.refresh_adjacency(&affected);
         Ok(dropped)
     }
@@ -478,26 +504,19 @@ impl CanNet {
     /// zone)`. Deterministic: maximum depth, then lowest parent index; the
     /// first child absorbs, the second donates its peer.
     fn deepest_leaf_pair(&self, exclude: NodeId) -> Option<(usize, NodeId, NodeId)> {
-        let mut best: Option<(usize, usize)> = None; // (depth, parent)
-        for z in self.live_zones() {
-            if z == exclude {
-                continue;
-            }
-            let node = self.node_of[z];
-            let Some(parent) = self.tree[node].parent else { continue };
-            let (a, b) = self.tree[parent].kids.expect("parents are internal");
-            let (Some(za), Some(zb)) = (self.tree[a].zone, self.tree[b].zone) else { continue };
+        // The mergeable-pair index is ordered (depth, Reverse(parent)), so
+        // reverse iteration yields maximum depth then lowest parent index —
+        // the same winner the old full scan picked. `exclude` occupies one
+        // leaf, so at most one candidate is skipped.
+        for &(_, Reverse(parent)) in self.merge_pairs.iter().rev() {
+            let (a, b) = self.tree[parent].kids.expect("indexed pairs are internal");
+            let (za, zb) = (self.tree[a].zone.expect("leaf"), self.tree[b].zone.expect("leaf"));
             if za == exclude || zb == exclude {
                 continue;
             }
-            let depth = self.tree[node].depth;
-            if best.is_none_or(|(d, p)| depth > d || (depth == d && parent < p)) {
-                best = Some((depth, parent));
-            }
+            return Some((parent, za, zb));
         }
-        let (_, parent) = best?;
-        let (a, b) = self.tree[parent].kids.expect("internal");
-        Some((parent, self.tree[a].zone.expect("leaf"), self.tree[b].zone.expect("leaf")))
+        None
     }
 
     /// Collapses the sibling pair under `parent` into `parent` itself: the
@@ -510,6 +529,24 @@ impl CanNet {
         self.free_nodes.push(b);
         self.node_of[absorber] = parent;
         self.zones[absorber].as_mut().expect("live absorber").rect = self.tree[parent].rect;
+        self.refresh_merge_pair(parent);
+        if let Some(grand) = self.tree[parent].parent {
+            self.refresh_merge_pair(grand);
+        }
+    }
+
+    /// Re-derives `node`'s membership in the mergeable-pair index: present
+    /// iff internal with both children leaves, keyed by child depth.
+    fn refresh_merge_pair(&mut self, node: usize) {
+        let key = (self.tree[node].depth + 1, Reverse(node));
+        let both_leaves = self.tree[node]
+            .kids
+            .is_some_and(|(a, b)| self.tree[a].kids.is_none() && self.tree[b].kids.is_none());
+        if both_leaves {
+            self.merge_pairs.insert(key);
+        } else {
+            self.merge_pairs.remove(&key);
+        }
     }
 
     /// The zones whose adjacency lists a removal can change: the reshaped
@@ -527,22 +564,52 @@ impl CanNet {
         affected
     }
 
-    /// Recomputes the adjacency lists of `affected` (and clears dead
-    /// slots') by scanning the live tiling.
+    /// Recomputes the adjacency lists of `affected` against the candidate
+    /// set `affected ∪ their old neighbors` — no full-tiling scan. This is
+    /// sufficient: a *new* neighbor `b` of an affected zone `a` requires `a`
+    /// or `b` to have been reshaped; a reshaped zone's new rectangle is a
+    /// union of old rectangles, so `b` abutted one of them and sits in some
+    /// involved slot's old list, which `collect_affected` already folded in.
+    /// Candidates are sorted ascending, so each rebuilt list keeps the
+    /// ascending slot order the old full scan produced.
     fn refresh_adjacency(&mut self, affected: &[NodeId]) {
-        for (i, slot) in self.zones.iter().enumerate() {
-            if slot.is_none() {
-                self.neighbors[i].clear();
-            }
+        let mut candidates: Vec<NodeId> = affected.to_vec();
+        for &a in affected {
+            candidates.extend(self.neighbors[a].iter().copied());
         }
-        let live: Vec<NodeId> = self.live_zones().collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|&z| self.zones[z].is_some());
         for &a in affected {
             let nbrs: Vec<NodeId> =
-                live.iter().copied().filter(|&b| b != a && self.adjacent(a, b)).collect();
+                candidates.iter().copied().filter(|&b| b != a && self.adjacent(a, b)).collect();
             self.neighbors[a] = nbrs;
         }
         // Symmetry: everything `affected` now lists was itself affected (its
         // old list referenced an involved slot), so both ends were rebuilt.
+    }
+
+    /// Recomputes every live zone's neighbor list from scratch by a full
+    /// pairwise tiling scan — the `O(N²)` oracle the incremental
+    /// `refresh_adjacency` repairs are pinned against.
+    ///
+    /// Lists come out in ascending slot order. The incremental paths keep
+    /// each list's *membership* identical but not its order — a split
+    /// appends the sibling pair to an untouched neighbor's existing list —
+    /// so equivalence tests compare lists as sets.
+    pub fn refresh_all_adjacency(&mut self) {
+        let live: Vec<NodeId> = self.live_zones().collect();
+        for &z in &live {
+            self.neighbors[z].clear();
+        }
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[(i + 1)..] {
+                if self.adjacent(a, b) {
+                    self.neighbors[a].push(b);
+                    self.neighbors[b].push(a);
+                }
+            }
+        }
     }
 
     /// Whether two live zones abut on the torus (share an edge of positive
@@ -625,6 +692,30 @@ impl CanNet {
                 return Err(format!("dead slot {i} still lists neighbors"));
             }
         }
+        // The free-slot heap holds exactly the dead slots.
+        let dead: BTreeSet<usize> =
+            self.zones.iter().enumerate().filter(|(_, z)| z.is_none()).map(|(i, _)| i).collect();
+        let heap: BTreeSet<usize> = self.free_slots.iter().map(|&Reverse(i)| i).collect();
+        if dead != heap {
+            return Err(format!("free-slot heap {heap:?} disagrees with dead slots {dead:?}"));
+        }
+        // The mergeable-pair index holds exactly the internal nodes (walked
+        // from the root, so freed arena entries cannot alias in) whose
+        // children are both leaves.
+        let mut expected = BTreeSet::new();
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            if let Some((a, b)) = self.tree[n].kids {
+                if self.tree[a].kids.is_none() && self.tree[b].kids.is_none() {
+                    expected.insert((self.tree[n].depth + 1, Reverse(n)));
+                }
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+        if expected != self.merge_pairs {
+            return Err("mergeable-pair index disagrees with the split tree".into());
+        }
         // Tree consistency: every live zone occupies a leaf carrying its id
         // and rectangle.
         for &z in &live {
@@ -662,7 +753,10 @@ impl CanNet {
     // internals
 
     fn alloc_slot(&mut self, zone: Zone) -> NodeId {
-        if let Some(i) = self.zones.iter().position(Option::is_none) {
+        // The free-slot heap pops the lowest free index — the same slot the
+        // old `position(Option::is_none)` scan found, without the scan.
+        if let Some(Reverse(i)) = self.free_slots.pop() {
+            debug_assert!(self.zones[i].is_none(), "free-slot heap out of sync");
             self.zones[i] = Some(zone);
             self.neighbors[i].clear();
             self.live += 1;

@@ -144,10 +144,10 @@ pub fn range_query_priced(
     sim.send(origin, origin, 0, DcfMsg::Route);
 
     let mut answered: BTreeSet<NodeId> = BTreeSet::new();
-    // Cheapest accumulated edge cost per answering zone (min over all
-    // deliveries — order-independent, since scheduling stays on unit
+    // Flat arrival log reduced by a sorted post-pass (min cost per zone,
+    // max over zones — order-independent, since scheduling stays on unit
     // ticks and the cost model rides along in the envelopes).
-    let mut arrival: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
+    let mut arrivals: Vec<(NodeId, u64)> = Vec::new();
     let mut results: BTreeSet<u64> = BTreeSet::new();
     let mut delay: u32 = 0;
     sim.run(|sim, env: Envelope<DcfMsg>| {
@@ -180,7 +180,7 @@ pub fn range_query_priced(
                 if !hits(node) {
                     return;
                 }
-                arrival.entry(node).and_modify(|c| *c = (*c).min(env.cost)).or_insert(env.cost);
+                arrivals.push((node, env.cost));
                 let first_visit = answered.insert(node);
                 if first_visit {
                     delay = delay.max(env.hop);
@@ -224,7 +224,7 @@ pub fn range_query_priced(
 
     let reached = answered.len();
     let exact = answered == truth;
-    let latency = arrival.values().copied().max().unwrap_or(0);
+    let latency = simnet::last_first_arrival(&mut arrivals);
     Ok(DcfOutcome {
         results: results.into_iter().collect(),
         delay,

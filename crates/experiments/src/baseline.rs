@@ -38,7 +38,19 @@
 //! so the artifact pins recall under loss, the retry premium, the
 //! partition timeline, and rate-limit latency pricing. Every v4 metric is
 //! unchanged: the hostile grid builds *additional* suffixed schemes and
-//! touches none of the existing cells.
+//! touches none of the existing cells. Schema v6 adds a **scaling
+//! section**: four representative schemes ([`SCALING_SCHEMES`]) rebuilt at
+//! each `N` in `config.scaling_ns` (`{10³, 10⁴, 10⁵}` at full scale;
+//! `10⁶` joins behind the `bench_baseline --huge` flag), with build and
+//! publish wall time, query throughput, heap allocations per query (when
+//! the `bench-alloc` feature installs the counting allocator; `null`
+//! otherwise), and the process peak-RSS proxy (`VmHWM` from
+//! `/proc/self/status`; `null` off Linux) committed as scaling curves.
+//! Like `qps`, the wall-clock, allocation, and RSS columns are
+//! machine/toolchain-dependent and exempt from the bitwise contract; the
+//! embedded simulated metrics (delay, messages, results) are not. Every
+//! v5 metric is again unchanged — the scaling grid builds additional
+//! networks from its own seeds and touches none of the existing cells.
 
 use crate::output::Table;
 use crate::{dynamic_single_names, standard_registry};
@@ -54,12 +66,25 @@ use std::time::Instant; // detlint: allow(D2) — qps stopwatch import; every re
 /// The schema tag written to (and expected in) `BENCH_baseline.json` —
 /// bumped whenever the JSON shape changes, and pinned by the CI
 /// bench-schema smoke job (`bench_baseline --quick --check-schema`).
-pub const SCHEMA_VERSION: &str = "bench-baseline-v5";
+pub const SCHEMA_VERSION: &str = "bench-baseline-v6";
 
 /// Hostile-network specs measured in the hostile section: loss alone, the
 /// same loss with a 3-attempt retry budget, the two-island partition, and
 /// the token-bucket rate limit.
 pub const HOSTILE_SPECS: [&str; 4] = ["lossy-p", "lossy-p/r3", "split-brain", "throttle"];
+
+/// Schemes measured in the scaling section: one per substrate family —
+/// FissionE/Kautz (`pira`), CAN (`dcf-can`), Chord (`pht-chord`), and the
+/// skip graph. Scaling cells always use the paper's ObjectID length and a
+/// fixed query count ([`SCALING_QUERIES`]) regardless of quick/full scale,
+/// so a cell at a given `N` is comparable across runs — that is what the
+/// `bench_baseline --gate-qps` regression gate diffs against.
+pub const SCALING_SCHEMES: [&str; 4] = ["pira", "dcf-can", "pht-chord", "skipgraph"];
+
+/// Queries per scaling cell (kept small: at `N = 10⁵`–`10⁶` the point of
+/// the section is build/maintenance cost and per-query footprint, not
+/// tight quantiles — the main grid owns those).
+pub const SCALING_QUERIES: usize = 200;
 
 /// Single-attribute workloads measured in the baseline grid.
 pub const SINGLE_WORKLOADS: [&str; 5] = ["uniform", "zipf-hot", "clustered", "wide-scan", "mixed"];
@@ -92,6 +117,9 @@ pub struct BaselineConfig {
     /// Hostile-network specs measured in the hostile section
     /// (`plan[/rN]` registry-suffix spellings).
     pub hostile_specs: Vec<String>,
+    /// Network sizes measured in the scaling section (each
+    /// [`SCALING_SCHEMES`] entry is rebuilt and measured at every size).
+    pub scaling_ns: Vec<usize>,
 }
 
 impl BaselineConfig {
@@ -108,12 +136,19 @@ impl BaselineConfig {
             replication_factors: vec![1, 3],
             net_models: NET_MODEL_NAMES.iter().map(|s| s.to_string()).collect(),
             hostile_specs: HOSTILE_SPECS.iter().map(|s| s.to_string()).collect(),
+            scaling_ns: vec![1_000, 10_000, 100_000],
         }
     }
 
     /// A reduced setup for tests and `--quick` runs.
     pub fn quick() -> Self {
-        BaselineConfig { n: 250, queries: 40, object_id_len: 32, ..BaselineConfig::full() }
+        BaselineConfig {
+            n: 250,
+            queries: 40,
+            object_id_len: 32,
+            scaling_ns: vec![100, 250],
+            ..BaselineConfig::full()
+        }
     }
 }
 
@@ -198,6 +233,30 @@ pub struct HostileBaselineRow {
     pub report: DriverReport,
 }
 
+/// One measured cell of the scheme × network-size scaling grid.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Registry name of the scheme.
+    pub scheme: String,
+    /// Network size the scheme was built at.
+    pub n: usize,
+    /// Wall-clock milliseconds to build the network (hardware-dependent).
+    pub build_ms: f64,
+    /// Wall-clock milliseconds to publish `n` records (hardware-dependent).
+    pub publish_ms: f64,
+    /// Wall-clock throughput, queries per second (hardware-dependent).
+    pub qps: f64,
+    /// Heap allocations per query, metered over a single-threaded pass by
+    /// the `bench-alloc` counting allocator — `None` (JSON `null`) when
+    /// the feature is off or the allocator is not installed.
+    pub allocs_per_query: Option<f64>,
+    /// Process peak resident set (`VmHWM`, KiB) after this cell — a
+    /// monotone high-water proxy, `None` off Linux.
+    pub peak_rss_kb: Option<u64>,
+    /// The full deterministic metric report for the cell.
+    pub report: DriverReport,
+}
+
 /// A complete baseline run: configuration plus the measured grids.
 #[derive(Debug, Clone)]
 pub struct BaselineReport {
@@ -217,6 +276,9 @@ pub struct BaselineReport {
     /// One row per (dynamic scheme, hostile spec) cell — frozen membership
     /// under the hostile-network layer.
     pub hostile_rows: Vec<HostileBaselineRow>,
+    /// One row per ([`SCALING_SCHEMES`] scheme, network size) cell — the
+    /// scaling curves (build/publish time, qps, allocations, peak RSS).
+    pub scaling_rows: Vec<ScalingRow>,
 }
 
 /// Runs the full grid: every registered single-attribute scheme ×
@@ -449,6 +511,60 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
         }
     }
 
+    // Scaling section: the representative scheme set rebuilt at each
+    // configured network size, with the machine-facing columns (wall
+    // time, allocations, peak RSS) next to the usual simulated metrics.
+    // Cells use the paper's ObjectID length and a fixed query count even
+    // under --quick, so a (scheme, n) cell is comparable across runs.
+    let mut scaling_rows = Vec::new();
+    for &n in &cfg.scaling_ns {
+        for name in SCALING_SCHEMES {
+            let params = BuildParams::new(n, domain.0, domain.1)
+                .with_object_id_len(crate::paper::OBJECT_ID_LEN);
+            let mut rng =
+                simnet::rng_from_seed(cfg.seed ^ dht_api::fnv1a(name.as_bytes()) ^ n as u64);
+            #[allow(clippy::disallowed_methods)]
+            let start = Instant::now(); // detlint: allow(D2) — build stopwatch
+            let mut scheme = registry.build_single(name, &params, &mut rng).expect("scheme builds");
+            let build_ms = start.elapsed().as_secs_f64() * 1e3;
+            #[allow(clippy::disallowed_methods)]
+            let start = Instant::now(); // detlint: allow(D2) — publish stopwatch
+            for h in 0..n as u64 {
+                scheme.publish(rng.gen_range(domain.0..=domain.1), h).expect("publish");
+            }
+            let publish_ms = start.elapsed().as_secs_f64() * 1e3;
+            let workload = WorkloadGen::named("uniform", domain).expect("cataloged");
+            let driver = ParallelDriver {
+                queries: SCALING_QUERIES,
+                seed: cfg.seed ^ dht_api::fnv1a(b"scaling"),
+                threads: cfg.threads,
+                shard_salt: 0,
+            };
+            #[allow(clippy::disallowed_methods)]
+            let start = Instant::now(); // detlint: allow(D2) — qps stopwatch
+            let report = driver.run(scheme.as_ref(), &workload).expect("fault-free queries");
+            let qps = SCALING_QUERIES as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            // The allocation probe re-runs the same cell on one thread:
+            // the counter is process-wide, so the single-threaded pass is
+            // the only one whose delta is attributable to the queries.
+            let single = ParallelDriver { threads: 1, ..driver };
+            let allocs_per_query = metered_allocs(|| {
+                driver_must_run(&single, scheme.as_ref(), &workload);
+            })
+            .map(|allocs| allocs as f64 / SCALING_QUERIES as f64);
+            scaling_rows.push(ScalingRow {
+                scheme: name.to_string(),
+                n,
+                build_ms,
+                publish_ms,
+                qps,
+                allocs_per_query,
+                peak_rss_kb: peak_rss_kb(),
+                report,
+            });
+        }
+    }
+
     BaselineReport {
         config: cfg.clone(),
         rows,
@@ -456,7 +572,46 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
         churn_rows,
         replication_rows,
         hostile_rows,
+        scaling_rows,
     }
+}
+
+/// Runs a driver pass for its allocator side effects alone (the metered
+/// closure must return `()`; the report is the qps pass's job).
+fn driver_must_run(driver: &ParallelDriver, scheme: &dyn dht_api::RangeScheme, wl: &WorkloadGen) {
+    driver.run(scheme, wl).expect("fault-free queries");
+}
+
+/// Allocation count across `f`, when the `bench-alloc` counting allocator
+/// is compiled in *and* installed as the global allocator; `None` (JSON
+/// `null`) otherwise. `f` still runs either way, so row shapes do not
+/// depend on the feature.
+#[cfg(feature = "bench-alloc")]
+fn metered_allocs(f: impl FnOnce()) -> Option<u64> {
+    if !counting_alloc::is_installed() {
+        f();
+        return None;
+    }
+    let before = counting_alloc::allocation_count();
+    f();
+    Some(counting_alloc::allocation_count() - before)
+}
+
+/// Without the `bench-alloc` feature there is no counter: run `f` and
+/// report `None`.
+#[cfg(not(feature = "bench-alloc"))]
+fn metered_allocs(f: impl FnOnce()) -> Option<u64> {
+    f();
+    None
+}
+
+/// The process's peak resident set size in KiB (`VmHWM` from
+/// `/proc/self/status`) — a monotone high-water proxy for the memory the
+/// sweep has needed so far. `None` when the proc file is absent (non-Linux).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// The workload the churn section drives (the paper's uniform mix keeps
@@ -562,6 +717,21 @@ impl BaselineReport {
                 format!("{:.2}", r.report.exact_rate),
             ]);
         }
+        for r in &self.scaling_rows {
+            t.push_row(vec![
+                r.scheme.clone(),
+                "scaling".to_string(),
+                format!("n={}", r.n),
+                format!("{:.0}", r.qps),
+                format!("{:.2}", r.report.delay.mean),
+                format!("{:.1}", r.report.delay.p95),
+                format!("{:.1}", r.report.delay.p99),
+                format!("{:.2}", r.report.latency.mean),
+                format!("{:.1}", r.report.messages.mean),
+                format!("{:.2}", r.report.mesg_ratio.mean),
+                format!("{:.2}", r.report.exact_rate),
+            ]);
+        }
         t
     }
 
@@ -578,13 +748,14 @@ impl BaselineReport {
         let factors: Vec<String> = c.replication_factors.iter().map(usize::to_string).collect();
         let nets: Vec<String> = c.net_models.iter().map(|m| format!("\"{m}\"")).collect();
         let hostile: Vec<String> = c.hostile_specs.iter().map(|m| format!("\"{m}\"")).collect();
+        let scaling_ns: Vec<String> = c.scaling_ns.iter().map(usize::to_string).collect();
         let _ = writeln!(s, "{{");
         let _ = writeln!(s, "  \"schema\": \"{SCHEMA_VERSION}\",");
         let _ = writeln!(
             s,
             "  \"config\": {{ \"n\": {}, \"queries\": {}, \"seed\": {}, \"object_id_len\": {}, \
              \"churn_epochs\": {}, \"replication_factors\": [{}], \"net_models\": [{}], \
-             \"hostile_specs\": [{}] }},",
+             \"hostile_specs\": [{}], \"scaling_ns\": [{}] }},",
             c.n,
             c.queries,
             c.seed,
@@ -592,7 +763,8 @@ impl BaselineReport {
             c.churn_epochs,
             factors.join(", "),
             nets.join(", "),
-            hostile.join(", ")
+            hostile.join(", "),
+            scaling_ns.join(", ")
         );
         let _ = writeln!(s, "  \"results\": [");
         for (i, r) in self.rows.iter().enumerate() {
@@ -737,6 +909,31 @@ impl BaselineReport {
                 json_f64(r.report.exact_rate),
                 r.report.results_returned,
                 epochs.join(", "),
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"scaling\": [");
+        for (i, r) in self.scaling_rows.iter().enumerate() {
+            let comma = if i + 1 < self.scaling_rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{ \"scheme\": \"{}\", \"n\": {}, \"build_ms\": {}, \"publish_ms\": {}, \
+                 \"qps\": {}, \"allocs_per_query\": {}, \"peak_rss_kb\": {}, \
+                 \"delay_mean\": {}, \"delay_p99\": {}, \"messages_mean\": {}, \
+                 \"mesg_ratio_mean\": {}, \"exact_rate\": {}, \"results_returned\": {} }}{comma}",
+                r.scheme,
+                r.n,
+                json_f64(r.build_ms),
+                json_f64(r.publish_ms),
+                json_f64(r.qps),
+                r.allocs_per_query.map_or_else(|| "null".to_string(), json_f64),
+                r.peak_rss_kb.map_or_else(|| "null".to_string(), |kb| kb.to_string()),
+                json_f64(r.report.delay.mean),
+                json_f64(r.report.delay.p99),
+                json_f64(r.report.messages.mean),
+                json_f64(r.report.mesg_ratio.mean),
+                json_f64(r.report.exact_rate),
+                r.report.results_returned,
             );
         }
         let _ = writeln!(s, "  ]");
@@ -932,6 +1129,38 @@ mod tests {
             assert_eq!(th.report.recall.mean, 1.0, "{name}@throttle lost answers");
             assert_eq!(th.report.exact_rate, 1.0, "{name}@throttle inexact");
         }
+        // Scaling section: every scaling scheme × every configured size,
+        // exact answers and a fixed query count at every N.
+        assert_eq!(
+            report.scaling_rows.len(),
+            report.config.scaling_ns.len() * SCALING_SCHEMES.len()
+        );
+        for r in &report.scaling_rows {
+            assert!(r.qps > 0.0, "{} n={} qps", r.scheme, r.n);
+            assert!(r.build_ms >= 0.0 && r.publish_ms >= 0.0);
+            assert_eq!(r.report.queries, SCALING_QUERIES, "{} n={}", r.scheme, r.n);
+            assert_eq!(r.report.exact_rate, 1.0, "{} n={} inexact", r.scheme, r.n);
+            if cfg!(feature = "bench-alloc") {
+                // The feature installs the allocator for this crate's
+                // test binary too, so the column must be live — a `None`
+                // here means the counter was compiled in but unreachable.
+                let a = r.allocs_per_query.expect("bench-alloc counter installed");
+                assert!(a > 0.0, "{} n={} counted no allocations", r.scheme, r.n);
+            } else {
+                assert!(r.allocs_per_query.is_none(), "{} n={} phantom counter", r.scheme, r.n);
+            }
+            #[cfg(target_os = "linux")]
+            assert!(r.peak_rss_kb.unwrap_or(0) > 0, "{} n={} no VmHWM", r.scheme, r.n);
+        }
+        for name in SCALING_SCHEMES {
+            for &n in &report.config.scaling_ns {
+                assert!(
+                    report.scaling_rows.iter().any(|r| r.scheme == name && r.n == n),
+                    "scaling cell {name} n={n} missing"
+                );
+            }
+        }
+
         // JSON sanity: parses at the bracket level and names every scheme.
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -946,6 +1175,11 @@ mod tests {
         assert!(json.contains("\"delay_p95\""));
         assert!(json.contains("\"hostile\": ["));
         assert!(json.contains("\"hostile_specs\": ["));
+        assert!(json.contains("\"scaling\": ["));
+        assert!(json.contains("\"scaling_ns\": ["));
+        assert!(json.contains("\"allocs_per_query\""));
+        assert!(json.contains("\"peak_rss_kb\""));
+        assert!(json.contains("\"build_ms\""));
         for spec in HOSTILE_SPECS {
             assert!(json.contains(&format!("\"spec\": \"{spec}\"")), "{spec} missing");
         }
@@ -955,7 +1189,7 @@ mod tests {
         for plan in CHURN_PLAN_NAMES {
             assert!(json.contains(&format!("\"plan\": \"{plan}\"")), "{plan} missing");
         }
-        // The table mirrors all four grids.
+        // The table mirrors every grid.
         assert_eq!(
             report.to_table().rows.len(),
             report.rows.len()
@@ -963,13 +1197,20 @@ mod tests {
                 + report.churn_rows.len()
                 + report.replication_rows.len()
                 + report.hostile_rows.len()
+                + report.scaling_rows.len()
         );
     }
 
     #[test]
     fn simulated_metrics_are_seed_deterministic() {
-        let a = run(&BaselineConfig { queries: 15, n: 150, ..BaselineConfig::quick() });
-        let b = run(&BaselineConfig { queries: 15, n: 150, ..BaselineConfig::quick() });
+        let cfg = BaselineConfig {
+            queries: 15,
+            n: 150,
+            scaling_ns: vec![120],
+            ..BaselineConfig::quick()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
         for (ra, rb) in a.rows.iter().zip(&b.rows) {
             assert_eq!(ra.scheme, rb.scheme);
             assert_eq!(ra.report.delay, rb.report.delay, "{}/{}", ra.scheme, ra.workload);
@@ -999,6 +1240,12 @@ mod tests {
             assert_eq!(ra.report.recall, rb.report.recall, "{}@{}", ra.scheme, ra.spec);
             assert_eq!(ra.report.messages, rb.report.messages);
             assert_eq!(ra.report.latency, rb.report.latency);
+            assert_eq!(ra.report.results_returned, rb.report.results_returned);
+        }
+        for (ra, rb) in a.scaling_rows.iter().zip(&b.scaling_rows) {
+            assert_eq!((&ra.scheme, ra.n), (&rb.scheme, rb.n));
+            assert_eq!(ra.report.delay, rb.report.delay, "{} n={}", ra.scheme, ra.n);
+            assert_eq!(ra.report.messages, rb.report.messages);
             assert_eq!(ra.report.results_returned, rb.report.results_returned);
         }
     }

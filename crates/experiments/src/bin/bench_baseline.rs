@@ -5,27 +5,66 @@
 //! cargo run --release -p armada-experiments --bin bench_baseline            # committed scale
 //! cargo run --release -p armada-experiments --bin bench_baseline -- --quick # smoke scale
 //! cargo run --release -p armada-experiments --bin bench_baseline -- --quick --check-schema
+//! cargo run --release -p armada-experiments --bin bench_baseline -- --huge  # adds N = 10⁶
+//! cargo run --release -p armada-experiments --bin bench_baseline -- \
+//!     --quick --scaling-ns 10000 --gate-qps                                 # CI perf gate
 //! ```
 //!
-//! `--check-schema` additionally compares the schema tag this binary emits
-//! against the committed `BENCH_baseline.json` and exits non-zero on
-//! drift — the CI bench-schema smoke job runs exactly that, so a schema
-//! bump that forgets to regenerate the committed artifact fails before it
-//! lands.
+//! Flags:
+//!
+//! - `--check-schema` compares the schema tag this binary emits against
+//!   the committed `BENCH_baseline.json` and exits non-zero on drift —
+//!   the CI bench-schema smoke job runs exactly that, so a schema bump
+//!   that forgets to regenerate the committed artifact fails before it
+//!   lands.
+//! - `--scaling-ns a,b,c` overrides the network sizes the scaling
+//!   section sweeps (the CI perf gate uses this to run one mid-size N
+//!   that overlaps the committed full-scale curve).
+//! - `--huge` appends `N = 10⁶` to the scaling sweep — deliberately
+//!   opt-in: that point costs minutes and gigabytes, so it never runs by
+//!   accident on CI or in a default regeneration.
+//! - `--gate-qps` re-reads the committed baseline after the run and
+//!   fails (exit 1) if any scaling cell measured here is more than 25%
+//!   slower (qps) than the same `(scheme, N)` cell in the committed
+//!   curve. Cells absent from the committed curve are skipped, so the
+//!   gate is inert until a full-scale baseline with that N is committed.
+//!
+//! Run with `--features bench-alloc` to fill the scaling section's
+//! `allocs_per_query` column (otherwise it is `null`).
 
 use armada_experiments::baseline::{self, BaselineConfig};
 use armada_experiments::Scale;
 
+/// Allowed fractional qps drop per scaling cell before `--gate-qps` fails.
+const GATE_QPS_DROP: f64 = 0.25;
+
 fn main() {
     let scale = Scale::from_args();
     let check_schema = std::env::args().any(|a| a == "--check-schema");
-    let cfg = match scale {
+    let gate_qps = std::env::args().any(|a| a == "--gate-qps");
+    let huge = std::env::args().any(|a| a == "--huge");
+    let mut cfg = match scale {
         Scale::Full => BaselineConfig::full(),
         Scale::Quick => BaselineConfig::quick(),
     };
+    if let Some(ns) = armada_experiments::arg_list("scaling-ns") {
+        cfg.scaling_ns = ns
+            .iter()
+            .map(|raw| match raw.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("error: --scaling-ns wants positive integers, got {raw:?}");
+                    std::process::exit(2);
+                }
+            })
+            .collect();
+    }
+    if huge {
+        cfg.scaling_ns.push(1_000_000);
+    }
     eprintln!(
-        "bench_baseline: N = {}, {} queries/cell, {} threads — building schemes…",
-        cfg.n, cfg.queries, cfg.threads
+        "bench_baseline: N = {}, {} queries/cell, {} threads, scaling N = {:?} — building schemes…",
+        cfg.n, cfg.queries, cfg.threads, cfg.scaling_ns
     );
     let report = baseline::run(&cfg);
     print!("{}", report.to_table().to_markdown());
@@ -44,15 +83,19 @@ fn main() {
             std::process::exit(1);
         }
     }
-    if check_schema {
+    // Both post-run checks diff against the committed artifact.
+    let committed = (check_schema || gate_qps).then(|| {
         let committed_path = baseline::baseline_path();
-        let committed = match std::fs::read_to_string(&committed_path) {
+        match std::fs::read_to_string(&committed_path) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("error: cannot read {}: {e}", committed_path.display());
                 std::process::exit(1);
             }
-        };
+        }
+    });
+    if check_schema {
+        let committed = committed.as_deref().expect("read above");
         let want = format!("\"schema\": \"{}\"", baseline::SCHEMA_VERSION);
         if committed.contains(&want) {
             println!("[schema] committed baseline matches {}", baseline::SCHEMA_VERSION);
@@ -63,9 +106,8 @@ fn main() {
                 .unwrap_or("<no schema line>")
                 .trim();
             eprintln!(
-                "error: schema drift — this binary emits {:?} but {} has {}",
+                "error: schema drift — this binary emits {:?} but the committed baseline has {}",
                 baseline::SCHEMA_VERSION,
-                committed_path.display(),
                 found
             );
             eprintln!(
@@ -74,4 +116,82 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if gate_qps {
+        let committed = committed.as_deref().expect("read above");
+        let reference = committed_scaling_qps(committed);
+        let mut checked = 0usize;
+        let mut failed = false;
+        for row in &report.scaling_rows {
+            let Some(&(_, _, ref_qps)) =
+                reference.iter().find(|(s, n, _)| *s == row.scheme && *n == row.n)
+            else {
+                continue;
+            };
+            checked += 1;
+            let floor = ref_qps * (1.0 - GATE_QPS_DROP);
+            if row.qps < floor {
+                failed = true;
+                eprintln!(
+                    "error: qps regression — {} at N = {} measured {:.0} qps, committed \
+                     {:.0} qps (floor {:.0})",
+                    row.scheme, row.n, row.qps, ref_qps, floor
+                );
+            } else {
+                println!(
+                    "[gate] {} N = {}: {:.0} qps vs committed {:.0} (floor {:.0}) — ok",
+                    row.scheme, row.n, row.qps, ref_qps, floor
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("[gate] {checked} scaling cell(s) within 25% of committed qps");
+        if checked == 0 {
+            println!("[gate] note: no (scheme, N) overlap with the committed scaling curve");
+        }
+    }
+}
+
+/// Extracts `(scheme, n, qps)` for every row of the committed baseline's
+/// `"scaling"` array. A hand-rolled line scan to match the hand-rolled
+/// writer (the build has no serde); tolerant of a missing section (older
+/// schema) by returning an empty list.
+fn committed_scaling_qps(json: &str) -> Vec<(String, usize, f64)> {
+    let mut rows = Vec::new();
+    let mut in_scaling = false;
+    for line in json.lines() {
+        let t = line.trim();
+        if !in_scaling {
+            in_scaling = t.starts_with("\"scaling\": [");
+            continue;
+        }
+        if t.starts_with(']') {
+            break;
+        }
+        if let (Some(scheme), Some(n), Some(qps)) =
+            (json_str_field(t, "scheme"), json_num_field(t, "n"), json_num_field(t, "qps"))
+        {
+            rows.push((scheme, n as usize, qps));
+        }
+    }
+    rows
+}
+
+/// The string value of `"key": "…"` on a single JSON line, if present.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The numeric value of `"key": 123[.45]` on a single JSON line, if present.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

@@ -5,7 +5,8 @@ use kautz::KautzStr;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use simnet::NodeId;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::ops::Bound;
 
 /// A live FISSIONE peer: its PeerID and the objects it stores.
@@ -85,6 +86,9 @@ pub struct FissioneNet {
     live: usize,
     /// `depth_hist[d]` = number of live peers with depth `d`.
     depth_hist: Vec<usize>,
+    /// Free slots as a min-heap: allocation recycles the lowest free index,
+    /// matching the old slot scan without its O(N) cost.
+    free_slots: BinaryHeap<Reverse<usize>>,
 }
 
 impl FissioneNet {
@@ -96,6 +100,7 @@ impl FissioneNet {
             by_id: BTreeMap::new(),
             live: 0,
             depth_hist: Vec::new(),
+            free_slots: BinaryHeap::new(),
         };
         for sym in 0..=cfg.base {
             let id = KautzStr::new(cfg.base, vec![sym]).expect("single symbol is valid");
@@ -503,6 +508,7 @@ impl FissioneNet {
         // of the leaver go away.
         self.by_id.insert(id, deepest);
         self.slots[node] = None;
+        self.free_slots.push(Reverse(node));
         self.live -= 1;
         Ok(())
     }
@@ -577,6 +583,7 @@ impl FissioneNet {
         self.by_id.remove(&deep_id);
         self.live -= 1; // donor temporarily out
         self.slots[donor] = None;
+        self.free_slots.push(Reverse(donor));
 
         // Split the target; the freed slot takes the right child.
         let (kept, newcomer) = self.split_leaf(target);
@@ -720,7 +727,10 @@ impl FissioneNet {
     }
 
     fn alloc_slot(&mut self, peer: Peer) -> NodeId {
-        if let Some(i) = self.slots.iter().position(Option::is_none) {
+        // Pops the lowest free index — the same slot the old
+        // `position(Option::is_none)` scan found, without the scan.
+        if let Some(Reverse(i)) = self.free_slots.pop() {
+            debug_assert!(self.slots[i].is_none(), "free-slot heap out of sync");
             self.slots[i] = Some(peer);
             i
         } else {
@@ -737,6 +747,7 @@ impl FissioneNet {
             self.bump_depth(id.len(), -1);
         }
         self.slots[node] = None;
+        self.free_slots.push(Reverse(node));
         self.live -= 1;
     }
 

@@ -99,6 +99,14 @@ impl ScaledValue {
         self.0
     }
 
+    /// Constructs directly from raw scaled units, clamping to
+    /// `[0, SCALE]` — the exact inverse of [`ScaledValue::raw`] on valid
+    /// inputs (used by exhaustive descent tests to probe exact split
+    /// boundaries that `f64` cannot represent).
+    pub fn from_raw_clamped(raw: u128) -> Self {
+        ScaledValue(raw.min(SCALE))
+    }
+
     /// Approximate `f64` value in `[0, 1]` (for display only).
     pub fn to_unit_f64(self) -> f64 {
         self.0 as f64 / SCALE as f64

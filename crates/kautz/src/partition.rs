@@ -23,6 +23,56 @@ use crate::{KautzError, KautzStr};
 /// boundary arithmetic; the paper uses `k = 100`).
 pub const MAX_DEPTH: usize = 120;
 
+/// Depth of the precomputed leaf-symbol table: the top `TABLE_DEPTH` levels
+/// of the single-attribute descent collapse into one multiply and a table
+/// row copy. Limited by exact arithmetic: the jump computes `3p` in `u128`
+/// (`p ≤ 2^120`), and the residual shift needs `TABLE_DEPTH − 1 + 120 ≤ 127`.
+const TABLE_DEPTH: usize = 7;
+
+/// Leaves at `TABLE_DEPTH`: `3 · 2^(TABLE_DEPTH−1)`.
+const TABLE_LEAVES: usize = 3 << (TABLE_DEPTH - 1);
+
+/// The `idx`-th legal child symbol after `last` (alphabet `{0,1,2}` minus
+/// `last`, increasing) — the arithmetic form of
+/// [`KautzStr::child_symbols`]`().nth(idx)` for base 2.
+const fn child2(last: u8, idx: u8) -> u8 {
+    match (last, idx) {
+        (0, 0) => 1,
+        (0, _) => 2,
+        (1, 0) => 0,
+        (1, _) => 2,
+        (2, 0) => 0,
+        _ => 1,
+    }
+}
+
+/// Builds the depth-[`TABLE_DEPTH`] leaf table: row `j` holds the symbols
+/// of the `j`-th leaf in lexicographic order (root digit `j / 2^(D−1)`,
+/// then the binary digits of `j` high to low, each mapped through
+/// [`child2`]).
+const fn build_leaf_table() -> [[u8; TABLE_DEPTH]; TABLE_LEAVES] {
+    let mut table = [[0u8; TABLE_DEPTH]; TABLE_LEAVES];
+    let mut j = 0;
+    while j < TABLE_LEAVES {
+        let mut last = (j >> (TABLE_DEPTH - 1)) as u8;
+        table[j][0] = last;
+        let mut lvl = 1;
+        while lvl < TABLE_DEPTH {
+            let bit = ((j >> (TABLE_DEPTH - 1 - lvl)) & 1) as u8;
+            let sym = child2(last, bit);
+            table[j][lvl] = sym;
+            last = sym;
+            lvl += 1;
+        }
+        j += 1;
+    }
+    table
+}
+
+/// Flat leaf-symbol table for the top [`TABLE_DEPTH`] levels (4.3 KiB,
+/// computed at compile time).
+static LEAF_TABLE: [[u8; TABLE_DEPTH]; TABLE_LEAVES] = build_leaf_table();
+
 /// One exact ternary split step: which of the root's three equal pieces
 /// contains relative position `p ∈ [0, SCALE]`, and `p` rescaled within it.
 fn step3(p: u128) -> (usize, u128) {
@@ -49,7 +99,36 @@ fn step2(p: u128) -> (usize, u128) {
 ///
 /// Panics if `k == 0` or `k > `[`MAX_DEPTH`].
 pub fn single_hash_scaled(x: ScaledValue, k: usize) -> KautzStr {
-    multiple_hash_scaled(&[x], k)
+    assert!(k > 0 && k <= MAX_DEPTH, "depth {k} out of range");
+    let mut syms = Vec::with_capacity(k);
+    let mut p = x.raw();
+    let mut last;
+    if k >= TABLE_DEPTH {
+        // Table jump over the top TABLE_DEPTH levels. With M = TABLE_LEAVES
+        // the composed descent computes leaf j = ⌊M·p / SCALE⌋ (clamped to
+        // M−1 at p = SCALE) and residual M·p − j·SCALE; since M = 3·2^(D−1),
+        // j = ⌊3p / 2^(121−D)⌋ and the residual is (3p − j·2^(121−D))·2^(D−1),
+        // both overflow-free in u128 — identical to D sequential step calls.
+        let t = 3 * p;
+        let shift = crate::fixed::SCALE_BITS + 1 - TABLE_DEPTH as u32;
+        let j = ((t >> shift) as usize).min(TABLE_LEAVES - 1);
+        p = (t - ((j as u128) << shift)) << (TABLE_DEPTH - 1);
+        let row = &LEAF_TABLE[j];
+        syms.extend_from_slice(row);
+        last = row[TABLE_DEPTH - 1];
+    } else {
+        let (idx, rest) = step3(p);
+        p = rest;
+        last = idx as u8; // root children are the symbols 0, 1, 2 in order
+        syms.push(last);
+    }
+    for _ in syms.len()..k {
+        let (idx, rest) = step2(p);
+        p = rest;
+        last = child2(last, idx as u8);
+        syms.push(last);
+    }
+    KautzStr::new(2, syms).expect("descent emits legal child symbols")
 }
 
 /// `Multiple_hash` (§5) on pre-normalised per-attribute values: descends the
@@ -277,6 +356,39 @@ mod tests {
         }
         let long = KautzStr::new(2, syms).unwrap();
         assert!(matches!(rect_of_prefix(&long, 1), Err(KautzError::UnsupportedLength { .. })));
+    }
+
+    #[test]
+    fn table_jump_matches_sequential_descent_exactly() {
+        // The flat-table fast path must agree symbol-for-symbol with the
+        // general sequential descent (multiple_hash_scaled with m = 1) at
+        // every depth — below, at, and above TABLE_DEPTH — including the
+        // clamped endpoints and values straddling split boundaries.
+        let depths = [1, 3, TABLE_DEPTH - 1, TABLE_DEPTH, TABLE_DEPTH + 1, 20, 100, MAX_DEPTH];
+        let mut values: Vec<u128> = vec![0, 1, SCALE - 1, SCALE];
+        // Dyadic and ternary split boundaries and their neighbours.
+        for d in 1..=10u32 {
+            for n in 0..(1u128 << d) {
+                let b = n * (SCALE >> d);
+                values.extend([b.saturating_sub(1), b, b + 1]);
+            }
+        }
+        // A deterministic pseudo-random sweep of the interior.
+        let mut s: u128 = 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..500 {
+            s = s.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(0x6361_1c88);
+            values.push(s % (SCALE + 1));
+        }
+        for &raw in &values {
+            let x = ScaledValue::from_raw_clamped(raw);
+            for &k in &depths {
+                assert_eq!(
+                    single_hash_scaled(x, k),
+                    multiple_hash_scaled(&[x], k),
+                    "raw {raw} depth {k}"
+                );
+            }
+        }
     }
 
     #[test]

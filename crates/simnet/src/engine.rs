@@ -5,7 +5,7 @@ use crate::net::NetModel;
 use crate::stats::SimStats;
 use crate::{NodeId, SimTime};
 use rand::rngs::SmallRng;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Per-hop virtual latency model governing **event scheduling** (the
 /// simulator's clock).
@@ -122,7 +122,16 @@ pub struct Sim<M> {
     now: SimTime,
     seq: u64,
     seed: u64,
+    /// Far-future events (`at ≥ now + 2` when pushed). The common unit-tick
+    /// case never touches this heap: events landing at `now` or `now + 1`
+    /// go to the ready-time lanes below, which preserve `(at, seq)` order
+    /// by construction (the sequence counter is monotone, so lane FIFO
+    /// order *is* seq order).
     queue: BinaryHeap<Scheduled<M>>,
+    /// The cohort being delivered: events at `now`, in seq order.
+    cur: VecDeque<Envelope<M>>,
+    /// Events at `now + 1`, in seq order.
+    next: VecDeque<Envelope<M>>,
     rng: SmallRng,
     latency: LatencyModel,
     net: NetModel,
@@ -141,7 +150,7 @@ impl<M> std::fmt::Debug for Sim<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("pending", &self.pending())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
@@ -156,6 +165,8 @@ impl<M> Sim<M> {
             seq: 0,
             seed,
             queue: BinaryHeap::new(),
+            cur: VecDeque::new(),
+            next: VecDeque::new(),
             rng: crate::rng_from_seed(seed),
             latency: LatencyModel::Unit,
             net: NetModel::unit(),
@@ -297,8 +308,20 @@ impl<M> Sim<M> {
         let latency = if is_network { self.latency.cost(self.seed, from, to) } else { 0 };
         let cost = base_cost + queueing + if is_network { self.net.edge_cost(from, to) } else { 0 };
         let env = Envelope { from, to, hop, at: self.now + latency, cost, payload };
+        self.enqueue(env);
+    }
+
+    /// Routes an event to the ready-time lane for its delivery time, or to
+    /// the heap when it lands further out than `now + 1`.
+    fn enqueue(&mut self, env: Envelope<M>) {
         self.seq += 1;
-        self.queue.push(Scheduled { at: env.at, seq: self.seq, env });
+        if env.at == self.now {
+            self.cur.push_back(env);
+        } else if env.at == self.now + 1 {
+            self.next.push_back(env);
+        } else {
+            self.queue.push(Scheduled { at: env.at, seq: self.seq, env });
+        }
     }
 
     /// Forwards in response to a received envelope: hop depth increments
@@ -315,11 +338,15 @@ impl<M> Sim<M> {
             return;
         }
         let env = Envelope { from: node, to: node, hop, at: self.now + delay, cost: 0, payload };
-        self.seq += 1;
-        self.queue.push(Scheduled { at: env.at, seq: self.seq, env });
+        self.enqueue(env);
     }
 
     /// Runs until the queue drains, calling `handler` for each delivery.
+    ///
+    /// Events are drained in ready-time cohorts: the whole cohort for the
+    /// current tick is assembled once, then delivered FIFO — the exact
+    /// `(at, seq)` order the per-event heap pops produced, without a heap
+    /// operation per unit-latency event.
     ///
     /// A node crashed *after* a message to it was scheduled still does not
     /// receive it (the crash check is repeated at delivery time).
@@ -327,9 +354,14 @@ impl<M> Sim<M> {
     where
         F: FnMut(&mut Sim<M>, Envelope<M>),
     {
-        while let Some(Scheduled { at, env, .. }) = self.queue.pop() {
-            debug_assert!(at >= self.now, "time must not run backwards");
-            self.now = at;
+        loop {
+            let Some(env) = self.cur.pop_front() else {
+                if self.advance() {
+                    continue;
+                }
+                break;
+            };
+            debug_assert!(env.at == self.now, "cohort member off its tick");
             if self.faults.is_crashed(env.to) {
                 self.stats.messages_to_crashed += 1;
                 continue;
@@ -342,10 +374,35 @@ impl<M> Sim<M> {
         }
     }
 
+    /// Advances the clock to the earliest pending tick and assembles that
+    /// tick's cohort in `cur`. Heap events at the new tick were pushed
+    /// before its lane opened (at a smaller `now`), so they carry smaller
+    /// sequence numbers and drain first — the heap itself yields equal-time
+    /// events in seq order, and the lane is already FIFO-by-seq. Returns
+    /// `false` when nothing is pending.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.cur.is_empty(), "advance with an undelivered cohort");
+        let lane_t = if self.next.is_empty() { None } else { Some(self.now + 1) };
+        let heap_t = self.queue.peek().map(|s| s.at);
+        let Some(t) = [lane_t, heap_t].into_iter().flatten().min() else {
+            return false;
+        };
+        debug_assert!(t > self.now, "time must not run backwards");
+        while self.queue.peek().is_some_and(|s| s.at == t) {
+            let s = self.queue.pop().expect("peeked above");
+            self.cur.push_back(s.env);
+        }
+        if t == self.now + 1 {
+            self.cur.append(&mut self.next);
+        }
+        self.now = t;
+        true
+    }
+
     /// Number of undelivered events still queued (non-zero only if `run`
     /// has not been called or a handler re-enqueued work).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.cur.len() + self.next.len()
     }
 }
 

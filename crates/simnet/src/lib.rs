@@ -64,7 +64,7 @@ mod stats;
 pub use engine::{Envelope, LatencyModel, Sim};
 pub use faults::{FaultPlan, LossPlan, PartitionPlan, RateLimitPlan, HOSTILE_PLAN_NAMES};
 pub use net::{mix, NetModel, NetModelKind, NET_MODEL_NAMES};
-pub use stats::{Samples, SimStats, Summary};
+pub use stats::{last_first_arrival, Samples, SimStats, Summary};
 
 /// Identifier of a simulated node (index into the caller's node table).
 pub type NodeId = usize;

@@ -192,6 +192,32 @@ fn latency_reports_are_thread_count_invariant_under_every_net_model() {
 }
 
 #[test]
+fn streaming_and_materialized_drivers_are_interchangeable_at_scale() {
+    // The scaling sweeps run the streaming driver (ranges derived on the
+    // fly inside each worker) so a 10⁶-query batch never materializes its
+    // range table. Contract: at every batch size and thread count, the
+    // streaming report is bitwise identical to the materialized oracle —
+    // the only difference is *when* `workload.range(seed, q)` is evaluated.
+    let scheme = fresh_scheme("pira");
+    let workload = WorkloadGen::named("mixed", DOMAIN).unwrap();
+    for queries in [1_000usize, 10_000] {
+        let mut baseline: Option<DriverReport> = None;
+        for threads in [1usize, 4] {
+            let driver = ParallelDriver { queries, seed: 0xba5e, threads, shard_salt: 0 };
+            let streamed = driver.run(scheme.as_ref(), &workload).unwrap();
+            let materialized = driver.run_materialized(scheme.as_ref(), &workload).unwrap();
+            let ctx = format!("pira/q{queries}/t{threads}");
+            assert_reports_identical(&streamed, &materialized, &ctx);
+            // And across thread counts, both match the t = 1 report.
+            match &baseline {
+                None => baseline = Some(streamed),
+                Some(b) => assert_reports_identical(b, &streamed, &ctx),
+            }
+        }
+    }
+}
+
+#[test]
 fn epoch_mode_refuses_static_schemes_honestly() {
     let workload = WorkloadGen::named("uniform", DOMAIN).unwrap();
     let plan = ChurnPlan::named("steady-churn").unwrap();
