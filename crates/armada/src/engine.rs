@@ -210,6 +210,41 @@ impl SingleArmada {
     ) -> Result<QueryOutcome, ArmadaError> {
         crate::pira::query(self, origin, lo, hi, seed, faults)
     }
+
+    /// [`pira_query`](Self::pira_query) with the simulator's trace sink
+    /// attached: the identical outcome plus the full virtual-time event
+    /// stream (hops, deliveries, answers).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dead origins or empty ranges.
+    pub fn pira_query_traced(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(QueryOutcome, Vec<simnet::TraceRecord>), ArmadaError> {
+        crate::pira::query_traced(self, origin, lo, hi, seed, &FaultPlan::new())
+    }
+
+    /// [`pira_query_with_faults`](Self::pira_query_with_faults) with the
+    /// trace sink attached — fault verdicts (drops, losses, crashed
+    /// receivers) appear in the stream alongside the hops they pruned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dead origins or empty ranges.
+    pub fn pira_query_traced_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<(QueryOutcome, Vec<simnet::TraceRecord>), ArmadaError> {
+        crate::pira::query_traced(self, origin, lo, hi, seed, faults)
+    }
 }
 
 /// Multi-attribute Armada: FISSIONE + `Multiple_hash` naming + records.

@@ -55,6 +55,39 @@ pub(crate) fn query(
     seed: u64,
     faults: &FaultPlan,
 ) -> Result<QueryOutcome, ArmadaError> {
+    let (out, _) = query_impl(armada, origin, lo, hi, seed, faults, false)?;
+    Ok(out)
+}
+
+/// [`query`] with the simulator's trace sink attached: returns the outcome
+/// *plus* the full virtual-time event stream (hops, fault verdicts,
+/// deliveries, answers). The outcome is bitwise identical to the untraced
+/// run — tracing reads the schedule, it never perturbs it.
+///
+/// # Errors
+///
+/// Same as [`query`].
+pub(crate) fn query_traced(
+    armada: &SingleArmada,
+    origin: NodeId,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+    faults: &FaultPlan,
+) -> Result<(QueryOutcome, Vec<simnet::TraceRecord>), ArmadaError> {
+    let (out, records) = query_impl(armada, origin, lo, hi, seed, faults, true)?;
+    Ok((out, records.unwrap_or_default()))
+}
+
+fn query_impl(
+    armada: &SingleArmada,
+    origin: NodeId,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+    faults: &FaultPlan,
+    trace: bool,
+) -> Result<(QueryOutcome, Option<Vec<simnet::TraceRecord>>), ArmadaError> {
     let net = armada.net();
     if !net.is_live(origin) {
         return Err(ArmadaError::BadOrigin { origin });
@@ -65,6 +98,9 @@ pub(crate) fn query(
 
     let mut sim: Sim<PiraMsg> =
         Sim::new(seed).with_faults(faults.clone()).with_net(*armada.net_model());
+    if trace {
+        sim = sim.with_trace(simnet::TraceSink::new());
+    }
     for sub in region.split_by_common_prefix() {
         let com_t = sub.common_prefix();
         let (f, hops_left) = descent_budget(&origin_id, &com_t);
@@ -95,6 +131,7 @@ pub(crate) fn query(
         // peer suffices even when it straddles several sub-regions.
         if sub.intersects_prefix(id) {
             arrivals.push((node, env.cost));
+            sim.trace_answer(&env);
             if answered.insert(node) {
                 delay = delay.max(env.hop);
                 let peer = net.peer(node).expect("live");
@@ -144,17 +181,21 @@ pub(crate) fn query(
     // Critical path in virtual ms: the query completes when the last
     // destination first learns of it.
     let latency = simnet::last_first_arrival(&mut arrivals);
-    Ok(QueryOutcome {
-        results: results.into_iter().collect(),
-        metrics: QueryMetrics {
-            delay,
-            latency,
-            messages: sim.stats().messages_sent,
-            dest_peers: truth.len(),
-            reached_peers: reached,
-            exact,
+    let records = sim.take_trace().map(simnet::TraceSink::into_records);
+    Ok((
+        QueryOutcome {
+            results: results.into_iter().collect(),
+            metrics: QueryMetrics {
+                delay,
+                latency,
+                messages: sim.stats().messages_sent,
+                dest_peers: truth.len(),
+                reached_peers: reached,
+                exact,
+            },
         },
-    })
+        records,
+    ))
 }
 
 #[cfg(test)]
@@ -289,6 +330,53 @@ mod tests {
         assert!(matches!(err, crate::ArmadaError::BadOrigin { .. }));
         let origin = a.net().live_peers().next().unwrap();
         assert!(a.pira_query(origin, 5.0, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn traced_query_matches_untraced_and_streams_answers() {
+        let a = build(200, 70);
+        let mut rng = simnet::rng_from_seed(700);
+        for q in 0..20 {
+            let lo: f64 = rng.gen_range(0.0..900.0);
+            let hi = lo + rng.gen_range(0.5..100.0);
+            let origin = a.net().random_peer(&mut rng);
+            let plain = a.pira_query(origin, lo, hi, q).unwrap();
+            let (traced, records) = a.pira_query_traced(origin, lo, hi, q).unwrap();
+            assert_eq!(plain, traced, "tracing perturbed query [{lo}, {hi}]");
+            // One Answer event per reached peer, and the deepest answer
+            // carries exactly the reported delay.
+            let answers: Vec<_> = records
+                .iter()
+                .filter_map(|r| match r.event {
+                    simnet::TraceEvent::Answer { node, hop, cost_ms } => Some((node, hop, cost_ms)),
+                    _ => None,
+                })
+                .collect();
+            let distinct: std::collections::BTreeSet<_> =
+                answers.iter().map(|&(n, _, _)| n).collect();
+            assert_eq!(distinct.len(), traced.metrics.reached_peers);
+            let max_hop = answers.iter().map(|&(_, h, _)| h).max().unwrap();
+            assert_eq!(max_hop, traced.metrics.delay);
+        }
+    }
+
+    #[test]
+    fn traced_query_under_faults_logs_verdicts() {
+        let a = build(250, 71);
+        let mut rng = simnet::rng_from_seed(710);
+        let faults = simnet::FaultPlan::with_drop_prob(0.15);
+        let mut saw_verdict = false;
+        for q in 0..20 {
+            let lo = rng.gen_range(0.0..800.0);
+            let origin = a.net().random_peer(&mut rng);
+            let plain = a.pira_query_with_faults(origin, lo, lo + 150.0, q, &faults).unwrap();
+            let (traced, records) =
+                a.pira_query_traced_with_faults(origin, lo, lo + 150.0, q, &faults).unwrap();
+            assert_eq!(plain, traced);
+            saw_verdict |=
+                records.iter().any(|r| matches!(r.event, simnet::TraceEvent::FaultVerdict { .. }));
+        }
+        assert!(saw_verdict, "15% drops over 20 queries must log at least one verdict");
     }
 
     #[test]

@@ -184,6 +184,47 @@ impl RangeScheme for PiraScheme {
         Ok(remap(out, &self.handles))
     }
 
+    fn supports_tracing(&self) -> bool {
+        true
+    }
+
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, dht_api::QueryTrace), SchemeError> {
+        if lo > hi {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        let (out, records) = self.inner.pira_query_traced(origin, lo, hi, seed)?;
+        let converted = remap(out, &self.handles);
+        let trace = dht_api::QueryTrace::from_sim_records("pira", records, &converted);
+        Ok((converted, trace))
+    }
+
+    fn trace_query_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<(RangeOutcome, dht_api::QueryTrace), SchemeError> {
+        if lo > hi {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        if let Some(node) = faults.first_out_of_range(self.node_count()) {
+            return Err(SchemeError::FaultPlanOutOfRange { node, n: self.node_count() });
+        }
+        let (out, records) =
+            self.inner.pira_query_traced_with_faults(origin, lo, hi, seed, faults)?;
+        let converted = remap(out, &self.handles);
+        let trace = dht_api::QueryTrace::from_sim_records("pira", records, &converted);
+        Ok((converted, trace))
+    }
+
     fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
         Some(self)
     }
@@ -334,6 +375,26 @@ impl RangeScheme for SeqWalkScheme {
         }
         let out = crate::seqwalk::query(&self.inner, origin, lo, hi)?;
         Ok(remap(out, &self.handles))
+    }
+
+    fn supports_tracing(&self) -> bool {
+        true
+    }
+
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        _seed: u64,
+    ) -> Result<(RangeOutcome, dht_api::QueryTrace), SchemeError> {
+        if lo > hi {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        let (out, records) = crate::seqwalk::query_traced(&self.inner, origin, lo, hi)?;
+        let converted = remap(out, &self.handles);
+        let trace = dht_api::QueryTrace::from_sim_records("seqwalk", records, &converted);
+        Ok((converted, trace))
     }
 
     fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
@@ -646,6 +707,59 @@ mod tests {
         // The wrapper still reports the scheme's registry identity.
         assert_eq!(replicated.scheme_name(), "pira");
         assert!(replicated.substrate().contains("successor-3"));
+    }
+
+    #[test]
+    fn trace_totals_reproduce_reported_costs() {
+        // The tentpole accounting invariant, on both traced adapters: the
+        // explain tree's total is exactly (delay, latency, messages).
+        let mut rng = simnet::rng_from_seed(809);
+        let mut pira = PiraScheme::build(&params(150), &mut rng).unwrap();
+        let mut rng2 = simnet::rng_from_seed(809);
+        let mut walk = SeqWalkScheme::build(&params(150), &mut rng2).unwrap();
+        let mut data_rng = simnet::rng_from_seed(8090);
+        for h in 0..300u64 {
+            let v = data_rng.gen_range(0.0..=1000.0);
+            pira.publish(v, h).unwrap();
+            walk.publish(v, h).unwrap();
+        }
+        assert!(pira.supports_tracing() && walk.supports_tracing());
+        for q in 0..15 {
+            let lo = data_rng.gen_range(0.0..900.0);
+            let hi = lo + data_rng.gen_range(0.5..80.0);
+            let origin = pira.random_origin(&mut data_rng);
+            for scheme in [&pira as &dyn RangeScheme, &walk as &dyn RangeScheme] {
+                let plain = scheme.range_query(origin, lo, hi, q).unwrap();
+                let (traced, trace) = scheme.trace_query(origin, lo, hi, q).unwrap();
+                assert_eq!(plain, traced, "{} query [{lo}, {hi}]", scheme.scheme_name());
+                assert_eq!(
+                    trace.root.total(),
+                    (traced.delay, traced.latency, traced.messages),
+                    "{} explain tree must sum to the outcome: [{lo}, {hi}]\n{}",
+                    scheme.scheme_name(),
+                    trace.explain_text()
+                );
+                assert!(!trace.events.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn traced_faults_keep_the_accounting_invariant() {
+        let mut rng = simnet::rng_from_seed(810);
+        let mut scheme = PiraScheme::build(&params(150), &mut rng).unwrap();
+        for h in 0..200u64 {
+            scheme.publish(rng.gen_range(0.0..=1000.0), h).unwrap();
+        }
+        let faults = FaultPlan::with_drop_prob(0.2);
+        for q in 0..15 {
+            let origin = scheme.random_origin(&mut rng);
+            let plain = scheme.range_query_with_faults(origin, 100.0, 400.0, q, &faults).unwrap();
+            let (traced, trace) =
+                scheme.trace_query_with_faults(origin, 100.0, 400.0, q, &faults).unwrap();
+            assert_eq!(plain, traced);
+            assert_eq!(trace.root.total(), (traced.delay, traced.latency, traced.messages));
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! of Armada.
 
 use crate::{ArmadaError, QueryMetrics, QueryOutcome, RecordId, SingleArmada};
+use simnet::{HopKind, TraceEvent, TraceRecord, TraceSink};
 use std::collections::BTreeSet;
 
 /// Executes a sequential range walk: route to the first destination, then
@@ -28,6 +29,35 @@ pub fn query(
     lo: f64,
     hi: f64,
 ) -> Result<QueryOutcome, ArmadaError> {
+    let (out, _) = query_impl(armada, origin, lo, hi, false)?;
+    Ok(out)
+}
+
+/// [`query`] with event synthesis: the walk is not simulator-driven, so the
+/// trace is built from the *actual* routed path and successor edges — every
+/// hop a real overlay edge priced by the cost model, answers at each
+/// destination. The outcome is identical to [`query`]'s.
+///
+/// # Errors
+///
+/// Same as [`query`].
+pub fn query_traced(
+    armada: &SingleArmada,
+    origin: simnet::NodeId,
+    lo: f64,
+    hi: f64,
+) -> Result<(QueryOutcome, Vec<TraceRecord>), ArmadaError> {
+    let (out, records) = query_impl(armada, origin, lo, hi, true)?;
+    Ok((out, records.unwrap_or_default()))
+}
+
+fn query_impl(
+    armada: &SingleArmada,
+    origin: simnet::NodeId,
+    lo: f64,
+    hi: f64,
+    trace: bool,
+) -> Result<(QueryOutcome, Option<Vec<TraceRecord>>), ArmadaError> {
     let net = armada.net();
     if !net.is_live(origin) {
         return Err(ArmadaError::BadOrigin { origin });
@@ -35,6 +65,22 @@ pub fn query(
     let region = armada.naming().region(lo, hi)?;
     let destinations = net.peers_intersecting_range(region.low(), region.high())?;
     let truth: BTreeSet<simnet::NodeId> = destinations.iter().copied().collect();
+
+    let mut sink = trace.then(TraceSink::new);
+    if let Some(s) = &mut sink {
+        // The seeding self-delivery every critical-path walk terminates on.
+        s.emit(
+            0,
+            TraceEvent::Hop {
+                src: origin,
+                dst: origin,
+                hop: 0,
+                edge_cost_ms: 0,
+                cost_ms: 0,
+                kind: HopKind::Local,
+            },
+        );
+    }
 
     // Phase 1: DHT-route to the first destination (the owner of LowT).
     let model = armada.net_model();
@@ -44,6 +90,26 @@ pub fn query(
     let mut delay = route.hops() as u32;
     // The routing phase's edges, priced by the cost model.
     let mut latency = model.path_cost(route.path());
+    if let Some(s) = &mut sink {
+        let mut cum = 0;
+        for (i, w) in route.path().windows(2).enumerate() {
+            let edge = model.edge_cost(w[0], w[1]);
+            cum += edge;
+            let hop = (i + 1) as u32;
+            s.emit(
+                u64::from(hop),
+                TraceEvent::Hop {
+                    src: w[0],
+                    dst: w[1],
+                    hop,
+                    edge_cost_ms: edge,
+                    cost_ms: cum,
+                    kind: HopKind::Network,
+                },
+            );
+        }
+        debug_assert_eq!(cum, latency);
+    }
 
     // Phase 2: walk the contiguous destination run, one hop per successor.
     // The walk is strictly sequential, so every successor edge joins the
@@ -53,7 +119,27 @@ pub fn query(
         if i > 0 {
             messages += 1;
             delay += 1;
-            latency += model.edge_cost(destinations[i - 1], peer);
+            let edge = model.edge_cost(destinations[i - 1], peer);
+            latency += edge;
+            if let Some(s) = &mut sink {
+                s.emit(
+                    u64::from(delay),
+                    TraceEvent::Hop {
+                        src: destinations[i - 1],
+                        dst: peer,
+                        hop: delay,
+                        edge_cost_ms: edge,
+                        cost_ms: latency,
+                        kind: HopKind::Network,
+                    },
+                );
+            }
+        }
+        if let Some(s) = &mut sink {
+            s.emit(
+                u64::from(delay),
+                TraceEvent::Answer { node: peer, hop: delay, cost_ms: latency },
+            );
         }
         let p = net.peer(peer).expect("live");
         for (_oid, handles) in p.objects_in_range(region.low(), region.high()) {
@@ -67,17 +153,20 @@ pub fn query(
         }
     }
 
-    Ok(QueryOutcome {
-        results: results.into_iter().collect(),
-        metrics: QueryMetrics {
-            delay,
-            latency,
-            messages,
-            dest_peers: truth.len(),
-            reached_peers: truth.len(),
-            exact: true,
+    Ok((
+        QueryOutcome {
+            results: results.into_iter().collect(),
+            metrics: QueryMetrics {
+                delay,
+                latency,
+                messages,
+                dest_peers: truth.len(),
+                reached_peers: truth.len(),
+                exact: true,
+            },
         },
-    })
+        sink.map(TraceSink::into_records),
+    ))
 }
 
 #[cfg(test)]

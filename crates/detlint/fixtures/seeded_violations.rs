@@ -2,7 +2,7 @@
 // it is scanned by `cargo test -p detlint` and by the CI fixture gate
 // (which asserts that detlint exits non-zero here). The per-rule counts
 // are pinned by `fixture_expected_counts_are_exact`: D1=3, D2=3, D3=3,
-// D4=3, bad pragmas=2, audited allowances=4 (one per rule).
+// D4=3, D5=3, bad pragmas=2, audited allowances=5 (one per rule).
 
 // --- D1/D2 imports --------------------------------------------------------
 
@@ -44,6 +44,14 @@ fn order_leaks() -> Vec<u64> {
     out
 }
 
+// --- D5: stdout/stderr prints in library code -----------------------------
+
+fn library_prints(progress: usize) {
+    println!("progress: {progress}");
+    eprintln!("warning: still running");
+    let _peeked = dbg!(progress * 2);
+}
+
 // --- audited exceptions: reasoned pragmas become allowances ---------------
 
 // detlint: allow(D1) — audited: map is read only through a sorted key list
@@ -55,6 +63,7 @@ fn audited_sites() {
     let _t = Instant::now(); // detlint: allow(D2) — audited: fixture stopwatch, result discarded
     let _r = thread_rng(); // detlint: allow(D3) — audited: fixture only, never a delivery path
     let _n = m.values().count(); // detlint: allow(D4) — audited: count() is order-insensitive
+    println!("done"); // detlint: allow(D5) — audited: fixture CLI epilogue, not a report path
 }
 
 // --- negative case: an intervening sort discharges D4 ---------------------

@@ -29,6 +29,15 @@
 //!   hash map that survived D1 behind a pragma but then leaks its order —
 //!   and the rule that flags the pre-fix `skipgraph` level-builder, whose
 //!   `groups.values()` walked membership groups in hash order.
+//! * **D5** — no `println!` / `eprintln!` / `dbg!` in **library** code.
+//!   Library functions return strings and reports; only binaries, tests,
+//!   examples, benches, and `main.rs`/`build.rs` may print. The rule keeps
+//!   the observability plane honest: a trace or metric that goes to stdout
+//!   from inside a library bypasses the deterministic report path (and
+//!   `dbg!` left behind after a debugging session interleaves
+//!   nondeterministically under the parallel driver). Files whose path
+//!   contains a `bin`, `tests`, `examples`, or `benches` component — and
+//!   `main.rs`/`build.rs` themselves — are allowlisted by construction.
 //!
 //! # Pragmas
 //!
@@ -83,14 +92,17 @@ pub enum Rule {
     D3,
     /// No unordered iteration over hash collections without a sort.
     D4,
+    /// No `println!`/`eprintln!`/`dbg!` in library code (binaries, tests,
+    /// examples, and benches are allowlisted by path).
+    D5,
     /// Pragma hygiene: a pragma comment that is malformed or carries no
-    /// reason (not part of the 4-rule contract, but reported so a broken
+    /// reason (not part of the 5-rule contract, but reported so a broken
     /// annotation can never silently stop suppressing).
     BadPragma,
 }
 
-/// The four contract rules, in order.
-pub const RULES: [Rule; 4] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4];
+/// The five contract rules, in order.
+pub const RULES: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
 
 impl Rule {
     /// The identifier used in pragmas and reports.
@@ -100,6 +112,7 @@ impl Rule {
             Rule::D2 => "D2",
             Rule::D3 => "D3",
             Rule::D4 => "D4",
+            Rule::D5 => "D5",
             Rule::BadPragma => "pragma",
         }
     }
@@ -111,6 +124,7 @@ impl Rule {
             "D2" => Some(Rule::D2),
             "D3" => Some(Rule::D3),
             "D4" => Some(Rule::D4),
+            "D5" => Some(Rule::D5),
             _ => None,
         }
     }
@@ -122,6 +136,7 @@ impl Rule {
             Rule::D2 => "wall-clock read outside the annotated timing allowlist",
             Rule::D3 => "ambient/shared-RNG draw (randomness must be a pure function of seed)",
             Rule::D4 => "unordered iteration over a hash collection without an intervening sort",
+            Rule::D5 => "stdout/stderr print in library code (return a String; binaries print)",
             Rule::BadPragma => "malformed or reasonless pragma",
         }
     }
@@ -497,6 +512,23 @@ fn has_token(line: &str, token: &str) -> bool {
     false
 }
 
+/// True when `name` occurs in `line` as a macro invocation: at an
+/// identifier boundary on the left, immediately followed by `!`.
+fn has_macro(line: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let before_ok =
+            start == 0 || !is_ident_char(line[..start].chars().next_back().unwrap_or(' '));
+        if before_ok && line[end..].starts_with('!') {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
 /// D1 tokens: the std hash collections (every path form mentions the bare
 /// type name, so matching the type identifier covers imports, annotations,
 /// turbofish, and constructor calls alike).
@@ -509,6 +541,24 @@ const D2_TOKENS: [&str; 4] =
 /// D3 tokens: ambient RNG sources (entropy-seeded or process-shared — the
 /// draws that are *not* pure functions of a config seed).
 const D3_TOKENS: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
+
+/// D5 tokens: direct stdout/stderr prints. Only the bang forms are
+/// watched — `writeln!` into a `String` is the sanctioned idiom.
+const D5_TOKENS: [&str; 3] = ["println", "eprintln", "dbg"];
+
+/// True when D5 (no library prints) applies to `path`: anything *not*
+/// reachable from a binary/test/example/bench entry point. The check is
+/// purely lexical over the path the scanner was handed — `bin`, `tests`,
+/// `examples`, and `benches` components mark allowlisted trees, and
+/// `main.rs`/`build.rs` are entry points wherever they live.
+pub fn d5_applies(path: &Path) -> bool {
+    let exempt_component = path
+        .components()
+        .any(|c| matches!(c.as_os_str().to_str(), Some("bin" | "tests" | "examples" | "benches")));
+    let exempt_file =
+        matches!(path.file_name().and_then(|n| n.to_str()), Some("main.rs" | "build.rs"));
+    !exempt_component && !exempt_file
+}
 
 /// Unordered-iteration method calls D4 watches on hash-bound names.
 const D4_METHODS: [&str; 9] = [
@@ -687,6 +737,15 @@ pub fn scan_source(path: &Path, text: &str) -> (Vec<Finding>, Vec<Allowance>) {
         for t in D3_TOKENS {
             if has_token(code, t) {
                 emit(i, Rule::D3, t.to_string(), &mut findings);
+            }
+        }
+        if d5_applies(path) {
+            for t in D5_TOKENS {
+                // The macro invocation, not the bare name: `println` as an
+                // identifier (a local, a field) is not a print.
+                if has_macro(code, t) {
+                    emit(i, Rule::D5, format!("{t}!"), &mut findings);
+                }
             }
         }
         for name in &bound {
@@ -875,6 +934,33 @@ let t = 'x';
     }
 
     #[test]
+    fn d5_fires_in_library_paths_and_not_in_entry_point_paths() {
+        let text = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n    dbg!(1);\n}\n";
+        let (findings, _) = scan_source(Path::new("crates/foo/src/lib.rs"), text);
+        assert_eq!(findings.iter().filter(|f| f.rule == Rule::D5).count(), 3, "{findings:?}");
+        // Entry points and test/example trees are allowlisted by path.
+        for exempt in [
+            "crates/foo/src/bin/tool.rs",
+            "crates/foo/src/main.rs",
+            "crates/foo/tests/integration.rs",
+            "examples/quickstart.rs",
+            "crates/foo/benches/bench.rs",
+            "build.rs",
+        ] {
+            let (findings, _) = scan_source(Path::new(exempt), text);
+            assert!(findings.is_empty(), "{exempt}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn d5_matches_the_macro_not_the_identifier() {
+        let text = "let println = 3;\nlet x = a != b;\nwriteln!(s, \"ok\").unwrap();\n\
+                    my_println!(\"custom macro\");\n";
+        let (findings, _) = scan_source(Path::new("crates/foo/src/lib.rs"), text);
+        assert!(findings.iter().all(|f| f.rule != Rule::D5), "{findings:?}");
+    }
+
+    #[test]
     fn trailing_and_standalone_pragmas_cover_their_lines() {
         let text = "use std::collections::HashMap; // detlint: allow(D1) — audited: keys \
                     sorted on read\n\
@@ -955,8 +1041,9 @@ let t = 'x';
         assert_eq!(seeded(Rule::D2), 3, "{:?}", report.findings_for(Rule::D2));
         assert_eq!(seeded(Rule::D3), 3, "{:?}", report.findings_for(Rule::D3));
         assert_eq!(seeded(Rule::D4), 3, "{:?}", report.findings_for(Rule::D4));
+        assert_eq!(seeded(Rule::D5), 3, "{:?}", report.findings_for(Rule::D5));
         assert_eq!(seeded(Rule::BadPragma), 2, "{:?}", report.findings_for(Rule::BadPragma));
-        assert_eq!(report.allowed.len(), 4, "{:?}", report.allowed);
+        assert_eq!(report.allowed.len(), 5, "{:?}", report.allowed);
     }
 
     #[test]

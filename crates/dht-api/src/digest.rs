@@ -60,6 +60,13 @@ impl DigestReport {
         for e in &report.epochs {
             h.epoch(e);
         }
+        // Metrics fold only when present: an empty registry appends zero
+        // bytes, so every digest minted before the registry existed (the
+        // committed perturbation canary, BENCH history) is unchanged by
+        // its introduction.
+        if !report.metrics.is_empty() {
+            h.bytes(&report.metrics.digest_bytes());
+        }
         DigestReport(h.state)
     }
 
@@ -171,6 +178,7 @@ mod tests {
                 recall_mean: 1.0,
                 results_returned: 60,
             }],
+            metrics: crate::MetricsRegistry::new(),
         }
     }
 
@@ -228,6 +236,28 @@ mod tests {
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(DigestReport::of(v), base, "variant {i} did not move the digest");
         }
+    }
+
+    #[test]
+    fn metrics_fold_only_when_present() {
+        // An empty registry must leave the digest exactly where it was
+        // before the metrics field existed…
+        let with_empty = sample_report();
+        assert!(with_empty.metrics.is_empty());
+        let base = DigestReport::of(&with_empty);
+        // …and a populated one must move it.
+        let mut with_metrics = sample_report();
+        with_metrics.metrics.inc("queries", 60);
+        with_metrics.metrics.observe("delay_hops", 2);
+        with_metrics.metrics.load(7, 1);
+        assert_ne!(DigestReport::of(&with_metrics), base);
+        // Same samples, different grouping ⇒ same digest.
+        let mut regrouped = sample_report();
+        regrouped.metrics.load(7, 1);
+        regrouped.metrics.observe("delay_hops", 2);
+        regrouped.metrics.inc("queries", 30);
+        regrouped.metrics.inc("queries", 30);
+        assert_eq!(DigestReport::of(&regrouped), DigestReport::of(&with_metrics));
     }
 
     #[test]

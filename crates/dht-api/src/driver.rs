@@ -18,6 +18,9 @@ pub struct QueryDriver {
     pub queries: usize,
     /// Base seed for per-query scheme randomness.
     pub seed: u64,
+    /// Whether to fill [`DriverReport::metrics`] (off by default, so
+    /// existing reports — and their digests — are unchanged).
+    pub metrics: bool,
 }
 
 /// Aggregated measurements over one driver run.
@@ -51,6 +54,15 @@ pub struct DriverReport {
     /// ([`ParallelDriver::run_epochs`](crate::ParallelDriver::run_epochs));
     /// empty for plain batch runs.
     pub epochs: Vec<EpochSummary>,
+    /// The metrics registry collected alongside the run — counters,
+    /// fixed-bucket histograms, and per-peer query load, merged
+    /// shard-order-deterministically. Empty unless the driver ran with
+    /// metrics enabled ([`QueryDriver::with_metrics`],
+    /// [`ParallelDriver::with_metrics`](crate::ParallelDriver::with_metrics)),
+    /// and an empty registry contributes nothing to
+    /// [`DigestReport`](crate::DigestReport) — so pre-metrics digests are
+    /// unchanged.
+    pub metrics: crate::MetricsRegistry,
 }
 
 /// One epoch of an epoch-driven run: the churn applied just before it and
@@ -95,10 +107,23 @@ pub(crate) struct Accumulator {
     recall: Samples,
     exact: usize,
     results: u64,
+    /// `Some` when the run collects metrics; per-query counters,
+    /// histograms, and origin load land here and merge shard by shard.
+    metrics: Option<crate::MetricsRegistry>,
 }
 
 impl Accumulator {
-    pub(crate) fn push(&mut self, out: &crate::RangeOutcome, n_peers: usize) {
+    /// An accumulator that also fills a metrics registry.
+    pub(crate) fn with_metrics() -> Accumulator {
+        Accumulator { metrics: Some(crate::MetricsRegistry::new()), ..Default::default() }
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        out: &crate::RangeOutcome,
+        n_peers: usize,
+        origin: simnet::NodeId,
+    ) {
         self.delay.push(out.delay as f64);
         self.latency.push(out.latency as f64);
         self.messages.push(out.messages as f64);
@@ -110,10 +135,23 @@ impl Accumulator {
             self.exact += 1;
         }
         self.results += out.results.len() as u64;
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("queries", 1);
+            m.inc("messages", out.messages);
+            m.inc("results", out.results.len() as u64);
+            m.inc("exact", u64::from(out.exact));
+            m.inc("reached_peers", out.reached_peers as u64);
+            m.inc("dest_peers", out.dest_peers as u64);
+            m.observe("delay_hops", out.delay);
+            m.observe("latency_ms", out.latency);
+            m.observe("messages", out.messages);
+            m.load(origin, 1);
+        }
     }
 
-    /// Appends another shard's samples. Since [`Samples::summarize`] sorts,
-    /// the final report does not depend on how queries were sharded.
+    /// Appends another shard's samples. Since [`Samples::summarize`] sorts
+    /// (and metrics merging commutes), the final report does not depend on
+    /// how queries were sharded.
     pub(crate) fn merge(&mut self, other: Accumulator) {
         self.delay.merge(other.delay);
         self.latency.merge(other.latency);
@@ -124,6 +162,18 @@ impl Accumulator {
         self.recall.merge(other.recall);
         self.exact += other.exact;
         self.results += other.results;
+        if let Some(theirs) = other.metrics {
+            match self.metrics.as_mut() {
+                Some(mine) => mine.merge(&theirs),
+                None => self.metrics = Some(theirs),
+            }
+        }
+    }
+
+    /// Direct access to the metrics registry (for driver-level counters
+    /// like retry and repair traffic that are not per-outcome).
+    pub(crate) fn metrics_mut(&mut self) -> Option<&mut crate::MetricsRegistry> {
+        self.metrics.as_mut()
     }
 
     pub(crate) fn report(self, scheme: &str, queries: usize) -> DriverReport {
@@ -140,6 +190,7 @@ impl Accumulator {
             exact_rate: self.exact as f64 / queries.max(1) as f64,
             results_returned: self.results,
             epochs: Vec::new(),
+            metrics: self.metrics.unwrap_or_default(),
         }
     }
 }
@@ -148,13 +199,27 @@ impl QueryDriver {
     /// A driver running `queries` queries with base seed 0 (per-query seed
     /// equals the query index).
     pub fn new(queries: usize) -> Self {
-        QueryDriver { queries, seed: 0 }
+        QueryDriver { queries, seed: 0, metrics: false }
     }
 
     /// Sets the base seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Enables (or disables) metrics collection for subsequent runs.
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    pub(crate) fn accumulator(&self) -> Accumulator {
+        if self.metrics {
+            Accumulator::with_metrics()
+        } else {
+            Accumulator::default()
+        }
     }
 
     /// Runs the workload against a single-attribute scheme. For each query,
@@ -176,12 +241,16 @@ impl QueryDriver {
         W: FnMut(&mut SmallRng) -> (f64, f64),
     {
         let n_peers = scheme.node_count();
-        let mut acc = Accumulator::default();
+        let mut acc = self.accumulator();
+        let retries_before = scheme.retry_attempts();
         for q in 0..self.queries {
             let (lo, hi) = next_range(rng);
             let origin = scheme.random_origin(rng);
             let out = scheme.range_query(origin, lo, hi, self.seed.wrapping_add(q as u64))?;
-            acc.push(&out, n_peers);
+            acc.push(&out, n_peers, origin);
+        }
+        if let Some(m) = acc.metrics_mut() {
+            m.inc("retry_attempts", scheme.retry_attempts() - retries_before);
         }
         Ok(acc.report(scheme.scheme_name(), self.queries))
     }
@@ -202,12 +271,12 @@ impl QueryDriver {
         W: FnMut(&mut SmallRng) -> Vec<(f64, f64)>,
     {
         let n_peers = scheme.node_count();
-        let mut acc = Accumulator::default();
+        let mut acc = self.accumulator();
         for q in 0..self.queries {
             let rect = next_rect(rng);
             let origin = scheme.random_origin(rng);
             let out = scheme.rect_query(origin, &rect, self.seed.wrapping_add(q as u64))?;
-            acc.push(&out, n_peers);
+            acc.push(&out, n_peers, origin);
         }
         Ok(acc.report(scheme.scheme_name(), self.queries))
     }

@@ -37,9 +37,11 @@
 //! `timeout_ms + backoff` latency, never extra overlay hops — hop metrics
 //! keep measuring the dissemination structure, latency measures the wait.
 
+use crate::explain::{CostNode, QueryTrace};
 use crate::scheme::{RangeOutcome, RangeScheme, SchemeError};
-use simnet::{mix, FaultPlan, NetModel, NodeId};
+use simnet::{mix, FaultPlan, NetModel, NodeId, TraceEvent, TraceSink};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Salt separating retry-attempt seeds and backoff jitter from the base
 /// query-seed stream.
@@ -173,6 +175,22 @@ pub struct Hostile {
     net: NetModel,
     /// The suffix spelling, for substrate annotations.
     spec: String,
+    /// Retry attempts actually executed (initial tries not counted) —
+    /// surfaced through [`RangeScheme::retry_attempts`] so drivers can
+    /// meter retry traffic. Relaxed atomic: increments commute, so the
+    /// total is thread-count- and shard-order-invariant.
+    retries: AtomicU64,
+}
+
+/// What the generic response-plane path did beyond the fault-free base
+/// query — the trace plane's raw material.
+#[derive(Default)]
+struct GenericLog {
+    /// `(attempt, retransmissions, wait_ms, exact_after)` per executed
+    /// retry attempt.
+    retries: Vec<(u32, u64, u64, bool)>,
+    /// Rate-limit queueing charged on the origin's message overflow.
+    queue_delay: u64,
 }
 
 impl Hostile {
@@ -196,7 +214,7 @@ impl Hostile {
         if let Some(node) = plan.first_out_of_range(inner.node_count()) {
             return Err(SchemeError::FaultPlanOutOfRange { node, n: inner.node_count() });
         }
-        Ok(Hostile { inner, plan, retry, net, spec: spec.into() })
+        Ok(Hostile { inner, plan, retry, net, spec: spec.into(), retries: AtomicU64::new(0) })
     }
 
     /// Native path: every attempt runs the inner scheme's own faulted
@@ -214,6 +232,9 @@ impl Hostile {
         for attempt in 0..self.retry.attempts {
             let aseed = RetryPolicy::attempt_seed(seed, attempt);
             let out = self.inner.range_query_with_faults(origin, lo, hi, aseed, &self.plan)?;
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
             let acc = match merged.take() {
                 None => out,
                 Some(acc) => merge_attempts(acc, out),
@@ -233,6 +254,72 @@ impl Hostile {
         Ok(out)
     }
 
+    /// The native path with tracing: same attempt loop, same merge, same
+    /// wait accounting as [`native_query`](Self::native_query) — plus each
+    /// attempt's event stream spliced onto one merged timeline (later
+    /// attempts offset by the accumulated latency + waits), a
+    /// [`TraceEvent::RetryAttempt`] stamp per executed retry, and a cost
+    /// tree of per-attempt subtrees whose totals telescope to the merged
+    /// outcome.
+    fn native_trace(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, QueryTrace), SchemeError> {
+        let mut merged: Option<RangeOutcome> = None;
+        let mut waits = 0u64;
+        let mut timeline = 0u64;
+        let mut sink = TraceSink::new();
+        let mut root =
+            CostNode::group(format!("{} [hostile: {}]", self.inner.scheme_name(), self.spec));
+        for attempt in 0..self.retry.attempts {
+            let aseed = RetryPolicy::attempt_seed(seed, attempt);
+            let (out, tr) =
+                self.inner.trace_query_with_faults(origin, lo, hi, aseed, &self.plan)?;
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            let attempt_latency = out.latency;
+            let acc = match merged.take() {
+                None => out,
+                Some(acc) => merge_attempts(acc, out),
+            };
+            let exact = acc.exact;
+            merged = Some(acc);
+            if attempt > 0 {
+                let wait = self.retry.timeout_ms
+                    + self.retry.backoff_wait(self.plan.plan_seed(), seed, attempt);
+                timeline += wait;
+                sink.emit(timeline, TraceEvent::RetryAttempt { attempt, wait_ms: wait, exact });
+            }
+            sink.append_offset(tr.events, timeline);
+            timeline += attempt_latency;
+            let mut node = tr.root;
+            node.label = format!("attempt {attempt}: {}", node.label);
+            root.children.push(node);
+            if exact {
+                break;
+            }
+            if attempt + 1 < self.retry.attempts {
+                waits += self.retry.timeout_ms
+                    + self.retry.backoff_wait(self.plan.plan_seed(), seed, attempt + 1);
+            }
+        }
+        let mut out = merged.expect("at least one attempt always runs");
+        out.latency += waits;
+        if waits > 0 {
+            root.children.push(CostNode::leaf(
+                format!("retry waits (+{waits} ms timeout + backoff)"),
+                0,
+                waits,
+                0,
+            ));
+        }
+        Ok((out, QueryTrace { events: sink.into_records(), root }))
+    }
+
     /// Generic path: answer fault-free, then degrade the response plane —
     /// see the module docs for the slot model.
     fn generic_query(
@@ -243,9 +330,74 @@ impl Hostile {
         seed: u64,
     ) -> Result<RangeOutcome, SchemeError> {
         let base = self.inner.range_query(origin, lo, hi, seed)?;
+        Ok(self.degrade(origin, seed, base, None))
+    }
+
+    /// The generic path with tracing: the inner scheme's own trace covers
+    /// the fault-free base query; the degradation's extra charges — one
+    /// retransmission batch + wait per executed retry, rate-limit
+    /// queueing — append as their own cost nodes, so the tree's total
+    /// telescopes to the degraded outcome.
+    fn generic_trace(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, QueryTrace), SchemeError> {
+        let (base, mut trace) = self.inner.trace_query(origin, lo, hi, seed)?;
+        let base_latency = base.latency;
+        let mut log = GenericLog::default();
+        let out = self.degrade(origin, seed, base, Some(&mut log));
+        let inner_root = std::mem::replace(
+            &mut trace.root,
+            CostNode::group(format!(
+                "{} [hostile: {} — response-plane degradation]",
+                self.inner.scheme_name(),
+                self.spec
+            )),
+        );
+        trace.root.children.push(inner_root);
+        let mut sink = TraceSink::new();
+        let mut t = 0u64;
+        for &(attempt, resend, wait, exact) in &log.retries {
+            t += wait;
+            sink.emit(t, TraceEvent::RetryAttempt { attempt, wait_ms: wait, exact });
+            trace.root.children.push(CostNode::leaf(
+                format!("retry attempt {attempt}: {resend} retransmissions (+{wait} ms wait)"),
+                0,
+                wait,
+                resend,
+            ));
+        }
+        if log.queue_delay > 0 {
+            trace.root.children.push(CostNode::leaf(
+                format!("rate-limit queueing (+{} ms)", log.queue_delay),
+                0,
+                log.queue_delay,
+                0,
+            ));
+        }
+        trace.append_events(sink.into_records(), base_latency);
+        Ok((out, trace))
+    }
+
+    /// The response-plane degradation shared by
+    /// [`generic_query`](Self::generic_query) and
+    /// [`generic_trace`](Self::generic_trace) — see the module docs for
+    /// the slot model. When `log` is present every executed retry and the
+    /// rate-limit charge are recorded; the outcome is identical either
+    /// way.
+    fn degrade(
+        &self,
+        origin: NodeId,
+        seed: u64,
+        base: RangeOutcome,
+        mut log: Option<&mut GenericLog>,
+    ) -> RangeOutcome {
         let dest = base.dest_peers;
         if dest == 0 {
-            return Ok(base);
+            return base;
         }
         let n = self.inner.node_count().max(1) as u64;
         let pseed = self.plan.plan_seed();
@@ -259,8 +411,14 @@ impl Hostile {
             if attempt > 0 {
                 // One retransmit per still-unanswered destination, paid
                 // after the timeout + backoff wait.
-                messages += (dest - reached.len()) as u64;
-                waits += self.retry.timeout_ms + self.retry.backoff_wait(pseed, seed, attempt);
+                let resend = (dest - reached.len()) as u64;
+                let wait = self.retry.timeout_ms + self.retry.backoff_wait(pseed, seed, attempt);
+                messages += resend;
+                waits += wait;
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                if let Some(log) = log.as_deref_mut() {
+                    log.retries.push((attempt, resend, wait, false));
+                }
             }
             for slot in 0..dest {
                 if reached.contains(&slot) {
@@ -289,6 +447,13 @@ impl Hostile {
                     reached.insert(slot);
                 }
             }
+            if attempt > 0 {
+                if let Some(log) = log.as_deref_mut() {
+                    if let Some(last) = log.retries.last_mut() {
+                        last.3 = base.exact && reached.len() == dest;
+                    }
+                }
+            }
             if reached.len() == dest {
                 break;
             }
@@ -310,9 +475,13 @@ impl Hostile {
         if let Some(rl) = self.plan.rate_limit() {
             // The origin's last message queues longest; its delay is the
             // critical-path contribution.
-            latency += rl.queue_delay(messages);
+            let queued = rl.queue_delay(messages);
+            latency += queued;
+            if let Some(log) = log {
+                log.queue_delay = queued;
+            }
         }
-        Ok(RangeOutcome {
+        RangeOutcome {
             results,
             delay: base.delay,
             latency,
@@ -320,7 +489,7 @@ impl Hostile {
             dest_peers: dest,
             reached_peers: reached.len(),
             exact: base.exact && all,
-        })
+        }
     }
 }
 
@@ -384,6 +553,28 @@ impl RangeScheme for Hostile {
         } else {
             self.generic_query(origin, lo, hi, seed)
         }
+    }
+
+    fn supports_tracing(&self) -> bool {
+        self.inner.supports_tracing()
+    }
+
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, QueryTrace), SchemeError> {
+        if self.inner.supports_fault_injection() {
+            self.native_trace(origin, lo, hi, seed)
+        } else {
+            self.generic_trace(origin, lo, hi, seed)
+        }
+    }
+
+    fn retry_attempts(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     fn as_dynamic(&mut self) -> Option<&mut dyn crate::DynamicScheme> {
@@ -468,6 +659,105 @@ mod tests {
                 reached_peers: self.dest,
                 exact: true,
             })
+        }
+        fn supports_tracing(&self) -> bool {
+            true
+        }
+        fn trace_query(
+            &self,
+            origin: NodeId,
+            lo: f64,
+            hi: f64,
+            seed: u64,
+        ) -> Result<(RangeOutcome, QueryTrace), SchemeError> {
+            let out = self.range_query(origin, lo, hi, seed)?;
+            let trace = QueryTrace::modeled("toy", origin, &out);
+            Ok((out, trace))
+        }
+    }
+
+    /// A toy *native-fault* scheme: supports fault injection and tracing,
+    /// and always comes back inexact so every retry attempt executes.
+    struct NativeToy;
+
+    impl NativeToy {
+        fn outcome() -> RangeOutcome {
+            RangeOutcome {
+                results: vec![1, 2, 3],
+                delay: 2,
+                latency: 5,
+                messages: 4,
+                dest_peers: 4,
+                reached_peers: 3,
+                exact: false,
+            }
+        }
+    }
+
+    impl RangeScheme for NativeToy {
+        fn scheme_name(&self) -> &'static str {
+            "native-toy"
+        }
+        fn substrate(&self) -> String {
+            "toy".into()
+        }
+        fn degree(&self) -> String {
+            "0".into()
+        }
+        fn node_count(&self) -> usize {
+            8
+        }
+        fn publish(&mut self, _: f64, _: u64) -> Result<(), SchemeError> {
+            Ok(())
+        }
+        fn random_origin(&self, _: &mut rand::rngs::SmallRng) -> NodeId {
+            0
+        }
+        fn range_query(
+            &self,
+            _: NodeId,
+            _: f64,
+            _: f64,
+            _: u64,
+        ) -> Result<RangeOutcome, SchemeError> {
+            Ok(Self::outcome())
+        }
+        fn supports_fault_injection(&self) -> bool {
+            true
+        }
+        fn range_query_with_faults(
+            &self,
+            origin: NodeId,
+            lo: f64,
+            hi: f64,
+            seed: u64,
+            _faults: &FaultPlan,
+        ) -> Result<RangeOutcome, SchemeError> {
+            self.range_query(origin, lo, hi, seed)
+        }
+        fn supports_tracing(&self) -> bool {
+            true
+        }
+        fn trace_query(
+            &self,
+            origin: NodeId,
+            lo: f64,
+            hi: f64,
+            seed: u64,
+        ) -> Result<(RangeOutcome, QueryTrace), SchemeError> {
+            let out = self.range_query(origin, lo, hi, seed)?;
+            let trace = QueryTrace::modeled("native-toy", origin, &out);
+            Ok((out, trace))
+        }
+        fn trace_query_with_faults(
+            &self,
+            origin: NodeId,
+            lo: f64,
+            hi: f64,
+            seed: u64,
+            _faults: &FaultPlan,
+        ) -> Result<(RangeOutcome, QueryTrace), SchemeError> {
+            self.trace_query(origin, lo, hi, seed)
         }
     }
 
@@ -648,6 +938,72 @@ mod tests {
                 assert!(out.latency >= 3 + h.retry.timeout_ms, "query {q}");
             }
         }
+    }
+
+    #[test]
+    fn traced_generic_query_matches_untraced_and_keeps_the_invariant() {
+        let h = hostile("lossy-30", 3);
+        assert!(h.supports_tracing());
+        assert_eq!(h.retry_attempts(), 0);
+        let mut saw_retry_event = false;
+        for q in 0..20u64 {
+            let plain = h.range_query(0, 0.0, 1.0, q).unwrap();
+            let (traced, tr) = h.trace_query(0, 0.0, 1.0, q).unwrap();
+            assert_eq!(plain, traced, "query {q}: tracing must not perturb the outcome");
+            assert_eq!(
+                tr.root.total(),
+                (traced.delay, traced.latency, traced.messages),
+                "query {q}: explain totals must reproduce the degraded outcome"
+            );
+            saw_retry_event |=
+                tr.events.iter().any(|r| matches!(r.event, TraceEvent::RetryAttempt { .. }));
+        }
+        assert!(saw_retry_event, "30% loss over 20 queries must execute some retry");
+        assert!(h.retry_attempts() > 0, "executed retries must meter");
+    }
+
+    #[test]
+    fn traced_throttle_charges_queueing_as_its_own_node() {
+        let h = hostile("throttle", 1);
+        let plain = h.range_query(0, 0.0, 1.0, 7).unwrap();
+        let (traced, tr) = h.trace_query(0, 0.0, 1.0, 7).unwrap();
+        assert_eq!(plain, traced);
+        assert_eq!(tr.root.total(), (traced.delay, traced.latency, traced.messages));
+        assert!(tr.explain_text().contains("rate-limit queueing"), "{}", tr.explain_text());
+    }
+
+    #[test]
+    fn traced_native_retries_splice_attempts_onto_one_timeline() {
+        let (plan, _) = parse_hostile_spec("lossy-p").unwrap();
+        let h = Hostile::new(
+            Box::new(NativeToy),
+            plan,
+            RetryPolicy::with_attempts(3),
+            NetModel::unit(),
+            "lossy-p/r3",
+        )
+        .unwrap();
+        let plain = h.range_query(0, 0.0, 1.0, 7).unwrap();
+        let (traced, tr) = h.trace_query(0, 0.0, 1.0, 7).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the merged outcome");
+        assert_eq!(tr.root.total(), (traced.delay, traced.latency, traced.messages));
+        // All three attempts ran (NativeToy is never exact): two retry
+        // stamps, and attempt events pushed into the future by the
+        // accumulated latency + waits.
+        let retry_events: Vec<u64> = tr
+            .events
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RetryAttempt { .. }))
+            .map(|r| r.time)
+            .collect();
+        assert_eq!(retry_events.len(), 2);
+        assert!(retry_events[1] > retry_events[0], "attempts sit on one merged timeline");
+        let text = tr.explain_text();
+        assert!(text.contains("attempt 0:"), "{text}");
+        assert!(text.contains("attempt 2:"), "{text}");
+        assert!(text.contains("retry waits"), "{text}");
+        // Both runs executed 2 retries each.
+        assert_eq!(h.retry_attempts(), 4);
     }
 
     #[test]

@@ -81,7 +81,9 @@ mod churn;
 mod digest;
 mod driver;
 mod dynamics;
+mod explain;
 mod hostile;
+mod metrics;
 mod parallel;
 mod registry;
 mod replication;
@@ -92,7 +94,9 @@ pub use churn::{ChurnEvent, ChurnPlan, ChurnStats, CHURN_PLAN_NAMES};
 pub use digest::DigestReport;
 pub use driver::{DriverReport, EpochSummary, QueryDriver};
 pub use dynamics::{DynamicDht, DynamicScheme};
+pub use explain::{CostNode, QueryTrace};
 pub use hostile::{Hostile, HostileControl, RetryPolicy};
+pub use metrics::{Histogram, LoadSkew, MetricsRegistry, HISTOGRAM_BOUNDS};
 pub use parallel::{default_threads, ParallelDriver};
 pub use registry::{BuildParams, MultiBuildParams, MultiBuilder, SchemeRegistry, SingleBuilder};
 pub use replication::{
@@ -101,6 +105,11 @@ pub use replication::{
 };
 pub use scheme::{MultiRangeScheme, OutcomeCosts, RangeOutcome, RangeScheme, SchemeError};
 pub use workload::{WorkloadGen, WorkloadKind, WORKLOAD_NAMES};
+
+// The observability plane's event vocabulary. Defined in `simnet` (the
+// simulator emits the events), re-exported here because the explain layer
+// and every traced scheme speak it.
+pub use simnet::{HopKind, TraceEvent, TraceRecord, TraceSink, Verdict};
 
 // The network cost-model layer. `NetModel` is defined in `simnet` (the
 // simulator charges edge costs as messages are scheduled, and `simnet`

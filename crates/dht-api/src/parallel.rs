@@ -90,13 +90,22 @@ pub struct ParallelDriver {
     /// (`tests/hasher_perturbation.rs`) sweeps this to prove submission
     /// order cannot leak into a report.
     pub shard_salt: u64,
+    /// Whether to fill [`DriverReport::metrics`] (off by default, so
+    /// existing reports — and their digests — are unchanged).
+    pub metrics: bool,
 }
 
 impl ParallelDriver {
     /// A driver for `queries` queries with seed 0 and
     /// [`default_threads`] workers.
     pub fn new(queries: usize) -> Self {
-        ParallelDriver { queries, seed: 0, threads: default_threads(), shard_salt: 0 }
+        ParallelDriver {
+            queries,
+            seed: 0,
+            threads: default_threads(),
+            shard_salt: 0,
+            metrics: false,
+        }
     }
 
     /// Sets the base seed.
@@ -119,6 +128,28 @@ impl ParallelDriver {
         self
     }
 
+    /// Enables (or disables) metrics collection: counters, histograms, and
+    /// per-peer origin load land on [`DriverReport::metrics`], merged in
+    /// shard order. All summary statistics are unchanged either way.
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The origin peer query `q` runs from — the public form of the
+    /// driver's origin derivation, so out-of-band tools (the
+    /// `trace_explain` bin) can re-run *exactly* the query a report
+    /// measured. Pure in `(self.seed, q, scheme membership)`.
+    pub fn query_origin(&self, scheme: &dyn RangeScheme, q: usize) -> simnet::NodeId {
+        scheme.random_origin(&mut self.origin_rng(q))
+    }
+
+    /// The scheme seed query `q` runs with (the `seed + q` convention
+    /// shared with [`QueryDriver`](crate::QueryDriver)).
+    pub fn query_seed(&self, q: usize) -> u64 {
+        self.seed.wrapping_add(q as u64)
+    }
+
     /// The contiguous index shards the batch is cut into.
     fn shards(&self) -> Vec<std::ops::Range<usize>> {
         let threads = self.threads.clamp(1, self.queries.max(1));
@@ -136,18 +167,19 @@ impl ParallelDriver {
     /// nor submission order can reach the report.
     fn run_sharded<F>(&self, per_query: F) -> Result<Accumulator, SchemeError>
     where
-        F: Fn(usize) -> Result<(crate::RangeOutcome, usize), SchemeError> + Sync,
+        F: Fn(usize) -> Result<(crate::RangeOutcome, usize, simnet::NodeId), SchemeError> + Sync,
     {
         let shards = self.shards();
         let mut order: Vec<usize> = (0..shards.len()).collect();
         if self.shard_salt != 0 {
             order.sort_by_key(|&i| splitmix64(self.shard_salt ^ i as u64));
         }
+        let metrics = self.metrics;
         let mut shard_results: Vec<Option<Result<Accumulator, SchemeError>>> =
             (0..shards.len()).map(|_| None).collect();
         if shards.len() <= 1 {
             for &i in &order {
-                shard_results[i] = Some(run_shard(shards[i].clone(), &per_query));
+                shard_results[i] = Some(run_shard(shards[i].clone(), &per_query, metrics));
             }
         } else {
             std::thread::scope(|scope| {
@@ -155,7 +187,7 @@ impl ParallelDriver {
                     .iter()
                     .map(|&i| {
                         let shard = shards[i].clone();
-                        (i, scope.spawn(|| run_shard(shard, &per_query)))
+                        (i, scope.spawn(|| run_shard(shard, &per_query, metrics)))
                     })
                     .collect();
                 for (i, h) in handles {
@@ -238,12 +270,19 @@ impl ParallelDriver {
         W: Fn(u64) -> (f64, f64) + Sync,
     {
         let n_peers = scheme.node_count();
-        let acc = self.run_sharded(|q| {
+        let retries_before = scheme.retry_attempts();
+        let mut acc = self.run_sharded(|q| {
             let (lo, hi) = next_range(q as u64);
             let origin = scheme.random_origin(&mut self.origin_rng(q));
             let out = scheme.range_query(origin, lo, hi, self.seed.wrapping_add(q as u64))?;
-            Ok((out, n_peers))
+            Ok((out, n_peers, origin))
         })?;
+        if let Some(m) = acc.metrics_mut() {
+            // The hostile wrapper's cumulative attempt counter: each
+            // query's attempt count is deterministic, so the batch delta
+            // is too, whatever the interleaving.
+            m.inc("retry_attempts", scheme.retry_attempts() - retries_before);
+        }
         Ok(acc.report(scheme.scheme_name(), self.queries))
     }
 
@@ -264,7 +303,7 @@ impl ParallelDriver {
             let rect = workload.rect(domains, self.seed, q as u64);
             let origin = scheme.random_origin(&mut self.origin_rng(q));
             let out = scheme.rect_query(origin, &rect, self.seed.wrapping_add(q as u64))?;
-            Ok((out, n_peers))
+            Ok((out, n_peers, origin))
         })?;
         Ok(acc.report(scheme.scheme_name(), self.queries))
     }
@@ -324,7 +363,7 @@ impl ParallelDriver {
                     let (lo, hi) = workload.range(self.seed, g);
                     let origin = shared.random_origin(&mut self.origin_rng(base + q));
                     let out = shared.range_query(origin, lo, hi, self.seed.wrapping_add(g))?;
-                    Ok((out, n_peers))
+                    Ok((out, n_peers, origin))
                 })?
             };
             let epoch_report = acc.clone().report(&name, self.queries);
@@ -352,8 +391,110 @@ impl ParallelDriver {
             }
         }
         let mut report = total.report(&name, epochs * self.queries);
+        if self.metrics {
+            // Epoch-level traffic that is not per-outcome: repair and churn
+            // totals, folded serially in epoch order.
+            for e in &series {
+                report.metrics.inc("repair_placed", e.repair.placed as u64);
+                report.metrics.inc("repair_dropped", e.repair.dropped as u64);
+                report.metrics.inc("repair_messages", e.repair.messages);
+                report.metrics.inc("repair_latency_ms", e.repair.latency);
+                report.metrics.inc("churn_joins", e.churn.joins as u64);
+                report.metrics.inc("churn_leaves", e.churn.leaves as u64);
+                report.metrics.inc("churn_crashes", e.churn.crashes as u64);
+            }
+        }
         report.epochs = series;
         Ok(report)
+    }
+
+    /// Runs one query of the batch with tracing: the exact `(range,
+    /// origin, seed)` triple [`run`](Self::run) would use for index `q`,
+    /// through the scheme's [`trace_query`](RangeScheme::trace_query) path.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Unsupported`] when the scheme does not support
+    /// tracing; otherwise as [`run`](Self::run).
+    pub fn trace_one(
+        &self,
+        scheme: &dyn RangeScheme,
+        workload: &WorkloadGen,
+        q: usize,
+    ) -> Result<(crate::RangeOutcome, crate::QueryTrace), SchemeError> {
+        let (lo, hi) = workload.range(self.seed, q as u64);
+        let origin = self.query_origin(scheme, q);
+        scheme.trace_query(origin, lo, hi, self.query_seed(q))
+    }
+
+    /// The traced form of [`run`](Self::run): the same sharded execution,
+    /// additionally collecting every query's [`QueryTrace`]. Traces come
+    /// back in **query-index order** whatever the thread count or shard
+    /// salt — shards are contiguous ascending index ranges re-placed by
+    /// shard index before concatenation, so the serialized event stream is
+    /// byte-identical across `{1, n}` threads and every submission order
+    /// (pinned by `tests/parallel_determinism.rs`).
+    ///
+    /// The report's summary statistics are **not** derived from the traced
+    /// path's outcomes being special in any way: `trace_query` returns the
+    /// same outcome `range_query` would, so the report matches an untraced
+    /// [`run`](Self::run) field for field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed query error across all shards.
+    ///
+    /// [`QueryTrace`]: crate::QueryTrace
+    pub fn run_traced(
+        &self,
+        scheme: &dyn RangeScheme,
+        workload: &WorkloadGen,
+    ) -> Result<(DriverReport, Vec<crate::QueryTrace>), SchemeError> {
+        type ShardOut = Result<(Accumulator, Vec<crate::QueryTrace>), SchemeError>;
+        let n_peers = scheme.node_count();
+        let shards = self.shards();
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        if self.shard_salt != 0 {
+            order.sort_by_key(|&i| splitmix64(self.shard_salt ^ i as u64));
+        }
+        let run_one = |shard: std::ops::Range<usize>| -> ShardOut {
+            let mut acc =
+                if self.metrics { Accumulator::with_metrics() } else { Accumulator::default() };
+            let mut traces = Vec::with_capacity(shard.len());
+            for q in shard {
+                let (out, tr) = self.trace_one(scheme, workload, q)?;
+                acc.push(&out, n_peers, self.query_origin(scheme, q));
+                traces.push(tr);
+            }
+            Ok((acc, traces))
+        };
+        let mut shard_results: Vec<Option<ShardOut>> = (0..shards.len()).map(|_| None).collect();
+        if shards.len() <= 1 {
+            for &i in &order {
+                shard_results[i] = Some(run_one(shards[i].clone()));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = order
+                    .iter()
+                    .map(|&i| {
+                        let shard = shards[i].clone();
+                        (i, scope.spawn(|| run_one(shard)))
+                    })
+                    .collect();
+                for (i, h) in handles {
+                    shard_results[i] = Some(h.join().expect("worker panicked"));
+                }
+            });
+        }
+        let mut merged = Accumulator::default();
+        let mut all = Vec::with_capacity(self.queries);
+        for r in shard_results {
+            let (acc, traces) = r.expect("every shard ran")?;
+            merged.merge(acc);
+            all.extend(traces);
+        }
+        Ok((merged.report(scheme.scheme_name(), self.queries), all))
     }
 
     /// Origin-selection RNG for query `q`: index-derived, like the
@@ -375,14 +516,18 @@ fn splitmix64(v: u64) -> u64 {
 }
 
 /// Executes one contiguous shard serially, in index order.
-fn run_shard<F>(shard: std::ops::Range<usize>, per_query: &F) -> Result<Accumulator, SchemeError>
+fn run_shard<F>(
+    shard: std::ops::Range<usize>,
+    per_query: &F,
+    metrics: bool,
+) -> Result<Accumulator, SchemeError>
 where
-    F: Fn(usize) -> Result<(crate::RangeOutcome, usize), SchemeError>,
+    F: Fn(usize) -> Result<(crate::RangeOutcome, usize, simnet::NodeId), SchemeError>,
 {
-    let mut acc = Accumulator::default();
+    let mut acc = if metrics { Accumulator::with_metrics() } else { Accumulator::default() };
     for q in shard {
-        let (out, n_peers) = per_query(q)?;
-        acc.push(&out, n_peers);
+        let (out, n_peers, origin) = per_query(q)?;
+        acc.push(&out, n_peers, origin);
     }
     Ok(acc)
 }
@@ -440,7 +585,7 @@ mod tests {
     #[test]
     fn shards_cover_exactly_once() {
         for (queries, threads) in [(100, 8), (7, 8), (8, 3), (1, 4), (0, 4), (64, 1)] {
-            let d = ParallelDriver { queries, seed: 0, threads, shard_salt: 0 };
+            let d = ParallelDriver { queries, seed: 0, threads, shard_salt: 0, metrics: false };
             let mut seen = vec![0usize; queries];
             for shard in d.shards() {
                 for q in shard {
@@ -488,7 +633,7 @@ mod tests {
         // results carry the scheme seed in Synth; with base seed 10 and 4
         // queries the batch must have used seeds 10..14.
         let wl = WorkloadGen::named("uniform", (0.0, 1000.0)).unwrap();
-        let d = ParallelDriver { queries: 4, seed: 10, threads: 2, shard_salt: 0 };
+        let d = ParallelDriver { queries: 4, seed: 10, threads: 2, shard_salt: 0, metrics: false };
         let report = d.run(&Synth, &wl).unwrap();
         // One result per query; sum of seeds 10+11+12+13 = 46 is invisible
         // through the report, but the count is exact.
@@ -541,7 +686,7 @@ mod tests {
         }
         let wl = WorkloadGen::named("uniform", (0.0, 10.0)).unwrap();
         // Failure lands in the last shard; the driver must still report it.
-        let d = ParallelDriver { queries: 40, seed: 0, threads: 4, shard_salt: 0 };
+        let d = ParallelDriver { queries: 40, seed: 0, threads: 4, shard_salt: 0, metrics: false };
         assert!(d.run(&FailAbove(35), &wl).is_err());
         assert!(d.run(&FailAbove(1000), &wl).is_ok());
     }

@@ -392,6 +392,10 @@ impl Replicated {
     /// each fetch is dropped with the plan's message-loss probability,
     /// drawn from an RNG derived from the query seed so the outcome stays
     /// deterministic. Dropped fetches still cost their messages and delay.
+    ///
+    /// When `fetch_log` is present every attempted fetch is recorded as
+    /// `(holder, cost, recovered)` — the trace plane's raw material; the
+    /// query outcome is identical either way.
     fn recover(
         &self,
         origin: NodeId,
@@ -399,6 +403,7 @@ impl Replicated {
         hi: f64,
         mut out: RangeOutcome,
         faults: Option<(&simnet::FaultPlan, u64)>,
+        mut fetch_log: Option<&mut Vec<(NodeId, FetchCost, bool)>>,
     ) -> RangeOutcome {
         use rand::Rng as _;
         if self.policy.is_none() {
@@ -431,10 +436,17 @@ impl Replicated {
             fetch_delay = fetch_delay.max(cost.hops);
             fetch_latency = fetch_latency.max(cost.latency);
             out.messages += cost.messages;
+            let mut landed = true;
             if let Some((plan, rng)) = &mut fault_state {
                 if plan.drop_prob() > 0.0 && rng.gen::<f64>() < plan.drop_prob() {
-                    continue; // paid for, lost in transit
+                    landed = false; // paid for, lost in transit
                 }
+            }
+            if let Some(log) = fetch_log.as_deref_mut() {
+                log.push((holder, cost, landed));
+            }
+            if !landed {
+                continue;
             }
             fetched.push(handle);
             missing.remove(&handle);
@@ -481,6 +493,74 @@ impl Replicated {
             .as_dynamic()
             .ok_or(SchemeError::Unsupported { scheme: name, feature: "dynamics" })
     }
+}
+
+/// Splices a recorded fetch phase into a query trace: one
+/// [`ReplicaFetch`](simnet::TraceEvent::ReplicaFetch) event per attempted
+/// fetch (time-based after the primary phase — fetches run in parallel, so
+/// each lands at its own round-trip latency) and one cost node carrying
+/// exactly the deltas [`Replicated::recover`] charged: the slowest fetch
+/// in hops and virtual ms, the summed fetch messages. Keeps the explain
+/// invariant `root.total() == (delay, latency, messages)` through the
+/// replication layer.
+fn splice_fetch_phase(
+    trace: &mut crate::QueryTrace,
+    origin: NodeId,
+    phase_start: u64,
+    log: &[(NodeId, FetchCost, bool)],
+) {
+    use crate::CostNode;
+    if log.is_empty() {
+        return;
+    }
+    // Emit in completion order so the merged stream stays (time, id)-sorted;
+    // the stable sort keeps equal-latency fetches in publish order.
+    let mut order: Vec<usize> = (0..log.len()).collect();
+    order.sort_by_key(|&i| log[i].1.latency);
+    let mut sink = simnet::TraceSink::new();
+    for &i in &order {
+        let (holder, cost, recovered) = log[i];
+        sink.emit(
+            cost.latency,
+            simnet::TraceEvent::ReplicaFetch {
+                origin,
+                holder,
+                hops: cost.hops,
+                latency_ms: cost.latency,
+                messages: cost.messages,
+                recovered,
+            },
+        );
+    }
+    trace.append_events(sink.into_records(), phase_start);
+
+    let delay: u64 = log.iter().map(|e| e.1.hops).max().unwrap_or(0);
+    let latency: u64 = log.iter().map(|e| e.1.latency).max().unwrap_or(0);
+    let messages: u64 = log.iter().map(|e| e.1.messages).sum();
+    let recovered = log.iter().filter(|e| e.2).count();
+    let mut phase = CostNode::leaf(
+        format!(
+            "replica fetch phase: {} fetch{}, {recovered} recovered (slowest +{latency} ms)",
+            log.len(),
+            if log.len() == 1 { "" } else { "es" },
+        ),
+        delay,
+        latency,
+        messages,
+    );
+    for &(holder, cost, landed) in log {
+        let lost = if landed { "" } else { " — lost in transit" };
+        phase.children.push(CostNode::leaf(
+            format!(
+                "fetch from peer {holder}: {} hops, {} ms, {} msg{lost}",
+                cost.hops, cost.latency, cost.messages
+            ),
+            0,
+            0,
+            0,
+        ));
+    }
+    trace.root.children.push(phase);
 }
 
 impl std::fmt::Debug for Replicated {
@@ -540,7 +620,7 @@ impl RangeScheme for Replicated {
         seed: u64,
     ) -> Result<RangeOutcome, SchemeError> {
         let out = self.inner.range_query(origin, lo, hi, seed)?;
-        Ok(self.recover(origin, lo, hi, out, None))
+        Ok(self.recover(origin, lo, hi, out, None, None))
     }
 
     fn supports_fault_injection(&self) -> bool {
@@ -556,7 +636,46 @@ impl RangeScheme for Replicated {
         faults: &simnet::FaultPlan,
     ) -> Result<RangeOutcome, SchemeError> {
         let out = self.inner.range_query_with_faults(origin, lo, hi, seed, faults)?;
-        Ok(self.recover(origin, lo, hi, out, Some((faults, seed))))
+        Ok(self.recover(origin, lo, hi, out, Some((faults, seed)), None))
+    }
+
+    fn supports_tracing(&self) -> bool {
+        self.inner.supports_tracing()
+    }
+
+    fn retry_attempts(&self) -> u64 {
+        self.inner.retry_attempts()
+    }
+
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, crate::QueryTrace), SchemeError> {
+        let (out, mut trace) = self.inner.trace_query(origin, lo, hi, seed)?;
+        let phase_start = out.latency;
+        let mut log = Vec::new();
+        let out = self.recover(origin, lo, hi, out, None, Some(&mut log));
+        splice_fetch_phase(&mut trace, origin, phase_start, &log);
+        Ok((out, trace))
+    }
+
+    fn trace_query_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &simnet::FaultPlan,
+    ) -> Result<(RangeOutcome, crate::QueryTrace), SchemeError> {
+        let (out, mut trace) = self.inner.trace_query_with_faults(origin, lo, hi, seed, faults)?;
+        let phase_start = out.latency;
+        let mut log = Vec::new();
+        let out = self.recover(origin, lo, hi, out, Some((faults, seed)), Some(&mut log));
+        splice_fetch_phase(&mut trace, origin, phase_start, &log);
+        Ok((out, trace))
     }
 
     fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
@@ -754,6 +873,32 @@ mod tests {
             out.results.retain(|h| !lost.contains(h));
             out.exact = lost.is_empty() && out.exact;
             Ok(out)
+        }
+        fn supports_tracing(&self) -> bool {
+            true
+        }
+        fn trace_query(
+            &self,
+            origin: NodeId,
+            lo: f64,
+            hi: f64,
+            seed: u64,
+        ) -> Result<(RangeOutcome, crate::QueryTrace), SchemeError> {
+            let out = self.range_query(origin, lo, hi, seed)?;
+            let trace = crate::QueryTrace::modeled("shard-scan", origin, &out);
+            Ok((out, trace))
+        }
+        fn trace_query_with_faults(
+            &self,
+            origin: NodeId,
+            lo: f64,
+            hi: f64,
+            seed: u64,
+            faults: &simnet::FaultPlan,
+        ) -> Result<(RangeOutcome, crate::QueryTrace), SchemeError> {
+            let out = self.range_query_with_faults(origin, lo, hi, seed, faults)?;
+            let trace = crate::QueryTrace::modeled("shard-scan", origin, &out);
+            Ok((out, trace))
         }
     }
 
@@ -1042,6 +1187,53 @@ mod tests {
         assert!(out.exact, "post-stabilize queries are exact again");
         // And the repair pass left nothing to do.
         assert_eq!(scheme.re_replicate(), ReplicaRepair::default());
+    }
+
+    #[test]
+    fn traced_recovery_keeps_the_accounting_invariant_and_logs_fetches() {
+        let mut scheme = replicated(12, 60, ReplicaPolicy::successor(3));
+        for _ in 0..4 {
+            let victim = *DynamicScheme::live_peers(&scheme).last().unwrap();
+            DynamicScheme::crash(&mut scheme, victim).unwrap();
+        }
+        let plain = scheme.range_query(0, 0.0, 1000.0, 0).unwrap();
+        let (traced, tr) = scheme.trace_query(0, 0.0, 1000.0, 0).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the outcome");
+        assert_eq!(tr.root.total(), (traced.delay, traced.latency, traced.messages));
+        let fetches = tr
+            .events
+            .iter()
+            .filter(|r| matches!(r.event, simnet::TraceEvent::ReplicaFetch { .. }))
+            .count();
+        assert!(fetches > 0, "crash-lost records must show up as fetch events");
+        assert!(tr.explain_text().contains("replica fetch phase"), "{}", tr.explain_text());
+        // The merged stream stays totally ordered by (time, id).
+        let stamps: Vec<(u64, u64)> = tr.events.iter().map(|r| (r.time, r.id)).collect();
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        assert_eq!(stamps, sorted, "fetch events must splice in time order");
+    }
+
+    #[test]
+    fn traced_faulted_recovery_marks_lost_fetches() {
+        let scheme = replicated(12, 60, ReplicaPolicy::successor(3));
+        let inner_live: Vec<NodeId> = (0..12).collect();
+        let owners = ring_owners(&inner_live, value_key(37.0), 3);
+        let mut lossy = simnet::FaultPlan::with_drop_prob(1.0);
+        lossy.crash(owners[0]);
+        let plain = scheme.range_query_with_faults(0, 0.0, 1000.0, 0, &lossy).unwrap();
+        let (traced, tr) = scheme.trace_query_with_faults(0, 0.0, 1000.0, 0, &lossy).unwrap();
+        assert_eq!(plain, traced, "traced faulted recovery must replay the same verdicts");
+        assert_eq!(tr.root.total(), (traced.delay, traced.latency, traced.messages));
+        let lost = tr
+            .events
+            .iter()
+            .filter(|r| {
+                matches!(r.event, simnet::TraceEvent::ReplicaFetch { recovered: false, .. })
+            })
+            .count();
+        assert!(lost > 0, "100% loss fetches must be logged as not recovered");
+        assert!(tr.explain_text().contains("lost in transit"));
     }
 
     #[test]

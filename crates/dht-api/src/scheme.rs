@@ -387,6 +387,71 @@ pub trait RangeScheme: Send + Sync {
         })
     }
 
+    /// Whether [`trace_query`](Self::trace_query) is a real implementation
+    /// rather than the refusing default. All registry schemes support it —
+    /// simulation-backed engines (PIRA, DCF-CAN) with real event streams,
+    /// analytic schemes with honestly-labeled modeled decompositions.
+    fn supports_tracing(&self) -> bool {
+        false
+    }
+
+    /// Executes a range query *and* returns its observability record: the
+    /// structured event stream plus the causal cost tree, whose
+    /// [`total`](crate::CostNode::total) exactly reproduces the outcome's
+    /// `delay`/`latency`/`messages`. The outcome is identical to what
+    /// [`range_query`](Self::range_query) returns for the same arguments —
+    /// tracing observes, never perturbs.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Unsupported`] from the default implementation;
+    /// otherwise as [`range_query`](Self::range_query).
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, crate::QueryTrace), SchemeError> {
+        let _ = (origin, lo, hi, seed);
+        Err(SchemeError::Unsupported { scheme: self.scheme_name().to_string(), feature: "tracing" })
+    }
+
+    /// [`trace_query`](Self::trace_query) under a fault plan. The default
+    /// answers fault-free plans via `trace_query` and refuses real fault
+    /// injection; simulation-backed schemes override it so lost edges show
+    /// up as [`FaultVerdict`](simnet::TraceEvent::FaultVerdict) events.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Unsupported`] when the plan injects faults and the
+    /// scheme has no traced fault path; otherwise as
+    /// [`trace_query`](Self::trace_query).
+    fn trace_query_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &simnet::FaultPlan,
+    ) -> Result<(RangeOutcome, crate::QueryTrace), SchemeError> {
+        if faults.is_fault_free() {
+            return self.trace_query(origin, lo, hi, seed);
+        }
+        Err(SchemeError::Unsupported {
+            scheme: self.scheme_name().to_string(),
+            feature: "traced fault injection",
+        })
+    }
+
+    /// Cumulative retry attempts this scheme has spent beyond each query's
+    /// first try — non-zero only on the [`Hostile`](crate::Hostile)
+    /// wrapper, whose drivers read the delta around a batch to account
+    /// retry traffic in the metrics registry.
+    fn retry_attempts(&self) -> u64 {
+        0
+    }
+
     /// The scheme's dynamics capability: `Some` when the substrate has
     /// churn primitives (join/leave/crash/stabilize), `None` otherwise.
     /// Drivers and experiments discover support at runtime through this

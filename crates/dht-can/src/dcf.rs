@@ -115,6 +115,46 @@ pub fn range_query_priced(
     faults: &FaultPlan,
     model: &NetModel,
 ) -> Result<DcfOutcome, CanError> {
+    let (out, _) = query_impl(net, origin, lo, hi, seed, mode, faults, model, false)?;
+    Ok(out)
+}
+
+/// [`range_query_priced`] with the simulator's trace sink attached: the
+/// identical outcome plus the full virtual-time event stream — routing
+/// hops, the route→flood local hand-off, flood hops, fault verdicts, and
+/// one answer event per qualifying zone delivery. Tracing observes the
+/// schedule; it never perturbs it.
+///
+/// # Errors
+///
+/// Same conditions as [`range_query`].
+#[allow(clippy::too_many_arguments)]
+pub fn range_query_traced(
+    net: &CanNet,
+    origin: NodeId,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+    mode: FloodMode,
+    faults: &FaultPlan,
+    model: &NetModel,
+) -> Result<(DcfOutcome, Vec<simnet::TraceRecord>), CanError> {
+    let (out, records) = query_impl(net, origin, lo, hi, seed, mode, faults, model, true)?;
+    Ok((out, records.unwrap_or_default()))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn query_impl(
+    net: &CanNet,
+    origin: NodeId,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+    mode: FloodMode,
+    faults: &FaultPlan,
+    model: &NetModel,
+    trace: bool,
+) -> Result<(DcfOutcome, Option<Vec<simnet::TraceRecord>>), CanError> {
     if lo > hi {
         return Err(CanError::EmptyRange { lo, hi });
     }
@@ -141,6 +181,9 @@ pub fn range_query_priced(
     let (mx, my) = net.point_of_value((lo + hi) / 2.0);
 
     let mut sim: Sim<DcfMsg> = Sim::new(seed).with_faults(faults.clone()).with_net(*model);
+    if trace {
+        sim = sim.with_trace(simnet::TraceSink::new());
+    }
     sim.send(origin, origin, 0, DcfMsg::Route);
 
     let mut answered: BTreeSet<NodeId> = BTreeSet::new();
@@ -181,6 +224,7 @@ pub fn range_query_priced(
                     return;
                 }
                 arrivals.push((node, env.cost));
+                sim.trace_answer(&env);
                 let first_visit = answered.insert(node);
                 if first_visit {
                     delay = delay.max(env.hop);
@@ -225,15 +269,19 @@ pub fn range_query_priced(
     let reached = answered.len();
     let exact = answered == truth;
     let latency = simnet::last_first_arrival(&mut arrivals);
-    Ok(DcfOutcome {
-        results: results.into_iter().collect(),
-        delay,
-        latency,
-        messages: sim.stats().messages_sent,
-        dest_zones: truth.len(),
-        reached_zones: reached,
-        exact,
-    })
+    let records = sim.take_trace().map(simnet::TraceSink::into_records);
+    Ok((
+        DcfOutcome {
+            results: results.into_iter().collect(),
+            delay,
+            latency,
+            messages: sim.stats().messages_sent,
+            dest_zones: truth.len(),
+            reached_zones: reached,
+            exact,
+        },
+        records,
+    ))
 }
 
 #[cfg(test)]

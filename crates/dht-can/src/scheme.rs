@@ -198,6 +198,58 @@ impl RangeScheme for DcfScheme {
         Ok(out.into_outcome())
     }
 
+    fn supports_tracing(&self) -> bool {
+        true
+    }
+
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, dht_api::QueryTrace), SchemeError> {
+        let (out, records) = dcf::range_query_traced(
+            &self.net,
+            origin,
+            lo,
+            hi,
+            seed,
+            self.mode,
+            &FaultPlan::new(),
+            &self.net_model,
+        )?;
+        let converted = out.into_outcome();
+        let trace = dht_api::QueryTrace::from_sim_records(self.scheme_name(), records, &converted);
+        Ok((converted, trace))
+    }
+
+    fn trace_query_with_faults(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<(RangeOutcome, dht_api::QueryTrace), SchemeError> {
+        if let Some(node) = faults.first_out_of_range(self.node_count()) {
+            return Err(SchemeError::FaultPlanOutOfRange { node, n: self.node_count() });
+        }
+        let (out, records) = dcf::range_query_traced(
+            &self.net,
+            origin,
+            lo,
+            hi,
+            seed,
+            self.mode,
+            faults,
+            &self.net_model,
+        )?;
+        let converted = out.into_outcome();
+        let trace = dht_api::QueryTrace::from_sim_records(self.scheme_name(), records, &converted);
+        Ok((converted, trace))
+    }
+
     fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {
         Some(self)
     }
@@ -388,6 +440,40 @@ mod tests {
         let mut ok = FaultPlan::new();
         ok.crash(scheme.node_count() - 1);
         assert!(scheme.range_query_with_faults(0, 1.0, 2.0, 0, &ok).is_ok());
+    }
+
+    #[test]
+    fn trace_totals_reproduce_reported_costs() {
+        // The accounting invariant across the route→flood local hand-off:
+        // the walkback must telescope through the phase switch.
+        let mut rng = simnet::rng_from_seed(905);
+        let params = BuildParams::new(150, 0.0, 1000.0);
+        let mut scheme = DcfScheme::build(&params, FloodMode::Directed, &mut rng).unwrap();
+        for h in 0..200u64 {
+            scheme.publish(rng.gen_range(0.0..=1000.0), h).unwrap();
+        }
+        assert!(scheme.supports_tracing());
+        let faults = FaultPlan::with_drop_prob(0.1);
+        for q in 0..15 {
+            let lo = rng.gen_range(0.0..850.0);
+            let hi = lo + rng.gen_range(0.5..120.0);
+            let origin = scheme.random_origin(&mut rng);
+            let plain = scheme.range_query(origin, lo, hi, q).unwrap();
+            let (traced, trace) = scheme.trace_query(origin, lo, hi, q).unwrap();
+            assert_eq!(plain, traced, "tracing perturbed query [{lo}, {hi}]");
+            assert_eq!(
+                trace.root.total(),
+                (traced.delay, traced.latency, traced.messages),
+                "explain tree must sum to the outcome: [{lo}, {hi}]\n{}",
+                trace.explain_text()
+            );
+            // And under faults too.
+            let plain_f = scheme.range_query_with_faults(origin, lo, hi, q, &faults).unwrap();
+            let (traced_f, trace_f) =
+                scheme.trace_query_with_faults(origin, lo, hi, q, &faults).unwrap();
+            assert_eq!(plain_f, traced_f);
+            assert_eq!(trace_f.root.total(), (traced_f.delay, traced_f.latency, traced_f.messages));
+        }
     }
 
     #[test]

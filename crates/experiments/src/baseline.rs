@@ -51,6 +51,11 @@
 //! embedded simulated metrics (delay, messages, results) are not. Every
 //! v5 metric is again unchanged — the scaling grid builds additional
 //! networks from its own seeds and touches none of the existing cells.
+//! Schema v7 surfaces the median on the latency grid: every latency-section
+//! row gains `delay_p50` and `latency_p50` was already present — the p50
+//! was always computed by [`DriverReport`]'s summaries, v7 just writes it
+//! out. Every v6 metric value is bit-for-bit unchanged: v7 adds columns,
+//! never touches an existing cell.
 
 use crate::output::Table;
 use crate::{dynamic_single_names, standard_registry};
@@ -66,7 +71,7 @@ use std::time::Instant; // detlint: allow(D2) — qps stopwatch import; every re
 /// The schema tag written to (and expected in) `BENCH_baseline.json` —
 /// bumped whenever the JSON shape changes, and pinned by the CI
 /// bench-schema smoke job (`bench_baseline --quick --check-schema`).
-pub const SCHEMA_VERSION: &str = "bench-baseline-v6";
+pub const SCHEMA_VERSION: &str = "bench-baseline-v7";
 
 /// Hostile-network specs measured in the hostile section: loss alone, the
 /// same loss with a 3-attempt retry budget, the two-island partition, and
@@ -310,6 +315,7 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
                 seed: cfg.seed ^ dht_api::fnv1a(wl_name.as_bytes()),
                 threads: cfg.threads,
                 shard_salt: 0,
+                metrics: false,
             };
             #[allow(clippy::disallowed_methods)]
             let start = Instant::now(); // detlint: allow(D2) — qps stopwatch
@@ -341,6 +347,7 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
                 seed: cfg.seed ^ dht_api::fnv1a(wl_name.as_bytes()),
                 threads: cfg.threads,
                 shard_salt: 0,
+                metrics: false,
             };
             #[allow(clippy::disallowed_methods)]
             let start = Instant::now(); // detlint: allow(D2) — qps stopwatch
@@ -379,6 +386,7 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
                 seed: cfg.seed ^ dht_api::fnv1a(b"uniform"),
                 threads: cfg.threads,
                 shard_salt: 0,
+                metrics: false,
             };
             #[allow(clippy::disallowed_methods)]
             let start = Instant::now(); // detlint: allow(D2) — qps stopwatch
@@ -413,6 +421,7 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
             seed: cfg.seed ^ dht_api::fnv1a(plan_name.as_bytes()),
             threads: cfg.threads,
             shard_salt: 0,
+            metrics: false,
         };
         let policy_name =
             scheme.as_replicated().map_or_else(|| "none".to_string(), |c| c.policy().name());
@@ -494,6 +503,7 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
                 seed: cfg.seed ^ dht_api::fnv1a(b"hostile"),
                 threads: cfg.threads,
                 shard_salt: 0,
+                metrics: false,
             };
             #[allow(clippy::disallowed_methods)]
             let start = Instant::now(); // detlint: allow(D2) — qps stopwatch
@@ -539,6 +549,7 @@ pub fn run(cfg: &BaselineConfig) -> BaselineReport {
                 seed: cfg.seed ^ dht_api::fnv1a(b"scaling"),
                 threads: cfg.threads,
                 shard_salt: 0,
+                metrics: false,
             };
             #[allow(clippy::disallowed_methods)]
             let start = Instant::now(); // detlint: allow(D2) — qps stopwatch
@@ -803,7 +814,7 @@ impl BaselineReport {
             let _ = writeln!(
                 s,
                 "    {{ \"scheme\": \"{}\", \"net\": \"{}\", \"qps\": {}, \
-                 \"delay_mean\": {}, \"delay_p95\": {}, \"delay_p99\": {}, \
+                 \"delay_mean\": {}, \"delay_p50\": {}, \"delay_p95\": {}, \"delay_p99\": {}, \
                  \"latency_mean\": {}, \"latency_p50\": {}, \"latency_p95\": {}, \
                  \"latency_p99\": {}, \"latency_max\": {}, \"messages_mean\": {}, \
                  \"exact_rate\": {}, \"results_returned\": {} }}{comma}",
@@ -811,6 +822,7 @@ impl BaselineReport {
                 r.net,
                 json_f64(r.qps),
                 json_f64(r.report.delay.mean),
+                json_f64(r.report.delay.p50),
                 json_f64(r.report.delay.p95),
                 json_f64(r.report.delay.p99),
                 json_f64(r.report.latency.mean),
@@ -1173,6 +1185,10 @@ mod tests {
         assert!(json.contains("\"latency\": ["));
         assert!(json.contains("\"latency_p95\""));
         assert!(json.contains("\"delay_p95\""));
+        // v7: the latency section carries the delay median alongside the
+        // latency one (both were always computed; v7 writes them out).
+        assert!(json.contains("\"delay_p50\""));
+        assert!(json.contains("\"latency_p50\""));
         assert!(json.contains("\"hostile\": ["));
         assert!(json.contains("\"hostile_specs\": ["));
         assert!(json.contains("\"scaling\": ["));

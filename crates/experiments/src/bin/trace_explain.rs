@@ -1,0 +1,89 @@
+//! Explain one query's cost, hop by hop — or stream a deterministic
+//! sample of a whole batch as schema-validated JSON Lines.
+//!
+//! ```sh
+//! # The causal tree for query 17 of the default 1000-query batch:
+//! cargo run --release -p armada-experiments --bin trace_explain -- \
+//!     --scheme pira+r3@wan@lossy-10/r2 --query 17
+//!
+//! # The raw event stream (one JSON object per line):
+//! cargo run --release -p armada-experiments --bin trace_explain -- \
+//!     --scheme pira --query 17 --format jsonl
+//!
+//! # A 1-in-64 hash-sampled slice of every query in the batch:
+//! cargo run --release -p armada-experiments --bin trace_explain -- \
+//!     --scheme pira --sample 1/64 --format jsonl
+//! ```
+//!
+//! Every rendered query is accounting-checked first: the explain tree's
+//! recursive total must reproduce the reported `delay`, `latency`, and
+//! `messages` exactly, or the binary exits nonzero. `--n`, `--queries`,
+//! `--seed`, and `--workload` move the batch the indices address.
+
+use armada_experiments::arg_value;
+use armada_experiments::trace_explain::{run_one, run_sampled, Format, TraceExplainConfig};
+
+fn main() {
+    let mut cfg = TraceExplainConfig::default();
+    if let Some(scheme) = arg_value("scheme") {
+        cfg.scheme = scheme;
+    }
+    if let Some(workload) = arg_value("workload") {
+        cfg.workload = workload;
+    }
+    cfg.n = parsed_or_exit("n", cfg.n);
+    cfg.queries = parsed_or_exit("queries", cfg.queries);
+    cfg.seed = parsed_or_exit("seed", cfg.seed);
+    let format = match arg_value("format") {
+        None => Format::Text,
+        Some(raw) => Format::parse(&raw).unwrap_or_else(|| {
+            eprintln!("error: --format wants text, jsonl, or chrome; got {raw:?}");
+            std::process::exit(2);
+        }),
+    };
+    let sample = arg_value("sample").map(|raw| {
+        raw.strip_prefix("1/")
+            .and_then(|k| k.parse::<u64>().ok())
+            .filter(|&k| k >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("error: --sample wants the form 1/K (K >= 1), got {raw:?}");
+                std::process::exit(2);
+            })
+    });
+    let rendered = match (sample, arg_value("query")) {
+        (Some(_), Some(_)) => {
+            eprintln!("error: --sample and --query are mutually exclusive");
+            std::process::exit(2);
+        }
+        (Some(k), None) => run_sampled(&cfg, k, format),
+        (None, maybe_q) => {
+            let q = match maybe_q {
+                None => 0,
+                Some(raw) => raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --query wants a batch index, got {raw:?}");
+                    std::process::exit(2);
+                }),
+            };
+            run_one(&cfg, q, format)
+        }
+    };
+    match rendered {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses `--name` as the flag's type, keeping `default` when absent and
+/// exiting with a usage error when unparseable.
+fn parsed_or_exit<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match arg_value(name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: --{name} could not parse {raw:?}");
+            std::process::exit(2);
+        }),
+    }
+}

@@ -227,6 +227,7 @@ fn measure(
         seed: 0x5eed ^ range_size.to_bits() ^ n as u64,
         threads: cfg.threads,
         shard_salt: 0,
+        metrics: false,
     };
     let report = driver.run(scheme, &workload).expect("fault-free queries succeed");
     assert_eq!(report.exact_rate, 1.0, "{} missed destinations fault-free", scheme.scheme_name());

@@ -22,6 +22,7 @@
 //! | hostile networks (ours) | [`partition_sweep`] | `partition_sweep` |
 //! | latency in ms (ours) | [`latency_sweep`] | `latency_sweep` |
 //! | perf baseline (ours) | [`baseline`] | `bench_baseline` |
+//! | query tracing (ours) | [`trace_explain`] | `trace_explain` |
 //!
 //! All runs are deterministic given a seed — including under the parallel
 //! driver, whose per-thread statistics merge identically for any thread
@@ -59,6 +60,7 @@ pub mod substrate;
 pub mod sweeps;
 pub mod table1;
 pub mod topk_eval;
+pub mod trace_explain;
 
 pub use output::Table;
 
@@ -115,6 +117,7 @@ pub fn sweep_filter_args() -> (Option<Vec<String>>, Option<Vec<String>>, Option<
     if let Some(plans) = &plans {
         for plan in plans {
             if dht_api::ChurnPlan::named(plan).is_err() {
+                // detlint: allow(D5) — shared CLI usage error; exits before any report runs
                 eprintln!(
                     "error: unknown churn plan {plan:?} (catalog: {})",
                     dht_api::CHURN_PLAN_NAMES.join(", ")
@@ -126,7 +129,7 @@ pub fn sweep_filter_args() -> (Option<Vec<String>>, Option<Vec<String>>, Option<
     let threads = arg_value("threads").map(|raw| match raw.parse::<usize>() {
         Ok(t) if t > 0 => t,
         _ => {
-            eprintln!("error: --threads wants a positive integer, got {raw:?}");
+            eprintln!("error: --threads wants a positive integer, got {raw:?}"); // detlint: allow(D5) — shared CLI usage error; exits before any report runs
             std::process::exit(2);
         }
     });
@@ -136,6 +139,7 @@ pub fn sweep_filter_args() -> (Option<Vec<String>>, Option<Vec<String>>, Option<
 /// Exits with a usage error when a `--schemes` filter matched nothing.
 pub fn require_schemes(selected: &[String]) {
     if selected.is_empty() {
+        // detlint: allow(D5) — shared CLI usage error; exits before any report runs
         eprintln!(
             "error: no dynamic scheme matches the --schemes filter (have: {})",
             dynamic_single_names().join(", ")

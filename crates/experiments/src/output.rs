@@ -93,8 +93,8 @@ impl Table {
     pub fn emit(&self, name: &str) {
         print!("{}", self.to_markdown());
         match self.write_csv(name) {
-            Ok(path) => println!("\n[csv] {}\n", path.display()),
-            Err(e) => eprintln!("warning: could not write csv: {e}"),
+            Ok(path) => println!("\n[csv] {}\n", path.display()), // detlint: allow(D5) — the binaries' shared stdout epilogue; never on a report path
+            Err(e) => eprintln!("warning: could not write csv: {e}"), // detlint: allow(D5) — CLI warning for the same epilogue
         }
     }
 }

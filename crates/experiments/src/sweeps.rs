@@ -100,6 +100,7 @@ pub fn measure_point(
         seed: cfg.seed ^ 0x5eed ^ range_size.to_bits() ^ n as u64,
         threads: cfg.threads,
         shard_salt: 0,
+        metrics: false,
     };
     let reports = schemes
         .iter()

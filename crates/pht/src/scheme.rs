@@ -109,6 +109,25 @@ impl<D: Dht> RangeScheme for PhtScheme<D> {
         }
         Ok(self.pht.range_query(origin, lo, hi).into_outcome())
     }
+
+    fn supports_tracing(&self) -> bool {
+        true
+    }
+
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, dht_api::QueryTrace), SchemeError> {
+        // PHT's costs come from the analytic trie/lookup model, not a
+        // per-message simulation, so the trace is an honestly-labeled
+        // modeled decomposition of the reported totals.
+        let out = self.range_query(origin, lo, hi, seed)?;
+        let trace = dht_api::QueryTrace::modeled(self.scheme_name(), origin, &out);
+        Ok((out, trace))
+    }
 }
 
 /// [`PhtScheme`] over a churn-capable substrate: the same queries, plus
@@ -169,6 +188,20 @@ impl<D: DynamicDht> RangeScheme for DynamicPhtScheme<D> {
         seed: u64,
     ) -> Result<RangeOutcome, SchemeError> {
         self.0.range_query(origin, lo, hi, seed)
+    }
+
+    fn supports_tracing(&self) -> bool {
+        self.0.supports_tracing()
+    }
+
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, dht_api::QueryTrace), SchemeError> {
+        self.0.trace_query(origin, lo, hi, seed)
     }
 
     fn as_dynamic(&mut self) -> Option<&mut dyn DynamicScheme> {

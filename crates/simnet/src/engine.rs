@@ -3,6 +3,7 @@
 use crate::faults::FaultPlan;
 use crate::net::NetModel;
 use crate::stats::SimStats;
+use crate::trace::{HopKind, TraceEvent, TraceSink, Verdict};
 use crate::{NodeId, SimTime};
 use rand::rngs::SmallRng;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -144,6 +145,10 @@ pub struct Sim<M> {
     edge_attempts: BTreeMap<(NodeId, NodeId), u64>,
     /// Network messages sent per peer — the rate limiter's bucket counter.
     peer_sends: BTreeMap<NodeId, u64>,
+    /// The observability plane: `None` (the default) keeps every emission
+    /// site a single branch with no allocation, so traced-off runs are
+    /// bit-identical to pre-trace builds.
+    trace: Option<Box<TraceSink>>,
 }
 
 impl<M> std::fmt::Debug for Sim<M> {
@@ -174,6 +179,46 @@ impl<M> Sim<M> {
             stats: SimStats::default(),
             edge_attempts: BTreeMap::new(),
             peer_sends: BTreeMap::new(),
+            trace: None,
+        }
+    }
+
+    /// Attaches a [`TraceSink`]: from here on every send verdict, scheduled
+    /// hop, and delivery emits a structured virtual-time event. Tracing
+    /// never changes scheduling, stats, or RNG consumption — it only
+    /// records what already happened.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(Box::new(sink));
+        self
+    }
+
+    /// Detaches and returns the trace sink, if one was attached.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take().map(|b| *b)
+    }
+
+    /// True when a trace sink is attached (protocols may use this to skip
+    /// building event metadata on the hot path).
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Records that the delivery in `env` *answers* the query — called by
+    /// protocol handlers at the site where they push an arrival. No-op
+    /// without an attached sink.
+    pub fn trace_answer(&mut self, env: &Envelope<M>) {
+        if self.trace.is_some() {
+            let ev = TraceEvent::Answer { node: env.to, hop: env.hop, cost_ms: env.cost };
+            self.emit(ev);
+        }
+    }
+
+    /// Appends `event` at the current virtual time. No-op when no sink is
+    /// attached.
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(self.now, event);
         }
     }
 
@@ -271,6 +316,19 @@ impl<M> Sim<M> {
                 queueing = rl.queue_delay(*sent);
                 if queueing > 0 {
                     self.stats.messages_throttled += 1;
+                    if self.trace.is_some() {
+                        // Throttled is a *pricing* verdict: the message
+                        // still schedules, with `queueing` folded into its
+                        // edge cost below.
+                        let plan = format!("rate-limit +{queueing}ms");
+                        let ev = TraceEvent::FaultVerdict {
+                            src: from,
+                            dst: to,
+                            verdict: Verdict::Throttled,
+                            plan,
+                        };
+                        self.emit(ev);
+                    }
                 }
             }
             // Partition: cross-side delivery is refused while the split is
@@ -278,13 +336,33 @@ impl<M> Sim<M> {
             // protocol runs, never mid-run.
             if let Some(part) = self.faults.partition() {
                 let seed = self.faults.plan_seed() ^ self.seed;
-                if part.severed(seed, self.faults.epoch(), from, to, &self.net) {
+                let epoch = self.faults.epoch();
+                if part.severed(seed, epoch, from, to, &self.net) {
                     self.stats.messages_blocked += 1;
+                    if self.trace.is_some() {
+                        let plan = format!("partition epoch {epoch}");
+                        let ev = TraceEvent::FaultVerdict {
+                            src: from,
+                            dst: to,
+                            verdict: Verdict::Blocked,
+                            plan,
+                        };
+                        self.emit(ev);
+                    }
                     return;
                 }
             }
             if self.faults.should_drop(&mut self.rng) {
                 self.stats.messages_dropped += 1;
+                if self.trace.is_some() {
+                    let ev = TraceEvent::FaultVerdict {
+                        src: from,
+                        dst: to,
+                        verdict: Verdict::Dropped,
+                        plan: "drop-prob".to_string(),
+                    };
+                    self.emit(ev);
+                }
                 return;
             }
             // Hash-verdict loss: the attempt index is this edge's delivery
@@ -292,21 +370,53 @@ impl<M> Sim<M> {
             // verdicts while the whole stream stays a pure function of the
             // event order — itself deterministic per seed.
             if let Some(loss) = self.faults.loss() {
-                let attempt = self.edge_attempts.entry((from, to)).or_insert(0);
-                let verdict = loss.lost(self.faults.plan_seed() ^ self.seed, from, to, *attempt);
-                *attempt += 1;
+                let attempt = self.edge_attempts.get(&(from, to)).copied().unwrap_or(0);
+                let verdict = loss.lost(self.faults.plan_seed() ^ self.seed, from, to, attempt);
+                self.edge_attempts.insert((from, to), attempt + 1);
                 if verdict {
                     self.stats.messages_lost += 1;
+                    if self.trace.is_some() {
+                        let plan = format!("hash-loss attempt {attempt}");
+                        let ev = TraceEvent::FaultVerdict {
+                            src: from,
+                            dst: to,
+                            verdict: Verdict::Lost,
+                            plan,
+                        };
+                        self.emit(ev);
+                    }
                     return;
                 }
             }
         }
         if self.faults.is_crashed(to) {
             self.stats.messages_to_crashed += 1;
+            if self.trace.is_some() {
+                let ev = TraceEvent::FaultVerdict {
+                    src: from,
+                    dst: to,
+                    verdict: Verdict::ToCrashed,
+                    plan: "crashed receiver".to_string(),
+                };
+                self.emit(ev);
+            }
             return;
         }
         let latency = if is_network { self.latency.cost(self.seed, from, to) } else { 0 };
-        let cost = base_cost + queueing + if is_network { self.net.edge_cost(from, to) } else { 0 };
+        let edge_cost = queueing + if is_network { self.net.edge_cost(from, to) } else { 0 };
+        let cost = base_cost + edge_cost;
+        if self.trace.is_some() {
+            let kind = if is_network { HopKind::Network } else { HopKind::Local };
+            let ev = TraceEvent::Hop {
+                src: from,
+                dst: to,
+                hop,
+                edge_cost_ms: edge_cost,
+                cost_ms: cost,
+                kind,
+            };
+            self.emit(ev);
+        }
         let env = Envelope { from, to, hop, at: self.now + latency, cost, payload };
         self.enqueue(env);
     }
@@ -364,11 +474,24 @@ impl<M> Sim<M> {
             debug_assert!(env.at == self.now, "cohort member off its tick");
             if self.faults.is_crashed(env.to) {
                 self.stats.messages_to_crashed += 1;
+                if self.trace.is_some() {
+                    let ev = TraceEvent::FaultVerdict {
+                        src: env.from,
+                        dst: env.to,
+                        verdict: Verdict::ToCrashed,
+                        plan: "crashed at delivery".to_string(),
+                    };
+                    self.emit(ev);
+                }
                 continue;
             }
             self.stats.deliveries += 1;
             if env.from != env.to {
                 self.stats.max_hop_delivered = self.stats.max_hop_delivered.max(env.hop);
+            }
+            if self.trace.is_some() {
+                let ev = TraceEvent::Delivery { node: env.to, hop: env.hop, cost_ms: env.cost };
+                self.emit(ev);
             }
             handler(self, env);
         }
@@ -642,6 +765,70 @@ mod tests {
         assert!(costs.iter().all(|&(at, _)| at == 1), "queueing must never delay the clock");
         assert_eq!(sim.stats().messages_throttled, 2);
         assert_eq!(sim.stats().deliveries, 4);
+    }
+
+    #[test]
+    fn trace_records_hops_verdicts_and_deliveries() {
+        use crate::faults::LossPlan;
+        use crate::trace::{TraceEvent, TraceSink, Verdict};
+        let plan = FaultPlan::new().with_loss(LossPlan::bernoulli(0.5));
+        let run = || {
+            let mut sim: Sim<u8> =
+                Sim::new(6).with_faults(plan.clone()).with_trace(TraceSink::new());
+            for _ in 0..16 {
+                sim.send(2, 3, 0, 0);
+            }
+            sim.run(|sim, env| sim.trace_answer(&env));
+            sim.take_trace().expect("sink attached")
+        };
+        let trace = run();
+        let lost = trace
+            .records()
+            .iter()
+            .filter(|r| matches!(&r.event, TraceEvent::FaultVerdict { verdict: Verdict::Lost, .. }))
+            .count();
+        let hops =
+            trace.records().iter().filter(|r| matches!(&r.event, TraceEvent::Hop { .. })).count();
+        let answers = trace
+            .records()
+            .iter()
+            .filter(|r| matches!(&r.event, TraceEvent::Answer { .. }))
+            .count();
+        assert_eq!(lost + hops, 16, "every send got exactly one ruling");
+        assert_eq!(answers, hops, "every delivery was marked as answering");
+        assert!(lost > 0 && hops > 0, "p=0.5 over 16 attempts produces both");
+        // The stream is (time, id)-ordered and replays byte-identically.
+        let lines: Vec<String> = trace.records().iter().map(|r| r.to_json_line()).collect();
+        let replay: Vec<String> = run().records().iter().map(|r| r.to_json_line()).collect();
+        assert_eq!(lines, replay);
+        let mut stamps: Vec<(u64, u64)> = trace.records().iter().map(|r| (r.time, r.id)).collect();
+        let unsorted = stamps.clone();
+        stamps.sort_unstable();
+        assert_eq!(unsorted, stamps);
+    }
+
+    #[test]
+    fn tracing_never_perturbs_stats_or_outcomes() {
+        use crate::faults::LossPlan;
+        use crate::trace::TraceSink;
+        let plan = FaultPlan::new().with_loss(LossPlan::bernoulli(0.3));
+        let run = |traced: bool| {
+            let mut sim: Sim<u64> =
+                Sim::new(21).with_faults(plan.clone()).with_net(NetModel::wan());
+            if traced {
+                sim = sim.with_trace(TraceSink::new());
+            }
+            sim.send(0, 0, 0, 6);
+            let mut seen = Vec::new();
+            sim.run(|sim, env| {
+                seen.push((env.to, env.hop, env.cost, env.at));
+                if env.payload > 0 {
+                    sim.forward(&env, (env.to + 1) % 5, env.payload - 1);
+                }
+            });
+            (seen, sim.stats().clone())
+        };
+        assert_eq!(run(false), run(true), "the sink must be observation-only");
     }
 
     #[test]

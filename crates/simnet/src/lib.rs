@@ -60,11 +60,13 @@ mod engine;
 mod faults;
 mod net;
 mod stats;
+mod trace;
 
 pub use engine::{Envelope, LatencyModel, Sim};
 pub use faults::{FaultPlan, LossPlan, PartitionPlan, RateLimitPlan, HOSTILE_PLAN_NAMES};
 pub use net::{mix, NetModel, NetModelKind, NET_MODEL_NAMES};
 pub use stats::{last_first_arrival, Samples, SimStats, Summary};
+pub use trace::{HopKind, TraceEvent, TraceRecord, TraceSink, Verdict};
 
 /// Identifier of a simulated node (index into the caller's node table).
 pub type NodeId = usize;

@@ -1,0 +1,372 @@
+//! The deterministic trace plane: structured virtual-time events.
+//!
+//! Every event is stamped with the simulator's **virtual** clock and a
+//! monotone event id — no wall clock, no RNG — so the serialized stream for
+//! a fixed `(protocol, seed)` pair is byte-identical across runs, thread
+//! counts, and shard orders. Events are totally ordered by
+//! `(time, id)`; since [`Sim`](crate::Sim) emits at the sender's current
+//! tick and ids are assigned in emission order, the buffer is already in
+//! that order when a run completes (asserted by `emits_in_time_id_order`
+//! below).
+//!
+//! The sink is **zero-cost when off**: a `Sim` without an attached
+//! [`TraceSink`] takes one `Option` branch per emission site and allocates
+//! nothing, so report digests are bit-for-bit unchanged with tracing
+//! disabled (pinned by `tests/hasher_perturbation.rs` at the workspace
+//! root).
+
+use crate::{NodeId, SimTime};
+
+/// How a recorded hop came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopKind {
+    /// A real network edge the simulator scheduled.
+    Network,
+    /// A local hand-off (self-delivery continuing a message chain, e.g. a
+    /// routing phase switching to a flooding phase).
+    Local,
+    /// A hop synthesized from a scheme's analytic cost model — schemes that
+    /// compute costs without per-message simulation decompose their
+    /// reported totals into a modeled chain so the explain invariant
+    /// (per-hop sums reproduce `delay`/`latency`) still holds.
+    Modeled,
+}
+
+impl HopKind {
+    /// Stable lowercase label used by every serialization.
+    pub fn label(self) -> &'static str {
+        match self {
+            HopKind::Network => "network",
+            HopKind::Local => "local",
+            HopKind::Modeled => "modeled",
+        }
+    }
+}
+
+/// Why a send attempt never scheduled (or was priced): the fault plane's
+/// decision on one directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Refused by an open partition (cross-side delivery).
+    Blocked,
+    /// Dropped by the probabilistic loss model.
+    Dropped,
+    /// Lost by the hash-verdict loss plan (the attempt index is part of
+    /// the recorded plan string).
+    Lost,
+    /// Queued by the token-bucket rate limiter — the message still
+    /// delivers, with the queueing delay priced into its cost.
+    Throttled,
+    /// Addressed to a crashed peer.
+    ToCrashed,
+}
+
+impl Verdict {
+    /// Stable lowercase label used by every serialization.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Blocked => "blocked",
+            Verdict::Dropped => "dropped",
+            Verdict::Lost => "lost",
+            Verdict::Throttled => "throttled",
+            Verdict::ToCrashed => "to-crashed",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A message scheduled over an edge. `edge_cost_ms` is this hop's own
+    /// contribution (queueing delay included); `cost_ms` is the chain's
+    /// accumulated [`Envelope::cost`](crate::Envelope::cost) after it.
+    Hop {
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Overlay hop depth of the scheduled message.
+        hop: u32,
+        /// This edge's cost in virtual milliseconds.
+        edge_cost_ms: u64,
+        /// Accumulated chain cost after this edge.
+        cost_ms: u64,
+        /// How the hop came to be.
+        kind: HopKind,
+    },
+    /// The fault plane ruled on a send attempt.
+    FaultVerdict {
+        /// Sender of the judged attempt.
+        src: NodeId,
+        /// Receiver of the judged attempt.
+        dst: NodeId,
+        /// The ruling.
+        verdict: Verdict,
+        /// Which plan component ruled (e.g. `"hash-loss attempt 2"`).
+        plan: String,
+    },
+    /// A message reached its receiver's handler.
+    Delivery {
+        /// Receiving node.
+        node: NodeId,
+        /// Overlay hop depth at delivery.
+        hop: u32,
+        /// Accumulated chain cost at delivery.
+        cost_ms: u64,
+    },
+    /// The protocol marked a delivery as *answering* the query (the peer's
+    /// region intersects the range) — the deliveries that define `delay`
+    /// (max hop) and `latency` (last first arrival over chain costs).
+    Answer {
+        /// Answering node.
+        node: NodeId,
+        /// Overlay hop depth of the answering delivery.
+        hop: u32,
+        /// Accumulated chain cost of the answering delivery.
+        cost_ms: u64,
+    },
+    /// A retry layer launched (or re-launched) the query.
+    RetryAttempt {
+        /// 0-based attempt index.
+        attempt: u32,
+        /// Backoff + timeout wait charged *before* this attempt (0 for the
+        /// first).
+        wait_ms: u64,
+        /// Whether the attempt's merged result was exact.
+        exact: bool,
+    },
+    /// The replication layer fetched a record copy from a live holder.
+    ReplicaFetch {
+        /// Querying node.
+        origin: NodeId,
+        /// Replica holder serving (or failing to serve) the fetch.
+        holder: NodeId,
+        /// Overlay hops of the fetch round trip.
+        hops: u64,
+        /// Virtual milliseconds of the fetch round trip.
+        latency_ms: u64,
+        /// Messages the fetch cost.
+        messages: u64,
+        /// False when the fetch was paid for but lost in transit.
+        recovered: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-type tag used by every serialization.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Hop { .. } => "hop",
+            TraceEvent::FaultVerdict { .. } => "fault-verdict",
+            TraceEvent::Delivery { .. } => "delivery",
+            TraceEvent::Answer { .. } => "answer",
+            TraceEvent::RetryAttempt { .. } => "retry-attempt",
+            TraceEvent::ReplicaFetch { .. } => "replica-fetch",
+        }
+    }
+}
+
+/// One event with its total-order stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of emission (the sender's tick for hops and verdicts,
+    /// the delivery tick for deliveries/answers).
+    pub time: SimTime,
+    /// Monotone event id — the tie-breaker making `(time, id)` a total
+    /// order, assigned in emission order.
+    pub id: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// One-line JSON rendering (hand-rolled — the build environment has no
+    /// serde; same convention as `BENCH_baseline.json`). Field order is
+    /// fixed, so equal records serialize to equal bytes.
+    pub fn to_json_line(&self) -> String {
+        let head =
+            format!("{{\"t\":{},\"id\":{},\"type\":\"{}\"", self.time, self.id, self.event.tag());
+        let body = match &self.event {
+            TraceEvent::Hop { src, dst, hop, edge_cost_ms, cost_ms, kind } => format!(
+                ",\"src\":{src},\"dst\":{dst},\"hop\":{hop},\"edge_cost_ms\":{edge_cost_ms},\
+                 \"cost_ms\":{cost_ms},\"kind\":\"{}\"",
+                kind.label()
+            ),
+            TraceEvent::FaultVerdict { src, dst, verdict, plan } => format!(
+                ",\"src\":{src},\"dst\":{dst},\"verdict\":\"{}\",\"plan\":\"{}\"",
+                verdict.label(),
+                json_escape(plan)
+            ),
+            TraceEvent::Delivery { node, hop, cost_ms } => {
+                format!(",\"node\":{node},\"hop\":{hop},\"cost_ms\":{cost_ms}")
+            }
+            TraceEvent::Answer { node, hop, cost_ms } => {
+                format!(",\"node\":{node},\"hop\":{hop},\"cost_ms\":{cost_ms}")
+            }
+            TraceEvent::RetryAttempt { attempt, wait_ms, exact } => {
+                format!(",\"attempt\":{attempt},\"wait_ms\":{wait_ms},\"exact\":{exact}")
+            }
+            TraceEvent::ReplicaFetch { origin, holder, hops, latency_ms, messages, recovered } => {
+                format!(
+                    ",\"origin\":{origin},\"holder\":{holder},\"hops\":{hops},\
+                     \"latency_ms\":{latency_ms},\"messages\":{messages},\"recovered\":{recovered}"
+                )
+            }
+        };
+        format!("{head}{body}}}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An append-only buffer of trace events with monotone id assignment.
+///
+/// Attach one to a [`Sim`](crate::Sim) with
+/// [`Sim::with_trace`](crate::Sim::with_trace) and harvest it with
+/// [`Sim::take_trace`](crate::Sim::take_trace); layers above the simulator
+/// (retry wrappers, replication) append their own events through
+/// [`emit`](Self::emit) with whatever virtual-time base they maintain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSink {
+    events: Vec<TraceRecord>,
+    next_id: u64,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Appends `event` at virtual time `time`, assigning the next id.
+    pub fn emit(&mut self, time: SimTime, event: TraceEvent) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.events.push(TraceRecord { time, id, event });
+    }
+
+    /// The recorded events, in `(time, id)` order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.events
+    }
+
+    /// Consumes the sink, yielding the event list.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends another event list shifted `time_offset` ticks into the
+    /// future, re-stamping ids to keep this sink's order monotone — how a
+    /// retry layer splices attempt traces onto one merged timeline.
+    pub fn append_offset(&mut self, records: Vec<TraceRecord>, time_offset: SimTime) {
+        for r in records {
+            self.emit(r.time + time_offset, r.event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_in_time_id_order() {
+        let mut sink = TraceSink::new();
+        sink.emit(0, TraceEvent::Delivery { node: 0, hop: 0, cost_ms: 0 });
+        sink.emit(0, TraceEvent::Answer { node: 0, hop: 0, cost_ms: 0 });
+        sink.emit(3, TraceEvent::Delivery { node: 1, hop: 1, cost_ms: 3 });
+        let stamps: Vec<(u64, u64)> = sink.records().iter().map(|r| (r.time, r.id)).collect();
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        assert_eq!(stamps, sorted);
+        assert_eq!(sink.len(), 3);
+    }
+
+    #[test]
+    fn append_offset_rebases_times_and_ids() {
+        let mut a = TraceSink::new();
+        a.emit(1, TraceEvent::Delivery { node: 0, hop: 0, cost_ms: 0 });
+        let mut b = TraceSink::new();
+        b.emit(0, TraceEvent::Answer { node: 2, hop: 2, cost_ms: 7 });
+        a.append_offset(b.into_records(), 10);
+        let r = &a.records()[1];
+        assert_eq!(r.time, 10);
+        assert_eq!(r.id, 1);
+    }
+
+    #[test]
+    fn json_lines_are_stable_and_escaped() {
+        let rec = TraceRecord {
+            time: 2,
+            id: 5,
+            event: TraceEvent::FaultVerdict {
+                src: 1,
+                dst: 3,
+                verdict: Verdict::Lost,
+                plan: "hash-loss \"p=0.1\" attempt 2".to_string(),
+            },
+        };
+        let line = rec.to_json_line();
+        assert!(line.starts_with("{\"t\":2,\"id\":5,\"type\":\"fault-verdict\""), "{line}");
+        assert!(line.contains("\\\"p=0.1\\\""), "{line}");
+        assert_eq!(line, rec.clone().to_json_line(), "serialization is a pure function");
+    }
+
+    #[test]
+    fn every_event_kind_serializes_with_its_tag() {
+        let events = [
+            TraceEvent::Hop {
+                src: 0,
+                dst: 1,
+                hop: 1,
+                edge_cost_ms: 4,
+                cost_ms: 4,
+                kind: HopKind::Network,
+            },
+            TraceEvent::FaultVerdict {
+                src: 0,
+                dst: 1,
+                verdict: Verdict::Blocked,
+                plan: "p".into(),
+            },
+            TraceEvent::Delivery { node: 1, hop: 1, cost_ms: 4 },
+            TraceEvent::Answer { node: 1, hop: 1, cost_ms: 4 },
+            TraceEvent::RetryAttempt { attempt: 1, wait_ms: 50, exact: false },
+            TraceEvent::ReplicaFetch {
+                origin: 0,
+                holder: 2,
+                hops: 3,
+                latency_ms: 9,
+                messages: 3,
+                recovered: true,
+            },
+        ];
+        for ev in events {
+            let tag = ev.tag();
+            let line = TraceRecord { time: 0, id: 0, event: ev }.to_json_line();
+            assert!(line.contains(&format!("\"type\":\"{tag}\"")), "{line}");
+        }
+    }
+}

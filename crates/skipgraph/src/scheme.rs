@@ -85,6 +85,25 @@ impl RangeScheme for SkipGraphNet {
         }
         Ok(SkipGraphNet::range_query(self, origin, lo, hi).into_outcome())
     }
+
+    fn supports_tracing(&self) -> bool {
+        true
+    }
+
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, dht_api::QueryTrace), SchemeError> {
+        // Skip Graph's costs come from the analytic walk model, not a
+        // per-message simulation, so the trace is an honestly-labeled
+        // modeled decomposition of the reported totals.
+        let out = RangeScheme::range_query(self, origin, lo, hi, seed)?;
+        let trace = dht_api::QueryTrace::modeled(RangeScheme::scheme_name(self), origin, &out);
+        Ok((out, trace))
+    }
 }
 
 /// Registers `"skipgraph"`.

@@ -103,6 +103,25 @@ impl RangeScheme for SquidNet {
         }
         Ok(SquidNet::range_query(self, origin, &[(lo, hi)])?.into_outcome())
     }
+
+    fn supports_tracing(&self) -> bool {
+        true
+    }
+
+    fn trace_query(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<(RangeOutcome, dht_api::QueryTrace), SchemeError> {
+        // Squid's costs come from the analytic cluster-refinement model,
+        // not a per-message simulation, so the trace is an honestly-labeled
+        // modeled decomposition of the reported totals.
+        let out = RangeScheme::range_query(self, origin, lo, hi, seed)?;
+        let trace = dht_api::QueryTrace::modeled(RangeScheme::scheme_name(self), origin, &out);
+        Ok((out, trace))
+    }
 }
 
 impl MultiRangeScheme for SquidNet {

@@ -9,6 +9,7 @@
 //!
 //! Run with: `cargo run --release --example churn_and_faults`
 //! Other schemes: `cargo run --release --example churn_and_faults -- pira pht-chord`
+//! Explain the first query hop by hop: add `--trace`
 
 use armada_suite::dht_api::{BuildParams, ChurnPlan, ParallelDriver, SchemeError, WorkloadGen};
 use armada_suite::experiments::standard_registry;
@@ -17,7 +18,9 @@ use simnet::FaultPlan;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = standard_registry();
-    let mut names: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    let mut names: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if names.is_empty() {
         names = vec!["pira".into(), "dcf-can".into()];
     }
@@ -26,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in &names {
         println!("\n=== {name} ===");
         let mut rng = simnet::rng_from_seed(13);
-        let params = BuildParams::new(300, 0.0, 1000.0);
+        let params = BuildParams::new(300, 0.0, 1000.0).with_trace(trace);
         let mut scheme = registry.build_single(name, &params, &mut rng)?;
         let mut data = Vec::new();
         for h in 0..1000u64 {
@@ -46,6 +49,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plan = ChurnPlan::named("massacre")?.with_rate(20);
         let driver = ParallelDriver::new(150).with_seed(13);
         let workload = WorkloadGen::named("uniform", (0.0, 1000.0))?;
+
+        // With `--trace`, explain the workload's first query — the exact
+        // (origin, range, seed) the driver is about to run as query 0 —
+        // before churn starts mutating the membership.
+        if trace {
+            let (out, qtrace) = driver.trace_one(scheme.as_ref(), &workload, 0)?;
+            println!(
+                "  explain tree for query 0 ({} results, delay {} hops):",
+                out.results.len(),
+                out.delay
+            );
+            for line in qtrace.explain_text().lines() {
+                println!("    {line}");
+            }
+        }
+
         let report = driver.run_epochs(scheme.as_mut(), &workload, &plan, 6)?;
         for e in &report.epochs {
             println!(

@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 //! Try another scheme: `cargo run --release --example quickstart -- skipgraph`
+//! See where every hop went: `cargo run --release --example quickstart -- pira --trace`
 
 use armada_suite::dht_api::{BuildParams, QueryDriver};
 use armada_suite::experiments::standard_registry;
@@ -10,14 +11,17 @@ use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = standard_registry();
-    let name = std::env::args().nth(1).unwrap_or_else(|| "pira".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    let name =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "pira".to_string());
     let mut rng = simnet::rng_from_seed(2006);
 
     // A 500-peer P2P network over the attribute space [0, 1000] — the
     // paper's simulation setup (§4.3.3).
     println!("available schemes : {:?}", registry.single_names());
     println!("building a 500-peer {name} system…");
-    let params = BuildParams::new(500, 0.0, 1000.0);
+    let params = BuildParams::new(500, 0.0, 1000.0).with_trace(trace);
     let mut scheme = registry.build_single(&name, &params, &mut rng)?;
     println!(
         "  substrate: {}, degree: {}, peers: {}",
@@ -33,9 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("  published 2000 records");
 
-    // The paper's motivating query: "70 ≤ score ≤ 80".
+    // The paper's motivating query: "70 ≤ score ≤ 80". With `--trace` the
+    // same call also returns its causal cost tree — the outcome is
+    // identical either way, tracing observes without perturbing.
     let origin = scheme.random_origin(&mut rng);
-    let outcome = scheme.range_query(origin, 70.0, 80.0, 1)?;
+    let outcome = if trace {
+        let (outcome, trace) = scheme.trace_query(origin, 70.0, 80.0, 1)?;
+        println!("\nper-hop explain tree for the query:");
+        print!("{}", trace.explain_text());
+        outcome
+    } else {
+        scheme.range_query(origin, 70.0, 80.0, 1)?
+    };
 
     let log_n = (scheme.node_count() as f64).log2();
     println!("\n{name} range query [70, 80] from peer {origin}:");

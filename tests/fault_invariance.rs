@@ -49,7 +49,8 @@ fn build(name: &str) -> Box<dyn RangeScheme> {
 fn batch_digest(name: &str, seed: u64, threads: usize, salt: u64) -> DigestReport {
     let scheme = build(name);
     let workload = WorkloadGen::named("mixed", DOMAIN).expect("cataloged");
-    let driver = ParallelDriver { queries: BATCH_QUERIES, seed, threads, shard_salt: salt };
+    let driver =
+        ParallelDriver { queries: BATCH_QUERIES, seed, threads, shard_salt: salt, metrics: false };
     DigestReport::of(&driver.run(scheme.as_ref(), &workload).expect("faulted queries degrade"))
 }
 
@@ -60,7 +61,8 @@ fn epoch_digest(name: &str, seed: u64, threads: usize, salt: u64) -> DigestRepor
     let mut scheme = build(name);
     let workload = WorkloadGen::named("uniform", DOMAIN).expect("cataloged");
     let plan = ChurnPlan::named("steady-churn").expect("cataloged").with_rate(0);
-    let driver = ParallelDriver { queries: EPOCH_QUERIES, seed, threads, shard_salt: salt };
+    let driver =
+        ParallelDriver { queries: EPOCH_QUERIES, seed, threads, shard_salt: salt, metrics: false };
     DigestReport::of(
         &driver.run_epochs(scheme.as_mut(), &workload, &plan, EPOCHS).expect("epoch run"),
     )

@@ -54,7 +54,13 @@ fn batch_digest(name: &str, threads: usize, salt: u64) -> DigestReport {
         scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).expect("publish");
     }
     let workload = WorkloadGen::named("mixed", DOMAIN).expect("cataloged");
-    let driver = ParallelDriver { queries: BATCH_QUERIES, seed: 7, threads, shard_salt: salt };
+    let driver = ParallelDriver {
+        queries: BATCH_QUERIES,
+        seed: 7,
+        threads,
+        shard_salt: salt,
+        metrics: false,
+    };
     DigestReport::of(&driver.run(scheme.as_ref(), &workload).expect("fault-free run"))
 }
 
@@ -70,7 +76,13 @@ fn epoch_digest(name: &str, threads: usize, salt: u64) -> DigestReport {
     }
     let workload = WorkloadGen::named("uniform", DOMAIN).expect("cataloged");
     let plan = ChurnPlan::named("steady-churn").expect("cataloged").with_rate(4);
-    let driver = ParallelDriver { queries: EPOCH_QUERIES, seed: 11, threads, shard_salt: salt };
+    let driver = ParallelDriver {
+        queries: EPOCH_QUERIES,
+        seed: 11,
+        threads,
+        shard_salt: salt,
+        metrics: false,
+    };
     DigestReport::of(
         &driver.run_epochs(scheme.as_mut(), &workload, &plan, EPOCHS).expect("epoch run"),
     )
@@ -88,7 +100,13 @@ fn rect_digest(name: &str, threads: usize, salt: u64) -> DigestReport {
         scheme.publish_point(&p, h).expect("publish");
     }
     let workload = WorkloadGen::named("mixed", (0.0, 100.0)).expect("cataloged");
-    let driver = ParallelDriver { queries: BATCH_QUERIES, seed: 3, threads, shard_salt: salt };
+    let driver = ParallelDriver {
+        queries: BATCH_QUERIES,
+        seed: 3,
+        threads,
+        shard_salt: salt,
+        metrics: false,
+    };
     DigestReport::of(&driver.run_multi(scheme.as_ref(), &domains, &workload).expect("rect run"))
 }
 
@@ -190,6 +208,82 @@ fn hostile_epoch_digests_survive_perturbation() {
 fn rect_digests_survive_perturbation_for_every_multi_scheme() {
     for name in standard_registry().multi_names() {
         assert_perturbation_invariant_for("rect", name, rect_digest);
+    }
+}
+
+/// Batch digest with per-scheme metrics collection on: the merged
+/// [`MetricsRegistry`] is part of the digested report, so any
+/// shard-order dependence in counter/histogram merging moves the digest.
+fn metrics_digest(name: &str, threads: usize, salt: u64) -> DigestReport {
+    let registry = standard_registry();
+    let params = BuildParams::new(N, DOMAIN.0, DOMAIN.1).with_object_id_len(32);
+    let mut rng = simnet::rng_from_seed(0x0ca9_a817);
+    let mut scheme = registry.build_single(name, &params, &mut rng).expect("scheme builds");
+    for h in 0..N as u64 {
+        scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).expect("publish");
+    }
+    let workload = WorkloadGen::named("mixed", DOMAIN).expect("cataloged");
+    let driver = ParallelDriver {
+        queries: BATCH_QUERIES,
+        seed: 7,
+        threads,
+        shard_salt: salt,
+        metrics: true,
+    };
+    DigestReport::of(&driver.run(scheme.as_ref(), &workload).expect("fault-free run"))
+}
+
+#[test]
+fn metrics_digests_survive_perturbation() {
+    // The observability plane's own determinism bar: with metrics on, the
+    // digested report includes every counter, histogram, and per-peer
+    // load cell — all of which must merge shard-order-independently.
+    for name in ["pira", "seqwalk", "pira+r3@lossy-p/r2", "dcf-can@straggler"] {
+        assert_perturbation_invariant_for("metrics", name, metrics_digest);
+    }
+}
+
+#[test]
+fn traced_runs_digest_identically_to_untraced_runs() {
+    // Tracing is an observer, never an actor: a traced batch must produce
+    // the same `DriverReport` — digest-identical — as the plain batch,
+    // through the full wrapper stack (replication, net models, hostile
+    // plans with native and generic retry paths alike).
+    let registry = standard_registry();
+    for name in ["pira", "seqwalk@straggler", "pira+r3@lossy-p/r2", "skipgraph@throttle"] {
+        let build = || {
+            let params =
+                BuildParams::new(N, DOMAIN.0, DOMAIN.1).with_object_id_len(32).with_trace(true);
+            let mut rng = simnet::rng_from_seed(0x0ca9_a817);
+            let mut scheme = registry.build_single(name, &params, &mut rng).expect("scheme builds");
+            for h in 0..N as u64 {
+                scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).expect("publish");
+            }
+            scheme
+        };
+        let workload = WorkloadGen::named("mixed", DOMAIN).expect("cataloged");
+        let driver = ParallelDriver {
+            queries: BATCH_QUERIES,
+            seed: 7,
+            threads: 4,
+            shard_salt: 0,
+            metrics: false,
+        };
+        let plain = driver.run(build().as_ref(), &workload).expect("plain run");
+        let (traced, traces) = driver.run_traced(build().as_ref(), &workload).expect("traced run");
+        assert_eq!(
+            DigestReport::of(&plain),
+            DigestReport::of(&traced),
+            "{name}: tracing moved the report digest"
+        );
+        assert_eq!(traces.len(), BATCH_QUERIES, "{name}: one trace per query");
+        // And the trace-off build digests exactly like the canary's
+        // (tracing defaults off; `with_trace(true)` only arms collection).
+        assert_eq!(
+            DigestReport::of(&plain),
+            batch_digest(name, 1, 0),
+            "{name}: trace-armed build changed the report"
+        );
     }
 }
 

@@ -139,7 +139,7 @@ fn probe_digest(net: ChordNet, seed: u64) -> DigestReport {
         probe.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).unwrap();
     }
     let workload = WorkloadGen::named("mixed", DOMAIN).unwrap();
-    let driver = ParallelDriver { queries: 48, seed, threads: 4, shard_salt: 0 };
+    let driver = ParallelDriver { queries: 48, seed, threads: 4, shard_salt: 0, metrics: false };
     DigestReport::of(&driver.run(&probe, &workload).unwrap())
 }
 

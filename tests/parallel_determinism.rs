@@ -65,7 +65,8 @@ fn threads_1_and_8_merge_identically_across_schemes_and_workloads() {
 
         for wl_name in ["uniform", "zipf-hot", "clustered", "wide-scan", "mixed"] {
             let workload = WorkloadGen::named(wl_name, DOMAIN).unwrap();
-            let driver = ParallelDriver { queries: 60, seed: 7, threads: 1, shard_salt: 0 };
+            let driver =
+                ParallelDriver { queries: 60, seed: 7, threads: 1, shard_salt: 0, metrics: false };
             let serial = driver.run(scheme.as_ref(), &workload).unwrap();
             let sharded = driver.with_threads(8).run(scheme.as_ref(), &workload).unwrap();
             assert_reports_identical(&serial, &sharded, &format!("{scheme_name}/{wl_name}"));
@@ -99,7 +100,8 @@ fn epoch_mode_reports_are_identical_across_thread_counts_for_every_plan() {
     for scheme_name in ["pira", "dcf-can"] {
         for plan_name in CHURN_PLAN_NAMES {
             let plan = ChurnPlan::named(plan_name).unwrap().with_rate(6);
-            let driver = ParallelDriver { queries: 30, seed: 11, threads: 1, shard_salt: 0 };
+            let driver =
+                ParallelDriver { queries: 30, seed: 11, threads: 1, shard_salt: 0, metrics: false };
             let mut serial_scheme = fresh_scheme(scheme_name);
             let serial = driver.run_epochs(serial_scheme.as_mut(), &workload, &plan, 4).unwrap();
             for threads in [3, 8] {
@@ -134,7 +136,8 @@ fn replicated_epoch_reports_are_identical_across_thread_counts() {
     for scheme_name in ["pira+r3", "dcf-can+ns2"] {
         for plan_name in ["massacre", "steady-churn"] {
             let plan = ChurnPlan::named(plan_name).unwrap().with_rate(6);
-            let driver = ParallelDriver { queries: 30, seed: 11, threads: 1, shard_salt: 0 };
+            let driver =
+                ParallelDriver { queries: 30, seed: 11, threads: 1, shard_salt: 0, metrics: false };
             let mut serial_scheme = fresh_scheme(scheme_name);
             let serial = driver.run_epochs(serial_scheme.as_mut(), &workload, &plan, 4).unwrap();
             for threads in [3, 8] {
@@ -177,7 +180,8 @@ fn latency_reports_are_thread_count_invariant_under_every_net_model() {
                 scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).unwrap();
             }
             let workload = WorkloadGen::named("mixed", DOMAIN).unwrap();
-            let driver = ParallelDriver { queries: 48, seed: 5, threads: 1, shard_salt: 0 };
+            let driver =
+                ParallelDriver { queries: 48, seed: 5, threads: 1, shard_salt: 0, metrics: false };
             let serial = driver.run(scheme.as_ref(), &workload).unwrap();
             for threads in [3, 8] {
                 let sharded = driver.with_threads(threads).run(scheme.as_ref(), &workload).unwrap();
@@ -203,7 +207,8 @@ fn streaming_and_materialized_drivers_are_interchangeable_at_scale() {
     for queries in [1_000usize, 10_000] {
         let mut baseline: Option<DriverReport> = None;
         for threads in [1usize, 4] {
-            let driver = ParallelDriver { queries, seed: 0xba5e, threads, shard_salt: 0 };
+            let driver =
+                ParallelDriver { queries, seed: 0xba5e, threads, shard_salt: 0, metrics: false };
             let streamed = driver.run(scheme.as_ref(), &workload).unwrap();
             let materialized = driver.run_materialized(scheme.as_ref(), &workload).unwrap();
             let ctx = format!("pira/q{queries}/t{threads}");
@@ -214,6 +219,62 @@ fn streaming_and_materialized_drivers_are_interchangeable_at_scale() {
                 Some(b) => assert_reports_identical(b, &streamed, &ctx),
             }
         }
+    }
+}
+
+#[test]
+fn trace_streams_are_byte_identical_across_threads_and_shard_salts() {
+    // The observability plane's determinism bar, on the nastiest composed
+    // stack in the registry grammar: replication + straggler edge pricing
+    // + a split-brain partition plan. The *serialized* event streams —
+    // virtual-time stamps, event ids, fault verdicts, replica fetches —
+    // must be byte-identical however the batch was sharded.
+    let registry = standard_registry();
+    let name = "pira+r2@straggler@split-brain";
+    let params = BuildParams::new(150, DOMAIN.0, DOMAIN.1).with_object_id_len(32).with_trace(true);
+    let mut rng = simnet::rng_from_seed(0xe90c);
+    let mut scheme = registry.build_single(name, &params, &mut rng).unwrap();
+    for h in 0..150u64 {
+        use armada_suite::rand::Rng;
+        scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).unwrap();
+    }
+    let workload = WorkloadGen::named("mixed", DOMAIN).unwrap();
+    let serialize = |threads: usize, salt: u64| {
+        let driver =
+            ParallelDriver { queries: 40, seed: 13, threads, shard_salt: salt, metrics: false };
+        let (report, traces) = driver.run_traced(scheme.as_ref(), &workload).unwrap();
+        assert_eq!(traces.len(), 40, "one trace per query");
+        let stream: String = traces.iter().map(|t| t.to_jsonl()).collect();
+        (report, stream)
+    };
+    let (reference_report, reference) = serialize(1, 0);
+    assert!(!reference.is_empty(), "the composed stack emitted no events");
+    assert!(reference.contains("\"type\":\"hop\""), "no hops in the stream");
+    for threads in [1usize, 4] {
+        for salt in [0u64, 0x5eed, 0xfeed_face_0ca1] {
+            let (report, stream) = serialize(threads, salt);
+            assert_reports_identical(
+                &report,
+                &reference_report,
+                &format!("{name}/t{threads}/salt{salt:#x}"),
+            );
+            assert_eq!(
+                stream, reference,
+                "{name}: trace stream moved at threads {threads}, salt {salt:#x}"
+            );
+        }
+    }
+    // The explain layer's accounting invariant holds for every traced
+    // query of the batch: the tree total reproduces the reported costs.
+    let driver =
+        ParallelDriver { queries: 40, seed: 13, threads: 1, shard_salt: 0, metrics: false };
+    for q in 0..8 {
+        let (out, trace) = driver.trace_one(scheme.as_ref(), &workload, q).unwrap();
+        assert_eq!(
+            trace.root.total(),
+            (out.delay, out.latency, out.messages),
+            "query {q}: explain tree does not reproduce the reported costs"
+        );
     }
 }
 
@@ -242,7 +303,8 @@ fn rect_driver_is_thread_count_invariant_too() {
     }
     for wl_name in ["rect-correlated", "mixed", "uniform"] {
         let workload = WorkloadGen::named(wl_name, (0.0, 100.0)).unwrap();
-        let driver = ParallelDriver { queries: 40, seed: 3, threads: 1, shard_salt: 0 };
+        let driver =
+            ParallelDriver { queries: 40, seed: 3, threads: 1, shard_salt: 0, metrics: false };
         let serial = driver.run_multi(scheme.as_ref(), &domains, &workload).unwrap();
         let sharded =
             driver.with_threads(8).run_multi(scheme.as_ref(), &domains, &workload).unwrap();

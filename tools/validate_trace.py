@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate a `trace_explain --format jsonl` stream against the committed
+trace schema (schemas/trace.schema.json).
+
+Stdlib only — CI runners don't have the `jsonschema` package, so this
+carries a small validator for exactly the keyword subset the committed
+schema uses: oneOf, allOf, $ref (local `#/$defs/...`), const, enum,
+type, minimum, properties, required, additionalProperties: false, and
+the boolean schemas `true`/`false`.
+
+Beyond per-line shape, the stream invariants are checked too:
+
+* every event line belongs to a query block opened by a header line;
+* within a block, records are sorted by (t, id) and ids are unique.
+
+Usage:
+    python3 tools/validate_trace.py trace.jsonl [more.jsonl ...]
+    trace_explain --format jsonl ... | python3 tools/validate_trace.py -
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "schemas" / "trace.schema.json"
+
+
+def resolve(schema, ref):
+    """Resolves a local `#/a/b` JSON pointer inside `schema`."""
+    if not ref.startswith("#/"):
+        raise ValueError(f"only local refs supported, got {ref!r}")
+    node = schema
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def type_ok(value, ty):
+    if ty == "object":
+        return isinstance(value, dict)
+    if ty == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if ty == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if ty == "string":
+        return isinstance(value, str)
+    if ty == "boolean":
+        return isinstance(value, bool)
+    if ty == "array":
+        return isinstance(value, list)
+    if ty == "null":
+        return value is None
+    raise ValueError(f"unsupported type keyword {ty!r}")
+
+
+def validate(value, sub, root, path="$"):
+    """Returns a list of error strings (empty = valid)."""
+    if sub is True:
+        return []
+    if sub is False:
+        return [f"{path}: schema `false` forbids any value"]
+    errors = []
+    if "$ref" in sub:
+        errors += validate(value, resolve(root, sub["$ref"]), root, path)
+    if "allOf" in sub:
+        for part in sub["allOf"]:
+            errors += validate(value, part, root, path)
+    if "oneOf" in sub:
+        matches = [
+            part for part in sub["oneOf"] if not validate(value, part, root, path)
+        ]
+        if len(matches) != 1:
+            errors.append(f"{path}: matched {len(matches)} of the oneOf branches, want exactly 1")
+    if "const" in sub and value != sub["const"]:
+        errors.append(f"{path}: expected const {sub['const']!r}, got {value!r}")
+    if "enum" in sub and value not in sub["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {sub['enum']}")
+    if "type" in sub and not type_ok(value, sub["type"]):
+        errors.append(f"{path}: expected type {sub['type']}, got {type(value).__name__}")
+    if "minimum" in sub and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < sub["minimum"]:
+            errors.append(f"{path}: {value} < minimum {sub['minimum']}")
+    if isinstance(value, dict):
+        props = sub.get("properties", {})
+        for key, psub in props.items():
+            if key in value:
+                errors += validate(value[key], psub, root, f"{path}.{key}")
+        for key in sub.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required property {key!r}")
+        if sub.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected property {key!r}")
+    return errors
+
+
+def check_stream(name, lines, schema):
+    """Validates one jsonl stream; returns (#lines, #queries, errors)."""
+    errors = []
+    queries = 0
+    lineno = 0
+    in_block = False
+    last_key = None
+    seen_ids = set()
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        where = f"{name}:{lineno}"
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError as e:
+            errors.append(f"{where}: not JSON: {e}")
+            continue
+        errors.extend(f"{where}: {e}" for e in validate(value, schema, schema))
+        if not isinstance(value, dict):
+            continue
+        if value.get("type") == "query":
+            queries += 1
+            in_block = True
+            last_key = None
+            seen_ids = set()
+        elif "t" in value and "id" in value:
+            if not in_block:
+                errors.append(f"{where}: event line before any query header")
+            key = (value["t"], value["id"])
+            if last_key is not None and key < last_key:
+                errors.append(f"{where}: records out of (t, id) order: {key} after {last_key}")
+            last_key = key
+            if value["id"] in seen_ids:
+                errors.append(f"{where}: duplicate event id {value['id']} within one query")
+            seen_ids.add(value["id"])
+    return lineno, queries, errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    schema = json.loads(SCHEMA_PATH.read_text())
+    failed = False
+    for arg in argv[1:]:
+        if arg == "-":
+            name, lines = "<stdin>", sys.stdin.readlines()
+        else:
+            name, lines = arg, Path(arg).read_text().splitlines()
+        nlines, queries, errors = check_stream(name, lines, schema)
+        for e in errors[:50]:
+            print(f"error: {e}", file=sys.stderr)
+        if len(errors) > 50:
+            print(f"error: ... and {len(errors) - 50} more", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print(f"ok: {name}: {nlines} lines, {queries} queries, schema-valid")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
