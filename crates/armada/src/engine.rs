@@ -192,7 +192,27 @@ impl SingleArmada {
         hi: f64,
         seed: u64,
     ) -> Result<QueryOutcome, ArmadaError> {
-        crate::pira::query(self, origin, lo, hi, seed, &FaultPlan::new())
+        let mut scratch = simnet::QueryScratch::new();
+        crate::pira::query(self, origin, lo, hi, seed, &FaultPlan::new(), &mut scratch)
+    }
+
+    /// [`pira_query`](Self::pira_query) with a caller-owned scratch: batch
+    /// drivers pass one [`simnet::QueryScratch`] per worker thread so the
+    /// simulator queues and routing buffers are allocated once, not per
+    /// query. Outcomes are bit-identical to the scratch-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dead origins or empty ranges.
+    pub fn pira_query_scratch(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        scratch: &mut simnet::QueryScratch,
+    ) -> Result<QueryOutcome, ArmadaError> {
+        crate::pira::query(self, origin, lo, hi, seed, &FaultPlan::new(), scratch)
     }
 
     /// Runs a PIRA range query under a fault plan (drops/crashes).
@@ -208,7 +228,8 @@ impl SingleArmada {
         seed: u64,
         faults: &FaultPlan,
     ) -> Result<QueryOutcome, ArmadaError> {
-        crate::pira::query(self, origin, lo, hi, seed, faults)
+        let mut scratch = simnet::QueryScratch::new();
+        crate::pira::query(self, origin, lo, hi, seed, faults, &mut scratch)
     }
 
     /// [`pira_query`](Self::pira_query) with the simulator's trace sink
@@ -225,7 +246,8 @@ impl SingleArmada {
         hi: f64,
         seed: u64,
     ) -> Result<(QueryOutcome, Vec<simnet::TraceRecord>), ArmadaError> {
-        crate::pira::query_traced(self, origin, lo, hi, seed, &FaultPlan::new())
+        let mut scratch = simnet::QueryScratch::new();
+        crate::pira::query_traced(self, origin, lo, hi, seed, &FaultPlan::new(), &mut scratch)
     }
 
     /// [`pira_query_with_faults`](Self::pira_query_with_faults) with the
@@ -243,7 +265,8 @@ impl SingleArmada {
         seed: u64,
         faults: &FaultPlan,
     ) -> Result<(QueryOutcome, Vec<simnet::TraceRecord>), ArmadaError> {
-        crate::pira::query_traced(self, origin, lo, hi, seed, faults)
+        let mut scratch = simnet::QueryScratch::new();
+        crate::pira::query_traced(self, origin, lo, hi, seed, faults, &mut scratch)
     }
 }
 
@@ -366,13 +389,13 @@ impl MultiArmada {
         query: &[(f64, f64)],
     ) -> Result<BTreeSet<NodeId>, ArmadaError> {
         let rect = self.naming.query_rect(query)?;
+        let mut zone = Vec::new();
         Ok(self
             .net
             .live_peers()
             .filter(|&n| {
-                let zone = self
-                    .naming
-                    .prefix_rect(self.net.peer_id(n).expect("live"))
+                self.naming
+                    .prefix_rect_into(self.net.peer_id(n).expect("live"), &mut zone)
                     .expect("peer depths are within naming depth");
                 rect.intersects(&zone)
             })
@@ -400,7 +423,25 @@ impl MultiArmada {
         query: &[(f64, f64)],
         seed: u64,
     ) -> Result<QueryOutcome, ArmadaError> {
-        crate::mira::query(self, origin, query, seed, &FaultPlan::new())
+        let mut scratch = simnet::QueryScratch::new();
+        crate::mira::query(self, origin, query, seed, &FaultPlan::new(), &mut scratch)
+    }
+
+    /// [`mira_query`](Self::mira_query) with a caller-owned scratch, for
+    /// batch drivers that amortize per-query setup allocations across a
+    /// worker thread. Outcomes are bit-identical to the scratch-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dead origins, arity mismatches, or empty ranges.
+    pub fn mira_query_scratch(
+        &self,
+        origin: NodeId,
+        query: &[(f64, f64)],
+        seed: u64,
+        scratch: &mut simnet::QueryScratch,
+    ) -> Result<QueryOutcome, ArmadaError> {
+        crate::mira::query(self, origin, query, seed, &FaultPlan::new(), scratch)
     }
 
     /// Runs a MIRA query under a fault plan.
@@ -415,7 +456,8 @@ impl MultiArmada {
         seed: u64,
         faults: &FaultPlan,
     ) -> Result<QueryOutcome, ArmadaError> {
-        crate::mira::query(self, origin, query, seed, faults)
+        let mut scratch = simnet::QueryScratch::new();
+        crate::mira::query(self, origin, query, seed, faults, &mut scratch)
     }
 }
 

@@ -14,18 +14,55 @@
 
 use crate::engine::descent_budget;
 use crate::{ArmadaError, MultiArmada, QueryMetrics, QueryOutcome, RecordId};
+use kautz::fixed::BoundaryInterval;
 use kautz::KautzStr;
-use simnet::{Envelope, FaultPlan, NodeId, Sim};
+use simnet::{Envelope, FaultPlan, NodeId, QueryScratch, Sim, SimScratch};
 use std::collections::BTreeSet;
 
-/// One in-flight MIRA sub-query message.
-#[derive(Debug, Clone)]
+/// One in-flight MIRA sub-query message — `Copy`, like [`PiraMsg`]: the
+/// sub-query's `ComS` lives once per query in [`MiraScratch::subs`],
+/// indexed by `sub`, instead of being cloned into every hop.
+///
+/// [`PiraMsg`]: crate::pira
+#[derive(Debug, Clone, Copy)]
 struct MiraMsg {
-    /// `ComS` of this sub-query (prefix of the sub-region's common prefix,
-    /// suffix of the origin's PeerID).
-    com_s: KautzStr,
+    /// Index into the per-query `ComS` table.
+    sub: u8,
     /// Remaining descent levels.
     hops_left: usize,
+}
+
+/// MIRA's reusable per-thread state, slotted into a [`QueryScratch`]. Every
+/// field is reset at query start, so reuse is invisible to results and
+/// metrics.
+struct MiraScratch {
+    sim: SimScratch<MiraMsg>,
+    /// `ComS` per sub-query (prefix of the sub-region's common prefix,
+    /// suffix of the origin's PeerID).
+    subs: Vec<KautzStr>,
+    arrivals: Vec<(NodeId, u64)>,
+    nbrs: Vec<NodeId>,
+    shift: KautzStr,
+    /// Subtree-prefix buffer: `ComS ++ cid[strip..]` per candidate child.
+    wbuf: KautzStr,
+    /// Rectangle buffers for the answer and prune tests.
+    zone: Vec<BoundaryInterval>,
+    wrect: Vec<BoundaryInterval>,
+}
+
+impl Default for MiraScratch {
+    fn default() -> Self {
+        MiraScratch {
+            sim: SimScratch::new(),
+            subs: Vec::new(),
+            arrivals: Vec::new(),
+            nbrs: Vec::new(),
+            shift: KautzStr::empty(2),
+            wbuf: KautzStr::empty(2),
+            zone: Vec::new(),
+            wrect: Vec::new(),
+        }
+    }
 }
 
 /// Executes a MIRA multi-attribute range query; see the module docs.
@@ -40,6 +77,7 @@ pub(crate) fn query(
     ranges: &[(f64, f64)],
     seed: u64,
     faults: &FaultPlan,
+    scratch: &mut QueryScratch,
 ) -> Result<QueryOutcome, ArmadaError> {
     let net = armada.net();
     if !net.is_live(origin) {
@@ -49,30 +87,35 @@ pub(crate) fn query(
     let rect = naming.query_rect(ranges)?;
     let corner = naming.corner_region(ranges)?;
     let truth = armada.ground_truth_peers(ranges)?;
-    let origin_id = net.peer_id(origin)?.clone();
+    let origin_id = net.peer_id(origin)?;
 
-    let mut sim: Sim<MiraMsg> =
-        Sim::new(seed).with_faults(faults.clone()).with_net(*armada.net_model());
+    let MiraScratch { sim: sim_scratch, subs, arrivals, nbrs, shift, wbuf, zone, wrect } =
+        scratch.slot::<MiraScratch>();
+    let mut sim: Sim<MiraMsg> = Sim::from_scratch(seed, sim_scratch)
+        .with_faults_ref(faults)
+        .with_net(*armada.net_model());
+    subs.clear();
     for sub in corner.split_by_common_prefix() {
         let com_t = sub.common_prefix();
-        let (f, hops_left) = descent_budget(&origin_id, &com_t);
-        let com_s = com_t.take_front(f);
-        sim.send(origin, origin, 0, MiraMsg { com_s, hops_left });
+        let (f, hops_left) = descent_budget(origin_id, &com_t);
+        sim.send(origin, origin, 0, MiraMsg { sub: subs.len() as u8, hops_left });
+        subs.push(com_t.take_front(f));
     }
 
     let mut answered: BTreeSet<NodeId> = BTreeSet::new();
     // Flat arrival log reduced by a sorted post-pass (min cost per peer,
     // max over peers — order-independent; see pira.rs).
-    let mut arrivals: Vec<(NodeId, u64)> = Vec::new();
+    arrivals.clear();
     let mut results: BTreeSet<RecordId> = BTreeSet::new();
     let mut delay: u32 = 0;
     sim.run(|sim, env: Envelope<MiraMsg>| {
         let node = env.to;
         let id = net.peer_id(node).expect("messages are delivered to live peers");
+        let com_s = &subs[env.payload.sub as usize];
 
         // Local answer: this peer's hyper-rectangle intersects the query.
-        let zone = naming.prefix_rect(id).expect("peer depth within naming depth");
-        if rect.intersects(&zone) {
+        naming.prefix_rect_into(id, zone).expect("peer depth within naming depth");
+        if rect.intersects(zone) {
             arrivals.push((node, env.cost));
             if answered.insert(node) {
                 delay = delay.max(env.hop);
@@ -96,22 +139,19 @@ pub(crate) fn query(
         // Pruned descent against the real rectangle.
         let d = env.payload.hops_left;
         if d > 0 {
-            let f = env.payload.com_s.len();
+            let f = com_s.len();
             let strip = f + d - 1;
-            for c in net.out_neighbors(node) {
+            net.out_neighbors_into(node, shift, nbrs);
+            for &c in nbrs.iter() {
                 let cid = net.peer_id(c).expect("live");
-                let w = env
-                    .payload
-                    .com_s
-                    .concat(&cid.drop_front(strip))
-                    .unwrap_or_else(|_| env.payload.com_s.clone());
-                let w_rect = naming.prefix_rect(&w).expect("subtree prefix within depth");
-                if rect.intersects(&w_rect) {
-                    sim.forward(
-                        &env,
-                        c,
-                        MiraMsg { com_s: env.payload.com_s.clone(), hops_left: d - 1 },
-                    );
+                // `ComS ++ cid[strip..]`; on a repeated junction symbol the
+                // buffer degrades to `ComS` alone — PIRA's never-prune
+                // fallback for covers violating the neighborhood invariant.
+                let tail = cid.symbols().get(strip..).unwrap_or(&[]);
+                let _ = wbuf.assign_concat(com_s, tail);
+                naming.prefix_rect_into(wbuf, wrect).expect("subtree prefix within depth");
+                if rect.intersects(wrect) {
+                    sim.forward(&env, c, MiraMsg { sub: env.payload.sub, hops_left: d - 1 });
                 }
             }
         }
@@ -119,13 +159,15 @@ pub(crate) fn query(
 
     let reached = answered.len();
     let exact = answered == truth;
-    let latency = simnet::last_first_arrival(&mut arrivals);
+    let latency = simnet::last_first_arrival(arrivals);
+    let messages = sim.stats().messages_sent;
+    sim.recycle(sim_scratch);
     Ok(QueryOutcome {
         results: results.into_iter().collect(),
         metrics: QueryMetrics {
             delay,
             latency,
-            messages: sim.stats().messages_sent,
+            messages,
             dest_peers: truth.len(),
             reached_peers: reached,
             exact,

@@ -25,20 +25,53 @@
 use crate::engine::descent_budget;
 use crate::{ArmadaError, QueryMetrics, QueryOutcome, RecordId, SingleArmada};
 use kautz::{KautzRegion, KautzStr};
-use simnet::{Envelope, FaultPlan, NodeId, Sim};
+use simnet::{Envelope, FaultPlan, NodeId, QueryScratch, Sim, SimScratch};
 use std::collections::BTreeSet;
 
-/// One in-flight PIRA sub-query message.
-#[derive(Debug, Clone)]
+/// One in-flight PIRA sub-query message — `Copy`, so forwarding a message
+/// down the routing tree moves twenty-four bytes instead of cloning two
+/// Kautz strings per hop. The region bounds and `ComS` live once per
+/// sub-query in [`PiraScratch::subs`], indexed by `sub`.
+#[derive(Debug, Clone, Copy)]
 struct PiraMsg {
-    /// Sub-region lower endpoint (full ObjectID length).
-    low: KautzStr,
-    /// Sub-region upper endpoint.
-    high: KautzStr,
+    /// Index into the per-query sub-region table.
+    sub: u8,
     /// `|ComS|` for this sub-query.
     f: usize,
     /// Remaining descent levels.
     hops_left: usize,
+}
+
+/// Per-sub-query routing state, computed once at send time.
+struct SubQuery {
+    /// The sub-region `⟨low, high⟩` (full ObjectID length).
+    region: KautzRegion,
+    /// `ComS = low.take_front(f)` — the prefix every subtree test extends.
+    com_s: KautzStr,
+}
+
+/// PIRA's reusable per-thread state, slotted into a [`QueryScratch`]: the
+/// simulator's collections plus the routing loop's working buffers. Every
+/// field is reset at query start, so reuse is invisible to results,
+/// metrics, and traces.
+struct PiraScratch {
+    sim: SimScratch<PiraMsg>,
+    subs: Vec<SubQuery>,
+    arrivals: Vec<(NodeId, u64)>,
+    nbrs: Vec<NodeId>,
+    shift: KautzStr,
+}
+
+impl Default for PiraScratch {
+    fn default() -> Self {
+        PiraScratch {
+            sim: SimScratch::new(),
+            subs: Vec::new(),
+            arrivals: Vec::new(),
+            nbrs: Vec::new(),
+            shift: KautzStr::empty(2),
+        }
+    }
 }
 
 /// Executes a PIRA range query; see the module docs.
@@ -54,8 +87,9 @@ pub(crate) fn query(
     hi: f64,
     seed: u64,
     faults: &FaultPlan,
+    scratch: &mut QueryScratch,
 ) -> Result<QueryOutcome, ArmadaError> {
-    let (out, _) = query_impl(armada, origin, lo, hi, seed, faults, false)?;
+    let (out, _) = query_impl(armada, origin, lo, hi, seed, faults, false, scratch)?;
     Ok(out)
 }
 
@@ -74,11 +108,13 @@ pub(crate) fn query_traced(
     hi: f64,
     seed: u64,
     faults: &FaultPlan,
+    scratch: &mut QueryScratch,
 ) -> Result<(QueryOutcome, Vec<simnet::TraceRecord>), ArmadaError> {
-    let (out, records) = query_impl(armada, origin, lo, hi, seed, faults, true)?;
+    let (out, records) = query_impl(armada, origin, lo, hi, seed, faults, true, scratch)?;
     Ok((out, records.unwrap_or_default()))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn query_impl(
     armada: &SingleArmada,
     origin: NodeId,
@@ -87,6 +123,7 @@ fn query_impl(
     seed: u64,
     faults: &FaultPlan,
     trace: bool,
+    scratch: &mut QueryScratch,
 ) -> Result<(QueryOutcome, Option<Vec<simnet::TraceRecord>>), ArmadaError> {
     let net = armada.net();
     if !net.is_live(origin) {
@@ -94,22 +131,23 @@ fn query_impl(
     }
     let region = armada.naming().region(lo, hi)?;
     let truth = armada.ground_truth_peers(lo, hi)?;
-    let origin_id = net.peer_id(origin)?.clone();
+    let origin_id = net.peer_id(origin)?;
 
-    let mut sim: Sim<PiraMsg> =
-        Sim::new(seed).with_faults(faults.clone()).with_net(*armada.net_model());
+    let PiraScratch { sim: sim_scratch, subs, arrivals, nbrs, shift } =
+        scratch.slot::<PiraScratch>();
+    let mut sim: Sim<PiraMsg> = Sim::from_scratch(seed, sim_scratch)
+        .with_faults_ref(faults)
+        .with_net(*armada.net_model());
     if trace {
         sim = sim.with_trace(simnet::TraceSink::new());
     }
+    subs.clear();
     for sub in region.split_by_common_prefix() {
         let com_t = sub.common_prefix();
-        let (f, hops_left) = descent_budget(&origin_id, &com_t);
-        sim.send(
-            origin,
-            origin,
-            0,
-            PiraMsg { low: sub.low().clone(), high: sub.high().clone(), f, hops_left },
-        );
+        let (f, hops_left) = descent_budget(origin_id, &com_t);
+        let com_s = sub.low().take_front(f);
+        sim.send(origin, origin, 0, PiraMsg { sub: subs.len() as u8, f, hops_left });
+        subs.push(SubQuery { region: sub, com_s });
     }
 
     let mut answered: BTreeSet<NodeId> = BTreeSet::new();
@@ -117,19 +155,18 @@ fn query_impl(
     // post-pass (`last_first_arrival`) reduces it to the min cost per peer
     // and the max over peers — independent of delivery order (scheduling
     // stays on unit ticks; the cost model rides along in the envelopes).
-    let mut arrivals: Vec<(NodeId, u64)> = Vec::new();
+    arrivals.clear();
     let mut results: BTreeSet<RecordId> = BTreeSet::new();
     let mut delay: u32 = 0;
     sim.run(|sim, env: Envelope<PiraMsg>| {
         let node = env.to;
         let id = net.peer_id(node).expect("messages are delivered to live peers");
-        let sub = KautzRegion::new(env.payload.low.clone(), env.payload.high.clone())
-            .expect("in-flight sub-regions stay ordered");
+        let sub = &subs[env.payload.sub as usize];
 
         // Local answer: this peer's region intersects the sub-region.
         // Records are collected against the *full* query so one visit per
         // peer suffices even when it straddles several sub-regions.
-        if sub.intersects_prefix(id) {
+        if sub.region.intersects_prefix(id) {
             arrivals.push((node, env.cost));
             sim.trace_answer(&env);
             if answered.insert(node) {
@@ -151,26 +188,19 @@ fn query_impl(
         let d = env.payload.hops_left;
         if d > 0 {
             let f = env.payload.f;
-            let com_s = env.payload.low.take_front(f);
             let strip = f + d - 1; // transit-prefix length at the children
-            for c in net.out_neighbors(node) {
+            net.out_neighbors_into(node, shift, nbrs);
+            for &c in nbrs.iter() {
                 let cid = net.peer_id(c).expect("live");
-                // Subtree prefix of C at the destination level. Children
+                // Subtree prefix of C at the destination level, tested as
+                // `ComS ++ cid[strip..]` without materializing it. Children
                 // shorter than the transit prefix (possible only when the
                 // neighborhood invariant is violated) degrade to the
-                // never-prune test `ComS`.
-                let w = com_s.concat(&cid.drop_front(strip)).unwrap_or_else(|_| com_s.clone());
-                if sub.intersects_prefix(&w) {
-                    sim.forward(
-                        &env,
-                        c,
-                        PiraMsg {
-                            low: env.payload.low.clone(),
-                            high: env.payload.high.clone(),
-                            f,
-                            hops_left: d - 1,
-                        },
-                    );
+                // never-prune test `ComS` — the parts test's junction
+                // fallback does the same for repeated junction symbols.
+                let tail = cid.symbols().get(strip..).unwrap_or(&[]);
+                if sub.region.intersects_prefix_parts(&sub.com_s, tail) {
+                    sim.forward(&env, c, PiraMsg { sub: env.payload.sub, f, hops_left: d - 1 });
                 }
             }
         }
@@ -180,15 +210,17 @@ fn query_impl(
     let exact = answered == truth;
     // Critical path in virtual ms: the query completes when the last
     // destination first learns of it.
-    let latency = simnet::last_first_arrival(&mut arrivals);
+    let latency = simnet::last_first_arrival(arrivals);
     let records = sim.take_trace().map(simnet::TraceSink::into_records);
+    let messages = sim.stats().messages_sent;
+    sim.recycle(sim_scratch);
     Ok((
         QueryOutcome {
             results: results.into_iter().collect(),
             metrics: QueryMetrics {
                 delay,
                 latency,
-                messages: sim.stats().messages_sent,
+                messages,
                 dest_peers: truth.len(),
                 reached_peers: reached,
                 exact,

@@ -160,6 +160,21 @@ impl RangeScheme for PiraScheme {
         Ok(remap(out, &self.handles))
     }
 
+    fn range_query_scratch(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        scratch: &mut simnet::QueryScratch,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if lo > hi {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        let out = self.inner.pira_query_scratch(origin, lo, hi, seed, scratch)?;
+        Ok(remap(out, &self.handles))
+    }
+
     fn supports_fault_injection(&self) -> bool {
         true
     }
@@ -482,6 +497,23 @@ impl MultiRangeScheme for MiraScheme {
             return Err(SchemeError::EmptyRange { lo, hi });
         }
         let out = self.inner.mira_query(origin, rect, seed)?;
+        Ok(remap(out, &self.handles))
+    }
+
+    fn rect_query_scratch(
+        &self,
+        origin: NodeId,
+        rect: &[(f64, f64)],
+        seed: u64,
+        scratch: &mut simnet::QueryScratch,
+    ) -> Result<RangeOutcome, SchemeError> {
+        if rect.len() != self.dims {
+            return Err(SchemeError::WrongArity { expected: self.dims, got: rect.len() });
+        }
+        if let Some(&(lo, hi)) = rect.iter().find(|&&(lo, hi)| lo > hi) {
+            return Err(SchemeError::EmptyRange { lo, hi });
+        }
+        let out = self.inner.mira_query_scratch(origin, rect, seed, scratch)?;
         Ok(remap(out, &self.handles))
     }
 }

@@ -65,6 +65,8 @@ impl SingleArmada {
 
         // Geometric expansion: start at 1/1024 of the space below `bound`.
         let mut delta = (full / 1024.0).max(f64::MIN_POSITIVE);
+        // One scratch shared by all probes of this expansion.
+        let mut scratch = simnet::QueryScratch::new();
         loop {
             let lo = (top - delta).max(space.lo());
             let probe = crate::pira::query(
@@ -74,6 +76,7 @@ impl SingleArmada {
                 top,
                 seed.wrapping_add(outcome.probes as u64),
                 &FaultPlan::new(),
+                &mut scratch,
             )?;
             outcome.probes += 1;
             outcome.delay += probe.metrics.delay;

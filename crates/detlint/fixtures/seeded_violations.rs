@@ -2,7 +2,7 @@
 // it is scanned by `cargo test -p detlint` and by the CI fixture gate
 // (which asserts that detlint exits non-zero here). The per-rule counts
 // are pinned by `fixture_expected_counts_are_exact`: D1=3, D2=3, D3=3,
-// D4=3, D5=3, bad pragmas=2, audited allowances=5 (one per rule).
+// D4=3, D5=3, D6=3, bad pragmas=2, audited allowances=6 (one per rule).
 
 // --- D1/D2 imports --------------------------------------------------------
 
@@ -52,6 +52,19 @@ fn library_prints(progress: usize) {
     let _peeked = dbg!(progress * 2);
 }
 
+// --- D6: cloning query-path routing state ---------------------------------
+
+fn routing_state_clones(
+    plan: &FaultPlan,
+    model: &NetModel,
+    region: &KautzRegion,
+) -> u64 {
+    let owned_plan = plan.clone();
+    let owned_model = model.clone();
+    let sub = region.clone();
+    owned_plan.len() as u64 ^ owned_model.seed() ^ sub.depth() as u64
+}
+
 // --- audited exceptions: reasoned pragmas become allowances ---------------
 
 // detlint: allow(D1) — audited: map is read only through a sorted key list
@@ -64,6 +77,7 @@ fn audited_sites() {
     let _r = thread_rng(); // detlint: allow(D3) — audited: fixture only, never a delivery path
     let _n = m.values().count(); // detlint: allow(D4) — audited: count() is order-insensitive
     println!("done"); // detlint: allow(D5) — audited: fixture CLI epilogue, not a report path
+    let _p = plan.clone(); // detlint: allow(D6) — audited: per-run worker handoff, not per-query
 }
 
 // --- negative case: an intervening sort discharges D4 ---------------------

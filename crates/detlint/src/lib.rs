@@ -4,7 +4,7 @@
 //! a pure function of `(scheme, seed, config)`, bitwise identical across
 //! thread counts and runs. This crate turns that convention into a
 //! machine-checked contract: a static pass over every simulation and
-//! report-path crate's Rust sources enforcing four named rules.
+//! report-path crate's Rust sources enforcing six named rules.
 //!
 //! # The rules
 //!
@@ -38,6 +38,16 @@
 //!   nondeterministically under the parallel driver). Files whose path
 //!   contains a `bin`, `tests`, `examples`, or `benches` component — and
 //!   `main.rs`/`build.rs` themselves — are allowlisted by construction.
+//! * **D6** — no `.clone()` of query-path routing state (`FaultPlan`,
+//!   `NetModel`, `KautzRegion`) in library code. These types are the
+//!   per-query constants of the hot path; the zero-allocation work gave
+//!   every consumer a borrow-or-intern alternative (`Sim::with_faults_ref`
+//!   borrows the caller's plan, schemes hold region tables by index), so a
+//!   clone on a query path is an O(plan)-per-query allocation regression
+//!   waiting to happen. Per-run setup clones (a sweep handing an owned
+//!   plan to a worker) are legitimate and carry audited pragmas. The same
+//!   path allowlist as D5 applies: binaries, tests, examples, and benches
+//!   may clone freely.
 //!
 //! # Pragmas
 //!
@@ -95,14 +105,17 @@ pub enum Rule {
     /// No `println!`/`eprintln!`/`dbg!` in library code (binaries, tests,
     /// examples, and benches are allowlisted by path).
     D5,
+    /// No `.clone()` of query-path routing state (`FaultPlan`, `NetModel`,
+    /// `KautzRegion`) in library code — borrow or intern instead.
+    D6,
     /// Pragma hygiene: a pragma comment that is malformed or carries no
-    /// reason (not part of the 5-rule contract, but reported so a broken
+    /// reason (not part of the 6-rule contract, but reported so a broken
     /// annotation can never silently stop suppressing).
     BadPragma,
 }
 
-/// The five contract rules, in order.
-pub const RULES: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
+/// The six contract rules, in order.
+pub const RULES: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
 
 impl Rule {
     /// The identifier used in pragmas and reports.
@@ -113,6 +126,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::D6 => "D6",
             Rule::BadPragma => "pragma",
         }
     }
@@ -125,6 +139,7 @@ impl Rule {
             "D3" => Some(Rule::D3),
             "D4" => Some(Rule::D4),
             "D5" => Some(Rule::D5),
+            "D6" => Some(Rule::D6),
             _ => None,
         }
     }
@@ -137,6 +152,7 @@ impl Rule {
             Rule::D3 => "ambient/shared-RNG draw (randomness must be a pure function of seed)",
             Rule::D4 => "unordered iteration over a hash collection without an intervening sort",
             Rule::D5 => "stdout/stderr print in library code (return a String; binaries print)",
+            Rule::D6 => "clone of query-path routing state (borrow the plan/model/region instead)",
             Rule::BadPragma => "malformed or reasonless pragma",
         }
     }
@@ -560,6 +576,20 @@ pub fn d5_applies(path: &Path) -> bool {
     !exempt_component && !exempt_file
 }
 
+/// D6 types: query-path routing state that consumers borrow or hold by
+/// interned index — a `.clone()` of a binding of one of these types in
+/// library code is a per-query allocation regression. (`NetModelKind` is
+/// `Copy`, so only the full `NetModel` — with its latency tables — is
+/// watched.)
+const D6_TYPES: [&str; 3] = ["FaultPlan", "NetModel", "KautzRegion"];
+
+/// True when D6 (no routing-state clones) applies to `path`: the same
+/// library-only allowlist as [`d5_applies`] — binaries, tests, examples,
+/// and benches set up owned fixtures and may clone freely.
+pub fn d6_applies(path: &Path) -> bool {
+    d5_applies(path)
+}
+
 /// Unordered-iteration method calls D4 watches on hash-bound names.
 const D4_METHODS: [&str; 9] = [
     ".keys()",
@@ -577,14 +607,15 @@ const D4_METHODS: [&str; 9] = [
 /// "intervening" (covers the collect-into-vec-then-sort idiom).
 const D4_SORT_WINDOW: usize = 4;
 
-/// Extracts the names bound to hash-collection types in this file: `let`
-/// bindings and struct-field / parameter declarations whose line names a
-/// hash type.
-fn hash_bound_names(lines: &[SplitLine]) -> Vec<String> {
+/// Extracts the names bound to any of `types` in this file: `let`
+/// bindings and struct-field / parameter declarations whose line names
+/// one of the watched types. Shared by D4 (hash collections) and D6
+/// (routing state).
+fn bound_names(lines: &[SplitLine], types: &[&str]) -> Vec<String> {
     let mut names = Vec::new();
     for l in lines {
         let code = &l.code;
-        if !D1_TOKENS.iter().any(|t| has_token(code, t)) {
+        if !types.iter().any(|t| has_token(code, t)) {
             continue;
         }
         // `let [mut] name[: T] = …` — the binding introduced on this line.
@@ -698,7 +729,9 @@ pub fn scan_source(path: &Path, text: &str) -> (Vec<Finding>, Vec<Allowance>) {
     }
 
     // Pass 2: rule tokens on the stripped code.
-    let bound = hash_bound_names(&lines);
+    let bound = bound_names(&lines, &D1_TOKENS);
+    let routing_bound =
+        if d6_applies(path) { bound_names(&lines, &D6_TYPES) } else { Vec::new() };
     let mut allowed = Vec::new();
     let mut emit = |line_idx: usize, rule: Rule, token: String, findings: &mut Vec<Finding>| {
         if let Some((_, reason)) = covers[line_idx].iter().find(|(r, _)| *r == rule) {
@@ -758,6 +791,16 @@ pub fn scan_source(path: &Path, text: &str) -> (Vec<Finding>, Vec<Allowance>) {
                     emit(i, Rule::D4, call, &mut findings);
                 }
                 break; // one D4 finding per line
+            }
+        }
+        for name in &routing_bound {
+            // `plan.clone()` / `p.plan.clone()` / `self.plan.clone()` — the
+            // boundary check rejects longer identifiers (`replan.clone()`)
+            // while any field access prefix still matches.
+            let call = format!("{name}.clone()");
+            if has_token(code, &call) {
+                emit(i, Rule::D6, call, &mut findings);
+                break; // one D6 finding per line
             }
         }
     }
@@ -1042,8 +1085,9 @@ let t = 'x';
         assert_eq!(seeded(Rule::D3), 3, "{:?}", report.findings_for(Rule::D3));
         assert_eq!(seeded(Rule::D4), 3, "{:?}", report.findings_for(Rule::D4));
         assert_eq!(seeded(Rule::D5), 3, "{:?}", report.findings_for(Rule::D5));
+        assert_eq!(seeded(Rule::D6), 3, "{:?}", report.findings_for(Rule::D6));
         assert_eq!(seeded(Rule::BadPragma), 2, "{:?}", report.findings_for(Rule::BadPragma));
-        assert_eq!(report.allowed.len(), 5, "{:?}", report.allowed);
+        assert_eq!(report.allowed.len(), 6, "{:?}", report.allowed);
     }
 
     #[test]

@@ -243,10 +243,20 @@ impl QueryDriver {
         let n_peers = scheme.node_count();
         let mut acc = self.accumulator();
         let retries_before = scheme.retry_attempts();
+        // One scratch for the whole batch: per-query setup allocations are
+        // paid once, and outcomes are contractually bit-identical to the
+        // scratch-free path.
+        let mut scratch = simnet::QueryScratch::new();
         for q in 0..self.queries {
             let (lo, hi) = next_range(rng);
             let origin = scheme.random_origin(rng);
-            let out = scheme.range_query(origin, lo, hi, self.seed.wrapping_add(q as u64))?;
+            let out = scheme.range_query_scratch(
+                origin,
+                lo,
+                hi,
+                self.seed.wrapping_add(q as u64),
+                &mut scratch,
+            )?;
             acc.push(&out, n_peers, origin);
         }
         if let Some(m) = acc.metrics_mut() {

@@ -167,7 +167,11 @@ impl ParallelDriver {
     /// nor submission order can reach the report.
     fn run_sharded<F>(&self, per_query: F) -> Result<Accumulator, SchemeError>
     where
-        F: Fn(usize) -> Result<(crate::RangeOutcome, usize, simnet::NodeId), SchemeError> + Sync,
+        F: Fn(
+                usize,
+                &mut simnet::QueryScratch,
+            ) -> Result<(crate::RangeOutcome, usize, simnet::NodeId), SchemeError>
+            + Sync,
     {
         let shards = self.shards();
         let mut order: Vec<usize> = (0..shards.len()).collect();
@@ -271,16 +275,71 @@ impl ParallelDriver {
     {
         let n_peers = scheme.node_count();
         let retries_before = scheme.retry_attempts();
-        let mut acc = self.run_sharded(|q| {
+        let mut acc = self.run_sharded(|q, scratch| {
             let (lo, hi) = next_range(q as u64);
             let origin = scheme.random_origin(&mut self.origin_rng(q));
-            let out = scheme.range_query(origin, lo, hi, self.seed.wrapping_add(q as u64))?;
+            let out = scheme.range_query_scratch(
+                origin,
+                lo,
+                hi,
+                self.seed.wrapping_add(q as u64),
+                scratch,
+            )?;
             Ok((out, n_peers, origin))
         })?;
         if let Some(m) = acc.metrics_mut() {
             // The hostile wrapper's cumulative attempt counter: each
             // query's attempt count is deterministic, so the batch delta
             // is too, whatever the interleaving.
+            m.inc("retry_attempts", scheme.retry_attempts() - retries_before);
+        }
+        Ok(acc.report(scheme.scheme_name(), self.queries))
+    }
+
+    /// The result-streaming form of [`run`](Self::run): every query's full
+    /// outcome — result handles included — is handed to `sink` as soon as
+    /// the query completes, then dropped. Combined with the lazily-derived
+    /// ranges of streaming mode, this keeps a millions-of-queries sweep at
+    /// `O(queries / threads)` memory end to end: neither the range table
+    /// nor the result sets are ever materialized batch-wide.
+    ///
+    /// Determinism contract: the mapping `q → outcome` is a pure function
+    /// of `(workload, seed, q)` — identical to what [`run`](Self::run)
+    /// measures — and the returned [`DriverReport`] is bitwise identical to
+    /// [`run`](Self::run)'s at every thread count. What is *not* specified
+    /// is the interleaving of `sink` invocations across worker threads;
+    /// `sink` receives the query index precisely so order-sensitive
+    /// consumers can reassemble any order they need (an order-insensitive
+    /// sink — per-index writes, commutative folds — needs nothing extra).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed query error across all shards.
+    pub fn run_streaming<S>(
+        &self,
+        scheme: &dyn RangeScheme,
+        workload: &WorkloadGen,
+        sink: S,
+    ) -> Result<DriverReport, SchemeError>
+    where
+        S: Fn(usize, &crate::RangeOutcome) + Sync,
+    {
+        let n_peers = scheme.node_count();
+        let retries_before = scheme.retry_attempts();
+        let mut acc = self.run_sharded(|q, scratch| {
+            let (lo, hi) = workload.range(self.seed, q as u64);
+            let origin = scheme.random_origin(&mut self.origin_rng(q));
+            let out = scheme.range_query_scratch(
+                origin,
+                lo,
+                hi,
+                self.seed.wrapping_add(q as u64),
+                scratch,
+            )?;
+            sink(q, &out);
+            Ok((out, n_peers, origin))
+        })?;
+        if let Some(m) = acc.metrics_mut() {
             m.inc("retry_attempts", scheme.retry_attempts() - retries_before);
         }
         Ok(acc.report(scheme.scheme_name(), self.queries))
@@ -299,10 +358,11 @@ impl ParallelDriver {
         workload: &WorkloadGen,
     ) -> Result<DriverReport, SchemeError> {
         let n_peers = scheme.node_count();
-        let acc = self.run_sharded(|q| {
+        let acc = self.run_sharded(|q, scratch| {
             let rect = workload.rect(domains, self.seed, q as u64);
             let origin = scheme.random_origin(&mut self.origin_rng(q));
-            let out = scheme.rect_query(origin, &rect, self.seed.wrapping_add(q as u64))?;
+            let out =
+                scheme.rect_query_scratch(origin, &rect, self.seed.wrapping_add(q as u64), scratch)?;
             Ok((out, n_peers, origin))
         })?;
         Ok(acc.report(scheme.scheme_name(), self.queries))
@@ -358,11 +418,17 @@ impl ParallelDriver {
             let base = epoch * self.queries;
             let acc = {
                 let shared: &dyn RangeScheme = &*scheme;
-                self.run_sharded(|q| {
+                self.run_sharded(|q, scratch| {
                     let g = (base + q) as u64;
                     let (lo, hi) = workload.range(self.seed, g);
                     let origin = shared.random_origin(&mut self.origin_rng(base + q));
-                    let out = shared.range_query(origin, lo, hi, self.seed.wrapping_add(g))?;
+                    let out = shared.range_query_scratch(
+                        origin,
+                        lo,
+                        hi,
+                        self.seed.wrapping_add(g),
+                        scratch,
+                    )?;
                     Ok((out, n_peers, origin))
                 })?
             };
@@ -515,18 +581,26 @@ fn splitmix64(v: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Executes one contiguous shard serially, in index order.
+/// Executes one contiguous shard serially, in index order, with one
+/// [`QueryScratch`](simnet::QueryScratch) for the whole shard — per-query
+/// setup allocations are paid once per worker thread, and the scratch
+/// contract (bit-identical outcomes) keeps the shard-invariance guarantee
+/// intact.
 fn run_shard<F>(
     shard: std::ops::Range<usize>,
     per_query: &F,
     metrics: bool,
 ) -> Result<Accumulator, SchemeError>
 where
-    F: Fn(usize) -> Result<(crate::RangeOutcome, usize, simnet::NodeId), SchemeError>,
+    F: Fn(
+        usize,
+        &mut simnet::QueryScratch,
+    ) -> Result<(crate::RangeOutcome, usize, simnet::NodeId), SchemeError>,
 {
     let mut acc = if metrics { Accumulator::with_metrics() } else { Accumulator::default() };
+    let mut scratch = simnet::QueryScratch::new();
     for q in shard {
-        let (out, n_peers, origin) = per_query(q)?;
+        let (out, n_peers, origin) = per_query(q, &mut scratch)?;
         acc.push(&out, n_peers, origin);
     }
     Ok(acc)
@@ -689,5 +763,38 @@ mod tests {
         let d = ParallelDriver { queries: 40, seed: 0, threads: 4, shard_salt: 0, metrics: false };
         assert!(d.run(&FailAbove(35), &wl).is_err());
         assert!(d.run(&FailAbove(1000), &wl).is_ok());
+    }
+
+    #[test]
+    fn streaming_sees_every_outcome_once_and_matches_run() {
+        use std::sync::Mutex;
+        let wl = WorkloadGen::named("mixed", (0.0, 1000.0)).unwrap();
+        let base = ParallelDriver::new(257).with_seed(99);
+        let reference = base.with_threads(1).run(&Synth, &wl).unwrap();
+        for threads in [1, 4, 8] {
+            let streamed: Mutex<Vec<Option<Vec<u64>>>> = Mutex::new(vec![None; 257]);
+            let report = base
+                .with_threads(threads)
+                .run_streaming(&Synth, &wl, |q, out| {
+                    let prev = streamed.lock().unwrap()[q].replace(out.results.clone());
+                    assert!(prev.is_none(), "query {q} streamed twice");
+                })
+                .unwrap();
+            assert_eq!(
+                crate::DigestReport::of(&report),
+                crate::DigestReport::of(&reference),
+                "threads={threads}: streaming perturbed the report"
+            );
+            // Synth returns its per-query scheme seed as the sole result, so
+            // slot q must hold exactly [seed + q] — the pure q → outcome map.
+            let got = streamed.into_inner().unwrap();
+            for (q, slot) in got.iter().enumerate() {
+                assert_eq!(
+                    slot.as_deref(),
+                    Some(&[99 + q as u64][..]),
+                    "threads={threads}: query {q} missing or wrong"
+                );
+            }
+        }
     }
 }

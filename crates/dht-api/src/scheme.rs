@@ -349,6 +349,34 @@ pub trait RangeScheme: Send + Sync {
         seed: u64,
     ) -> Result<RangeOutcome, SchemeError>;
 
+    /// [`range_query`](Self::range_query) with a caller-owned
+    /// [`QueryScratch`](simnet::QueryScratch): drivers own one scratch per
+    /// worker thread and pass it to every query on that thread, so
+    /// simulation-backed schemes amortize their per-query setup
+    /// allocations (event queues, routing buffers) across the batch.
+    ///
+    /// The contract is strict observational equivalence: for identical
+    /// arguments the outcome must be bit-identical to
+    /// [`range_query`](Self::range_query) — scratch reuse may only affect
+    /// allocation counts, never results or metrics. The default delegates
+    /// to [`range_query`](Self::range_query), which is always correct;
+    /// schemes with reusable state override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`range_query`](Self::range_query).
+    fn range_query_scratch(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        scratch: &mut simnet::QueryScratch,
+    ) -> Result<RangeOutcome, SchemeError> {
+        let _ = scratch;
+        self.range_query(origin, lo, hi, seed)
+    }
+
     /// Whether the scheme models per-query fault injection — i.e. whether
     /// [`range_query_with_faults`](Self::range_query_with_faults) is a
     /// real implementation rather than the refusing default. Overridden
@@ -536,6 +564,27 @@ pub trait MultiRangeScheme: Send + Sync {
         rect: &[(f64, f64)],
         seed: u64,
     ) -> Result<RangeOutcome, SchemeError>;
+
+    /// [`rect_query`](Self::rect_query) with a caller-owned
+    /// [`QueryScratch`](simnet::QueryScratch), under the same strict
+    /// observational-equivalence contract as
+    /// [`RangeScheme::range_query_scratch`]: outcomes must be bit-identical
+    /// to [`rect_query`](Self::rect_query); only allocation counts may
+    /// differ. The default delegates to [`rect_query`](Self::rect_query).
+    ///
+    /// # Errors
+    ///
+    /// As [`rect_query`](Self::rect_query).
+    fn rect_query_scratch(
+        &self,
+        origin: NodeId,
+        rect: &[(f64, f64)],
+        seed: u64,
+        scratch: &mut simnet::QueryScratch,
+    ) -> Result<RangeOutcome, SchemeError> {
+        let _ = scratch;
+        self.rect_query(origin, rect, seed)
+    }
 }
 
 #[cfg(test)]

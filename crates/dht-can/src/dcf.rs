@@ -20,8 +20,9 @@
 //! Armada paper's Figures 5 and 7 contrast with PIRA.
 
 use crate::{CanError, CanNet, Rect};
-use simnet::{Envelope, FaultPlan, NetModel, NodeId, Sim};
+use simnet::{Envelope, FaultPlan, NetModel, NodeId, QueryScratch, Sim, SimScratch};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Duplicate-suppression strategy for the flooding phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +60,20 @@ enum DcfMsg {
     /// Greedy routing toward the median point.
     Route,
     /// Flooding phase; `informed` = zones this branch already covered.
-    Flood { informed: Vec<NodeId> },
+    /// Shared by reference across a hop's fan-out, so forwarding clones a
+    /// refcount instead of the whole set.
+    Flood { informed: Arc<Vec<NodeId>> },
+}
+
+/// DCF's reusable per-thread state, slotted into a [`QueryScratch`]. Every
+/// field is reset at query start, so reuse is invisible to results,
+/// metrics, and traces.
+#[derive(Default)]
+struct DcfScratch {
+    sim: SimScratch<DcfMsg>,
+    arrivals: Vec<(NodeId, u64)>,
+    boxes: Vec<Rect>,
+    targets: Vec<NodeId>,
 }
 
 /// Executes a DCF range query from `origin` over `[lo, hi]`.
@@ -115,7 +129,31 @@ pub fn range_query_priced(
     faults: &FaultPlan,
     model: &NetModel,
 ) -> Result<DcfOutcome, CanError> {
-    let (out, _) = query_impl(net, origin, lo, hi, seed, mode, faults, model, false)?;
+    let mut scratch = QueryScratch::new();
+    range_query_priced_scratch(net, origin, lo, hi, seed, mode, faults, model, &mut scratch)
+}
+
+/// [`range_query_priced`] with a caller-owned scratch: batch drivers pass
+/// one [`QueryScratch`] per worker thread so the simulator queues and flood
+/// buffers are allocated once, not per query. Outcomes are bit-identical to
+/// the scratch-free path.
+///
+/// # Errors
+///
+/// Same conditions as [`range_query`].
+#[allow(clippy::too_many_arguments)]
+pub fn range_query_priced_scratch(
+    net: &CanNet,
+    origin: NodeId,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+    mode: FloodMode,
+    faults: &FaultPlan,
+    model: &NetModel,
+    scratch: &mut QueryScratch,
+) -> Result<DcfOutcome, CanError> {
+    let (out, _) = query_impl(net, origin, lo, hi, seed, mode, faults, model, false, scratch)?;
     Ok(out)
 }
 
@@ -139,7 +177,9 @@ pub fn range_query_traced(
     faults: &FaultPlan,
     model: &NetModel,
 ) -> Result<(DcfOutcome, Vec<simnet::TraceRecord>), CanError> {
-    let (out, records) = query_impl(net, origin, lo, hi, seed, mode, faults, model, true)?;
+    let mut scratch = QueryScratch::new();
+    let (out, records) =
+        query_impl(net, origin, lo, hi, seed, mode, faults, model, true, &mut scratch)?;
     Ok((out, records.unwrap_or_default()))
 }
 
@@ -154,6 +194,7 @@ fn query_impl(
     faults: &FaultPlan,
     model: &NetModel,
     trace: bool,
+    scratch: &mut QueryScratch,
 ) -> Result<(DcfOutcome, Option<Vec<simnet::TraceRecord>>), CanError> {
     if lo > hi {
         return Err(CanError::EmptyRange { lo, hi });
@@ -161,14 +202,19 @@ fn query_impl(
     net.zone(origin)?;
     let order = net.config().hilbert_order;
 
+    let DcfScratch { sim: sim_scratch, arrivals, boxes, targets } = scratch.slot::<DcfScratch>();
+
     // The query's image: curve cells of the normalised range, decomposed
     // into aligned squares.
     let ta = crate::hilbert::cell_of(order, net.normalize(lo));
     let tb = crate::hilbert::cell_of(order, net.normalize(hi));
-    let boxes: Vec<Rect> = crate::hilbert::interval_blocks(order, ta, tb)
-        .into_iter()
-        .map(|b| b.to_unit_rect(order))
-        .collect();
+    boxes.clear();
+    boxes.extend(
+        crate::hilbert::interval_blocks(order, ta, tb)
+            .into_iter()
+            .map(|b| b.to_unit_rect(order)),
+    );
+    let boxes: &[Rect] = boxes;
     let hits = |zone: NodeId| -> bool {
         let r = net.zone(zone).expect("live zone").rect();
         boxes.iter().any(|b| r.intersects(b))
@@ -180,7 +226,8 @@ fn query_impl(
     // Median target point.
     let (mx, my) = net.point_of_value((lo + hi) / 2.0);
 
-    let mut sim: Sim<DcfMsg> = Sim::new(seed).with_faults(faults.clone()).with_net(*model);
+    let mut sim: Sim<DcfMsg> =
+        Sim::from_scratch(seed, sim_scratch).with_faults_ref(faults).with_net(*model);
     if trace {
         sim = sim.with_trace(simnet::TraceSink::new());
     }
@@ -190,9 +237,12 @@ fn query_impl(
     // Flat arrival log reduced by a sorted post-pass (min cost per zone,
     // max over zones — order-independent, since scheduling stays on unit
     // ticks and the cost model rides along in the envelopes).
-    let mut arrivals: Vec<(NodeId, u64)> = Vec::new();
+    arrivals.clear();
     let mut results: BTreeSet<u64> = BTreeSet::new();
     let mut delay: u32 = 0;
+    // Naive floods carry an empty informed set: one shared allocation per
+    // query, refcount-cloned into every forward.
+    let empty_informed: Arc<Vec<NodeId>> = Arc::new(Vec::new());
     sim.run(|sim, env: Envelope<DcfMsg>| {
         let node = env.to;
         match &env.payload {
@@ -215,7 +265,7 @@ fn query_impl(
                     // Arrived at the median zone: switch to flooding by
                     // re-delivering locally as a flood message (carrying
                     // the routing phase's accumulated cost).
-                    let informed = vec![node];
+                    let informed = Arc::new(vec![node]);
                     sim.send_with_cost(node, node, env.hop, env.cost, DcfMsg::Flood { informed });
                 }
             }
@@ -239,28 +289,28 @@ fn query_impl(
                 } else if mode == FloodMode::Directed && !first_visit {
                     return;
                 }
-                let targets: Vec<NodeId> = net
-                    .neighbors(node)
-                    .iter()
-                    .copied()
-                    .filter(|&n| hits(n))
-                    .filter(|n| match mode {
-                        FloodMode::Directed => !informed.contains(n),
-                        FloodMode::Naive => true,
-                    })
-                    .collect();
-                let new_informed: Vec<NodeId> = match mode {
+                targets.clear();
+                targets.extend(
+                    net.neighbors(node).iter().copied().filter(|&n| hits(n)).filter(|n| {
+                        match mode {
+                            FloodMode::Directed => !informed.contains(n),
+                            FloodMode::Naive => true,
+                        }
+                    }),
+                );
+                let new_informed: Arc<Vec<NodeId>> = match mode {
                     FloodMode::Directed => {
-                        let mut v = informed.clone();
-                        v.extend(&targets);
+                        let mut v = Vec::with_capacity(informed.len() + targets.len());
+                        v.extend_from_slice(informed);
+                        v.extend(targets.iter());
                         v.sort_unstable();
                         v.dedup();
-                        v
+                        Arc::new(v)
                     }
-                    FloodMode::Naive => Vec::new(),
+                    FloodMode::Naive => Arc::clone(&empty_informed),
                 };
-                for t in targets {
-                    sim.forward(&env, t, DcfMsg::Flood { informed: new_informed.clone() });
+                for &t in targets.iter() {
+                    sim.forward(&env, t, DcfMsg::Flood { informed: Arc::clone(&new_informed) });
                 }
             }
         }
@@ -268,14 +318,16 @@ fn query_impl(
 
     let reached = answered.len();
     let exact = answered == truth;
-    let latency = simnet::last_first_arrival(&mut arrivals);
+    let latency = simnet::last_first_arrival(arrivals);
     let records = sim.take_trace().map(simnet::TraceSink::into_records);
+    let messages = sim.stats().messages_sent;
+    sim.recycle(sim_scratch);
     Ok((
         DcfOutcome {
             results: results.into_iter().collect(),
             delay,
             latency,
-            messages: sim.stats().messages_sent,
+            messages,
             dest_zones: truth.len(),
             reached_zones: reached,
             exact,

@@ -168,6 +168,28 @@ impl RangeScheme for DcfScheme {
         Ok(out.into_outcome())
     }
 
+    fn range_query_scratch(
+        &self,
+        origin: NodeId,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+        scratch: &mut simnet::QueryScratch,
+    ) -> Result<RangeOutcome, SchemeError> {
+        let out = dcf::range_query_priced_scratch(
+            &self.net,
+            origin,
+            lo,
+            hi,
+            seed,
+            self.mode,
+            &FaultPlan::new(),
+            &self.net_model,
+            scratch,
+        )?;
+        Ok(out.into_outcome())
+    }
+
     fn supports_fault_injection(&self) -> bool {
         true
     }

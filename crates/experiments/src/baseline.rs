@@ -55,7 +55,12 @@
 //! row gains `delay_p50` and `latency_p50` was already present — the p50
 //! was always computed by [`DriverReport`]'s summaries, v7 just writes it
 //! out. Every v6 metric value is bit-for-bit unchanged: v7 adds columns,
-//! never touches an existing cell.
+//! never touches an existing cell. Schema v8 changes no columns at all —
+//! it marks the zero-allocation query hot path (scratch reuse, `Sim`
+//! recycling, borrowed fault plans): the scaling section's perf columns
+//! (`qps`, `allocs_per_query`, `build_ms`) move, and every simulated
+//! metric — delays, messages, results, latency summaries — is bit-for-bit
+//! identical to v7, which is exactly the claim the bump records.
 
 use crate::output::Table;
 use crate::{dynamic_single_names, standard_registry};
@@ -71,7 +76,7 @@ use std::time::Instant; // detlint: allow(D2) — qps stopwatch import; every re
 /// The schema tag written to (and expected in) `BENCH_baseline.json` —
 /// bumped whenever the JSON shape changes, and pinned by the CI
 /// bench-schema smoke job (`bench_baseline --quick --check-schema`).
-pub const SCHEMA_VERSION: &str = "bench-baseline-v7";
+pub const SCHEMA_VERSION: &str = "bench-baseline-v8";
 
 /// Hostile-network specs measured in the hostile section: loss alone, the
 /// same loss with a 3-attempt retry budget, the two-island partition, and

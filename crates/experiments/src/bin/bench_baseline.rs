@@ -7,7 +7,7 @@
 //! cargo run --release -p armada-experiments --bin bench_baseline -- --quick --check-schema
 //! cargo run --release -p armada-experiments --bin bench_baseline -- --huge  # adds N = 10⁶
 //! cargo run --release -p armada-experiments --bin bench_baseline -- \
-//!     --quick --scaling-ns 10000 --gate-qps                                 # CI perf gate
+//!     --quick --scaling-ns 10000 --gate-qps --gate-allocs                   # CI perf gate
 //! ```
 //!
 //! Flags:
@@ -28,6 +28,11 @@
 //!   slower (qps) than the same `(scheme, N)` cell in the committed
 //!   curve. Cells absent from the committed curve are skipped, so the
 //!   gate is inert until a full-scale baseline with that N is committed.
+//! - `--gate-allocs` is the same diff for the `allocs_per_query` column:
+//!   fail if any scaling cell allocates more than 25% above the
+//!   committed figure. It compares only cells where BOTH sides carry a
+//!   number, so it is inert without `--features bench-alloc` (and
+//!   against a committed baseline generated without it).
 //!
 //! Run with `--features bench-alloc` to fill the scaling section's
 //! `allocs_per_query` column (otherwise it is `null`).
@@ -38,10 +43,15 @@ use armada_experiments::Scale;
 /// Allowed fractional qps drop per scaling cell before `--gate-qps` fails.
 const GATE_QPS_DROP: f64 = 0.25;
 
+/// Allowed fractional allocations/query growth per scaling cell before
+/// `--gate-allocs` fails.
+const GATE_ALLOCS_GROWTH: f64 = 0.25;
+
 fn main() {
     let scale = Scale::from_args();
     let check_schema = std::env::args().any(|a| a == "--check-schema");
     let gate_qps = std::env::args().any(|a| a == "--gate-qps");
+    let gate_allocs = std::env::args().any(|a| a == "--gate-allocs");
     let huge = std::env::args().any(|a| a == "--huge");
     let mut cfg = match scale {
         Scale::Full => BaselineConfig::full(),
@@ -83,8 +93,8 @@ fn main() {
             std::process::exit(1);
         }
     }
-    // Both post-run checks diff against the committed artifact.
-    let committed = (check_schema || gate_qps).then(|| {
+    // All post-run checks diff against the committed artifact.
+    let committed = (check_schema || gate_qps || gate_allocs).then(|| {
         let committed_path = baseline::baseline_path();
         match std::fs::read_to_string(&committed_path) {
             Ok(c) => c,
@@ -118,12 +128,12 @@ fn main() {
     }
     if gate_qps {
         let committed = committed.as_deref().expect("read above");
-        let reference = committed_scaling_qps(committed);
+        let reference = committed_scaling_cells(committed);
         let mut checked = 0usize;
         let mut failed = false;
         for row in &report.scaling_rows {
-            let Some(&(_, _, ref_qps)) =
-                reference.iter().find(|(s, n, _)| *s == row.scheme && *n == row.n)
+            let Some(&(_, _, ref_qps, _)) =
+                reference.iter().find(|(s, n, ..)| *s == row.scheme && *n == row.n)
             else {
                 continue;
             };
@@ -151,13 +161,58 @@ fn main() {
             println!("[gate] note: no (scheme, N) overlap with the committed scaling curve");
         }
     }
+    if gate_allocs {
+        let committed = committed.as_deref().expect("read above");
+        let reference = committed_scaling_cells(committed);
+        let mut checked = 0usize;
+        let mut failed = false;
+        for row in &report.scaling_rows {
+            // Allocation counts are deterministic (seeded workload, serial
+            // meter), so unlike qps this diff is immune to machine noise —
+            // the 25% headroom only absorbs allocator-internal drift across
+            // rustc/libstd versions.
+            let Some(allocs) = row.allocs_per_query else { continue };
+            let Some(&(_, _, _, Some(ref_allocs))) =
+                reference.iter().find(|(s, n, ..)| *s == row.scheme && *n == row.n)
+            else {
+                continue;
+            };
+            checked += 1;
+            let ceiling = ref_allocs * (1.0 + GATE_ALLOCS_GROWTH);
+            if allocs > ceiling {
+                failed = true;
+                eprintln!(
+                    "error: allocation regression — {} at N = {} measured {:.1} allocs/query, \
+                     committed {:.1} (ceiling {:.1})",
+                    row.scheme, row.n, allocs, ref_allocs, ceiling
+                );
+            } else {
+                println!(
+                    "[gate] {} N = {}: {:.1} allocs/query vs committed {:.1} (ceiling {:.1}) — ok",
+                    row.scheme, row.n, allocs, ref_allocs, ceiling
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("[gate] {checked} scaling cell(s) within 25% of committed allocs/query");
+        if checked == 0 {
+            println!(
+                "[gate] note: no allocation overlap — run with --features bench-alloc against \
+                 a baseline generated with it"
+            );
+        }
+    }
 }
 
-/// Extracts `(scheme, n, qps)` for every row of the committed baseline's
-/// `"scaling"` array. A hand-rolled line scan to match the hand-rolled
-/// writer (the build has no serde); tolerant of a missing section (older
-/// schema) by returning an empty list.
-fn committed_scaling_qps(json: &str) -> Vec<(String, usize, f64)> {
+/// Extracts `(scheme, n, qps, allocs_per_query)` for every row of the
+/// committed baseline's `"scaling"` array. A hand-rolled line scan to
+/// match the hand-rolled writer (the build has no serde); tolerant of a
+/// missing section (older schema) by returning an empty list, and of a
+/// `null` allocation column (baseline generated without `bench-alloc`)
+/// by carrying `None`.
+fn committed_scaling_cells(json: &str) -> Vec<(String, usize, f64, Option<f64>)> {
     let mut rows = Vec::new();
     let mut in_scaling = false;
     for line in json.lines() {
@@ -172,7 +227,7 @@ fn committed_scaling_qps(json: &str) -> Vec<(String, usize, f64)> {
         if let (Some(scheme), Some(n), Some(qps)) =
             (json_str_field(t, "scheme"), json_num_field(t, "n"), json_num_field(t, "qps"))
         {
-            rows.push((scheme, n as usize, qps));
+            rows.push((scheme, n as usize, qps, json_num_field(t, "allocs_per_query")));
         }
     }
     rows

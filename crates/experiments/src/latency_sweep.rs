@@ -198,10 +198,13 @@ fn build_loaded(
 ) -> Box<dyn dht_api::RangeScheme> {
     let registry = standard_registry();
     let domain = (paper::DOMAIN_LO, paper::DOMAIN_HI);
-    let net = NetModel::named(net_name).expect("cataloged net model");
+    // Named `net_model`, not `net`: the `LatencyPoint.net` label field is a
+    // plain String, and sharing the name would pull its clone under D6.
+    let net_model = NetModel::named(net_name).expect("cataloged net model");
     let object_id_len = if cfg.scale == Scale::Full { paper::OBJECT_ID_LEN } else { 32 };
-    let params =
-        BuildParams::new(n, domain.0, domain.1).with_object_id_len(object_id_len).with_net(net);
+    let params = BuildParams::new(n, domain.0, domain.1)
+        .with_object_id_len(object_id_len)
+        .with_net(net_model);
     // Seed depends on (scheme, n) but NOT the net model: identical
     // networks and data under every model.
     let mut rng = simnet::rng_from_seed(0x1a7e ^ dht_api::fnv1a(scheme_name.as_bytes()) ^ n as u64);

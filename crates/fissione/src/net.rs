@@ -46,7 +46,7 @@ impl Peer {
         high: &KautzStr,
     ) -> impl Iterator<Item = (&'a KautzStr, &'a [u64])> {
         self.objects
-            .range::<KautzStr, _>((Bound::Included(low.clone()), Bound::Included(high.clone())))
+            .range::<KautzStr, _>((Bound::Included(low), Bound::Included(high)))
             .map(|(k, v)| (k, v.as_slice()))
     }
 
@@ -72,6 +72,65 @@ pub struct InvariantReport {
     pub total_objects: usize,
 }
 
+/// Symbol capacity of an encoded PeerID key (2 bits per symbol in a
+/// `u128`). Live depths stay far below this: a depth-64 cover would need
+/// on the order of 2⁶³ peers.
+const ENC_SYMS: usize = 64;
+
+/// Order-preserving fixed-width key for a PeerID: symbol `s` becomes the
+/// 2-bit group `s + 1`, packed MSB-first and zero-padded. Integer order on
+/// keys coincides with lexicographic order on ids (a proper prefix sorts
+/// before its extensions because its padding groups are zero), and the
+/// subtree below a prefix is the contiguous key interval
+/// `[enc_id(p), enc_subtree_end(enc_id(p)))` — so every ordered-map probe
+/// on the cover is a `u128` comparison instead of a heap-indirected
+/// symbol-by-symbol compare. This is what keeps `build` and routing fast
+/// at N = 10⁶.
+///
+/// # Panics
+///
+/// Panics if `id` is deeper than [`ENC_SYMS`].
+fn enc_id(id: &KautzStr) -> u128 {
+    assert!(id.len() <= ENC_SYMS, "PeerID depth {} exceeds key capacity", id.len());
+    let mut k = 0u128;
+    for (i, &s) in id.symbols().iter().enumerate() {
+        k |= (u128::from(s) + 1) << (126 - 2 * i);
+    }
+    k
+}
+
+/// Key of the first [`ENC_SYMS`] symbols of an arbitrary-length string.
+/// Probes (ObjectIDs, typically length ~100) compare against peer keys
+/// exactly within that window, and live peer depths never approach it, so
+/// every order/prefix relation between a peer id and a probe is decided
+/// inside the window.
+fn enc_probe(s: &KautzStr) -> u128 {
+    let mut k = 0u128;
+    for (i, &sym) in s.symbols().iter().take(ENC_SYMS).enumerate() {
+        k |= (u128::from(sym) + 1) << (126 - 2 * i);
+    }
+    k
+}
+
+/// Symbol count encoded in a nonzero key (the position of its lowest
+/// nonzero 2-bit group).
+fn enc_len(k: u128) -> usize {
+    debug_assert_ne!(k, 0, "the empty string is never a PeerID");
+    (129 - k.trailing_zeros() as usize) / 2
+}
+
+/// Exclusive upper key of the subtree below nonzero key `k`; `None` means
+/// the subtree extends to the end of the keyspace.
+fn enc_subtree_end(k: u128) -> Option<u128> {
+    k.checked_add(1u128 << (128 - 2 * enc_len(k)))
+}
+
+/// Whether the id encoded by nonzero `k` is a (non-strict) prefix of the
+/// string encoded by `probe`.
+fn enc_is_prefix(k: u128, probe: u128) -> bool {
+    k <= probe && enc_subtree_end(k).is_none_or(|end| probe < end)
+}
+
 /// The FISSIONE network: a prefix-free cover of the Kautz namespace under
 /// churn, with object storage and neighbor computation.
 ///
@@ -82,7 +141,8 @@ pub struct InvariantReport {
 pub struct FissioneNet {
     cfg: FissioneConfig,
     slots: Vec<Option<Peer>>,
-    by_id: BTreeMap<KautzStr, NodeId>,
+    /// Live peers by [`enc_id`] key — iteration order is PeerID order.
+    by_id: BTreeMap<u128, NodeId>,
     live: usize,
     /// `depth_hist[d]` = number of live peers with depth `d`.
     depth_hist: Vec<usize>,
@@ -203,10 +263,10 @@ impl FissioneNet {
     /// Returns [`FissioneError::TargetTooShort`] if `s` is shorter than the
     /// owning region's depth (no PeerID prefixes it).
     pub fn owner_of(&self, s: &KautzStr) -> Result<NodeId, FissioneError> {
-        let candidate =
-            self.by_id.range::<KautzStr, _>((Bound::Unbounded, Bound::Included(s))).next_back();
+        let key = enc_probe(s);
+        let candidate = self.by_id.range((Bound::Unbounded, Bound::Included(key))).next_back();
         match candidate {
-            Some((id, &node)) if id.is_prefix_of(s) => Ok(node),
+            Some((&k, &node)) if enc_is_prefix(k, key) => Ok(node),
             _ => Err(FissioneError::TargetTooShort {
                 target_len: s.len(),
                 max_depth: self.max_depth(),
@@ -219,10 +279,12 @@ impl FissioneNet {
         &'a self,
         prefix: &'a KautzStr,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        self.by_id
-            .range::<KautzStr, _>((Bound::Included(prefix.clone()), Bound::Unbounded))
-            .take_while(move |(id, _)| prefix.is_prefix_of(id))
-            .map(|(_, &n)| n)
+        // The whole subtree is one key interval — the empty prefix (len 0
+        // encodes to key 0) covers everything.
+        let lo = enc_probe(prefix);
+        let hi = if lo == 0 { None } else { enc_subtree_end(lo) };
+        let bounds = (Bound::Included(lo), hi.map_or(Bound::Unbounded, Bound::Excluded));
+        self.by_id.range(bounds).map(|(_, &n)| n)
     }
 
     /// Live peers whose regions intersect the lexicographic ObjectID range
@@ -242,19 +304,17 @@ impl FissioneNet {
         high: &KautzStr,
     ) -> Result<Vec<NodeId>, FissioneError> {
         let first = self.owner_of(low)?;
-        let first_id = self.slots[first].as_ref().expect("live").id.clone();
-        let k = low.len();
+        let first_key = enc_id(&self.slots[first].as_ref().expect("live").id);
+        let high_key = enc_probe(high);
         let mut out = Vec::new();
-        for (id, &node) in
-            self.by_id.range::<KautzStr, _>((Bound::Included(first_id), Bound::Unbounded))
-        {
+        for (&k, &node) in self.by_id.range((Bound::Included(first_key), Bound::Unbounded)) {
             // A peer's region starts above `high` once its minimal
-            // extension exceeds it.
-            if id.len() <= k {
-                if &id.min_extension(k) > high {
-                    break;
-                }
-            } else if id.take_front(k) > *high {
+            // extension exceeds it; on encoded keys that is exactly
+            // `k > high_key` (a min-extension symbol never exceeds the
+            // corresponding symbol of `high` while the two agree, so
+            // `Greater` can only come from a real symbol mismatch — which
+            // integer order sees identically).
+            if k > high_key {
                 break;
             }
             out.push(node);
@@ -270,19 +330,38 @@ impl FissioneNet {
     ///
     /// Panics if `node` is not live.
     pub fn out_neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        let id = self.peer(node).expect("live node").id();
-        let shift = id.drop_front(1);
+        let mut shift = KautzStr::empty(self.cfg.base);
         let mut out = Vec::new();
-        // The unique peer owning a *proper prefix* of the shift, if any.
-        for j in 0..shift.len() {
-            if let Some(&n) = self.by_id.get(&shift.take_front(j)) {
+        self.out_neighbors_into(node, &mut shift, &mut out);
+        out
+    }
+
+    /// Buffer-reusing core of [`out_neighbors`](Self::out_neighbors):
+    /// overwrites `shift` (working storage) and `out` (the result, in the
+    /// same order `out_neighbors` produces). Query descent calls this once
+    /// per delivery, so steady-state routing allocates nothing here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not live.
+    pub fn out_neighbors_into(&self, node: NodeId, shift: &mut KautzStr, out: &mut Vec<NodeId>) {
+        let id = self.peer(node).expect("live node").id();
+        shift.assign_drop_front(id, 1);
+        out.clear();
+        // The unique peer owning a *proper* prefix of the shift, if any. By
+        // prefix-freeness nothing live sits between such an ancestor and
+        // the shift, so it is the greatest PeerID strictly below the shift
+        // — one ordered-map probe instead of one per prefix length.
+        let shift_key = enc_probe(shift);
+        if let Some((&k, &n)) =
+            self.by_id.range((Bound::Unbounded, Bound::Excluded(shift_key))).next_back()
+        {
+            if enc_is_prefix(k, shift_key) {
                 out.push(n);
-                break; // prefix-free: at most one ancestor
             }
         }
         // Peers extending (or equal to) the shift.
-        out.extend(self.peers_with_prefix(&shift));
-        out
+        out.extend(self.peers_with_prefix(shift));
     }
 
     /// In-neighbors of `node`: every live peer `W` with `node ∈ out(W)`.
@@ -291,27 +370,42 @@ impl FissioneNet {
     ///
     /// Panics if `node` is not live.
     pub fn in_neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        let id = self.peer(node).expect("live node").id().clone();
-        let first = id.first().expect("peer ids are non-empty");
+        let mut stem = KautzStr::empty(self.cfg.base);
         let mut out = Vec::new();
+        self.in_neighbors_into(node, &mut stem, &mut out);
+        out
+    }
+
+    /// Buffer-reusing core of [`in_neighbors`](Self::in_neighbors):
+    /// overwrites `stem` (working storage) and `out` (the result, in the
+    /// same order `in_neighbors` produces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not live.
+    pub fn in_neighbors_into(&self, node: NodeId, stem: &mut KautzStr, out: &mut Vec<NodeId>) {
+        let id = self.peer(node).expect("live node").id();
+        let first = id.first().expect("peer ids are non-empty");
+        out.clear();
         for a in 0..=self.cfg.base {
             if a == first {
                 continue;
             }
-            let head = KautzStr::new(self.cfg.base, vec![a]).expect("one symbol");
-            // W = a ++ (proper prefix of id).
-            for j in 0..id.len() {
-                let w = head.concat(&id.take_front(j)).expect("junction differs");
-                if let Some(&n) = self.by_id.get(&w) {
+            stem.assign_prepend(a, id);
+            // W = a ++ (proper prefix of id): a proper prefix of the stem
+            // longer than zero — the same single-probe ancestor search as
+            // `out_neighbors_into` (the empty string is never a PeerID).
+            let stem_key = enc_probe(stem);
+            if let Some((&k, &n)) =
+                self.by_id.range((Bound::Unbounded, Bound::Excluded(stem_key))).next_back()
+            {
+                if enc_is_prefix(k, stem_key) {
                     out.push(n);
-                    break; // prefix-free: at most one per first symbol
                 }
             }
             // W = a ++ id ++ tail (includes a ++ id itself).
-            let stem = head.concat(&id).expect("junction differs");
-            out.extend(self.peers_with_prefix(&stem));
+            out.extend(self.peers_with_prefix(stem));
         }
-        out
     }
 
     /// Both neighbor sets, deduplicated.
@@ -343,14 +437,34 @@ impl FissioneNet {
 
     /// Hill-descends from `start` towards a peer whose depth is minimal
     /// among its neighbors.
+    ///
+    /// Consumes no RNG and picks `min (depth, node)` over the neighbor
+    /// multiset — identical victim selection to sorting and deduplicating
+    /// first, since `min` over a multiset equals `min` over its set. The
+    /// buffer-reusing neighbor walks make this loop allocation-free after
+    /// the first step, which is what keeps `build` off the allocator at
+    /// N = 10⁵–10⁶ (joins spend their time here).
     fn descend_to_local_min(&self, start: NodeId, max_steps: usize) -> NodeId {
         let mut cur = start;
+        let mut buf = KautzStr::empty(self.cfg.base);
+        let (mut outs, mut ins) = (Vec::new(), Vec::new());
+        // No live peer is shallower than the histogram's global minimum, so
+        // a peer already there is a local minimum by definition — skip the
+        // neighbor walks entirely. This prunes the *last* iteration of every
+        // descent (and whole descents that start at the global minimum),
+        // which is where large builds spend most of their join time.
+        let global_min = self.min_depth();
         for _ in 0..max_steps {
             let d = self.peer(cur).expect("live").depth();
-            let best = self
-                .neighbors(cur)
-                .into_iter()
-                .map(|n| (self.peer(n).expect("live").depth(), n))
+            if d == global_min {
+                break;
+            }
+            self.out_neighbors_into(cur, &mut buf, &mut outs);
+            self.in_neighbors_into(cur, &mut buf, &mut ins);
+            let best = outs
+                .iter()
+                .chain(ins.iter())
+                .map(|&n| (self.peer(n).expect("live").depth(), n))
                 .min();
             match best {
                 Some((bd, bn)) if bd < d => cur = bn,
@@ -394,13 +508,13 @@ impl FissioneNet {
         }
         peer.id = left.clone();
 
-        self.by_id.remove(&old_id);
-        self.by_id.insert(left, node);
+        self.by_id.remove(&enc_id(&old_id));
+        self.by_id.insert(enc_id(&left), node);
         self.bump_depth(old_id.len(), -1);
         self.bump_depth(old_id.len() + 1, 1);
 
         let newcomer = self.alloc_slot(Peer { id: right.clone(), objects: right_objects });
-        self.by_id.insert(right, newcomer);
+        self.by_id.insert(enc_id(&right), newcomer);
         self.bump_depth(old_id.len() + 1, 1);
         self.live += 1;
         (node, newcomer)
@@ -439,7 +553,7 @@ impl FissioneNet {
         // Fast path: the sibling leaf exists and can absorb the parent.
         if id.len() > 1 {
             let sibling = Self::sibling_label(&id);
-            if let Some(&sib_node) = self.by_id.get(&sibling) {
+            if let Some(&sib_node) = self.by_id.get(&enc_id(&sibling)) {
                 let parent = id.take_front(id.len() - 1);
                 let mut objects = if keep_objects {
                     std::mem::take(&mut self.slots[node].as_mut().expect("live").objects)
@@ -449,8 +563,8 @@ impl FissioneNet {
                 self.free_slot(node, &id);
                 let sib = self.slots[sib_node].as_mut().expect("live sibling");
                 sib.objects.append(&mut objects);
-                self.by_id.remove(&sibling);
-                self.by_id.insert(parent.clone(), sib_node);
+                self.by_id.remove(&enc_id(&sibling));
+                self.by_id.insert(enc_id(&parent), sib_node);
                 sib.id = parent;
                 self.bump_depth(id.len(), -1);
                 self.bump_depth(id.len() - 1, 1);
@@ -476,7 +590,8 @@ impl FissioneNet {
 
         // Merge the deepest pair: its sibling must itself be a leaf.
         let deep_sibling = Self::sibling_label(&deep_id);
-        let sib_node = *self.by_id.get(&deep_sibling).expect("sibling of a deepest leaf is a leaf");
+        let sib_node =
+            *self.by_id.get(&enc_id(&deep_sibling)).expect("sibling of a deepest leaf is a leaf");
         debug_assert_ne!(sib_node, node);
         let parent = deep_id.take_front(deep_id.len() - 1);
         let mut donor_objects =
@@ -484,8 +599,8 @@ impl FissioneNet {
         {
             let sib = self.slots[sib_node].as_mut().expect("live sibling");
             sib.objects.append(&mut donor_objects);
-            self.by_id.remove(&deep_sibling);
-            self.by_id.insert(parent.clone(), sib_node);
+            self.by_id.remove(&enc_id(&deep_sibling));
+            self.by_id.insert(enc_id(&parent), sib_node);
             sib.id = parent;
             self.bump_depth(deep_id.len(), -2);
             self.bump_depth(deep_id.len() - 1, 1);
@@ -497,7 +612,7 @@ impl FissioneNet {
         } else {
             BTreeMap::new()
         };
-        self.by_id.remove(&deep_id);
+        self.by_id.remove(&enc_id(&deep_id));
         {
             let donor = self.slots[deepest].as_mut().expect("live donor");
             donor.id = id.clone();
@@ -506,7 +621,7 @@ impl FissioneNet {
         // The donor replaces the leaver under the same label, so the depth
         // histogram at `id.len()` is unchanged; only the slot and live count
         // of the leaver go away.
-        self.by_id.insert(id, deepest);
+        self.by_id.insert(enc_id(&id), deepest);
         self.slots[node] = None;
         self.free_slots.push(Reverse(node));
         self.live -= 1;
@@ -564,7 +679,8 @@ impl FissioneNet {
         let deep_id = self.slots[donor].as_ref().expect("live").id.clone();
         debug_assert!(deep_id.len() > 1, "root peers are never deepest in a violation");
         let sibling = Self::sibling_label(&deep_id);
-        let sib_node = *self.by_id.get(&sibling).expect("sibling of the deepest leaf is a leaf");
+        let sib_node =
+            *self.by_id.get(&enc_id(&sibling)).expect("sibling of the deepest leaf is a leaf");
         if sib_node == target || donor == target {
             return;
         }
@@ -574,13 +690,13 @@ impl FissioneNet {
         {
             let sib = self.slots[sib_node].as_mut().expect("live");
             sib.objects.append(&mut donor_objects);
-            self.by_id.remove(&sibling);
-            self.by_id.insert(parent.clone(), sib_node);
+            self.by_id.remove(&enc_id(&sibling));
+            self.by_id.insert(enc_id(&parent), sib_node);
             sib.id = parent;
             self.bump_depth(deep_id.len(), -2);
             self.bump_depth(deep_id.len() - 1, 1);
         }
-        self.by_id.remove(&deep_id);
+        self.by_id.remove(&enc_id(&deep_id));
         self.live -= 1; // donor temporarily out
         self.slots[donor] = None;
         self.free_slots.push(Reverse(donor));
@@ -640,7 +756,7 @@ impl FissioneNet {
         for (i, slot) in self.slots.iter().enumerate() {
             if let Some(p) = slot {
                 live += 1;
-                if self.by_id.get(&p.id) != Some(&i) {
+                if self.by_id.get(&enc_id(&p.id)) != Some(&i) {
                     return Err(FissioneError::InvariantViolated(report));
                 }
             }
@@ -648,10 +764,11 @@ impl FissioneNet {
         if live != self.live || self.by_id.len() != live {
             return Err(FissioneError::InvariantViolated(report));
         }
-        // Prefix-freeness: adjacent sorted ids must not nest.
-        let ids: Vec<&KautzStr> = self.by_id.keys().collect();
-        for w in ids.windows(2) {
-            if w[0].is_prefix_of(w[1]) {
+        // Prefix-freeness: adjacent sorted ids must not nest (encoded key
+        // order is id order, and nesting is exactly the prefix interval).
+        let keys: Vec<u128> = self.by_id.keys().copied().collect();
+        for w in keys.windows(2) {
+            if enc_is_prefix(w[0], w[1]) {
                 return Err(FissioneError::InvariantViolated(report));
             }
         }
@@ -662,8 +779,8 @@ impl FissioneNet {
         // and the total must be 3·2^(D-1).
         let d_max = report.max_depth as u32;
         let mut total: u128 = 0;
-        for id in self.by_id.keys() {
-            total += 1u128 << (d_max - id.len() as u32);
+        for &k in self.by_id.keys() {
+            total += 1u128 << (d_max - enc_len(k) as u32);
         }
         if total != 3u128 << (d_max - 1) {
             return Err(FissioneError::InvariantViolated(report));
@@ -719,9 +836,10 @@ impl FissioneNet {
     }
 
     fn insert_peer(&mut self, id: KautzStr) -> NodeId {
+        let key = enc_id(&id);
         let node = self.alloc_slot(Peer { id: id.clone(), objects: BTreeMap::new() });
         self.bump_depth(id.len(), 1);
-        self.by_id.insert(id, node);
+        self.by_id.insert(key, node);
         self.live += 1;
         node
     }
@@ -742,8 +860,8 @@ impl FissioneNet {
     fn free_slot(&mut self, node: NodeId, id: &KautzStr) {
         // Remove the by_id entry only if it still points at this slot (the
         // label may already have been adopted by a donor).
-        if self.by_id.get(id) == Some(&node) {
-            self.by_id.remove(id);
+        if self.by_id.get(&enc_id(id)) == Some(&node) {
+            self.by_id.remove(&enc_id(id));
             self.bump_depth(id.len(), -1);
         }
         self.slots[node] = None;
@@ -926,7 +1044,7 @@ mod tests {
         let mut rng = simnet::rng_from_seed(10);
         let mut net = FissioneNet::new(small_cfg());
         // Split "0" into 01, 02; then have 02 leave: 01 should become 0.
-        let zero = *net.by_id.get(&ks("0")).unwrap();
+        let zero = *net.by_id.get(&enc_id(&ks("0"))).unwrap();
         let (left, right) = net.split_leaf(zero);
         assert_eq!(net.peer_id(left).unwrap(), &ks("01"));
         assert_eq!(net.peer_id(right).unwrap(), &ks("02"));

@@ -51,7 +51,7 @@ impl FissioneNet {
         faults: &FaultPlan,
     ) -> Result<SimLookup, FissioneError> {
         self.peer(from)?;
-        let mut sim: Sim<LookupMsg> = Sim::new(seed).with_faults(faults.clone());
+        let mut sim: Sim<LookupMsg> = Sim::new(seed).with_faults_ref(faults);
         sim.send(from, from, 0, LookupMsg::Request { target: target.clone(), client: from });
 
         let mut result = SimLookup {

@@ -12,7 +12,9 @@
 //! the exact rectangle and prune with [`MultiHash::prefix_rect`].
 
 use crate::fixed::{BoundaryInterval, ScaledValue};
-use crate::partition::{multiple_hash_scaled, rect_of_prefix, single_hash_scaled, MAX_DEPTH};
+use crate::partition::{
+    multiple_hash_scaled, rect_of_prefix, rect_of_prefix_into, single_hash_scaled, MAX_DEPTH,
+};
 use crate::{KautzError, KautzRegion, KautzStr};
 
 /// Errors from constructing or using a naming scheme.
@@ -350,6 +352,21 @@ impl MultiHash {
     /// Returns an error if the prefix is deeper than [`MAX_DEPTH`].
     pub fn prefix_rect(&self, prefix: &KautzStr) -> Result<Vec<BoundaryInterval>, KautzError> {
         rect_of_prefix(prefix, self.spaces.len())
+    }
+
+    /// [`prefix_rect`](Self::prefix_rect) into a caller-owned buffer
+    /// (cleared first) — the allocation-free form MIRA's routing loop calls
+    /// per hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the prefix is deeper than [`MAX_DEPTH`].
+    pub fn prefix_rect_into(
+        &self,
+        prefix: &KautzStr,
+        out: &mut Vec<BoundaryInterval>,
+    ) -> Result<(), KautzError> {
+        rect_of_prefix_into(prefix, self.spaces.len(), out)
     }
 }
 

@@ -170,30 +170,61 @@ pub fn multiple_hash_scaled(values: &[ScaledValue], k: usize) -> KautzStr {
 ///
 /// Panics if `m == 0`.
 pub fn rect_of_prefix(prefix: &KautzStr, m: usize) -> Result<Vec<BoundaryInterval>, KautzError> {
+    let mut out = Vec::with_capacity(m);
+    rect_of_prefix_into(prefix, m, &mut out)?;
+    Ok(out)
+}
+
+/// [`rect_of_prefix`] into a caller-owned buffer (cleared first) — the
+/// allocation-free form query hot paths call per hop.
+///
+/// One dimension at a time with scalar accumulators, so no per-call
+/// temporaries: the split index of `sym` at a level is its position among
+/// the legal child symbols there, which is `sym` at the root (all of
+/// `0..=base` are legal) and `sym` minus one when `sym` sorts after the
+/// preceding symbol (every symbol but the predecessor is legal).
+///
+/// # Errors
+///
+/// Same conditions as [`rect_of_prefix`].
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn rect_of_prefix_into(
+    prefix: &KautzStr,
+    m: usize,
+    out: &mut Vec<BoundaryInterval>,
+) -> Result<(), KautzError> {
     assert!(m > 0, "at least one attribute required");
     if prefix.len() > MAX_DEPTH {
         return Err(KautzError::UnsupportedLength { len: prefix.len() });
     }
-    let mut lo = vec![0u128; m];
-    let mut width = vec![BOUNDARY_DEN; m];
-    let mut context = KautzStr::empty(2);
-    for (level, &sym) in prefix.symbols().iter().enumerate() {
-        let dim = level % m;
-        let idx =
-            context.child_symbols().position(|s| s == sym).expect("prefix is a valid Kautz string");
-        let pieces = if level == 0 { 3 } else { 2 };
-        let w = width[dim] / pieces;
-        debug_assert_eq!(w * pieces, width[dim], "exact division invariant");
-        lo[dim] += idx as u128 * w;
-        width[dim] = w;
-        context.push(sym).expect("valid prefix symbol");
+    let syms = prefix.symbols();
+    out.clear();
+    for d in 0..m {
+        let mut lo: u128 = 0;
+        let mut width: u128 = BOUNDARY_DEN;
+        let mut level = d;
+        while level < syms.len() {
+            let sym = syms[level];
+            let (idx, pieces) = if level == 0 {
+                (sym as usize, 3u128)
+            } else {
+                (sym as usize - usize::from(sym > syms[level - 1]), 2u128)
+            };
+            let w = width / pieces;
+            debug_assert_eq!(w * pieces, width, "exact division invariant");
+            lo += idx as u128 * w;
+            width = w;
+            level += m;
+        }
+        out.push(BoundaryInterval {
+            lo: Boundary::from_num(lo),
+            hi: Boundary::from_num(lo).add(width),
+        });
     }
-    Ok((0..m)
-        .map(|d| BoundaryInterval {
-            lo: Boundary::from_num(lo[d]),
-            hi: Boundary::from_num(lo[d]).add(width[d]),
-        })
-        .collect())
+    Ok(())
 }
 
 /// The exact attribute subinterval of the node labelled `prefix` in the
@@ -345,6 +376,47 @@ mod tests {
             for (d, iv) in rect.iter().enumerate() {
                 assert!(iv.contains_value(scaled[d]), "depth {depth} dim {d}");
             }
+        }
+    }
+
+    #[test]
+    fn rect_into_matches_the_child_symbols_walk() {
+        // The into-variant's arithmetic split index must reproduce the
+        // context-tracking child_symbols() walk on every valid prefix.
+        fn rect_via_walk(prefix: &KautzStr, m: usize) -> Vec<BoundaryInterval> {
+            let mut lo = vec![0u128; m];
+            let mut width = vec![BOUNDARY_DEN; m];
+            let mut context = KautzStr::empty(2);
+            for (level, &sym) in prefix.symbols().iter().enumerate() {
+                let dim = level % m;
+                let idx = context.child_symbols().position(|s| s == sym).unwrap();
+                let pieces = if level == 0 { 3 } else { 2 };
+                let w = width[dim] / pieces;
+                lo[dim] += idx as u128 * w;
+                width[dim] = w;
+                context.push(sym).unwrap();
+            }
+            (0..m)
+                .map(|d| BoundaryInterval {
+                    lo: Boundary::from_num(lo[d]),
+                    hi: Boundary::from_num(lo[d]).add(width[d]),
+                })
+                .collect()
+        }
+        let mut frontier = vec![KautzStr::empty(2)];
+        for _ in 0..=6 {
+            let mut next = Vec::new();
+            for p in &frontier {
+                for m in 1..=3 {
+                    assert_eq!(rect_of_prefix(p, m).unwrap(), rect_via_walk(p, m), "{p:?} m={m}");
+                }
+                for sym in p.child_symbols() {
+                    let mut c = p.clone();
+                    c.push(sym).unwrap();
+                    next.push(c);
+                }
+            }
+            frontier = next;
         }
     }
 

@@ -83,13 +83,43 @@ impl KautzRegion {
     /// This is PIRA's pruning predicate: a subtree whose members all share
     /// `prefix` can be pruned iff this returns `false`. Computed without
     /// enumeration via the min/max extensions of the prefix:
-    /// `min_ext(prefix) ≤ high ∧ max_ext(prefix) ≥ low`.
+    /// `min_ext(prefix) ≤ high ∧ max_ext(prefix) ≥ low` — streamed
+    /// symbol-by-symbol, so the test never materializes the extensions.
     pub fn intersects_prefix(&self, prefix: &KautzStr) -> bool {
         if prefix.base() != self.base() || prefix.len() > self.string_len() {
             return false;
         }
-        let k = self.string_len();
-        prefix.min_extension(k) <= self.high && prefix.max_extension(k) >= self.low
+        self.intersects_extended(prefix.symbols(), &[])
+    }
+
+    /// [`intersects_prefix`](Self::intersects_prefix) for the virtual prefix
+    /// `head ++ tail` without building the concatenation.
+    ///
+    /// `tail` is a symbol slice (typically `cid.symbols()[strip..]` for a
+    /// neighbor's PeerID). When the junction repeats a symbol — `head.last()
+    /// == tail.first()`, so the concatenation is not a valid Kautz string —
+    /// the test degrades to `head` alone, matching PIRA's never-prune
+    /// fallback for covers that violate the neighborhood invariant.
+    pub fn intersects_prefix_parts(&self, head: &KautzStr, tail: &[u8]) -> bool {
+        if head.base() != self.base() {
+            return false;
+        }
+        let tail = match (head.last(), tail.first()) {
+            (Some(a), Some(&b)) if a == b => &[][..],
+            _ => tail,
+        };
+        if head.len() + tail.len() > self.string_len() {
+            return false;
+        }
+        self.intersects_extended(head.symbols(), tail)
+    }
+
+    /// Core of the pruning predicate: `min_ext(head ++ tail) ≤ high ∧
+    /// max_ext(head ++ tail) ≥ low`, with both extensions streamed.
+    fn intersects_extended(&self, head: &[u8], tail: &[u8]) -> bool {
+        use std::cmp::Ordering;
+        cmp_extension(head, tail, self.base(), self.high.symbols(), true) != Ordering::Greater
+            && cmp_extension(head, tail, self.base(), self.low.symbols(), false) != Ordering::Less
     }
 
     /// The longest common prefix of the two endpoints (`ComT` in §4.2).
@@ -137,6 +167,44 @@ impl KautzRegion {
     pub fn iter(&self) -> Iter<'_> {
         Iter { next_rank: self.low.rank(), last_rank: self.high.rank(), region: self }
     }
+}
+
+/// Lexicographically compares the minimal (`min`) or maximal extension of
+/// `head ++ tail` to length `other.len()` against `other`, producing the
+/// extension symbols on the fly (the streamed twin of
+/// [`KautzStr::min_extension`]/[`KautzStr::max_extension`], which both
+/// continue a prefix one symbol at a time from the previous symbol alone).
+fn cmp_extension(
+    head: &[u8],
+    tail: &[u8],
+    base: u8,
+    other: &[u8],
+    min: bool,
+) -> std::cmp::Ordering {
+    let mut prev = None;
+    for (i, &o) in other.iter().enumerate() {
+        let sym = if i < head.len() {
+            head[i]
+        } else if i < head.len() + tail.len() {
+            tail[i - head.len()]
+        } else if min {
+            match prev {
+                Some(0) => 1,
+                _ => 0,
+            }
+        } else {
+            match prev {
+                Some(s) if s == base => base - 1,
+                _ => base,
+            }
+        };
+        match sym.cmp(&o) {
+            std::cmp::Ordering::Equal => {}
+            ord => return ord,
+        }
+        prev = Some(sym);
+    }
+    std::cmp::Ordering::Equal
 }
 
 impl std::fmt::Display for KautzRegion {
@@ -244,6 +312,33 @@ mod tests {
     fn prefix_longer_than_k_never_intersects() {
         let r = region("010", "021");
         assert!(!r.intersects_prefix(&ks("0102")));
+    }
+
+    #[test]
+    fn intersects_prefix_parts_agrees_with_concat() {
+        // The split form must behave exactly like concatenating and testing,
+        // with PIRA's fallback (test the head alone) on a repeated junction.
+        let r = region("0120", "0202");
+        let heads = ["", "0", "01", "02", "2", "012", "020"];
+        let tails: [&[u8]; 6] = [&[], &[0], &[2], &[0, 1], &[2, 0], &[1, 2, 0, 1]];
+        for h in heads {
+            let head = if h.is_empty() { KautzStr::empty(2) } else { ks(h) };
+            for tail in tails {
+                let expect = match head.concat(&tail_str(tail)) {
+                    Ok(w) => r.intersects_prefix(&w),
+                    Err(_) => r.intersects_prefix(&head),
+                };
+                assert_eq!(
+                    r.intersects_prefix_parts(&head, tail),
+                    expect,
+                    "head {head} tail {tail:?}"
+                );
+            }
+        }
+    }
+
+    fn tail_str(tail: &[u8]) -> KautzStr {
+        KautzStr::new(2, tail.to_vec()).unwrap()
     }
 
     #[test]

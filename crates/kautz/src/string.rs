@@ -179,6 +179,47 @@ impl KautzStr {
         KautzStr { base: self.base, syms: self.syms.get(n..).unwrap_or(&[]).to_vec() }
     }
 
+    /// Buffer-reusing twin of [`drop_front`](Self::drop_front): overwrites
+    /// `self` with `src` minus its first `n` symbols, keeping `self`'s
+    /// allocation. Hot paths that shift a PeerID once per delivery use this
+    /// to stay allocation-free after warmup.
+    pub fn assign_drop_front(&mut self, src: &KautzStr, n: usize) {
+        self.base = src.base;
+        self.syms.clear();
+        self.syms.extend_from_slice(src.syms.get(n..).unwrap_or(&[]));
+    }
+
+    /// Buffer-reusing prepend: overwrites `self` with `sym ++ src`, keeping
+    /// `self`'s allocation. The caller guarantees `src` does not start with
+    /// `sym` (debug-asserted), so the result is a valid Kautz string.
+    pub fn assign_prepend(&mut self, sym: u8, src: &KautzStr) {
+        debug_assert!(sym <= src.base, "symbol out of range");
+        debug_assert!(src.first() != Some(sym), "junction repeat");
+        self.base = src.base;
+        self.syms.clear();
+        self.syms.push(sym);
+        self.syms.extend_from_slice(&src.syms);
+    }
+
+    /// Buffer-reusing twin of [`concat`](Self::concat): overwrites `self`
+    /// with `head ++ tail` (a raw symbol slice), keeping `self`'s
+    /// allocation. Returns `false` — leaving `self` as `head` alone — when
+    /// the junction repeats a symbol, i.e. exactly when `concat` errs.
+    /// `tail` must itself be repeat-free (callers pass suffixes of valid
+    /// Kautz strings).
+    pub fn assign_concat(&mut self, head: &KautzStr, tail: &[u8]) -> bool {
+        self.base = head.base;
+        self.syms.clear();
+        self.syms.extend_from_slice(&head.syms);
+        if let (Some(&a), Some(&b)) = (self.syms.last(), tail.first()) {
+            if a == b {
+                return false;
+            }
+        }
+        self.syms.extend_from_slice(tail);
+        true
+    }
+
     /// The prefix keeping only the first `n` symbols (saturating).
     pub fn take_front(&self, n: usize) -> Self {
         KautzStr { base: self.base, syms: self.syms[..n.min(self.syms.len())].to_vec() }
@@ -263,6 +304,36 @@ impl KautzStr {
             syms.push(next);
         }
         KautzStr { base: self.base, syms }
+    }
+
+    /// Compares the first `other.len()` symbols of `self` — extended
+    /// minimally when `self` is shorter — against `other`, without
+    /// materializing the extension. Equivalent to
+    /// `self.min_extension(k).cmp(other)` for `self.len() ≤ k` and to
+    /// `self.take_front(k).cmp(other)` otherwise (`k = other.len()`);
+    /// equal symbols fall through to the base tiebreak like [`Ord`].
+    ///
+    /// This is the hot-path form of the "does this peer's region start
+    /// above `high`" test in range scans, which must not allocate per
+    /// candidate.
+    pub fn cmp_min_extension(&self, other: &KautzStr) -> std::cmp::Ordering {
+        let mut prev = None;
+        for (i, &o) in other.syms.iter().enumerate() {
+            let sym = if i < self.syms.len() {
+                self.syms[i]
+            } else {
+                match prev {
+                    Some(0) => 1,
+                    _ => 0,
+                }
+            };
+            match sym.cmp(&o) {
+                std::cmp::Ordering::Equal => {}
+                ord => return ord,
+            }
+            prev = Some(sym);
+        }
+        self.base.cmp(&other.base)
     }
 
     /// Number of Kautz strings of the given base and length:
@@ -522,6 +593,48 @@ mod tests {
         // From the empty prefix: global min/max of the length-k space.
         assert_eq!(KautzStr::empty(2).min_extension(4), ks("0101"));
         assert_eq!(KautzStr::empty(2).max_extension(4), ks("2121"));
+    }
+
+    #[test]
+    fn cmp_min_extension_matches_materialized_compare() {
+        // Against every pair drawn from the length-≤5 space: the streamed
+        // compare must reproduce min_extension/take_front + Ord exactly.
+        let mut strings = vec![KautzStr::empty(2)];
+        for len in 1..=5 {
+            let count = KautzStr::count(2, len);
+            strings.extend((0..count).map(|r| KautzStr::unrank(2, len, r).unwrap()));
+        }
+        for a in &strings {
+            for b in strings.iter().filter(|b| !b.is_empty()) {
+                let k = b.len();
+                let expect = if a.len() <= k {
+                    a.min_extension(k).cmp(b)
+                } else {
+                    a.take_front(k).cmp(b)
+                };
+                assert_eq!(a.cmp_min_extension(b), expect, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_helpers_reuse_buffers_and_match_allocating_twins() {
+        let src = ks("01210");
+        let mut buf = KautzStr::empty(2);
+        buf.assign_drop_front(&src, 2);
+        assert_eq!(buf, src.drop_front(2));
+        buf.assign_drop_front(&src, 9); // over-drop → empty
+        assert_eq!(buf, KautzStr::empty(2));
+        buf.assign_prepend(2, &src);
+        assert_eq!(buf, ks("201210"));
+        // assign_concat mirrors concat, falling back to the head on a
+        // repeated junction.
+        assert!(buf.assign_concat(&ks("012"), ks("01").symbols()));
+        assert_eq!(buf, ks("01201"));
+        assert!(!buf.assign_concat(&ks("012"), ks("20").symbols()));
+        assert_eq!(buf, ks("012"), "failed concat leaves the head alone");
+        assert!(buf.assign_concat(&ks("012"), &[]));
+        assert_eq!(buf, ks("012"));
     }
 
     #[test]

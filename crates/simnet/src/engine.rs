@@ -6,6 +6,7 @@ use crate::stats::SimStats;
 use crate::trace::{HopKind, TraceEvent, TraceSink, Verdict};
 use crate::{NodeId, SimTime};
 use rand::rngs::SmallRng;
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Per-hop virtual latency model governing **event scheduling** (the
@@ -118,8 +119,15 @@ impl<M> Ord for Scheduled<M> {
 /// The discrete-event simulator.
 ///
 /// Generic over the protocol message type `M`. Create one `Sim` per
-/// query/protocol run (cheap), or call [`Sim::reset_stats`] between runs.
-pub struct Sim<M> {
+/// query/protocol run — or, on hot paths, recycle the internal collections
+/// across runs via [`Sim::from_scratch`]/[`Sim::recycle`] so batch drivers
+/// amortize all queue/lane capacity.
+///
+/// The fault plan is held as a [`Cow`]: batch query paths borrow the
+/// caller's plan ([`Sim::with_faults_ref`], zero clones per query) while
+/// tests and churn experiments that mutate the plan mid-run keep the owned
+/// form ([`Sim::with_faults`]; [`Sim::faults_mut`] clones on first write).
+pub struct Sim<'p, M> {
     now: SimTime,
     seq: u64,
     seed: u64,
@@ -136,7 +144,7 @@ pub struct Sim<M> {
     rng: SmallRng,
     latency: LatencyModel,
     net: NetModel,
-    faults: FaultPlan,
+    faults: Cow<'p, FaultPlan>,
     stats: SimStats,
     // Hostile-fault bookkeeping, touched only when the matching family is
     // attached. BTreeMaps (not HashMaps): entries are created in
@@ -151,7 +159,7 @@ pub struct Sim<M> {
     trace: Option<Box<TraceSink>>,
 }
 
-impl<M> std::fmt::Debug for Sim<M> {
+impl<M> std::fmt::Debug for Sim<'_, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
@@ -161,7 +169,7 @@ impl<M> std::fmt::Debug for Sim<M> {
     }
 }
 
-impl<M> Sim<M> {
+impl<'p, M> Sim<'p, M> {
     /// Creates a simulator with the default unit-latency model and no
     /// faults, seeded deterministically.
     pub fn new(seed: u64) -> Self {
@@ -175,12 +183,45 @@ impl<M> Sim<M> {
             rng: crate::rng_from_seed(seed),
             latency: LatencyModel::Unit,
             net: NetModel::unit(),
-            faults: FaultPlan::default(),
+            faults: Cow::Owned(FaultPlan::default()),
             stats: SimStats::default(),
             edge_attempts: BTreeMap::new(),
             peer_sends: BTreeMap::new(),
             trace: None,
         }
+    }
+
+    /// [`new`](Sim::new), recycling the collections parked in `scratch` by a
+    /// previous run's [`recycle`](Sim::recycle) — the event heap and cohort
+    /// lanes keep their grown capacity, so steady-state queries allocate
+    /// nothing for scheduling. The scratch's collections are left empty.
+    pub fn from_scratch(seed: u64, scratch: &mut SimScratch<M>) -> Self {
+        let mut sim = Sim::new(seed);
+        sim.queue = std::mem::take(&mut scratch.queue);
+        sim.cur = std::mem::take(&mut scratch.cur);
+        sim.next = std::mem::take(&mut scratch.next);
+        sim.edge_attempts = std::mem::take(&mut scratch.edge_attempts);
+        sim.peer_sends = std::mem::take(&mut scratch.peer_sends);
+        debug_assert!(sim.pending() == 0, "recycled scratch must arrive empty");
+        sim
+    }
+
+    /// Parks this simulator's collections in `scratch` for the next
+    /// [`from_scratch`](Sim::from_scratch), clearing them first. The heap
+    /// and lanes retain capacity across the round trip; the fault
+    /// bookkeeping maps are node-allocated (`BTreeMap`) so clearing frees
+    /// them, but they are only ever populated under hostile plans.
+    pub fn recycle(mut self, scratch: &mut SimScratch<M>) {
+        self.queue.clear();
+        self.cur.clear();
+        self.next.clear();
+        self.edge_attempts.clear();
+        self.peer_sends.clear();
+        scratch.queue = std::mem::take(&mut self.queue);
+        scratch.cur = std::mem::take(&mut self.cur);
+        scratch.next = std::mem::take(&mut self.next);
+        scratch.edge_attempts = std::mem::take(&mut self.edge_attempts);
+        scratch.peer_sends = std::mem::take(&mut self.peer_sends);
     }
 
     /// Attaches a [`TraceSink`]: from here on every send verdict, scheduled
@@ -242,9 +283,19 @@ impl<M> Sim<M> {
         &self.net
     }
 
-    /// Replaces the fault plan.
+    /// Replaces the fault plan (owned — the sim may mutate it mid-run via
+    /// [`faults_mut`](Sim::faults_mut) without touching the caller's copy).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+        self.faults = Cow::Owned(faults);
+        self
+    }
+
+    /// Replaces the fault plan by reference — the per-query hot path: no
+    /// clone, the plan is shared for the run. A later
+    /// [`faults_mut`](Sim::faults_mut) clones on first write, so borrowed
+    /// plans stay safe under mid-run mutation too.
+    pub fn with_faults_ref(mut self, faults: &'p FaultPlan) -> Self {
+        self.faults = Cow::Borrowed(faults);
         self
     }
 
@@ -264,8 +315,9 @@ impl<M> Sim<M> {
     }
 
     /// Mutable access to the fault plan (e.g. to crash nodes mid-run).
+    /// Clones a borrowed plan on first call — cold paths only.
     pub fn faults_mut(&mut self) -> &mut FaultPlan {
-        &mut self.faults
+        self.faults.to_mut()
     }
 
     /// The fault plan in force.
@@ -462,7 +514,7 @@ impl<M> Sim<M> {
     /// receive it (the crash check is repeated at delivery time).
     pub fn run<F>(&mut self, mut handler: F)
     where
-        F: FnMut(&mut Sim<M>, Envelope<M>),
+        F: FnMut(&mut Sim<'p, M>, Envelope<M>),
     {
         loop {
             let Some(env) = self.cur.pop_front() else {
@@ -526,6 +578,52 @@ impl<M> Sim<M> {
     /// has not been called or a handler re-enqueued work).
     pub fn pending(&self) -> usize {
         self.queue.len() + self.cur.len() + self.next.len()
+    }
+}
+
+/// Parked [`Sim`] collections for reuse across queries: the far-future
+/// event heap, both cohort lanes, and the fault-bookkeeping maps. One
+/// lives per driver thread; a query builds its simulator with
+/// [`Sim::from_scratch`] and parks the collections back with
+/// [`Sim::recycle`], so steady-state scheduling allocates nothing.
+///
+/// Recycling is observationally inert: a recycled `Sim` starts from the
+/// identical logical state as a fresh one (empty collections, fresh RNG,
+/// clock at zero) — only retained *capacity* differs, which no metric,
+/// digest, or trace can see.
+pub struct SimScratch<M> {
+    queue: BinaryHeap<Scheduled<M>>,
+    cur: VecDeque<Envelope<M>>,
+    next: VecDeque<Envelope<M>>,
+    edge_attempts: BTreeMap<(NodeId, NodeId), u64>,
+    peer_sends: BTreeMap<NodeId, u64>,
+}
+
+impl<M> Default for SimScratch<M> {
+    fn default() -> Self {
+        SimScratch {
+            queue: BinaryHeap::new(),
+            cur: VecDeque::new(),
+            next: VecDeque::new(),
+            edge_attempts: BTreeMap::new(),
+            peer_sends: BTreeMap::new(),
+        }
+    }
+}
+
+impl<M> SimScratch<M> {
+    /// An empty scratch (no capacity reserved yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<M> std::fmt::Debug for SimScratch<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimScratch")
+            .field("queue_capacity", &self.queue.capacity())
+            .field("lane_capacity", &(self.cur.capacity() + self.next.capacity()))
+            .finish_non_exhaustive()
     }
 }
 
@@ -687,7 +785,7 @@ mod tests {
         use crate::faults::PartitionPlan;
         let plan = FaultPlan::new().with_partition(PartitionPlan::new(2, 1, 3)).with_plan_seed(0x9);
         // Find a cross-side pair under this sim's effective verdict seed.
-        let probe: Sim<()> = Sim::new(4).with_faults(plan.clone());
+        let probe: Sim<()> = Sim::new(4).with_faults_ref(&plan);
         let seed = probe.faults().plan_seed() ^ 4;
         let part = *plan.partition().unwrap();
         let a = 0;
@@ -695,6 +793,7 @@ mod tests {
             .find(|&b| part.side_of(seed, a, probe.net()) != part.side_of(seed, b, probe.net()))
             .expect("a 2-island split has both sides");
         let deliveries = |epoch: u64| {
+            // detlint: allow(D6) — test builds an owned per-epoch variant to mutate
             let mut p = plan.clone();
             p.set_epoch(epoch);
             let mut sim: Sim<()> = Sim::new(4).with_faults(p);
@@ -774,7 +873,7 @@ mod tests {
         let plan = FaultPlan::new().with_loss(LossPlan::bernoulli(0.5));
         let run = || {
             let mut sim: Sim<u8> =
-                Sim::new(6).with_faults(plan.clone()).with_trace(TraceSink::new());
+                Sim::new(6).with_faults_ref(&plan).with_trace(TraceSink::new());
             for _ in 0..16 {
                 sim.send(2, 3, 0, 0);
             }
@@ -814,7 +913,7 @@ mod tests {
         let plan = FaultPlan::new().with_loss(LossPlan::bernoulli(0.3));
         let run = |traced: bool| {
             let mut sim: Sim<u64> =
-                Sim::new(21).with_faults(plan.clone()).with_net(NetModel::wan());
+                Sim::new(21).with_faults_ref(&plan).with_net(NetModel::wan());
             if traced {
                 sim = sim.with_trace(TraceSink::new());
             }
@@ -829,6 +928,47 @@ mod tests {
             (seen, sim.stats().clone())
         };
         assert_eq!(run(false), run(true), "the sink must be observation-only");
+    }
+
+    #[test]
+    fn recycled_sim_replays_a_fresh_sim_exactly() {
+        // A Sim built from recycled scratch must be logically identical to
+        // a fresh one: same deliveries, same stats, same virtual times —
+        // under jittered latency (heap traffic) and a lossy plan (RNG +
+        // bookkeeping traffic), across several recycles.
+        use crate::faults::LossPlan;
+        let plan = FaultPlan::new().with_loss(LossPlan::bernoulli(0.3));
+        let run = |sim: &mut Sim<u64>| {
+            for i in 0..40 {
+                sim.send(i % 7, (i + 1) % 7, 0, i as u64);
+            }
+            let mut seen = Vec::new();
+            sim.run(|_, env| seen.push((env.from, env.to, env.at, env.payload)));
+            (seen, sim.stats().clone())
+        };
+        let fresh = {
+            let mut sim: Sim<u64> = Sim::new(17)
+                .with_latency(LatencyModel::Uniform { lo: 1, hi: 9 })
+                .with_faults_ref(&plan);
+            run(&mut sim)
+        };
+        let mut scratch = SimScratch::new();
+        for round in 0..3 {
+            let mut sim: Sim<u64> = Sim::from_scratch(17, &mut scratch)
+                .with_latency(LatencyModel::Uniform { lo: 1, hi: 9 })
+                .with_faults_ref(&plan);
+            assert_eq!(run(&mut sim), fresh, "round {round} diverged");
+            sim.recycle(&mut scratch);
+        }
+    }
+
+    #[test]
+    fn borrowed_fault_plan_clones_on_first_write_only() {
+        let plan = FaultPlan::new();
+        let mut sim: Sim<()> = Sim::new(1).with_faults_ref(&plan);
+        sim.faults_mut().crash(3); // copy-on-write: the caller's plan is untouched
+        assert!(sim.faults().is_crashed(3));
+        assert!(!plan.is_crashed(3));
     }
 
     #[test]

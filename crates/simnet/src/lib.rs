@@ -59,10 +59,12 @@
 mod engine;
 mod faults;
 mod net;
+mod scratch;
 mod stats;
 mod trace;
 
-pub use engine::{Envelope, LatencyModel, Sim};
+pub use engine::{Envelope, LatencyModel, Sim, SimScratch};
+pub use scratch::QueryScratch;
 pub use faults::{FaultPlan, LossPlan, PartitionPlan, RateLimitPlan, HOSTILE_PLAN_NAMES};
 pub use net::{mix, NetModel, NetModelKind, NET_MODEL_NAMES};
 pub use stats::{last_first_arrival, Samples, SimStats, Summary};

@@ -1,0 +1,123 @@
+//! Per-scheme allocation budgets on the query hot path, enforced at
+//! N = 10³ with the workspace's counting allocator installed as this test
+//! binary's global allocator.
+//!
+//! The zero-allocation hot-path work (scratch reuse, `Sim` recycling,
+//! interned routing state) drove steady-state allocations per query down
+//! to O(results); these ceilings pin that property so a regressed hot
+//! path — a reintroduced per-hop clone, a `Sim::new` per query — fails
+//! `cargo test`, not just the (slower, feature-gated) bench gate. Each
+//! ceiling carries ~4× headroom over the measured steady state so routine
+//! drift stays quiet while an accidental O(messages) regression (tens of
+//! allocations per hop at these sizes) trips immediately.
+//!
+//! Everything runs inside ONE `#[test]` so the process-wide counter is
+//! never shared with a concurrent test thread; queries are driven
+//! serially, with a warm-up batch first so one-time scratch growth
+//! (heap capacity ratchets up to the largest query seen) is excluded from
+//! the steady-state figure — exactly how the bench's allocation probe
+//! measures.
+
+use armada_suite::dht_api::{BuildParams, MultiBuildParams, WorkloadGen};
+use armada_suite::experiments::standard_registry;
+use armada_suite::rand::Rng;
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
+const DOMAIN: (f64, f64) = (0.0, 1000.0);
+const N: usize = 1000;
+const WARMUP: usize = 32;
+const MEASURED: usize = 200;
+
+/// Steady-state allocations per query for one single-attribute scheme:
+/// warm up the scratch, then meter `MEASURED` serial queries.
+fn allocs_per_query(name: &str) -> f64 {
+    let registry = standard_registry();
+    let params = BuildParams::new(N, DOMAIN.0, DOMAIN.1).with_object_id_len(32);
+    let mut rng = simnet::rng_from_seed(0xa110c);
+    let mut scheme = registry.build_single(name, &params, &mut rng).unwrap();
+    for h in 0..N as u64 {
+        scheme.publish(rng.gen_range(DOMAIN.0..=DOMAIN.1), h).unwrap();
+    }
+    let workload = WorkloadGen::named("mixed", DOMAIN).unwrap();
+    let mut scratch = simnet::QueryScratch::new();
+    let mut run = |q: usize| {
+        let (lo, hi) = workload.range(7, q as u64);
+        let mut orng = simnet::rng_from_seed(0x0e15 ^ q as u64);
+        let origin = scheme.random_origin(&mut orng);
+        let out = scheme.range_query_scratch(origin, lo, hi, 7 + q as u64, &mut scratch).unwrap();
+        assert!(out.exact, "{name}: query {q} inexact on a clean network");
+    };
+    for q in 0..WARMUP {
+        run(q);
+    }
+    let before = counting_alloc::allocation_count();
+    for q in WARMUP..WARMUP + MEASURED {
+        run(q);
+    }
+    (counting_alloc::allocation_count() - before) as f64 / MEASURED as f64
+}
+
+/// Same metering for the multi-attribute scheme, through `rect_query_scratch`.
+fn rect_allocs_per_query(name: &str, dims: usize) -> f64 {
+    let registry = standard_registry();
+    let domains: Vec<(f64, f64)> = vec![DOMAIN; dims];
+    let params = MultiBuildParams::new(N, &domains).with_object_id_len(32);
+    let mut rng = simnet::rng_from_seed(0xa110c);
+    let mut scheme = registry.build_multi(name, &params, &mut rng).unwrap();
+    for h in 0..N as u64 {
+        let p: Vec<f64> = (0..dims).map(|_| rng.gen_range(DOMAIN.0..=DOMAIN.1)).collect();
+        scheme.publish_point(&p, h).unwrap();
+    }
+    let workload = WorkloadGen::named("rect-correlated", DOMAIN).unwrap();
+    let mut scratch = simnet::QueryScratch::new();
+    let mut run = |q: usize| {
+        let rect = workload.rect(&domains, 7, q as u64);
+        let mut orng = simnet::rng_from_seed(0x0e15 ^ q as u64);
+        let origin = scheme.random_origin(&mut orng);
+        scheme.rect_query_scratch(origin, &rect, 7 + q as u64, &mut scratch).unwrap();
+    };
+    for q in 0..WARMUP {
+        run(q);
+    }
+    let before = counting_alloc::allocation_count();
+    for q in WARMUP..WARMUP + MEASURED {
+        run(q);
+    }
+    (counting_alloc::allocation_count() - before) as f64 / MEASURED as f64
+}
+
+#[test]
+fn steady_state_allocations_per_query_stay_within_budget() {
+    assert!(counting_alloc::is_installed(), "counting allocator not installed");
+
+    // (scheme, ceiling). For context, the pre-optimization baseline at
+    // this N measured ~1854 allocations/query for pira.
+    // Measured steady states when these budgets were set (mixed workload,
+    // this N): pira ≈ 29, seqwalk ≈ 55, dcf-can ≈ 92, dcf-can-naive ≈ 27,
+    // pht-chord ≈ 103, skipgraph ≈ 3.5, mira ≈ 28. The pre-optimization
+    // pira figure at this N was ≈ 1854.
+    let budgets = [
+        ("pira", 120.0),
+        ("seqwalk", 220.0),
+        ("dcf-can", 370.0),
+        ("dcf-can-naive", 110.0),
+        ("pht-chord", 410.0),
+        ("skipgraph", 20.0),
+    ];
+    let mut failures = Vec::new();
+    for (name, ceiling) in budgets {
+        let got = allocs_per_query(name);
+        eprintln!("alloc budget: {name:>14} {got:>10.2} / {ceiling}");
+        if got > ceiling {
+            failures.push(format!("{name}: {got:.2} allocs/query exceeds budget {ceiling}"));
+        }
+    }
+    let got = rect_allocs_per_query("mira", 2);
+    eprintln!("alloc budget: {:>14} {got:>10.2} / {}", "mira", 120.0);
+    if got > 120.0 {
+        failures.push(format!("mira: {got:.2} allocs/query exceeds budget 120"));
+    }
+    assert!(failures.is_empty(), "hot-path allocation regressions:\n{}", failures.join("\n"));
+}
